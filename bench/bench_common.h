@@ -1,0 +1,74 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (§6): it runs the full pipeline (ground-truth workload ->
+// profile -> schedule -> simulate) for each configuration the figure
+// sweeps and prints the same rows/series the paper reports. Absolute
+// numbers come from the simulator substrate, so they are not expected
+// to match AWS wall-clock; the comparisons (who wins, by what factor)
+// are the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheduler/baselines.h"
+#include "scheduler/ditto_scheduler.h"
+#include "sim/sim_runner.h"
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+namespace ditto::bench {
+
+inline workload::PhysicsParams physics_for(const storage::StorageModel& store) {
+  workload::PhysicsParams p;
+  p.store = store;
+  return p;
+}
+
+struct RunOutcome {
+  double jct = 0.0;
+  double cost = 0.0;
+  double sched_seconds = 0.0;
+  double model_build_seconds = 0.0;
+};
+
+/// Full pipeline, averaged over `seeds` simulator seeds.
+inline RunOutcome run_query(workload::QueryId q, int scale_factor,
+                            const storage::StorageModel& store, scheduler::Scheduler& sched,
+                            Objective objective, const cluster::SlotDistributionSpec& spec,
+                            int seeds = 3) {
+  const JobDag truth = workload::build_query(q, scale_factor, physics_for(store));
+  auto cl = cluster::Cluster::paper_testbed(spec);
+  RunOutcome out;
+  for (int i = 0; i < seeds; ++i) {
+    sim::SimOptions opts;
+    opts.seed = 1 + static_cast<std::uint64_t>(i);
+    const auto r = sim::run_experiment(truth, cl, sched, objective, store, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "run_query failed: %s\n", r.status().to_string().c_str());
+      return out;
+    }
+    out.jct += r->sim.jct;
+    out.cost += r->sim.cost.total();
+    out.sched_seconds += r->plan.scheduling_seconds;
+    out.model_build_seconds += r->profile.model_build_seconds;
+  }
+  out.jct /= seeds;
+  out.cost /= seeds;
+  out.sched_seconds /= seeds;
+  out.model_build_seconds /= seeds;
+  return out;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf("------------------------------------------------------------------\n");
+}
+
+}  // namespace ditto::bench

@@ -1,0 +1,112 @@
+// Microbenchmarks of the execution substrate (google-benchmark):
+// serialization, operators, partitioning, and — most relevant to the
+// paper — the latency gap between zero-copy shared-memory exchange and
+// store-mediated remote exchange, which is the asymmetry Ditto's
+// grouping decision exploits.
+#include <benchmark/benchmark.h>
+
+#include "exec/datagen.h"
+#include "exec/exchange.h"
+#include "exec/operators.h"
+#include "exec/serde.h"
+#include "shm/channel.h"
+#include "storage/sim_store.h"
+
+using namespace ditto;
+using namespace ditto::exec;
+
+namespace {
+
+Table fact(std::size_t rows) { return gen_fact_table({.rows = rows, .seed = 42}); }
+
+void BM_SerializeTable(benchmark::State& state) {
+  const Table t = fact(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto buf = serialize_table(t);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * t.byte_size()));
+}
+BENCHMARK(BM_SerializeTable)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DeserializeTable(benchmark::State& state) {
+  const shm::Buffer buf = serialize_table(fact(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto t = deserialize_table(buf);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * buf.size()));
+}
+BENCHMARK(BM_DeserializeTable)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  const Table left = fact(static_cast<std::size_t>(state.range(0)));
+  const Table right = gen_dim_table(64, 8, 7);
+  for (auto _ : state) {
+    auto out = hash_join(left, "warehouse_id", right, "id");
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GroupBy(benchmark::State& state) {
+  const Table t = fact(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = group_by(t, "warehouse_id",
+                        {{AggKind::kSum, "price", "total"}, {AggKind::kCount, "", "n"}});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GroupBy)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashPartition(benchmark::State& state) {
+  const Table t = fact(100000);
+  for (auto _ : state) {
+    auto parts = hash_partition(t, "order_id", static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(parts);
+  }
+}
+BENCHMARK(BM_HashPartition)->Arg(2)->Arg(8)->Arg(32);
+
+/// The zero-copy path: send a table handle through a local channel.
+void BM_ExchangeLocalZeroCopy(benchmark::State& state) {
+  auto table = std::make_shared<const Table>(fact(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    LocalTableChannel ch;
+    (void)ch.send(table);
+    auto out = ch.recv();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * table->byte_size()));
+}
+BENCHMARK(BM_ExchangeLocalZeroCopy)->Arg(1000)->Arg(100000);
+
+/// The remote path: serialize into the store, read back, deserialize.
+void BM_ExchangeRemoteSerialized(benchmark::State& state) {
+  auto table = std::make_shared<const Table>(fact(static_cast<std::size_t>(state.range(0))));
+  auto store = storage::make_instant_store();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    RemoteTableChannel ch(*store, "bench" + std::to_string(i++));
+    (void)ch.send(table);
+    auto out = ch.recv();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * table->byte_size()));
+}
+BENCHMARK(BM_ExchangeRemoteSerialized)->Arg(1000)->Arg(100000);
+
+void BM_ShmDescriptorRoundTrip(benchmark::State& state) {
+  shm::SharedMemoryChannel ch;
+  shm::Buffer payload = shm::Buffer::from_bytes(std::string(4096, 'x'));
+  for (auto _ : state) {
+    (void)ch.send(payload);
+    auto out = ch.recv();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ShmDescriptorRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

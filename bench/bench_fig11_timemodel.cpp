@@ -1,0 +1,95 @@
+// Figure 11: effectiveness of the execution time model (paper §6.4).
+// For each query we take one IO-intensive stage and one compute-
+// intensive stage, profile the time model offline (five DoPs, least
+// squares), then compare model prediction vs actual (simulated) time
+// for DoP 20..120. Paper result: error within 6% except Q1's small
+// IO stage (higher variance of smaller tasks, up to 15%).
+#include <cmath>
+
+#include "bench_common.h"
+#include "timemodel/profiler.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+/// IO-intensive stage: largest read+write alpha. Compute-intensive
+/// stage: the stage whose compute share of total alpha is highest
+/// (typically a join over already-reduced data).
+StageId pick_stage(const JobDag& dag, bool io_heavy) {
+  // Ignore trivial dimension scans: only stages carrying at least 5% of
+  // the heaviest compute load qualify as "compute-intensive".
+  double max_comp = 0.0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    max_comp = std::max(max_comp, dag.stage(s).compute_alpha());
+  }
+  StageId best = 0;
+  double best_score = -1.0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    double io = 0.0, comp = 0.0;
+    for (const Step& step : dag.stage(s).steps()) {
+      (step.kind == StepKind::kCompute ? comp : io) += step.alpha;
+    }
+    if (!io_heavy && comp < 0.05 * max_comp) continue;
+    const double score = io_heavy ? io : comp / (io + comp + 1e-9);
+    if (score > best_score) {
+      best_score = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 11: time-model accuracy (predicted vs actual, S3)");
+  for (workload::QueryId q : workload::paper_queries()) {
+    const JobDag truth =
+        workload::build_query(q, 1000, physics_for(storage::s3_model()));
+    auto simulator = std::make_shared<sim::JobSimulator>(truth, storage::s3_model());
+
+    // Offline model building, as in the paper.
+    JobDag fitted = truth;
+    Profiler profiler(fitted, sim::make_sim_stage_runner(simulator));
+    const auto report = profiler.profile_all();
+    if (!report.ok()) {
+      std::fprintf(stderr, "profiling failed\n");
+      return 1;
+    }
+    const ExecTimePredictor predictor(fitted);
+
+    const StageId io_stage = pick_stage(truth, /*io_heavy=*/true);
+    const StageId comp_stage = pick_stage(truth, /*io_heavy=*/false);
+
+    std::printf("\n%s  (IO stage: %s, compute stage: %s)\n", workload::query_name(q),
+                truth.stage(io_stage).name().c_str(), truth.stage(comp_stage).name().c_str());
+    std::printf("%5s | %10s %10s %6s | %10s %10s %6s\n", "DoP", "IO actual", "IO model",
+                "err%", "C actual", "C model", "err%");
+    print_rule();
+    for (int d = 20; d <= 120; d += 20) {
+      double vals[2][2];  // [stage][actual, predicted]
+      const StageId stages[2] = {io_stage, comp_stage};
+      for (int k = 0; k < 2; ++k) {
+        // "Actual": mean over several fresh simulated runs.
+        double actual = 0.0;
+        const int reps = 5;
+        for (int r = 0; r < reps; ++r) {
+          const auto means = simulator->run_stage_isolated(stages[k], d, nullptr, 100 + r);
+          double total = 0.0;
+          for (double m : means) total += m;
+          actual += total;
+        }
+        vals[k][0] = actual / reps;
+        vals[k][1] = predictor.stage_time(stages[k], d, nothing_colocated()) /
+                     predictor.straggler_factor(stages[k]);
+      }
+      const auto err = [](double a, double p) { return std::abs(p - a) / a * 100.0; };
+      std::printf("%5d | %10.2f %10.2f %5.1f%% | %10.2f %10.2f %5.1f%%\n", d, vals[0][0],
+                  vals[0][1], err(vals[0][0], vals[0][1]), vals[1][0], vals[1][1],
+                  err(vals[1][0], vals[1][1]));
+    }
+  }
+  return 0;
+}

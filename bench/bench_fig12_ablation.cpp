@@ -1,0 +1,52 @@
+// Figure 12: effectiveness of greedy grouping and DoP ratio computing
+// (paper §6.4). Four approaches on the four queries under Zipf-0.9:
+//   NIMBLE, NIMBLE+Group (grouping only), NIMBLE+DoP (ratio only),
+//   Ditto (both). Paper result: grouping alone gives 1.07-1.36x JCT
+//   and 1.2-1.49x cost; DoP alone 1.12-1.23x JCT / 1.11-1.35x cost;
+//   Ditto combines the gains.
+#include "bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+int main() {
+  const auto s3 = storage::s3_model();
+
+  print_header("Figure 12a: JCT ablation (Zipf-0.9, SF=1000)");
+  std::printf("%-6s %10s %14s %12s %10s\n", "query", "NIMBLE", "NIMBLE+Group", "NIMBLE+DoP",
+              "Ditto");
+  print_rule();
+  for (workload::QueryId q : workload::paper_queries()) {
+    scheduler::NimbleScheduler nimble;
+    scheduler::NimblePlusGroupScheduler grouped;
+    scheduler::NimblePlusDopScheduler dop_only;
+    scheduler::DittoScheduler ditto_sched;
+    const double n = run_query(q, 1000, s3, nimble, Objective::kJct, cluster::zipf_0_9()).jct;
+    const double g = run_query(q, 1000, s3, grouped, Objective::kJct, cluster::zipf_0_9()).jct;
+    const double p = run_query(q, 1000, s3, dop_only, Objective::kJct, cluster::zipf_0_9()).jct;
+    const double d =
+        run_query(q, 1000, s3, ditto_sched, Objective::kJct, cluster::zipf_0_9()).jct;
+    std::printf("%-6s %9.1fs %13.1fs %11.1fs %9.1fs\n", workload::query_name(q), n, g, p, d);
+  }
+
+  print_header("Figure 12b: cost ablation, normalized to NIMBLE (Zipf-0.9)");
+  std::printf("%-6s %10s %14s %12s %10s\n", "query", "NIMBLE", "NIMBLE+Group", "NIMBLE+DoP",
+              "Ditto");
+  print_rule();
+  for (workload::QueryId q : workload::paper_queries()) {
+    scheduler::NimbleScheduler nimble;
+    scheduler::NimblePlusGroupScheduler grouped;
+    scheduler::NimblePlusDopScheduler dop_only;
+    scheduler::DittoScheduler ditto_sched;
+    const double n = run_query(q, 1000, s3, nimble, Objective::kCost, cluster::zipf_0_9()).cost;
+    const double g =
+        run_query(q, 1000, s3, grouped, Objective::kCost, cluster::zipf_0_9()).cost;
+    const double p =
+        run_query(q, 1000, s3, dop_only, Objective::kCost, cluster::zipf_0_9()).cost;
+    const double d =
+        run_query(q, 1000, s3, ditto_sched, Objective::kCost, cluster::zipf_0_9()).cost;
+    std::printf("%-6s %10.3f %14.3f %12.3f %10.3f\n", workload::query_name(q), 1.0, g / n,
+                p / n, d / n);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figures 13-15: Q95 DAG structure, per-stage time breakdown with a
+// fixed DoP of 40, and the execution breakdown under fixed vs elastic
+// parallelism (paper §6.4 "Execution breakdown").
+//
+// Paper narrative to reproduce: under fixed parallelism stages 1
+// (map1) and 4 (reduce1) dominate their paths; Ditto expands their
+// parallelism and shrinks short stages (map3/map4), and grouped stages
+// exchange data through zero-copy shared memory, so stage 2's time
+// drops even though its DoP shrinks.
+#include "bench_common.h"
+#include "sim/gantt.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+void print_stage_timeline(const JobDag& dag, const sim::SimResult& r) {
+  std::printf("%-10s %4s %9s %9s | %7s %7s %9s %7s\n", "stage", "DoP", "start", "end",
+              "setup", "read", "compute", "write");
+  print_rule();
+  for (const sim::StageTrace& st : r.stages) {
+    std::printf("%-10s %4d %8.1fs %8.1fs | %6.2fs %6.2fs %8.2fs %6.2fs\n",
+                dag.stage(st.stage).name().c_str(), st.dop, st.start, st.end, st.mean_setup,
+                st.mean_read, st.mean_compute, st.mean_write);
+  }
+  std::printf("JCT: %.1f s\n", r.jct);
+}
+
+}  // namespace
+
+int main() {
+  const auto s3 = storage::s3_model();
+  const JobDag truth = workload::build_query(workload::QueryId::kQ95, 1000, physics_for(s3));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+
+  print_header("Figure 13: Q95 DAG structure");
+  for (const Edge& e : truth.edges()) {
+    std::printf("  %-8s -> %-8s  [%s, %s]\n", truth.stage(e.src).name().c_str(),
+                truth.stage(e.dst).name().c_str(), exchange_kind_name(e.exchange),
+                bytes_to_string(e.bytes).c_str());
+  }
+  std::printf("\nGraphviz:\n%s", truth.to_dot().c_str());
+
+  // Fixed parallelism (paper uses DoP = 40 for Fig. 14).
+  scheduler::FixedDopScheduler fixed(28);  // 9 stages x 28 fits Zipf-0.9 testbed
+  const auto fixed_run =
+      sim::run_experiment(truth, cl, fixed, Objective::kJct, s3);
+  if (!fixed_run.ok()) {
+    std::fprintf(stderr, "fixed run failed: %s\n", fixed_run.status().to_string().c_str());
+    return 1;
+  }
+
+  print_header("Figure 14: Q95 per-stage time breakdown (fixed DoP)");
+  print_stage_timeline(truth, fixed_run->sim);
+
+  scheduler::DittoScheduler ditto_sched;
+  const auto elastic_run = sim::run_experiment(truth, cl, ditto_sched, Objective::kJct, s3);
+  if (!elastic_run.ok()) {
+    std::fprintf(stderr, "elastic run failed\n");
+    return 1;
+  }
+
+  print_header("Figure 15a: execution breakdown, FIXED parallelism");
+  print_stage_timeline(truth, fixed_run->sim);
+  std::printf("\n%s", sim::render_gantt(truth, fixed_run->sim).c_str());
+  print_header("Figure 15b: execution breakdown, ELASTIC parallelism (Ditto)");
+  print_stage_timeline(truth, elastic_run->sim);
+  std::printf("\n%s", sim::render_gantt(truth, elastic_run->sim).c_str());
+
+  std::printf("\nZero-copy stage groups chosen by Ditto:");
+  for (const auto& [a, b] : elastic_run->plan.placement.zero_copy_edges) {
+    std::printf(" (%s->%s)", truth.stage(a).name().c_str(), truth.stage(b).name().c_str());
+  }
+  std::printf("\nJCT: fixed %.1f s vs elastic %.1f s  (%.2fx)\n", fixed_run->sim.jct,
+              elastic_run->sim.jct, fixed_run->sim.jct / elastic_run->sim.jct);
+  return 0;
+}

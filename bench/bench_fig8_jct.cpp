@@ -1,0 +1,60 @@
+// Figure 8: overall JCT, Ditto vs NIMBLE (paper §6.1).
+//   (a) the four TPC-DS queries under the Zipf-0.9 slot distribution
+//   (b) Q95 across function-slot usage 100% -> 25%
+//   (c) Q95 across slot distributions Norm-1.0 / Norm-0.8 / Zipf-0.9 /
+//       Zipf-0.99
+// Paper result: Ditto wins 1.26-1.69x on (a), 1.5-2.5x on (b),
+// 1.51-1.83x on (c). We reproduce the shape: Ditto wins everywhere and
+// the gap widens as slots get scarcer.
+#include "bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+int main() {
+  const auto s3 = storage::s3_model();
+
+  print_header("Figure 8a: JCT by query (S3, Zipf-0.9, SF=1000)");
+  std::printf("%-6s %12s %12s %10s\n", "query", "Ditto (s)", "NIMBLE (s)", "speedup");
+  print_rule();
+  for (workload::QueryId q : workload::paper_queries()) {
+    scheduler::DittoScheduler ditto_sched;
+    scheduler::NimbleScheduler nimble;
+    const RunOutcome d =
+        run_query(q, 1000, s3, ditto_sched, Objective::kJct, cluster::zipf_0_9());
+    const RunOutcome n = run_query(q, 1000, s3, nimble, Objective::kJct, cluster::zipf_0_9());
+    std::printf("%-6s %12.1f %12.1f %9.2fx\n", workload::query_name(q), d.jct, n.jct,
+                n.jct / d.jct);
+  }
+
+  print_header("Figure 8b: JCT by slot usage (Q95, uniform servers)");
+  std::printf("%-6s %12s %12s %10s\n", "usage", "Ditto (s)", "NIMBLE (s)", "speedup");
+  print_rule();
+  for (double usage : {1.0, 0.75, 0.5, 0.25}) {
+    scheduler::DittoScheduler ditto_sched;
+    scheduler::NimbleScheduler nimble;
+    const auto spec = cluster::uniform_usage(usage);
+    const RunOutcome d =
+        run_query(workload::QueryId::kQ95, 1000, s3, ditto_sched, Objective::kJct, spec);
+    const RunOutcome n =
+        run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec);
+    std::printf("%-6s %12.1f %12.1f %9.2fx\n", spec.label().c_str(), d.jct, n.jct,
+                n.jct / d.jct);
+  }
+
+  print_header("Figure 8c: JCT by slot distribution (Q95)");
+  std::printf("%-10s %12s %12s %10s\n", "distrib", "Ditto (s)", "NIMBLE (s)", "speedup");
+  print_rule();
+  for (const auto& spec : {cluster::norm_1_0(), cluster::norm_0_8(), cluster::zipf_0_9(),
+                           cluster::zipf_0_99()}) {
+    scheduler::DittoScheduler ditto_sched;
+    scheduler::NimbleScheduler nimble;
+    const RunOutcome d =
+        run_query(workload::QueryId::kQ95, 1000, s3, ditto_sched, Objective::kJct, spec);
+    const RunOutcome n =
+        run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec);
+    std::printf("%-10s %12.1f %12.1f %9.2fx\n", spec.label().c_str(), d.jct, n.jct,
+                n.jct / d.jct);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: overall cost (normalized to NIMBLE = 1.0), Ditto vs NIMBLE
+// with the cost objective (paper §6.2). Paper result: Ditto wins
+// 1.16-1.67x — smaller than its JCT wins, because NIMBLE's data-
+// proportional DoP is closer to cost-optimal and shared-memory
+// persistence adds cost on Ditto's side.
+#include "bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+void sweep(const char* title, const std::vector<cluster::SlotDistributionSpec>& specs,
+           const std::vector<workload::QueryId>& queries) {
+  print_header(title);
+  std::printf("%-10s %-6s %14s %14s %10s\n", "config", "query", "Ditto (norm)",
+              "NIMBLE (norm)", "saving");
+  print_rule();
+  const auto s3 = storage::s3_model();
+  for (const auto& spec : specs) {
+    for (workload::QueryId q : queries) {
+      scheduler::DittoScheduler ditto_sched;
+      scheduler::NimbleScheduler nimble;
+      const RunOutcome d = run_query(q, 1000, s3, ditto_sched, Objective::kCost, spec);
+      const RunOutcome n = run_query(q, 1000, s3, nimble, Objective::kCost, spec);
+      std::printf("%-10s %-6s %14.3f %14.3f %9.2fx\n", spec.label().c_str(),
+                  workload::query_name(q), d.cost / n.cost, 1.0, n.cost / d.cost);
+    }
+  }
+}
+}  // namespace
+
+int main() {
+  sweep("Figure 9a: normalized cost by query (Zipf-0.9)", {cluster::zipf_0_9()},
+        workload::paper_queries());
+  sweep("Figure 9b: normalized cost by slot usage (Q95)",
+        {cluster::uniform_usage(1.0), cluster::uniform_usage(0.75),
+         cluster::uniform_usage(0.5), cluster::uniform_usage(0.25)},
+        {workload::QueryId::kQ95});
+  sweep("Figure 9c: normalized cost by slot distribution (Q95)",
+        {cluster::norm_1_0(), cluster::norm_0_8(), cluster::zipf_0_9(), cluster::zipf_0_99()},
+        {workload::QueryId::kQ95});
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table 1: scheduling overhead of Ditto under different resource usage
+// (paper §6.5). Paper result: sub-millisecond (169-264 us) for every
+// query, roughly constant across 25%-100% slot usage because the
+// algorithm's complexity depends on the DAG, not on the slot count.
+//
+// Uses google-benchmark for the timing loop and prints a paper-style
+// summary table at the end.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+const std::vector<workload::QueryId>& queries() {
+  static const auto q = workload::paper_queries();
+  return q;
+}
+
+/// Pre-profiled DAGs (the scheduler's input carries fitted models).
+const JobDag& fitted_dag(workload::QueryId q) {
+  static std::map<workload::QueryId, JobDag> cache;
+  auto it = cache.find(q);
+  if (it == cache.end()) {
+    JobDag truth = workload::build_query(q, 1000, physics_for(storage::s3_model()));
+    auto simulator = std::make_shared<sim::JobSimulator>(truth, storage::s3_model());
+    Profiler profiler(truth, sim::make_sim_stage_runner(simulator));
+    const auto report = profiler.profile_all();
+    (void)report;
+    it = cache.emplace(q, std::move(truth)).first;
+  }
+  return it->second;
+}
+
+void BM_DittoSchedule(benchmark::State& state) {
+  const workload::QueryId q = queries()[static_cast<std::size_t>(state.range(0))];
+  const double usage = 0.25 * static_cast<double>(state.range(1));
+  const JobDag& dag = fitted_dag(q);
+  auto cl = cluster::Cluster::paper_testbed(cluster::uniform_usage(usage));
+  scheduler::DittoScheduler sched;
+  for (auto _ : state) {
+    auto plan = sched.schedule(dag, cl, Objective::kJct, storage::s3_model());
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel(std::string(workload::query_name(q)) + " @" +
+                 std::to_string(static_cast<int>(usage * 100)) + "%");
+}
+
+}  // namespace
+
+BENCHMARK(BM_DittoSchedule)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 3, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Paper-style Table 1.
+  print_header("Table 1: Ditto scheduling time by slot usage");
+  std::printf("%-6s %10s %10s %10s %10s\n", "query", "25%", "50%", "75%", "100%");
+  print_rule();
+  for (workload::QueryId q : queries()) {
+    std::printf("%-6s", workload::query_name(q));
+    for (double usage : {0.25, 0.5, 0.75, 1.0}) {
+      const JobDag& dag = fitted_dag(q);
+      auto cl = cluster::Cluster::paper_testbed(cluster::uniform_usage(usage));
+      scheduler::DittoScheduler sched;
+      // Median of several runs.
+      std::vector<double> us;
+      for (int i = 0; i < 15; ++i) {
+        const auto plan = sched.schedule(dag, cl, Objective::kJct, storage::s3_model());
+        if (plan.ok()) us.push_back(plan->scheduling_seconds * 1e6);
+      }
+      std::sort(us.begin(), us.end());
+      std::printf(" %7.0f us", us.empty() ? 0.0 : us[us.size() / 2]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

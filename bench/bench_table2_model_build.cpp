@@ -1,0 +1,53 @@
+// Table 2: execution-time-model building overhead (paper §6.5).
+// Five DoP profiles per stage, least-squares fit. Paper result: under
+// 0.3 s (194-216 ms) per query; ours is faster because the fitting
+// cost is tiny once profiles exist — we report both the fit time and
+// the profile-collection time for context.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "timemodel/profiler.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+void BM_ModelBuild(benchmark::State& state) {
+  const workload::QueryId q =
+      workload::paper_queries()[static_cast<std::size_t>(state.range(0))];
+  const JobDag truth = workload::build_query(q, 1000, physics_for(storage::s3_model()));
+  auto simulator = std::make_shared<sim::JobSimulator>(truth, storage::s3_model());
+  for (auto _ : state) {
+    JobDag fitted = truth;
+    Profiler profiler(fitted, sim::make_sim_stage_runner(simulator));
+    auto report = profiler.profile_all();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(workload::query_name(q));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ModelBuild)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  print_header("Table 2: model building time by query");
+  std::printf("%-6s %18s %22s\n", "query", "fit time", "profile collection");
+  print_rule();
+  for (workload::QueryId q : workload::paper_queries()) {
+    const JobDag truth = workload::build_query(q, 1000, physics_for(storage::s3_model()));
+    auto simulator = std::make_shared<sim::JobSimulator>(truth, storage::s3_model());
+    JobDag fitted = truth;
+    Profiler profiler(fitted, sim::make_sim_stage_runner(simulator));
+    const auto report = profiler.profile_all();
+    if (!report.ok()) continue;
+    std::printf("%-6s %15.2f ms %19.2f ms\n", workload::query_name(q),
+                report->model_build_seconds * 1e3, report->profiling_seconds * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Objective comparison: what changes when the user asks Ditto to
+// minimize cost instead of JCT (paper §3: "Users can specify the
+// optimization objective as either minimizing JCT or cost").
+//
+// For each TPC-DS query, schedule both ways and show the trade-off:
+// the cost objective uses sqrt(rho * alpha) ratios and accepts a
+// slightly longer JCT to shrink the memory-time integral.
+#include <cstdio>
+
+#include "scheduler/ditto_scheduler.h"
+#include "sim/sim_runner.h"
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+using namespace ditto;
+
+int main() {
+  workload::PhysicsParams physics;
+  physics.store = storage::s3_model();
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+
+  std::printf("%-6s | %12s %12s | %12s %12s\n", "query", "JCT-opt JCT", "JCT-opt cost",
+              "cost-opt JCT", "cost-opt cost");
+  std::printf("--------------------------------------------------------------------\n");
+  for (workload::QueryId q : workload::paper_queries()) {
+    const JobDag job = workload::build_query(q, 1000, physics);
+    scheduler::DittoScheduler sched_jct, sched_cost;
+    const auto rj = sim::run_experiment(job, cl, sched_jct, Objective::kJct,
+                                        storage::s3_model());
+    const auto rc = sim::run_experiment(job, cl, sched_cost, Objective::kCost,
+                                        storage::s3_model());
+    if (!rj.ok() || !rc.ok()) {
+      std::fprintf(stderr, "experiment failed for %s\n", workload::query_name(q));
+      return 1;
+    }
+    std::printf("%-6s | %11.1fs %11.1f$ | %11.1fs %11.1f$\n", workload::query_name(q),
+                rj->sim.jct, rj->sim.cost.total(), rc->sim.jct, rc->sim.cost.total());
+  }
+  std::printf("\n(cost unit: GB-seconds of memory, the paper's billing metric)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Recurring jobs: the production pattern the paper's profiling story
+// rests on. A named job is registered once; its first occurrence pays
+// the offline model-building cost, later occurrences schedule straight
+// from the learned models, and every run's observations (straggler
+// scales, per-stage timings) flow back into the model.
+#include <cstdio>
+
+#include "scheduler/ditto_scheduler.h"
+#include "sim/recurring.h"
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+using namespace ditto;
+
+int main() {
+  workload::PhysicsParams physics;
+  physics.store = storage::s3_model();
+
+  sim::RecurringOptions options;
+  options.sim.skew_sigma = 0.15;  // pronounced skew so feedback has work to do
+  sim::RecurringJobManager manager(storage::s3_model(), options);
+  manager.register_job("nightly-q95",
+                       workload::build_query(workload::QueryId::kQ95, 1000, physics));
+
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler sched;
+
+  std::printf("%-5s %10s %10s %8s %10s %8s\n", "run", "predicted", "simulated", "error",
+              "profiled?", "refit?");
+  for (int run = 0; run < 8; ++run) {
+    const auto r = manager.run_once("nightly-q95", cl, sched, Objective::kJct);
+    if (!r.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    const double err =
+        std::abs(r->sim.jct - r->plan.predicted.jct) / r->sim.jct * 100.0;
+    std::printf("%-5d %9.1fs %9.1fs %7.1f%% %10s %8s\n", run, r->plan.predicted.jct,
+                r->sim.jct, err, r->profiled_this_run ? "yes" : "-",
+                r->refitted_this_run ? "yes" : "-");
+  }
+
+  const auto fitted = manager.fitted_dag("nightly-q95");
+  if (fitted.ok()) {
+    std::printf("\nlearned straggler scales:");
+    for (StageId s = 0; s < fitted->num_stages(); ++s) {
+      std::printf(" %s=%.2f", fitted->stage(s).name().c_str(),
+                  fitted->stage(s).straggler_scale());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "cluster/cluster.h"
+
+namespace ditto::cluster {
+
+Cluster Cluster::uniform(int servers, int slots, Bytes memory_per_server) {
+  Cluster c;
+  c.servers_.reserve(servers);
+  for (int i = 0; i < servers; ++i) {
+    c.servers_.emplace_back(static_cast<ServerId>(i), slots, memory_per_server);
+  }
+  return c;
+}
+
+Cluster Cluster::from_distribution(const SlotDistributionSpec& spec, int servers,
+                                   int max_slots_per_server, Bytes memory_per_server) {
+  const std::vector<int> slots = make_slot_distribution(spec, servers, max_slots_per_server);
+  Cluster c;
+  c.servers_.reserve(servers);
+  for (int i = 0; i < servers; ++i) {
+    c.servers_.emplace_back(static_cast<ServerId>(i), slots[i], memory_per_server);
+  }
+  return c;
+}
+
+Cluster Cluster::paper_testbed(const SlotDistributionSpec& spec) {
+  return from_distribution(spec, /*servers=*/8, /*max_slots_per_server=*/96,
+                           /*memory_per_server=*/384_GiB);
+}
+
+Cluster Cluster::from_slots(const std::vector<int>& slots, Bytes memory_per_server) {
+  Cluster c;
+  c.servers_.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    c.servers_.emplace_back(static_cast<ServerId>(i), slots[i], memory_per_server);
+  }
+  return c;
+}
+
+int Cluster::total_slots() const {
+  int n = 0;
+  for (const Server& s : servers_) n += s.total_slots();
+  return n;
+}
+
+int Cluster::free_slots() const {
+  int n = 0;
+  for (const Server& s : servers_) n += s.free_slots();
+  return n;
+}
+
+std::vector<int> Cluster::free_slot_snapshot() const {
+  std::vector<int> out;
+  out.reserve(servers_.size());
+  for (const Server& s : servers_) out.push_back(s.free_slots());
+  return out;
+}
+
+}  // namespace ditto::cluster

@@ -1,0 +1,56 @@
+// Cluster: the set of function servers a job may use, plus the
+// resource-manager view the scheduler consumes (free slots per server).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/server.h"
+#include "cluster/slot_distribution.h"
+#include "common/status.h"
+
+namespace ditto::cluster {
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Homogeneous cluster: `servers` servers x `slots` slots each.
+  static Cluster uniform(int servers, int slots, Bytes memory_per_server = 384_GiB);
+
+  /// Cluster whose per-server availability follows a distribution spec
+  /// (the paper's Fig. 8b/8c setups).
+  static Cluster from_distribution(const SlotDistributionSpec& spec, int servers,
+                                   int max_slots_per_server,
+                                   Bytes memory_per_server = 384_GiB);
+
+  /// The paper's default testbed shape: 8x m6i.24xlarge (96 slots).
+  static Cluster paper_testbed(const SlotDistributionSpec& spec);
+
+  /// Cluster with an explicit per-server slot vector (e.g. a snapshot
+  /// of another cluster's free slots).
+  static Cluster from_slots(const std::vector<int>& slots,
+                            Bytes memory_per_server = 384_GiB);
+
+  std::size_t num_servers() const { return servers_.size(); }
+  Server& server(ServerId id) { return servers_.at(id); }
+  const Server& server(ServerId id) const { return servers_.at(id); }
+  std::vector<Server>& servers() { return servers_; }
+  const std::vector<Server>& servers() const { return servers_; }
+
+  int total_slots() const;
+  int free_slots() const;
+
+  /// Snapshot of free slots per server — the resource constraint R the
+  /// scheduling algorithms take as input.
+  std::vector<int> free_slot_snapshot() const;
+
+  /// Reserve `n` slots on a specific server.
+  Status reserve(ServerId id, int n) { return servers_.at(id).reserve_slots(n); }
+  void release(ServerId id, int n) { servers_.at(id).release_slots(n); }
+
+ private:
+  std::vector<Server> servers_;
+};
+
+}  // namespace ditto::cluster

@@ -1,0 +1,34 @@
+#include "cluster/feedback.h"
+
+namespace ditto::cluster {
+
+int tune_stragglers_from_monitor(JobDag& dag, const RuntimeMonitor& monitor,
+                                 const FeedbackOptions& options) {
+  int updated = 0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    const StageSummary sum = monitor.stage_summary(s);
+    if (sum.tasks < options.min_tasks) continue;
+    const double observed = sum.straggler_scale();
+    const double old = dag.stage(s).straggler_scale();
+    dag.stage(s).set_straggler_scale(options.straggler_blend * observed +
+                                     (1.0 - options.straggler_blend) * old);
+    ++updated;
+  }
+  return updated;
+}
+
+std::vector<std::pair<StageId, ProfileSample>> profile_samples_from_monitor(
+    const JobDag& dag, const RuntimeMonitor& monitor) {
+  std::vector<std::pair<StageId, ProfileSample>> out;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    const StageSummary sum = monitor.stage_summary(s);
+    if (sum.tasks == 0) continue;
+    ProfileSample sample;
+    sample.dop = static_cast<int>(sum.tasks);
+    sample.time = sum.mean_task_time;
+    out.emplace_back(s, sample);
+  }
+  return out;
+}
+
+}  // namespace ditto::cluster

@@ -1,0 +1,38 @@
+// Runtime feedback loop (paper §3: "Ditto updates the model
+// periodically as new job profiles are generated"; §4.1: the straggler
+// scaling factor "is dynamically tuned according to the profiled job
+// history").
+//
+// After a job executes, the runtime monitor holds per-task records.
+// These utilities fold the observations back into the DAG's model:
+//   * straggler scales from max/mean task times, optionally blended
+//     with the existing value (exponential moving average), and
+//   * per-stage observed mean task times, usable as fresh profile
+//     samples for refitting.
+#pragma once
+
+#include "cluster/runtime_monitor.h"
+#include "dag/job_dag.h"
+#include "timemodel/fitting.h"
+
+namespace ditto::cluster {
+
+struct FeedbackOptions {
+  /// EMA weight of the NEW observation (1.0 = replace, 0.0 = ignore).
+  double straggler_blend = 0.5;
+  /// Ignore stages with fewer tasks than this (max/mean is meaningless
+  /// for singleton stages).
+  std::size_t min_tasks = 2;
+};
+
+/// Updates each stage's straggler scale from the monitor's records.
+/// Returns the number of stages updated.
+int tune_stragglers_from_monitor(JobDag& dag, const RuntimeMonitor& monitor,
+                                 const FeedbackOptions& options = {});
+
+/// Extracts one ProfileSample per executed stage (its DoP and mean
+/// task time) — fresh material for the Profiler's least-squares refit.
+std::vector<std::pair<StageId, ProfileSample>> profile_samples_from_monitor(
+    const JobDag& dag, const RuntimeMonitor& monitor);
+
+}  // namespace ditto::cluster

@@ -1,0 +1,59 @@
+#include "cluster/placement.h"
+
+#include <map>
+#include <set>
+
+namespace ditto::cluster {
+
+Status PlacementPlan::validate(const JobDag& dag, const Cluster& cluster) const {
+  if (dop.size() != dag.num_stages() || task_server.size() != dag.num_stages()) {
+    return Status::invalid_argument("plan is not sized to the DAG");
+  }
+  std::map<ServerId, int> per_server;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    if (dop[s] < 1) return Status::invalid_argument("stage with DoP < 1");
+    if (task_server[s].size() != static_cast<std::size_t>(dop[s])) {
+      return Status::invalid_argument("task assignments do not match DoP for stage " +
+                                      dag.stage(s).name());
+    }
+    for (ServerId srv : task_server[s]) {
+      if (srv >= cluster.num_servers()) {
+        return Status::invalid_argument("task assigned to unknown server");
+      }
+      ++per_server[srv];
+    }
+  }
+  for (const auto& [srv, used] : per_server) {
+    // free_slots() reflects availability *before* this plan is applied.
+    if (used > cluster.server(srv).free_slots()) {
+      return Status::resource_exhausted("server over-subscribed by plan: server " +
+                                        std::to_string(srv));
+    }
+  }
+  for (const auto& [a, b] : zero_copy_edges) {
+    if (dag.find_edge(a, b) == nullptr) {
+      return Status::invalid_argument("zero-copy edge not in DAG");
+    }
+    // Zero-copy requires both stages' tasks to live on one shared server.
+    std::set<ServerId> servers(task_server[a].begin(), task_server[a].end());
+    servers.insert(task_server[b].begin(), task_server[b].end());
+    if (servers.size() != 1) {
+      const Edge* e = dag.find_edge(a, b);
+      // Gather edges may decompose into task groups across servers as
+      // long as each producer/consumer pair matches (paper §4.5).
+      if (e->exchange == ExchangeKind::kGather &&
+          task_server[a].size() == task_server[b].size()) {
+        for (std::size_t t = 0; t < task_server[a].size(); ++t) {
+          if (task_server[a][t] != task_server[b][t]) {
+            return Status::invalid_argument("gather task pair split across servers");
+          }
+        }
+      } else {
+        return Status::invalid_argument("zero-copy edge spans servers");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace ditto::cluster

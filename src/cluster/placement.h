@@ -1,0 +1,57 @@
+// Placement plan: the joint output of the Ditto scheduler — a DoP for
+// every stage, a server for every task, and the set of edges promoted
+// to zero-copy shared memory by stage grouping.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "dag/job_dag.h"
+#include "timemodel/predictor.h"
+
+namespace ditto::cluster {
+
+struct PlacementPlan {
+  /// Degree of parallelism per stage (indexed by StageId). Always >= 1.
+  std::vector<int> dop;
+
+  /// Server of each task: task_server[stage][task].
+  std::vector<std::vector<ServerId>> task_server;
+
+  /// Edges whose endpoints were grouped onto the same server and thus
+  /// shuffle through zero-copy shared memory.
+  std::vector<std::pair<StageId, StageId>> zero_copy_edges;
+
+  /// Per-stage launch offsets from job start (NIMBLE launch-time
+  /// algorithm, paper §5 "Task launch time"). Empty = launch on ready.
+  std::vector<double> launch_time;
+
+  bool edge_colocated(StageId src, StageId dst) const {
+    for (const auto& [a, b] : zero_copy_edges) {
+      if (a == src && b == dst) return true;
+    }
+    return false;
+  }
+
+  /// Adapter for the execution time predictor.
+  ColocatedFn colocated_fn() const {
+    return [this](StageId a, StageId b) { return edge_colocated(a, b); };
+  }
+
+  int total_slots_used() const {
+    int n = 0;
+    for (int d : dop) n += d;
+    return n;
+  }
+
+  int dop_of(StageId s) const { return s < dop.size() ? dop[s] : 0; }
+
+  /// Structural checks: every stage has a DoP >= 1 and exactly that many
+  /// task assignments; per-server task counts fit within free slots;
+  /// zero-copy edges really have co-located task sets.
+  Status validate(const JobDag& dag, const Cluster& cluster) const;
+};
+
+}  // namespace ditto::cluster

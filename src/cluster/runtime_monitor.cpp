@@ -1,0 +1,63 @@
+#include "cluster/runtime_monitor.h"
+
+#include <algorithm>
+
+namespace ditto::cluster {
+
+void RuntimeMonitor::record(const TaskRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(r);
+}
+
+std::size_t RuntimeMonitor::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<TaskRecord> RuntimeMonitor::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<TaskRecord> RuntimeMonitor::records_for_stage(StageId s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TaskRecord> out;
+  for (const TaskRecord& r : records_) {
+    if (r.stage == s) out.push_back(r);
+  }
+  return out;
+}
+
+StageSummary RuntimeMonitor::stage_summary(StageId s) const {
+  const auto recs = records_for_stage(s);
+  StageSummary sum;
+  if (recs.empty()) return sum;
+  sum.tasks = recs.size();
+  sum.stage_start = recs.front().start;
+  sum.stage_end = recs.front().end;
+  double total = 0.0;
+  for (const TaskRecord& r : recs) {
+    total += r.duration();
+    sum.max_task_time = std::max(sum.max_task_time, r.duration());
+    sum.stage_start = std::min(sum.stage_start, r.start);
+    sum.stage_end = std::max(sum.stage_end, r.end);
+    sum.bytes_read += r.bytes_read;
+    sum.bytes_written += r.bytes_written;
+  }
+  sum.mean_task_time = total / static_cast<double>(recs.size());
+  return sum;
+}
+
+Seconds RuntimeMonitor::job_end() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Seconds end = 0.0;
+  for (const TaskRecord& r : records_) end = std::max(end, r.end);
+  return end;
+}
+
+void RuntimeMonitor::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace ditto::cluster

@@ -1,0 +1,70 @@
+// Runtime monitor (paper §3: "each server accommodates a runtime
+// monitor to track the runtime statistics and the execution results of
+// each function").
+//
+// Collects per-task records from executions (simulated or real) and
+// derives the aggregates the scheduler feeds back into the time model:
+// per-stage mean/max task times (straggler scale) and IO volumes.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "dag/types.h"
+
+namespace ditto::cluster {
+
+struct TaskRecord {
+  StageId stage = kNoStage;
+  TaskId task = 0;
+  ServerId server = kNoServer;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  Seconds read_time = 0.0;
+  Seconds compute_time = 0.0;
+  Seconds write_time = 0.0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+
+  Seconds duration() const { return end - start; }
+};
+
+struct StageSummary {
+  std::size_t tasks = 0;
+  Seconds mean_task_time = 0.0;
+  Seconds max_task_time = 0.0;
+  Seconds stage_start = 0.0;   ///< earliest task start
+  Seconds stage_end = 0.0;     ///< latest task end
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+
+  /// max/mean — the straggler scaling factor of §4.1.
+  double straggler_scale() const {
+    return mean_task_time > 0.0 ? max_task_time / mean_task_time : 1.0;
+  }
+};
+
+class RuntimeMonitor {
+ public:
+  void record(const TaskRecord& r);
+
+  std::size_t num_records() const;
+  std::vector<TaskRecord> records() const;
+  std::vector<TaskRecord> records_for_stage(StageId s) const;
+
+  StageSummary stage_summary(StageId s) const;
+
+  /// Job completion time: latest end across all records.
+  Seconds job_end() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskRecord> records_;
+};
+
+}  // namespace ditto::cluster

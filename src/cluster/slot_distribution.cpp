@@ -1,0 +1,82 @@
+#include "cluster/slot_distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace ditto::cluster {
+
+std::string SlotDistributionSpec::label() const {
+  char buf[48];
+  switch (kind) {
+    case SlotDistributionKind::kUniform:
+      std::snprintf(buf, sizeof(buf), "%.0f%%", param * 100.0);
+      break;
+    case SlotDistributionKind::kNormal:
+      std::snprintf(buf, sizeof(buf), "Norm-%.1f", param);
+      break;
+    case SlotDistributionKind::kZipf:
+      std::snprintf(buf, sizeof(buf), "Zipf-%.2g", param);
+      break;
+  }
+  return buf;
+}
+
+namespace {
+double normal_pdf(double x, double sigma) {
+  return std::exp(-x * x / (2.0 * sigma * sigma)) / (sigma * std::sqrt(2.0 * M_PI));
+}
+}  // namespace
+
+std::vector<int> make_slot_distribution(const SlotDistributionSpec& spec, int servers,
+                                        int max_slots_per_server) {
+  assert(servers > 0 && max_slots_per_server > 0);
+  std::vector<double> ratios(servers, 1.0);
+  switch (spec.kind) {
+    case SlotDistributionKind::kUniform:
+      std::fill(ratios.begin(), ratios.end(), spec.param);
+      break;
+    case SlotDistributionKind::kNormal: {
+      // Symmetric sample points with a fixed step across [-2, 2]
+      // (paper §6.1: "symmetrically sample eight probabilities with a
+      // fixed step from the standard normal distribution").
+      const double lo = -2.0, hi = 2.0;
+      const double step = (hi - lo) / static_cast<double>(servers - 1 > 0 ? servers - 1 : 1);
+      for (int i = 0; i < servers; ++i) {
+        ratios[i] = normal_pdf(lo + step * i, spec.param);
+      }
+      break;
+    }
+    case SlotDistributionKind::kZipf: {
+      const ZipfDistribution zipf(static_cast<std::size_t>(servers), spec.param);
+      for (int i = 0; i < servers; ++i) ratios[i] = zipf.pmf(i + 1);
+      break;
+    }
+  }
+  // Uniform fractions are literal usage ratios (the Fig. 8b sweep);
+  // shaped distributions are normalized so the best-provisioned server
+  // offers its full maximum, preserving the distribution's shape.
+  double max_ratio = 1.0;
+  if (spec.kind != SlotDistributionKind::kUniform) {
+    max_ratio = *std::max_element(ratios.begin(), ratios.end());
+  }
+  std::vector<int> slots(servers);
+  for (int i = 0; i < servers; ++i) {
+    const double r = max_ratio > 0.0 ? ratios[i] / max_ratio : 1.0;
+    slots[i] = std::max(1, static_cast<int>(std::round(r * max_slots_per_server)));
+  }
+  return slots;
+}
+
+SlotDistributionSpec uniform_usage(double fraction) {
+  return {SlotDistributionKind::kUniform, fraction};
+}
+SlotDistributionSpec norm_1_0() { return {SlotDistributionKind::kNormal, 1.0}; }
+SlotDistributionSpec norm_0_8() { return {SlotDistributionKind::kNormal, 0.8}; }
+SlotDistributionSpec zipf_0_9() { return {SlotDistributionKind::kZipf, 0.9}; }
+SlotDistributionSpec zipf_0_99() { return {SlotDistributionKind::kZipf, 0.99}; }
+
+}  // namespace ditto::cluster

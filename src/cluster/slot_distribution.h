@@ -1,0 +1,41 @@
+// Function-slot availability distributions (paper §6.1).
+//
+// The evaluation restricts how many slots each of the 8 function
+// servers offers, using:
+//   * Uniform-<f>:  every server offers f x max slots (Fig. 8b's
+//                   100%/75%/50%/25% "slot usage" sweep)
+//   * Norm-sigma:   eight probabilities sampled symmetrically with a
+//                   fixed step from N(0, sigma); each probability is the
+//                   ratio of permitted slots to the per-server maximum
+//   * Zipf-s:       ratios from a Zipf pmf with skew s
+// Ratios are normalized so the largest server offers its full maximum,
+// which preserves each distribution's *shape* (what the scheduler cares
+// about) while keeping the cluster non-degenerate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ditto::cluster {
+
+enum class SlotDistributionKind { kUniform, kNormal, kZipf };
+
+struct SlotDistributionSpec {
+  SlotDistributionKind kind = SlotDistributionKind::kUniform;
+  double param = 1.0;  ///< uniform: usage fraction; normal: sigma; zipf: skew s
+  std::string label() const;
+};
+
+/// Per-server available slot counts for `servers` servers with
+/// `max_slots_per_server` capacity each.
+std::vector<int> make_slot_distribution(const SlotDistributionSpec& spec, int servers,
+                                        int max_slots_per_server);
+
+/// Named presets matching the paper's figures.
+SlotDistributionSpec uniform_usage(double fraction);  // 1.0, 0.75, 0.5, 0.25
+SlotDistributionSpec norm_1_0();
+SlotDistributionSpec norm_0_8();
+SlotDistributionSpec zipf_0_9();
+SlotDistributionSpec zipf_0_99();
+
+}  // namespace ditto::cluster

@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace ditto {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void Logger::log(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), basename_of(file), line,
+               msg.c_str());
+}
+
+}  // namespace ditto

@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// Ditto is a library first; logging defaults to WARN and writes to stderr
+// so that benchmark stdout stays machine-parsable. Thread-safe.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ditto {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const char* file, int line, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+/// Builds a log line from streamed parts, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::instance().log(level_, file_, line_, ss_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+#define DITTO_LOG(lvl)                                                   \
+  if (static_cast<int>(lvl) < static_cast<int>(::ditto::Logger::instance().level())) \
+    ;                                                                    \
+  else                                                                   \
+    ::ditto::detail::LogMessage(lvl, __FILE__, __LINE__)
+
+#define LOG_DEBUG DITTO_LOG(::ditto::LogLevel::kDebug)
+#define LOG_INFO DITTO_LOG(::ditto::LogLevel::kInfo)
+#define LOG_WARN DITTO_LOG(::ditto::LogLevel::kWarn)
+#define LOG_ERROR DITTO_LOG(::ditto::LogLevel::kError)
+
+}  // namespace ditto

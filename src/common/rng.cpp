@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ditto {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  assert(n > 0);
+  probs_.resize(n);
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    probs_[k - 1] = 1.0 / std::pow(static_cast<double>(k), s);
+    norm += probs_[k - 1];
+  }
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    probs_[k] /= norm;
+    acc += probs_[k];
+    cdf_[k] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  assert(k >= 1 && k <= probs_.size());
+  return probs_[k - 1];
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double r = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace ditto

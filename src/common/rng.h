@@ -1,0 +1,88 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in Ditto (slot distributions, data skew,
+// simulated latency jitter, NIMBLE's random placement) draws from an
+// explicitly seeded Rng so that experiments are reproducible run to run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ditto {
+
+/// Thin wrapper around a 64-bit Mersenne Twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Normal with the given mean and stddev.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(gen_);
+  }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double lambda) {
+    return std::exponential_distribution<double>(lambda)(gen_);
+  }
+
+  /// Bernoulli(p).
+  bool coin(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), gen_);
+  }
+
+  /// Draw an index from an explicit (unnormalized) weight vector.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Zipf distribution over ranks {1..n} with skew parameter s:
+/// P(rank=k) proportional to 1 / k^s. Used for the paper's Zipf-0.9 and
+/// Zipf-0.99 function-slot distributions and for data skew.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Probability mass of rank k (1-based).
+  double pmf(std::size_t k) const;
+
+  /// All n probabilities, in rank order (descending mass).
+  const std::vector<double>& probabilities() const { return probs_; }
+
+  /// Sample a 1-based rank.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return probs_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> probs_;   // normalized pmf
+  std::vector<double> cdf_;
+};
+
+}  // namespace ditto

@@ -1,0 +1,129 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ditto {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    ++counts_[std::min(idx, counts_.size() - 1)];
+  }
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + width_ * static_cast<double>(i);
+    std::snprintf(buf, sizeof(buf), "[%10.4g, %10.4g) %8zu ", b_lo, b_lo + width_, counts_[i]);
+    out += buf;
+    const std::size_t bar = total_ ? counts_[i] * 50 / total_ : 0;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+LinearFit least_squares(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n == 0) return fit;
+  if (n == 1) {
+    fit.intercept = y[0];
+    fit.r2 = 1.0;
+    return fit;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    fit.intercept = sy / dn;  // all x identical: flat fit
+    return fit;
+  }
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+
+  const double ymean = sy / dn;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ymean) * (y[i] - ymean);
+  }
+  fit.r2 = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace ditto

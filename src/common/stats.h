@@ -1,0 +1,79 @@
+// Streaming and batch statistics used by the runtime monitor, the
+// profiler, and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ditto {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample set (linear interpolation). `p` in [0, 100].
+/// The input is copied; for repeated queries prefer sorting once.
+double percentile(std::vector<double> values, double p);
+
+/// Percentile over an already sorted vector (no copy).
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Simple fixed-bucket histogram for latency/size summaries.
+class Histogram {
+ public:
+  /// Buckets: [lo + i*width, lo + (i+1)*width) for i in [0, buckets),
+  /// with under/overflow counted separately.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// ASCII rendering, one line per bucket, for debugging dumps.
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Ordinary least squares fit of y = a*x + b. Returns {a, b}.
+/// Used by the time-model fitter with x = 1/DoP.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+LinearFit least_squares(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ditto

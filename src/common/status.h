@@ -1,0 +1,124 @@
+// Lightweight error-handling vocabulary for the Ditto library.
+//
+// We use a Status / Result<T> pair (in the style of absl::Status /
+// std::expected) rather than exceptions on the hot scheduling and data
+// paths; constructors that cannot fail cheaply assert their invariants.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ditto {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+};
+
+/// Human-readable name of a status code, e.g. "NOT_FOUND".
+const char* status_code_name(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status not_found(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status already_exists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status resource_exhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status failed_precondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status out_of_range(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are diagnostics, not identity
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. `value()` asserts success; use `ok()` to branch.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {           // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).is_ok() && "Result from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define DITTO_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::ditto::Status _st = (expr);              \
+    if (!_st.is_ok()) return _st;              \
+  } while (0)
+
+#define DITTO_CONCAT_INNER(a, b) a##b
+#define DITTO_CONCAT(a, b) DITTO_CONCAT_INNER(a, b)
+
+#define DITTO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define DITTO_ASSIGN_OR_RETURN(lhs, expr) \
+  DITTO_ASSIGN_OR_RETURN_IMPL(DITTO_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace ditto

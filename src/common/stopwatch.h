@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for measuring real scheduler overhead (Table 1)
+// and model-building time (Table 2).
+#pragma once
+
+#include <chrono>
+
+namespace ditto {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+  double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ditto

@@ -1,0 +1,37 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace ditto {
+
+std::string bytes_to_string(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(b);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[32];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kSuffix[i]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+std::string seconds_to_string(Seconds s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+}  // namespace ditto

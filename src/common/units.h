@@ -1,0 +1,31 @@
+// Byte-size and time units used throughout Ditto.
+//
+// All data volumes are tracked in bytes (uint64_t) and all simulated
+// durations in double seconds. Helpers here keep call sites readable:
+//   64_MiB, seconds(0.5), bytes_to_string(...)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ditto {
+
+using Bytes = std::uint64_t;
+using Seconds = double;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+// Decimal units, used when mirroring cloud-provider pricing (GB, not GiB).
+inline constexpr Bytes operator""_KB(unsigned long long v) { return v * 1000ull; }
+inline constexpr Bytes operator""_MB(unsigned long long v) { return v * 1000ull * 1000ull; }
+inline constexpr Bytes operator""_GB(unsigned long long v) { return v * 1000ull * 1000ull * 1000ull; }
+
+/// Render a byte count human-readably, e.g. "1.50 GiB".
+std::string bytes_to_string(Bytes b);
+
+/// Render a duration human-readably, e.g. "235 us", "1.2 s".
+std::string seconds_to_string(Seconds s);
+
+}  // namespace ditto

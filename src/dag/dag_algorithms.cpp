@@ -1,0 +1,130 @@
+#include "dag/dag_algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ditto {
+
+std::vector<StageId> topological_order(const JobDag& dag) {
+  const std::size_t n = dag.num_stages();
+  std::vector<std::size_t> indeg(n, 0);
+  for (const Edge& e : dag.edges()) ++indeg[e.dst];
+  std::vector<StageId> ready;
+  for (StageId i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::vector<StageId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const StageId cur = ready.back();
+    ready.pop_back();
+    order.push_back(cur);
+    for (StageId c : dag.children(cur)) {
+      if (--indeg[c] == 0) ready.push_back(c);
+    }
+  }
+  assert(order.size() == n && "topological_order on cyclic graph");
+  return order;
+}
+
+std::vector<int> stage_depths(const JobDag& dag) {
+  const auto order = topological_order(dag);
+  std::vector<int> depth(dag.num_stages(), 0);
+  // Process in reverse topological order so children are final first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const StageId s = *it;
+    int d = 0;
+    for (StageId c : dag.children(s)) d = std::max(d, depth[c] + 1);
+    depth[s] = d;
+  }
+  return depth;
+}
+
+int max_depth(const JobDag& dag) {
+  int m = 0;
+  for (int d : stage_depths(dag)) m = std::max(m, d);
+  return m;
+}
+
+CriticalPath critical_path(const JobDag& dag, const NodeWeightFn& node_weight,
+                           const EdgeWeightFn& edge_weight) {
+  const auto order = topological_order(dag);
+  const std::size_t n = dag.num_stages();
+  std::vector<double> best(n, 0.0);
+  std::vector<StageId> pred(n, kNoStage);
+
+  for (StageId s : order) {
+    double incoming = 0.0;
+    StageId from = kNoStage;
+    for (StageId p : dag.parents(s)) {
+      const Edge* e = dag.find_edge(p, s);
+      assert(e != nullptr);
+      const double cand = best[p] + edge_weight(*e);
+      if (cand > incoming || from == kNoStage) {
+        incoming = cand;
+        from = p;
+      }
+    }
+    best[s] = incoming + node_weight(s);
+    pred[s] = from;
+  }
+
+  CriticalPath cp;
+  if (n == 0) return cp;
+  const auto sinks = dag.sinks();
+  assert(!sinks.empty());
+  StageId tail = sinks.front();
+  for (StageId s : sinks) {
+    if (best[s] > best[tail]) tail = s;
+  }
+  cp.length = best[tail];
+  for (StageId s = tail; s != kNoStage; s = pred[s]) cp.stages.push_back(s);
+  std::reverse(cp.stages.begin(), cp.stages.end());
+  return cp;
+}
+
+double critical_path_length(const JobDag& dag, const NodeWeightFn& node_weight,
+                            const EdgeWeightFn& edge_weight) {
+  return critical_path(dag, node_weight, edge_weight).length;
+}
+
+namespace {
+void dfs_paths(const JobDag& dag, StageId cur, std::vector<StageId>& path,
+               std::vector<std::vector<StageId>>& out, std::size_t max_paths) {
+  if (out.size() >= max_paths) return;
+  path.push_back(cur);
+  if (dag.children(cur).empty()) {
+    out.push_back(path);
+  } else {
+    for (StageId c : dag.children(cur)) dfs_paths(dag, c, path, out, max_paths);
+  }
+  path.pop_back();
+}
+}  // namespace
+
+std::vector<std::vector<StageId>> enumerate_paths(const JobDag& dag, std::size_t max_paths) {
+  std::vector<std::vector<StageId>> out;
+  std::vector<StageId> path;
+  for (StageId s : dag.sources()) dfs_paths(dag, s, path, out, max_paths);
+  return out;
+}
+
+bool is_ancestor(const JobDag& dag, StageId a, StageId b) {
+  if (a == b) return false;
+  std::vector<StageId> stack{a};
+  std::vector<bool> seen(dag.num_stages(), false);
+  while (!stack.empty()) {
+    const StageId cur = stack.back();
+    stack.pop_back();
+    for (StageId c : dag.children(cur)) {
+      if (c == b) return true;
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ditto

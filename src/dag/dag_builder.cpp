@@ -1,0 +1,51 @@
+#include "dag/dag_builder.h"
+
+#include <cassert>
+
+namespace ditto {
+
+DagBuilder& DagBuilder::stage(const std::string& name, const StageSpec& spec) {
+  if (!first_error_.is_ok()) return *this;
+  if (names_.count(name) != 0) {
+    first_error_ = Status::already_exists("duplicate stage name: " + name);
+    return *this;
+  }
+  const StageId id = dag_.add_stage(name);
+  names_[name] = id;
+  Stage& s = dag_.stage(id);
+  s.set_op(spec.op);
+  s.set_input_bytes(spec.input);
+  s.set_output_bytes(spec.output);
+  s.set_rho(spec.rho);
+  s.set_sigma(spec.sigma);
+  return *this;
+}
+
+DagBuilder& DagBuilder::edge(const std::string& src, const std::string& dst,
+                             ExchangeKind exchange, Bytes bytes) {
+  if (!first_error_.is_ok()) return *this;
+  const auto si = names_.find(src);
+  const auto di = names_.find(dst);
+  if (si == names_.end() || di == names_.end()) {
+    first_error_ = Status::not_found("edge references undeclared stage: " + src + " -> " + dst);
+    return *this;
+  }
+  if (bytes == 0) bytes = dag_.stage(si->second).output_bytes();
+  const Status st = dag_.add_edge(si->second, di->second, exchange, bytes);
+  if (!st.is_ok()) first_error_ = st;
+  return *this;
+}
+
+Result<JobDag> DagBuilder::build() {
+  if (!first_error_.is_ok()) return first_error_;
+  DITTO_RETURN_IF_ERROR(dag_.validate());
+  return std::move(dag_);
+}
+
+StageId DagBuilder::id_of(const std::string& name) const {
+  const auto it = names_.find(name);
+  assert(it != names_.end() && "id_of: undeclared stage");
+  return it->second;
+}
+
+}  // namespace ditto

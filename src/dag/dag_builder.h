@@ -1,0 +1,57 @@
+// Fluent builder for job DAGs, used by examples, tests, and the
+// workload library. Wraps JobDag's checked mutation API; `build()`
+// validates and returns the finished DAG.
+//
+//   auto dag = DagBuilder("join-query")
+//       .stage("scan_a", {.op = "map", .input = 4_GiB, .output = 1_GiB})
+//       .stage("scan_b", {.op = "map", .input = 2_GiB, .output = 512_MiB})
+//       .stage("join",   {.op = "join", .output = 256_MiB})
+//       .edge("scan_a", "join", ExchangeKind::kShuffle)
+//       .edge("scan_b", "join", ExchangeKind::kShuffle)
+//       .build();
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "dag/job_dag.h"
+
+namespace ditto {
+
+struct StageSpec {
+  std::string op;
+  Bytes input = 0;
+  Bytes output = 0;
+  double rho = 1.0;
+  double sigma = 0.0;
+};
+
+class DagBuilder {
+ public:
+  using StageSpec = ditto::StageSpec;
+
+  explicit DagBuilder(std::string name) : dag_(std::move(name)) {}
+
+  /// Adds a stage; `name` must be unique within the builder.
+  DagBuilder& stage(const std::string& name, const StageSpec& spec = StageSpec{});
+
+  /// Adds an edge between two previously declared stages. If `bytes`
+  /// is 0 the edge volume defaults to the source stage's output size.
+  DagBuilder& edge(const std::string& src, const std::string& dst,
+                   ExchangeKind exchange = ExchangeKind::kShuffle, Bytes bytes = 0);
+
+  /// Finishes the DAG. Returns an error if any recorded operation
+  /// failed (unknown stage name, duplicate edge, cycle, ...).
+  Result<JobDag> build();
+
+  /// Id of a declared stage (must exist).
+  StageId id_of(const std::string& name) const;
+
+ private:
+  JobDag dag_;
+  std::map<std::string, StageId> names_;
+  Status first_error_;
+};
+
+}  // namespace ditto

@@ -1,0 +1,132 @@
+#include "dag/job_dag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace ditto {
+
+StageId JobDag::add_stage(std::string stage_name) {
+  const StageId id = static_cast<StageId>(stages_.size());
+  stages_.emplace_back(id, std::move(stage_name));
+  parents_.emplace_back();
+  children_.emplace_back();
+  return id;
+}
+
+Status JobDag::add_edge(StageId src, StageId dst, ExchangeKind exchange, Bytes bytes) {
+  if (src >= stages_.size() || dst >= stages_.size()) {
+    return Status::invalid_argument("edge references unknown stage");
+  }
+  if (src == dst) return Status::invalid_argument("self edge");
+  if (find_edge(src, dst) != nullptr) return Status::already_exists("duplicate edge");
+  if (!edge_keeps_acyclic(src, dst)) return Status::invalid_argument("edge creates a cycle");
+  edges_.push_back(Edge{src, dst, exchange, bytes});
+  children_[src].push_back(dst);
+  parents_[dst].push_back(src);
+  return Status::ok();
+}
+
+Edge& JobDag::edge_between(StageId src, StageId dst) {
+  for (Edge& e : edges_) {
+    if (e.src == src && e.dst == dst) return e;
+  }
+  assert(false && "edge_between: no such edge");
+  return edges_.front();
+}
+
+const Edge* JobDag::find_edge(StageId src, StageId dst) const {
+  for (const Edge& e : edges_) {
+    if (e.src == src && e.dst == dst) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<StageId> JobDag::sources() const {
+  std::vector<StageId> out;
+  for (StageId i = 0; i < stages_.size(); ++i) {
+    if (parents_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<StageId> JobDag::sinks() const {
+  std::vector<StageId> out;
+  for (StageId i = 0; i < stages_.size(); ++i) {
+    if (children_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+bool JobDag::reachable(StageId from, StageId to) const {
+  if (from == to) return true;
+  std::vector<StageId> stack{from};
+  std::vector<bool> seen(stages_.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    const StageId cur = stack.back();
+    stack.pop_back();
+    for (StageId c : children_[cur]) {
+      if (c == to) return true;
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+bool JobDag::edge_keeps_acyclic(StageId src, StageId dst) const {
+  return !reachable(dst, src);
+}
+
+Status JobDag::validate() const {
+  for (StageId i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].id() != i) return Status::internal("non-dense stage ids");
+  }
+  for (const Edge& e : edges_) {
+    if (e.src >= stages_.size() || e.dst >= stages_.size()) {
+      return Status::internal("edge references unknown stage");
+    }
+  }
+  // Cycle check via Kahn's algorithm.
+  std::vector<std::size_t> indeg(stages_.size(), 0);
+  for (const Edge& e : edges_) ++indeg[e.dst];
+  std::vector<StageId> ready;
+  for (StageId i = 0; i < stages_.size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const StageId cur = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (StageId c : children_[cur]) {
+      if (--indeg[c] == 0) ready.push_back(c);
+    }
+  }
+  if (visited != stages_.size()) return Status::internal("DAG contains a cycle");
+  return Status::ok();
+}
+
+std::string JobDag::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=BT;\n";
+  for (const Stage& s : stages_) {
+    os << "  s" << s.id() << " [label=\"" << s.name();
+    if (!s.op().empty()) os << "\\n(" << s.op() << ")";
+    os << "\"];\n";
+  }
+  for (const Edge& e : edges_) {
+    os << "  s" << e.src << " -> s" << e.dst << " [label=\"" << exchange_kind_name(e.exchange);
+    if (e.bytes > 0) os << "\\n" << bytes_to_string(e.bytes);
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ditto

@@ -1,0 +1,77 @@
+// JobDag: the DAG of stages describing one analytics job.
+//
+// Invariants (checked by validate()):
+//   * stage ids are dense [0, num_stages)
+//   * edges reference existing stages and form no cycle
+//   * at most one edge per (src, dst) pair
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/stage.h"
+#include "dag/types.h"
+
+namespace ditto {
+
+class JobDag {
+ public:
+  JobDag() = default;
+  explicit JobDag(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Adds a stage and returns its id (dense, sequential).
+  StageId add_stage(std::string stage_name);
+
+  /// Adds a data dependency src -> dst. Fails on unknown ids, self
+  /// loops, duplicates, or if the edge would create a cycle.
+  Status add_edge(StageId src, StageId dst,
+                  ExchangeKind exchange = ExchangeKind::kShuffle, Bytes bytes = 0);
+
+  std::size_t num_stages() const { return stages_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Stage& stage(StageId id) const { return stages_.at(id); }
+  Stage& stage(StageId id) { return stages_.at(id); }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  Edge& edge_between(StageId src, StageId dst);
+  const Edge* find_edge(StageId src, StageId dst) const;
+
+  /// Upstream stages of `id` (stages `id` reads from).
+  const std::vector<StageId>& parents(StageId id) const { return parents_.at(id); }
+  /// Downstream stages of `id` (stages reading `id`'s output).
+  const std::vector<StageId>& children(StageId id) const { return children_.at(id); }
+
+  /// Stages with no parents (initial stages reading external input).
+  std::vector<StageId> sources() const;
+  /// Stages with no children (final stages writing external output).
+  std::vector<StageId> sinks() const;
+
+  /// Full structural validation; OK iff the invariants hold.
+  Status validate() const;
+
+  /// True iff adding src -> dst would keep the graph acyclic.
+  bool edge_keeps_acyclic(StageId src, StageId dst) const;
+
+  /// Graphviz DOT rendering of stages and edges (names, exchange kinds,
+  /// data volumes); handy for docs and debugging.
+  std::string to_dot() const;
+
+ private:
+  bool reachable(StageId from, StageId to) const;
+
+  std::string name_;
+  std::vector<Stage> stages_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<StageId>> parents_;
+  std::vector<std::vector<StageId>> children_;
+};
+
+}  // namespace ditto

@@ -1,0 +1,37 @@
+#include "dag/stage.h"
+
+namespace ditto {
+
+double Stage::alpha_total() const {
+  double a = 0.0;
+  for (const Step& s : steps_) {
+    if (!s.pipelined) a += s.alpha;
+  }
+  return a;
+}
+
+double Stage::beta_total() const {
+  double b = 0.0;
+  for (const Step& s : steps_) {
+    if (!s.pipelined) b += s.beta;
+  }
+  return b;
+}
+
+double Stage::compute_alpha() const {
+  double a = 0.0;
+  for (const Step& s : steps_) {
+    if (s.kind == StepKind::kCompute && !s.pipelined) a += s.alpha;
+  }
+  return a;
+}
+
+double Stage::compute_beta() const {
+  double b = 0.0;
+  for (const Step& s : steps_) {
+    if (s.kind == StepKind::kCompute && !s.pipelined) b += s.beta;
+  }
+  return b;
+}
+
+}  // namespace ditto

@@ -1,0 +1,86 @@
+// Stage: one node of the job DAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dag/types.h"
+
+namespace ditto {
+
+/// A stage of an analytics job: a set of identical parallel tasks.
+///
+/// The fitted time-model parameters live on the steps; the resource
+/// model (paper Eq. 5, M(s, d) = rho + sigma * d) lives here. `op`
+/// is a human-readable operator label ("map", "join", "groupby", ...).
+class Stage {
+ public:
+  Stage() = default;
+  Stage(StageId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  StageId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  const std::string& op() const { return op_; }
+  void set_op(std::string op) { op_ = std::move(op); }
+
+  Bytes input_bytes() const { return input_bytes_; }
+  void set_input_bytes(Bytes b) { input_bytes_ = b; }
+  Bytes output_bytes() const { return output_bytes_; }
+  void set_output_bytes(Bytes b) { output_bytes_ = b; }
+
+  const std::vector<Step>& steps() const { return steps_; }
+  std::vector<Step>& steps() { return steps_; }
+  void add_step(Step s) { steps_.push_back(s); }
+
+  /// Resource-usage model M(s, d) = rho + sigma * d  (paper Eq. 5).
+  /// rho: resource tied to the data processed; sigma: per-function overhead.
+  double rho() const { return rho_; }
+  void set_rho(double r) { rho_ = r; }
+  double sigma() const { return sigma_; }
+  void set_sigma(double s) { sigma_ = s; }
+
+  /// Per-task memory demand in bytes for a given DoP; used for cost
+  /// accounting (memory GB·s). Data splits across tasks, plus a fixed
+  /// function footprint.
+  Bytes task_memory_bytes(int dop) const {
+    if (dop <= 0) dop = 1;
+    return input_bytes_ / static_cast<Bytes>(dop) + base_memory_bytes_;
+  }
+  Bytes base_memory_bytes() const { return base_memory_bytes_; }
+  void set_base_memory_bytes(Bytes b) { base_memory_bytes_ = b; }
+
+  /// Straggler scaling factor observed by the profiler: max task time /
+  /// mean task time (paper §4.1 "Modeling stragglers"). The predictor
+  /// inflates the parallelized term by this factor so predictions track
+  /// the slowest task, which determines the stage's completion.
+  double straggler_scale() const { return straggler_scale_; }
+  void set_straggler_scale(double s) { straggler_scale_ = s; }
+
+  /// Sum of alpha over all (non-pipelined) steps; the stage-level
+  /// "parallelized time" parameter used by DoP ratio computing when no
+  /// placement information is available.
+  double alpha_total() const;
+  /// Sum of beta over all (non-pipelined) steps.
+  double beta_total() const;
+
+  /// Alpha/beta of compute steps only (placement-independent).
+  double compute_alpha() const;
+  double compute_beta() const;
+
+ private:
+  StageId id_ = kNoStage;
+  std::string name_;
+  std::string op_;
+  Bytes input_bytes_ = 0;
+  Bytes output_bytes_ = 0;
+  Bytes base_memory_bytes_ = 128_MiB;  // default serverless function footprint
+  std::vector<Step> steps_;
+  double rho_ = 1.0;
+  double sigma_ = 0.0;
+  double straggler_scale_ = 1.0;
+};
+
+}  // namespace ditto

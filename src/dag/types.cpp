@@ -1,0 +1,28 @@
+#include "dag/types.h"
+
+namespace ditto {
+
+const char* step_kind_name(StepKind k) {
+  switch (k) {
+    case StepKind::kRead: return "read";
+    case StepKind::kCompute: return "compute";
+    case StepKind::kWrite: return "write";
+  }
+  return "?";
+}
+
+const char* exchange_kind_name(ExchangeKind k) {
+  switch (k) {
+    case ExchangeKind::kShuffle: return "shuffle";
+    case ExchangeKind::kGather: return "gather";
+    case ExchangeKind::kBroadcast: return "broadcast";
+    case ExchangeKind::kAllGather: return "all-gather";
+  }
+  return "?";
+}
+
+const char* objective_name(Objective o) {
+  return o == Objective::kJct ? "JCT" : "cost";
+}
+
+}  // namespace ditto

@@ -1,0 +1,68 @@
+// Core vocabulary types for analytics job DAGs.
+//
+// A job is a DAG of *stages*; each stage executes as `d` parallel tasks
+// (its degree of parallelism, DoP). A stage's work decomposes into
+// *steps* — read, compute, write — and the read/write steps are further
+// split per data dependency (paper §4.1). Each step's duration follows
+// the step-based time model  t(d) = alpha / d + beta.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/units.h"
+
+namespace ditto {
+
+using StageId = std::uint32_t;
+inline constexpr StageId kNoStage = std::numeric_limits<StageId>::max();
+
+using TaskId = std::uint32_t;
+using ServerId = std::uint32_t;
+inline constexpr ServerId kNoServer = std::numeric_limits<ServerId>::max();
+
+/// The three step kinds of the NIMBLE/Ditto step model.
+enum class StepKind : std::uint8_t { kRead, kCompute, kWrite };
+
+const char* step_kind_name(StepKind k);
+
+/// How an edge moves data from producer tasks to consumer tasks.
+///  - kShuffle:   all-to-all repartition (every producer feeds every consumer)
+///  - kGather:    each producer feeds exactly one consumer (paper §4.5,
+///                enables decomposing stage groups into task groups)
+///  - kBroadcast: every consumer receives the full producer output
+///  - kAllGather: like broadcast, used for small build-side join inputs
+enum class ExchangeKind : std::uint8_t { kShuffle, kGather, kBroadcast, kAllGather };
+
+const char* exchange_kind_name(ExchangeKind k);
+
+/// One step of a stage. `dep` names the upstream stage a read step pulls
+/// from or the downstream stage a write step feeds; kNoStage means the
+/// step touches external storage (job input / final output) only.
+struct Step {
+  StepKind kind = StepKind::kCompute;
+  StageId dep = kNoStage;
+  double alpha = 0.0;      ///< parallelized time: contributes alpha/d
+  double beta = 0.0;       ///< inherent (serial) overhead per task
+  bool pipelined = false;  ///< overlapped with the producer (NIMBLE pipelining)
+};
+
+/// A data dependency between two stages.
+struct Edge {
+  StageId src = kNoStage;
+  StageId dst = kNoStage;
+  ExchangeKind exchange = ExchangeKind::kShuffle;
+  Bytes bytes = 0;  ///< intermediate data volume carried by this edge
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+};
+
+/// Optimization objective selected by the user (paper §3).
+enum class Objective : std::uint8_t { kJct, kCost };
+
+const char* objective_name(Objective o);
+
+}  // namespace ditto

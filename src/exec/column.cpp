@@ -1,0 +1,64 @@
+#include "exec/column.h"
+
+namespace ditto::exec {
+
+const char* data_type_name(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "int64";
+    case DataType::kDouble: return "double";
+    case DataType::kString: return "string";
+  }
+  return "?";
+}
+
+std::size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::append_from(const Column& src, std::size_t i) {
+  assert(type() == src.type());
+  switch (type()) {
+    case DataType::kInt64: ints().push_back(src.int_at(i)); break;
+    case DataType::kDouble: doubles().push_back(src.double_at(i)); break;
+    case DataType::kString: strings().push_back(src.string_at(i)); break;
+  }
+}
+
+Column Column::take(const std::vector<std::size_t>& indices) const {
+  switch (type()) {
+    case DataType::kInt64: {
+      std::vector<std::int64_t> out;
+      out.reserve(indices.size());
+      for (std::size_t i : indices) out.push_back(int_at(i));
+      return Column(std::move(out));
+    }
+    case DataType::kDouble: {
+      std::vector<double> out;
+      out.reserve(indices.size());
+      for (std::size_t i : indices) out.push_back(double_at(i));
+      return Column(std::move(out));
+    }
+    case DataType::kString: {
+      std::vector<std::string> out;
+      out.reserve(indices.size());
+      for (std::size_t i : indices) out.push_back(string_at(i));
+      return Column(std::move(out));
+    }
+  }
+  return Column();
+}
+
+std::size_t Column::byte_size() const {
+  switch (type()) {
+    case DataType::kInt64: return ints().size() * sizeof(std::int64_t);
+    case DataType::kDouble: return doubles().size() * sizeof(double);
+    case DataType::kString: {
+      std::size_t n = 0;
+      for (const std::string& s : strings()) n += s.size() + sizeof(std::size_t);
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ditto::exec

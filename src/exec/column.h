@@ -1,0 +1,74 @@
+// Columnar data representation for the analytics execution engine.
+//
+// The engine is the repo's stand-in for the paper's "data analytics
+// execution engine atop SPRIGHT" (§5): real operators over real
+// columnar data, with exchange primitives that route through zero-copy
+// shared memory or the external store depending on placement.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ditto::exec {
+
+enum class DataType : std::uint8_t { kInt64, kDouble, kString };
+
+const char* data_type_name(DataType t);
+
+/// One typed column. Value semantics; cheap to move.
+class Column {
+ public:
+  Column() : data_(std::vector<std::int64_t>{}) {}
+  explicit Column(std::vector<std::int64_t> v) : data_(std::move(v)) {}
+  explicit Column(std::vector<double> v) : data_(std::move(v)) {}
+  explicit Column(std::vector<std::string> v) : data_(std::move(v)) {}
+
+  DataType type() const {
+    return static_cast<DataType>(data_.index());
+  }
+
+  std::size_t size() const;
+
+  const std::vector<std::int64_t>& ints() const { return std::get<0>(data_); }
+  const std::vector<double>& doubles() const { return std::get<1>(data_); }
+  const std::vector<std::string>& strings() const { return std::get<2>(data_); }
+  std::vector<std::int64_t>& ints() { return std::get<0>(data_); }
+  std::vector<double>& doubles() { return std::get<1>(data_); }
+  std::vector<std::string>& strings() { return std::get<2>(data_); }
+
+  std::int64_t int_at(std::size_t i) const { return ints()[i]; }
+  double double_at(std::size_t i) const { return doubles()[i]; }
+  const std::string& string_at(std::size_t i) const { return strings()[i]; }
+
+  /// Append row `i` of `src` (same type) to this column.
+  void append_from(const Column& src, std::size_t i);
+
+  /// New column containing the rows selected by `indices`.
+  Column take(const std::vector<std::size_t>& indices) const;
+
+  /// Approximate in-memory footprint in bytes.
+  std::size_t byte_size() const;
+
+  friend bool operator==(const Column& a, const Column& b) { return a.data_ == b.data_; }
+
+ private:
+  std::variant<std::vector<std::int64_t>, std::vector<double>, std::vector<std::string>> data_;
+};
+
+/// Schema field.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+using Schema = std::vector<Field>;
+
+}  // namespace ditto::exec

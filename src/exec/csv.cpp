@@ -1,0 +1,181 @@
+#include "exec/csv.h"
+
+#include <sstream>
+
+namespace ditto::exec {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+const char* type_suffix(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return ":int";
+    case DataType::kDouble: return ":double";
+    case DataType::kString: return ":str";
+  }
+  return ":int";
+}
+
+/// Splits one CSV record (handles quoting); advances `pos` past the
+/// record's trailing newline.
+Result<std::vector<std::string>> next_record(const std::string& csv, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < csv.size()) {
+    const char c = csv[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < csv.size() && csv[pos + 1] == '"') {
+          field += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && pos + 1 < csv.size() && csv[pos + 1] == '\n') ++pos;
+      ++pos;
+      fields.push_back(std::move(field));
+      return fields;
+    } else {
+      field += c;
+    }
+    ++pos;
+  }
+  if (in_quotes) return Status::invalid_argument("unterminated quote in CSV");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+std::string table_to_csv(const Table& table) {
+  std::string out;
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) out += ',';
+    append_field(out, table.schema()[c].name + type_suffix(table.schema()[c].type));
+  }
+  out += '\n';
+  char buf[64];
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += ',';
+      const Column& col = table.column(c);
+      switch (col.type()) {
+        case DataType::kInt64:
+          std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(col.int_at(r)));
+          out += buf;
+          break;
+        case DataType::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.17g", col.double_at(r));
+          out += buf;
+          break;
+        case DataType::kString:
+          append_field(out, col.string_at(r));
+          break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> table_from_csv(const std::string& csv) {
+  if (csv.empty()) return Status::invalid_argument("empty CSV");
+  std::size_t pos = 0;
+  DITTO_ASSIGN_OR_RETURN(const std::vector<std::string> header, next_record(csv, pos));
+
+  Schema schema;
+  for (const std::string& h : header) {
+    Field f;
+    const auto colon = h.rfind(':');
+    const std::string suffix = colon == std::string::npos ? "" : h.substr(colon + 1);
+    if (suffix == "double") {
+      f.type = DataType::kDouble;
+    } else if (suffix == "str") {
+      f.type = DataType::kString;
+    } else if (suffix == "int" || suffix.empty()) {
+      f.type = DataType::kInt64;
+    } else {
+      return Status::invalid_argument("unknown column type suffix: " + suffix);
+    }
+    f.name = colon == std::string::npos ? h : h.substr(0, colon);
+    if (f.name.empty()) return Status::invalid_argument("empty column name");
+    schema.push_back(std::move(f));
+  }
+
+  std::vector<std::vector<std::int64_t>> ints(schema.size());
+  std::vector<std::vector<double>> doubles(schema.size());
+  std::vector<std::vector<std::string>> strings(schema.size());
+
+  while (pos < csv.size()) {
+    DITTO_ASSIGN_OR_RETURN(const std::vector<std::string> record, next_record(csv, pos));
+    if (record.size() == 1 && record[0].empty()) continue;  // trailing newline
+    if (record.size() != schema.size()) {
+      return Status::invalid_argument("ragged CSV row: expected " +
+                                      std::to_string(schema.size()) + " fields, got " +
+                                      std::to_string(record.size()));
+    }
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      switch (schema[c].type) {
+        case DataType::kInt64:
+          try {
+            std::size_t used = 0;
+            ints[c].push_back(std::stoll(record[c], &used));
+            if (used != record[c].size()) throw std::invalid_argument("trailing");
+          } catch (...) {
+            return Status::invalid_argument("bad int value: '" + record[c] + "'");
+          }
+          break;
+        case DataType::kDouble:
+          try {
+            std::size_t used = 0;
+            doubles[c].push_back(std::stod(record[c], &used));
+            if (used != record[c].size()) throw std::invalid_argument("trailing");
+          } catch (...) {
+            return Status::invalid_argument("bad double value: '" + record[c] + "'");
+          }
+          break;
+        case DataType::kString:
+          strings[c].push_back(record[c]);
+          break;
+      }
+    }
+  }
+
+  std::vector<Column> columns;
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    switch (schema[c].type) {
+      case DataType::kInt64: columns.emplace_back(std::move(ints[c])); break;
+      case DataType::kDouble: columns.emplace_back(std::move(doubles[c])); break;
+      case DataType::kString: columns.emplace_back(std::move(strings[c])); break;
+    }
+  }
+  return Table::make(std::move(schema), std::move(columns));
+}
+
+}  // namespace ditto::exec

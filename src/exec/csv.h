@@ -1,0 +1,25 @@
+// CSV import/export for tables — the practical on-ramp for feeding a
+// user's own data into the engine (dittoctl-style workflows, examples,
+// and debugging dumps).
+//
+// Format: RFC-4180-ish. First line is the header; a type suffix on
+// each column name selects the column type: ":int" (default), ":double",
+// ":str". Fields containing commas, quotes, or newlines are quoted and
+// inner quotes doubled.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/table.h"
+
+namespace ditto::exec {
+
+/// Renders a table as CSV (with typed header).
+std::string table_to_csv(const Table& table);
+
+/// Parses CSV produced by table_to_csv (or hand-written with typed
+/// headers). Numeric parse failures and ragged rows are errors.
+Result<Table> table_from_csv(const std::string& csv);
+
+}  // namespace ditto::exec

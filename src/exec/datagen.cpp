@@ -1,0 +1,76 @@
+#include "exec/datagen.h"
+
+#include <unordered_set>
+
+namespace ditto::exec {
+
+Table gen_fact_table(const FactTableSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<std::int64_t> order_id, warehouse_id, date_id, site_id, quantity;
+  std::vector<double> price;
+  order_id.reserve(spec.rows);
+
+  const ZipfDistribution* zipf = nullptr;
+  ZipfDistribution zipf_holder(std::max<std::int64_t>(spec.num_orders, 1),
+                               spec.key_zipf_skew > 0 ? spec.key_zipf_skew : 0.0);
+  if (spec.key_zipf_skew > 0.0) zipf = &zipf_holder;
+
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    const std::int64_t oid =
+        zipf ? static_cast<std::int64_t>(zipf->sample(rng)) - 1
+             : rng.uniform_int(0, spec.num_orders - 1);
+    order_id.push_back(oid);
+    warehouse_id.push_back(rng.uniform_int(0, spec.num_warehouses - 1));
+    date_id.push_back(rng.uniform_int(0, spec.num_dates - 1));
+    site_id.push_back(rng.uniform_int(0, spec.num_sites - 1));
+    quantity.push_back(rng.uniform_int(1, 100));
+    price.push_back(rng.uniform(1.0, 500.0));
+  }
+
+  auto t = Table::make(
+      {{"order_id", DataType::kInt64},
+       {"warehouse_id", DataType::kInt64},
+       {"date_id", DataType::kInt64},
+       {"site_id", DataType::kInt64},
+       {"quantity", DataType::kInt64},
+       {"price", DataType::kDouble}},
+      {Column(std::move(order_id)), Column(std::move(warehouse_id)),
+       Column(std::move(date_id)), Column(std::move(site_id)), Column(std::move(quantity)),
+       Column(std::move(price))});
+  assert(t.ok());
+  return std::move(t).value();
+}
+
+Table gen_dim_table(std::size_t rows, std::int64_t attr_domain, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> id, attr;
+  id.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    id.push_back(static_cast<std::int64_t>(r));
+    attr.push_back(rng.uniform_int(0, attr_domain - 1));
+  }
+  auto t = Table::make({{"id", DataType::kInt64}, {"attr", DataType::kInt64}},
+                       {Column(std::move(id)), Column(std::move(attr))});
+  assert(t.ok());
+  return std::move(t).value();
+}
+
+Table gen_returns_table(const Table& fact, double return_fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& orders = fact.column_by_name("order_id").ints();
+  std::unordered_set<std::int64_t> distinct(orders.begin(), orders.end());
+  std::vector<std::int64_t> order_id;
+  std::vector<double> amount;
+  for (std::int64_t oid : distinct) {
+    if (rng.coin(return_fraction)) {
+      order_id.push_back(oid);
+      amount.push_back(rng.uniform(1.0, 200.0));
+    }
+  }
+  auto t = Table::make({{"order_id", DataType::kInt64}, {"return_amount", DataType::kDouble}},
+                       {Column(std::move(order_id)), Column(std::move(amount))});
+  assert(t.ok());
+  return std::move(t).value();
+}
+
+}  // namespace ditto::exec

@@ -1,0 +1,39 @@
+// Deterministic synthetic data generators for engine-level runs.
+//
+// The paper uses TPC-DS-generated data; at engine scale (MBs, not TBs)
+// we generate tables with the same relational shape: a wide fact table
+// (orders with warehouse/date/site foreign keys) and small dimension
+// tables, with optional Zipf skew on keys so joins and group-bys see
+// realistic value distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "exec/table.h"
+
+namespace ditto::exec {
+
+struct FactTableSpec {
+  std::size_t rows = 10000;
+  std::int64_t num_orders = 2500;     ///< order_id domain (several rows per order)
+  std::int64_t num_warehouses = 10;   ///< warehouse_id domain
+  std::int64_t num_dates = 365;       ///< date_id domain
+  std::int64_t num_sites = 20;        ///< site_id domain
+  double key_zipf_skew = 0.0;         ///< 0 = uniform keys
+  std::uint64_t seed = 42;
+};
+
+/// Columns: order_id, warehouse_id, date_id, site_id (int64),
+/// price (double, per-row), quantity (int64).
+Table gen_fact_table(const FactTableSpec& spec);
+
+/// Dimension table: columns id (0..rows-1) and attr (int64 in
+/// [0, attr_domain)). Deterministic per seed.
+Table gen_dim_table(std::size_t rows, std::int64_t attr_domain, std::uint64_t seed = 7);
+
+/// A returns table referencing a fact table's order ids: columns
+/// order_id, return_amount. `return_fraction` of orders appear.
+Table gen_returns_table(const Table& fact, double return_fraction, std::uint64_t seed = 11);
+
+}  // namespace ditto::exec

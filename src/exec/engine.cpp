@@ -1,0 +1,158 @@
+#include "exec/engine.h"
+
+#include <atomic>
+#include <future>
+
+#include "common/stopwatch.h"
+#include "dag/dag_algorithms.h"
+
+namespace ditto::exec {
+
+MiniEngine::MiniEngine(const JobDag& dag, const cluster::PlacementPlan& plan,
+                       storage::ObjectStore& store)
+    : dag_(&dag), plan_(&plan), store_(&store) {}
+
+Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bindings,
+                                     cluster::RuntimeMonitor* monitor) {
+  DITTO_RETURN_IF_ERROR(dag_->validate());
+  for (StageId s = 0; s < dag_->num_stages(); ++s) {
+    if (bindings.count(s) == 0) {
+      return Status::invalid_argument("missing binding for stage " + dag_->stage(s).name());
+    }
+    if (plan_->dop_of(s) < 1 || plan_->task_server[s].size() != static_cast<std::size_t>(plan_->dop[s])) {
+      return Status::invalid_argument("plan not sized to DAG");
+    }
+  }
+
+  // Materialize servers as thread pools. Width = the maximum number of
+  // tasks any single stage places there (stages execute in waves).
+  ServerId max_server = 0;
+  for (const auto& ts : plan_->task_server) {
+    for (ServerId v : ts) {
+      if (v != kNoServer) max_server = std::max(max_server, v);
+    }
+  }
+  std::vector<std::size_t> width(max_server + 1, 1);
+  for (StageId s = 0; s < dag_->num_stages(); ++s) {
+    std::vector<std::size_t> per_server(max_server + 1, 0);
+    for (ServerId v : plan_->task_server[s]) {
+      if (v != kNoServer) width[v] = std::max(width[v], ++per_server[v]);
+    }
+  }
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  pools.reserve(width.size());
+  for (std::size_t w : width) pools.push_back(std::make_unique<ThreadPool>(w));
+
+  // One exchange per DAG edge.
+  std::map<std::pair<StageId, StageId>, std::unique_ptr<Exchange>> exchanges;
+  for (const Edge& e : dag_->edges()) {
+    const std::string key = bindings.at(e.src).key_for(e.dst);
+    exchanges.emplace(
+        std::make_pair(e.src, e.dst),
+        std::make_unique<Exchange>(e.exchange, key, plan_->task_server[e.src],
+                                   plan_->task_server[e.dst], *store_,
+                                   dag_->name() + "/e" + std::to_string(e.src) + "_" +
+                                       std::to_string(e.dst)));
+  }
+
+  Stopwatch clock;
+  EngineResult result;
+  std::mutex result_mu;
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+
+  // Stage waves in topological order.
+  for (StageId s : topological_order(*dag_)) {
+    const StageBinding& binding = bindings.at(s);
+    const int dop = plan_->dop_of(s);
+    std::vector<std::future<void>> futures;
+    futures.reserve(dop);
+    for (int t = 0; t < dop; ++t) {
+      const ServerId server = plan_->task_server[s][t];
+      ThreadPool& pool = server == kNoServer ? *pools[0] : *pools[server];
+      futures.push_back(pool.submit([&, s, t, dop, server] {
+        if (failed.load()) return;
+        const Stopwatch task_clock;
+        const double t_start = clock.elapsed_seconds();
+
+        // Gather inputs from every parent edge.
+        std::vector<Table> inputs;
+        inputs.reserve(dag_->parents(s).size());
+        for (StageId p : dag_->parents(s)) {
+          auto in = exchanges.at({p, s})->recv_all(static_cast<std::size_t>(t));
+          if (!in.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.is_ok()) first_error = in.status();
+            failed.store(true);
+            return;
+          }
+          inputs.push_back(std::move(in).value());
+        }
+
+        Result<Table> out = binding.fn(t, dop, inputs);
+        if (!out.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.is_ok()) first_error = out.status();
+          failed.store(true);
+          return;
+        }
+
+        Bytes bytes_out = 0;
+        const auto& children = dag_->children(s);
+        if (children.empty()) {
+          Table value = std::move(out).value();
+          std::lock_guard<std::mutex> lock(result_mu);
+          auto [it, inserted] = result.sink_outputs.try_emplace(s, std::move(value));
+          if (!inserted) (void)it->second.concat(value);
+        } else {
+          bytes_out = out.value().byte_size();
+          for (std::size_t c = 0; c < children.size(); ++c) {
+            // The last child may take the table by move.
+            Table payload = (c + 1 == children.size()) ? std::move(out).value() : out.value();
+            const Status st =
+                exchanges.at({s, children[c]})->send(static_cast<std::size_t>(t),
+                                                     std::move(payload));
+            if (!st.is_ok()) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error.is_ok()) first_error = st;
+              failed.store(true);
+              return;
+            }
+          }
+        }
+
+        if (monitor != nullptr) {
+          cluster::TaskRecord rec;
+          rec.stage = s;
+          rec.task = static_cast<TaskId>(t);
+          rec.server = server;
+          rec.start = t_start;
+          rec.end = clock.elapsed_seconds();
+          rec.bytes_written = bytes_out;
+          monitor->record(rec);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+    if (failed.load()) break;
+  }
+
+  if (failed.load()) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    return first_error.is_ok() ? Status::internal("engine failed") : first_error;
+  }
+
+  for (const auto& [edge, ex] : exchanges) {
+    result.stats.exchange.zero_copy_messages += ex->stats().zero_copy_messages;
+    result.stats.exchange.remote_messages += ex->stats().remote_messages;
+    result.stats.exchange.remote_bytes += ex->stats().remote_bytes;
+  }
+  for (StageId s = 0; s < dag_->num_stages(); ++s) {
+    result.stats.tasks_run += static_cast<std::size_t>(plan_->dop_of(s));
+  }
+  result.stats.wall_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace ditto::exec

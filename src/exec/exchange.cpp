@@ -1,0 +1,159 @@
+#include "exec/exchange.h"
+
+namespace ditto::exec {
+
+Status LocalTableChannel::send(std::shared_ptr<const Table> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::failed_precondition("send on closed channel");
+  queue_.push_back(std::move(table));  // zero-copy: pointer moves
+  cv_.notify_one();
+  return Status::ok();
+}
+
+std::optional<std::shared_ptr<const Table>> LocalTableChannel::recv() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  auto out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+void LocalTableChannel::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+Status RemoteTableChannel::send(std::shared_ptr<const Table> table) {
+  std::size_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::failed_precondition("send on closed channel");
+    seq = next_send_++;
+  }
+  const shm::Buffer bytes = serialize_table(*table);  // the copy shm avoids
+  DITTO_RETURN_IF_ERROR(store_->put(prefix_ + "/" + std::to_string(seq), bytes.view()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+  return Status::ok();
+}
+
+std::optional<std::shared_ptr<const Table>> RemoteTableChannel::recv() {
+  std::size_t seq;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return next_recv_ < next_send_ || closed_; });
+    if (next_recv_ >= next_send_) return std::nullopt;
+    seq = next_recv_++;
+  }
+  const auto bytes = store_->get(prefix_ + "/" + std::to_string(seq));
+  if (!bytes.ok()) return std::nullopt;
+  auto table = deserialize_table(*bytes);
+  if (!table.ok()) return std::nullopt;
+  return std::make_shared<const Table>(std::move(table).value());
+}
+
+void RemoteTableChannel::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+Exchange::Exchange(ExchangeKind kind, std::string partition_key,
+                   const std::vector<ServerId>& prod_servers,
+                   const std::vector<ServerId>& cons_servers, storage::ObjectStore& store,
+                   std::string prefix)
+    : kind_(kind),
+      partition_key_(std::move(partition_key)),
+      producers_(prod_servers.size()),
+      consumers_(cons_servers.size()) {
+  channels_.reserve(producers_ * consumers_);
+  for (std::size_t i = 0; i < producers_; ++i) {
+    for (std::size_t j = 0; j < consumers_; ++j) {
+      if (prod_servers[i] != kNoServer && prod_servers[i] == cons_servers[j]) {
+        channels_.push_back(std::make_unique<LocalTableChannel>());
+      } else {
+        channels_.push_back(std::make_unique<RemoteTableChannel>(
+            store, prefix + "/" + std::to_string(i) + "-" + std::to_string(j)));
+      }
+    }
+  }
+}
+
+Status Exchange::route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t) {
+  TableChannel& ch = channel(i, j);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (ch.is_zero_copy()) {
+      ++stats_.zero_copy_messages;
+    } else {
+      ++stats_.remote_messages;
+      stats_.remote_bytes += t->byte_size();
+    }
+  }
+  return ch.send(std::move(t));
+}
+
+Status Exchange::send(std::size_t producer, Table table) {
+  if (producer >= producers_) return Status::out_of_range("bad producer index");
+  switch (kind_) {
+    case ExchangeKind::kShuffle: {
+      DITTO_ASSIGN_OR_RETURN(std::vector<Table> parts,
+                             hash_partition(table, partition_key_, consumers_));
+      for (std::size_t j = 0; j < consumers_; ++j) {
+        DITTO_RETURN_IF_ERROR(
+            route(producer, j, std::make_shared<const Table>(std::move(parts[j]))));
+      }
+      break;
+    }
+    case ExchangeKind::kGather: {
+      // One producer feeds exactly one consumer (paper §4.5 Fig. 7).
+      const std::size_t j = producer % consumers_;
+      DITTO_RETURN_IF_ERROR(route(producer, j, std::make_shared<const Table>(std::move(table))));
+      break;
+    }
+    case ExchangeKind::kBroadcast:
+    case ExchangeKind::kAllGather: {
+      // Every consumer receives the full table. The shared_ptr makes the
+      // local copies free; remote consumers each pay serialization.
+      const auto shared = std::make_shared<const Table>(std::move(table));
+      for (std::size_t j = 0; j < consumers_; ++j) {
+        DITTO_RETURN_IF_ERROR(route(producer, j, shared));
+      }
+      break;
+    }
+  }
+  // This producer is done: close its row of channels.
+  for (std::size_t j = 0; j < consumers_; ++j) channel(producer, j).close();
+  return Status::ok();
+}
+
+Result<Table> Exchange::recv_all(std::size_t consumer) {
+  if (consumer >= consumers_) return Status::out_of_range("bad consumer index");
+  Table merged;
+  bool first = true;
+  for (std::size_t i = 0; i < producers_; ++i) {
+    // Gather sends only on one pipe; others close empty.
+    for (;;) {
+      auto t = channel(i, consumer).recv();
+      if (!t.has_value()) break;
+      if (first) {
+        merged = **t;
+        first = false;
+      } else {
+        DITTO_RETURN_IF_ERROR(merged.concat(**t));
+      }
+    }
+  }
+  return merged;
+}
+
+ExchangeStats Exchange::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace ditto::exec

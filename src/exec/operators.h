@@ -1,0 +1,89 @@
+// Relational operators of the analytics execution engine (paper §5:
+// "The engine integrates a set of SQL operators (e.g., join and
+// groupby) for analytics queries").
+//
+// Operators are pure functions Table -> Table; the task runtime binds
+// them to stages. All joins hash the build side.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/table.h"
+
+namespace ditto::exec {
+
+/// Row predicate for filter(); receives the table and a row index.
+using RowPredicate = std::function<bool(const Table&, std::size_t)>;
+
+/// Keep only rows satisfying the predicate.
+Table filter(const Table& in, const RowPredicate& pred);
+
+/// Typed fast-path: keep rows where int column `col` op `operand`.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+Result<Table> filter_int(const Table& in, const std::string& col, CmpOp op,
+                         std::int64_t operand);
+
+/// Keep only the named columns, in the given order.
+Result<Table> project(const Table& in, const std::vector<std::string>& columns);
+
+enum class JoinKind { kInner, kLeftSemi, kLeftAnti };
+
+/// Hash join on integer key columns `left_key` / `right_key`.
+///  - kInner:    output = left columns + right columns (right key dropped)
+///  - kLeftSemi: left rows with >= 1 match (left columns only)
+///  - kLeftAnti: left rows with no match (left columns only)
+Result<Table> hash_join(const Table& left, const std::string& left_key, const Table& right,
+                        const std::string& right_key, JoinKind kind = JoinKind::kInner);
+
+enum class AggKind { kSum, kCount, kMin, kMax, kAvg, kFirstInt };
+
+struct AggSpec {
+  AggKind kind = AggKind::kSum;
+  std::string column;  ///< ignored for kCount
+  std::string as;      ///< output column name
+};
+
+/// Group by MULTIPLE int64 key columns (composite key) and aggregate.
+/// Output columns: the key columns (in order), then the aggregates;
+/// rows ordered lexicographically by key. TPC-DS queries group by
+/// composite keys routinely (Q1: customer x store).
+Result<Table> group_by_multi(const Table& in, const std::vector<std::string>& keys,
+                             const std::vector<AggSpec>& aggs);
+
+/// Group by an integer key column and aggregate.
+/// Numeric aggregates output double columns except count and first-int
+/// (int64). kFirstInt keeps the group's first-seen value of an int64
+/// column — the passthrough needed to carry foreign keys through an
+/// aggregation (e.g. Q95 keeps a representative date per order).
+Result<Table> group_by(const Table& in, const std::string& key,
+                       const std::vector<AggSpec>& aggs);
+
+/// Sort ascending/descending by an integer column. Stable.
+Result<Table> sort_by_int(const Table& in, const std::string& col, bool ascending = true);
+
+/// First n rows.
+Table limit(const Table& in, std::size_t n);
+
+/// Distinct count of an integer column (Q16/Q94/Q95's COUNT(DISTINCT)).
+Result<std::size_t> count_distinct(const Table& in, const std::string& col);
+
+/// Rows with distinct values of an integer key column; the first
+/// occurrence of each key wins.
+Result<Table> distinct_by(const Table& in, const std::string& key);
+
+/// Top-k rows by an integer column (descending by default).
+Result<Table> top_k_by_int(const Table& in, const std::string& col, std::size_t k,
+                           bool descending = true);
+
+/// Concatenation of same-schema tables (SQL UNION ALL).
+Result<Table> union_all(const std::vector<Table>& tables);
+
+/// Adds a derived double column: out[r] = f(in, r). The paper's engine
+/// exposes scalar expressions; this is the minimal general hook.
+using ScalarFn = std::function<double(const Table&, std::size_t)>;
+Result<Table> with_column(const Table& in, const std::string& name, const ScalarFn& f);
+
+}  // namespace ditto::exec

@@ -1,0 +1,56 @@
+#include "exec/partition.h"
+
+namespace ditto::exec {
+
+std::uint64_t stable_hash64(std::int64_t key) {
+  // SplitMix64 finalizer: deterministic, well mixed.
+  std::uint64_t x = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Result<std::vector<Table>> hash_partition(const Table& in, const std::string& key,
+                                          std::size_t n) {
+  if (n == 0) return Status::invalid_argument("zero partitions");
+  const int ki = in.column_index(key);
+  if (ki < 0) return Status::not_found("no such column: " + key);
+  if (in.column(ki).type() != DataType::kInt64) {
+    return Status::invalid_argument("hash_partition key must be int64");
+  }
+  const auto& keys = in.column(ki).ints();
+  std::vector<std::vector<std::size_t>> buckets(n);
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    buckets[stable_hash64(keys[r]) % n].push_back(r);
+  }
+  std::vector<Table> out;
+  out.reserve(n);
+  for (const auto& b : buckets) out.push_back(in.take(b));
+  return out;
+}
+
+std::vector<Table> round_robin_partition(const Table& in, std::size_t n) {
+  std::vector<std::vector<std::size_t>> buckets(n);
+  for (std::size_t r = 0; r < in.num_rows(); ++r) buckets[r % n].push_back(r);
+  std::vector<Table> out;
+  out.reserve(n);
+  for (const auto& b : buckets) out.push_back(in.take(b));
+  return out;
+}
+
+std::vector<Table> range_partition(const Table& in, std::size_t n) {
+  std::vector<Table> out;
+  out.reserve(n);
+  const std::size_t rows = in.num_rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = rows * i / n;
+    const std::size_t hi = rows * (i + 1) / n;
+    std::vector<std::size_t> idx;
+    idx.reserve(hi - lo);
+    for (std::size_t r = lo; r < hi; ++r) idx.push_back(r);
+    out.push_back(in.take(idx));
+  }
+  return out;
+}
+
+}  // namespace ditto::exec

@@ -1,0 +1,27 @@
+// Partitioners: split a table into n partitions for exchange.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/table.h"
+
+namespace ditto::exec {
+
+/// Hash-partition by an int64 key column: row r goes to partition
+/// hash(key[r]) % n. Deterministic across runs and platforms.
+Result<std::vector<Table>> hash_partition(const Table& in, const std::string& key,
+                                          std::size_t n);
+
+/// Split rows round-robin (used when no key is needed, e.g. scan
+/// output balancing).
+std::vector<Table> round_robin_partition(const Table& in, std::size_t n);
+
+/// Contiguous range split: partition i gets rows [i*rows/n, (i+1)*rows/n).
+std::vector<Table> range_partition(const Table& in, std::size_t n);
+
+/// The stable 64-bit mix used by hash_partition (exposed for tests:
+/// co-partitioned tables must agree on row routing).
+std::uint64_t stable_hash64(std::int64_t key);
+
+}  // namespace ditto::exec

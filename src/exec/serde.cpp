@@ -1,0 +1,137 @@
+#include "exec/serde.h"
+
+#include <cstring>
+
+namespace ditto::exec {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  std::memcpy(out.data() + at, p, n);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<std::uint64_t> u64() {
+    if (pos_ + sizeof(std::uint64_t) > bytes_.size()) {
+      return Status::invalid_argument("truncated table payload");
+    }
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+
+  Result<std::string_view> bytes(std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return Status::invalid_argument("truncated table payload");
+    }
+    const std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint64_t kMagic = 0x444954544f544231ull;  // "DITTOTB1"
+
+}  // namespace
+
+shm::Buffer serialize_table(const Table& table) {
+  std::vector<std::uint8_t> out;
+  out.reserve(table.byte_size() + 64);
+  put_u64(out, kMagic);
+  put_u64(out, table.num_columns());
+  put_u64(out, table.num_rows());
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema()[c];
+    put_u64(out, f.name.size());
+    put_bytes(out, f.name.data(), f.name.size());
+    put_u64(out, static_cast<std::uint64_t>(f.type));
+    const Column& col = table.column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        put_bytes(out, col.ints().data(), col.ints().size() * sizeof(std::int64_t));
+        break;
+      case DataType::kDouble:
+        put_bytes(out, col.doubles().data(), col.doubles().size() * sizeof(double));
+        break;
+      case DataType::kString:
+        for (const std::string& s : col.strings()) {
+          put_u64(out, s.size());
+          put_bytes(out, s.data(), s.size());
+        }
+        break;
+    }
+  }
+  return shm::Buffer::adopt(std::move(out));
+}
+
+Result<Table> deserialize_table(std::string_view bytes) {
+  Reader r(bytes);
+  DITTO_ASSIGN_OR_RETURN(const std::uint64_t magic, r.u64());
+  if (magic != kMagic) return Status::invalid_argument("bad table magic");
+  DITTO_ASSIGN_OR_RETURN(const std::uint64_t cols, r.u64());
+  DITTO_ASSIGN_OR_RETURN(const std::uint64_t rows, r.u64());
+  if (cols > 1'000'000) return Status::invalid_argument("implausible column count");
+
+  Schema schema;
+  std::vector<Column> columns;
+  for (std::uint64_t c = 0; c < cols; ++c) {
+    DITTO_ASSIGN_OR_RETURN(const std::uint64_t name_len, r.u64());
+    DITTO_ASSIGN_OR_RETURN(const std::string_view name, r.bytes(name_len));
+    DITTO_ASSIGN_OR_RETURN(const std::uint64_t type_raw, r.u64());
+    if (type_raw > static_cast<std::uint64_t>(DataType::kString)) {
+      return Status::invalid_argument("bad column type");
+    }
+    const DataType type = static_cast<DataType>(type_raw);
+    schema.push_back({std::string(name), type});
+    switch (type) {
+      case DataType::kInt64: {
+        DITTO_ASSIGN_OR_RETURN(const std::string_view raw,
+                               r.bytes(rows * sizeof(std::int64_t)));
+        std::vector<std::int64_t> v(rows);
+        std::memcpy(v.data(), raw.data(), raw.size());
+        columns.emplace_back(std::move(v));
+        break;
+      }
+      case DataType::kDouble: {
+        DITTO_ASSIGN_OR_RETURN(const std::string_view raw, r.bytes(rows * sizeof(double)));
+        std::vector<double> v(rows);
+        std::memcpy(v.data(), raw.data(), raw.size());
+        columns.emplace_back(std::move(v));
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> v;
+        v.reserve(rows);
+        for (std::uint64_t i = 0; i < rows; ++i) {
+          DITTO_ASSIGN_OR_RETURN(const std::uint64_t len, r.u64());
+          DITTO_ASSIGN_OR_RETURN(const std::string_view s, r.bytes(len));
+          v.emplace_back(s);
+        }
+        columns.emplace_back(std::move(v));
+        break;
+      }
+    }
+  }
+  if (!r.exhausted()) return Status::invalid_argument("trailing bytes after table");
+  return Table::make(std::move(schema), std::move(columns));
+}
+
+}  // namespace ditto::exec

@@ -1,0 +1,26 @@
+// Table serialization for cross-server exchange.
+//
+// Intra-server exchange never serializes (Buffer handles move through
+// shared memory); cross-server exchange pays exactly this encode +
+// decode — the cost asymmetry Ditto's grouping exploits. The format is
+// a simple length-prefixed binary layout (little-endian, host order).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/table.h"
+#include "shm/buffer.h"
+
+namespace ditto::exec {
+
+/// Serializes a table into a fresh buffer.
+shm::Buffer serialize_table(const Table& table);
+
+/// Parses a buffer produced by serialize_table.
+Result<Table> deserialize_table(std::string_view bytes);
+inline Result<Table> deserialize_table(const shm::Buffer& buf) {
+  return deserialize_table(buf.view());
+}
+
+}  // namespace ditto::exec

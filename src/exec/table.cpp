@@ -1,0 +1,121 @@
+#include "exec/table.h"
+
+namespace ditto::exec {
+
+namespace {
+Column empty_column_of(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return Column(std::vector<std::int64_t>{});
+    case DataType::kDouble: return Column(std::vector<double>{});
+    case DataType::kString: return Column(std::vector<std::string>{});
+  }
+  return Column();
+}
+}  // namespace
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (const Field& f : schema_) columns_.push_back(empty_column_of(f.type));
+}
+
+Result<Table> Table::make(Schema schema, std::vector<Column> columns) {
+  if (schema.size() != columns.size()) {
+    return Status::invalid_argument("schema/column count mismatch");
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  DITTO_RETURN_IF_ERROR(t.validate());
+  return t;
+}
+
+int Table::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Column& Table::column_by_name(const std::string& name) const {
+  const int i = column_index(name);
+  assert(i >= 0 && "column_by_name: no such column");
+  return columns_[static_cast<std::size_t>(i)];
+}
+
+void Table::append_row_from(const Table& src, std::size_t row) {
+  assert(schema_ == src.schema_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].append_from(src.columns_[c], row);
+  }
+}
+
+Table Table::take(const std::vector<std::size_t>& indices) const {
+  Table out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) out.columns_.push_back(c.take(indices));
+  return out;
+}
+
+Status Table::concat(const Table& other) {
+  if (schema_ != other.schema_) return Status::invalid_argument("concat schema mismatch");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    switch (columns_[c].type()) {
+      case DataType::kInt64: {
+        auto& dst = columns_[c].ints();
+        const auto& src = other.columns_[c].ints();
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      case DataType::kDouble: {
+        auto& dst = columns_[c].doubles();
+        const auto& src = other.columns_[c].doubles();
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      case DataType::kString: {
+        auto& dst = columns_[c].strings();
+        const auto& src = other.columns_[c].strings();
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+std::size_t Table::byte_size() const {
+  std::size_t n = 0;
+  for (const Column& c : columns_) n += c.byte_size();
+  return n;
+}
+
+Status Table::validate() const {
+  if (columns_.size() != schema_.size()) {
+    return Status::internal("column count does not match schema");
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type() != schema_[i].type) {
+      return Status::internal("column type mismatch at " + schema_[i].name);
+    }
+    if (columns_[i].size() != num_rows()) {
+      return Status::internal("ragged columns: " + schema_[i].name);
+    }
+  }
+  return Status::ok();
+}
+
+Table table_of_ints(
+    std::initializer_list<std::pair<std::string, std::vector<std::int64_t>>> cols) {
+  Schema schema;
+  std::vector<Column> columns;
+  for (const auto& [name, values] : cols) {
+    schema.push_back({name, DataType::kInt64});
+    columns.emplace_back(values);
+  }
+  auto t = Table::make(std::move(schema), std::move(columns));
+  assert(t.ok());
+  return std::move(t).value();
+}
+
+}  // namespace ditto::exec

@@ -1,0 +1,61 @@
+// Table: an ordered set of equal-length typed columns with a schema.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/column.h"
+
+namespace ditto::exec {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  /// Builds a table from a schema and matching columns.
+  static Result<Table> make(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  bool empty() const { return num_rows() == 0; }
+
+  const Column& column(std::size_t i) const { return columns_.at(i); }
+  Column& column(std::size_t i) { return columns_.at(i); }
+
+  /// Index of a named column; -1 when absent.
+  int column_index(const std::string& name) const;
+  const Column& column_by_name(const std::string& name) const;
+
+  /// Appends row `row` of `src` (same schema) to this table.
+  void append_row_from(const Table& src, std::size_t row);
+
+  /// New table with the rows selected by `indices` (in order).
+  Table take(const std::vector<std::size_t>& indices) const;
+
+  /// Appends all rows of `other` (same schema).
+  Status concat(const Table& other);
+
+  /// Approximate in-memory footprint.
+  std::size_t byte_size() const;
+
+  /// Structural check: every column matches the schema type and all
+  /// columns have equal length.
+  Status validate() const;
+
+  friend bool operator==(const Table& a, const Table& b) {
+    return a.schema_ == b.schema_ && a.columns_ == b.columns_;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Convenience builders for tests and examples.
+Table table_of_ints(std::initializer_list<std::pair<std::string, std::vector<std::int64_t>>> cols);
+
+}  // namespace ditto::exec

@@ -1,0 +1,69 @@
+// Baseline schedulers used in the paper's evaluation.
+//
+//  * NimbleScheduler — the state-of-the-art baseline (NIMBLE/Caerus,
+//    NSDI'21 [51]): DoP of each stage proportional to its input data
+//    size, tasks placed randomly across servers, all shuffles through
+//    external storage (§6 "Baseline").
+//  * FixedDopScheduler — every stage gets the same DoP (Fig. 1b /
+//    Fig. 15a "fixed parallelism").
+//  * NimblePlusGroupScheduler — NIMBLE's DoPs, Ditto's greedy grouping
+//    (ablation "NIMBLE+Group", Fig. 12).
+//  * NimblePlusDopScheduler — Ditto's DoP ratio computing, no grouping
+//    (ablation "NIMBLE+DoP", Fig. 12).
+#pragma once
+
+#include <cstdint>
+
+#include "scheduler/dop_ratio.h"
+#include "scheduler/grouping.h"
+#include "scheduler/placement_check.h"
+#include "scheduler/scheduler.h"
+
+namespace ditto::scheduler {
+
+class NimbleScheduler final : public Scheduler {
+ public:
+  explicit NimbleScheduler(std::uint64_t placement_seed = 7) : seed_(placement_seed) {}
+  const char* name() const override { return "NIMBLE"; }
+  Result<SchedulePlan> schedule(const JobDag& dag, const cluster::Cluster& cluster,
+                                Objective objective,
+                                const storage::StorageModel& external) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class FixedDopScheduler final : public Scheduler {
+ public:
+  /// `dop` <= 0 means divide the available slots evenly.
+  explicit FixedDopScheduler(int dop = 0) : fixed_dop_(dop) {}
+  const char* name() const override { return "Fixed"; }
+  Result<SchedulePlan> schedule(const JobDag& dag, const cluster::Cluster& cluster,
+                                Objective objective,
+                                const storage::StorageModel& external) override;
+
+ private:
+  int fixed_dop_;
+};
+
+class NimblePlusGroupScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "NIMBLE+Group"; }
+  Result<SchedulePlan> schedule(const JobDag& dag, const cluster::Cluster& cluster,
+                                Objective objective,
+                                const storage::StorageModel& external) override;
+};
+
+class NimblePlusDopScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "NIMBLE+DoP"; }
+  Result<SchedulePlan> schedule(const JobDag& dag, const cluster::Cluster& cluster,
+                                Objective objective,
+                                const storage::StorageModel& external) override;
+};
+
+/// DoPs proportional to per-stage input data size, scaled to
+/// `total_slots` (NIMBLE's policy). Exposed for tests and reuse.
+std::vector<int> data_proportional_dops(const JobDag& dag, int total_slots);
+
+}  // namespace ditto::scheduler

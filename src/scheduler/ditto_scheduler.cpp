@@ -1,0 +1,252 @@
+#include "scheduler/ditto_scheduler.h"
+
+#include "scheduler/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace ditto::scheduler {
+
+namespace {
+
+ColocatedFn view_of(const std::vector<EdgeRef>& grouped) {
+  return [&grouped](StageId a, StageId b) {
+    for (const EdgeRef& e : grouped) {
+      if (e.first == a && e.second == b) return true;
+    }
+    return false;
+  };
+}
+
+Result<DopResult> compute_dops(const ExecTimePredictor& predictor,
+                               const std::vector<EdgeRef>& grouped, Objective objective,
+                               int total_slots) {
+  const DoPRatioComputer computer(predictor, view_of(grouped));
+  return objective == Objective::kJct ? computer.compute_jct(total_slots)
+                                      : computer.compute_cost(total_slots);
+}
+
+double objective_value(const JobDag& dag, const ExecTimePredictor& predictor,
+                       const cluster::PlacementPlan& plan, Objective objective,
+                       const storage::StorageModel& external) {
+  return objective == Objective::kJct ? predict_jct(dag, predictor, plan)
+                                      : predict_cost(dag, predictor, plan, external);
+}
+
+/// Figure-2 fallback: when a stage group's combined DoP exceeds every
+/// server, a LOWER DoP with co-location can still beat a higher DoP
+/// with remote shuffling (paper §2.2). Scale each oversized group's
+/// member DoPs down so the group fits the largest free server; the
+/// objective guard in the main loop decides whether the trade is
+/// worth it.
+std::vector<int> shrink_groups_to_fit(const JobDag& dag, std::vector<int> dop,
+                                      const std::vector<EdgeRef>& grouped,
+                                      const std::vector<int>& free_slots) {
+  if (free_slots.empty()) return dop;
+  const int cap = *std::max_element(free_slots.begin(), free_slots.end());
+
+  // Union-find over grouped edges.
+  std::vector<std::size_t> parent(dag.num_stages());
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const EdgeRef& e : grouped) parent[find(e.first)] = find(e.second);
+
+  std::vector<std::vector<StageId>> members(dag.num_stages());
+  for (StageId s = 0; s < dag.num_stages(); ++s) members[find(s)].push_back(s);
+
+  for (const auto& group : members) {
+    if (group.size() < 2) continue;
+    int need = 0;
+    for (StageId s : group) need += dop[s];
+    if (need <= cap) continue;
+    // Proportional shrink, floor at 1.
+    const double scale = static_cast<double>(cap) / static_cast<double>(need);
+    int now = 0;
+    for (StageId s : group) {
+      dop[s] = std::max(1, static_cast<int>(std::floor(dop[s] * scale)));
+      now += dop[s];
+    }
+    // The min-1 floor can leave the group just over cap; shave largest.
+    while (now > cap) {
+      StageId biggest = group[0];
+      for (StageId s : group) {
+        if (dop[s] > dop[biggest]) biggest = s;
+      }
+      if (dop[biggest] <= 1) break;
+      --dop[biggest];
+      --now;
+    }
+  }
+  return dop;
+}
+
+}  // namespace
+
+namespace {
+struct Candidate {
+  cluster::PlacementPlan plan;
+  double value = 0.0;
+};
+}  // namespace
+
+/// Algorithm 3 (joint iterative optimization), optionally with the
+/// Figure-2 shrink fallback when a trial group fits no server.
+Result<cluster::PlacementPlan> DittoScheduler::run_joint(
+    const JobDag& dag, const ExecTimePredictor& predictor, Objective objective,
+    const storage::StorageModel& external, const std::vector<int>& free_slots,
+    bool shrink, const char* variant) {
+  const int total_slots = std::accumulate(free_slots.begin(), free_slots.end(), 0);
+  const GreedyGrouper grouper(predictor, objective);
+  const PlacementChecker checker(dag);
+
+  // Initialization: every stage its own group; optimal ungrouped DoPs.
+  std::vector<EdgeRef> grouped;
+  std::vector<EdgeRef> ungrouped;
+  for (const Edge& e : dag.edges()) ungrouped.emplace_back(e.src, e.dst);
+
+  DITTO_ASSIGN_OR_RETURN(DopResult dops, compute_dops(predictor, grouped, objective, total_slots));
+  DITTO_ASSIGN_OR_RETURN(cluster::PlacementPlan best_plan,
+                         checker.place(dops.dop, grouped, free_slots));
+  double best_value = objective_value(dag, predictor, best_plan, objective, external);
+
+  int iterations = 0;
+  while (!ungrouped.empty() && iterations++ < options_.max_iterations) {
+    const std::vector<EdgeRef> order = grouper.traversal_order(ungrouped, dops.dop, grouped);
+    bool progressed = false;
+    for (const EdgeRef& e : order) {
+      // Try grouping e: its shuffle becomes zero-copy.
+      grouped.push_back(e);
+      TraceStep step;
+      step.src = e.first;
+      step.dst = e.second;
+      step.variant = variant;
+      Result<DopResult> trial_dops = compute_dops(predictor, grouped, objective, total_slots);
+      if (trial_dops.ok()) {
+        Result<cluster::PlacementPlan> trial_plan =
+            checker.place(trial_dops.value().dop, grouped, free_slots);
+        if (!trial_plan.ok() && shrink) {
+          // Figure-2 trade: lower the group's DoP to make co-location
+          // possible; the objective guard below rejects bad trades.
+          trial_dops.value().dop =
+              shrink_groups_to_fit(dag, trial_dops.value().dop, grouped, free_slots);
+          trial_plan = checker.place(trial_dops.value().dop, grouped, free_slots);
+          step.used_shrink = trial_plan.ok();
+        }
+        if (trial_plan.ok()) {
+          const double trial_value =
+              objective_value(dag, predictor, trial_plan.value(), objective, external);
+          step.objective = trial_value;
+          if (!options_.enforce_monotone || trial_value <= best_value + 1e-12) {
+            // Keep the group.
+            dops = trial_dops.value();
+            best_plan = trial_plan.value();
+            best_value = trial_value;
+            ungrouped.erase(std::find(ungrouped.begin(), ungrouped.end(), e));
+            progressed = true;
+            step.accepted = true;
+            if (options_.record_trace) trace_.push_back(step);
+            break;
+          }
+        }
+      }
+      if (options_.record_trace) trace_.push_back(step);
+      // Backtrack: abandon grouping this edge for now.
+      grouped.pop_back();
+    }
+    if (!progressed) break;  // no edge in E_u could be grouped
+  }
+  return best_plan;
+}
+
+/// Group-first variant: decide groups under a neutral (data-
+/// proportional) DoP configuration first, then hand the fixed groups
+/// to DoP ratio computing and shrink them to fit. Escapes the local
+/// minimum where the joint loop's own large tail DoPs block the big
+/// tail group that a smaller configuration could co-locate.
+Result<cluster::PlacementPlan> DittoScheduler::run_group_first(
+    const JobDag& dag, const ExecTimePredictor& predictor, Objective objective,
+    const storage::StorageModel& external, const std::vector<int>& free_slots) const {
+  (void)external;
+  const int total_slots = std::accumulate(free_slots.begin(), free_slots.end(), 0);
+  const GreedyGrouper grouper(predictor, objective);
+  const PlacementChecker checker(dag);
+
+  const std::vector<int> seed_dops = data_proportional_dops(dag, total_slots);
+  std::vector<EdgeRef> grouped;
+  std::vector<EdgeRef> candidates;
+  for (const Edge& e : dag.edges()) candidates.emplace_back(e.src, e.dst);
+  const std::vector<EdgeRef> order = grouper.traversal_order(candidates, seed_dops, grouped);
+  for (const EdgeRef& e : order) {
+    grouped.push_back(e);
+    if (!checker.can_place(seed_dops, grouped, free_slots)) grouped.pop_back();
+  }
+
+  // Re-optimize parallelism for the chosen groups, shrinking oversized
+  // groups back into the largest server if the re-optimization grew them.
+  DITTO_ASSIGN_OR_RETURN(DopResult dops, compute_dops(predictor, grouped, objective, total_slots));
+  std::vector<int> fitted = shrink_groups_to_fit(dag, dops.dop, grouped, free_slots);
+  Result<cluster::PlacementPlan> plan = checker.place(fitted, grouped, free_slots);
+  if (!plan.ok()) {
+    // Fall back to the seed configuration that was known to place.
+    plan = checker.place(seed_dops, grouped, free_slots);
+  }
+  return plan;
+}
+
+Result<SchedulePlan> DittoScheduler::schedule(const JobDag& dag,
+                                              const cluster::Cluster& cluster,
+                                              Objective objective,
+                                              const storage::StorageModel& external) {
+  Stopwatch clock;
+  DITTO_RETURN_IF_ERROR(dag.validate());
+
+  const std::vector<int> free_slots = cluster.free_slot_snapshot();
+  const ExecTimePredictor predictor(dag);
+
+  // Multi-start greedy: the joint loop (Algorithm 3) with and without
+  // the Figure-2 shrink fallback, plus the group-first variant. All
+  // are microsecond-scale; keep the best plan by predicted objective.
+  std::vector<Candidate> candidates;
+  const auto consider = [&](Result<cluster::PlacementPlan> plan) {
+    if (!plan.ok()) return;
+    candidates.push_back(Candidate{
+        std::move(plan).value(), 0.0});
+    candidates.back().value =
+        objective_value(dag, predictor, candidates.back().plan, objective, external);
+  };
+  trace_.clear();
+  consider(run_joint(dag, predictor, objective, external, free_slots, /*shrink=*/false,
+                     "algorithm-3"));
+  if (options_.shrink_oversized_groups) {
+    consider(run_joint(dag, predictor, objective, external, free_slots, /*shrink=*/true,
+                       "figure-2-shrink"));
+    consider(run_group_first(dag, predictor, objective, external, free_slots));
+  }
+  if (candidates.empty()) {
+    return Status::resource_exhausted("no feasible plan for the available resources");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].value < candidates[best].value) best = i;
+  }
+
+  SchedulePlan plan;
+  plan.placement = std::move(candidates[best].plan);
+  plan.placement.launch_time = compute_launch_times(dag, predictor, plan.placement);
+  plan.predicted = evaluate_plan(dag, predictor, plan.placement, external);
+  plan.scheduling_seconds = clock.elapsed_seconds();
+  plan.scheduler_name = name();
+  return plan;
+}
+
+}  // namespace ditto::scheduler

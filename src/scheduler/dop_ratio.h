@@ -1,0 +1,59 @@
+// DoP ratio computing (paper §4.2, Algorithm 1).
+//
+// Given the effective per-stage time model (alpha, beta) under the
+// current placement view, computes the optimal degree of parallelism
+// for every stage subject to sum(d_i) <= C:
+//
+//   * intra-path (parent-child) ratio:  d_i / d_j = sqrt(alpha_i / alpha_j)
+//     (optimal by Cauchy–Schwarz, Appendix A.1)
+//   * inter-path (sibling) ratio:       d_i / d_j = alpha_i / alpha_j
+//     (balanced structure optimal, Appendix A.2)
+//
+// The algorithm merges stages bottom-up — siblings first, then the
+// merged virtual stage with its parent — reducing the DAG to a single
+// virtual stage whose recorded split ratios are then unwound to assign
+// concrete DoPs. Cost optimization reuses the machinery after
+// transforming each stage's parallelized time to rho_i * alpha_i and
+// treating the DAG as a single path (paper §4.2 "Optimizing cost").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/job_dag.h"
+#include "timemodel/predictor.h"
+
+namespace ditto::scheduler {
+
+struct DopResult {
+  /// Integer DoP per stage after rounding (paper §4.5: floor, min 1).
+  std::vector<int> dop;
+  /// The continuous optimum before rounding (diagnostics, tests).
+  std::vector<double> continuous;
+};
+
+class DoPRatioComputer {
+ public:
+  /// `predictor` supplies effective (alpha, beta) per stage under the
+  /// `colocated` placement view (grouped edges shuffle for free).
+  DoPRatioComputer(const ExecTimePredictor& predictor, ColocatedFn colocated)
+      : predictor_(&predictor), colocated_(std::move(colocated)) {}
+
+  /// Optimal DoPs for JCT with `total_slots` available (Algorithm 1).
+  Result<DopResult> compute_jct(int total_slots) const;
+
+  /// Optimal DoPs for cost: d_i/d_j = sqrt(rho_i alpha_i)/sqrt(rho_j alpha_j).
+  Result<DopResult> compute_cost(int total_slots) const;
+
+ private:
+  const ExecTimePredictor* predictor_;
+  ColocatedFn colocated_;
+};
+
+/// Round a continuous DoP vector down to integers (min 1), repairing any
+/// overshoot of `total_slots` caused by the min-1 floor by shrinking the
+/// largest entries. Exposed for unit testing.
+std::vector<int> round_dops(const std::vector<double>& continuous, int total_slots);
+
+}  // namespace ditto::scheduler

@@ -1,0 +1,67 @@
+#include "scheduler/evaluation.h"
+
+#include <algorithm>
+
+#include "dag/dag_algorithms.h"
+
+namespace ditto::scheduler {
+
+PlanEvaluation evaluate_plan(const JobDag& dag, const ExecTimePredictor& predictor,
+                             const cluster::PlacementPlan& plan,
+                             const storage::StorageModel& external) {
+  PlanEvaluation ev;
+  const std::size_t n = dag.num_stages();
+  ev.stage_start.assign(n, 0.0);
+  ev.stage_finish.assign(n, 0.0);
+  const ColocatedFn colocated = plan.colocated_fn();
+
+  for (StageId s : topological_order(dag)) {
+    double start = 0.0;
+    for (StageId p : dag.parents(s)) start = std::max(start, ev.stage_finish[p]);
+    ev.stage_start[s] = start;
+    ev.stage_finish[s] = start + predictor.stage_time(s, plan.dop_of(s), colocated);
+    ev.jct = std::max(ev.jct, ev.stage_finish[s]);
+
+    // Function memory cost of the stage itself.
+    ev.cost.function_gbs +=
+        predictor.resource_usage(s, plan.dop_of(s)) *
+        predictor.stage_time(s, plan.dop_of(s), colocated);
+  }
+
+  // Intermediate-data persistence: produced at finish(src), consumed by
+  // the end of dst's read step.
+  const double store_price = storage::relative_to_memory_price(external);
+  for (const Edge& e : dag.edges()) {
+    const double gb = static_cast<double>(e.bytes) / 1e9;
+    const double consumed_at =
+        ev.stage_start[e.dst] + predictor.read_time(e.dst, plan.dop_of(e.dst), colocated);
+    const double residence = std::max(0.0, consumed_at - ev.stage_finish[e.src]) +
+                             predictor.edge_write_time(e.src, e.dst, plan.dop_of(e.src));
+    if (plan.edge_colocated(e.src, e.dst)) {
+      ev.cost.shm_gbs += kShmGbSecondPrice * gb * residence;
+    } else {
+      ev.cost.storage_gbs += store_price * gb * residence;
+    }
+  }
+  return ev;
+}
+
+double predict_jct(const JobDag& dag, const ExecTimePredictor& predictor,
+                   const cluster::PlacementPlan& plan) {
+  return evaluate_plan(dag, predictor, plan, storage::StorageModel{}).jct;
+}
+
+double predict_cost(const JobDag& dag, const ExecTimePredictor& predictor,
+                    const cluster::PlacementPlan& plan, const storage::StorageModel& external) {
+  return evaluate_plan(dag, predictor, plan, external).cost.total();
+}
+
+std::vector<double> compute_launch_times(const JobDag& dag, const ExecTimePredictor& predictor,
+                                         const cluster::PlacementPlan& plan) {
+  const PlanEvaluation ev = evaluate_plan(dag, predictor, plan, storage::StorageModel{});
+  // NIMBLE lazy launch: a stage's functions start exactly at the
+  // predicted finish of its last parent.
+  return ev.stage_start;
+}
+
+}  // namespace ditto::scheduler

@@ -1,0 +1,87 @@
+#include "scheduler/grouping.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ditto::scheduler {
+
+double GreedyGrouper::edge_weight(const Edge& e, const std::vector<int>& dop,
+                                  const std::vector<EdgeRef>& grouped) const {
+  if (contains(grouped, {e.src, e.dst})) return 0.0;  // zero-copy
+  const int ds = dop[e.src], dd = dop[e.dst];
+  if (objective_ == Objective::kJct) {
+    return predictor_->edge_io_time(e.src, e.dst, ds, dd);
+  }
+  return predictor_->resource_usage(e.src, ds) * predictor_->edge_write_time(e.src, e.dst, ds) +
+         predictor_->resource_usage(e.dst, dd) * predictor_->edge_read_time(e.src, e.dst, dd);
+}
+
+double GreedyGrouper::node_weight(StageId s, const std::vector<int>& dop) const {
+  const double c = predictor_->compute_time(s, dop[s]);
+  if (objective_ == Objective::kJct) return c;
+  return predictor_->resource_usage(s, dop[s]) * c;
+}
+
+std::vector<EdgeRef> GreedyGrouper::traversal_order(const std::vector<EdgeRef>& candidates,
+                                                    const std::vector<int>& dop,
+                                                    const std::vector<EdgeRef>& grouped) const {
+  const JobDag& dag = predictor_->dag();
+  std::vector<EdgeRef> order;
+  order.reserve(candidates.size());
+
+  if (objective_ == Objective::kCost) {
+    // Cost: all candidate edges in descending weight (ties: stable).
+    std::vector<std::pair<double, EdgeRef>> weighted;
+    for (const EdgeRef& er : candidates) {
+      const Edge* e = dag.find_edge(er.first, er.second);
+      assert(e != nullptr);
+      weighted.emplace_back(edge_weight(*e, dop, grouped), er);
+    }
+    std::stable_sort(weighted.begin(), weighted.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [w, er] : weighted) order.push_back(er);
+    return order;
+  }
+
+  // JCT: critical-path-driven ordering. Track a virtual grouped set so
+  // each chosen edge's weight drops to zero before recomputing the CP.
+  std::vector<EdgeRef> virt = grouped;
+  std::vector<EdgeRef> remaining = candidates;
+  while (!remaining.empty()) {
+    const auto nw = [&](StageId s) { return node_weight(s, dop); };
+    const auto ew = [&](const Edge& e) { return edge_weight(e, dop, virt); };
+    const CriticalPath cp = critical_path(dag, nw, ew);
+
+    // Heaviest remaining edge on the critical path.
+    EdgeRef best{kNoStage, kNoStage};
+    double best_w = -1.0;
+    for (std::size_t i = 0; i + 1 < cp.stages.size(); ++i) {
+      const EdgeRef er{cp.stages[i], cp.stages[i + 1]};
+      if (std::find(remaining.begin(), remaining.end(), er) == remaining.end()) continue;
+      const Edge* e = dag.find_edge(er.first, er.second);
+      const double w = edge_weight(*e, dop, virt);
+      if (w > best_w) {
+        best_w = w;
+        best = er;
+      }
+    }
+    if (best.first == kNoStage) {
+      // No remaining candidate on the CP (all its edges grouped or the
+      // CP moved off them): fall back to the globally heaviest edge.
+      for (const EdgeRef& er : remaining) {
+        const Edge* e = dag.find_edge(er.first, er.second);
+        const double w = edge_weight(*e, dop, virt);
+        if (w > best_w) {
+          best_w = w;
+          best = er;
+        }
+      }
+    }
+    order.push_back(best);
+    virt.push_back(best);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+  }
+  return order;
+}
+
+}  // namespace ditto::scheduler

@@ -1,0 +1,42 @@
+// OracleScheduler: exhaustive search over (grouping, DoP configuration)
+// for SMALL jobs. Enumerates every subset of edges as the zero-copy
+// grouping and every integer DoP composition of the available slots,
+// keeps the best feasible plan by predicted objective.
+//
+// This is the brute-force baseline the paper calls intractable at
+// runtime ("the search space of enumeration is huge", §2.2): it exists
+// here as a test oracle — property tests assert the Ditto heuristic
+// lands within a small factor of the true optimum on DAGs where the
+// optimum is computable.
+#pragma once
+
+#include "scheduler/scheduler.h"
+
+namespace ditto::scheduler {
+
+struct OracleLimits {
+  std::size_t max_stages = 5;
+  std::size_t max_edges = 6;
+  int max_total_slots = 40;
+  /// Search-space guard: configurations considered = compositions x
+  /// groupings; bail out above this.
+  std::uint64_t max_configurations = 20'000'000;
+};
+
+class OracleScheduler final : public Scheduler {
+ public:
+  explicit OracleScheduler(OracleLimits limits = {}) : limits_(limits) {}
+
+  const char* name() const override { return "Oracle"; }
+
+  /// Fails with RESOURCE_EXHAUSTED when the instance exceeds the
+  /// enumeration limits.
+  Result<SchedulePlan> schedule(const JobDag& dag, const cluster::Cluster& cluster,
+                                Objective objective,
+                                const storage::StorageModel& external) override;
+
+ private:
+  OracleLimits limits_;
+};
+
+}  // namespace ditto::scheduler

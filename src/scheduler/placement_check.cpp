@@ -1,0 +1,149 @@
+#include "scheduler/placement_check.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ditto::scheduler {
+
+namespace {
+
+/// Union-find over stage ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// One placement unit: a set of (stage, tasks-of-that-stage) that must
+/// land together on a single server.
+struct Unit {
+  std::vector<StageId> stages;
+  std::vector<int> tasks_per_stage;  // aligned with `stages`
+  /// For decomposed gather groups: which task index of each stage this
+  /// unit carries (-1 = all tasks 0..dop-1).
+  int task_index = -1;
+  int slots() const {
+    int n = 0;
+    for (int t : tasks_per_stage) n += t;
+    return n;
+  }
+};
+
+}  // namespace
+
+Result<cluster::PlacementPlan> PlacementChecker::place(const std::vector<int>& dop,
+                                                       const std::vector<EdgeRef>& grouped,
+                                                       const std::vector<int>& free_slots) const {
+  const std::size_t n = dag_->num_stages();
+  if (dop.size() != n) return Status::invalid_argument("dop vector not sized to DAG");
+  for (int d : dop) {
+    if (d < 1) return Status::invalid_argument("stage with DoP < 1");
+  }
+
+  // 1. Group stages connected by grouped edges.
+  DisjointSets sets(n);
+  for (const EdgeRef& er : grouped) sets.unite(er.first, er.second);
+  std::vector<std::vector<StageId>> members(n);
+  for (StageId s = 0; s < n; ++s) members[sets.find(s)].push_back(s);
+
+  // 2. Build placement units.
+  std::vector<Unit> units;
+  std::vector<StageId> singles;
+  for (StageId root = 0; root < n; ++root) {
+    const auto& group = members[root];
+    if (group.empty()) continue;
+    if (group.size() == 1) {
+      singles.push_back(group[0]);
+      continue;
+    }
+    // Gather decomposition (paper §4.5): if every grouped edge inside
+    // this group is a gather and all member DoPs match, the group
+    // splits into per-task units.
+    bool decomposable = true;
+    for (const EdgeRef& er : grouped) {
+      if (sets.find(er.first) != root) continue;
+      const Edge* e = dag_->find_edge(er.first, er.second);
+      assert(e != nullptr);
+      if (e->exchange != ExchangeKind::kGather) decomposable = false;
+    }
+    for (StageId s : group) {
+      if (dop[s] != dop[group[0]]) decomposable = false;
+    }
+    if (decomposable) {
+      for (int t = 0; t < dop[group[0]]; ++t) {
+        Unit u;
+        u.stages = group;
+        u.tasks_per_stage.assign(group.size(), 1);
+        u.task_index = t;
+        units.push_back(std::move(u));
+      }
+    } else {
+      Unit u;
+      u.stages = group;
+      for (StageId s : group) u.tasks_per_stage.push_back(dop[s]);
+      units.push_back(std::move(u));
+    }
+  }
+
+  // 3. Best-fit the units, largest first.
+  std::vector<int> remaining = free_slots;
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) { return a.slots() > b.slots(); });
+
+  cluster::PlacementPlan plan;
+  plan.dop = dop;
+  plan.task_server.assign(n, {});
+  for (StageId s = 0; s < n; ++s) plan.task_server[s].assign(dop[s], kNoServer);
+  plan.zero_copy_edges = grouped;
+
+  for (const Unit& u : units) {
+    const int need = u.slots();
+    int best = -1;
+    for (std::size_t srv = 0; srv < remaining.size(); ++srv) {
+      if (remaining[srv] < need) continue;
+      if (best < 0 || remaining[srv] < remaining[best]) best = static_cast<int>(srv);
+    }
+    if (best < 0) {
+      return Status::resource_exhausted("no server fits a stage group of " +
+                                        std::to_string(need) + " slots");
+    }
+    remaining[best] -= need;
+    for (std::size_t k = 0; k < u.stages.size(); ++k) {
+      const StageId s = u.stages[k];
+      if (u.task_index >= 0) {
+        plan.task_server[s][u.task_index] = static_cast<ServerId>(best);
+      } else {
+        for (int t = 0; t < dop[s]; ++t) plan.task_server[s][t] = static_cast<ServerId>(best);
+      }
+    }
+  }
+
+  // 4. Scatter ungrouped stages' tasks over whatever is left.
+  std::size_t cursor = 0;
+  for (StageId s : singles) {
+    for (int t = 0; t < dop[s]; ++t) {
+      while (cursor < remaining.size() && remaining[cursor] == 0) ++cursor;
+      if (cursor >= remaining.size()) {
+        return Status::resource_exhausted("cluster out of slots for ungrouped stages");
+      }
+      --remaining[cursor];
+      plan.task_server[s][t] = static_cast<ServerId>(cursor);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ditto::scheduler

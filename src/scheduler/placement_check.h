@@ -1,0 +1,45 @@
+// Placement check (paper §4.4 "Placement check", Algorithm 2/3's
+// CAN_PLACE): decides whether a DoP configuration plus a stage-grouping
+// fits the cluster's free slots, and if so produces the concrete
+// task-to-server assignment.
+//
+// Stage groups are placed by best fit: groups sorted by required slots
+// descending, each onto the server whose free-slot count exceeds the
+// requirement by the least. Groups whose internal edges are all
+// `gather` decompose into per-task "task groups" that place
+// independently (paper §4.5, Fig. 7). Ungrouped stages' tasks may
+// scatter across any remaining slots (their edges pay remote shuffling
+// regardless of where they run).
+#pragma once
+
+#include <vector>
+
+#include "cluster/placement.h"
+#include "common/status.h"
+#include "dag/job_dag.h"
+#include "scheduler/grouping.h"
+
+namespace ditto::scheduler {
+
+class PlacementChecker {
+ public:
+  explicit PlacementChecker(const JobDag& dag) : dag_(&dag) {}
+
+  /// CAN_PLACE + plan construction. `free_slots[i]` is the number of
+  /// free function slots on server i. Fails with RESOURCE_EXHAUSTED
+  /// when the configuration does not fit.
+  Result<cluster::PlacementPlan> place(const std::vector<int>& dop,
+                                       const std::vector<EdgeRef>& grouped,
+                                       const std::vector<int>& free_slots) const;
+
+  /// Boolean form used inside the optimization loop.
+  bool can_place(const std::vector<int>& dop, const std::vector<EdgeRef>& grouped,
+                 const std::vector<int>& free_slots) const {
+    return place(dop, grouped, free_slots).ok();
+  }
+
+ private:
+  const JobDag* dag_;
+};
+
+}  // namespace ditto::scheduler

@@ -1,0 +1,37 @@
+// Scheduler interface: JobDag + cluster resources + objective in,
+// (DoP configuration, placement plan, launch times) out.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/status.h"
+#include "dag/job_dag.h"
+#include "scheduler/evaluation.h"
+#include "storage/object_store.h"
+
+namespace ditto::scheduler {
+
+struct SchedulePlan {
+  cluster::PlacementPlan placement;
+  PlanEvaluation predicted;
+  double scheduling_seconds = 0.0;  ///< wall-clock spent inside schedule()
+  std::string scheduler_name;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  /// Produce a plan for `dag` on `cluster` under `objective`.
+  /// `external` is the storage backing non-co-located shuffles (used
+  /// for cost prediction). The DAG must carry fitted step models.
+  virtual Result<SchedulePlan> schedule(const JobDag& dag, const cluster::Cluster& cluster,
+                                        Objective objective,
+                                        const storage::StorageModel& external) = 0;
+};
+
+}  // namespace ditto::scheduler

@@ -1,0 +1,84 @@
+#include "shm/channel.h"
+
+namespace ditto::shm {
+
+Status SharedMemoryChannel::send(Buffer buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::failed_precondition("send on closed channel");
+  ++stats_.messages;
+  stats_.payload_bytes += buf.size();
+  // Zero-copy: the handle moves, the payload stays put.
+  queue_.push_back(std::move(buf));
+  cv_.notify_one();
+  return Status::ok();
+}
+
+std::optional<Buffer> SharedMemoryChannel::recv() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Buffer out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+void SharedMemoryChannel::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+ChannelStats SharedMemoryChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status RemoteChannel::send(Buffer buf) {
+  std::size_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::failed_precondition("send on closed channel");
+    seq = next_send_++;
+    ++stats_.messages;
+    stats_.payload_bytes += buf.size();
+    ++stats_.payload_copies;  // serialize into the store
+    stats_.modeled_time += store_->put_time(buf.size());
+  }
+  DITTO_RETURN_IF_ERROR(store_->put(prefix_ + "/" + std::to_string(seq), buf.view()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+  return Status::ok();
+}
+
+std::optional<Buffer> RemoteChannel::recv() {
+  std::size_t seq;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return next_recv_ < next_send_ || closed_; });
+    if (next_recv_ >= next_send_) return std::nullopt;  // closed and drained
+    seq = next_recv_++;
+  }
+  Result<std::string> value = store_->get(prefix_ + "/" + std::to_string(seq));
+  if (!value.ok()) return std::nullopt;  // producer claimed the seq but put failed
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.payload_copies;  // deserialize out of the store
+    stats_.modeled_time += store_->get_time(value.value().size());
+  }
+  return Buffer::from_bytes(*value);
+}
+
+void RemoteChannel::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+ChannelStats RemoteChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ditto::shm

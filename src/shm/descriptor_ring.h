@@ -1,0 +1,61 @@
+// SPRIGHT-style single-producer/single-consumer descriptor ring.
+//
+// SPRIGHT's eBPF dataplane passes fixed-size *descriptors* (pointers
+// into a shared-memory pool) through a lock-free ring; payloads never
+// move. This is a faithful in-process reproduction: a bounded SPSC
+// ring of Buffer handles with acquire/release synchronization and no
+// locks on the fast path.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "shm/buffer.h"
+
+namespace ditto::shm {
+
+class DescriptorRing {
+ public:
+  /// `capacity` must be a power of two (mask-based indexing).
+  explicit DescriptorRing(std::size_t capacity) : slots_(capacity), mask_(capacity - 1) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "ring capacity must be a power of two");
+  }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(Buffer buf) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = std::move(buf);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is empty.
+  std::optional<Buffer> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    Buffer out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<Buffer> slots_;
+  const std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+};
+
+}  // namespace ditto::shm

@@ -1,0 +1,60 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ditto::sim {
+
+std::string render_gantt(const JobDag& dag, const SimResult& result,
+                         const GanttOptions& options) {
+  std::ostringstream os;
+  const double jct = std::max(result.jct, 1e-9);
+  const int width = std::max(options.width, 10);
+  const auto col_of = [&](double t) {
+    return std::clamp(static_cast<int>(t / jct * width), 0, width);
+  };
+
+  // Name column width.
+  std::size_t name_w = 5;
+  for (const StageTrace& st : result.stages) {
+    name_w = std::max(name_w, dag.stage(st.stage).name().size());
+  }
+
+  char buf[64];
+  for (const StageTrace& st : result.stages) {
+    const std::string& name = dag.stage(st.stage).name();
+    os << name << std::string(name_w - name.size(), ' ');
+    std::snprintf(buf, sizeof(buf), " %4dx |", st.dop);
+    os << buf;
+
+    std::string bar(width, ' ');
+    const int c0 = col_of(st.start);
+    const int c1 = std::max(col_of(st.end), c0 + 1);
+    if (options.show_phases) {
+      // Split [c0, c1) proportionally into setup/read/compute/write.
+      const double total =
+          st.mean_setup + st.mean_read + st.mean_compute + st.mean_write;
+      const double denom = total > 0 ? total : 1.0;
+      const int span = c1 - c0;
+      int cursor = c0;
+      const auto paint = [&](double frac, char ch) {
+        const int n = static_cast<int>(frac / denom * span + 0.5);
+        for (int i = 0; i < n && cursor < c1; ++i) bar[cursor++] = ch;
+      };
+      paint(st.mean_setup, '.');
+      paint(st.mean_read, 'r');
+      paint(st.mean_compute, 'c');
+      paint(st.mean_write, 'w');
+      while (cursor < c1) bar[cursor++] = 'c';  // rounding remainder
+    } else {
+      for (int i = c0; i < c1 && i < width; ++i) bar[i] = '#';
+    }
+    os << bar << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%.1f s", result.jct);
+  os << std::string(name_w + 8, ' ') << "0" << std::string(width - 2, ' ') << buf << "\n";
+  return os.str();
+}
+
+}  // namespace ditto::sim

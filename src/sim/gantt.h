@@ -1,0 +1,24 @@
+// ASCII Gantt rendering of a simulated execution — the textual
+// counterpart of the paper's Fig. 14/15 breakdown charts, reusable by
+// benches, examples, and debugging sessions.
+#pragma once
+
+#include <string>
+
+#include "dag/job_dag.h"
+#include "sim/job_simulator.h"
+
+namespace ditto::sim {
+
+struct GanttOptions {
+  int width = 72;          ///< character columns for the time axis
+  bool show_phases = true; ///< r/c/w segments instead of a solid bar
+};
+
+/// One line per stage: name, DoP, and a bar spanning [start, end) on a
+/// shared time axis. With show_phases, the bar splits into '.' setup,
+/// 'r' read, 'c' compute, 'w' write (proportional to the stage means).
+std::string render_gantt(const JobDag& dag, const SimResult& result,
+                         const GanttOptions& options = {});
+
+}  // namespace ditto::sim

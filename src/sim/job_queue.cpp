@@ -1,0 +1,180 @@
+#include "sim/job_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "sim/sim_runner.h"
+
+namespace ditto::sim {
+
+namespace {
+
+struct RunningJob {
+  Seconds finish = 0.0;
+  std::vector<int> slots_per_server;  // to release at completion
+};
+
+/// Limits the per-job resource offer to `cap` total slots, shrinking
+/// server contributions proportionally (largest-first rounding).
+std::vector<int> cap_offer(std::vector<int> free_slots, int cap) {
+  if (cap <= 0) return free_slots;
+  int total = 0;
+  for (int s : free_slots) total += s;
+  if (total <= cap) return free_slots;
+  const double scale = static_cast<double>(cap) / static_cast<double>(total);
+  int granted = 0;
+  for (int& s : free_slots) {
+    s = static_cast<int>(std::floor(s * scale));
+    granted += s;
+  }
+  // Distribute the rounding remainder to the largest servers.
+  while (granted < cap) {
+    int* best = &free_slots[0];
+    for (int& s : free_slots) {
+      if (s > *best) best = &s;
+    }
+    ++*best;
+    ++granted;
+  }
+  return free_slots;
+}
+
+/// Per-server slot demand of a placement plan.
+std::vector<int> demand_of(const cluster::PlacementPlan& plan, std::size_t servers) {
+  std::vector<int> demand(servers, 0);
+  for (const auto& task_servers : plan.task_server) {
+    for (ServerId v : task_servers) {
+      if (v != kNoServer && v < servers) ++demand[v];
+    }
+  }
+  return demand;
+}
+
+}  // namespace
+
+Result<QueueResult> run_job_queue(const cluster::Cluster& cluster,
+                                  std::vector<JobSubmission> submissions,
+                                  scheduler::Scheduler& sched,
+                                  const storage::StorageModel& external,
+                                  const JobQueueOptions& options) {
+  std::stable_sort(submissions.begin(), submissions.end(),
+                   [](const JobSubmission& a, const JobSubmission& b) {
+                     return a.arrival < b.arrival;
+                   });
+
+  // Profile every job once (offline model building, as in the paper).
+  struct PreparedJob {
+    const JobSubmission* sub = nullptr;
+    JobDag fitted;
+    std::shared_ptr<JobSimulator> simulator;
+  };
+  std::vector<PreparedJob> prepared;
+  prepared.reserve(submissions.size());
+  for (const JobSubmission& sub : submissions) {
+    PreparedJob p;
+    p.sub = &sub;
+    p.simulator = std::make_shared<JobSimulator>(sub.dag, external, options.sim);
+    p.fitted = sub.dag;
+    Profiler profiler(p.fitted, make_sim_stage_runner(p.simulator), options.profiler);
+    DITTO_RETURN_IF_ERROR(profiler.profile_all().status());
+    prepared.push_back(std::move(p));
+  }
+
+  QueueResult result;
+  result.jobs.resize(prepared.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    result.jobs[i].label = prepared[i].sub->label.empty()
+                               ? prepared[i].sub->dag.name()
+                               : prepared[i].sub->label;
+    result.jobs[i].arrival = prepared[i].sub->arrival;
+  }
+
+  std::vector<int> free_slots = cluster.free_slot_snapshot();
+  const int total_slots = cluster.total_slots();
+
+  std::deque<std::size_t> waiting;              // indices into prepared, FIFO
+  std::multimap<Seconds, RunningJob> running;   // finish time -> reservation
+  std::size_t next_arrival = 0;
+  Seconds now = 0.0;
+  double slot_seconds = 0.0;  // integral of reserved slots over time
+  int reserved_now = 0;
+
+  const auto advance_to = [&](Seconds t) {
+    slot_seconds += static_cast<double>(reserved_now) * (t - now);
+    now = t;
+  };
+
+  while (next_arrival < prepared.size() || !waiting.empty() || !running.empty()) {
+    // Next event time: min(next arrival, next completion).
+    Seconds next_event = -1.0;
+    if (next_arrival < prepared.size()) next_event = prepared[next_arrival].sub->arrival;
+    if (!running.empty() &&
+        (next_event < 0.0 || running.begin()->first < next_event)) {
+      next_event = running.begin()->first;
+    }
+    if (next_event < 0.0) {
+      // Only waiting jobs remain and nothing will ever free up: they
+      // can never be scheduled on this cluster.
+      for (std::size_t i : waiting) result.jobs[i].scheduled = false;
+      waiting.clear();
+      break;
+    }
+    advance_to(next_event);
+
+    // Completions first (free slots before admitting new work).
+    while (!running.empty() && running.begin()->first <= now) {
+      const RunningJob& done = running.begin()->second;
+      for (std::size_t v = 0; v < free_slots.size(); ++v) {
+        free_slots[v] += done.slots_per_server[v];
+        reserved_now -= done.slots_per_server[v];
+      }
+      running.erase(running.begin());
+    }
+    // Arrivals join the FIFO queue.
+    while (next_arrival < prepared.size() &&
+           prepared[next_arrival].sub->arrival <= now) {
+      waiting.push_back(next_arrival++);
+    }
+
+    // Admit from the head of the queue while jobs fit (strict FIFO: a
+    // blocked head blocks the queue, avoiding starvation).
+    while (!waiting.empty()) {
+      const std::size_t idx = waiting.front();
+      PreparedJob& job = prepared[idx];
+      auto view =
+          cluster::Cluster::from_slots(cap_offer(free_slots, options.max_slots_per_job));
+      const auto plan =
+          sched.schedule(job.fitted, view, job.sub->objective, external);
+      if (!plan.ok()) break;  // head does not fit yet; wait for completions
+
+      const SimResult sim = job.simulator->run(plan->placement);
+      RunningJob run;
+      run.finish = now + sim.jct;
+      run.slots_per_server = demand_of(plan->placement, free_slots.size());
+      int used = 0;
+      for (std::size_t v = 0; v < free_slots.size(); ++v) {
+        free_slots[v] -= run.slots_per_server[v];
+        used += run.slots_per_server[v];
+        reserved_now += run.slots_per_server[v];
+      }
+      JobOutcome& outcome = result.jobs[idx];
+      outcome.scheduled = true;
+      outcome.started = now;
+      outcome.finished = run.finish;
+      outcome.slots_used = used;
+      running.emplace(run.finish, std::move(run));
+      waiting.pop_front();
+    }
+  }
+
+  result.makespan = now;
+  result.avg_utilization =
+      (result.makespan > 0.0 && total_slots > 0)
+          ? slot_seconds / (static_cast<double>(total_slots) * result.makespan)
+          : 0.0;
+  return result;
+}
+
+}  // namespace ditto::sim

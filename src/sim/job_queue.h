@@ -1,0 +1,74 @@
+// Multi-job cluster simulation — the paper's stated FUTURE WORK
+// (§4.5 "Resource utilization": "maximizing the resource utilization
+// for a serverless cluster requires co-design of inter-job resource
+// allocation and intra-job scheduling ... We leave this study as
+// future work").
+//
+// This extension implements the natural baseline co-design: jobs
+// arrive over time; on arrival (or when resources free up) the
+// intra-job scheduler plans against the CURRENTLY FREE slots, the
+// job's slots stay reserved for its lifetime (the paper's §4.5
+// assumption), and they return to the pool at completion. Jobs that
+// cannot be scheduled yet wait in a FIFO queue. The simulation is
+// event-driven over (arrival, completion) events and reports per-job
+// queueing/JCT, makespan, and average slot utilization — enough to
+// study how the intra-job scheduler's choices shape cluster-level
+// behaviour.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "scheduler/scheduler.h"
+#include "sim/job_simulator.h"
+#include "timemodel/profiler.h"
+
+namespace ditto::sim {
+
+struct JobSubmission {
+  JobDag dag;               ///< ground-truth DAG (profiled internally)
+  Seconds arrival = 0.0;
+  Objective objective = Objective::kJct;
+  std::string label;
+};
+
+struct JobOutcome {
+  std::string label;
+  Seconds arrival = 0.0;
+  Seconds started = 0.0;    ///< when resources were granted
+  Seconds finished = 0.0;
+  int slots_used = 0;
+  bool scheduled = false;   ///< false = never fit the cluster
+
+  Seconds queueing() const { return started - arrival; }
+  Seconds jct() const { return finished - arrival; }  ///< incl. queueing
+};
+
+struct QueueResult {
+  std::vector<JobOutcome> jobs;
+  Seconds makespan = 0.0;
+  /// Time-averaged fraction of cluster slots reserved by running jobs.
+  double avg_utilization = 0.0;
+};
+
+struct JobQueueOptions {
+  SimOptions sim;
+  ProfilerOptions profiler;
+  /// Upper bound on slots offered to a single job (0 = unlimited).
+  /// Without a cap, DoP ratio computing spends EVERY free slot on the
+  /// job at hand (the paper's per-job assumption), so concurrent jobs
+  /// serialize; a cap implements a simple fair-share inter-job policy.
+  int max_slots_per_job = 0;
+};
+
+/// Runs the submissions through the cluster with the given intra-job
+/// scheduler. The cluster's slot counts define the shared pool.
+Result<QueueResult> run_job_queue(const cluster::Cluster& cluster,
+                                  std::vector<JobSubmission> submissions,
+                                  scheduler::Scheduler& sched,
+                                  const storage::StorageModel& external,
+                                  const JobQueueOptions& options = {});
+
+}  // namespace ditto::sim

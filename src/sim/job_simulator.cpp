@@ -1,0 +1,185 @@
+#include "sim/job_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ditto::sim {
+
+namespace {
+/// Deterministic per-(stage, dop, run) seed so profiling repeats are
+/// independent but the whole experiment stays reproducible.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t v : {a, b, c}) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+}  // namespace
+
+double JobSimulator::noise(Rng& rng, double parallelized_time) const {
+  if (options_.skew_sigma <= 0.0) return 1.0;
+  double sigma = options_.skew_sigma;
+  if (parallelized_time < options_.small_task_threshold) {
+    sigma *= options_.small_task_noise_boost;
+  }
+  // Lognormal with mean exactly 1: mu = -sigma^2 / 2.
+  return rng.lognormal(-sigma * sigma / 2.0, sigma);
+}
+
+SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
+  SimResult result;
+  const std::size_t n = dag_->num_stages();
+  assert(plan.dop.size() == n);
+  const ColocatedFn colocated = plan.colocated_fn();
+
+  std::vector<Seconds> stage_start(n, 0.0), stage_end(n, 0.0);
+  result.stages.resize(n);
+
+  for (StageId s : topological_order(*dag_)) {
+    const Stage& stage = dag_->stage(s);
+    const int d = plan.dop[s];
+    Rng rng(mix_seed(options_.seed, s, static_cast<std::uint64_t>(d), 0));
+
+    Seconds ready = 0.0;
+    for (StageId p : dag_->parents(s)) ready = std::max(ready, stage_end[p]);
+    if (options_.honor_launch_times && s < plan.launch_time.size()) {
+      ready = std::max(ready, plan.launch_time[s]);
+    }
+    stage_start[s] = ready;
+
+    StageTrace& st = result.stages[s];
+    st.stage = s;
+    st.dop = d;
+    st.start = ready;
+
+    Seconds max_task = 0.0, sum_task = 0.0;
+    for (int t = 0; t < d; ++t) {
+      TaskTrace task;
+      task.stage = s;
+      task.task = static_cast<TaskId>(t);
+      task.server = t < static_cast<int>(plan.task_server[s].size())
+                        ? plan.task_server[s][t]
+                        : kNoServer;
+      task.start = ready;
+      task.setup = options_.setup_time *
+                   std::max(0.1, rng.normal(1.0, options_.setup_jitter_sigma));
+
+      for (const Step& step : stage.steps()) {
+        if (step.pipelined) continue;  // overlapped with the producer
+        Seconds t_step;
+        const bool zero_copy =
+            step.kind != StepKind::kCompute && step.dep != kNoStage &&
+            (step.kind == StepKind::kRead ? colocated(step.dep, s) : colocated(s, step.dep));
+        if (zero_copy) {
+          t_step = options_.shm_latency;
+        } else {
+          const double parallelized = step.alpha / static_cast<double>(d);
+          t_step = (parallelized + step.beta) * noise(rng, parallelized);
+        }
+        switch (step.kind) {
+          case StepKind::kRead: task.read += t_step; break;
+          case StepKind::kCompute: task.compute += t_step; break;
+          case StepKind::kWrite: task.write += t_step; break;
+        }
+      }
+
+      if (options_.task_failure_prob > 0.0 && rng.coin(options_.task_failure_prob)) {
+        // The failed attempt is re-executed from scratch.
+        task.read *= 2.0;
+        task.compute *= 2.0;
+        task.write *= 2.0;
+        task.setup *= 2.0;
+        task.retried = true;
+      }
+
+      st.mean_setup += task.setup;
+      st.mean_read += task.read;
+      st.mean_compute += task.compute;
+      st.mean_write += task.write;
+      max_task = std::max(max_task, task.duration());
+      sum_task += task.duration();
+
+      // Function memory cost: footprint x duration (paper §6 Metrics).
+      const double mem_gb = static_cast<double>(stage.task_memory_bytes(d)) / 1e9;
+      result.cost.function_gbs += mem_gb * task.duration();
+
+      result.tasks.push_back(task);
+    }
+    const double dd = static_cast<double>(d);
+    st.mean_setup /= dd;
+    st.mean_read /= dd;
+    st.mean_compute /= dd;
+    st.mean_write /= dd;
+    st.straggler_scale = sum_task > 0.0 ? max_task / (sum_task / dd) : 1.0;
+
+    stage_end[s] = ready + max_task;  // stage ends with its slowest task
+    st.end = stage_end[s];
+    result.jct = std::max(result.jct, stage_end[s]);
+  }
+
+  // Intermediate-data persistence cost: from production (end of the
+  // producer's write) to consumption (end of the consumer's read).
+  const double store_price = storage::relative_to_memory_price(external_);
+  for (const Edge& e : dag_->edges()) {
+    const double gb = static_cast<double>(e.bytes) / 1e9;
+    const StageTrace& src = result.stages[e.src];
+    const StageTrace& dst = result.stages[e.dst];
+    const Seconds produced = src.end - src.mean_write;
+    const Seconds consumed = dst.start + dst.mean_setup + dst.mean_read;
+    const Seconds residence = std::max(0.0, consumed - produced);
+    if (plan.edge_colocated(e.src, e.dst)) {
+      result.cost.shm_gbs += gb * residence;  // DRAM-priced
+    } else {
+      result.cost.storage_gbs += store_price * gb * residence;
+    }
+  }
+  return result;
+}
+
+std::vector<double> JobSimulator::run_stage_isolated(StageId s, int d, double* straggler_scale,
+                                                     int run_index) const {
+  const Stage& stage = dag_->stage(s);
+  Rng rng(mix_seed(options_.seed, s, static_cast<std::uint64_t>(d),
+                   static_cast<std::uint64_t>(run_index) + 1));
+  const std::size_t n_steps = stage.steps().size();
+  std::vector<double> mean(n_steps, 0.0);
+  double max_task = 0.0, sum_task = 0.0;
+  for (int t = 0; t < d; ++t) {
+    double task_total = 0.0;
+    for (std::size_t k = 0; k < n_steps; ++k) {
+      const Step& step = stage.steps()[k];
+      if (step.pipelined) continue;
+      const double parallelized = step.alpha / static_cast<double>(d);
+      const double t_step = (parallelized + step.beta) * noise(rng, parallelized);
+      mean[k] += t_step;
+      task_total += t_step;
+    }
+    max_task = std::max(max_task, task_total);
+    sum_task += task_total;
+  }
+  for (double& m : mean) m /= static_cast<double>(d);
+  if (straggler_scale != nullptr) {
+    const double mean_task = sum_task / static_cast<double>(d);
+    *straggler_scale = mean_task > 0.0 ? max_task / mean_task : 1.0;
+  }
+  return mean;
+}
+
+void JobSimulator::export_records(const SimResult& result, cluster::RuntimeMonitor& monitor) {
+  for (const TaskTrace& t : result.tasks) {
+    cluster::TaskRecord r;
+    r.stage = t.stage;
+    r.task = t.task;
+    r.server = t.server;
+    r.start = t.start;
+    r.end = t.end();
+    r.read_time = t.read;
+    r.compute_time = t.compute;
+    r.write_time = t.write;
+    monitor.record(r);
+  }
+}
+
+}  // namespace ditto::sim

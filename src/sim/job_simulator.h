@@ -1,0 +1,100 @@
+// Discrete-event execution of a scheduled job on the simulated cluster.
+//
+// The simulator is the repo's stand-in for the paper's AWS testbed: it
+// takes a placement plan (DoP per stage, task-to-server map, zero-copy
+// edges, launch times) and plays the job forward. Per-task step times
+// are drawn from the DAG's step parameters — which the workload
+// library derives from data volumes and the storage model — perturbed
+// by lognormal skew, so the *measured* times differ from the fitted
+// model exactly as real runs differ from profiles (this gap is what
+// Fig. 11 quantifies). Co-located (grouped) edges exchange data at
+// shared-memory latency; everything else pays the external store's
+// request latency + bandwidth on both the write and the read side.
+//
+// Costs follow the paper's metric: per-task memory footprint x task
+// duration, plus persistence of intermediate data in shared memory or
+// the external store between production and consumption.
+#pragma once
+
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/runtime_monitor.h"
+#include "common/rng.h"
+#include "dag/dag_algorithms.h"
+#include "dag/job_dag.h"
+#include "sim/sim_options.h"
+#include "storage/object_store.h"
+
+namespace ditto::sim {
+
+/// Per-task trace (drives Fig. 15's task-level breakdown).
+struct TaskTrace {
+  StageId stage = kNoStage;
+  TaskId task = 0;
+  ServerId server = kNoServer;
+  Seconds start = 0.0;
+  Seconds setup = 0.0;
+  Seconds read = 0.0;
+  Seconds compute = 0.0;
+  Seconds write = 0.0;
+  bool retried = false;
+  Seconds end() const { return start + setup + read + compute + write; }
+  Seconds duration() const { return setup + read + compute + write; }
+};
+
+/// Per-stage aggregate (drives Fig. 14's stage breakdown).
+struct StageTrace {
+  StageId stage = kNoStage;
+  int dop = 0;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  Seconds mean_setup = 0.0;
+  Seconds mean_read = 0.0;
+  Seconds mean_compute = 0.0;
+  Seconds mean_write = 0.0;
+  double straggler_scale = 1.0;
+};
+
+struct SimCost {
+  double function_gbs = 0.0;
+  double shm_gbs = 0.0;
+  double storage_gbs = 0.0;
+  double total() const { return function_gbs + shm_gbs + storage_gbs; }
+};
+
+struct SimResult {
+  Seconds jct = 0.0;
+  SimCost cost;
+  std::vector<StageTrace> stages;
+  std::vector<TaskTrace> tasks;
+};
+
+class JobSimulator {
+ public:
+  JobSimulator(const JobDag& dag, const storage::StorageModel& external,
+               SimOptions options = {})
+      : dag_(&dag), external_(external), options_(options) {}
+
+  /// Simulate the job under `plan`. The plan must be sized to the DAG.
+  SimResult run(const cluster::PlacementPlan& plan) const;
+
+  /// Simulate ONE stage in isolation at DoP `d` with no co-location —
+  /// the profiler's measurement primitive. Returns mean per-task time
+  /// of each step (aligned with Stage::steps()) and the straggler
+  /// scale. `run_index` decorrelates noise across repeat runs.
+  std::vector<double> run_stage_isolated(StageId s, int d, double* straggler_scale,
+                                         int run_index = 0) const;
+
+  /// Feed a RuntimeMonitor from a finished simulation.
+  static void export_records(const SimResult& result, cluster::RuntimeMonitor& monitor);
+
+ private:
+  double noise(Rng& rng, double parallelized_time) const;
+
+  const JobDag* dag_;
+  storage::StorageModel external_;
+  SimOptions options_;
+};
+
+}  // namespace ditto::sim

@@ -1,0 +1,108 @@
+#include "sim/recurring.h"
+
+#include <algorithm>
+
+#include "cluster/runtime_monitor.h"
+
+namespace ditto::sim {
+
+void RecurringJobManager::register_job(const std::string& name, JobDag truth) {
+  JobState state;
+  state.fitted = truth;
+  state.truth = std::move(truth);
+  state.history.resize(state.truth.num_stages());
+  JobState& stored = (jobs_[name] = std::move(state));
+  // The simulator borrows the DAG, so it must reference the STORED
+  // copy (stable for the manager's lifetime), not a local.
+  stored.simulator = std::make_shared<JobSimulator>(stored.truth, external_, options_.sim);
+}
+
+int RecurringJobManager::runs_of(const std::string& name) const {
+  const auto it = jobs_.find(name);
+  return it == jobs_.end() ? 0 : it->second.runs;
+}
+
+Result<JobDag> RecurringJobManager::fitted_dag(const std::string& name) const {
+  const auto it = jobs_.find(name);
+  if (it == jobs_.end()) return Status::not_found("unknown job: " + name);
+  return it->second.fitted;
+}
+
+Result<RecurringRunResult> RecurringJobManager::run_once(const std::string& name,
+                                                         const cluster::Cluster& cluster,
+                                                         scheduler::Scheduler& sched,
+                                                         Objective objective) {
+  const auto it = jobs_.find(name);
+  if (it == jobs_.end()) return Status::not_found("unknown job: " + name);
+  JobState& job = it->second;
+
+  RecurringRunResult out;
+  if (!job.profiled) {
+    // First occurrence: build the time model offline.
+    Profiler profiler(job.fitted, make_sim_stage_runner(job.simulator), options_.profiler);
+    DITTO_RETURN_IF_ERROR(profiler.profile_all().status());
+    job.profiled = true;
+    out.profiled_this_run = true;
+  }
+
+  DITTO_ASSIGN_OR_RETURN(out.plan, sched.schedule(job.fitted, cluster, objective, external_));
+  out.sim = job.simulator->run(out.plan.placement);
+  ++job.runs;
+
+  // Fold runtime observations back into the model. Observed task times
+  // are only valid refit material for stages whose exchanges all went
+  // through external storage in this run: a stage that rode zero-copy
+  // shared memory ran faster than the placement-independent model by
+  // construction, and folding that in would corrupt the fit.
+  cluster::RuntimeMonitor monitor;
+  JobSimulator::export_records(out.sim, monitor);
+  (void)cluster::tune_stragglers_from_monitor(job.fitted, monitor, options_.feedback);
+  const auto touched_by_grouping = [&](StageId s) {
+    for (const auto& [a, b] : out.plan.placement.zero_copy_edges) {
+      if (a == s || b == s) return true;
+    }
+    return false;
+  };
+  for (const auto& [stage, sample] :
+       cluster::profile_samples_from_monitor(job.fitted, monitor)) {
+    if (touched_by_grouping(stage)) continue;
+    job.history[stage].push_back(sample);
+  }
+
+  // Periodic refit: augment each step's fit with history-derived
+  // stage-level samples (distributed over steps proportionally to the
+  // current alphas, a standard recalibration).
+  if (options_.refit_every > 0 && job.runs % options_.refit_every == 0) {
+    out.refitted_this_run = true;
+    for (StageId s = 0; s < job.fitted.num_stages(); ++s) {
+      if (job.history[s].size() < 3) continue;
+      // Refitting t = alpha/d + beta from samples clustered at nearly
+      // the same DoP is ill-conditioned (the slope in 1/d explodes on
+      // noise); require a real spread before trusting the history.
+      int min_dop = job.history[s].front().dop, max_dop = min_dop;
+      for (const ProfileSample& sample : job.history[s]) {
+        min_dop = std::min(min_dop, sample.dop);
+        max_dop = std::max(max_dop, sample.dop);
+      }
+      if (max_dop < min_dop * 3 / 2) continue;
+      // Fit a stage-level alpha/beta from the accumulated samples.
+      const auto fit = fit_step_model(job.history[s]);
+      if (!fit.ok() || fit->r2 < 0.9) continue;
+      Stage& stage = job.fitted.stage(s);
+      const double old_alpha = stage.alpha_total();
+      const double old_beta = stage.beta_total();
+      if (old_alpha <= 0.0) continue;
+      // Rescale step parameters to match the refit stage totals.
+      const double alpha_scale = fit->model.alpha / old_alpha;
+      const double beta_scale = old_beta > 0.0 ? fit->model.beta / old_beta : 1.0;
+      for (Step& step : stage.steps()) {
+        if (step.pipelined) continue;
+        step.alpha *= alpha_scale;
+        step.beta *= beta_scale;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ditto::sim

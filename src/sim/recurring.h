@@ -1,0 +1,78 @@
+// Recurring-job manager — the operational loop the paper assumes:
+// "Analytics jobs in production workloads tend to be recurring ...
+// Existing schedulers for serverless analytics rely on job history to
+// estimate execution time" (§2.2), and "Ditto updates the model
+// periodically as new job profiles are generated" (§3).
+//
+// The manager keeps a registry of named jobs. The first submission of
+// a job profiles it (five DoPs per stage, least squares); subsequent
+// submissions reuse the fitted models, and after every execution the
+// runtime observations are folded back in: straggler scales via the
+// feedback EMA, and per-stage (DoP, mean-time) samples appended to the
+// profile history for periodic refits.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/feedback.h"
+#include "scheduler/scheduler.h"
+#include "sim/sim_runner.h"
+
+namespace ditto::sim {
+
+struct RecurringOptions {
+  SimOptions sim;
+  ProfilerOptions profiler;
+  cluster::FeedbackOptions feedback;
+  /// Refit step models from accumulated history every N runs (0 = never).
+  int refit_every = 4;
+};
+
+struct RecurringRunResult {
+  scheduler::SchedulePlan plan;
+  SimResult sim;
+  bool profiled_this_run = false;  ///< true only on first submission
+  bool refitted_this_run = false;
+};
+
+class RecurringJobManager {
+ public:
+  explicit RecurringJobManager(const storage::StorageModel& external,
+                               RecurringOptions options = {})
+      : external_(external), options_(options) {}
+
+  /// Registers (or re-registers) a job's ground-truth DAG under `name`.
+  void register_job(const std::string& name, JobDag truth);
+
+  bool has_job(const std::string& name) const { return jobs_.count(name) != 0; }
+  int runs_of(const std::string& name) const;
+
+  /// Runs one occurrence: profile if first time, schedule with `sched`
+  /// on `cluster`, execute on the simulator, feed observations back.
+  Result<RecurringRunResult> run_once(const std::string& name,
+                                      const cluster::Cluster& cluster,
+                                      scheduler::Scheduler& sched, Objective objective);
+
+  /// Current fitted DAG (model state) for inspection; NOT_FOUND if
+  /// unknown.
+  Result<JobDag> fitted_dag(const std::string& name) const;
+
+ private:
+  struct JobState {
+    JobDag truth;
+    JobDag fitted;
+    std::shared_ptr<JobSimulator> simulator;
+    bool profiled = false;
+    int runs = 0;
+    /// Accumulated per-stage (DoP, mean task time) observations.
+    std::vector<std::vector<ProfileSample>> history;  // indexed by StageId
+  };
+
+  storage::StorageModel external_;
+  RecurringOptions options_;
+  std::map<std::string, JobState> jobs_;
+};
+
+}  // namespace ditto::sim

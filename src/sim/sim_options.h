@@ -1,0 +1,41 @@
+// Simulation knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace ditto::sim {
+
+struct SimOptions {
+  /// Sigma of the lognormal per-task time multiplier (data skew; the
+  /// paper's straggler model). 0 disables noise entirely.
+  double skew_sigma = 0.08;
+
+  /// Extra noise applied to *small* tasks: tasks whose parallelized
+  /// time is below `small_task_threshold` get their sigma multiplied by
+  /// `small_task_noise_boost` (paper §6.4: "Due to the higher execution
+  /// time variance of smaller tasks, the accuracy of the execution time
+  /// model is lower").
+  Seconds small_task_threshold = 2.0;
+  double small_task_noise_boost = 3.0;
+
+  /// Function setup (cold-start) time per task (Fig. 14 "setup").
+  Seconds setup_time = 0.5;
+  double setup_jitter_sigma = 0.15;
+
+  /// Zero-copy shared-memory exchange latency (SPRIGHT reports
+  /// microsecond-level no matter the data size).
+  Seconds shm_latency = 2e-6;
+
+  /// Probability a task fails and retries once (failure injection for
+  /// robustness tests; 0 in benchmark runs).
+  double task_failure_prob = 0.0;
+
+  /// Honor the plan's launch_time vector (NIMBLE launch-time policy).
+  bool honor_launch_times = true;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace ditto::sim

@@ -1,0 +1,44 @@
+#include "sim/sim_runner.h"
+
+#include <map>
+#include <mutex>
+
+namespace ditto::sim {
+
+StageRunner make_sim_stage_runner(std::shared_ptr<const JobSimulator> simulator) {
+  // Track how many times each (stage, dop) has been sampled so repeats
+  // decorrelate while staying deterministic.
+  auto counters = std::make_shared<std::map<std::pair<StageId, int>, int>>();
+  auto mu = std::make_shared<std::mutex>();
+  return [simulator, counters, mu](StageId s, int d) {
+    int run_index;
+    {
+      std::lock_guard<std::mutex> lock(*mu);
+      run_index = (*counters)[{s, d}]++;
+    }
+    StepObservation obs;
+    obs.step_times = simulator->run_stage_isolated(s, d, &obs.straggler_scale, run_index);
+    return obs;
+  };
+}
+
+Result<ExperimentResult> run_experiment(const JobDag& truth, const cluster::Cluster& cluster,
+                                        scheduler::Scheduler& sched, Objective objective,
+                                        const storage::StorageModel& external,
+                                        SimOptions sim_options,
+                                        ProfilerOptions profiler_options) {
+  auto simulator = std::make_shared<JobSimulator>(truth, external, sim_options);
+
+  // Profile into a copy: the scheduler must plan on fitted models, not
+  // ground truth.
+  JobDag fitted = truth;
+  Profiler profiler(fitted, make_sim_stage_runner(simulator), profiler_options);
+  ExperimentResult out;
+  DITTO_ASSIGN_OR_RETURN(out.profile, profiler.profile_all());
+
+  DITTO_ASSIGN_OR_RETURN(out.plan, sched.schedule(fitted, cluster, objective, external));
+  out.sim = simulator->run(out.plan.placement);
+  return out;
+}
+
+}  // namespace ditto::sim

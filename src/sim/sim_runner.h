@@ -1,0 +1,43 @@
+// End-to-end experiment harness mirroring the paper's methodology:
+//
+//   1. the workload defines the *ground-truth* DAG (step parameters
+//      derived from data volumes and the storage backend),
+//   2. the profiler runs each stage at five DoPs on the simulator and
+//      least-squares fits the time model into a *fitted copy* of the
+//      DAG (the scheduler never sees the ground truth),
+//   3. the scheduler plans on the fitted DAG,
+//   4. the simulator executes the plan against the ground truth,
+//      yielding measured JCT/cost.
+//
+// Keeping truth and fitted DAGs separate reproduces the profile-vs-run
+// gap that Fig. 11 quantifies.
+#pragma once
+
+#include <memory>
+
+#include "scheduler/scheduler.h"
+#include "sim/job_simulator.h"
+#include "timemodel/profiler.h"
+
+namespace ditto::sim {
+
+/// Profiler adapter: measurements come from isolated stage simulations
+/// on the ground-truth DAG. Successive calls for the same (stage, DoP)
+/// draw fresh noise.
+StageRunner make_sim_stage_runner(std::shared_ptr<const JobSimulator> simulator);
+
+struct ExperimentResult {
+  scheduler::SchedulePlan plan;   ///< what the scheduler decided (on fitted models)
+  SimResult sim;                  ///< what "actually" happened (ground truth)
+  ProfileReport profile;          ///< fitting diagnostics (Table 2 timing)
+};
+
+/// Full pipeline: profile -> schedule -> simulate.
+/// `truth` must carry ground-truth step parameters (see workload lib).
+Result<ExperimentResult> run_experiment(const JobDag& truth, const cluster::Cluster& cluster,
+                                        scheduler::Scheduler& sched, Objective objective,
+                                        const storage::StorageModel& external,
+                                        SimOptions sim_options = {},
+                                        ProfilerOptions profiler_options = {});
+
+}  // namespace ditto::sim

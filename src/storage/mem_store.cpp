@@ -1,0 +1,99 @@
+#include "storage/mem_store.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ditto::storage {
+
+void MemStore::maybe_sleep(Bytes n) const {
+  if (delay_scale_ <= 0.0) return;
+  const Seconds t = model_.transfer_time(n) * delay_scale_;
+  if (t > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(t));
+  }
+}
+
+Status MemStore::put(const std::string& key, std::string_view value) {
+  maybe_sleep(value.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  Bytes delta = value.size();
+  if (it != data_.end()) delta = value.size() > it->second.size() ? value.size() - it->second.size() : 0;
+  if (model_.capacity > 0) {
+    const Bytes prospective =
+        used_ + value.size() - (it != data_.end() ? it->second.size() : 0);
+    if (prospective > model_.capacity) {
+      return Status::resource_exhausted(std::string(kind()) + " store capacity exceeded");
+    }
+  }
+  (void)delta;
+  if (it != data_.end()) {
+    used_ -= it->second.size();
+    it->second.assign(value);
+    used_ += it->second.size();
+  } else {
+    data_.emplace(key, std::string(value));
+    used_ += value.size();
+  }
+  ++stats_.puts;
+  stats_.bytes_written += value.size();
+  return Status::ok();
+}
+
+Result<std::string> MemStore::get(const std::string& key) const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = data_.find(key);
+    ++stats_.gets;
+    if (it == data_.end()) {
+      ++stats_.misses;
+      return Status::not_found("key not found: " + key);
+    }
+    out = it->second;
+    stats_.bytes_read += out.size();
+  }
+  maybe_sleep(out.size());
+  return out;
+}
+
+bool MemStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.count(key) != 0;
+}
+
+Status MemStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return Status::not_found("key not found: " + key);
+  used_ -= it->second.size();
+  data_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::string> MemStore::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [k, v] : data_) {
+    if (k.rfind(prefix, 0) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+Bytes MemStore::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+StoreStats MemStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.clear();
+  used_ = 0;
+}
+
+}  // namespace ditto::storage

@@ -1,0 +1,75 @@
+#include "storage/tiered_store.h"
+
+namespace ditto::storage {
+
+std::unique_ptr<TieredStore> TieredStore::redis_over_s3(Bytes fast_threshold) {
+  return std::make_unique<TieredStore>(make_redis_sim(), make_s3_sim(), fast_threshold);
+}
+
+const StorageModel& TieredStore::model_for(Bytes n) const {
+  return n <= threshold_ ? fast_->model() : slow_->model();
+}
+
+Status TieredStore::put(const std::string& key, std::string_view value) {
+  if (value.size() <= threshold_) {
+    const Status st = fast_->put(key, value);
+    if (st.is_ok()) {
+      // A stale copy in the slow tier must not shadow this write.
+      (void)slow_->remove(key);
+      return st;
+    }
+    if (st.code() != StatusCode::kResourceExhausted) return st;
+    // Fast tier full: spill to the slow tier.
+  }
+  const Status st = slow_->put(key, value);
+  if (st.is_ok()) (void)fast_->remove(key);
+  return st;
+}
+
+Result<std::string> TieredStore::get(const std::string& key) const {
+  auto fast = fast_->get(key);
+  if (fast.ok()) return fast;
+  return slow_->get(key);
+}
+
+bool TieredStore::contains(const std::string& key) const {
+  return fast_->contains(key) || slow_->contains(key);
+}
+
+Status TieredStore::remove(const std::string& key) {
+  const Status f = fast_->remove(key);
+  const Status s = slow_->remove(key);
+  if (f.is_ok() || s.is_ok()) return Status::ok();
+  return Status::not_found("key not found: " + key);
+}
+
+std::vector<std::string> TieredStore::list(const std::string& prefix) const {
+  std::vector<std::string> out = fast_->list(prefix);
+  for (std::string& k : slow_->list(prefix)) out.push_back(std::move(k));
+  return out;
+}
+
+Bytes TieredStore::used_bytes() const { return fast_->used_bytes() + slow_->used_bytes(); }
+
+StoreStats TieredStore::stats() const {
+  const StoreStats a = fast_->stats();
+  const StoreStats b = slow_->stats();
+  StoreStats out;
+  out.puts = a.puts + b.puts;
+  out.gets = a.gets + b.gets;
+  out.misses = b.misses;  // fast-tier misses that hit the slow tier are not misses
+  out.bytes_written = a.bytes_written + b.bytes_written;
+  out.bytes_read = a.bytes_read + b.bytes_read;
+  return out;
+}
+
+StorageModel direct_network_model() {
+  StorageModel m;
+  m.request_latency = 0.001;         // connection setup
+  m.bandwidth_bytes_per_s = 1.25e9;  // 10 GbE
+  m.cost_per_gb_second = 0.0;        // nothing persisted
+  m.capacity = 0;
+  return m;
+}
+
+}  // namespace ditto::storage

@@ -1,0 +1,64 @@
+// Tiered external storage: fast in-memory store for small objects,
+// object storage for everything else.
+//
+// The paper's §6.3 notes that "Redis is typically used to speed up
+// access to small intermediate data and has limited capacity"; prior
+// serverless analytics systems (Pu et al., NSDI'19 [45]) explicitly
+// combine a small fast store with S3. TieredStore reproduces that
+// pattern: objects at or below `fast_threshold` go to the fast tier
+// (falling back to the slow tier when the fast tier is full), larger
+// objects go straight to the slow tier. Reads check the fast tier
+// first.
+#pragma once
+
+#include <memory>
+
+#include "storage/mem_store.h"
+#include "storage/sim_store.h"
+
+namespace ditto::storage {
+
+class TieredStore : public ObjectStore {
+ public:
+  /// Takes ownership of both tiers.
+  TieredStore(std::unique_ptr<MemStore> fast, std::unique_ptr<MemStore> slow,
+              Bytes fast_threshold)
+      : fast_(std::move(fast)), slow_(std::move(slow)), threshold_(fast_threshold) {}
+
+  /// The paper-shaped default: Redis + S3, 64 MB threshold.
+  static std::unique_ptr<TieredStore> redis_over_s3(Bytes fast_threshold = 64_MB);
+
+  const char* kind() const override { return "tiered"; }
+  /// The slow tier's model (conservative; per-object timing should use
+  /// model_for()).
+  const StorageModel& model() const override { return slow_->model(); }
+
+  /// Model that would serve an object of `n` bytes (used by physics).
+  const StorageModel& model_for(Bytes n) const;
+
+  Status put(const std::string& key, std::string_view value) override;
+  Result<std::string> get(const std::string& key) const override;
+  bool contains(const std::string& key) const override;
+  Status remove(const std::string& key) override;
+  std::vector<std::string> list(const std::string& prefix) const override;
+
+  Bytes used_bytes() const override;
+  StoreStats stats() const override;
+
+  const MemStore& fast_tier() const { return *fast_; }
+  const MemStore& slow_tier() const { return *slow_; }
+  Bytes fast_threshold() const { return threshold_; }
+
+ private:
+  std::unique_ptr<MemStore> fast_;
+  std::unique_ptr<MemStore> slow_;
+  const Bytes threshold_;
+};
+
+/// Direct server-to-server transfer model (paper §7: "Ditto's design is
+/// suitable for ... direct communication over network", e.g. Knative):
+/// ~1 ms connection overhead, 10 GbE bandwidth, nothing persisted so no
+/// storage cost, unbounded.
+StorageModel direct_network_model();
+
+}  // namespace ditto::storage

@@ -1,0 +1,41 @@
+#include "timemodel/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+
+namespace ditto {
+
+Result<FitResult> fit_step_model(const std::vector<ProfileSample>& samples) {
+  if (samples.size() < 2) {
+    return Status::invalid_argument("fit_step_model needs at least 2 samples");
+  }
+  std::set<int> dops;
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const ProfileSample& s : samples) {
+    if (s.dop < 1) return Status::invalid_argument("sample with DoP < 1");
+    dops.insert(s.dop);
+    x.push_back(1.0 / static_cast<double>(s.dop));
+    y.push_back(s.time);
+  }
+  if (dops.size() < 2) {
+    return Status::invalid_argument("samples must cover at least 2 distinct DoPs");
+  }
+  const LinearFit lf = least_squares(x, y);
+  FitResult out;
+  out.model.alpha = std::max(0.0, lf.slope);
+  out.model.beta = std::max(0.0, lf.intercept);
+  out.r2 = lf.r2;
+  return out;
+}
+
+double relative_error(const StepModel& model, int dop, double actual) {
+  if (actual <= 0.0) return 0.0;
+  return std::abs(model.eval(dop) - actual) / actual;
+}
+
+}  // namespace ditto

@@ -1,0 +1,32 @@
+// Least-squares fitting of the step time model from profiled samples.
+//
+// Given observations (d_i, t_i) for one step, fit t = alpha * (1/d) + beta
+// by ordinary least squares with x = 1/d (paper §6.5: five DoPs per
+// stage, least-squares method). Negative fitted parameters are clamped
+// to zero: both alpha and beta are physically non-negative.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "timemodel/step_model.h"
+
+namespace ditto {
+
+struct ProfileSample {
+  int dop = 1;
+  double time = 0.0;  ///< measured average task time at this DoP
+};
+
+struct FitResult {
+  StepModel model;
+  double r2 = 0.0;  ///< goodness of fit on the (1/d, t) regression
+};
+
+/// Fits a StepModel; needs >= 2 samples at distinct DoPs.
+Result<FitResult> fit_step_model(const std::vector<ProfileSample>& samples);
+
+/// Relative prediction error |pred - actual| / actual at one point.
+double relative_error(const StepModel& model, int dop, double actual);
+
+}  // namespace ditto

@@ -1,0 +1,111 @@
+#include "timemodel/profiler.h"
+
+#include <cassert>
+
+#include "common/stopwatch.h"
+
+namespace ditto {
+
+Result<StageFit> Profiler::profile_stage(StageId s) {
+  const Stage& stage = dag_->stage(s);
+  const std::size_t n_steps = stage.steps().size();
+  if (n_steps == 0) return Status::failed_precondition("stage has no steps: " + stage.name());
+  if (options_.dops.size() < 2) {
+    return Status::invalid_argument("profiler needs at least 2 DoPs");
+  }
+
+  // samples[k] collects (dop, time) pairs for step k.
+  std::vector<std::vector<ProfileSample>> samples(n_steps);
+  double straggler_sum = 0.0;
+  std::size_t straggler_n = 0;
+
+  for (int dop : options_.dops) {
+    if (dop < 1) return Status::invalid_argument("profiler DoP < 1");
+    // Average step times across repeats before fitting.
+    std::vector<double> acc(n_steps, 0.0);
+    for (int r = 0; r < options_.repeats; ++r) {
+      const StepObservation obs = runner_(s, dop);
+      if (obs.step_times.size() != n_steps) {
+        return Status::internal("runner returned wrong step count for stage " + stage.name());
+      }
+      for (std::size_t k = 0; k < n_steps; ++k) acc[k] += obs.step_times[k];
+      straggler_sum += obs.straggler_scale;
+      ++straggler_n;
+    }
+    for (std::size_t k = 0; k < n_steps; ++k) {
+      samples[k].push_back({dop, acc[k] / static_cast<double>(options_.repeats)});
+    }
+  }
+
+  StageFit fit;
+  fit.stage = s;
+  fit.step_fits.reserve(n_steps);
+  for (std::size_t k = 0; k < n_steps; ++k) {
+    DITTO_ASSIGN_OR_RETURN(FitResult fr, fit_step_model(samples[k]));
+    fit.step_fits.push_back(fr);
+  }
+  fit.straggler_scale = straggler_n ? straggler_sum / static_cast<double>(straggler_n) : 1.0;
+  return fit;
+}
+
+Result<ProfileReport> Profiler::profile_all() {
+  ProfileReport report;
+  report.fits.reserve(dag_->num_stages());
+
+  // Phase 1: gather observations (the expensive part — actual runs).
+  Stopwatch profiling_clock;
+  std::vector<std::vector<std::vector<ProfileSample>>> all_samples(dag_->num_stages());
+  std::vector<double> straggler(dag_->num_stages(), 1.0);
+  for (StageId s = 0; s < dag_->num_stages(); ++s) {
+    const Stage& stage = dag_->stage(s);
+    const std::size_t n_steps = stage.steps().size();
+    if (n_steps == 0) return Status::failed_precondition("stage has no steps: " + stage.name());
+    all_samples[s].resize(n_steps);
+    double ssum = 0.0;
+    std::size_t sn = 0;
+    for (int dop : options_.dops) {
+      std::vector<double> acc(n_steps, 0.0);
+      for (int r = 0; r < options_.repeats; ++r) {
+        const StepObservation obs = runner_(s, dop);
+        if (obs.step_times.size() != n_steps) {
+          return Status::internal("runner returned wrong step count for stage " + stage.name());
+        }
+        for (std::size_t k = 0; k < n_steps; ++k) acc[k] += obs.step_times[k];
+        ssum += obs.straggler_scale;
+        ++sn;
+      }
+      for (std::size_t k = 0; k < n_steps; ++k) {
+        all_samples[s][k].push_back({dop, acc[k] / static_cast<double>(options_.repeats)});
+      }
+    }
+    straggler[s] = sn ? ssum / static_cast<double>(sn) : 1.0;
+  }
+  report.profiling_seconds = profiling_clock.elapsed_seconds();
+
+  // Phase 2: least-squares fitting — this is what Table 2 times.
+  Stopwatch fit_clock;
+  for (StageId s = 0; s < dag_->num_stages(); ++s) {
+    StageFit fit;
+    fit.stage = s;
+    fit.straggler_scale = straggler[s];
+    const std::size_t n_steps = dag_->stage(s).steps().size();
+    for (std::size_t k = 0; k < n_steps; ++k) {
+      DITTO_ASSIGN_OR_RETURN(FitResult fr, fit_step_model(all_samples[s][k]));
+      fit.step_fits.push_back(fr);
+    }
+    // Write the fitted model back into the DAG, including the observed
+    // straggler scale (paper §4.1: the scaling factor is "dynamically
+    // tuned according to the profiled job history").
+    for (std::size_t k = 0; k < n_steps; ++k) {
+      Step& step = dag_->stage(s).steps()[k];
+      step.alpha = fit.step_fits[k].model.alpha;
+      step.beta = fit.step_fits[k].model.beta;
+    }
+    dag_->stage(s).set_straggler_scale(fit.straggler_scale);
+    report.fits.push_back(std::move(fit));
+  }
+  report.model_build_seconds = fit_clock.elapsed_seconds();
+  return report;
+}
+
+}  // namespace ditto

@@ -1,0 +1,70 @@
+// Offline profiler: builds the execution time model from job history
+// (paper §3 "Execution time predictor", §6.5 Table 2).
+//
+// For each stage the profiler requests runs at a small set of DoPs
+// (five by default, like the paper) from a StageRunner — in this repo
+// that is either the discrete-event simulator or the real execution
+// engine — and least-squares fits alpha/beta for every step. Fitted
+// parameters are written back into the JobDag's steps so the scheduler
+// and predictor can use them.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/job_dag.h"
+#include "timemodel/fitting.h"
+
+namespace ditto {
+
+/// One profiled execution of a stage at a given DoP.
+struct StepObservation {
+  /// Average per-task time of each step, aligned with Stage::steps().
+  std::vector<double> step_times;
+  /// max task time / mean task time across the stage's tasks; feeds the
+  /// straggler scaling factor ("Modeling stragglers").
+  double straggler_scale = 1.0;
+};
+
+/// Runs stage `s` at DoP `d` and reports measured step times.
+using StageRunner = std::function<StepObservation(StageId s, int d)>;
+
+struct ProfilerOptions {
+  /// DoPs to sample; the paper profiles five per stage.
+  std::vector<int> dops = {4, 8, 16, 32, 64};
+  /// Repeats per DoP (observations are averaged before fitting).
+  int repeats = 1;
+};
+
+struct StageFit {
+  StageId stage = kNoStage;
+  std::vector<FitResult> step_fits;  // aligned with Stage::steps()
+  double straggler_scale = 1.0;      // mean across observations
+};
+
+struct ProfileReport {
+  std::vector<StageFit> fits;
+  double model_build_seconds = 0.0;  ///< wall time of the fitting pass only (Table 2)
+  double profiling_seconds = 0.0;    ///< wall time spent in the StageRunner
+};
+
+class Profiler {
+ public:
+  Profiler(JobDag& dag, StageRunner runner, ProfilerOptions options = {})
+      : dag_(&dag), runner_(std::move(runner)), options_(std::move(options)) {}
+
+  /// Profiles every stage, fits all step models, and writes the fitted
+  /// alpha/beta back into the DAG's steps.
+  Result<ProfileReport> profile_all();
+
+  /// Profiles a single stage (no write-back).
+  Result<StageFit> profile_stage(StageId s);
+
+ private:
+  JobDag* dag_;
+  StageRunner runner_;
+  ProfilerOptions options_;
+};
+
+}  // namespace ditto

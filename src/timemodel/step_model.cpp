@@ -1,0 +1,16 @@
+#include "timemodel/step_model.h"
+
+#include <cmath>
+
+namespace ditto {
+
+StepModel merge_intra_path(const StepModel& a, const StepModel& b) {
+  const double s = std::sqrt(a.alpha) + std::sqrt(b.alpha);
+  return {s * s, a.beta + b.beta};
+}
+
+StepModel merge_inter_path(const StepModel& a, const StepModel& b) {
+  return {a.alpha + b.alpha, std::max(a.beta, b.beta)};
+}
+
+}  // namespace ditto

@@ -1,0 +1,388 @@
+#include "workload/engine_queries.h"
+
+#include "dag/dag_algorithms.h"
+#include "exec/datagen.h"
+#include "exec/operators.h"
+#include "exec/partition.h"
+
+namespace ditto::workload {
+
+using exec::AggKind;
+using exec::CmpOp;
+using exec::JoinKind;
+using exec::StageBinding;
+using exec::Table;
+
+namespace {
+
+/// Uniform answer format: one row, columns (rows:int64, value:double).
+Result<Table> summarize(std::int64_t rows, double value) {
+  return Table::make(
+      {{"rows", exec::DataType::kInt64}, {"value", exec::DataType::kDouble}},
+      {exec::Column(std::vector<std::int64_t>{rows}), exec::Column(std::vector<double>{value})});
+}
+
+Result<Table> summarize_orders(const Table& t, const std::string& value_col) {
+  double total = 0.0;
+  if (t.column_index(value_col) >= 0) {
+    for (double v : t.column_by_name(value_col).doubles()) total += v;
+  }
+  return summarize(static_cast<std::int64_t>(t.num_rows()), total);
+}
+
+/// Task slice of a captured table.
+StageBinding scan_binding(std::shared_ptr<const Table> table,
+                          std::vector<std::string> columns, std::string key) {
+  StageBinding b;
+  b.fn = [table, columns](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+    const Table slice = exec::range_partition(*table, dop)[task];
+    return exec::project(slice, columns);
+  };
+  b.output_key = std::move(key);
+  return b;
+}
+
+/// Orders of `t` (keyed by order_id) touching >= 2 distinct warehouses.
+Result<Table> multi_warehouse(const Table& t) {
+  DITTO_ASSIGN_OR_RETURN(Table grouped,
+                         exec::group_by(t, "order_id",
+                                        {{AggKind::kMin, "warehouse_id", "wh_min"},
+                                         {AggKind::kMax, "warehouse_id", "wh_max"}}));
+  return exec::filter(grouped, [](const Table& g, std::size_t r) {
+    return g.column_by_name("wh_min").double_at(r) < g.column_by_name("wh_max").double_at(r);
+  });
+}
+
+exec::FactTableSpec fact_spec_from(const EngineQuerySpec& spec) {
+  exec::FactTableSpec f;
+  f.rows = spec.fact_rows;
+  f.num_orders = spec.num_orders;
+  f.num_warehouses = spec.num_warehouses;
+  f.num_dates = spec.num_dates;
+  f.num_sites = spec.num_sites;
+  f.seed = spec.seed;
+  return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q1
+// ---------------------------------------------------------------------------
+
+EngineJob build_q1_engine_job(const EngineQuerySpec& spec) {
+  EngineJob job;
+  // store_returns miniature: order_id plays the customer, warehouse_id
+  // the store, price the return amount.
+  auto returns = std::make_shared<const Table>(exec::gen_fact_table(fact_spec_from(spec)));
+  auto dates = std::make_shared<const Table>(
+      exec::gen_dim_table(static_cast<std::size_t>(spec.num_dates), 3, spec.seed + 2));
+  auto customers = std::make_shared<const Table>(
+      exec::gen_dim_table(static_cast<std::size_t>(spec.num_orders), 2, spec.seed + 3));
+  job.sources = {{"store_returns", returns}, {"date_dim", dates}, {"customer", customers}};
+
+  JobDag dag("Q1-engine");
+  const StageId scan_returns = dag.add_stage("scan_returns");
+  const StageId scan_dates = dag.add_stage("scan_dates");
+  const StageId join_dates = dag.add_stage("join_dates");
+  const StageId groupby_customer = dag.add_stage("groupby_customer");
+  const StageId store_avg = dag.add_stage("store_avg");
+  const StageId scan_customer = dag.add_stage("scan_customer");
+  const StageId final_join = dag.add_stage("final_join");
+  (void)dag.add_edge(scan_returns, join_dates, ExchangeKind::kShuffle);
+  (void)dag.add_edge(scan_dates, join_dates, ExchangeKind::kAllGather);
+  (void)dag.add_edge(join_dates, groupby_customer, ExchangeKind::kShuffle);
+  (void)dag.add_edge(groupby_customer, store_avg, ExchangeKind::kShuffle);
+  (void)dag.add_edge(groupby_customer, final_join, ExchangeKind::kShuffle);
+  (void)dag.add_edge(store_avg, final_join, ExchangeKind::kBroadcast);
+  (void)dag.add_edge(scan_customer, final_join, ExchangeKind::kShuffle);
+  job.dag = std::move(dag);
+  job.sink = final_join;
+
+  const std::int64_t allowed = spec.dim_attr_allowed;
+  const double factor = spec.q1_avg_factor;
+
+  job.bindings[scan_returns] = scan_binding(
+      returns, {"order_id", "warehouse_id", "date_id", "price"}, "order_id");
+
+  job.bindings[scan_dates] = StageBinding{
+      [dates, allowed](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+        const Table slice = exec::range_partition(*dates, dop)[task];
+        DITTO_ASSIGN_OR_RETURN(Table ok, exec::filter_int(slice, "attr", CmpOp::kEq, allowed));
+        return exec::project(ok, {"id"});
+      },
+      "", {}};
+
+  job.bindings[join_dates] = StageBinding{
+      [](int, int, const std::vector<Table>& in) -> Result<Table> {
+        return exec::hash_join(in.at(0), "date_id", in.at(1), "id", JoinKind::kLeftSemi);
+      },
+      "order_id",
+      {}};
+
+  // Customer totals flow to TWO consumers under DIFFERENT keys.
+  StageBinding totals;
+  totals.fn = [](int, int, const std::vector<Table>& in) -> Result<Table> {
+    return exec::group_by(in.at(0), "order_id",
+                          {{AggKind::kSum, "price", "total"},
+                           {AggKind::kFirstInt, "warehouse_id", "warehouse_id"}});
+  };
+  totals.output_key = "order_id";                       // to final_join
+  totals.edge_keys[store_avg] = "warehouse_id";         // to store_avg
+  job.bindings[groupby_customer] = std::move(totals);
+
+  job.bindings[store_avg] = StageBinding{
+      [](int, int, const std::vector<Table>& in) -> Result<Table> {
+        return exec::group_by(in.at(0), "warehouse_id",
+                              {{AggKind::kAvg, "total", "avg_total"}});
+      },
+      "", {}};
+
+  job.bindings[scan_customer] = scan_binding(customers, {"id"}, "id");
+
+  job.bindings[final_join] = StageBinding{
+      [factor](int, int, const std::vector<Table>& in) -> Result<Table> {
+        // in[0]=customer totals, in[1]=store averages, in[2]=customers.
+        DITTO_ASSIGN_OR_RETURN(
+            Table known, exec::hash_join(in.at(0), "order_id", in.at(2), "id",
+                                         JoinKind::kLeftSemi));
+        DITTO_ASSIGN_OR_RETURN(
+            Table with_avg,
+            exec::hash_join(known, "warehouse_id", in.at(1), "warehouse_id"));
+        const Table above = exec::filter(with_avg, [factor](const Table& t, std::size_t r) {
+          return t.column_by_name("total").double_at(r) >
+                 factor * t.column_by_name("avg_total").double_at(r);
+        });
+        return summarize_orders(above, "total");
+      },
+      "", {}};
+  return job;
+}
+
+EngineAnswer q1_engine_reference(const EngineJob& job, const EngineQuerySpec& spec) {
+  EngineAnswer answer;
+  const Table& returns = *job.sources.at("store_returns");
+  const Table& dates = *job.sources.at("date_dim");
+  const Table& customers = *job.sources.at("customer");
+
+  auto allowed = exec::filter_int(dates, "attr", CmpOp::kEq, spec.dim_attr_allowed);
+  if (!allowed.ok()) return answer;
+  auto dated =
+      exec::hash_join(returns, "date_id", *allowed, "id", JoinKind::kLeftSemi);
+  if (!dated.ok()) return answer;
+  auto totals = exec::group_by(*dated, "order_id",
+                               {{AggKind::kSum, "price", "total"},
+                                {AggKind::kFirstInt, "warehouse_id", "warehouse_id"}});
+  if (!totals.ok()) return answer;
+  auto avgs =
+      exec::group_by(*totals, "warehouse_id", {{AggKind::kAvg, "total", "avg_total"}});
+  if (!avgs.ok()) return answer;
+  auto known = exec::hash_join(*totals, "order_id", customers, "id", JoinKind::kLeftSemi);
+  if (!known.ok()) return answer;
+  auto with_avg = exec::hash_join(*known, "warehouse_id", *avgs, "warehouse_id");
+  if (!with_avg.ok()) return answer;
+  const double factor = spec.q1_avg_factor;
+  const Table above = exec::filter(*with_avg, [factor](const Table& t, std::size_t r) {
+    return t.column_by_name("total").double_at(r) >
+           factor * t.column_by_name("avg_total").double_at(r);
+  });
+  answer.rows = static_cast<std::int64_t>(above.num_rows());
+  for (double v : above.column_by_name("total").doubles()) answer.value += v;
+  return answer;
+}
+
+// ---------------------------------------------------------------------------
+// Q16 / Q94 (shared shape; the dimension filter differs)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EngineJob build_q16_shaped(const EngineQuerySpec& spec, const char* name,
+                           const std::string& dim_join_column, std::size_t dim_rows,
+                           std::uint64_t dim_seed) {
+  EngineJob job;
+  auto sales = std::make_shared<const Table>(exec::gen_fact_table(fact_spec_from(spec)));
+  auto returns = std::make_shared<const Table>(
+      exec::gen_returns_table(*sales, spec.return_fraction, spec.seed + 1));
+  auto dim = std::make_shared<const Table>(exec::gen_dim_table(dim_rows, 3, dim_seed));
+  job.sources = {{"sales", sales}, {"returns", returns}, {"dim", dim}};
+
+  JobDag dag(name);
+  const StageId scan_sales = dag.add_stage("scan_sales");
+  const StageId scan_dims = dag.add_stage("scan_dims");
+  const StageId filter_join = dag.add_stage("filter_join");
+  const StageId scan_sales2 = dag.add_stage("scan_sales2");
+  const StageId exists_join = dag.add_stage("exists_join");
+  const StageId scan_returns = dag.add_stage("scan_returns");
+  const StageId anti_join = dag.add_stage("anti_join");
+  const StageId agg_distinct = dag.add_stage("agg_distinct");
+  (void)dag.add_edge(scan_sales, filter_join, ExchangeKind::kShuffle);
+  (void)dag.add_edge(scan_dims, filter_join, ExchangeKind::kAllGather);
+  (void)dag.add_edge(filter_join, exists_join, ExchangeKind::kShuffle);
+  (void)dag.add_edge(scan_sales2, exists_join, ExchangeKind::kShuffle);
+  (void)dag.add_edge(exists_join, anti_join, ExchangeKind::kShuffle);
+  (void)dag.add_edge(scan_returns, anti_join, ExchangeKind::kShuffle);
+  (void)dag.add_edge(anti_join, agg_distinct, ExchangeKind::kGather);
+  job.dag = std::move(dag);
+  job.sink = agg_distinct;
+
+  const double threshold = spec.price_threshold;
+  const std::int64_t allowed = spec.dim_attr_allowed;
+
+  job.bindings[scan_sales] = StageBinding{
+      [sales, threshold](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+        const Table slice = exec::range_partition(*sales, dop)[task];
+        const Table filtered = exec::filter(slice, [threshold](const Table& t, std::size_t r) {
+          return t.column_by_name("price").double_at(r) > threshold;
+        });
+        return exec::project(filtered,
+                             {"order_id", "warehouse_id", "date_id", "site_id", "price"});
+      },
+      "order_id",
+      {}};
+
+  job.bindings[scan_dims] = StageBinding{
+      [dim, allowed](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+        const Table slice = exec::range_partition(*dim, dop)[task];
+        DITTO_ASSIGN_OR_RETURN(Table ok, exec::filter_int(slice, "attr", CmpOp::kEq, allowed));
+        return exec::project(ok, {"id"});
+      },
+      "", {}};
+
+  job.bindings[filter_join] = StageBinding{
+      [dim_join_column](int, int, const std::vector<Table>& in) -> Result<Table> {
+        return exec::hash_join(in.at(0), dim_join_column, in.at(1), "id",
+                               JoinKind::kLeftSemi);
+      },
+      "order_id",
+      {}};
+
+  job.bindings[scan_sales2] =
+      scan_binding(sales, {"order_id", "warehouse_id"}, "order_id");
+
+  job.bindings[exists_join] = StageBinding{
+      [](int, int, const std::vector<Table>& in) -> Result<Table> {
+        // EXISTS a second sale of the same order from another warehouse.
+        DITTO_ASSIGN_OR_RETURN(Table multi, multi_warehouse(in.at(1)));
+        return exec::hash_join(in.at(0), "order_id", multi, "order_id",
+                               JoinKind::kLeftSemi);
+      },
+      "order_id",
+      {}};
+
+  job.bindings[scan_returns] = scan_binding(returns, {"order_id"}, "order_id");
+
+  job.bindings[anti_join] = StageBinding{
+      [](int, int, const std::vector<Table>& in) -> Result<Table> {
+        return exec::hash_join(in.at(0), "order_id", in.at(1), "order_id",
+                               JoinKind::kLeftAnti);
+      },
+      "order_id",
+      {}};
+
+  job.bindings[agg_distinct] = StageBinding{
+      [](int, int, const std::vector<Table>& in) -> Result<Table> {
+        // Distinct orders and their revenue. Rows of one order never
+        // split across tasks (everything upstream is order-keyed).
+        DITTO_ASSIGN_OR_RETURN(
+            Table per_order,
+            exec::group_by(in.at(0), "order_id", {{AggKind::kSum, "price", "revenue"}}));
+        return summarize_orders(per_order, "revenue");
+      },
+      "", {}};
+  return job;
+}
+
+EngineAnswer q16_shaped_reference(const EngineJob& job, const EngineQuerySpec& spec,
+                                  const std::string& dim_join_column) {
+  EngineAnswer answer;
+  const Table& sales = *job.sources.at("sales");
+  const Table& returns = *job.sources.at("returns");
+  const Table& dim = *job.sources.at("dim");
+
+  const double threshold = spec.price_threshold;
+  const Table filtered = exec::filter(sales, [threshold](const Table& t, std::size_t r) {
+    return t.column_by_name("price").double_at(r) > threshold;
+  });
+  auto allowed = exec::filter_int(dim, "attr", CmpOp::kEq, spec.dim_attr_allowed);
+  if (!allowed.ok()) return answer;
+  auto dimmed =
+      exec::hash_join(filtered, dim_join_column, *allowed, "id", JoinKind::kLeftSemi);
+  if (!dimmed.ok()) return answer;
+  auto multi = multi_warehouse(sales);
+  if (!multi.ok()) return answer;
+  auto exists =
+      exec::hash_join(*dimmed, "order_id", *multi, "order_id", JoinKind::kLeftSemi);
+  if (!exists.ok()) return answer;
+  auto no_return =
+      exec::hash_join(*exists, "order_id", returns, "order_id", JoinKind::kLeftAnti);
+  if (!no_return.ok()) return answer;
+  auto per_order =
+      exec::group_by(*no_return, "order_id", {{AggKind::kSum, "price", "revenue"}});
+  if (!per_order.ok()) return answer;
+  answer.rows = static_cast<std::int64_t>(per_order->num_rows());
+  for (double v : per_order->column_by_name("revenue").doubles()) answer.value += v;
+  return answer;
+}
+
+}  // namespace
+
+EngineJob build_q16_engine_job(const EngineQuerySpec& spec) {
+  return build_q16_shaped(spec, "Q16-engine", "site_id",
+                          static_cast<std::size_t>(spec.num_sites), spec.seed + 4);
+}
+
+EngineJob build_q94_engine_job(const EngineQuerySpec& spec) {
+  return build_q16_shaped(spec, "Q94-engine", "date_id",
+                          static_cast<std::size_t>(spec.num_dates), spec.seed + 5);
+}
+
+EngineAnswer q16_engine_reference(const EngineJob& job, const EngineQuerySpec& spec) {
+  return q16_shaped_reference(job, spec, "site_id");
+}
+
+EngineAnswer q94_engine_reference(const EngineJob& job, const EngineQuerySpec& spec) {
+  return q16_shaped_reference(job, spec, "date_id");
+}
+
+Result<EngineAnswer> engine_answer_from_sink(const exec::Table& sink_output) {
+  const int ri = sink_output.column_index("rows");
+  const int vi = sink_output.column_index("value");
+  if (ri < 0 || vi < 0) return Status::invalid_argument("unexpected sink schema");
+  EngineAnswer answer;
+  for (std::int64_t n : sink_output.column(ri).ints()) answer.rows += n;
+  for (double v : sink_output.column(vi).doubles()) answer.value += v;
+  return answer;
+}
+
+void annotate_engine_volumes(EngineJob& job) {
+  JobDag& dag = job.dag;
+  // Source stages: measure their captured tables via the bindings'
+  // scan slices is overkill — sum source tables proportionally to the
+  // number of source stages reading them is ambiguous, so we annotate
+  // sources by running each scan ONCE at dop 1 and measuring.
+  const auto selectivity = [](const std::string& op_name) {
+    if (op_name.rfind("scan", 0) == 0) return 0.6;
+    if (op_name.rfind("group", 0) == 0 || op_name.rfind("agg", 0) == 0) return 0.25;
+    return 0.4;  // joins and the rest
+  };
+  std::vector<Bytes> inflow(dag.num_stages(), 0);
+  for (StageId s : topological_order(dag)) {
+    Stage& stage = dag.stage(s);
+    if (dag.parents(s).empty()) {
+      const auto probe = job.bindings.at(s).fn(0, 1, {});
+      const Bytes in = probe.ok() ? probe->byte_size() * 2 : 1_MB;  // pre-filter estimate
+      stage.set_input_bytes(in);
+      inflow[s] = in;
+    }
+    const Bytes out = static_cast<Bytes>(
+        static_cast<double>(std::max<Bytes>(inflow[s], 64)) * selectivity(stage.name()));
+    stage.set_output_bytes(out);
+    for (StageId c : dag.children(s)) {
+      dag.edge_between(s, c).bytes = out;
+      inflow[c] += out;
+    }
+  }
+}
+
+}  // namespace ditto::workload

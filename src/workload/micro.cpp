@@ -1,0 +1,119 @@
+#include "workload/micro.h"
+
+#include <cassert>
+#include <string>
+
+#include "dag/dag_builder.h"
+
+namespace ditto::workload {
+
+namespace {
+JobDag must(Result<JobDag> r) {
+  assert(r.ok());
+  return std::move(r).value();
+}
+}  // namespace
+
+JobDag fig1_join_dag(const PhysicsParams& params) {
+  DagBuilder b("fig1-join");
+  b.stage("map_a", {.op = "map", .input = 24_GB, .output = 8_GB})
+      .stage("map_b", {.op = "map", .input = 6_GB, .output = 2_GB})
+      .stage("join", {.op = "join", .output = 1_GB});
+  b.edge("map_a", "join", ExchangeKind::kShuffle);
+  b.edge("map_b", "join", ExchangeKind::kShuffle);
+  JobDag dag = must(b.build());
+  apply_physics(dag, params);
+  return dag;
+}
+
+JobDag fig4_intra_path_dag(const PhysicsParams& params) {
+  DagBuilder b("fig4-intra");
+  b.stage("s1", {.op = "map", .input = 16_GB, .output = 4_GB})
+      .stage("s2", {.op = "reduce", .output = 1_GB});
+  b.edge("s1", "s2", ExchangeKind::kShuffle);
+  JobDag dag = must(b.build());
+  apply_physics(dag, params);
+  // Pin the 4:1 alpha ratio of the figure exactly.
+  dag.stage(0).steps().clear();
+  dag.stage(0).add_step({StepKind::kCompute, kNoStage, 60.0, 0.5, false});
+  dag.stage(1).steps().clear();
+  dag.stage(1).add_step({StepKind::kCompute, kNoStage, 15.0, 0.5, false});
+  return dag;
+}
+
+JobDag fig5_inter_path_dag(const PhysicsParams& params) {
+  DagBuilder b("fig5-inter");
+  b.stage("s1", {.op = "map", .input = 8_GB, .output = 2_GB})
+      .stage("s2", {.op = "map", .input = 4_GB, .output = 1_GB})
+      .stage("sink", {.op = "join", .output = 100_MB});
+  b.edge("s1", "sink", ExchangeKind::kShuffle);
+  b.edge("s2", "sink", ExchangeKind::kShuffle);
+  JobDag dag = must(b.build());
+  apply_physics(dag, params);
+  // Pin the figure's 2:1 alpha ratio for the siblings.
+  dag.stage(0).steps().clear();
+  dag.stage(0).add_step({StepKind::kCompute, kNoStage, 24.0, 0.1, false});
+  dag.stage(1).steps().clear();
+  dag.stage(1).add_step({StepKind::kCompute, kNoStage, 12.0, 0.1, false});
+  return dag;
+}
+
+JobDag fig6_grouping_dag(const PhysicsParams& params) {
+  // Two 3-stage paths into a shared sink; edge weights made to follow
+  // Fig. 6b (path2 heavier: its first edge is the global maximum).
+  DagBuilder b("fig6-grouping");
+  b.stage("p1_a", {.op = "map", .input = 10_GB, .output = 10_GB})
+      .stage("p1_b", {.op = "map", .output = 5_GB})
+      .stage("p2_a", {.op = "map", .input = 12_GB, .output = 12_GB})
+      .stage("p2_b", {.op = "map", .output = 8_GB})
+      .stage("sink", {.op = "reduce", .output = 100_MB});
+  b.edge("p1_a", "p1_b", ExchangeKind::kShuffle);   // e1: w=100 scale
+  b.edge("p1_b", "sink", ExchangeKind::kShuffle);   // e2: w=50 scale
+  b.edge("p2_a", "p2_b", ExchangeKind::kShuffle);   // e3: w=120 scale
+  b.edge("p2_b", "sink", ExchangeKind::kShuffle);   // e4: w=80 scale
+  JobDag dag = must(b.build());
+  apply_physics(dag, params);
+  return dag;
+}
+
+JobDag chain_dag(int n, Bytes head_bytes, double decay, const PhysicsParams& params) {
+  assert(n >= 1);
+  DagBuilder b("chain-" + std::to_string(n));
+  double bytes = static_cast<double>(head_bytes);
+  for (int i = 0; i < n; ++i) {
+    StageSpec spec;
+    spec.op = i == 0 ? "map" : (i + 1 == n ? "reduce" : "groupby");
+    spec.input = i == 0 ? head_bytes : 0;
+    spec.output = static_cast<Bytes>(bytes * decay);
+    b.stage("s" + std::to_string(i), spec);
+    bytes *= decay;
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    b.edge("s" + std::to_string(i), "s" + std::to_string(i + 1), ExchangeKind::kShuffle);
+  }
+  JobDag dag = must(b.build());
+  apply_physics(dag, params);
+  return dag;
+}
+
+JobDag fan_in_dag(int leaves, Bytes leaf_bytes, const PhysicsParams& params) {
+  assert(leaves >= 1);
+  DagBuilder b("fan-in-" + std::to_string(leaves));
+  for (int i = 0; i < leaves; ++i) {
+    StageSpec spec;
+    spec.op = "map";
+    // Heterogeneous leaves exercise the inter-path balancing.
+    spec.input = leaf_bytes * static_cast<Bytes>(i + 1);
+    spec.output = spec.input / 4;
+    b.stage("leaf" + std::to_string(i), spec);
+  }
+  b.stage("sink", {.op = "join", .output = 10_MB});
+  for (int i = 0; i < leaves; ++i) {
+    b.edge("leaf" + std::to_string(i), "sink", ExchangeKind::kShuffle);
+  }
+  JobDag dag = must(b.build());
+  apply_physics(dag, params);
+  return dag;
+}
+
+}  // namespace ditto::workload

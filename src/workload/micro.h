@@ -1,0 +1,34 @@
+// Micro-DAGs from the paper's motivating figures, used by the
+// motivation example, unit tests, and ablation benches.
+#pragma once
+
+#include "dag/job_dag.h"
+#include "workload/physics.h"
+
+namespace ditto::workload {
+
+/// Fig. 1's three-stage join: two parallel map stages (Table A bigger
+/// than Table B) feeding a join. The paper walks this DAG through
+/// fixed / data-proportional / optimal DoP with 20 slots.
+JobDag fig1_join_dag(const PhysicsParams& params);
+
+/// Fig. 4's two consecutive stages with alpha1/alpha2 = 4 (intra-path
+/// ratio example: sqrt(4) = 2, so 10:5 beats 12:3 with 15 slots).
+JobDag fig4_intra_path_dag(const PhysicsParams& params);
+
+/// Fig. 5's two sibling stages with alpha1/alpha2 = 2 (inter-path
+/// balancing example) plus their common downstream stage.
+JobDag fig5_inter_path_dag(const PhysicsParams& params);
+
+/// Fig. 6b's two-path DAG used to demonstrate the greedy grouping
+/// order [e3, e1, e4, e2].
+JobDag fig6_grouping_dag(const PhysicsParams& params);
+
+/// A linear chain of `n` stages with geometrically shrinking data
+/// (generic pipeline for property tests).
+JobDag chain_dag(int n, Bytes head_bytes, double decay, const PhysicsParams& params);
+
+/// A fan-in tree: `leaves` source stages into one sink (property tests).
+JobDag fan_in_dag(int leaves, Bytes leaf_bytes, const PhysicsParams& params);
+
+}  // namespace ditto::workload

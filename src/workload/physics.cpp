@@ -1,0 +1,105 @@
+#include "workload/physics.h"
+
+#include <algorithm>
+
+namespace ditto::workload {
+
+double ComputeRates::rate_for(const std::string& op) const {
+  if (op.rfind("map", 0) == 0 || op == "scan" || op == "filter") return map_bps;
+  if (op.rfind("join", 0) == 0) return join_bps;
+  if (op.rfind("groupby", 0) == 0 || op == "agg") return groupby_bps;
+  if (op.rfind("reduce", 0) == 0 || op == "sort" || op == "limit") return reduce_bps;
+  return default_bps;
+}
+
+void apply_physics(JobDag& dag, const PhysicsParams& params) {
+  // Per-transfer storage parameters: with a fast tier configured,
+  // small transfers ride the fast store (paper §6.3 pattern).
+  const auto bw_for = [&params](Bytes n) {
+    const double bw = params.store_for(n).bandwidth_bytes_per_s;
+    return bw > 0.0 ? bw : 1e12;  // "infinite" bandwidth stores
+  };
+  const auto lat_for = [&params](Bytes n) {
+    return params.store_for(n).request_latency * params.request_overhead_factor;
+  };
+
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    Stage& stage = dag.stage(s);
+    stage.steps().clear();
+
+    Bytes bytes_in = 0;
+
+    // External input: only source stages read the base tables; internal
+    // stages' inputs all arrive via edges.
+    const bool is_source = dag.parents(s).empty();
+    if (is_source && stage.input_bytes() > 0) {
+      Step read;
+      read.kind = StepKind::kRead;
+      read.dep = kNoStage;
+      read.alpha = static_cast<double>(stage.input_bytes()) / bw_for(stage.input_bytes());
+      read.beta = lat_for(stage.input_bytes());
+      stage.add_step(read);
+      bytes_in += stage.input_bytes();
+    }
+
+    // One read step per incoming dependency.
+    for (StageId p : dag.parents(s)) {
+      const Edge* e = dag.find_edge(p, s);
+      Step read;
+      read.kind = StepKind::kRead;
+      read.dep = p;
+      if (e->exchange == ExchangeKind::kBroadcast || e->exchange == ExchangeKind::kAllGather) {
+        // Every task pulls the full payload: inherent, not parallelized.
+        read.alpha = 0.0;
+        read.beta = lat_for(e->bytes) + static_cast<double>(e->bytes) / bw_for(e->bytes);
+      } else {
+        read.alpha = static_cast<double>(e->bytes) / bw_for(e->bytes);
+        read.beta = lat_for(e->bytes);
+      }
+      stage.add_step(read);
+      bytes_in += e->bytes;
+    }
+
+    // Compute step sized by bytes processed and the operator class.
+    {
+      Step compute;
+      compute.kind = StepKind::kCompute;
+      const double rate = params.compute.rate_for(stage.op());
+      compute.alpha = static_cast<double>(std::max<Bytes>(bytes_in, 1_MB)) / rate;
+      compute.beta = params.compute_beta;
+      stage.add_step(compute);
+    }
+
+    // One write step per outgoing dependency.
+    for (StageId c : dag.children(s)) {
+      const Edge* e = dag.find_edge(s, c);
+      Step write;
+      write.kind = StepKind::kWrite;
+      write.dep = c;
+      write.alpha = static_cast<double>(e->bytes) / bw_for(e->bytes);
+      write.beta = lat_for(e->bytes);
+      stage.add_step(write);
+    }
+
+    // Final output goes to external storage.
+    if (dag.children(s).empty() && stage.output_bytes() > 0) {
+      Step write;
+      write.kind = StepKind::kWrite;
+      write.dep = kNoStage;
+      write.alpha = static_cast<double>(stage.output_bytes()) / bw_for(stage.output_bytes());
+      write.beta = lat_for(stage.output_bytes());
+      stage.add_step(write);
+    }
+
+    // Cost model: memory tied to data processed (rho, GB) + per-function
+    // footprint (sigma, GB) — paper Eq. 5.
+    stage.set_rho(static_cast<double>(std::max<Bytes>(bytes_in, 1_MB)) / 1e9);
+    stage.set_sigma(static_cast<double>(stage.base_memory_bytes()) / 1e9);
+    if (bytes_in > 0 && stage.input_bytes() == 0) {
+      // Record effective input for NIMBLE's data-proportional policy.
+      stage.set_input_bytes(bytes_in);
+    }
+  }
+}
+
+}  // namespace ditto::workload

@@ -1,0 +1,38 @@
+#include "workload/pipelining.h"
+
+namespace ditto::workload {
+
+bool pipeline_edge(JobDag& dag, StageId src, StageId dst) {
+  if (dag.find_edge(src, dst) == nullptr) return false;
+  bool found = false;
+  for (Step& step : dag.stage(dst).steps()) {
+    if (step.kind == StepKind::kRead && step.dep == src) {
+      step.pipelined = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+int pipeline_all_shuffles(JobDag& dag) {
+  int count = 0;
+  for (const Edge& e : dag.edges()) {
+    if (e.exchange != ExchangeKind::kShuffle) continue;
+    if (pipeline_edge(dag, e.src, e.dst)) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<StageId, StageId>> pipelined_edges(const JobDag& dag) {
+  std::vector<std::pair<StageId, StageId>> out;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    for (const Step& step : dag.stage(s).steps()) {
+      if (step.kind == StepKind::kRead && step.pipelined && step.dep != kNoStage) {
+        out.emplace_back(step.dep, s);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ditto::workload

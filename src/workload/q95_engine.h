@@ -1,0 +1,74 @@
+// Engine-executable Q95: the paper's flagship query as REAL work.
+//
+// Where `queries.h` models Q95's stage topology and data volumes for
+// the simulator, this module builds a Q95-shaped job the MiniEngine
+// actually executes on generated data: nine stages matching Fig. 13,
+// real shuffles/all-gathers between them, and a verifiable answer.
+//
+// Query semantics (a faithful miniature of TPC-DS Q95, "web orders
+// shipped from two warehouses, with a return, in a date range,
+// excluding some sites"):
+//   map1:    scan web_sales, keep rows with price above a threshold
+//   groupby: per order, min/max warehouse + representative date/site +
+//            revenue; keep orders touching >= 2 warehouses
+//   map2:    scan web_returns, project order ids
+//   reduce1: orders that also have a return (semi join)
+//   map3:    scan date_dim, keep allowed dates
+//   join1:   orders whose representative date is allowed (semi join,
+//            date list arrives via all-gather)
+//   map4:    scan web_site, keep excluded sites
+//   join2:   drop orders from excluded sites (anti join via all-gather)
+//   reduce2: count qualifying orders and total their revenue
+#pragma once
+
+#include "cluster/placement.h"
+#include "common/status.h"
+#include "exec/engine.h"
+#include "exec/table.h"
+
+namespace ditto::workload {
+
+struct Q95EngineSpec {
+  std::size_t sales_rows = 50000;
+  std::int64_t num_orders = 8000;
+  std::int64_t num_warehouses = 12;
+  std::int64_t num_dates = 120;
+  std::int64_t num_sites = 24;
+  double return_fraction = 0.45;
+  double price_threshold = 100.0;   ///< map1 filter
+  std::int64_t date_attr_allowed = 0;   ///< map3 keeps dates with attr == this
+  std::int64_t site_attr_excluded = 2;  ///< map4 excludes sites with attr == this
+  std::uint64_t seed = 1234;
+};
+
+struct Q95EngineJob {
+  JobDag dag;                                    ///< nine stages, Fig. 13 shape
+  std::map<StageId, exec::StageBinding> bindings;
+  // Source tables (kept alive for the bindings).
+  std::shared_ptr<const exec::Table> web_sales;
+  std::shared_ptr<const exec::Table> web_returns;
+  std::shared_ptr<const exec::Table> date_dim;
+  std::shared_ptr<const exec::Table> web_site;
+};
+
+/// Builds the executable job (DAG + bindings + data).
+Q95EngineJob build_q95_engine_job(const Q95EngineSpec& spec);
+
+/// Annotates the job's DAG with data volumes measured from the real
+/// tables (inputs) and coarse selectivities (outputs/edges), so
+/// apply_physics() can instantiate step models and the Ditto scheduler
+/// can plan the engine job like any other.
+void annotate_q95_volumes(Q95EngineJob& job);
+
+struct Q95Answer {
+  std::int64_t order_count = 0;
+  double total_revenue = 0.0;
+};
+
+/// Single-node reference implementation (ground truth for tests).
+Q95Answer q95_reference(const Q95EngineJob& job, const Q95EngineSpec& spec);
+
+/// Extracts the answer from the engine's sink output.
+Result<Q95Answer> q95_answer_from_sink(const exec::Table& sink_output);
+
+}  // namespace ditto::workload

@@ -1,0 +1,183 @@
+#include "workload/queries.h"
+
+#include <cassert>
+
+#include "dag/dag_builder.h"
+
+namespace ditto::workload {
+
+const char* query_name(QueryId q) {
+  switch (q) {
+    case QueryId::kQ1: return "Q1";
+    case QueryId::kQ16: return "Q16";
+    case QueryId::kQ94: return "Q94";
+    case QueryId::kQ95: return "Q95";
+  }
+  return "?";
+}
+
+std::vector<QueryId> paper_queries() {
+  return {QueryId::kQ1, QueryId::kQ16, QueryId::kQ94, QueryId::kQ95};
+}
+
+namespace {
+
+Bytes frac(Bytes b, double f) { return static_cast<Bytes>(static_cast<double>(b) * f); }
+
+/// Q1: store customer returns above the store average.
+/// Small query (store_returns + dims, ~33 GB at SF 1000), two joins,
+/// a group-by and a per-store aggregate — relatively compute-lean.
+JobDag build_q1(int sf) {
+  const Bytes sr = table_bytes(TpcdsTable::kStoreReturns, sf);
+  const Bytes dd = table_bytes(TpcdsTable::kDateDim, sf);
+  const Bytes cust = table_bytes(TpcdsTable::kCustomer, sf);
+
+  DagBuilder b("Q1");
+  b.stage("scan_returns", {.op = "map", .input = sr, .output = frac(sr, 0.20)})
+      .stage("scan_dates", {.op = "map", .input = dd, .output = frac(dd, 0.30)})
+      .stage("join_dates", {.op = "join", .output = frac(sr, 0.15)})
+      .stage("groupby_customer", {.op = "groupby", .output = frac(sr, 0.05)})
+      .stage("store_avg", {.op = "agg", .output = frac(sr, 0.001)})
+      .stage("scan_customer", {.op = "map", .input = cust, .output = frac(cust, 0.25)})
+      .stage("final_join", {.op = "join", .output = frac(sr, 0.002)});
+
+  b.edge("scan_returns", "join_dates", ExchangeKind::kShuffle);
+  b.edge("scan_dates", "join_dates", ExchangeKind::kAllGather);
+  b.edge("join_dates", "groupby_customer", ExchangeKind::kShuffle);
+  b.edge("groupby_customer", "store_avg", ExchangeKind::kShuffle);
+  b.edge("groupby_customer", "final_join", ExchangeKind::kShuffle);
+  b.edge("store_avg", "final_join", ExchangeKind::kBroadcast);
+  b.edge("scan_customer", "final_join", ExchangeKind::kShuffle);
+
+  auto dag = b.build();
+  assert(dag.ok());
+  return std::move(dag).value();
+}
+
+/// Q16: catalog orders shipped from one state, excluding returns —
+/// catalog_sales self-anti-join with catalog_returns (~300 GB).
+JobDag build_q16(int sf) {
+  const Bytes cs = table_bytes(TpcdsTable::kCatalogSales, sf);
+  const Bytes cr = table_bytes(TpcdsTable::kCatalogReturns, sf);
+  const Bytes ca = table_bytes(TpcdsTable::kCustomerAddress, sf);
+  const Bytes cc = table_bytes(TpcdsTable::kCallCenter, sf);
+
+  DagBuilder b("Q16");
+  b.stage("scan_sales", {.op = "map", .input = cs, .output = frac(cs, 0.22)})
+      .stage("scan_dims", {.op = "map", .input = ca + cc, .output = frac(ca + cc, 0.30)})
+      .stage("filter_join", {.op = "join", .output = frac(cs, 0.12)})
+      .stage("scan_sales2", {.op = "map", .input = frac(cs, 0.08), .output = frac(cs, 0.05)})
+      .stage("exists_join", {.op = "join", .output = frac(cs, 0.06)})
+      .stage("scan_returns", {.op = "map", .input = cr, .output = frac(cr, 0.20)})
+      .stage("anti_join", {.op = "join", .output = frac(cs, 0.03)})
+      .stage("agg_distinct", {.op = "reduce", .output = frac(cs, 0.0001)});
+
+  b.edge("scan_sales", "filter_join", ExchangeKind::kShuffle);
+  b.edge("scan_dims", "filter_join", ExchangeKind::kAllGather);
+  b.edge("filter_join", "exists_join", ExchangeKind::kShuffle);
+  b.edge("scan_sales2", "exists_join", ExchangeKind::kShuffle);
+  b.edge("exists_join", "anti_join", ExchangeKind::kShuffle);
+  b.edge("scan_returns", "anti_join", ExchangeKind::kShuffle);
+  b.edge("anti_join", "agg_distinct", ExchangeKind::kGather);
+
+  auto dag = b.build();
+  assert(dag.ok());
+  return std::move(dag).value();
+}
+
+/// Q94: web orders shipped within 60 days, no returns — web analogue
+/// of Q16 (web_sales scanned twice for the EXISTS clause, ~290 GB).
+JobDag build_q94(int sf) {
+  const Bytes ws = table_bytes(TpcdsTable::kWebSales, sf);
+  const Bytes wr = table_bytes(TpcdsTable::kWebReturns, sf);
+  const Bytes dims = table_bytes(TpcdsTable::kCustomerAddress, sf) +
+                     table_bytes(TpcdsTable::kWebSite, sf) +
+                     table_bytes(TpcdsTable::kDateDim, sf);
+
+  DagBuilder b("Q94");
+  b.stage("scan_sales", {.op = "map", .input = ws, .output = frac(ws, 0.25)})
+      .stage("scan_dims", {.op = "map", .input = dims, .output = frac(dims, 0.30)})
+      .stage("filter_join", {.op = "join", .output = frac(ws, 0.12)})
+      .stage("scan_sales2", {.op = "map", .input = ws, .output = frac(ws, 0.10)})
+      .stage("exists_join", {.op = "join", .output = frac(ws, 0.07)})
+      .stage("scan_returns", {.op = "map", .input = wr, .output = frac(wr, 0.25)})
+      .stage("anti_join", {.op = "join", .output = frac(ws, 0.03)})
+      .stage("agg_distinct", {.op = "reduce", .output = frac(ws, 0.0001)});
+
+  b.edge("scan_sales", "filter_join", ExchangeKind::kShuffle);
+  b.edge("scan_dims", "filter_join", ExchangeKind::kAllGather);
+  b.edge("filter_join", "exists_join", ExchangeKind::kShuffle);
+  b.edge("scan_sales2", "exists_join", ExchangeKind::kShuffle);
+  b.edge("exists_join", "anti_join", ExchangeKind::kShuffle);
+  b.edge("scan_returns", "anti_join", ExchangeKind::kShuffle);
+  b.edge("anti_join", "agg_distinct", ExchangeKind::kGather);
+
+  auto dag = b.build();
+  assert(dag.ok());
+  return std::move(dag).value();
+}
+
+/// Q95: web orders shipped from two warehouses — the nine-stage DAG of
+/// Fig. 13 (map1/groupby, map2/reduce1, map3/join1, map4/join2,
+/// reduce2) with shuffle and all-gather exchanges.
+JobDag build_q95(int sf) {
+  const Bytes ws = table_bytes(TpcdsTable::kWebSales, sf);
+  const Bytes wr = table_bytes(TpcdsTable::kWebReturns, sf);
+  const Bytes dd = table_bytes(TpcdsTable::kDateDim, sf);
+  const Bytes dims = table_bytes(TpcdsTable::kWebSite, sf) +
+                     table_bytes(TpcdsTable::kShipMode, sf);
+
+  DagBuilder b("Q95");
+  b.stage("map1", {.op = "map", .input = ws, .output = frac(ws, 0.28)})         // stage 1
+      .stage("groupby", {.op = "groupby", .output = frac(ws, 0.08)})            // stage 2
+      .stage("map2", {.op = "map", .input = wr, .output = frac(wr, 0.60)})      // stage 3
+      .stage("reduce1", {.op = "join", .output = frac(ws, 0.05)})               // stage 4
+      .stage("map3", {.op = "map", .input = dd, .output = frac(dd, 0.30)})      // stage 5
+      .stage("join1", {.op = "join", .output = frac(ws, 0.035)})                // stage 6
+      .stage("map4", {.op = "map", .input = dims, .output = frac(dims, 0.50)})  // stage 7
+      .stage("join2", {.op = "join", .output = frac(ws, 0.015)})                // stage 8
+      .stage("reduce2", {.op = "reduce", .output = frac(ws, 0.0001)});          // stage 9
+
+  b.edge("map1", "groupby", ExchangeKind::kShuffle);
+  b.edge("groupby", "reduce1", ExchangeKind::kShuffle);
+  b.edge("map2", "reduce1", ExchangeKind::kShuffle);
+  b.edge("reduce1", "join1", ExchangeKind::kShuffle);
+  b.edge("map3", "join1", ExchangeKind::kAllGather);
+  b.edge("join1", "join2", ExchangeKind::kShuffle);
+  b.edge("map4", "join2", ExchangeKind::kAllGather);
+  b.edge("join2", "reduce2", ExchangeKind::kGather);
+
+  auto dag = b.build();
+  assert(dag.ok());
+  return std::move(dag).value();
+}
+
+}  // namespace
+
+JobDag build_query_dag(QueryId q, int scale_factor) {
+  switch (q) {
+    case QueryId::kQ1: return build_q1(scale_factor);
+    case QueryId::kQ16: return build_q16(scale_factor);
+    case QueryId::kQ94: return build_q94(scale_factor);
+    case QueryId::kQ95: return build_q95(scale_factor);
+  }
+  assert(false && "unknown query");
+  return JobDag{};
+}
+
+JobDag build_query(QueryId q, int scale_factor, const PhysicsParams& params) {
+  JobDag dag = build_query_dag(q, scale_factor);
+  apply_physics(dag, params);
+  return dag;
+}
+
+Bytes query_input_bytes(QueryId q, int scale_factor) {
+  const JobDag dag = build_query_dag(q, scale_factor);
+  Bytes total = 0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    if (dag.parents(s).empty()) total += dag.stage(s).input_bytes();
+  }
+  return total;
+}
+
+}  // namespace ditto::workload

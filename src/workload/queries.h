@@ -1,0 +1,30 @@
+// TPC-DS query DAGs used in the paper's evaluation: Q1, Q16, Q94, Q95
+// ("four representative queries with different performance
+// characteristics", §6). Stage topology and data-volume decay follow
+// the queries' logical plans; Q95's nine-stage DAG matches Fig. 13.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/job_dag.h"
+#include "workload/physics.h"
+#include "workload/tables.h"
+
+namespace ditto::workload {
+
+enum class QueryId { kQ1, kQ16, kQ94, kQ95 };
+
+const char* query_name(QueryId q);
+std::vector<QueryId> paper_queries();
+
+/// Build the stage DAG with data-volume annotations only (no steps).
+JobDag build_query_dag(QueryId q, int scale_factor);
+
+/// Build and instantiate ground-truth step parameters for a backend.
+JobDag build_query(QueryId q, int scale_factor, const PhysicsParams& params);
+
+/// Total external input bytes of a query (paper: 33–312 GB at SF 1000).
+Bytes query_input_bytes(QueryId q, int scale_factor);
+
+}  // namespace ditto::workload

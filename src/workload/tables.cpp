@@ -1,0 +1,66 @@
+#include "workload/tables.h"
+
+#include <cassert>
+
+namespace ditto::workload {
+
+const char* table_name(TpcdsTable t) {
+  switch (t) {
+    case TpcdsTable::kStoreSales: return "store_sales";
+    case TpcdsTable::kCatalogSales: return "catalog_sales";
+    case TpcdsTable::kWebSales: return "web_sales";
+    case TpcdsTable::kStoreReturns: return "store_returns";
+    case TpcdsTable::kCatalogReturns: return "catalog_returns";
+    case TpcdsTable::kWebReturns: return "web_returns";
+    case TpcdsTable::kInventory: return "inventory";
+    case TpcdsTable::kCustomer: return "customer";
+    case TpcdsTable::kCustomerAddress: return "customer_address";
+    case TpcdsTable::kItem: return "item";
+    case TpcdsTable::kStore: return "store";
+    case TpcdsTable::kDateDim: return "date_dim";
+    case TpcdsTable::kCallCenter: return "call_center";
+    case TpcdsTable::kWebSite: return "web_site";
+    case TpcdsTable::kShipMode: return "ship_mode";
+    case TpcdsTable::kWarehouse: return "warehouse";
+  }
+  return "?";
+}
+
+Bytes table_bytes(TpcdsTable t, int scale_factor) {
+  assert(scale_factor > 0);
+  // Sizes at SF 1000 in MB, following published TPC-DS proportions.
+  double mb_at_1000 = 0.0;
+  switch (t) {
+    case TpcdsTable::kStoreSales: mb_at_1000 = 370000; break;
+    case TpcdsTable::kCatalogSales: mb_at_1000 = 283000; break;
+    case TpcdsTable::kWebSales: mb_at_1000 = 143000; break;
+    case TpcdsTable::kStoreReturns: mb_at_1000 = 32000; break;
+    case TpcdsTable::kCatalogReturns: mb_at_1000 = 21000; break;
+    case TpcdsTable::kWebReturns: mb_at_1000 = 9800; break;
+    case TpcdsTable::kInventory: mb_at_1000 = 7700; break;
+    case TpcdsTable::kCustomer: mb_at_1000 = 1300; break;
+    case TpcdsTable::kCustomerAddress: mb_at_1000 = 300; break;
+    case TpcdsTable::kItem: mb_at_1000 = 60; break;
+    case TpcdsTable::kStore: mb_at_1000 = 1.2; break;
+    case TpcdsTable::kDateDim: mb_at_1000 = 10; break;
+    case TpcdsTable::kCallCenter: mb_at_1000 = 0.2; break;
+    case TpcdsTable::kWebSite: mb_at_1000 = 0.2; break;
+    case TpcdsTable::kShipMode: mb_at_1000 = 0.01; break;
+    case TpcdsTable::kWarehouse: mb_at_1000 = 0.01; break;
+  }
+  const double mb = mb_at_1000 * static_cast<double>(scale_factor) / 1000.0;
+  return static_cast<Bytes>(mb * 1e6);
+}
+
+std::vector<TpcdsTable> all_tables() {
+  return {TpcdsTable::kStoreSales,    TpcdsTable::kCatalogSales,
+          TpcdsTable::kWebSales,      TpcdsTable::kStoreReturns,
+          TpcdsTable::kCatalogReturns, TpcdsTable::kWebReturns,
+          TpcdsTable::kInventory,     TpcdsTable::kCustomer,
+          TpcdsTable::kCustomerAddress, TpcdsTable::kItem,
+          TpcdsTable::kStore,         TpcdsTable::kDateDim,
+          TpcdsTable::kCallCenter,    TpcdsTable::kWebSite,
+          TpcdsTable::kShipMode,      TpcdsTable::kWarehouse};
+}
+
+}  // namespace ditto::workload

@@ -1,0 +1,44 @@
+// Synthetic TPC-DS table catalog.
+//
+// The paper evaluates on TPC-DS at scale factor 1000 (~1 TB across all
+// tables; per-query input 33–312 GB) and scale factor 100 for the
+// Redis experiment. We reproduce the benchmark's *shape* with a table
+// catalog whose sizes scale linearly with SF, matching published
+// TPC-DS table proportions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ditto::workload {
+
+enum class TpcdsTable {
+  kStoreSales,
+  kCatalogSales,
+  kWebSales,
+  kStoreReturns,
+  kCatalogReturns,
+  kWebReturns,
+  kInventory,
+  kCustomer,
+  kCustomerAddress,
+  kItem,
+  kStore,
+  kDateDim,
+  kCallCenter,
+  kWebSite,
+  kShipMode,
+  kWarehouse,
+};
+
+const char* table_name(TpcdsTable t);
+
+/// Table size in bytes at the given scale factor (SF 1000 ~ 1 TB total).
+Bytes table_bytes(TpcdsTable t, int scale_factor);
+
+/// All tables (for data generators and inventory listings).
+std::vector<TpcdsTable> all_tables();
+
+}  // namespace ditto::workload

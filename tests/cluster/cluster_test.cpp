@@ -1,0 +1,69 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::cluster {
+namespace {
+
+TEST(ServerTest, SlotAccounting) {
+  Server s(0, 8);
+  EXPECT_EQ(s.free_slots(), 8);
+  ASSERT_TRUE(s.reserve_slots(5).is_ok());
+  EXPECT_EQ(s.free_slots(), 3);
+  EXPECT_EQ(s.used_slots(), 5);
+  s.release_slots(2);
+  EXPECT_EQ(s.free_slots(), 5);
+}
+
+TEST(ServerTest, OverReservationFails) {
+  Server s(0, 4);
+  EXPECT_EQ(s.reserve_slots(5).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.free_slots(), 4);  // unchanged on failure
+  EXPECT_FALSE(s.reserve_slots(-1).is_ok());
+}
+
+TEST(ServerTest, ReleaseClampsAtTotal) {
+  Server s(0, 4);
+  s.release_slots(10);
+  EXPECT_EQ(s.free_slots(), 4);
+}
+
+TEST(ServerTest, HasArena) {
+  Server s(3, 4, 1_GiB);
+  EXPECT_EQ(s.arena().capacity(), 1_GiB);
+  EXPECT_TRUE(s.arena().reserve(512_MiB).is_ok());
+}
+
+TEST(ClusterTest, UniformFactory) {
+  auto cl = Cluster::uniform(4, 16);
+  EXPECT_EQ(cl.num_servers(), 4u);
+  EXPECT_EQ(cl.total_slots(), 64);
+  EXPECT_EQ(cl.free_slots(), 64);
+}
+
+TEST(ClusterTest, PaperTestbedShape) {
+  auto cl = Cluster::paper_testbed(uniform_usage(1.0));
+  EXPECT_EQ(cl.num_servers(), 8u);
+  EXPECT_EQ(cl.total_slots(), 8 * 96);
+}
+
+TEST(ClusterTest, ReserveReleaseThroughCluster) {
+  auto cl = Cluster::uniform(2, 4);
+  ASSERT_TRUE(cl.reserve(1, 3).is_ok());
+  EXPECT_EQ(cl.free_slots(), 5);
+  EXPECT_EQ(cl.free_slot_snapshot(), (std::vector<int>{4, 1}));
+  cl.release(1, 3);
+  EXPECT_EQ(cl.free_slots(), 8);
+}
+
+TEST(ClusterTest, FromDistributionMatchesSlotVector) {
+  const auto spec = zipf_0_9();
+  auto cl = Cluster::from_distribution(spec, 8, 96);
+  const auto expected = make_slot_distribution(spec, 8, 96);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(cl.server(i).total_slots(), expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ditto::cluster

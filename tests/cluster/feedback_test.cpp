@@ -1,0 +1,86 @@
+#include "cluster/feedback.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::cluster {
+namespace {
+
+JobDag two_stage() {
+  JobDag dag("f");
+  dag.add_stage("a");
+  dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(0, 1).is_ok());
+  return dag;
+}
+
+void record_tasks(RuntimeMonitor& mon, StageId s, std::initializer_list<double> durations) {
+  TaskId t = 0;
+  for (double d : durations) {
+    TaskRecord r;
+    r.stage = s;
+    r.task = t++;
+    r.start = 0.0;
+    r.end = d;
+    mon.record(r);
+  }
+}
+
+TEST(FeedbackTest, BlendsObservedStragglerScale) {
+  JobDag dag = two_stage();
+  dag.stage(0).set_straggler_scale(1.0);
+  RuntimeMonitor mon;
+  record_tasks(mon, 0, {1.0, 1.0, 2.0});  // mean 4/3, max 2 -> scale 1.5
+  FeedbackOptions opts;
+  opts.straggler_blend = 0.5;
+  EXPECT_EQ(tune_stragglers_from_monitor(dag, mon, opts), 1);
+  EXPECT_NEAR(dag.stage(0).straggler_scale(), 0.5 * 1.5 + 0.5 * 1.0, 1e-9);
+  // Stage 1 had no records: untouched.
+  EXPECT_DOUBLE_EQ(dag.stage(1).straggler_scale(), 1.0);
+}
+
+TEST(FeedbackTest, FullReplacementBlend) {
+  JobDag dag = two_stage();
+  RuntimeMonitor mon;
+  record_tasks(mon, 0, {1.0, 3.0});  // mean 2, max 3 -> 1.5
+  FeedbackOptions opts;
+  opts.straggler_blend = 1.0;
+  tune_stragglers_from_monitor(dag, mon, opts);
+  EXPECT_NEAR(dag.stage(0).straggler_scale(), 1.5, 1e-9);
+}
+
+TEST(FeedbackTest, SingletonStagesIgnored) {
+  JobDag dag = two_stage();
+  RuntimeMonitor mon;
+  record_tasks(mon, 0, {5.0});  // one task: max/mean = 1 trivially
+  EXPECT_EQ(tune_stragglers_from_monitor(dag, mon), 0);
+}
+
+TEST(FeedbackTest, ProfileSamplesCarryDopAndMeanTime) {
+  const JobDag dag = two_stage();
+  RuntimeMonitor mon;
+  record_tasks(mon, 1, {2.0, 4.0, 6.0});
+  const auto samples = profile_samples_from_monitor(dag, mon);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].first, 1u);
+  EXPECT_EQ(samples[0].second.dop, 3);
+  EXPECT_DOUBLE_EQ(samples[0].second.time, 4.0);
+}
+
+TEST(FeedbackTest, SamplesFeedRefitting) {
+  // End-to-end: monitor observations plus existing profiles tighten the
+  // model at a new operating point.
+  JobDag dag = two_stage();
+  RuntimeMonitor mon;
+  record_tasks(mon, 0, {10.0, 10.0});  // dop 2, mean 10
+  const auto samples = profile_samples_from_monitor(dag, mon);
+  // Combine with an earlier profile at dop 8 (time 4): fit alpha/beta.
+  std::vector<ProfileSample> history = {samples[0].second, {8, 4.0}};
+  const auto fit = fit_step_model(history);
+  ASSERT_TRUE(fit.ok());
+  // t = a/d + b through (2,10) and (8,4): a = 16, b = 2.
+  EXPECT_NEAR(fit->model.alpha, 16.0, 1e-6);
+  EXPECT_NEAR(fit->model.beta, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ditto::cluster

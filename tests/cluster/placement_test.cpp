@@ -1,0 +1,95 @@
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::cluster {
+namespace {
+
+JobDag two_stage(ExchangeKind kind = ExchangeKind::kShuffle) {
+  JobDag dag("p");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(a, b, kind).is_ok());
+  return dag;
+}
+
+PlacementPlan basic_plan() {
+  PlacementPlan plan;
+  plan.dop = {2, 1};
+  plan.task_server = {{0, 0}, {0}};
+  return plan;
+}
+
+TEST(PlacementPlanTest, ValidPlanPasses) {
+  const JobDag dag = two_stage();
+  auto cl = Cluster::uniform(1, 4);
+  EXPECT_TRUE(basic_plan().validate(dag, cl).is_ok());
+}
+
+TEST(PlacementPlanTest, DopTaskMismatchFails) {
+  const JobDag dag = two_stage();
+  auto cl = Cluster::uniform(1, 4);
+  PlacementPlan plan = basic_plan();
+  plan.task_server[0].pop_back();
+  EXPECT_FALSE(plan.validate(dag, cl).is_ok());
+}
+
+TEST(PlacementPlanTest, OversubscriptionFails) {
+  const JobDag dag = two_stage();
+  auto cl = Cluster::uniform(1, 2);  // plan needs 3 on server 0
+  EXPECT_EQ(basic_plan().validate(dag, cl).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PlacementPlanTest, UnknownServerFails) {
+  const JobDag dag = two_stage();
+  auto cl = Cluster::uniform(1, 4);
+  PlacementPlan plan = basic_plan();
+  plan.task_server[1][0] = 9;
+  EXPECT_FALSE(plan.validate(dag, cl).is_ok());
+}
+
+TEST(PlacementPlanTest, ZeroCopyEdgeMustBeCoLocated) {
+  const JobDag dag = two_stage();
+  auto cl = Cluster::uniform(2, 4);
+  PlacementPlan plan = basic_plan();
+  plan.zero_copy_edges = {{0, 1}};
+  EXPECT_TRUE(plan.validate(dag, cl).is_ok());
+  plan.task_server[1][0] = 1;  // consumer moves to another server
+  EXPECT_FALSE(plan.validate(dag, cl).is_ok());
+}
+
+TEST(PlacementPlanTest, GatherPairsMayStraddleServers) {
+  const JobDag dag = two_stage(ExchangeKind::kGather);
+  auto cl = Cluster::uniform(2, 4);
+  PlacementPlan plan;
+  plan.dop = {2, 2};
+  plan.task_server = {{0, 1}, {0, 1}};  // pairwise aligned
+  plan.zero_copy_edges = {{0, 1}};
+  EXPECT_TRUE(plan.validate(dag, cl).is_ok());
+  plan.task_server[1] = {1, 0};  // pairs broken
+  EXPECT_FALSE(plan.validate(dag, cl).is_ok());
+}
+
+TEST(PlacementPlanTest, ZeroCopyEdgeNotInDagFails) {
+  const JobDag dag = two_stage();
+  auto cl = Cluster::uniform(1, 4);
+  PlacementPlan plan = basic_plan();
+  plan.zero_copy_edges = {{1, 0}};  // reversed: no such edge
+  EXPECT_FALSE(plan.validate(dag, cl).is_ok());
+}
+
+TEST(PlacementPlanTest, HelpersAndAccessors) {
+  PlacementPlan plan = basic_plan();
+  plan.zero_copy_edges = {{0, 1}};
+  EXPECT_TRUE(plan.edge_colocated(0, 1));
+  EXPECT_FALSE(plan.edge_colocated(1, 0));
+  EXPECT_EQ(plan.total_slots_used(), 3);
+  EXPECT_EQ(plan.dop_of(0), 2);
+  EXPECT_EQ(plan.dop_of(9), 0);
+  const auto fn = plan.colocated_fn();
+  EXPECT_TRUE(fn(0, 1));
+  EXPECT_FALSE(fn(0, 2));
+}
+
+}  // namespace
+}  // namespace ditto::cluster

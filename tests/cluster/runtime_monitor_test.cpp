@@ -1,0 +1,80 @@
+#include "cluster/runtime_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ditto::cluster {
+namespace {
+
+TaskRecord make_record(StageId stage, TaskId task, Seconds start, Seconds end) {
+  TaskRecord r;
+  r.stage = stage;
+  r.task = task;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(RuntimeMonitorTest, RecordsAccumulate) {
+  RuntimeMonitor mon;
+  mon.record(make_record(0, 0, 0.0, 1.0));
+  mon.record(make_record(0, 1, 0.0, 2.0));
+  mon.record(make_record(1, 0, 2.0, 3.0));
+  EXPECT_EQ(mon.num_records(), 3u);
+  EXPECT_EQ(mon.records_for_stage(0).size(), 2u);
+  EXPECT_EQ(mon.records_for_stage(1).size(), 1u);
+  EXPECT_TRUE(mon.records_for_stage(7).empty());
+}
+
+TEST(RuntimeMonitorTest, StageSummaryAggregates) {
+  RuntimeMonitor mon;
+  mon.record(make_record(0, 0, 0.0, 1.0));
+  mon.record(make_record(0, 1, 0.5, 3.5));
+  const StageSummary sum = mon.stage_summary(0);
+  EXPECT_EQ(sum.tasks, 2u);
+  EXPECT_DOUBLE_EQ(sum.mean_task_time, 2.0);
+  EXPECT_DOUBLE_EQ(sum.max_task_time, 3.0);
+  EXPECT_DOUBLE_EQ(sum.stage_start, 0.0);
+  EXPECT_DOUBLE_EQ(sum.stage_end, 3.5);
+  EXPECT_DOUBLE_EQ(sum.straggler_scale(), 1.5);
+}
+
+TEST(RuntimeMonitorTest, EmptySummaryIsBenign) {
+  RuntimeMonitor mon;
+  const StageSummary sum = mon.stage_summary(0);
+  EXPECT_EQ(sum.tasks, 0u);
+  EXPECT_DOUBLE_EQ(sum.straggler_scale(), 1.0);
+}
+
+TEST(RuntimeMonitorTest, JobEndIsLatestTaskEnd) {
+  RuntimeMonitor mon;
+  mon.record(make_record(0, 0, 0.0, 5.0));
+  mon.record(make_record(1, 0, 5.0, 9.5));
+  EXPECT_DOUBLE_EQ(mon.job_end(), 9.5);
+}
+
+TEST(RuntimeMonitorTest, ClearResets) {
+  RuntimeMonitor mon;
+  mon.record(make_record(0, 0, 0.0, 1.0));
+  mon.clear();
+  EXPECT_EQ(mon.num_records(), 0u);
+  EXPECT_DOUBLE_EQ(mon.job_end(), 0.0);
+}
+
+TEST(RuntimeMonitorTest, ConcurrentRecording) {
+  RuntimeMonitor mon;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&mon, t] {
+      for (int i = 0; i < 500; ++i) {
+        mon.record(make_record(static_cast<StageId>(t), i, 0.0, 1.0));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mon.num_records(), 2000u);
+}
+
+}  // namespace
+}  // namespace ditto::cluster

@@ -1,0 +1,75 @@
+#include "cluster/slot_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace ditto::cluster {
+namespace {
+
+TEST(SlotDistributionTest, UniformFraction) {
+  // Uniform fractions are literal (paper Fig. 8b's "slot usage"): 50%
+  // usage leaves every server with half of its slots.
+  const auto slots = make_slot_distribution(uniform_usage(0.5), 8, 96);
+  ASSERT_EQ(slots.size(), 8u);
+  for (int s : slots) EXPECT_EQ(s, 48);
+  for (int s : make_slot_distribution(uniform_usage(1.0), 8, 96)) EXPECT_EQ(s, 96);
+  for (int s : make_slot_distribution(uniform_usage(0.25), 8, 96)) EXPECT_EQ(s, 24);
+}
+
+TEST(SlotDistributionTest, UniformSweepViaParam) {
+  // The Fig. 8b sweep uses uniform fractions against the same max.
+  for (double f : {1.0, 0.75, 0.5, 0.25}) {
+    const auto spec = uniform_usage(f);
+    EXPECT_EQ(spec.kind, SlotDistributionKind::kUniform);
+    EXPECT_DOUBLE_EQ(spec.param, f);
+  }
+}
+
+TEST(SlotDistributionTest, ZipfIsSkewedDescending) {
+  const auto slots = make_slot_distribution(zipf_0_9(), 8, 96);
+  ASSERT_EQ(slots.size(), 8u);
+  EXPECT_EQ(slots[0], 96);  // rank 1 normalized to full capacity
+  for (std::size_t i = 0; i + 1 < slots.size(); ++i) EXPECT_GE(slots[i], slots[i + 1]);
+  EXPECT_LT(slots.back(), 40);  // heavy skew at the tail
+}
+
+TEST(SlotDistributionTest, Zipf99MoreSkewedThanZipf9) {
+  const auto mild = make_slot_distribution(zipf_0_9(), 8, 96);
+  const auto steep = make_slot_distribution(zipf_0_99(), 8, 96);
+  EXPECT_LE(steep.back(), mild.back());
+  EXPECT_LT(std::accumulate(steep.begin(), steep.end(), 0),
+            std::accumulate(mild.begin(), mild.end(), 0));
+}
+
+TEST(SlotDistributionTest, NormalIsSymmetricBellShaped) {
+  const auto slots = make_slot_distribution(norm_1_0(), 8, 96);
+  ASSERT_EQ(slots.size(), 8u);
+  // Symmetric sampling: mirrored servers match.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(slots[i], slots[7 - i]);
+  // Peak in the middle.
+  EXPECT_GT(slots[3], slots[0]);
+  EXPECT_EQ(*std::max_element(slots.begin(), slots.end()), 96);
+}
+
+TEST(SlotDistributionTest, TighterSigmaDropsTailsFaster) {
+  const auto wide = make_slot_distribution(norm_1_0(), 8, 96);
+  const auto tight = make_slot_distribution(norm_0_8(), 8, 96);
+  EXPECT_LT(tight.front(), wide.front());
+}
+
+TEST(SlotDistributionTest, EveryServerKeepsAtLeastOneSlot) {
+  const auto slots = make_slot_distribution(zipf_0_99(), 16, 8);
+  for (int s : slots) EXPECT_GE(s, 1);
+}
+
+TEST(SlotDistributionTest, Labels) {
+  EXPECT_EQ(uniform_usage(0.75).label(), "75%");
+  EXPECT_EQ(norm_1_0().label(), "Norm-1.0");
+  EXPECT_EQ(zipf_0_9().label(), "Zipf-0.9");
+  EXPECT_EQ(zipf_0_99().label(), "Zipf-0.99");
+}
+
+}  // namespace
+}  // namespace ditto::cluster

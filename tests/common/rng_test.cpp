@@ -1,0 +1,113 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ditto {
+namespace {
+
+TEST(RngTest, DeterministicUnderSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NormalHasRequestedMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, LognormalMeanOneParameterization) {
+  // mu = -sigma^2/2 gives mean 1 — the simulator's noise invariant.
+  Rng rng(13);
+  const double sigma = 0.3;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(-sigma * sigma / 2, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, CoinProbability) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.coin(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution zipf(8, 0.9);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= 8; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  const ZipfDistribution zipf(10, 0.99);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_GT(zipf.pmf(k), zipf.pmf(k + 1));
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  const ZipfDistribution mild(8, 0.5), steep(8, 1.5);
+  EXPECT_GT(steep.pmf(1), mild.pmf(1));
+  EXPECT_LT(steep.pmf(8), mild.pmf(8));
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  const ZipfDistribution zipf(4, 0.9);
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng) - 1];
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k - 1]) / n, zipf.pmf(k), 0.02);
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  const ZipfDistribution zipf(5, 0.0);
+  for (std::size_t k = 1; k <= 5; ++k) EXPECT_NEAR(zipf.pmf(k), 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace ditto

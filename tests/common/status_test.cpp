@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::not_found("missing key");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing key");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::internal("a"), Status::internal("b"));
+  EXPECT_FALSE(Status::internal("a") == Status::not_found("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code : {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+                          StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+                          StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+                          StatusCode::kUnimplemented, StatusCode::kInternal,
+                          StatusCode::kUnavailable}) {
+    EXPECT_STRNE(status_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::invalid_argument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+Status helper_returns_error() {
+  DITTO_RETURN_IF_ERROR(Status::unavailable("down"));
+  return Status::ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(helper_returns_error().code(), StatusCode::kUnavailable);
+}
+
+Result<int> helper_assign_or_return(bool fail) {
+  auto make = [&]() -> Result<int> {
+    if (fail) return Status::internal("boom");
+    return 5;
+  };
+  DITTO_ASSIGN_OR_RETURN(const int v, make());
+  return v * 2;
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  EXPECT_EQ(helper_assign_or_return(false).value(), 10);
+  EXPECT_EQ(helper_assign_or_return(true).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ditto

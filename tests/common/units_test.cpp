@@ -1,0 +1,33 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto {
+namespace {
+
+TEST(UnitsTest, BinaryLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(3_GiB, 3ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, DecimalLiterals) {
+  EXPECT_EQ(1_KB, 1000u);
+  EXPECT_EQ(5_MB, 5'000'000u);
+  EXPECT_EQ(2_GB, 2'000'000'000ull);
+}
+
+TEST(UnitsTest, BytesToString) {
+  EXPECT_EQ(bytes_to_string(512), "512 B");
+  EXPECT_EQ(bytes_to_string(1536), "1.50 KiB");
+  EXPECT_EQ(bytes_to_string(1_GiB), "1.00 GiB");
+}
+
+TEST(UnitsTest, SecondsToString) {
+  EXPECT_EQ(seconds_to_string(235e-6), "235 us");
+  EXPECT_EQ(seconds_to_string(0.012), "12.00 ms");
+  EXPECT_EQ(seconds_to_string(3.5), "3.50 s");
+}
+
+}  // namespace
+}  // namespace ditto

@@ -1,0 +1,80 @@
+#include "dag/dag_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto {
+namespace {
+
+TEST(DagBuilderTest, BuildsAnnotatedDag) {
+  auto result = DagBuilder("q")
+                    .stage("scan", {.op = "map", .input = 4_GB, .output = 1_GB})
+                    .stage("agg", {.op = "reduce", .output = 100_MB, .rho = 2.0})
+                    .edge("scan", "agg", ExchangeKind::kShuffle)
+                    .build();
+  ASSERT_TRUE(result.ok());
+  const JobDag& dag = result.value();
+  EXPECT_EQ(dag.num_stages(), 2u);
+  EXPECT_EQ(dag.stage(0).op(), "map");
+  EXPECT_EQ(dag.stage(0).input_bytes(), 4_GB);
+  EXPECT_DOUBLE_EQ(dag.stage(1).rho(), 2.0);
+}
+
+TEST(DagBuilderTest, EdgeBytesDefaultToSourceOutput) {
+  auto result = DagBuilder("q")
+                    .stage("a", {.op = "map", .output = 2_GB})
+                    .stage("b", {.op = "map"})
+                    .edge("a", "b")
+                    .build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().find_edge(0, 1)->bytes, 2_GB);
+}
+
+TEST(DagBuilderTest, ExplicitEdgeBytesWin) {
+  auto result = DagBuilder("q")
+                    .stage("a", {.op = "map", .output = 2_GB})
+                    .stage("b", {.op = "map"})
+                    .edge("a", "b", ExchangeKind::kShuffle, 5_MB)
+                    .build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().find_edge(0, 1)->bytes, 5_MB);
+}
+
+TEST(DagBuilderTest, DuplicateStageNameFails) {
+  auto result = DagBuilder("q").stage("a").stage("a").build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DagBuilderTest, UndeclaredEdgeEndpointFails) {
+  auto result = DagBuilder("q").stage("a").edge("a", "ghost").build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DagBuilderTest, CycleFails) {
+  auto result = DagBuilder("q")
+                    .stage("a")
+                    .stage("b")
+                    .edge("a", "b")
+                    .edge("b", "a")
+                    .build();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DagBuilderTest, FirstErrorWinsAndLaterCallsAreNoops) {
+  DagBuilder b("q");
+  b.stage("a").edge("a", "nope").stage("c");
+  auto result = b.build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DagBuilderTest, IdOfResolvesNames) {
+  DagBuilder b("q");
+  b.stage("x").stage("y");
+  EXPECT_EQ(b.id_of("x"), 0u);
+  EXPECT_EQ(b.id_of("y"), 1u);
+}
+
+}  // namespace
+}  // namespace ditto

@@ -1,0 +1,124 @@
+#include "dag/job_dag.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto {
+namespace {
+
+JobDag diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3
+  JobDag dag("diamond");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  const StageId c = dag.add_stage("c");
+  const StageId d = dag.add_stage("d");
+  EXPECT_TRUE(dag.add_edge(a, b).is_ok());
+  EXPECT_TRUE(dag.add_edge(a, c).is_ok());
+  EXPECT_TRUE(dag.add_edge(b, d).is_ok());
+  EXPECT_TRUE(dag.add_edge(c, d).is_ok());
+  return dag;
+}
+
+TEST(JobDagTest, AddStageAssignsDenseIds) {
+  JobDag dag;
+  EXPECT_EQ(dag.add_stage("x"), 0u);
+  EXPECT_EQ(dag.add_stage("y"), 1u);
+  EXPECT_EQ(dag.num_stages(), 2u);
+  EXPECT_EQ(dag.stage(1).name(), "y");
+}
+
+TEST(JobDagTest, EdgesTrackAdjacency) {
+  const JobDag dag = diamond();
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_EQ(dag.children(0).size(), 2u);
+  EXPECT_EQ(dag.parents(3).size(), 2u);
+  EXPECT_TRUE(dag.parents(0).empty());
+  EXPECT_TRUE(dag.children(3).empty());
+}
+
+TEST(JobDagTest, SourcesAndSinks) {
+  const JobDag dag = diamond();
+  EXPECT_EQ(dag.sources(), std::vector<StageId>{0});
+  EXPECT_EQ(dag.sinks(), std::vector<StageId>{3});
+}
+
+TEST(JobDagTest, RejectsSelfEdge) {
+  JobDag dag;
+  const StageId a = dag.add_stage("a");
+  EXPECT_EQ(dag.add_edge(a, a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobDagTest, RejectsUnknownStage) {
+  JobDag dag;
+  dag.add_stage("a");
+  EXPECT_EQ(dag.add_edge(0, 5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobDagTest, RejectsDuplicateEdge) {
+  JobDag dag;
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(a, b).is_ok());
+  EXPECT_EQ(dag.add_edge(a, b).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(JobDagTest, RejectsCycle) {
+  JobDag dag;
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  const StageId c = dag.add_stage("c");
+  EXPECT_TRUE(dag.add_edge(a, b).is_ok());
+  EXPECT_TRUE(dag.add_edge(b, c).is_ok());
+  EXPECT_EQ(dag.add_edge(c, a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobDagTest, ValidateAcceptsDiamond) {
+  EXPECT_TRUE(diamond().validate().is_ok());
+}
+
+TEST(JobDagTest, FindEdgeReturnsMetadata) {
+  JobDag dag;
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  ASSERT_TRUE(dag.add_edge(a, b, ExchangeKind::kBroadcast, 123).is_ok());
+  const Edge* e = dag.find_edge(a, b);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->exchange, ExchangeKind::kBroadcast);
+  EXPECT_EQ(e->bytes, 123u);
+  EXPECT_EQ(dag.find_edge(b, a), nullptr);
+}
+
+TEST(JobDagTest, ToDotMentionsStagesAndExchanges) {
+  JobDag dag("g");
+  const StageId a = dag.add_stage("alpha");
+  const StageId b = dag.add_stage("beta");
+  ASSERT_TRUE(dag.add_edge(a, b, ExchangeKind::kShuffle, 1_GB).is_ok());
+  const std::string dot = dag.to_dot();
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("shuffle"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(StageTest, AlphaBetaTotalsSkipPipelined) {
+  Stage s(0, "s");
+  s.add_step({StepKind::kRead, kNoStage, 10.0, 1.0, false});
+  s.add_step({StepKind::kCompute, kNoStage, 20.0, 2.0, false});
+  s.add_step({StepKind::kWrite, kNoStage, 5.0, 0.5, true});  // pipelined
+  EXPECT_DOUBLE_EQ(s.alpha_total(), 30.0);
+  EXPECT_DOUBLE_EQ(s.beta_total(), 3.0);
+  EXPECT_DOUBLE_EQ(s.compute_alpha(), 20.0);
+  EXPECT_DOUBLE_EQ(s.compute_beta(), 2.0);
+}
+
+TEST(StageTest, TaskMemorySplitsDataAcrossTasks) {
+  Stage s(0, "s");
+  s.set_input_bytes(1000);
+  s.set_base_memory_bytes(10);
+  EXPECT_EQ(s.task_memory_bytes(10), 110u);
+  EXPECT_EQ(s.task_memory_bytes(1), 1010u);
+  // DoP below 1 is clamped.
+  EXPECT_EQ(s.task_memory_bytes(0), 1010u);
+}
+
+}  // namespace
+}  // namespace ditto

@@ -1,0 +1,77 @@
+#include "exec/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::exec {
+namespace {
+
+Table mixed() {
+  auto t = Table::make(
+      {{"id", DataType::kInt64}, {"score", DataType::kDouble}, {"name", DataType::kString}},
+      {Column(std::vector<std::int64_t>{1, -2, 9007199254740993LL}),
+       Column(std::vector<double>{1.5, -0.25, 3.141592653589793}),
+       Column(std::vector<std::string>{"plain", "with,comma", "with \"quotes\"\nand newline"})});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  const Table t = mixed();
+  const auto back = table_from_csv(table_to_csv(t));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(*back, t);
+}
+
+TEST(CsvTest, HeaderCarriesTypes) {
+  const std::string csv = table_to_csv(mixed());
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "id:int,score:double,name:str");
+}
+
+TEST(CsvTest, DefaultTypeIsInt) {
+  const auto t = table_from_csv("a,b:int\n1,2\n3,4\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column_by_name("a").type(), DataType::kInt64);
+  EXPECT_EQ(t->column_by_name("a").int_at(1), 3);
+}
+
+TEST(CsvTest, EmptyTableRoundTrips) {
+  const Table t(Schema{{"x", DataType::kDouble}});
+  const auto back = table_from_csv(table_to_csv(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(back->schema(), t.schema());
+}
+
+TEST(CsvTest, QuotedFieldsParse) {
+  const auto t = table_from_csv("s:str\n\"a,b\"\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).string_at(0), "a,b");
+  EXPECT_EQ(t->column(0).string_at(1), "he said \"hi\"");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  const auto t = table_from_csv("a:int\r\n1\r\n2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, Rejections) {
+  EXPECT_FALSE(table_from_csv("").ok());
+  EXPECT_FALSE(table_from_csv("a:wat\n1\n").ok());
+  EXPECT_FALSE(table_from_csv("a:int\nnot_a_number\n").ok());
+  EXPECT_FALSE(table_from_csv("a:int,b:int\n1\n").ok());          // ragged
+  EXPECT_FALSE(table_from_csv("s:str\n\"unterminated\n").ok());   // bad quote
+  EXPECT_FALSE(table_from_csv("a:double\n1.5x\n").ok());          // trailing junk
+}
+
+TEST(CsvTest, BigTableSurvives) {
+  std::vector<std::int64_t> v(5000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<std::int64_t>(i * 7);
+  const Table t = table_of_ints({{"v", v}});
+  const auto back = table_from_csv(table_to_csv(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+}  // namespace
+}  // namespace ditto::exec

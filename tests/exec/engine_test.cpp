@@ -1,0 +1,300 @@
+#include "exec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/datagen.h"
+#include "exec/operators.h"
+#include "storage/sim_store.h"
+
+namespace ditto::exec {
+namespace {
+
+/// map(fact) -> shuffle -> groupby(warehouse): real distributed group-by.
+JobDag agg_dag() {
+  JobDag dag("agg");
+  const StageId scan = dag.add_stage("scan");
+  const StageId agg = dag.add_stage("agg");
+  EXPECT_TRUE(dag.add_edge(scan, agg, ExchangeKind::kShuffle).is_ok());
+  return dag;
+}
+
+cluster::PlacementPlan plan_for(const JobDag& dag, std::vector<int> dop,
+                                std::vector<std::vector<ServerId>> servers,
+                                std::vector<std::pair<StageId, StageId>> zc = {}) {
+  cluster::PlacementPlan plan;
+  plan.dop = std::move(dop);
+  plan.task_server = std::move(servers);
+  plan.zero_copy_edges = std::move(zc);
+  (void)dag;
+  return plan;
+}
+
+/// Reference single-node result: group the whole fact table at once.
+Table reference_agg(const Table& fact) {
+  auto r = group_by(fact, "warehouse_id",
+                    {{AggKind::kSum, "quantity", "qty"}, {AggKind::kCount, "", "n"}});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+std::map<StageId, StageBinding> agg_bindings(const Table& fact) {
+  std::map<StageId, StageBinding> bindings;
+  bindings[0] = StageBinding{
+      [&fact](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+        // Each scan task reads its slice of the "external" table.
+        return range_partition(fact, dop)[task];
+      },
+      "warehouse_id"};
+  bindings[1] = StageBinding{
+      [](int, int, const std::vector<Table>& inputs) -> Result<Table> {
+        return group_by(inputs.at(0), "warehouse_id",
+                        {{AggKind::kSum, "quantity", "qty"}, {AggKind::kCount, "", "n"}});
+      },
+      ""};
+  return bindings;
+}
+
+TEST(MiniEngineTest, DistributedGroupByMatchesReference) {
+  const Table fact = gen_fact_table({.rows = 5000, .num_warehouses = 8, .seed = 3});
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  const auto plan = plan_for(dag, {4, 3}, {{0, 0, 1, 1}, {0, 1, 1}});
+  MiniEngine engine(dag, plan, *store);
+  const auto result = engine.run(agg_bindings(fact));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+  // Merge the sink partitions and compare against the single-node run.
+  const Table& merged = result->sink_outputs.at(1);
+  auto sorted = sort_by_int(merged, "warehouse_id");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(*sorted, reference_agg(fact));
+  EXPECT_EQ(result->stats.tasks_run, 7u);
+}
+
+TEST(MiniEngineTest, CoLocationMakesExchangeZeroCopy) {
+  const Table fact = gen_fact_table({.rows = 2000, .seed = 5});
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  // Everything on server 0: all pipes local.
+  const auto plan = plan_for(dag, {2, 2}, {{0, 0}, {0, 0}}, {{0, 1}});
+  MiniEngine engine(dag, plan, *store);
+  const auto result = engine.run(agg_bindings(fact));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.exchange.zero_copy_messages, 0u);
+  EXPECT_EQ(result->stats.exchange.remote_messages, 0u);
+  EXPECT_EQ(store->stats().puts, 0u);
+}
+
+TEST(MiniEngineTest, CrossServerExchangeSerializes) {
+  const Table fact = gen_fact_table({.rows = 2000, .seed = 5});
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  const auto plan = plan_for(dag, {2, 2}, {{0, 0}, {1, 1}});
+  MiniEngine engine(dag, plan, *store);
+  const auto result = engine.run(agg_bindings(fact));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.exchange.zero_copy_messages, 0u);
+  EXPECT_GT(result->stats.exchange.remote_messages, 0u);
+  EXPECT_GT(store->stats().puts, 0u);
+}
+
+TEST(MiniEngineTest, PlacementChangesResultsNotAtAll) {
+  // The paper's correctness requirement: placement affects performance,
+  // never results. Same DAG, three placements, identical output.
+  const Table fact = gen_fact_table({.rows = 3000, .key_zipf_skew = 0.9, .seed = 9});
+  const JobDag dag = agg_dag();
+  std::vector<Table> outputs;
+  for (const auto& servers : std::vector<std::vector<std::vector<ServerId>>>{
+           {{0, 0, 0}, {0, 0}},      // all co-located
+           {{0, 1, 2}, {3, 4}},      // fully spread
+           {{0, 1, 0}, {1, 0}}}) {   // mixed
+    auto store = storage::make_instant_store();
+    const auto plan = plan_for(dag, {3, 2}, servers);
+    MiniEngine engine(dag, plan, *store);
+    auto result = engine.run(agg_bindings(fact));
+    ASSERT_TRUE(result.ok());
+    auto sorted = sort_by_int(result->sink_outputs.at(1), "warehouse_id");
+    ASSERT_TRUE(sorted.ok());
+    outputs.push_back(std::move(sorted).value());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(MiniEngineTest, JoinPipelineAcrossThreeStages) {
+  // fact -> (shuffle) join <- (broadcast) dim, then gather to a sink.
+  const Table fact = gen_fact_table({.rows = 2000, .num_warehouses = 6, .seed = 13});
+  const Table dim = gen_dim_table(6, 3, 17);
+
+  JobDag dag("join");
+  const StageId scan_f = dag.add_stage("scan_fact");
+  const StageId scan_d = dag.add_stage("scan_dim");
+  const StageId join = dag.add_stage("join");
+  const StageId sink = dag.add_stage("sink");
+  ASSERT_TRUE(dag.add_edge(scan_f, join, ExchangeKind::kShuffle).is_ok());
+  ASSERT_TRUE(dag.add_edge(scan_d, join, ExchangeKind::kBroadcast).is_ok());
+  ASSERT_TRUE(dag.add_edge(join, sink, ExchangeKind::kGather).is_ok());
+
+  std::map<StageId, StageBinding> bindings;
+  bindings[scan_f] = StageBinding{
+      [&fact](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+        return range_partition(fact, dop)[task];
+      },
+      "warehouse_id"};
+  bindings[scan_d] = StageBinding{
+      [&dim](int, int, const std::vector<Table>&) -> Result<Table> { return dim; }, ""};
+  bindings[join] = StageBinding{
+      [](int, int, const std::vector<Table>& inputs) -> Result<Table> {
+        return hash_join(inputs.at(0), "warehouse_id", inputs.at(1), "id");
+      },
+      "warehouse_id"};
+  bindings[sink] = StageBinding{
+      [](int, int, const std::vector<Table>& inputs) -> Result<Table> {
+        return group_by(inputs.at(0), "attr", {{AggKind::kCount, "", "rows"}});
+      },
+      ""};
+
+  auto store = storage::make_instant_store();
+  const auto plan =
+      plan_for(dag, {2, 1, 2, 2}, {{0, 1}, {0}, {0, 1}, {0, 1}}, {{join, sink}});
+  MiniEngine engine(dag, plan, *store);
+  cluster::RuntimeMonitor monitor;
+  const auto result = engine.run(bindings, &monitor);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+  // Reference: single-node join + group-by.
+  const auto joined = hash_join(fact, "warehouse_id", dim, "id");
+  ASSERT_TRUE(joined.ok());
+  const auto ref = group_by(*joined, "attr", {{AggKind::kCount, "", "rows"}});
+  ASSERT_TRUE(ref.ok());
+
+  auto merged = sort_by_int(result->sink_outputs.at(sink), "attr");
+  ASSERT_TRUE(merged.ok());
+  // The distributed run partitions counts across sink tasks; re-group.
+  const auto regrouped = group_by(*merged, "attr", {{AggKind::kSum, "rows", "rows"}});
+  ASSERT_TRUE(regrouped.ok());
+  ASSERT_EQ(regrouped->num_rows(), ref->num_rows());
+  for (std::size_t r = 0; r < ref->num_rows(); ++r) {
+    EXPECT_EQ(regrouped->column_by_name("attr").int_at(r),
+              ref->column_by_name("attr").int_at(r));
+    EXPECT_DOUBLE_EQ(regrouped->column_by_name("rows").double_at(r),
+                     static_cast<double>(ref->column_by_name("rows").int_at(r)));
+  }
+  // Monitor saw every task.
+  EXPECT_EQ(monitor.num_records(), 7u);
+}
+
+TEST(MiniEngineTest, PerEdgeKeysRouteIndependently) {
+  // One producer feeds two consumers, shuffling by DIFFERENT keys:
+  // consumer A partitions by warehouse, consumer B by date. Each
+  // consumer must see every row of its keys in exactly one task.
+  const Table fact = gen_fact_table({.rows = 3000, .num_warehouses = 5, .num_dates = 7,
+                                     .seed = 31});
+  JobDag dag("dualkey");
+  const StageId src = dag.add_stage("src");
+  const StageId by_wh = dag.add_stage("by_wh");
+  const StageId by_date = dag.add_stage("by_date");
+  ASSERT_TRUE(dag.add_edge(src, by_wh, ExchangeKind::kShuffle).is_ok());
+  ASSERT_TRUE(dag.add_edge(src, by_date, ExchangeKind::kShuffle).is_ok());
+
+  std::map<StageId, StageBinding> bindings;
+  StageBinding producer;
+  producer.fn = [&fact](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+    return range_partition(fact, dop)[task];
+  };
+  producer.output_key = "warehouse_id";
+  producer.edge_keys[by_date] = "date_id";
+  bindings[src] = std::move(producer);
+  const auto grouper = [](const char* key) {
+    return [key](int, int, const std::vector<Table>& in) -> Result<Table> {
+      return group_by(in.at(0), key, {{AggKind::kCount, "", "n"}});
+    };
+  };
+  bindings[by_wh] = StageBinding{grouper("warehouse_id"), ""};
+  bindings[by_date] = StageBinding{grouper("date_id"), ""};
+
+  cluster::PlacementPlan plan;
+  plan.dop = {3, 2, 2};
+  plan.task_server = {{0, 1, 2}, {0, 1}, {2, 3}};
+  auto store = storage::make_instant_store();
+  MiniEngine engine(dag, plan, *store);
+  const auto result = engine.run(bindings);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+  // Each consumer's merged per-key counts must match the fact table:
+  // totals equal, and no key split across tasks (counts are complete).
+  const auto check = [&fact](const Table& merged, const char* key) {
+    auto ref = group_by(fact, key, {{AggKind::kCount, "", "n"}});
+    ASSERT_TRUE(ref.ok());
+    auto sorted = sort_by_int(merged, key);
+    ASSERT_TRUE(sorted.ok());
+    EXPECT_EQ(*sorted, *ref) << key;
+  };
+  check(result->sink_outputs.at(by_wh), "warehouse_id");
+  check(result->sink_outputs.at(by_date), "date_id");
+}
+
+TEST(MiniEngineTest, MissingBindingFails) {
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  const auto plan = plan_for(dag, {1, 1}, {{0}, {0}});
+  MiniEngine engine(dag, plan, *store);
+  EXPECT_FALSE(engine.run({}).ok());
+}
+
+TEST(MiniEngineTest, TaskErrorPropagates) {
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  const auto plan = plan_for(dag, {1, 1}, {{0}, {0}});
+  MiniEngine engine(dag, plan, *store);
+  std::map<StageId, StageBinding> bindings;
+  bindings[0] = StageBinding{
+      [](int, int, const std::vector<Table>&) -> Result<Table> {
+        return Status::internal("task exploded");
+      },
+      "k"};
+  bindings[1] = StageBinding{
+      [](int, int, const std::vector<Table>& in) -> Result<Table> { return in.at(0); }, ""};
+  const auto result = engine.run(bindings);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(DatagenTest, FactTableShapeAndDeterminism) {
+  const Table a = gen_fact_table({.rows = 100, .seed = 1});
+  const Table b = gen_fact_table({.rows = 100, .seed = 1});
+  const Table c = gen_fact_table({.rows = 100, .seed = 2});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.num_rows(), 100u);
+  EXPECT_GE(a.column_index("order_id"), 0);
+  EXPECT_GE(a.column_index("price"), 0);
+}
+
+TEST(DatagenTest, ZipfSkewConcentratesOrders) {
+  const Table uniform = gen_fact_table({.rows = 5000, .num_orders = 100, .seed = 3});
+  const Table skewed =
+      gen_fact_table({.rows = 5000, .num_orders = 100, .key_zipf_skew = 1.2, .seed = 3});
+  const auto mode_count = [](const Table& t) {
+    std::map<std::int64_t, int> counts;
+    for (std::int64_t k : t.column_by_name("order_id").ints()) ++counts[k];
+    int best = 0;
+    for (const auto& [k, c] : counts) best = std::max(best, c);
+    return best;
+  };
+  EXPECT_GT(mode_count(skewed), 2 * mode_count(uniform));
+}
+
+TEST(DatagenTest, ReturnsReferenceFactOrders) {
+  const Table fact = gen_fact_table({.rows = 1000, .num_orders = 200, .seed = 21});
+  const Table returns = gen_returns_table(fact, 0.3, 23);
+  EXPECT_GT(returns.num_rows(), 20u);
+  EXPECT_LT(returns.num_rows(), 120u);
+  // Every returned order exists in the fact table.
+  const auto semi = hash_join(returns, "order_id", fact, "order_id", JoinKind::kLeftSemi);
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(semi->num_rows(), returns.num_rows());
+}
+
+}  // namespace
+}  // namespace ditto::exec

@@ -1,0 +1,151 @@
+#include "exec/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/sim_store.h"
+
+namespace ditto::exec {
+namespace {
+
+Table keyed(std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> k, v;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    k.push_back(i);
+    v.push_back(i * 10);
+  }
+  return table_of_ints({{"k", k}, {"v", v}});
+}
+
+TEST(LocalTableChannelTest, ZeroCopyPointerIdentity) {
+  LocalTableChannel ch;
+  auto t = std::make_shared<const Table>(keyed(0, 5));
+  const Table* raw = t.get();
+  ASSERT_TRUE(ch.send(t).is_ok());
+  const auto out = ch.recv();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->get(), raw);  // literally the same Table object
+}
+
+TEST(RemoteTableChannelTest, RoundTripsThroughStore) {
+  auto store = storage::make_instant_store();
+  RemoteTableChannel ch(*store, "edge");
+  auto t = std::make_shared<const Table>(keyed(0, 5));
+  ASSERT_TRUE(ch.send(t).is_ok());
+  const auto out = ch.recv();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, *t);       // equal content
+  EXPECT_NE(out->get(), t.get());  // but a different (deserialized) object
+  EXPECT_GT(store->stats().puts, 0u);
+}
+
+TEST(ChannelTest, CloseGivesEof) {
+  LocalTableChannel local;
+  local.close();
+  EXPECT_FALSE(local.recv().has_value());
+  auto store = storage::make_instant_store();
+  RemoteTableChannel remote(*store, "p");
+  remote.close();
+  EXPECT_FALSE(remote.recv().has_value());
+}
+
+std::vector<ServerId> servers(std::initializer_list<ServerId> v) { return v; }
+
+TEST(ExchangeTest, ShuffleRoutesByHashAndCoversAllRows) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0, 1}), servers({0, 1, 2}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 50)).is_ok());
+  ASSERT_TRUE(ex.send(1, keyed(50, 100)).is_ok());
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto t = ex.recv_all(j);
+    ASSERT_TRUE(t.ok());
+    total += t->num_rows();
+    // Each consumer only sees keys that hash to it.
+    for (std::int64_t k : t->column_by_name("k").ints()) {
+      EXPECT_EQ(stable_hash64(k) % 3, j);
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ExchangeTest, SameServerPipesAreZeroCopy) {
+  auto store = storage::make_instant_store();
+  // Producers and consumers all on server 0 -> all pipes local.
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0, 0}), servers({0, 0}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 10)).is_ok());
+  ASSERT_TRUE(ex.send(1, keyed(10, 20)).is_ok());
+  (void)ex.recv_all(0);
+  (void)ex.recv_all(1);
+  EXPECT_GT(ex.stats().zero_copy_messages, 0u);
+  EXPECT_EQ(ex.stats().remote_messages, 0u);
+  EXPECT_EQ(store->stats().puts, 0u);  // nothing touched the store
+}
+
+TEST(ExchangeTest, CrossServerPipesSerialize) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({1}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 10)).is_ok());
+  (void)ex.recv_all(0);
+  EXPECT_EQ(ex.stats().zero_copy_messages, 0u);
+  EXPECT_GT(ex.stats().remote_messages, 0u);
+  EXPECT_GT(ex.stats().remote_bytes, 0u);
+  EXPECT_GT(store->stats().puts, 0u);
+}
+
+TEST(ExchangeTest, MixedPlacementSplitsTraffic) {
+  auto store = storage::make_instant_store();
+  // Producer on server 0; consumers on 0 and 1: one local, one remote pipe.
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({0, 1}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 40)).is_ok());
+  (void)ex.recv_all(0);
+  (void)ex.recv_all(1);
+  EXPECT_EQ(ex.stats().zero_copy_messages, 1u);
+  EXPECT_EQ(ex.stats().remote_messages, 1u);
+}
+
+TEST(ExchangeTest, GatherPairsProducersToConsumers) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kGather, "k", servers({0, 1, 0}), servers({0, 1, 0}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 3)).is_ok());
+  ASSERT_TRUE(ex.send(1, keyed(3, 6)).is_ok());
+  ASSERT_TRUE(ex.send(2, keyed(6, 9)).is_ok());
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto t = ex.recv_all(j);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->num_rows(), 3u);  // exactly its paired producer's rows
+    EXPECT_EQ(t->column_by_name("k").int_at(0), static_cast<std::int64_t>(j * 3));
+  }
+}
+
+TEST(ExchangeTest, BroadcastDeliversFullCopyToEveryone) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kBroadcast, "", servers({0}), servers({0, 1, 2}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 7)).is_ok());
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto t = ex.recv_all(j);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->num_rows(), 7u);
+  }
+}
+
+TEST(ExchangeTest, AllGatherMergesAllProducers) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kAllGather, "", servers({0, 1}), servers({0, 1}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 4)).is_ok());
+  ASSERT_TRUE(ex.send(1, keyed(4, 8)).is_ok());
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto t = ex.recv_all(j);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->num_rows(), 8u);  // full copy of everything
+  }
+}
+
+TEST(ExchangeTest, IndexBoundsChecked) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({0}), *store, "x");
+  EXPECT_FALSE(ex.send(5, keyed(0, 1)).is_ok());
+  EXPECT_FALSE(ex.recv_all(5).ok());
+}
+
+}  // namespace
+}  // namespace ditto::exec

@@ -1,0 +1,105 @@
+#include "exec/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ditto::exec {
+namespace {
+
+Table keyed(std::size_t rows) {
+  std::vector<std::int64_t> k(rows), v(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    k[i] = static_cast<std::int64_t>(i % 37);
+    v[i] = static_cast<std::int64_t>(i);
+  }
+  return table_of_ints({{"k", k}, {"v", v}});
+}
+
+TEST(HashPartitionTest, CoversAllRowsExactlyOnce) {
+  const Table t = keyed(1000);
+  const auto parts = hash_partition(t, "k", 7);
+  ASSERT_TRUE(parts.ok());
+  std::size_t total = 0;
+  for (const Table& p : *parts) total += p.num_rows();
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(HashPartitionTest, SameKeySamePartition) {
+  const Table t = keyed(500);
+  const auto parts = hash_partition(t, "k", 5);
+  ASSERT_TRUE(parts.ok());
+  // Every key must appear in exactly one partition.
+  std::vector<int> owner(37, -1);
+  for (std::size_t p = 0; p < parts->size(); ++p) {
+    for (std::int64_t key : (*parts)[p].column_by_name("k").ints()) {
+      if (owner[key] < 0) {
+        owner[key] = static_cast<int>(p);
+      } else {
+        EXPECT_EQ(owner[key], static_cast<int>(p)) << "key " << key;
+      }
+    }
+  }
+}
+
+TEST(HashPartitionTest, CoPartitioningAgreesAcrossTables) {
+  // Two tables hashed on the same key domain route keys identically —
+  // the property hash joins over shuffles rely on.
+  const Table a = keyed(200);
+  const Table b = keyed(777);
+  const auto pa = hash_partition(a, "k", 4);
+  const auto pb = hash_partition(b, "k", 4);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  for (std::int64_t key = 0; key < 37; ++key) {
+    const std::size_t expected = stable_hash64(key) % 4;
+    for (std::size_t p = 0; p < 4; ++p) {
+      for (const Table* part : {&(*pa)[p], &(*pb)[p]}) {
+        for (std::int64_t k : part->column_by_name("k").ints()) {
+          if (k == key) {
+            EXPECT_EQ(p, expected);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HashPartitionTest, RejectsBadArguments) {
+  const Table t = keyed(10);
+  EXPECT_FALSE(hash_partition(t, "ghost", 2).ok());
+  EXPECT_FALSE(hash_partition(t, "k", 0).ok());
+}
+
+TEST(RoundRobinTest, BalancedSizes) {
+  const Table t = keyed(10);
+  const auto parts = round_robin_partition(t, 3);
+  EXPECT_EQ(parts[0].num_rows(), 4u);
+  EXPECT_EQ(parts[1].num_rows(), 3u);
+  EXPECT_EQ(parts[2].num_rows(), 3u);
+}
+
+TEST(RangePartitionTest, ContiguousAndComplete) {
+  const Table t = keyed(10);
+  const auto parts = range_partition(t, 4);
+  std::size_t total = 0;
+  std::int64_t prev_last = -1;
+  for (const Table& p : parts) {
+    total += p.num_rows();
+    if (p.num_rows() > 0) {
+      EXPECT_GT(p.column_by_name("v").int_at(0), prev_last);
+      prev_last = p.column_by_name("v").int_at(p.num_rows() - 1);
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(StableHashTest, DeterministicAndSpread) {
+  EXPECT_EQ(stable_hash64(42), stable_hash64(42));
+  // Buckets should be roughly uniform over sequential keys.
+  std::vector<int> counts(8, 0);
+  for (std::int64_t k = 0; k < 8000; ++k) ++counts[stable_hash64(k) % 8];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+}  // namespace
+}  // namespace ditto::exec

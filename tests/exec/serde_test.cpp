@@ -1,0 +1,67 @@
+#include "exec/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::exec {
+namespace {
+
+Table sample() {
+  auto t = Table::make(
+      {{"id", DataType::kInt64}, {"v", DataType::kDouble}, {"s", DataType::kString}},
+      {Column(std::vector<std::int64_t>{-5, 0, 9007199254740993LL}),
+       Column(std::vector<double>{0.0, -1.25, 3.14159}),
+       Column(std::vector<std::string>{"", "hello", std::string(1000, 'x')})});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(SerdeTest, RoundTripPreservesEverything) {
+  const Table t = sample();
+  const auto back = deserialize_table(serialize_table(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(SerdeTest, EmptyTableRoundTrips) {
+  const Table t(Schema{{"a", DataType::kInt64}, {"b", DataType::kString}});
+  const auto back = deserialize_table(serialize_table(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(back->schema(), t.schema());
+}
+
+TEST(SerdeTest, RejectsGarbage) {
+  EXPECT_FALSE(deserialize_table(std::string_view("nonsense")).ok());
+  EXPECT_FALSE(deserialize_table(std::string_view("")).ok());
+}
+
+TEST(SerdeTest, RejectsTruncation) {
+  const shm::Buffer buf = serialize_table(sample());
+  const std::string_view full = buf.view();
+  for (std::size_t cut : {8u, 24u, 40u}) {
+    EXPECT_FALSE(deserialize_table(full.substr(0, full.size() - cut)).ok());
+  }
+}
+
+TEST(SerdeTest, RejectsTrailingBytes) {
+  const shm::Buffer buf = serialize_table(sample());
+  std::string padded(buf.view());
+  padded += "extra";
+  EXPECT_FALSE(deserialize_table(std::string_view(padded)).ok());
+}
+
+TEST(SerdeTest, RejectsBadMagic) {
+  std::string bytes(serialize_table(sample()).view());
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(deserialize_table(std::string_view(bytes)).ok());
+}
+
+TEST(SerdeTest, SerializedSizeTracksPayload) {
+  const Table small = table_of_ints({{"a", {1}}});
+  const Table big = table_of_ints(
+      {{"a", std::vector<std::int64_t>(10000, 7)}});
+  EXPECT_GT(serialize_table(big).size(), serialize_table(small).size() + 9000 * 8);
+}
+
+}  // namespace
+}  // namespace ditto::exec

@@ -1,0 +1,136 @@
+// End-to-end pipeline tests crossing every module boundary:
+// workload -> physics -> simulator -> profiler -> scheduler -> simulator.
+#include <gtest/gtest.h>
+
+#include "scheduler/baselines.h"
+#include "scheduler/ditto_scheduler.h"
+#include "sim/sim_runner.h"
+#include "storage/sim_store.h"
+#include "workload/micro.h"
+#include "workload/queries.h"
+
+namespace ditto {
+namespace {
+
+workload::PhysicsParams physics_for(const storage::StorageModel& store) {
+  workload::PhysicsParams p;
+  p.store = store;
+  return p;
+}
+
+class EndToEndTest : public ::testing::TestWithParam<workload::QueryId> {};
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, EndToEndTest,
+                         ::testing::ValuesIn(workload::paper_queries()),
+                         [](const auto& info) { return workload::query_name(info.param); });
+
+TEST_P(EndToEndTest, FullPipelineJct) {
+  const JobDag truth =
+      workload::build_query(GetParam(), 1000, physics_for(storage::s3_model()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  const auto r = sim::run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_GT(r->sim.jct, 1.0);
+  EXPECT_TRUE(r->plan.placement.validate(truth, cl).is_ok());
+  // Every stage executed with its planned DoP.
+  for (StageId s = 0; s < truth.num_stages(); ++s) {
+    EXPECT_EQ(r->sim.stages[s].dop, r->plan.placement.dop[s]);
+  }
+}
+
+TEST_P(EndToEndTest, ProfiledModelTracksSimulatedStageTimes) {
+  // Fig. 11's premise: fitted models predict actual stage times well.
+  const JobDag truth =
+      workload::build_query(GetParam(), 1000, physics_for(storage::s3_model()));
+  auto sim_ptr = std::make_shared<sim::JobSimulator>(truth, storage::s3_model());
+  JobDag fitted = truth;
+  Profiler profiler(fitted, sim::make_sim_stage_runner(sim_ptr));
+  ASSERT_TRUE(profiler.profile_all().ok());
+  const ExecTimePredictor pred(fitted);
+  for (StageId s = 0; s < truth.num_stages(); ++s) {
+    for (int d : {24, 48, 96}) {
+      double straggler = 0.0;
+      const auto means = sim_ptr->run_stage_isolated(s, d, &straggler, /*run_index=*/500);
+      double actual = 0.0;
+      for (double m : means) actual += m;
+      const double predicted = pred.stage_time(s, d, nothing_colocated());
+      if (actual > 0.5) {  // relative error meaningful only for real stages
+        EXPECT_LT(std::abs(predicted - actual) / actual, 0.40)
+            << "stage " << truth.stage(s).name() << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST_P(EndToEndTest, RedisBackendAlsoWorks) {
+  const JobDag truth =
+      workload::build_query(GetParam(), 100, physics_for(storage::redis_model()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  const auto r =
+      sim::run_experiment(truth, cl, ditto, Objective::kJct, storage::redis_model());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->sim.jct, 0.0);
+}
+
+TEST(EndToEndTest, RedisFasterThanS3ForSameQuery) {
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  const JobDag s3_truth =
+      workload::build_query(workload::QueryId::kQ95, 100, physics_for(storage::s3_model()));
+  const JobDag redis_truth = workload::build_query(workload::QueryId::kQ95, 100,
+                                                   physics_for(storage::redis_model()));
+  const auto rs3 =
+      sim::run_experiment(s3_truth, cl, ditto, Objective::kJct, storage::s3_model());
+  const auto rredis =
+      sim::run_experiment(redis_truth, cl, ditto, Objective::kJct, storage::redis_model());
+  ASSERT_TRUE(rs3.ok() && rredis.ok());
+  EXPECT_LT(rredis->sim.jct, rs3->sim.jct);
+}
+
+TEST(EndToEndTest, ObjectivesTradeOff) {
+  // A JCT-optimized plan should not have a (noticeably) longer JCT than
+  // a cost-optimized plan of the same job, and vice versa on cost.
+  const JobDag truth =
+      workload::build_query(workload::QueryId::kQ94, 1000, physics_for(storage::s3_model()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  const auto jct_run =
+      sim::run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model());
+  const auto cost_run =
+      sim::run_experiment(truth, cl, ditto, Objective::kCost, storage::s3_model());
+  ASSERT_TRUE(jct_run.ok() && cost_run.ok());
+  EXPECT_LE(jct_run->sim.jct, cost_run->sim.jct * 1.15);
+  EXPECT_LE(cost_run->sim.cost.total(), jct_run->sim.cost.total() * 1.15);
+}
+
+TEST(EndToEndTest, MotivationExampleElasticBeatsFixed) {
+  const JobDag truth = workload::fig1_join_dag(physics_for(storage::s3_model()));
+  auto cl = cluster::Cluster::uniform(2, 10);
+  scheduler::DittoScheduler ditto;
+  scheduler::FixedDopScheduler fixed;
+  const auto rd = sim::run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model());
+  const auto rf = sim::run_experiment(truth, cl, fixed, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(rd.ok() && rf.ok());
+  EXPECT_LT(rd->sim.jct, rf->sim.jct);
+}
+
+TEST(EndToEndTest, FailureInjectionDegradesGracefully) {
+  const JobDag truth =
+      workload::build_query(workload::QueryId::kQ95, 1000, physics_for(storage::s3_model()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  sim::SimOptions faulty;
+  faulty.task_failure_prob = 0.05;
+  const auto clean =
+      sim::run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model());
+  const auto failed =
+      sim::run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model(), faulty);
+  ASSERT_TRUE(clean.ok() && failed.ok());
+  EXPECT_GE(failed->sim.jct, clean->sim.jct * 0.99);
+  EXPECT_LT(failed->sim.jct, clean->sim.jct * 3.0);
+}
+
+}  // namespace
+}  // namespace ditto

@@ -1,0 +1,80 @@
+// Fuzz-ish robustness tests for the jobspec parser: random garbage and
+// random mutations of valid specs must produce clean errors or valid
+// DAGs — never crashes, never invalid DAGs reported as OK.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/jobspec.h"
+
+namespace ditto::workload {
+namespace {
+
+std::string random_garbage(Rng& rng, std::size_t len) {
+  static constexpr char kChars[] =
+      "abcdefghij 0123456789=x@-.\n\t#jobstageedge shuffle gather GB MB";
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kChars[rng.uniform_int(0, sizeof(kChars) - 2)];
+  }
+  return out;
+}
+
+class JobSpecFuzz : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, JobSpecFuzz, ::testing::Range(0, 20));
+
+TEST_P(JobSpecFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() * 61 + 29);
+  for (int i = 0; i < 50; ++i) {
+    const std::string text =
+        random_garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 400)));
+    const auto result = parse_job_spec(text);
+    if (result.ok()) {
+      // If the fuzzer stumbled onto a valid spec, it must be coherent.
+      EXPECT_TRUE(result->validate().is_ok());
+    }
+  }
+}
+
+TEST_P(JobSpecFuzz, MutatedValidSpecNeverCrashes) {
+  const std::string base =
+      "job fuzz\n"
+      "stage a map input=4GB output=1GB\n"
+      "stage b join output=100MB\n"
+      "stage c reduce output=1MB\n"
+      "edge a b shuffle\n"
+      "edge b c gather bytes=100MB\n";
+  Rng rng(GetParam() * 67 + 31);
+  for (int i = 0; i < 100; ++i) {
+    std::string text = base;
+    // Random point mutations.
+    const int mutations = static_cast<int>(rng.uniform_int(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(text.size()) - 1));
+      text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    const auto result = parse_job_spec(text);
+    if (result.ok()) {
+      EXPECT_TRUE(result->validate().is_ok());
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(JobSpecFuzz, ClusterSpecGarbageNeverCrashes) {
+  Rng rng(GetParam() * 71 + 37);
+  for (int i = 0; i < 100; ++i) {
+    const std::string text =
+        random_garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 30)));
+    const auto result = parse_cluster_spec(text);
+    if (result.ok()) {
+      EXPECT_GT(result->num_servers(), 0u);
+      EXPECT_GT(result->total_slots(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ditto::workload

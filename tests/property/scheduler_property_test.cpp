@@ -1,0 +1,145 @@
+// Property tests over randomized DAGs and clusters: the Ditto
+// scheduler must always produce feasible plans and never lose to a
+// grouping-free, ratio-free configuration on its own predicted metric.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "scheduler/baselines.h"
+#include "scheduler/ditto_scheduler.h"
+#include "storage/sim_store.h"
+#include "workload/micro.h"
+#include "workload/physics.h"
+
+namespace ditto::scheduler {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+/// Random layered DAG: `layers` levels, random widths, random edges
+/// between consecutive layers (each node gets >= 1 parent).
+JobDag random_dag(Rng& rng, int layers) {
+  JobDag dag("random");
+  std::vector<std::vector<StageId>> level(layers);
+  for (int l = 0; l < layers; ++l) {
+    const int width = l + 1 == layers ? 1 : static_cast<int>(rng.uniform_int(1, 3));
+    for (int w = 0; w < width; ++w) {
+      const StageId s = dag.add_stage("L" + std::to_string(l) + "_" + std::to_string(w));
+      level[l].push_back(s);
+      Stage& st = dag.stage(s);
+      st.set_op(l == 0 ? "map" : "join");
+      st.set_input_bytes(static_cast<Bytes>(rng.uniform(0.5, 40.0) * 1e9));
+      st.set_output_bytes(st.input_bytes() / 4);
+    }
+  }
+  for (int l = 1; l < layers; ++l) {
+    for (StageId s : level[l]) {
+      // At least one upstream edge; maybe more.
+      const auto& prev = level[l - 1];
+      const StageId first = prev[rng.uniform_int(0, prev.size() - 1)];
+      EXPECT_TRUE(dag.add_edge(first, s, ExchangeKind::kShuffle,
+                               dag.stage(first).output_bytes())
+                      .is_ok());
+      for (StageId p : prev) {
+        if (p != first && rng.coin(0.3)) {
+          (void)dag.add_edge(p, s, ExchangeKind::kShuffle, dag.stage(p).output_bytes());
+        }
+      }
+    }
+  }
+  // Ensure no dangling sources in upper layers feed nothing.
+  workload::apply_physics(dag, s3_physics());
+  return dag;
+}
+
+class RandomDagProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, ::testing::Range(0, 15));
+
+TEST_P(RandomDagProperty, DittoPlansAreAlwaysFeasible) {
+  Rng rng(GetParam() * 7 + 1);
+  const JobDag dag = random_dag(rng, 2 + GetParam() % 4);
+  auto cl = cluster::Cluster::from_distribution(
+      cluster::zipf_0_9(), 4 + GetParam() % 5, 16 + 8 * (GetParam() % 3));
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan->placement.validate(dag, cl).is_ok());
+  EXPECT_LE(plan->placement.total_slots_used(), cl.total_slots());
+  for (int d : plan->placement.dop) EXPECT_GE(d, 1);
+}
+
+TEST_P(RandomDagProperty, DittoNeverWorseThanUngroupedEvenSplit) {
+  Rng rng(GetParam() * 13 + 5);
+  const JobDag dag = random_dag(rng, 3);
+  auto cl = cluster::Cluster::uniform(4, 32);
+  DittoScheduler ditto;
+  FixedDopScheduler fixed;
+  const auto dp = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto fp = fixed.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(dp.ok());
+  if (fp.ok()) {
+    EXPECT_LE(dp->predicted.jct, fp->predicted.jct * 1.0001);
+  }
+}
+
+TEST_P(RandomDagProperty, CostObjectiveNeverWorseThanNimbleOnPrediction) {
+  Rng rng(GetParam() * 17 + 3);
+  const JobDag dag = random_dag(rng, 2 + GetParam() % 3);
+  auto cl = cluster::Cluster::uniform(4, 32);
+  DittoScheduler ditto;
+  NimbleScheduler nimble;
+  const auto dp = ditto.schedule(dag, cl, Objective::kCost, storage::s3_model());
+  const auto np = nimble.schedule(dag, cl, Objective::kCost, storage::s3_model());
+  ASSERT_TRUE(dp.ok() && np.ok());
+  EXPECT_LE(dp->predicted.cost.total(), np->predicted.cost.total() * 1.001);
+}
+
+TEST_P(RandomDagProperty, ZeroCopyEdgesAreRealDagEdges) {
+  Rng rng(GetParam() * 29 + 11);
+  const JobDag dag = random_dag(rng, 3);
+  auto cl = cluster::Cluster::uniform(4, 48);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  for (const auto& [a, b] : plan->placement.zero_copy_edges) {
+    EXPECT_NE(dag.find_edge(a, b), nullptr);
+  }
+}
+
+class ChainScaling : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainScaling, ::testing::Values(2, 4, 8, 16, 32));
+
+TEST_P(ChainScaling, LongChainsScheduleAndStayFeasible) {
+  const JobDag dag = workload::chain_dag(GetParam(), 50_GB, 0.6, s3_physics());
+  auto cl = cluster::Cluster::uniform(8, 32);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan->placement.validate(dag, cl).is_ok());
+  // Upstream (bigger) stages get at least as many slots as tail stages.
+  EXPECT_GE(plan->placement.dop.front(), plan->placement.dop.back());
+}
+
+class FanScaling : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Widths, FanScaling, ::testing::Values(2, 4, 8, 16));
+
+TEST_P(FanScaling, WideFanInsBalanceSiblings) {
+  const JobDag dag = workload::fan_in_dag(GetParam(), 2_GB, s3_physics());
+  auto cl = cluster::Cluster::uniform(8, 64);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  // Leaves have input i+1 units: heavier leaves must get more slots.
+  const int leaves = GetParam();
+  for (int i = 0; i + 1 < leaves; ++i) {
+    EXPECT_LE(plan->placement.dop[i], plan->placement.dop[i + 1] + 1);
+  }
+}
+
+}  // namespace
+}  // namespace ditto::scheduler

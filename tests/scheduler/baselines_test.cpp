@@ -1,0 +1,121 @@
+#include "scheduler/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+namespace ditto::scheduler {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+TEST(DataProportionalTest, DopsScaleWithInputBytes) {
+  JobDag dag("d");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(a, b).is_ok());
+  dag.stage(a).set_input_bytes(8_GB);
+  dag.stage(b).set_input_bytes(2_GB);
+  const auto dops = data_proportional_dops(dag, 20);
+  EXPECT_EQ(dops[a], 16);
+  EXPECT_EQ(dops[b], 4);
+}
+
+TEST(DataProportionalTest, ZeroInputStillGetsOneTask) {
+  JobDag dag("d");
+  dag.add_stage("a");
+  dag.add_stage("b");
+  dag.stage(0).set_input_bytes(10_GB);
+  const auto dops = data_proportional_dops(dag, 10);
+  EXPECT_GE(dops[1], 1);
+}
+
+TEST(NimbleSchedulerTest, ValidPlanWithoutGrouping) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ1, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  NimbleScheduler nimble;
+  const auto plan = nimble.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->placement.zero_copy_edges.empty());
+  EXPECT_TRUE(plan->placement.validate(dag, cl).is_ok());
+}
+
+TEST(NimbleSchedulerTest, PlacementIsSeededDeterministic) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ1, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  NimbleScheduler a(5), b(5), c(6);
+  const auto pa = a.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto pb = b.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto pc = c.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(pa.ok() && pb.ok() && pc.ok());
+  EXPECT_EQ(pa->placement.task_server, pb->placement.task_server);
+  EXPECT_NE(pa->placement.task_server, pc->placement.task_server);
+}
+
+TEST(FixedDopSchedulerTest, UniformDops) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::uniform_usage(0.5));
+  FixedDopScheduler fixed(40);
+  const auto plan = fixed.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  for (int d : plan->placement.dop) EXPECT_EQ(d, 40);
+}
+
+TEST(FixedDopSchedulerTest, AutoDopDividesSlots) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::uniform(4, 45);  // 180 slots / 9 stages = 20
+  FixedDopScheduler fixed;
+  const auto plan = fixed.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  for (int d : plan->placement.dop) EXPECT_EQ(d, 20);
+}
+
+TEST(FixedDopSchedulerTest, TooLargeFixedDopFails) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::uniform(2, 10);
+  FixedDopScheduler fixed(40);
+  EXPECT_FALSE(fixed.schedule(dag, cl, Objective::kJct, storage::s3_model()).ok());
+}
+
+TEST(AblationSchedulersTest, GroupOnlyKeepsNimbleDops) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  NimblePlusGroupScheduler grouped;
+  const auto plan = grouped.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->placement.dop, data_proportional_dops(dag, cl.total_slots()));
+}
+
+TEST(AblationSchedulersTest, DopOnlyHasNoGroups) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  NimblePlusDopScheduler dop_only;
+  const auto plan = dop_only.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->placement.zero_copy_edges.empty());
+}
+
+TEST(AblationSchedulersTest, EachComponentImprovesOnNimble) {
+  // Fig. 12's qualitative claim on predicted JCT.
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  NimbleScheduler nimble;
+  NimblePlusGroupScheduler grouped;
+  NimblePlusDopScheduler dop_only;
+  const auto pn = nimble.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto pg = grouped.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto pd = dop_only.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(pn.ok() && pg.ok() && pd.ok());
+  EXPECT_LT(pg->predicted.jct, pn->predicted.jct);
+  EXPECT_LT(pd->predicted.jct, pn->predicted.jct);
+}
+
+}  // namespace
+}  // namespace ditto::scheduler

@@ -1,0 +1,172 @@
+#include "scheduler/ditto_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "scheduler/baselines.h"
+#include "storage/sim_store.h"
+#include "workload/micro.h"
+#include "workload/queries.h"
+
+namespace ditto::scheduler {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+TEST(DittoSchedulerTest, ProducesValidPlanOnQ95) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan->placement.validate(dag, cl).is_ok());
+  EXPECT_GT(plan->predicted.jct, 0.0);
+  EXPECT_EQ(plan->scheduler_name, "Ditto");
+}
+
+TEST(DittoSchedulerTest, GroupsAtLeastOneEdgeWhenResourcesAllow) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::uniform_usage(1.0));
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->placement.zero_copy_edges.empty());
+}
+
+TEST(DittoSchedulerTest, RespectsSlotBudget) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ16, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::uniform_usage(0.25));
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->placement.total_slots_used(), cl.total_slots());
+  for (int d : plan->placement.dop) EXPECT_GE(d, 1);
+}
+
+TEST(DittoSchedulerTest, BeatsNimbleOnPredictedJct) {
+  for (const auto q : workload::paper_queries()) {
+    const JobDag dag = workload::build_query(q, 1000, s3_physics());
+    auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+    DittoScheduler ditto;
+    NimbleScheduler nimble;
+    const auto dp = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+    const auto np = nimble.schedule(dag, cl, Objective::kJct, storage::s3_model());
+    ASSERT_TRUE(dp.ok());
+    ASSERT_TRUE(np.ok());
+    EXPECT_LE(dp->predicted.jct, np->predicted.jct * 1.001)
+        << "query " << workload::query_name(q);
+  }
+}
+
+TEST(DittoSchedulerTest, BeatsNimbleOnPredictedCost) {
+  for (const auto q : workload::paper_queries()) {
+    const JobDag dag = workload::build_query(q, 1000, s3_physics());
+    auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+    DittoScheduler ditto;
+    NimbleScheduler nimble;
+    const auto dp = ditto.schedule(dag, cl, Objective::kCost, storage::s3_model());
+    const auto np = nimble.schedule(dag, cl, Objective::kCost, storage::s3_model());
+    ASSERT_TRUE(dp.ok());
+    ASSERT_TRUE(np.ok());
+    EXPECT_LE(dp->predicted.cost.total(), np->predicted.cost.total() * 1.001)
+        << "query " << workload::query_name(q);
+  }
+}
+
+TEST(DittoSchedulerTest, SchedulingIsSubMillisecond) {
+  // Paper Table 1: scheduling time is sub-millisecond per query.
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  DittoScheduler ditto;
+  // Warm up, then measure.
+  (void)ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->scheduling_seconds, 0.010);  // generous CI headroom
+}
+
+TEST(DittoSchedulerTest, MotivationFig1BeatsEvenSplit) {
+  const JobDag dag = workload::fig1_join_dag(s3_physics());
+  auto cl = cluster::Cluster::uniform(2, 10);  // 20 slots as in Fig. 1
+  DittoScheduler ditto;
+  FixedDopScheduler fixed;
+  const auto dp = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  const auto fp = fixed.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(fp.ok());
+  EXPECT_LT(dp->predicted.jct, fp->predicted.jct);
+}
+
+TEST(DittoSchedulerTest, TraceRecordsGroupingDecisions) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  DittoOptions options;
+  options.record_trace = true;
+  DittoScheduler ditto(options);
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  const auto& trace = ditto.last_trace();
+  ASSERT_FALSE(trace.empty());
+  // Accepted steps within one variant must have non-increasing
+  // objectives (paper Eq. 6's monotonicity).
+  for (const char* variant : {"algorithm-3", "figure-2-shrink"}) {
+    double prev = 1e18;
+    bool any = false;
+    for (const TraceStep& s : trace) {
+      if (std::string(s.variant) != variant || !s.accepted) continue;
+      EXPECT_LE(s.objective, prev + 1e-9) << variant;
+      prev = s.objective;
+      any = true;
+    }
+    EXPECT_TRUE(any) << variant << " accepted nothing";
+  }
+  // Every traced edge is a real DAG edge.
+  for (const TraceStep& s : trace) {
+    EXPECT_NE(dag.find_edge(s.src, s.dst), nullptr);
+  }
+}
+
+TEST(DittoSchedulerTest, TraceEmptyWhenDisabled) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ1, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  DittoScheduler ditto;  // record_trace defaults off
+  ASSERT_TRUE(ditto.schedule(dag, cl, Objective::kJct, storage::s3_model()).ok());
+  EXPECT_TRUE(ditto.last_trace().empty());
+}
+
+TEST(DittoSchedulerTest, EmptyDagFails) {
+  JobDag dag("empty");
+  auto cl = cluster::Cluster::uniform(2, 4);
+  DittoScheduler ditto;
+  EXPECT_FALSE(ditto.schedule(dag, cl, Objective::kJct, storage::s3_model()).ok());
+}
+
+TEST(DittoSchedulerTest, ScarcityDisablesGroupingButStillSchedules) {
+  // Slots so tight that multi-stage groups cannot fit one server.
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, s3_physics());
+  auto cl = cluster::Cluster::from_distribution(cluster::uniform_usage(1.0), 9, 2);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan->placement.validate(dag, cl).is_ok());
+}
+
+TEST(DittoSchedulerTest, LaunchTimesAreMonotoneAlongEdges) {
+  const JobDag dag = workload::build_query(workload::QueryId::kQ94, 1000, s3_physics());
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->placement.launch_time.size(), dag.num_stages());
+  for (const Edge& e : dag.edges()) {
+    EXPECT_LE(plan->placement.launch_time[e.src], plan->placement.launch_time[e.dst] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ditto::scheduler

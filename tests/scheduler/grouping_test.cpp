@@ -1,0 +1,146 @@
+#include "scheduler/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::scheduler {
+namespace {
+
+/// Single path a -> b -> c with distinct edge IO weights.
+JobDag single_path() {
+  JobDag dag("path");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  const StageId c = dag.add_stage("c");
+  EXPECT_TRUE(dag.add_edge(a, b).is_ok());
+  EXPECT_TRUE(dag.add_edge(b, c).is_ok());
+  // Compute weights (nodes).
+  dag.stage(a).add_step({StepKind::kCompute, kNoStage, 20.0, 0, false});
+  dag.stage(b).add_step({StepKind::kCompute, kNoStage, 20.0, 0, false});
+  dag.stage(c).add_step({StepKind::kCompute, kNoStage, 20.0, 0, false});
+  // Edge e1 = (a,b): write 60 + read 40 = alpha 100 total.
+  dag.stage(a).add_step({StepKind::kWrite, b, 60.0, 0, false});
+  dag.stage(b).add_step({StepKind::kRead, a, 40.0, 0, false});
+  // Edge e2 = (b,c): 30 + 20 = 50.
+  dag.stage(b).add_step({StepKind::kWrite, c, 30.0, 0, false});
+  dag.stage(c).add_step({StepKind::kRead, b, 20.0, 0, false});
+  return dag;
+}
+
+TEST(GroupingTest, EdgeWeightIsWritePlusRead) {
+  const JobDag dag = single_path();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kJct);
+  const std::vector<int> dop = {1, 1, 1};
+  EXPECT_NEAR(grouper.edge_weight(*dag.find_edge(0, 1), dop, {}), 100.0, 1e-9);
+  EXPECT_NEAR(grouper.edge_weight(*dag.find_edge(1, 2), dop, {}), 50.0, 1e-9);
+}
+
+TEST(GroupingTest, GroupedEdgeWeighsZero) {
+  const JobDag dag = single_path();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kJct);
+  const std::vector<int> dop = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(grouper.edge_weight(*dag.find_edge(0, 1), dop, {{0, 1}}), 0.0);
+}
+
+TEST(GroupingTest, NodeWeightIsComputeTime) {
+  const JobDag dag = single_path();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kJct);
+  const std::vector<int> dop = {2, 1, 1};
+  EXPECT_NEAR(grouper.node_weight(0, dop), 10.0, 1e-9);
+}
+
+TEST(GroupingTest, SinglePathDescendingOrder) {
+  // Fig. 6a: traversal order [e1, e2] (heavier first).
+  const JobDag dag = single_path();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kJct);
+  const std::vector<int> dop = {1, 1, 1};
+  const std::vector<EdgeRef> candidates = {{0, 1}, {1, 2}};
+  const auto order = grouper.traversal_order(candidates, dop, {});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], (EdgeRef{0, 1}));
+  EXPECT_EQ(order[1], (EdgeRef{1, 2}));
+}
+
+/// Fig. 6b: two 3-stage paths into a shared sink. Node weights equal;
+/// path2's first edge (e3, w=120) is globally heaviest; after zeroing
+/// it, path1 (e1=100 + e2=50) becomes critical; order e3,e1,e4,e2.
+JobDag two_paths() {
+  JobDag dag("two-paths");
+  const StageId p1a = dag.add_stage("p1a");  // 0
+  const StageId p1b = dag.add_stage("p1b");  // 1
+  const StageId p2a = dag.add_stage("p2a");  // 2
+  const StageId p2b = dag.add_stage("p2b");  // 3
+  const StageId sink = dag.add_stage("sink");  // 4
+  EXPECT_TRUE(dag.add_edge(p1a, p1b).is_ok());   // e1
+  EXPECT_TRUE(dag.add_edge(p1b, sink).is_ok());  // e2
+  EXPECT_TRUE(dag.add_edge(p2a, p2b).is_ok());   // e3
+  EXPECT_TRUE(dag.add_edge(p2b, sink).is_ok());  // e4
+  for (StageId s = 0; s < 5; ++s) {
+    dag.stage(s).add_step({StepKind::kCompute, kNoStage, 20.0, 0, false});
+  }
+  const auto add_edge_io = [&dag](StageId src, StageId dst, double w) {
+    dag.stage(src).add_step({StepKind::kWrite, dst, w / 2, 0, false});
+    dag.stage(dst).add_step({StepKind::kRead, src, w / 2, 0, false});
+  };
+  add_edge_io(p1a, p1b, 100.0);   // e1
+  add_edge_io(p1b, sink, 50.0);   // e2
+  add_edge_io(p2a, p2b, 120.0);   // e3
+  add_edge_io(p2b, sink, 80.0);   // e4
+  return dag;
+}
+
+TEST(GroupingTest, MultiPathCriticalPathDrivenOrder) {
+  const JobDag dag = two_paths();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kJct);
+  const std::vector<int> dop(5, 1);
+  const std::vector<EdgeRef> candidates = {{0, 1}, {1, 4}, {2, 3}, {3, 4}};
+  const auto order = grouper.traversal_order(candidates, dop, {});
+  ASSERT_EQ(order.size(), 4u);
+  // Paper Fig. 6b: [e3, e1, e4, e2].
+  EXPECT_EQ(order[0], (EdgeRef{2, 3}));  // e3
+  EXPECT_EQ(order[1], (EdgeRef{0, 1}));  // e1
+  EXPECT_EQ(order[2], (EdgeRef{3, 4}));  // e4
+  EXPECT_EQ(order[3], (EdgeRef{1, 4}));  // e2
+}
+
+TEST(GroupingTest, CostOrderIsGlobalDescendingWeight) {
+  const JobDag dag = two_paths();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kCost);
+  std::vector<int> dop(5, 1);
+  // Equal rho/sigma: cost order mirrors raw IO weight: e3,e1,e4,e2.
+  const std::vector<EdgeRef> candidates = {{0, 1}, {1, 4}, {2, 3}, {3, 4}};
+  const auto order = grouper.traversal_order(candidates, dop, {});
+  EXPECT_EQ(order[0], (EdgeRef{2, 3}));
+  EXPECT_EQ(order[1], (EdgeRef{0, 1}));
+  EXPECT_EQ(order[2], (EdgeRef{3, 4}));
+  EXPECT_EQ(order[3], (EdgeRef{1, 4}));
+}
+
+TEST(GroupingTest, CostWeightScalesWithResourceUsage) {
+  JobDag dag = two_paths();
+  dag.stage(0).set_rho(100.0);  // p1a's writes become very expensive
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kCost);
+  const std::vector<int> dop(5, 1);
+  const std::vector<EdgeRef> candidates = {{0, 1}, {2, 3}};
+  const auto order = grouper.traversal_order(candidates, dop, {});
+  // e1 now outweighs e3 on cost despite lower IO time.
+  EXPECT_EQ(order[0], (EdgeRef{0, 1}));
+}
+
+TEST(GroupingTest, HigherDopShrinksEdgeWeight) {
+  const JobDag dag = single_path();
+  const ExecTimePredictor pred(dag);
+  const GreedyGrouper grouper(pred, Objective::kJct);
+  const double w1 = grouper.edge_weight(*dag.find_edge(0, 1), {1, 1, 1}, {});
+  const double w10 = grouper.edge_weight(*dag.find_edge(0, 1), {10, 10, 1}, {});
+  EXPECT_GT(w1, w10);
+}
+
+}  // namespace
+}  // namespace ditto::scheduler

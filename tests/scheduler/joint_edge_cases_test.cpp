@@ -1,0 +1,151 @@
+// Edge cases of the joint optimization machinery that the main suites
+// do not reach: degenerate DAGs, extreme resource shapes, and
+// adversarial step models.
+#include <gtest/gtest.h>
+
+#include "scheduler/baselines.h"
+#include "scheduler/ditto_scheduler.h"
+#include "storage/sim_store.h"
+#include "workload/physics.h"
+
+namespace ditto::scheduler {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+TEST(JointEdgeCases, SingleStageJob) {
+  JobDag dag("single");
+  const StageId s = dag.add_stage("only");
+  dag.stage(s).set_op("map");
+  dag.stage(s).set_input_bytes(4_GB);
+  dag.stage(s).set_output_bytes(1_GB);
+  workload::apply_physics(dag, s3_physics());
+  auto cl = cluster::Cluster::uniform(2, 8);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->placement.dop.size(), 1u);
+  EXPECT_EQ(plan->placement.dop[0], 16);  // all slots, nothing to share with
+  EXPECT_TRUE(plan->placement.zero_copy_edges.empty());
+}
+
+TEST(JointEdgeCases, EdgelessMultiStageJob) {
+  // Two independent stages (no edges at all): both must run, slots split.
+  JobDag dag("forest");
+  for (int i = 0; i < 2; ++i) {
+    const StageId s = dag.add_stage("s" + std::to_string(i));
+    dag.stage(s).set_op("map");
+    dag.stage(s).set_input_bytes(2_GB);
+    dag.stage(s).set_output_bytes(1_GB);
+  }
+  workload::apply_physics(dag, s3_physics());
+  auto cl = cluster::Cluster::uniform(2, 8);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan->placement.dop[0], 1);
+  EXPECT_GE(plan->placement.dop[1], 1);
+  EXPECT_LE(plan->placement.total_slots_used(), 16);
+  // Symmetric stages split symmetrically.
+  EXPECT_EQ(plan->placement.dop[0], plan->placement.dop[1]);
+}
+
+TEST(JointEdgeCases, ExactlyOneSlotPerStage) {
+  JobDag dag("tight");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  ASSERT_TRUE(dag.add_edge(a, b).is_ok());
+  dag.stage(a).set_op("map");
+  dag.stage(a).set_input_bytes(1_GB);
+  dag.stage(a).set_output_bytes(512_MB);
+  dag.stage(b).set_op("reduce");
+  dag.stage(b).set_output_bytes(1_MB);
+  workload::apply_physics(dag, s3_physics());
+  auto cl = cluster::Cluster::uniform(2, 1);  // 2 slots total, 2 stages
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_EQ(plan->placement.dop, (std::vector<int>{1, 1}));
+}
+
+TEST(JointEdgeCases, ZeroAlphaStageHandledGracefully) {
+  // A stage with no parallelizable work (alpha ~ 0) must still get a
+  // slot and not destabilize the ratios.
+  JobDag dag("zero-alpha");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  ASSERT_TRUE(dag.add_edge(a, b).is_ok());
+  dag.stage(a).add_step({StepKind::kCompute, kNoStage, 50.0, 0.1, false});
+  dag.stage(b).add_step({StepKind::kCompute, kNoStage, 0.0, 0.1, false});
+  auto cl = cluster::Cluster::uniform(2, 8);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan->placement.dop[b], 1);
+  EXPECT_GT(plan->placement.dop[a], plan->placement.dop[b]);
+}
+
+TEST(JointEdgeCases, HugeBetaMakesParallelismPointless) {
+  // When beta dominates alpha, adding slots barely helps; the plan
+  // must remain feasible and sane (DoPs still >= 1).
+  JobDag dag("beta");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  ASSERT_TRUE(dag.add_edge(a, b).is_ok());
+  dag.stage(a).add_step({StepKind::kCompute, kNoStage, 1.0, 100.0, false});
+  dag.stage(b).add_step({StepKind::kCompute, kNoStage, 1.0, 100.0, false});
+  auto cl = cluster::Cluster::uniform(4, 16);
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->predicted.jct, 200.0);  // betas are irreducible
+}
+
+TEST(JointEdgeCases, HeterogeneousServersBestFitUsesSmall) {
+  // One giant and one tiny server: a small group must best-fit into
+  // the tiny server, leaving the giant for the big stage.
+  JobDag dag("hetero");
+  const StageId big = dag.add_stage("big");
+  const StageId s1 = dag.add_stage("s1");
+  const StageId s2 = dag.add_stage("s2");
+  ASSERT_TRUE(dag.add_edge(big, s1).is_ok());
+  ASSERT_TRUE(dag.add_edge(s1, s2).is_ok());
+  dag.stage(big).set_op("map");
+  dag.stage(big).set_input_bytes(100_GB);
+  dag.stage(big).set_output_bytes(1_GB);
+  dag.stage(s1).set_op("groupby");
+  dag.stage(s1).set_output_bytes(512_MB);
+  dag.stage(s2).set_op("reduce");
+  dag.stage(s2).set_output_bytes(1_MB);
+  workload::apply_physics(dag, s3_physics());
+
+  cluster::Cluster cl = cluster::Cluster::from_slots({64, 6});
+  DittoScheduler ditto;
+  const auto plan = ditto.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->placement.validate(dag, cl).is_ok());
+  // The dominant scan gets the lion's share of slots.
+  EXPECT_GT(plan->placement.dop[big], plan->placement.dop[s1]);
+  EXPECT_GT(plan->placement.dop[big], 30);
+}
+
+TEST(JointEdgeCases, NimbleAlsoHandlesDegenerateShapes) {
+  JobDag dag("single");
+  const StageId s = dag.add_stage("only");
+  dag.stage(s).set_op("map");
+  dag.stage(s).set_input_bytes(1_GB);
+  dag.stage(s).set_output_bytes(1_MB);
+  workload::apply_physics(dag, s3_physics());
+  auto cl = cluster::Cluster::uniform(1, 4);
+  NimbleScheduler nimble;
+  const auto plan = nimble.schedule(dag, cl, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->placement.dop[0], 4);
+}
+
+}  // namespace
+}  // namespace ditto::scheduler

@@ -1,0 +1,118 @@
+#include "scheduler/placement_check.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ditto::scheduler {
+namespace {
+
+JobDag chain3(ExchangeKind kind = ExchangeKind::kShuffle) {
+  JobDag dag("c3");
+  for (const char* n : {"a", "b", "c"}) dag.add_stage(n);
+  EXPECT_TRUE(dag.add_edge(0, 1, kind).is_ok());
+  EXPECT_TRUE(dag.add_edge(1, 2, kind).is_ok());
+  return dag;
+}
+
+TEST(PlacementCheckTest, UngroupedStagesScatter) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  const auto plan = checker.place({3, 2, 1}, {}, {4, 2});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->dop, (std::vector<int>{3, 2, 1}));
+  int used = 0;
+  for (const auto& ts : plan->task_server) used += static_cast<int>(ts.size());
+  EXPECT_EQ(used, 6);
+}
+
+TEST(PlacementCheckTest, FailsWhenTotalSlotsShort) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  EXPECT_FALSE(checker.place({3, 3, 3}, {}, {4, 2}).ok());
+}
+
+TEST(PlacementCheckTest, GroupMustFitOneServer) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  // Group (a,b): 3 + 3 = 6 slots; largest server has 5 -> fail.
+  EXPECT_FALSE(checker.place({3, 3, 1}, {{0, 1}}, {5, 4}).ok());
+  // With a 6-slot server it fits.
+  const auto plan = checker.place({3, 3, 1}, {{0, 1}}, {6, 4});
+  ASSERT_TRUE(plan.ok());
+  // All of a's and b's tasks share one server.
+  std::set<ServerId> servers(plan->task_server[0].begin(), plan->task_server[0].end());
+  servers.insert(plan->task_server[1].begin(), plan->task_server[1].end());
+  EXPECT_EQ(servers.size(), 1u);
+}
+
+TEST(PlacementCheckTest, BestFitPicksTightestServer) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  // Group (a,b) needs 4; servers {10, 4}: best fit is server 1.
+  const auto plan = checker.place({2, 2, 1}, {{0, 1}}, {10, 4});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->task_server[0][0], 1u);
+  EXPECT_EQ(plan->task_server[1][0], 1u);
+}
+
+TEST(PlacementCheckTest, GatherGroupsDecomposeAcrossServers) {
+  // Gather edges with equal DoPs decompose into per-task units
+  // (paper §4.5 Fig. 7), so a 3+3 group fits into two 3-slot servers.
+  const JobDag dag = chain3(ExchangeKind::kGather);
+  const PlacementChecker checker(dag);
+  const auto plan = checker.place({3, 3, 3}, {{0, 1}}, {3, 3, 3});
+  ASSERT_TRUE(plan.ok());
+  // Each producer/consumer task pair shares a server.
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(plan->task_server[0][t], plan->task_server[1][t]);
+  }
+}
+
+TEST(PlacementCheckTest, ShuffleGroupsDoNotDecompose) {
+  const JobDag dag = chain3(ExchangeKind::kShuffle);
+  const PlacementChecker checker(dag);
+  // Same sizes as above but shuffle: 6-slot unit cannot split.
+  EXPECT_FALSE(checker.place({3, 3, 3}, {{0, 1}}, {3, 3, 3}).ok());
+}
+
+TEST(PlacementCheckTest, UnequalDopGatherStaysAtomic) {
+  const JobDag dag = chain3(ExchangeKind::kGather);
+  const PlacementChecker checker(dag);
+  // DoPs differ -> no decomposition -> needs a 5-slot server.
+  EXPECT_FALSE(checker.place({3, 2, 1}, {{0, 1}}, {4, 4}).ok());
+  EXPECT_TRUE(checker.place({3, 2, 1}, {{0, 1}}, {5, 4}).ok());
+}
+
+TEST(PlacementCheckTest, TransitiveGroupsUnion) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  // Grouping both edges makes {a,b,c} one 6-slot unit.
+  EXPECT_FALSE(checker.place({2, 2, 2}, {{0, 1}, {1, 2}}, {5, 5}).ok());
+  const auto plan = checker.place({2, 2, 2}, {{0, 1}, {1, 2}}, {6, 5});
+  ASSERT_TRUE(plan.ok());
+  std::set<ServerId> servers;
+  for (StageId s = 0; s < 3; ++s) {
+    servers.insert(plan->task_server[s].begin(), plan->task_server[s].end());
+  }
+  EXPECT_EQ(servers.size(), 1u);
+}
+
+TEST(PlacementCheckTest, RejectsInvalidDop) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  EXPECT_FALSE(checker.place({0, 1, 1}, {}, {8}).ok());
+  EXPECT_FALSE(checker.place({1, 1}, {}, {8}).ok());  // wrong size
+}
+
+TEST(PlacementCheckTest, PlanValidatesAgainstCluster) {
+  const JobDag dag = chain3();
+  const PlacementChecker checker(dag);
+  auto cl = cluster::Cluster::uniform(2, 4);
+  const auto plan = checker.place({2, 2, 2}, {{0, 1}}, cl.free_slot_snapshot());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->validate(dag, cl).is_ok());
+}
+
+}  // namespace
+}  // namespace ditto::scheduler

@@ -1,0 +1,70 @@
+#include "shm/descriptor_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ditto::shm {
+namespace {
+
+TEST(DescriptorRingTest, PushPopSingle) {
+  DescriptorRing ring(4);
+  EXPECT_TRUE(ring.try_push(Buffer::from_bytes("a")));
+  const auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->view(), "a");
+}
+
+TEST(DescriptorRingTest, EmptyPopFails) {
+  DescriptorRing ring(4);
+  EXPECT_FALSE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(DescriptorRingTest, FullPushFails) {
+  DescriptorRing ring(2);
+  EXPECT_TRUE(ring.try_push(Buffer::from_bytes("1")));
+  EXPECT_TRUE(ring.try_push(Buffer::from_bytes("2")));
+  EXPECT_FALSE(ring.try_push(Buffer::from_bytes("3")));
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(DescriptorRingTest, WrapsAround) {
+  DescriptorRing ring(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_push(Buffer::from_bytes(std::to_string(i))));
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->view(), std::to_string(i));
+  }
+}
+
+TEST(DescriptorRingTest, PayloadIdentityPreserved) {
+  DescriptorRing ring(4);
+  Buffer b = Buffer::from_bytes("descriptor payload");
+  const std::uint8_t* raw = b.data();
+  ASSERT_TRUE(ring.try_push(std::move(b)));
+  EXPECT_EQ(ring.try_pop()->data(), raw);
+}
+
+TEST(DescriptorRingTest, SpscStressPreservesOrderAndContent) {
+  DescriptorRing ring(64);
+  constexpr int kMessages = 20000;
+  std::thread producer([&ring] {
+    for (int i = 0; i < kMessages;) {
+      if (ring.try_push(Buffer::from_bytes(std::to_string(i)))) ++i;
+    }
+  });
+  int received = 0;
+  while (received < kMessages) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(v->view(), std::to_string(received));
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace ditto::shm

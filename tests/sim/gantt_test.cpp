@@ -1,0 +1,75 @@
+#include "sim/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+namespace ditto::sim {
+namespace {
+
+SimResult q95_run(const JobDag& dag) {
+  SimOptions opts;
+  opts.skew_sigma = 0.0;
+  const JobSimulator sim(dag, storage::s3_model(), opts);
+  cluster::PlacementPlan plan;
+  plan.dop.assign(dag.num_stages(), 8);
+  plan.task_server.assign(dag.num_stages(), std::vector<ServerId>(8, 0));
+  return sim.run(plan);
+}
+
+TEST(GanttTest, OneLinePerStagePlusAxis) {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, p);
+  const SimResult r = q95_run(dag);
+  const std::string g = render_gantt(dag, r);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(g.begin(), g.end(), '\n')),
+            dag.num_stages() + 1);
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    EXPECT_NE(g.find(dag.stage(s).name()), std::string::npos);
+  }
+}
+
+TEST(GanttTest, PhasesAppearInBars) {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, p);
+  const std::string g = render_gantt(dag, q95_run(dag));
+  EXPECT_NE(g.find('r'), std::string::npos);  // read segments
+  EXPECT_NE(g.find('c'), std::string::npos);  // compute segments
+  EXPECT_NE(g.find('w'), std::string::npos);  // write segments
+}
+
+TEST(GanttTest, SolidBarsWithoutPhases) {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  const JobDag dag = workload::build_query(workload::QueryId::kQ1, 1000, p);
+  GanttOptions opts;
+  opts.show_phases = false;
+  const std::string g = render_gantt(dag, q95_run(dag), opts);
+  EXPECT_NE(g.find('#'), std::string::npos);
+}
+
+TEST(GanttTest, DownstreamStagesStartAfterUpstream) {
+  // The final stage's bar must start past the first stage's start: scan
+  // for the bar offsets indirectly via column of first non-space char.
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, p);
+  const SimResult r = q95_run(dag);
+  const std::string g = render_gantt(dag, r);
+  std::vector<std::string> lines;
+  std::istringstream is(g);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  const auto bar_start = [&](const std::string& l) {
+    const auto bar = l.find('|');
+    return l.find_first_not_of(' ', bar + 1);
+  };
+  // Stage 0 (map1) begins at the axis origin; the sink (reduce2) later.
+  EXPECT_LT(bar_start(lines[0]), bar_start(lines[8]));
+}
+
+}  // namespace
+}  // namespace ditto::sim

@@ -1,0 +1,146 @@
+#include "sim/job_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "scheduler/baselines.h"
+#include "scheduler/ditto_scheduler.h"
+#include "storage/sim_store.h"
+#include "workload/micro.h"
+#include "workload/queries.h"
+
+namespace ditto::sim {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+JobSubmission submit(JobDag dag, Seconds arrival, std::string label) {
+  JobSubmission s;
+  s.dag = std::move(dag);
+  s.arrival = arrival;
+  s.label = std::move(label);
+  return s;
+}
+
+TEST(JobQueueTest, SingleJobRunsImmediately) {
+  auto cl = cluster::Cluster::uniform(4, 16);
+  std::vector<JobSubmission> subs;
+  subs.push_back(submit(workload::chain_dag(3, 10_GB, 0.5, s3_physics()), 0.0, "job0"));
+  scheduler::DittoScheduler sched;
+  const auto r = run_job_queue(cl, std::move(subs), sched, storage::s3_model());
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r->jobs.size(), 1u);
+  EXPECT_TRUE(r->jobs[0].scheduled);
+  EXPECT_DOUBLE_EQ(r->jobs[0].queueing(), 0.0);
+  EXPECT_GT(r->jobs[0].jct(), 0.0);
+  EXPECT_NEAR(r->makespan, r->jobs[0].finished, 1e-9);
+  EXPECT_GT(r->avg_utilization, 0.0);
+  EXPECT_LE(r->avg_utilization, 1.0);
+}
+
+TEST(JobQueueTest, ContendingJobsQueue) {
+  // A tiny cluster: the second job must wait for the first.
+  auto cl = cluster::Cluster::uniform(1, 8);
+  std::vector<JobSubmission> subs;
+  subs.push_back(submit(workload::chain_dag(3, 20_GB, 0.5, s3_physics()), 0.0, "first"));
+  subs.push_back(submit(workload::chain_dag(3, 20_GB, 0.5, s3_physics()), 1.0, "second"));
+  scheduler::DittoScheduler sched;
+  const auto r = run_job_queue(cl, std::move(subs), sched, storage::s3_model());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->jobs[0].scheduled);
+  EXPECT_TRUE(r->jobs[1].scheduled);
+  // Either the second queued behind the first, or it fit alongside;
+  // with 8 slots and 3-stage jobs needing >= 3 each, both CAN fit only
+  // if slots suffice — force the check via timing:
+  if (r->jobs[1].started > r->jobs[1].arrival) {
+    EXPECT_NEAR(r->jobs[1].started, r->jobs[0].finished, 1e-6);
+  }
+  EXPECT_GE(r->makespan, std::max(r->jobs[0].finished, r->jobs[1].finished) - 1e-9);
+}
+
+TEST(JobQueueTest, UncappedJobHogsTheWholePool) {
+  // The paper's per-job assumption: a job may use every free slot at
+  // arrival — so an uncapped first job serializes the queue.
+  auto cl = cluster::Cluster::uniform(8, 32);
+  std::vector<JobSubmission> subs;
+  for (int i = 0; i < 2; ++i) {
+    subs.push_back(submit(workload::chain_dag(3, 5_GB, 0.5, s3_physics()), 0.0,
+                          "job" + std::to_string(i)));
+  }
+  scheduler::DittoScheduler sched;
+  const auto r = run_job_queue(cl, std::move(subs), sched, storage::s3_model());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->jobs[0].slots_used, cl.total_slots() / 2);
+  EXPECT_GT(r->jobs[1].queueing(), 0.0);
+}
+
+TEST(JobQueueTest, FairShareCapLetsJobsOverlap) {
+  auto cl = cluster::Cluster::uniform(8, 32);  // 256 slots
+  std::vector<JobSubmission> subs;
+  for (int i = 0; i < 3; ++i) {
+    subs.push_back(submit(workload::chain_dag(3, 5_GB, 0.5, s3_physics()), 0.0,
+                          "job" + std::to_string(i)));
+  }
+  scheduler::DittoScheduler sched;
+  JobQueueOptions options;
+  options.max_slots_per_job = 64;  // quarter of the pool each
+  const auto r = run_job_queue(cl, std::move(subs), sched, storage::s3_model(), options);
+  ASSERT_TRUE(r.ok());
+  for (const JobOutcome& j : r->jobs) {
+    EXPECT_TRUE(j.scheduled);
+    EXPECT_DOUBLE_EQ(j.queueing(), 0.0);  // all admitted at arrival
+    EXPECT_LE(j.slots_used, 64);
+  }
+}
+
+TEST(JobQueueTest, ImpossibleJobReportedUnscheduled) {
+  auto cl = cluster::Cluster::uniform(1, 2);  // fewer slots than stages
+  std::vector<JobSubmission> subs;
+  subs.push_back(submit(workload::chain_dag(5, 5_GB, 0.5, s3_physics()), 0.0, "too-big"));
+  scheduler::DittoScheduler sched;
+  const auto r = run_job_queue(cl, std::move(subs), sched, storage::s3_model());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->jobs[0].scheduled);
+}
+
+TEST(JobQueueTest, FifoOrderPreserved) {
+  auto cl = cluster::Cluster::uniform(1, 10);
+  std::vector<JobSubmission> subs;
+  for (int i = 0; i < 3; ++i) {
+    subs.push_back(submit(workload::chain_dag(3, 15_GB, 0.5, s3_physics()),
+                          0.1 * i, "job" + std::to_string(i)));
+  }
+  scheduler::DittoScheduler sched;
+  const auto r = run_job_queue(cl, std::move(subs), sched, storage::s3_model());
+  ASSERT_TRUE(r.ok());
+  // Starts must respect submission order.
+  EXPECT_LE(r->jobs[0].started, r->jobs[1].started + 1e-9);
+  EXPECT_LE(r->jobs[1].started, r->jobs[2].started + 1e-9);
+}
+
+TEST(JobQueueTest, DittoImprovesClusterThroughputOverNimble) {
+  // The future-work hypothesis: better intra-job plans (shorter JCTs)
+  // drain the queue faster, shrinking makespan under contention.
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  const auto make_subs = [&] {
+    std::vector<JobSubmission> subs;
+    for (int i = 0; i < 4; ++i) {
+      subs.push_back(submit(
+          workload::build_query(workload::QueryId::kQ95, 1000, s3_physics()),
+          5.0 * i, "q95-" + std::to_string(i)));
+    }
+    return subs;
+  };
+  scheduler::DittoScheduler ditto_sched;
+  scheduler::NimbleScheduler nimble;
+  const auto rd = run_job_queue(cl, make_subs(), ditto_sched, storage::s3_model());
+  const auto rn = run_job_queue(cl, make_subs(), nimble, storage::s3_model());
+  ASSERT_TRUE(rd.ok() && rn.ok());
+  EXPECT_LT(rd->makespan, rn->makespan);
+}
+
+}  // namespace
+}  // namespace ditto::sim

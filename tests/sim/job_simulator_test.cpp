@@ -1,0 +1,179 @@
+#include "sim/job_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+namespace ditto::sim {
+namespace {
+
+JobDag simple_chain() {
+  JobDag dag("chain");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(a, b, ExchangeKind::kShuffle, 1_GB).is_ok());
+  dag.stage(a).add_step({StepKind::kCompute, kNoStage, 20.0, 0.5, false});
+  dag.stage(a).add_step({StepKind::kWrite, b, 10.0, 0.3, false});
+  dag.stage(b).add_step({StepKind::kRead, a, 10.0, 0.3, false});
+  dag.stage(b).add_step({StepKind::kCompute, kNoStage, 8.0, 0.5, false});
+  return dag;
+}
+
+cluster::PlacementPlan plan_for(const JobDag& dag, std::vector<int> dop,
+                                std::vector<std::pair<StageId, StageId>> zc = {}) {
+  cluster::PlacementPlan plan;
+  plan.dop = std::move(dop);
+  plan.task_server.resize(dag.num_stages());
+  for (StageId s = 0; s < dag.num_stages(); ++s) plan.task_server[s].assign(plan.dop[s], 0);
+  plan.zero_copy_edges = std::move(zc);
+  return plan;
+}
+
+SimOptions no_noise() {
+  SimOptions opts;
+  opts.skew_sigma = 0.0;
+  opts.setup_time = 0.0;
+  opts.setup_jitter_sigma = 0.0;
+  return opts;
+}
+
+TEST(JobSimulatorTest, NoNoiseMatchesModelExactly) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  const SimResult r = sim.run(plan_for(dag, {2, 2}));
+  // a: 30/2 + 0.8 = 15.8;  b: 18/2 + 0.8 = 9.8; JCT = 25.6.
+  EXPECT_NEAR(r.jct, 25.6, 1e-9);
+  EXPECT_EQ(r.tasks.size(), 4u);
+  EXPECT_NEAR(r.stages[0].end, 15.8, 1e-9);
+  EXPECT_NEAR(r.stages[1].start, 15.8, 1e-9);
+}
+
+TEST(JobSimulatorTest, ZeroCopyEdgeDropsIoTime) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  const SimResult apart = sim.run(plan_for(dag, {2, 2}));
+  const SimResult together = sim.run(plan_for(dag, {2, 2}, {{0, 1}}));
+  // Write (10/2+0.3) + read (10/2+0.3) vanish (to us-level latency).
+  EXPECT_NEAR(apart.jct - together.jct, 10.6, 1e-3);
+}
+
+TEST(JobSimulatorTest, HigherDopFasterUntilBetaFloor) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  const double jct4 = sim.run(plan_for(dag, {4, 4})).jct;
+  const double jct16 = sim.run(plan_for(dag, {16, 16})).jct;
+  EXPECT_LT(jct16, jct4);
+  EXPECT_GT(jct16, 1.6);  // beta floor: 4 x 0.4 roughly
+}
+
+TEST(JobSimulatorTest, NoiseIsDeterministicPerSeed) {
+  const JobDag dag = simple_chain();
+  SimOptions opts;
+  opts.seed = 77;
+  const JobSimulator sim1(dag, storage::s3_model(), opts);
+  const JobSimulator sim2(dag, storage::s3_model(), opts);
+  EXPECT_DOUBLE_EQ(sim1.run(plan_for(dag, {3, 2})).jct, sim2.run(plan_for(dag, {3, 2})).jct);
+  SimOptions opts2 = opts;
+  opts2.seed = 78;
+  const JobSimulator sim3(dag, storage::s3_model(), opts2);
+  EXPECT_NE(sim1.run(plan_for(dag, {3, 2})).jct, sim3.run(plan_for(dag, {3, 2})).jct);
+}
+
+TEST(JobSimulatorTest, StragglerScaleAboveOneWithNoise) {
+  const JobDag dag = simple_chain();
+  SimOptions opts;
+  opts.skew_sigma = 0.2;
+  const JobSimulator sim(dag, storage::s3_model(), opts);
+  const SimResult r = sim.run(plan_for(dag, {16, 16}));
+  EXPECT_GT(r.stages[0].straggler_scale, 1.0);
+}
+
+TEST(JobSimulatorTest, LaunchTimesDelayStages) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  auto plan = plan_for(dag, {2, 2});
+  plan.launch_time = {5.0, 0.0};
+  const SimResult r = sim.run(plan);
+  EXPECT_NEAR(r.stages[0].start, 5.0, 1e-12);
+}
+
+TEST(JobSimulatorTest, FunctionCostGrowsWithDuration) {
+  // With data-bound memory the data footprint is constant while the
+  // duration shrinks with d, so higher DoP costs less.
+  JobDag dag = simple_chain();
+  dag.stage(0).set_input_bytes(10_GB);
+  dag.stage(1).set_input_bytes(4_GB);
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  const SimResult fast = sim.run(plan_for(dag, {8, 8}));
+  const SimResult slow = sim.run(plan_for(dag, {1, 1}));
+  EXPECT_GT(slow.cost.function_gbs, fast.cost.function_gbs);
+}
+
+TEST(JobSimulatorTest, FunctionOverheadGrowsWithDop) {
+  // Without data, per-function footprint dominates: more tasks = more
+  // GB-seconds (the sigma*d term of the paper's Eq. 5).
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  const SimResult few = sim.run(plan_for(dag, {1, 1}));
+  const SimResult many = sim.run(plan_for(dag, {16, 16}));
+  EXPECT_GT(many.cost.function_gbs, few.cost.function_gbs);
+}
+
+TEST(JobSimulatorTest, ShmCostOnlyForGroupedEdges) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::redis_model(), no_noise());
+  const SimResult apart = sim.run(plan_for(dag, {2, 2}));
+  const SimResult together = sim.run(plan_for(dag, {2, 2}, {{0, 1}}));
+  EXPECT_DOUBLE_EQ(apart.cost.shm_gbs, 0.0);
+  EXPECT_GT(apart.cost.storage_gbs, 0.0);
+  EXPECT_GE(together.cost.shm_gbs, 0.0);
+  EXPECT_DOUBLE_EQ(together.cost.storage_gbs, 0.0);
+}
+
+TEST(JobSimulatorTest, FailureInjectionRetriesTasks) {
+  const JobDag dag = simple_chain();
+  SimOptions opts = no_noise();
+  opts.task_failure_prob = 1.0;  // every task retried
+  const JobSimulator sim(dag, storage::s3_model(), opts);
+  const SimResult r = sim.run(plan_for(dag, {2, 2}));
+  for (const TaskTrace& t : r.tasks) EXPECT_TRUE(t.retried);
+  const JobSimulator clean(dag, storage::s3_model(), no_noise());
+  EXPECT_NEAR(r.jct, 2 * clean.run(plan_for(dag, {2, 2})).jct, 1e-6);
+}
+
+TEST(JobSimulatorTest, IsolatedStageMatchesModelWithoutNoise) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  double straggler = 0.0;
+  const auto means = sim.run_stage_isolated(0, 4, &straggler);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_NEAR(means[0], 20.0 / 4 + 0.5, 1e-12);
+  EXPECT_NEAR(means[1], 10.0 / 4 + 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(straggler, 1.0);
+}
+
+TEST(JobSimulatorTest, ExportRecordsFeedsMonitor) {
+  const JobDag dag = simple_chain();
+  const JobSimulator sim(dag, storage::s3_model(), no_noise());
+  const SimResult r = sim.run(plan_for(dag, {3, 2}));
+  cluster::RuntimeMonitor mon;
+  JobSimulator::export_records(r, mon);
+  EXPECT_EQ(mon.num_records(), 5u);
+  EXPECT_NEAR(mon.job_end(), r.jct, 1e-12);
+}
+
+TEST(JobSimulatorTest, Q95EndToEndRuns) {
+  workload::PhysicsParams params;
+  params.store = storage::s3_model();
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, params);
+  const JobSimulator sim(dag, storage::s3_model());
+  cluster::PlacementPlan plan = plan_for(dag, std::vector<int>(dag.num_stages(), 20));
+  const SimResult r = sim.run(plan);
+  EXPECT_GT(r.jct, 10.0);
+  EXPECT_EQ(r.stages.size(), 9u);
+  EXPECT_EQ(r.tasks.size(), 9u * 20u);
+}
+
+}  // namespace
+}  // namespace ditto::sim

@@ -1,0 +1,110 @@
+#include "sim/recurring.h"
+
+#include <gtest/gtest.h>
+
+#include "scheduler/ditto_scheduler.h"
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+namespace ditto::sim {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+TEST(RecurringTest, FirstRunProfilesLaterRunsDoNot) {
+  RecurringJobManager manager(storage::s3_model());
+  manager.register_job("q95",
+                       workload::build_query(workload::QueryId::kQ95, 1000, s3_physics()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler sched;
+
+  const auto r1 = manager.run_once("q95", cl, sched, Objective::kJct);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_TRUE(r1->profiled_this_run);
+  const auto r2 = manager.run_once("q95", cl, sched, Objective::kJct);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->profiled_this_run);
+  EXPECT_EQ(manager.runs_of("q95"), 2);
+}
+
+TEST(RecurringTest, UnknownJobFails) {
+  RecurringJobManager manager(storage::s3_model());
+  auto cl = cluster::Cluster::uniform(2, 8);
+  scheduler::DittoScheduler sched;
+  EXPECT_EQ(manager.run_once("ghost", cl, sched, Objective::kJct).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(manager.has_job("ghost"));
+  EXPECT_EQ(manager.runs_of("ghost"), 0);
+  EXPECT_FALSE(manager.fitted_dag("ghost").ok());
+}
+
+TEST(RecurringTest, FeedbackUpdatesStragglerScales) {
+  RecurringOptions options;
+  options.feedback.straggler_blend = 1.0;
+  options.sim.skew_sigma = 0.2;  // real skew so scales rise above 1
+  RecurringJobManager manager(storage::s3_model(), options);
+  manager.register_job("q94",
+                       workload::build_query(workload::QueryId::kQ94, 1000, s3_physics()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler sched;
+  ASSERT_TRUE(manager.run_once("q94", cl, sched, Objective::kJct).ok());
+  const auto fitted = manager.fitted_dag("q94");
+  ASSERT_TRUE(fitted.ok());
+  bool any_above_one = false;
+  for (StageId s = 0; s < fitted->num_stages(); ++s) {
+    if (fitted->stage(s).straggler_scale() > 1.001) any_above_one = true;
+  }
+  EXPECT_TRUE(any_above_one);
+}
+
+TEST(RecurringTest, PeriodicRefitFires) {
+  RecurringOptions options;
+  options.refit_every = 2;
+  RecurringJobManager manager(storage::s3_model(), options);
+  manager.register_job("q1",
+                       workload::build_query(workload::QueryId::kQ1, 1000, s3_physics()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler sched;
+  const auto r1 = manager.run_once("q1", cl, sched, Objective::kJct);
+  const auto r2 = manager.run_once("q1", cl, sched, Objective::kJct);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(r1->refitted_this_run);
+  EXPECT_TRUE(r2->refitted_this_run);
+}
+
+TEST(RecurringTest, ModelsStayAccurateAcrossRuns) {
+  // After several occurrences with feedback, the plan's predicted JCT
+  // should stay close to the simulated JCT.
+  RecurringJobManager manager(storage::s3_model());
+  manager.register_job("q95",
+                       workload::build_query(workload::QueryId::kQ95, 1000, s3_physics()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler sched;
+  double last_err = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = manager.run_once("q95", cl, sched, Objective::kJct);
+    ASSERT_TRUE(r.ok());
+    last_err = std::abs(r->sim.jct - r->plan.predicted.jct) / r->sim.jct;
+  }
+  EXPECT_LT(last_err, 0.35);
+}
+
+TEST(RecurringTest, MultipleJobsCoexist) {
+  RecurringJobManager manager(storage::s3_model());
+  manager.register_job("a", workload::build_query(workload::QueryId::kQ1, 1000, s3_physics()));
+  manager.register_job("b", workload::build_query(workload::QueryId::kQ16, 1000, s3_physics()));
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler sched;
+  ASSERT_TRUE(manager.run_once("a", cl, sched, Objective::kJct).ok());
+  ASSERT_TRUE(manager.run_once("b", cl, sched, Objective::kCost).ok());
+  ASSERT_TRUE(manager.run_once("a", cl, sched, Objective::kJct).ok());
+  EXPECT_EQ(manager.runs_of("a"), 2);
+  EXPECT_EQ(manager.runs_of("b"), 1);
+}
+
+}  // namespace
+}  // namespace ditto::sim

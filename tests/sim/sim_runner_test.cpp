@@ -1,0 +1,78 @@
+#include "sim/sim_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "scheduler/baselines.h"
+#include "scheduler/ditto_scheduler.h"
+#include "storage/sim_store.h"
+#include "workload/queries.h"
+
+namespace ditto::sim {
+namespace {
+
+JobDag q95() {
+  workload::PhysicsParams params;
+  params.store = storage::s3_model();
+  return workload::build_query(workload::QueryId::kQ95, 1000, params);
+}
+
+TEST(SimRunnerTest, StageRunnerProducesPerStepTimes) {
+  const JobDag dag = q95();
+  auto sim = std::make_shared<JobSimulator>(dag, storage::s3_model());
+  auto runner = make_sim_stage_runner(sim);
+  const StepObservation obs = runner(0, 16);
+  EXPECT_EQ(obs.step_times.size(), dag.stage(0).steps().size());
+  for (double t : obs.step_times) EXPECT_GT(t, 0.0);
+  EXPECT_GE(obs.straggler_scale, 1.0);
+}
+
+TEST(SimRunnerTest, RepeatsDrawFreshNoise) {
+  const JobDag dag = q95();
+  auto sim = std::make_shared<JobSimulator>(dag, storage::s3_model());
+  auto runner = make_sim_stage_runner(sim);
+  const auto a = runner(0, 16);
+  const auto b = runner(0, 16);
+  EXPECT_NE(a.step_times[0], b.step_times[0]);
+}
+
+TEST(SimRunnerTest, FullExperimentPipeline) {
+  const JobDag truth = q95();
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  const auto result =
+      run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_GT(result->sim.jct, 0.0);
+  EXPECT_GT(result->plan.predicted.jct, 0.0);
+  // The fitted model should predict the simulated JCT reasonably well.
+  const double err = std::abs(result->sim.jct - result->plan.predicted.jct) /
+                     result->sim.jct;
+  EXPECT_LT(err, 0.35);
+  // Table 2: model building well under 0.3 s.
+  EXPECT_LT(result->profile.model_build_seconds, 0.3);
+}
+
+TEST(SimRunnerTest, DittoBeatsNimbleOnSimulatedJct) {
+  const JobDag truth = q95();
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  scheduler::NimbleScheduler nimble;
+  const auto rd = run_experiment(truth, cl, ditto, Objective::kJct, storage::s3_model());
+  const auto rn = run_experiment(truth, cl, nimble, Objective::kJct, storage::s3_model());
+  ASSERT_TRUE(rd.ok() && rn.ok());
+  EXPECT_LT(rd->sim.jct, rn->sim.jct);
+}
+
+TEST(SimRunnerTest, DittoBeatsNimbleOnSimulatedCost) {
+  const JobDag truth = q95();
+  auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+  scheduler::DittoScheduler ditto;
+  scheduler::NimbleScheduler nimble;
+  const auto rd = run_experiment(truth, cl, ditto, Objective::kCost, storage::s3_model());
+  const auto rn = run_experiment(truth, cl, nimble, Objective::kCost, storage::s3_model());
+  ASSERT_TRUE(rd.ok() && rn.ok());
+  EXPECT_LT(rd->sim.cost.total(), rn->sim.cost.total());
+}
+
+}  // namespace
+}  // namespace ditto::sim

@@ -1,0 +1,96 @@
+#include "storage/mem_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::storage {
+namespace {
+
+TEST(MemStoreTest, PutGetRoundTrip) {
+  MemStore store;
+  ASSERT_TRUE(store.put("k", "value").is_ok());
+  const auto v = store.get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "value");
+}
+
+TEST(MemStoreTest, GetMissingIsNotFound) {
+  MemStore store;
+  EXPECT_EQ(store.get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(MemStoreTest, OverwriteUpdatesUsedBytes) {
+  MemStore store;
+  ASSERT_TRUE(store.put("k", "12345").is_ok());
+  EXPECT_EQ(store.used_bytes(), 5u);
+  ASSERT_TRUE(store.put("k", "12").is_ok());
+  EXPECT_EQ(store.used_bytes(), 2u);
+}
+
+TEST(MemStoreTest, RemoveFreesSpace) {
+  MemStore store;
+  ASSERT_TRUE(store.put("k", "abc").is_ok());
+  ASSERT_TRUE(store.remove("k").is_ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_EQ(store.remove("k").code(), StatusCode::kNotFound);
+}
+
+TEST(MemStoreTest, CapacityEnforced) {
+  StorageModel model;
+  model.capacity = 10;
+  MemStore store(model, "bounded");
+  ASSERT_TRUE(store.put("a", "12345").is_ok());
+  ASSERT_TRUE(store.put("b", "12345").is_ok());
+  EXPECT_EQ(store.put("c", "x").code(), StatusCode::kResourceExhausted);
+  // Overwriting within capacity is fine.
+  EXPECT_TRUE(store.put("a", "123").is_ok());
+  EXPECT_TRUE(store.put("c", "xx").is_ok());
+}
+
+TEST(MemStoreTest, ListByPrefix) {
+  MemStore store;
+  ASSERT_TRUE(store.put("job1/s0", "a").is_ok());
+  ASSERT_TRUE(store.put("job1/s1", "b").is_ok());
+  ASSERT_TRUE(store.put("job2/s0", "c").is_ok());
+  EXPECT_EQ(store.list("job1/").size(), 2u);
+  EXPECT_EQ(store.list("").size(), 3u);
+  EXPECT_TRUE(store.list("nope").empty());
+}
+
+TEST(MemStoreTest, StatsTrackTraffic) {
+  MemStore store;
+  ASSERT_TRUE(store.put("k", "abcd").is_ok());
+  (void)store.get("k");
+  const StoreStats st = store.stats();
+  EXPECT_EQ(st.puts, 1u);
+  EXPECT_EQ(st.gets, 1u);
+  EXPECT_EQ(st.bytes_written, 4u);
+  EXPECT_EQ(st.bytes_read, 4u);
+}
+
+TEST(MemStoreTest, ClearResets) {
+  MemStore store;
+  ASSERT_TRUE(store.put("k", "abcd").is_ok());
+  store.clear();
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(StorageModelTest, TransferTimeLatencyPlusBandwidth) {
+  StorageModel m;
+  m.request_latency = 0.01;
+  m.bandwidth_bytes_per_s = 100.0;
+  EXPECT_NEAR(m.transfer_time(50), 0.01 + 0.5, 1e-12);
+  StorageModel infinite;
+  EXPECT_DOUBLE_EQ(infinite.transfer_time(1_GB), 0.0);
+}
+
+TEST(StorageModelTest, PersistenceCost) {
+  StorageModel m;
+  m.cost_per_gb_second = 2.0;
+  EXPECT_NEAR(m.persistence_cost(5_GB, 3.0), 2.0 * 5.0 * 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ditto::storage

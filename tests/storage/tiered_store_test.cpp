@@ -1,0 +1,77 @@
+#include "storage/tiered_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::storage {
+namespace {
+
+std::unique_ptr<TieredStore> small_tiers(Bytes threshold = 10, Bytes fast_capacity = 0) {
+  StorageModel fast = redis_model();
+  fast.capacity = fast_capacity;
+  StorageModel slow = s3_model();
+  return std::make_unique<TieredStore>(std::make_unique<MemStore>(fast, "fast"),
+                                       std::make_unique<MemStore>(slow, "slow"), threshold);
+}
+
+TEST(TieredStoreTest, SmallObjectsGoFast) {
+  auto store = small_tiers(10);
+  ASSERT_TRUE(store->put("k", "tiny").is_ok());
+  EXPECT_TRUE(store->fast_tier().contains("k"));
+  EXPECT_FALSE(store->slow_tier().contains("k"));
+  EXPECT_EQ(store->get("k").value(), "tiny");
+}
+
+TEST(TieredStoreTest, LargeObjectsGoSlow) {
+  auto store = small_tiers(10);
+  const std::string big(100, 'x');
+  ASSERT_TRUE(store->put("k", big).is_ok());
+  EXPECT_FALSE(store->fast_tier().contains("k"));
+  EXPECT_TRUE(store->slow_tier().contains("k"));
+  EXPECT_EQ(store->get("k").value(), big);
+}
+
+TEST(TieredStoreTest, FullFastTierSpillsToSlow) {
+  auto store = small_tiers(/*threshold=*/10, /*fast_capacity=*/8);
+  ASSERT_TRUE(store->put("a", "12345678").is_ok());  // fills the fast tier
+  ASSERT_TRUE(store->put("b", "zz").is_ok());        // small but must spill
+  EXPECT_TRUE(store->slow_tier().contains("b"));
+  EXPECT_EQ(store->get("b").value(), "zz");
+}
+
+TEST(TieredStoreTest, OverwriteAcrossTiersKeepsOneCopy) {
+  auto store = small_tiers(10);
+  ASSERT_TRUE(store->put("k", std::string(100, 'x')).is_ok());  // slow
+  ASSERT_TRUE(store->put("k", "small").is_ok());                // now fast
+  EXPECT_EQ(store->get("k").value(), "small");
+  EXPECT_FALSE(store->slow_tier().contains("k"));
+  ASSERT_TRUE(store->put("k", std::string(50, 'y')).is_ok());   // back to slow
+  EXPECT_EQ(store->get("k").value(), std::string(50, 'y'));
+  EXPECT_FALSE(store->fast_tier().contains("k"));
+}
+
+TEST(TieredStoreTest, RemoveAndListSpanTiers) {
+  auto store = small_tiers(10);
+  ASSERT_TRUE(store->put("p/a", "s").is_ok());
+  ASSERT_TRUE(store->put("p/b", std::string(64, 'x')).is_ok());
+  EXPECT_EQ(store->list("p/").size(), 2u);
+  EXPECT_TRUE(store->remove("p/a").is_ok());
+  EXPECT_TRUE(store->remove("p/b").is_ok());
+  EXPECT_FALSE(store->remove("p/a").is_ok());
+  EXPECT_EQ(store->used_bytes(), 0u);
+}
+
+TEST(TieredStoreTest, ModelForRoutesByThreshold) {
+  auto store = TieredStore::redis_over_s3(64_MB);
+  EXPECT_LT(store->model_for(1_MB).request_latency, 0.001);   // redis-class
+  EXPECT_GT(store->model_for(100_MB).request_latency, 0.01);  // s3-class
+}
+
+TEST(DirectNetworkModelTest, FastAndFree) {
+  const StorageModel m = direct_network_model();
+  EXPECT_LT(m.request_latency, s3_model().request_latency);
+  EXPECT_DOUBLE_EQ(m.cost_per_gb_second, 0.0);
+  EXPECT_LT(m.transfer_time(1_GB), s3_model().transfer_time(1_GB));
+}
+
+}  // namespace
+}  // namespace ditto::storage

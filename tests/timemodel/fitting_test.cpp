@@ -1,0 +1,65 @@
+#include "timemodel/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ditto {
+namespace {
+
+TEST(FittingTest, RecoversExactModel) {
+  const StepModel truth{120.0, 3.0};
+  std::vector<ProfileSample> samples;
+  for (int d : {4, 8, 16, 32, 64}) samples.push_back({d, truth.eval(d)});
+  const auto fit = fit_step_model(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->model.alpha, 120.0, 1e-9);
+  EXPECT_NEAR(fit->model.beta, 3.0, 1e-9);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(FittingTest, RecoversNoisyModelApproximately) {
+  const StepModel truth{200.0, 5.0};
+  Rng rng(99);
+  std::vector<ProfileSample> samples;
+  for (int d : {4, 8, 16, 32, 64, 96, 120}) {
+    samples.push_back({d, truth.eval(d) * rng.normal(1.0, 0.03)});
+  }
+  const auto fit = fit_step_model(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->model.alpha, 200.0, 20.0);
+  EXPECT_NEAR(fit->model.beta, 5.0, 2.0);
+  EXPECT_GT(fit->r2, 0.95);
+}
+
+TEST(FittingTest, ClampsNegativeParameters) {
+  // Decreasing t with 1/d would fit a negative beta; it must clamp.
+  std::vector<ProfileSample> samples = {{1, 10.0}, {2, 2.0}, {4, 0.1}};
+  const auto fit = fit_step_model(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->model.alpha, 0.0);
+  EXPECT_GE(fit->model.beta, 0.0);
+}
+
+TEST(FittingTest, RejectsTooFewSamples) {
+  EXPECT_FALSE(fit_step_model({{4, 1.0}}).ok());
+  EXPECT_FALSE(fit_step_model({}).ok());
+}
+
+TEST(FittingTest, RejectsSingleDistinctDop) {
+  EXPECT_FALSE(fit_step_model({{8, 1.0}, {8, 1.1}, {8, 0.9}}).ok());
+}
+
+TEST(FittingTest, RejectsInvalidDop) {
+  EXPECT_FALSE(fit_step_model({{0, 1.0}, {4, 0.5}}).ok());
+}
+
+TEST(FittingTest, RelativeError) {
+  const StepModel m{100.0, 0.0};
+  EXPECT_NEAR(relative_error(m, 10, 10.0), 0.0, 1e-12);
+  EXPECT_NEAR(relative_error(m, 10, 8.0), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(m, 10, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ditto

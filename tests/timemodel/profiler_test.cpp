@@ -1,0 +1,121 @@
+#include "timemodel/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto {
+namespace {
+
+JobDag two_stage_dag() {
+  JobDag dag("p");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(a, b).is_ok());
+  // Placeholder steps: the profiler will overwrite alpha/beta.
+  dag.stage(a).add_step({StepKind::kRead, kNoStage, 0, 0, false});
+  dag.stage(a).add_step({StepKind::kCompute, kNoStage, 0, 0, false});
+  dag.stage(b).add_step({StepKind::kCompute, kNoStage, 0, 0, false});
+  return dag;
+}
+
+/// Ground truth used by the fake runner.
+constexpr double kAlphaA0 = 40.0, kBetaA0 = 1.0;   // stage a, step 0
+constexpr double kAlphaA1 = 80.0, kBetaA1 = 2.0;   // stage a, step 1
+constexpr double kAlphaB0 = 10.0, kBetaB0 = 0.5;   // stage b, step 0
+
+StageRunner exact_runner() {
+  return [](StageId s, int d) {
+    StepObservation obs;
+    if (s == 0) {
+      obs.step_times = {kAlphaA0 / d + kBetaA0, kAlphaA1 / d + kBetaA1};
+    } else {
+      obs.step_times = {kAlphaB0 / d + kBetaB0};
+    }
+    obs.straggler_scale = 1.25;
+    return obs;
+  };
+}
+
+TEST(ProfilerTest, FitsExactModelsAndWritesBack) {
+  JobDag dag = two_stage_dag();
+  Profiler profiler(dag, exact_runner());
+  const auto report = profiler.profile_all();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(dag.stage(0).steps()[0].alpha, kAlphaA0, 1e-6);
+  EXPECT_NEAR(dag.stage(0).steps()[0].beta, kBetaA0, 1e-6);
+  EXPECT_NEAR(dag.stage(0).steps()[1].alpha, kAlphaA1, 1e-6);
+  EXPECT_NEAR(dag.stage(1).steps()[0].alpha, kAlphaB0, 1e-6);
+  EXPECT_EQ(report->fits.size(), 2u);
+  for (const StageFit& f : report->fits) {
+    for (const FitResult& fr : f.step_fits) EXPECT_GT(fr.r2, 0.999);
+    EXPECT_NEAR(f.straggler_scale, 1.25, 1e-9);
+  }
+}
+
+TEST(ProfilerTest, ReportsTimings) {
+  JobDag dag = two_stage_dag();
+  Profiler profiler(dag, exact_runner());
+  const auto report = profiler.profile_all();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->model_build_seconds, 0.0);
+  EXPECT_GE(report->profiling_seconds, 0.0);
+  // Fitting a handful of points must be far under the paper's 0.3 s.
+  EXPECT_LT(report->model_build_seconds, 0.3);
+}
+
+TEST(ProfilerTest, ProfileSingleStage) {
+  JobDag dag = two_stage_dag();
+  Profiler profiler(dag, exact_runner());
+  const auto fit = profiler.profile_stage(1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->stage, 1u);
+  ASSERT_EQ(fit->step_fits.size(), 1u);
+  EXPECT_NEAR(fit->step_fits[0].model.alpha, kAlphaB0, 1e-6);
+}
+
+TEST(ProfilerTest, RunnerStepCountMismatchIsInternalError) {
+  JobDag dag = two_stage_dag();
+  Profiler profiler(dag, [](StageId, int) {
+    StepObservation obs;
+    obs.step_times = {1.0};  // wrong for stage 0 (2 steps)
+    return obs;
+  });
+  const auto report = profiler.profile_all();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(ProfilerTest, StageWithoutStepsFails) {
+  JobDag dag("empty");
+  dag.add_stage("s");
+  Profiler profiler(dag, exact_runner());
+  EXPECT_EQ(profiler.profile_all().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProfilerTest, NeedsTwoDistinctDops) {
+  JobDag dag = two_stage_dag();
+  ProfilerOptions opts;
+  opts.dops = {8};
+  Profiler profiler(dag, exact_runner(), opts);
+  EXPECT_FALSE(profiler.profile_stage(0).ok());
+}
+
+TEST(ProfilerTest, RepeatsAverageNoise) {
+  JobDag dag = two_stage_dag();
+  // Alternating +/- noise cancels out over repeats.
+  auto counter = std::make_shared<int>(0);
+  StageRunner runner = [counter](StageId s, int d) {
+    StepObservation obs = exact_runner()(s, d);
+    const double jitter = ((*counter)++ % 2 == 0) ? 1.1 : 0.9;
+    for (double& t : obs.step_times) t *= jitter;
+    return obs;
+  };
+  ProfilerOptions opts;
+  opts.repeats = 2;
+  Profiler profiler(dag, runner, opts);
+  const auto report = profiler.profile_all();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(dag.stage(0).steps()[0].alpha, kAlphaA0, kAlphaA0 * 0.05);
+}
+
+}  // namespace
+}  // namespace ditto

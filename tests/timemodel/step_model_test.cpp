@@ -1,0 +1,68 @@
+#include "timemodel/step_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto {
+namespace {
+
+TEST(StepModelTest, EvalFollowsAlphaOverDPlusBeta) {
+  const StepModel m{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.eval(1), 12.0);
+  EXPECT_DOUBLE_EQ(m.eval(5), 4.0);
+  EXPECT_DOUBLE_EQ(m.eval(10), 3.0);
+}
+
+TEST(StepModelTest, EvalMonotoneDecreasingInD) {
+  const StepModel m{100.0, 1.0};
+  double prev = m.eval(1);
+  for (int d = 2; d <= 64; d *= 2) {
+    EXPECT_LT(m.eval(d), prev);
+    prev = m.eval(d);
+  }
+}
+
+TEST(StepModelTest, SumAddsComponentwise) {
+  const StepModel a{3.0, 1.0}, b{4.0, 0.5};
+  const StepModel s = a + b;
+  EXPECT_DOUBLE_EQ(s.alpha, 7.0);
+  EXPECT_DOUBLE_EQ(s.beta, 1.5);
+}
+
+TEST(MergeTest, IntraPathFormula) {
+  // alpha' = (sqrt(9) + sqrt(16))^2 = 49, beta' = b1 + b2.
+  const StepModel merged = merge_intra_path({9.0, 1.0}, {16.0, 2.0});
+  EXPECT_DOUBLE_EQ(merged.alpha, 49.0);
+  EXPECT_DOUBLE_EQ(merged.beta, 3.0);
+}
+
+TEST(MergeTest, InterPathFormula) {
+  // alpha' = a1 + a2, beta' = max(b1, b2).
+  const StepModel merged = merge_inter_path({9.0, 1.0}, {16.0, 2.0});
+  EXPECT_DOUBLE_EQ(merged.alpha, 25.0);
+  EXPECT_DOUBLE_EQ(merged.beta, 2.0);
+}
+
+TEST(MergeTest, IntraPathPreservesOptimalCompletionTime) {
+  // The merged stage evaluated at d must equal the sum of the two
+  // stages at their optimal split (paper Eq. 3).
+  const StepModel a{60.0, 0.0}, b{15.0, 0.0};
+  const StepModel merged = merge_intra_path(a, b);
+  const int d = 15;
+  // Optimal split: d_a/d_b = sqrt(60/15) = 2  ->  10 and 5.
+  const double direct = a.eval(10) + b.eval(5);
+  EXPECT_NEAR(merged.eval(d), direct, 1e-9);
+}
+
+TEST(MergeTest, InterPathPreservesBalancedCompletionTime) {
+  // Merged stage at d equals max of the two at the balanced split
+  // (paper Eq. 4).
+  const StepModel a{24.0, 0.0}, b{12.0, 0.0};
+  const StepModel merged = merge_inter_path(a, b);
+  const int d = 6;
+  // Balanced split: d_a/d_b = 24/12 = 2 -> 4 and 2.
+  const double direct = std::max(a.eval(4), b.eval(2));
+  EXPECT_NEAR(merged.eval(d), direct, 1e-9);
+}
+
+}  // namespace
+}  // namespace ditto

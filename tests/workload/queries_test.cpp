@@ -1,0 +1,115 @@
+#include "workload/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/dag_algorithms.h"
+#include "storage/sim_store.h"
+
+namespace ditto::workload {
+namespace {
+
+PhysicsParams s3_physics() {
+  PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+class QueriesTest : public ::testing::TestWithParam<QueryId> {};
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, QueriesTest,
+                         ::testing::ValuesIn(paper_queries()),
+                         [](const auto& info) { return query_name(info.param); });
+
+TEST_P(QueriesTest, DagValidates) {
+  const JobDag dag = build_query_dag(GetParam(), 1000);
+  EXPECT_TRUE(dag.validate().is_ok());
+  EXPECT_GE(dag.num_stages(), 7u);
+  EXPECT_EQ(dag.sinks().size(), 1u);  // one final stage
+}
+
+TEST_P(QueriesTest, DataVolumeDecaysDownstream) {
+  // Later stages process less data after filters/joins (paper §2.1).
+  const JobDag dag = build_query_dag(GetParam(), 1000);
+  Bytes source_in = 0, sink_out = 0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    if (dag.parents(s).empty()) source_in += dag.stage(s).input_bytes();
+    if (dag.children(s).empty()) sink_out += dag.stage(s).output_bytes();
+  }
+  EXPECT_GT(source_in, 10 * sink_out);
+}
+
+TEST_P(QueriesTest, PhysicsInstantiatesAllSteps) {
+  const JobDag dag = build_query(GetParam(), 1000, s3_physics());
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    const Stage& st = dag.stage(s);
+    ASSERT_FALSE(st.steps().empty());
+    bool has_compute = false;
+    for (const Step& step : st.steps()) {
+      if (step.kind == StepKind::kCompute) has_compute = true;
+      EXPECT_GE(step.alpha, 0.0);
+      EXPECT_GE(step.beta, 0.0);
+    }
+    EXPECT_TRUE(has_compute);
+    EXPECT_GT(st.rho(), 0.0);
+  }
+}
+
+TEST_P(QueriesTest, EveryEdgeHasMatchingIoSteps) {
+  const JobDag dag = build_query(GetParam(), 1000, s3_physics());
+  for (const Edge& e : dag.edges()) {
+    bool src_writes = false, dst_reads = false;
+    for (const Step& step : dag.stage(e.src).steps()) {
+      if (step.kind == StepKind::kWrite && step.dep == e.dst) src_writes = true;
+    }
+    for (const Step& step : dag.stage(e.dst).steps()) {
+      if (step.kind == StepKind::kRead && step.dep == e.src) dst_reads = true;
+    }
+    EXPECT_TRUE(src_writes);
+    EXPECT_TRUE(dst_reads);
+  }
+}
+
+TEST(QueriesTest, InputSizesMatchPaperRange) {
+  // Paper §6: "the input data size of the four queries ranges from
+  // 33 GB to 312 GB" at SF 1000.
+  for (QueryId q : paper_queries()) {
+    const Bytes in = query_input_bytes(q, 1000);
+    EXPECT_GE(in, 25_GB) << query_name(q);
+    EXPECT_LE(in, 350_GB) << query_name(q);
+  }
+  EXPECT_LT(query_input_bytes(QueryId::kQ1, 1000), 50_GB);
+  EXPECT_GT(query_input_bytes(QueryId::kQ94, 1000), 250_GB);
+}
+
+TEST(QueriesTest, Q95HasNineStagesMatchingFig13) {
+  const JobDag dag = build_query_dag(QueryId::kQ95, 1000);
+  EXPECT_EQ(dag.num_stages(), 9u);
+  EXPECT_EQ(dag.num_edges(), 8u);
+  // Fig. 13 shows both shuffle and all-gather edges.
+  bool has_shuffle = false, has_allgather = false;
+  for (const Edge& e : dag.edges()) {
+    if (e.exchange == ExchangeKind::kShuffle) has_shuffle = true;
+    if (e.exchange == ExchangeKind::kAllGather) has_allgather = true;
+  }
+  EXPECT_TRUE(has_shuffle);
+  EXPECT_TRUE(has_allgather);
+  // Four map sources as in the figure.
+  EXPECT_EQ(dag.sources().size(), 4u);
+}
+
+TEST(QueriesTest, Q1IsTheSmallQuery) {
+  // §6.4: Q1's IO stage processes 5-10x less data than other queries'.
+  const Bytes q1 = query_input_bytes(QueryId::kQ1, 1000);
+  for (QueryId q : {QueryId::kQ16, QueryId::kQ94, QueryId::kQ95}) {
+    EXPECT_GT(query_input_bytes(q, 1000), 4 * q1);
+  }
+}
+
+TEST(QueriesTest, RedisScaleFactorShrinksInputs) {
+  for (QueryId q : paper_queries()) {
+    EXPECT_LT(query_input_bytes(q, 100), query_input_bytes(q, 1000));
+  }
+}
+
+}  // namespace
+}  // namespace ditto::workload

@@ -1,0 +1,38 @@
+#include "workload/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::workload {
+namespace {
+
+TEST(TablesTest, Sf1000TotalsRoughlyOneTerabyte) {
+  Bytes total = 0;
+  for (TpcdsTable t : all_tables()) total += table_bytes(t, 1000);
+  EXPECT_GT(total, 700_GB);
+  EXPECT_LT(total, 1100_GB);
+}
+
+TEST(TablesTest, SizesScaleLinearlyWithSf) {
+  for (TpcdsTable t : {TpcdsTable::kStoreSales, TpcdsTable::kWebSales}) {
+    EXPECT_NEAR(static_cast<double>(table_bytes(t, 100)),
+                static_cast<double>(table_bytes(t, 1000)) / 10.0,
+                static_cast<double>(table_bytes(t, 1000)) * 0.01);
+  }
+}
+
+TEST(TablesTest, FactTablesDwarfDimensions) {
+  EXPECT_GT(table_bytes(TpcdsTable::kStoreSales, 1000),
+            1000 * table_bytes(TpcdsTable::kDateDim, 1000));
+  EXPECT_GT(table_bytes(TpcdsTable::kWebSales, 1000),
+            table_bytes(TpcdsTable::kWebReturns, 1000));
+}
+
+TEST(TablesTest, AllTablesHaveNamesAndSizes) {
+  for (TpcdsTable t : all_tables()) {
+    EXPECT_STRNE(table_name(t), "?");
+    EXPECT_GT(table_bytes(t, 1000), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ditto::workload

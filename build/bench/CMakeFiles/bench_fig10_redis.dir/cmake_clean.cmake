@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_redis.dir/bench_fig10_redis.cpp.o"
+  "CMakeFiles/bench_fig10_redis.dir/bench_fig10_redis.cpp.o.d"
+  "bench_fig10_redis"
+  "bench_fig10_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_timemodel.dir/bench_fig11_timemodel.cpp.o"
+  "CMakeFiles/bench_fig11_timemodel.dir/bench_fig11_timemodel.cpp.o.d"
+  "bench_fig11_timemodel"
+  "bench_fig11_timemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_timemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

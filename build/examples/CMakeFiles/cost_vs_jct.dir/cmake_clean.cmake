@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_vs_jct.dir/cost_vs_jct.cpp.o"
+  "CMakeFiles/cost_vs_jct.dir/cost_vs_jct.cpp.o.d"
+  "cost_vs_jct"
+  "cost_vs_jct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_vs_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

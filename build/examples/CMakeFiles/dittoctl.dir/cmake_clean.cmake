@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dittoctl.dir/dittoctl.cpp.o"
+  "CMakeFiles/dittoctl.dir/dittoctl.cpp.o.d"
+  "dittoctl"
+  "dittoctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dittoctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_wordcount.dir/elastic_wordcount.cpp.o"
+  "CMakeFiles/elastic_wordcount.dir/elastic_wordcount.cpp.o.d"
+  "elastic_wordcount"
+  "elastic_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

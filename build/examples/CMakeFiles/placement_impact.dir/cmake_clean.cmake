@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_impact.dir/placement_impact.cpp.o"
+  "CMakeFiles/placement_impact.dir/placement_impact.cpp.o.d"
+  "placement_impact"
+  "placement_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurring_jobs.dir/recurring_jobs.cpp.o"
+  "CMakeFiles/recurring_jobs.dir/recurring_jobs.cpp.o.d"
+  "recurring_jobs"
+  "recurring_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurring_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

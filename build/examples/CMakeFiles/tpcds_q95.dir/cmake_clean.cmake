@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_q95.dir/tpcds_q95.cpp.o"
+  "CMakeFiles/tpcds_q95.dir/tpcds_q95.cpp.o.d"
+  "tpcds_q95"
+  "tpcds_q95.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_q95.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

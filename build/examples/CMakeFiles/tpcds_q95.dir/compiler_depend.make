@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tpcds_q95.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_q95_engine.dir/tpcds_q95_engine.cpp.o"
+  "CMakeFiles/tpcds_q95_engine.dir/tpcds_q95_engine.cpp.o.d"
+  "tpcds_q95_engine"
+  "tpcds_q95_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_q95_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_suite_engine.dir/tpcds_suite_engine.cpp.o"
+  "CMakeFiles/tpcds_suite_engine.dir/tpcds_suite_engine.cpp.o.d"
+  "tpcds_suite_engine"
+  "tpcds_suite_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_suite_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tpcds_suite_engine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/ditto_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/ditto_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/feedback.cpp" "src/cluster/CMakeFiles/ditto_cluster.dir/feedback.cpp.o" "gcc" "src/cluster/CMakeFiles/ditto_cluster.dir/feedback.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "src/cluster/CMakeFiles/ditto_cluster.dir/placement.cpp.o" "gcc" "src/cluster/CMakeFiles/ditto_cluster.dir/placement.cpp.o.d"
+  "/root/repo/src/cluster/runtime_monitor.cpp" "src/cluster/CMakeFiles/ditto_cluster.dir/runtime_monitor.cpp.o" "gcc" "src/cluster/CMakeFiles/ditto_cluster.dir/runtime_monitor.cpp.o.d"
+  "/root/repo/src/cluster/slot_distribution.cpp" "src/cluster/CMakeFiles/ditto_cluster.dir/slot_distribution.cpp.o" "gcc" "src/cluster/CMakeFiles/ditto_cluster.dir/slot_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ditto_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ditto_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/timemodel/CMakeFiles/ditto_timemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ditto_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

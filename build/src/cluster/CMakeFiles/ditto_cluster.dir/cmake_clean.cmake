@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ditto_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/ditto_cluster.dir/feedback.cpp.o"
+  "CMakeFiles/ditto_cluster.dir/feedback.cpp.o.d"
+  "CMakeFiles/ditto_cluster.dir/placement.cpp.o"
+  "CMakeFiles/ditto_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/ditto_cluster.dir/runtime_monitor.cpp.o"
+  "CMakeFiles/ditto_cluster.dir/runtime_monitor.cpp.o.d"
+  "CMakeFiles/ditto_cluster.dir/slot_distribution.cpp.o"
+  "CMakeFiles/ditto_cluster.dir/slot_distribution.cpp.o.d"
+  "libditto_cluster.a"
+  "libditto_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_common.dir/logging.cpp.o"
+  "CMakeFiles/ditto_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ditto_common.dir/rng.cpp.o"
+  "CMakeFiles/ditto_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ditto_common.dir/stats.cpp.o"
+  "CMakeFiles/ditto_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ditto_common.dir/status.cpp.o"
+  "CMakeFiles/ditto_common.dir/status.cpp.o.d"
+  "CMakeFiles/ditto_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ditto_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/ditto_common.dir/units.cpp.o"
+  "CMakeFiles/ditto_common.dir/units.cpp.o.d"
+  "libditto_common.a"
+  "libditto_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/dag_algorithms.cpp" "src/dag/CMakeFiles/ditto_dag.dir/dag_algorithms.cpp.o" "gcc" "src/dag/CMakeFiles/ditto_dag.dir/dag_algorithms.cpp.o.d"
+  "/root/repo/src/dag/dag_builder.cpp" "src/dag/CMakeFiles/ditto_dag.dir/dag_builder.cpp.o" "gcc" "src/dag/CMakeFiles/ditto_dag.dir/dag_builder.cpp.o.d"
+  "/root/repo/src/dag/job_dag.cpp" "src/dag/CMakeFiles/ditto_dag.dir/job_dag.cpp.o" "gcc" "src/dag/CMakeFiles/ditto_dag.dir/job_dag.cpp.o.d"
+  "/root/repo/src/dag/stage.cpp" "src/dag/CMakeFiles/ditto_dag.dir/stage.cpp.o" "gcc" "src/dag/CMakeFiles/ditto_dag.dir/stage.cpp.o.d"
+  "/root/repo/src/dag/types.cpp" "src/dag/CMakeFiles/ditto_dag.dir/types.cpp.o" "gcc" "src/dag/CMakeFiles/ditto_dag.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

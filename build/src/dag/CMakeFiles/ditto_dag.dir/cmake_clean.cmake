@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_dag.dir/dag_algorithms.cpp.o"
+  "CMakeFiles/ditto_dag.dir/dag_algorithms.cpp.o.d"
+  "CMakeFiles/ditto_dag.dir/dag_builder.cpp.o"
+  "CMakeFiles/ditto_dag.dir/dag_builder.cpp.o.d"
+  "CMakeFiles/ditto_dag.dir/job_dag.cpp.o"
+  "CMakeFiles/ditto_dag.dir/job_dag.cpp.o.d"
+  "CMakeFiles/ditto_dag.dir/stage.cpp.o"
+  "CMakeFiles/ditto_dag.dir/stage.cpp.o.d"
+  "CMakeFiles/ditto_dag.dir/types.cpp.o"
+  "CMakeFiles/ditto_dag.dir/types.cpp.o.d"
+  "libditto_dag.a"
+  "libditto_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

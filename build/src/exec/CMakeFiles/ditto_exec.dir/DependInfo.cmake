@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/column.cpp" "src/exec/CMakeFiles/ditto_exec.dir/column.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/column.cpp.o.d"
+  "/root/repo/src/exec/csv.cpp" "src/exec/CMakeFiles/ditto_exec.dir/csv.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/csv.cpp.o.d"
+  "/root/repo/src/exec/datagen.cpp" "src/exec/CMakeFiles/ditto_exec.dir/datagen.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/datagen.cpp.o.d"
+  "/root/repo/src/exec/engine.cpp" "src/exec/CMakeFiles/ditto_exec.dir/engine.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/engine.cpp.o.d"
+  "/root/repo/src/exec/exchange.cpp" "src/exec/CMakeFiles/ditto_exec.dir/exchange.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/exchange.cpp.o.d"
+  "/root/repo/src/exec/operators.cpp" "src/exec/CMakeFiles/ditto_exec.dir/operators.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/operators.cpp.o.d"
+  "/root/repo/src/exec/partition.cpp" "src/exec/CMakeFiles/ditto_exec.dir/partition.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/partition.cpp.o.d"
+  "/root/repo/src/exec/serde.cpp" "src/exec/CMakeFiles/ditto_exec.dir/serde.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/serde.cpp.o.d"
+  "/root/repo/src/exec/table.cpp" "src/exec/CMakeFiles/ditto_exec.dir/table.cpp.o" "gcc" "src/exec/CMakeFiles/ditto_exec.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ditto_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ditto_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ditto_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ditto_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/timemodel/CMakeFiles/ditto_timemodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_exec.dir/column.cpp.o"
+  "CMakeFiles/ditto_exec.dir/column.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/csv.cpp.o"
+  "CMakeFiles/ditto_exec.dir/csv.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/datagen.cpp.o"
+  "CMakeFiles/ditto_exec.dir/datagen.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/engine.cpp.o"
+  "CMakeFiles/ditto_exec.dir/engine.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/exchange.cpp.o"
+  "CMakeFiles/ditto_exec.dir/exchange.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/operators.cpp.o"
+  "CMakeFiles/ditto_exec.dir/operators.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/partition.cpp.o"
+  "CMakeFiles/ditto_exec.dir/partition.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/serde.cpp.o"
+  "CMakeFiles/ditto_exec.dir/serde.cpp.o.d"
+  "CMakeFiles/ditto_exec.dir/table.cpp.o"
+  "CMakeFiles/ditto_exec.dir/table.cpp.o.d"
+  "libditto_exec.a"
+  "libditto_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

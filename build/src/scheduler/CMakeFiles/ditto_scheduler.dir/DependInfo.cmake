@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/baselines.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/baselines.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/baselines.cpp.o.d"
+  "/root/repo/src/scheduler/ditto_scheduler.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/ditto_scheduler.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/ditto_scheduler.cpp.o.d"
+  "/root/repo/src/scheduler/dop_ratio.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/dop_ratio.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/dop_ratio.cpp.o.d"
+  "/root/repo/src/scheduler/evaluation.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/evaluation.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/evaluation.cpp.o.d"
+  "/root/repo/src/scheduler/explain.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/explain.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/explain.cpp.o.d"
+  "/root/repo/src/scheduler/grouping.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/grouping.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/grouping.cpp.o.d"
+  "/root/repo/src/scheduler/oracle.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/oracle.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/oracle.cpp.o.d"
+  "/root/repo/src/scheduler/placement_check.cpp" "src/scheduler/CMakeFiles/ditto_scheduler.dir/placement_check.cpp.o" "gcc" "src/scheduler/CMakeFiles/ditto_scheduler.dir/placement_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ditto_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/timemodel/CMakeFiles/ditto_timemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ditto_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ditto_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ditto_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

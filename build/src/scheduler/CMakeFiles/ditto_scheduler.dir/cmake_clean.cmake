@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_scheduler.dir/baselines.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/baselines.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/ditto_scheduler.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/ditto_scheduler.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/dop_ratio.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/dop_ratio.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/evaluation.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/evaluation.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/explain.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/explain.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/grouping.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/grouping.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/oracle.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/oracle.cpp.o.d"
+  "CMakeFiles/ditto_scheduler.dir/placement_check.cpp.o"
+  "CMakeFiles/ditto_scheduler.dir/placement_check.cpp.o.d"
+  "libditto_scheduler.a"
+  "libditto_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

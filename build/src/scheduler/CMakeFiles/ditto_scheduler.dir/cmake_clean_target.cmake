@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libditto_scheduler.a"
+)

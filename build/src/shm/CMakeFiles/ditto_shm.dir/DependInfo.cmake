@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/arena.cpp" "src/shm/CMakeFiles/ditto_shm.dir/arena.cpp.o" "gcc" "src/shm/CMakeFiles/ditto_shm.dir/arena.cpp.o.d"
+  "/root/repo/src/shm/buffer.cpp" "src/shm/CMakeFiles/ditto_shm.dir/buffer.cpp.o" "gcc" "src/shm/CMakeFiles/ditto_shm.dir/buffer.cpp.o.d"
+  "/root/repo/src/shm/channel.cpp" "src/shm/CMakeFiles/ditto_shm.dir/channel.cpp.o" "gcc" "src/shm/CMakeFiles/ditto_shm.dir/channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ditto_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_shm.dir/arena.cpp.o"
+  "CMakeFiles/ditto_shm.dir/arena.cpp.o.d"
+  "CMakeFiles/ditto_shm.dir/buffer.cpp.o"
+  "CMakeFiles/ditto_shm.dir/buffer.cpp.o.d"
+  "CMakeFiles/ditto_shm.dir/channel.cpp.o"
+  "CMakeFiles/ditto_shm.dir/channel.cpp.o.d"
+  "libditto_shm.a"
+  "libditto_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

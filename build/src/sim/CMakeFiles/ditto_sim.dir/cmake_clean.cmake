@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_sim.dir/gantt.cpp.o"
+  "CMakeFiles/ditto_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/ditto_sim.dir/job_queue.cpp.o"
+  "CMakeFiles/ditto_sim.dir/job_queue.cpp.o.d"
+  "CMakeFiles/ditto_sim.dir/job_simulator.cpp.o"
+  "CMakeFiles/ditto_sim.dir/job_simulator.cpp.o.d"
+  "CMakeFiles/ditto_sim.dir/recurring.cpp.o"
+  "CMakeFiles/ditto_sim.dir/recurring.cpp.o.d"
+  "CMakeFiles/ditto_sim.dir/sim_runner.cpp.o"
+  "CMakeFiles/ditto_sim.dir/sim_runner.cpp.o.d"
+  "libditto_sim.a"
+  "libditto_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

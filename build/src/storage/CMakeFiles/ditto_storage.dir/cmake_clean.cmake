@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_storage.dir/mem_store.cpp.o"
+  "CMakeFiles/ditto_storage.dir/mem_store.cpp.o.d"
+  "CMakeFiles/ditto_storage.dir/sim_store.cpp.o"
+  "CMakeFiles/ditto_storage.dir/sim_store.cpp.o.d"
+  "CMakeFiles/ditto_storage.dir/tiered_store.cpp.o"
+  "CMakeFiles/ditto_storage.dir/tiered_store.cpp.o.d"
+  "libditto_storage.a"
+  "libditto_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timemodel/fitting.cpp" "src/timemodel/CMakeFiles/ditto_timemodel.dir/fitting.cpp.o" "gcc" "src/timemodel/CMakeFiles/ditto_timemodel.dir/fitting.cpp.o.d"
+  "/root/repo/src/timemodel/predictor.cpp" "src/timemodel/CMakeFiles/ditto_timemodel.dir/predictor.cpp.o" "gcc" "src/timemodel/CMakeFiles/ditto_timemodel.dir/predictor.cpp.o.d"
+  "/root/repo/src/timemodel/profiler.cpp" "src/timemodel/CMakeFiles/ditto_timemodel.dir/profiler.cpp.o" "gcc" "src/timemodel/CMakeFiles/ditto_timemodel.dir/profiler.cpp.o.d"
+  "/root/repo/src/timemodel/step_model.cpp" "src/timemodel/CMakeFiles/ditto_timemodel.dir/step_model.cpp.o" "gcc" "src/timemodel/CMakeFiles/ditto_timemodel.dir/step_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ditto_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

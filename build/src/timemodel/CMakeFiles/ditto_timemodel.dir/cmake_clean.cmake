@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_timemodel.dir/fitting.cpp.o"
+  "CMakeFiles/ditto_timemodel.dir/fitting.cpp.o.d"
+  "CMakeFiles/ditto_timemodel.dir/predictor.cpp.o"
+  "CMakeFiles/ditto_timemodel.dir/predictor.cpp.o.d"
+  "CMakeFiles/ditto_timemodel.dir/profiler.cpp.o"
+  "CMakeFiles/ditto_timemodel.dir/profiler.cpp.o.d"
+  "CMakeFiles/ditto_timemodel.dir/step_model.cpp.o"
+  "CMakeFiles/ditto_timemodel.dir/step_model.cpp.o.d"
+  "libditto_timemodel.a"
+  "libditto_timemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_timemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

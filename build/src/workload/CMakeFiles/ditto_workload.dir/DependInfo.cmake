@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/engine_queries.cpp" "src/workload/CMakeFiles/ditto_workload.dir/engine_queries.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/engine_queries.cpp.o.d"
+  "/root/repo/src/workload/jobspec.cpp" "src/workload/CMakeFiles/ditto_workload.dir/jobspec.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/jobspec.cpp.o.d"
+  "/root/repo/src/workload/micro.cpp" "src/workload/CMakeFiles/ditto_workload.dir/micro.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/micro.cpp.o.d"
+  "/root/repo/src/workload/physics.cpp" "src/workload/CMakeFiles/ditto_workload.dir/physics.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/physics.cpp.o.d"
+  "/root/repo/src/workload/pipelining.cpp" "src/workload/CMakeFiles/ditto_workload.dir/pipelining.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/pipelining.cpp.o.d"
+  "/root/repo/src/workload/q95_engine.cpp" "src/workload/CMakeFiles/ditto_workload.dir/q95_engine.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/q95_engine.cpp.o.d"
+  "/root/repo/src/workload/queries.cpp" "src/workload/CMakeFiles/ditto_workload.dir/queries.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/queries.cpp.o.d"
+  "/root/repo/src/workload/tables.cpp" "src/workload/CMakeFiles/ditto_workload.dir/tables.cpp.o" "gcc" "src/workload/CMakeFiles/ditto_workload.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ditto_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ditto_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ditto_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ditto_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/timemodel/CMakeFiles/ditto_timemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ditto_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

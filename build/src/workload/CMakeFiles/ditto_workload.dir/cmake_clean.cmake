@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditto_workload.dir/engine_queries.cpp.o"
+  "CMakeFiles/ditto_workload.dir/engine_queries.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/jobspec.cpp.o"
+  "CMakeFiles/ditto_workload.dir/jobspec.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/micro.cpp.o"
+  "CMakeFiles/ditto_workload.dir/micro.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/physics.cpp.o"
+  "CMakeFiles/ditto_workload.dir/physics.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/pipelining.cpp.o"
+  "CMakeFiles/ditto_workload.dir/pipelining.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/q95_engine.cpp.o"
+  "CMakeFiles/ditto_workload.dir/q95_engine.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/queries.cpp.o"
+  "CMakeFiles/ditto_workload.dir/queries.cpp.o.d"
+  "CMakeFiles/ditto_workload.dir/tables.cpp.o"
+  "CMakeFiles/ditto_workload.dir/tables.cpp.o.d"
+  "libditto_workload.a"
+  "libditto_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditto_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

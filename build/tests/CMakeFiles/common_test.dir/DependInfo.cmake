@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/logging_test.cpp" "tests/CMakeFiles/common_test.dir/common/logging_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/units_test.cpp" "tests/CMakeFiles/common_test.dir/common/units_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ditto_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/timemodel/CMakeFiles/ditto_timemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ditto_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ditto_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ditto_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/ditto_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ditto_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ditto_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ditto_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec/csv_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/csv_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/engine_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/engine_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/exchange_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/exchange_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/more_operators_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/more_operators_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/operators_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/operators_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/partition_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/partition_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/serde_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/serde_test.cpp.o.d"
+  "CMakeFiles/exec_test.dir/exec/table_test.cpp.o"
+  "CMakeFiles/exec_test.dir/exec/table_test.cpp.o.d"
+  "exec_test"
+  "exec_test.pdb"
+  "exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

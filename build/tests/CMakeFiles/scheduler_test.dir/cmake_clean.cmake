@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_test.dir/scheduler/baselines_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/baselines_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/ditto_scheduler_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/ditto_scheduler_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/dop_ratio_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/dop_ratio_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/evaluation_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/evaluation_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/explain_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/explain_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/grouping_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/grouping_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/joint_edge_cases_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/joint_edge_cases_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/oracle_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/oracle_test.cpp.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/placement_check_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/placement_check_test.cpp.o.d"
+  "scheduler_test"
+  "scheduler_test.pdb"
+  "scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_test.dir/shm/arena_test.cpp.o"
+  "CMakeFiles/shm_test.dir/shm/arena_test.cpp.o.d"
+  "CMakeFiles/shm_test.dir/shm/buffer_test.cpp.o"
+  "CMakeFiles/shm_test.dir/shm/buffer_test.cpp.o.d"
+  "CMakeFiles/shm_test.dir/shm/channel_test.cpp.o"
+  "CMakeFiles/shm_test.dir/shm/channel_test.cpp.o.d"
+  "CMakeFiles/shm_test.dir/shm/descriptor_ring_test.cpp.o"
+  "CMakeFiles/shm_test.dir/shm/descriptor_ring_test.cpp.o.d"
+  "shm_test"
+  "shm_test.pdb"
+  "shm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timemodel_test.dir/timemodel/fitting_test.cpp.o"
+  "CMakeFiles/timemodel_test.dir/timemodel/fitting_test.cpp.o.d"
+  "CMakeFiles/timemodel_test.dir/timemodel/predictor_test.cpp.o"
+  "CMakeFiles/timemodel_test.dir/timemodel/predictor_test.cpp.o.d"
+  "CMakeFiles/timemodel_test.dir/timemodel/profiler_test.cpp.o"
+  "CMakeFiles/timemodel_test.dir/timemodel/profiler_test.cpp.o.d"
+  "CMakeFiles/timemodel_test.dir/timemodel/step_model_test.cpp.o"
+  "CMakeFiles/timemodel_test.dir/timemodel/step_model_test.cpp.o.d"
+  "timemodel_test"
+  "timemodel_test.pdb"
+  "timemodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timemodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload/jobspec_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/jobspec_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/micro_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/micro_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/physics_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/physics_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/pipelining_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/pipelining_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/queries_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/queries_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/tables_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/tables_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/tiered_physics_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/tiered_physics_test.cpp.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

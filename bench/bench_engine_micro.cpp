@@ -3,12 +3,23 @@
 // paper — the latency gap between zero-copy shared-memory exchange and
 // store-mediated remote exchange, which is the asymmetry Ditto's
 // grouping decision exploits.
+//
+// Pass --trace-out FILE to enable the observability layer during the
+// run and dump the collected events as Chrome trace-event JSON. The
+// default (no flag) keeps observability disabled, so the numbers also
+// serve as the "tracing off costs nothing" check.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "exec/datagen.h"
 #include "exec/exchange.h"
 #include "exec/operators.h"
 #include "exec/serde.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shm/channel.h"
 #include "storage/sim_store.h"
 
@@ -109,4 +120,36 @@ BENCHMARK(BM_ShmDescriptorRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --trace-out before google-benchmark sees the argv; it rejects
+  // flags it does not know.
+  std::string trace_out;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty()) ditto::obs::set_observability_enabled(true);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_out.empty()) {
+    ditto::obs::TraceCollector& tc = ditto::obs::TraceCollector::global();
+    const ditto::Status st = tc.write_chrome_json(trace_out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu events written to %s\n", tc.size(), trace_out.c_str());
+    std::fprintf(stderr, "%s", ditto::obs::MetricsRegistry::global().to_text().c_str());
+  }
+  return 0;
+}

@@ -6,12 +6,31 @@
 // Paper result: Ditto wins 1.26-1.69x on (a), 1.5-2.5x on (b),
 // 1.51-1.83x on (c). We reproduce the shape: Ditto wins everywhere and
 // the gap widens as slots get scarcer.
+//
+// Pass --trace-out FILE to additionally export the Ditto Q95 run
+// (Zipf-0.9) as a Chrome trace-event timeline for Perfetto.
+#include <cstring>
+
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/trace_export.h"
 
 using namespace ditto;
 using namespace ditto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fig8_jct [--trace-out FILE]\n");
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) obs::set_observability_enabled(true);
+
   const auto s3 = storage::s3_model();
 
   print_header("Figure 8a: JCT by query (S3, Zipf-0.9, SF=1000)");
@@ -55,6 +74,27 @@ int main() {
         run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec);
     std::printf("%-10s %12.1f %12.1f %9.2fx\n", spec.label().c_str(), d.jct, n.jct,
                 n.jct / d.jct);
+  }
+
+  if (!trace_out.empty()) {
+    const JobDag truth =
+        workload::build_query(workload::QueryId::kQ95, 1000, physics_for(s3));
+    auto cl = cluster::Cluster::paper_testbed(cluster::zipf_0_9());
+    scheduler::DittoScheduler ditto_sched;
+    const auto r = sim::run_experiment(truth, cl, ditto_sched, Objective::kJct, s3);
+    if (!r.ok()) {
+      std::fprintf(stderr, "trace run failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    obs::TraceCollector& tc = obs::TraceCollector::global();
+    sim::export_trace(truth, r->plan.placement, r->sim, tc);
+    const Status st = tc.write_chrome_json(trace_out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %zu events (Ditto Q95, Zipf-0.9) written to %s\n", tc.size(),
+                trace_out.c_str());
   }
   return 0;
 }

@@ -1,21 +1,32 @@
 // dittoctl: schedule a user-provided job spec from the command line.
 //
 //   dittoctl <jobspec-file> [--cluster 8x96@zipf-0.9] [--objective jct|cost]
-//            [--store s3|redis]
+//            [--store s3|redis] [--trace-out FILE] [--report FILE]
+//            [--metrics]
 //
 // Reads the job spec (see workload/jobspec.h for the format), derives
 // ground-truth step models from the annotated data volumes, profiles,
 // schedules with Ditto, simulates the plan, and prints the decision
 // plus predicted/simulated JCT and cost. With no arguments it runs a
 // built-in demo spec.
+//
+// Observability: --trace-out writes the run (scheduler spans + the
+// simulated execution timeline) as Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing; --report writes a per-job execution
+// report (JSON); --metrics prints the metrics snapshot to stderr.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "cluster/runtime_monitor.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "scheduler/ditto_scheduler.h"
 #include "scheduler/explain.h"
 #include "sim/sim_runner.h"
+#include "sim/trace_export.h"
 #include "storage/sim_store.h"
 #include "workload/jobspec.h"
 #include "workload/physics.h"
@@ -38,7 +49,8 @@ edge join agg gather
 int usage() {
   std::fprintf(stderr,
                "usage: dittoctl [jobspec-file] [--cluster NxS[@dist]] "
-               "[--objective jct|cost] [--store s3|redis]\n");
+               "[--objective jct|cost] [--store s3|redis] [--trace-out FILE] "
+               "[--report FILE] [--metrics]\n");
   return 2;
 }
 
@@ -49,10 +61,19 @@ int main(int argc, char** argv) {
   std::string cluster_spec = "8x96@zipf-0.9";
   Objective objective = Objective::kJct;
   storage::StorageModel store = storage::s3_model();
+  std::string trace_out;
+  std::string report_out;
+  bool print_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
       cluster_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
     } else if (std::strcmp(argv[i], "--objective") == 0 && i + 1 < argc) {
       const std::string o = argv[++i];
       if (o == "jct") {
@@ -100,6 +121,9 @@ int main(int argc, char** argv) {
   physics.store = store;
   workload::apply_physics(*dag, physics);
 
+  const bool observe = !trace_out.empty() || !report_out.empty() || print_metrics;
+  if (observe) obs::set_observability_enabled(true);
+
   scheduler::DittoScheduler ditto_sched;
   const auto result =
       sim::run_experiment(*dag, *cl, ditto_sched, objective, store);
@@ -114,5 +138,37 @@ int main(int argc, char** argv) {
   std::printf("%s", scheduler::explain_plan(*dag, result->plan).c_str());
   std::printf("\nsimulated: JCT %.2f s, cost %.2f GB-s\n", result->sim.jct,
               result->sim.cost.total());
+
+  if (!trace_out.empty()) {
+    obs::TraceCollector& tc = obs::TraceCollector::global();
+    sim::export_trace(*dag, result->plan.placement, result->sim, tc);
+    const Status st = tc.write_chrome_json(trace_out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events written to %s (open in Perfetto / chrome://tracing)\n",
+                tc.size(), trace_out.c_str());
+  }
+  if (!report_out.empty()) {
+    cluster::RuntimeMonitor monitor;
+    sim::JobSimulator::export_records(result->sim, monitor);
+    obs::ReportExtras extras;
+    extras.actual_cost = result->sim.cost.total();
+    extras.trace = &obs::TraceCollector::global();
+    extras.metrics = &obs::MetricsRegistry::global();
+    const obs::ExecutionReport report =
+        obs::build_execution_report(*dag, result->plan, objective, monitor, extras);
+    std::ofstream rf(report_out, std::ios::trunc);
+    if (!rf) {
+      std::fprintf(stderr, "cannot open %s for writing\n", report_out.c_str());
+      return 1;
+    }
+    rf << report.to_json();
+    std::printf("report: written to %s\n", report_out.c_str());
+  }
+  if (print_metrics) {
+    std::fprintf(stderr, "%s", obs::MetricsRegistry::global().to_text().c_str());
+  }
   return 0;
 }

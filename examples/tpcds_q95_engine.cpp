@@ -1,9 +1,21 @@
 // Q95 for real: the Ditto scheduler plans the engine-executable Q95
 // and the MiniEngine runs it on generated data — the full stack in one
 // program, from data to plan to zero-copy execution to the answer.
+//
+//   tpcds_q95_engine [--trace-out FILE] [--report]
+//
+// --trace-out enables the observability layer and writes the whole run
+// (scheduler spans, per-task engine spans, exchange/storage counter
+// tracks) as Chrome trace-event JSON for Perfetto. --report prints a
+// per-job execution report for the Ditto run.
 #include <cstdio>
+#include <cstring>
 
+#include "cluster/runtime_monitor.h"
 #include "exec/engine.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "scheduler/baselines.h"
 #include "scheduler/ditto_scheduler.h"
 #include "scheduler/explain.h"
@@ -20,11 +32,12 @@ struct RunStats {
   exec::EngineStats stats;
 };
 
-Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPlan& plan) {
+Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPlan& plan,
+                         cluster::RuntimeMonitor* monitor = nullptr) {
   auto store = storage::make_redis_sim();
   store->set_real_delay_scale(0.01);  // small real delay: latency gap observable
   exec::MiniEngine engine(job.dag, plan, *store);
-  DITTO_ASSIGN_OR_RETURN(exec::EngineResult result, engine.run(job.bindings));
+  DITTO_ASSIGN_OR_RETURN(exec::EngineResult result, engine.run(job.bindings, monitor));
   RunStats out;
   DITTO_ASSIGN_OR_RETURN(out.answer, workload::q95_answer_from_sink(result.sink_outputs.at(8)));
   out.stats = result.stats;
@@ -33,7 +46,20 @@ Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPl
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  bool print_report = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      print_report = true;
+    } else {
+      std::fprintf(stderr, "usage: tpcds_q95_engine [--trace-out FILE] [--report]\n");
+      return 2;
+    }
+  }
+  if (!trace_out.empty() || print_report) obs::set_observability_enabled(true);
   workload::Q95EngineSpec spec;
   spec.sales_rows = 100000;
   spec.num_orders = 15000;
@@ -65,7 +91,9 @@ int main() {
     }
     std::printf("%s", scheduler::explain_plan(model_dag, *plan).c_str());
 
-    const auto run = execute(job, plan->placement);
+    cluster::RuntimeMonitor monitor;
+    const bool observing = !trace_out.empty() || print_report;
+    const auto run = execute(job, plan->placement, observing ? &monitor : nullptr);
     if (!run.ok()) {
       std::fprintf(stderr, "execution failed: %s\n", run.status().to_string().c_str());
       return 1;
@@ -78,6 +106,26 @@ int main() {
                 run->stats.exchange.zero_copy_messages, run->stats.exchange.remote_messages,
                 bytes_to_string(run->stats.exchange.remote_bytes).c_str(),
                 run->stats.wall_seconds * 1e3);
+
+    if (print_report && sched == &ditto_sched) {
+      obs::ReportExtras extras;
+      extras.trace = &obs::TraceCollector::global();
+      extras.metrics = &obs::MetricsRegistry::global();
+      const obs::ExecutionReport report = obs::build_execution_report(
+          model_dag, *plan, Objective::kJct, monitor, extras);
+      std::printf("%s\n", report.to_text().c_str());
+    }
+  }
+
+  if (!trace_out.empty()) {
+    obs::TraceCollector& tc = obs::TraceCollector::global();
+    const Status st = tc.write_chrome_json(trace_out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events written to %s (open in Perfetto / chrome://tracing)\n",
+                tc.size(), trace_out.c_str());
   }
   return 0;
 }

@@ -1,8 +1,32 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 namespace ditto {
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("DITTO_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) level_ = *level;
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -25,13 +49,26 @@ const char* basename_of(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+/// Monotonic seconds since the logger first came up.
+double uptime_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Small dense per-thread id (the OS tid is unwieldy in aligned output).
+int thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 void Logger::log(LogLevel level, const char* file, int line, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
   std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), basename_of(file), line,
-               msg.c_str());
+  std::fprintf(stderr, "[%10.6f T%02d %s %s:%d] %s\n", uptime_seconds(), thread_id(),
+               level_name(level), basename_of(file), line, msg.c_str());
 }
 
 }  // namespace ditto

@@ -2,16 +2,26 @@
 //
 // Ditto is a library first; logging defaults to WARN and writes to stderr
 // so that benchmark stdout stays machine-parsable. Thread-safe.
+//
+// The initial level can be set from the environment: DITTO_LOG_LEVEL=
+// debug|info|warn|error|off (case-insensitive), read once at startup.
+// Each line is prefixed with seconds since process start (monotonic
+// clock) and a small per-thread id, so interleaved output from the
+// engine's thread pools stays attributable.
 #pragma once
 
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 
 namespace ditto {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Parses a level name ("debug", "INFO", ...); nullopt if unrecognized.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 class Logger {
  public:
@@ -23,7 +33,7 @@ class Logger {
   void log(LogLevel level, const char* file, int line, const std::string& msg);
 
  private:
-  Logger() = default;
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
   std::mutex mu_;
 };

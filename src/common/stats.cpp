@@ -49,7 +49,9 @@ double percentile(std::vector<double> values, double p) {
 
 double percentile_sorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // Clamp instead of assert: the assert is compiled out in release
+  // builds and an out-of-range p would index past the end.
+  p = std::clamp(p, 0.0, 100.0);
   if (sorted.size() == 1) return sorted[0];
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);

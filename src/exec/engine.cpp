@@ -5,6 +5,8 @@
 
 #include "common/stopwatch.h"
 #include "dag/dag_algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ditto::exec {
 
@@ -66,6 +68,9 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   for (StageId s : topological_order(*dag_)) {
     const StageBinding& binding = bindings.at(s);
     const int dop = plan_->dop_of(s);
+    obs::ScopedSpan stage_span("engine.stage", dag_->stage(s).name().c_str(), -1,
+                               static_cast<std::int64_t>(s));
+    stage_span.arg("dop", std::to_string(dop));
     std::vector<std::future<void>> futures;
     futures.reserve(dop);
     for (int t = 0; t < dop; ++t) {
@@ -79,6 +84,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
         // Gather inputs from every parent edge.
         std::vector<Table> inputs;
         inputs.reserve(dag_->parents(s).size());
+        Bytes bytes_in = 0;
         for (StageId p : dag_->parents(s)) {
           auto in = exchanges.at({p, s})->recv_all(static_cast<std::size_t>(t));
           if (!in.ok()) {
@@ -87,8 +93,10 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
             failed.store(true);
             return;
           }
+          bytes_in += in.value().byte_size();
           inputs.push_back(std::move(in).value());
         }
+        const double t_gathered = clock.elapsed_seconds();
 
         Result<Table> out = binding.fn(t, dop, inputs);
         if (!out.ok()) {
@@ -97,11 +105,14 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
           failed.store(true);
           return;
         }
+        const double t_computed = clock.elapsed_seconds();
 
         Bytes bytes_out = 0;
+        std::size_t rows_out = out.value().num_rows();
         const auto& children = dag_->children(s);
         if (children.empty()) {
           Table value = std::move(out).value();
+          bytes_out = value.byte_size();
           std::lock_guard<std::mutex> lock(result_mu);
           auto [it, inserted] = result.sink_outputs.try_emplace(s, std::move(value));
           if (!inserted) (void)it->second.concat(value);
@@ -121,6 +132,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
             }
           }
         }
+        const double t_end = clock.elapsed_seconds();
 
         if (monitor != nullptr) {
           cluster::TaskRecord rec;
@@ -128,9 +140,42 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
           rec.task = static_cast<TaskId>(t);
           rec.server = server;
           rec.start = t_start;
-          rec.end = clock.elapsed_seconds();
+          rec.end = t_end;
+          rec.read_time = t_gathered - t_start;
+          rec.compute_time = t_computed - t_gathered;
+          rec.write_time = t_end - t_computed;
+          rec.bytes_read = bytes_in;
           rec.bytes_written = bytes_out;
           monitor->record(rec);
+        }
+
+        obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+        if (mx.enabled()) {
+          mx.counter("engine.tasks_total").add();
+          mx.counter("engine.rows_out").add(rows_out);
+          mx.counter("engine.bytes_out").add(bytes_out);
+          mx.counter("engine.bytes_in").add(bytes_in);
+          mx.histogram("engine.task_seconds", 0.0, 10.0, 50).observe(t_end - t_start);
+        }
+        obs::TraceCollector& tc = obs::TraceCollector::global();
+        if (tc.enabled()) {
+          const std::string& stage_name = dag_->stage(s).name();
+          const std::int64_t pid = server == kNoServer ? -1 : static_cast<std::int64_t>(server);
+          const std::int64_t tid = static_cast<std::int64_t>(s) * 4096 + t;
+          const std::uint64_t now = tc.now_us();
+          const std::uint64_t dur =
+              static_cast<std::uint64_t>((t_end - t_start) * 1e6 + 0.5);
+          obs::TraceArgs args;
+          args.emplace_back("stage", stage_name);
+          args.emplace_back("task", std::to_string(t));
+          args.emplace_back("rows_out", std::to_string(rows_out));
+          args.emplace_back("bytes_in", std::to_string(bytes_in));
+          args.emplace_back("bytes_out", std::to_string(bytes_out));
+          args.emplace_back("gather_s", std::to_string(t_gathered - t_start));
+          args.emplace_back("compute_s", std::to_string(t_computed - t_gathered));
+          args.emplace_back("emit_s", std::to_string(t_end - t_computed));
+          tc.span("engine.task", stage_name + "/" + std::to_string(t),
+                  now > dur ? now - dur : 0, dur, pid, tid, std::move(args));
         }
       }));
     }

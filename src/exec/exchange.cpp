@@ -1,5 +1,8 @@
 #include "exec/exchange.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ditto::exec {
 
 Status LocalTableChannel::send(std::shared_ptr<const Table> table) {
@@ -85,13 +88,31 @@ Exchange::Exchange(ExchangeKind kind, std::string partition_key,
 
 Status Exchange::route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t) {
   TableChannel& ch = channel(i, j);
+  const Bytes payload = t->byte_size();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (ch.is_zero_copy()) {
       ++stats_.zero_copy_messages;
     } else {
       ++stats_.remote_messages;
-      stats_.remote_bytes += t->byte_size();
+      stats_.remote_bytes += payload;
+    }
+  }
+  // Global data-movement telemetry: counters prove how much of the
+  // job's traffic stayed zero-copy, and the trace gains a cumulative
+  // counter track per path (the engine-mode analogue of the sim's).
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    const char* path = ch.is_zero_copy() ? "zero_copy" : "remote";
+    const std::uint64_t msgs =
+        mx.counter("exchange.messages", {{"path", path}}).add();
+    const std::uint64_t bytes =
+        mx.counter("exchange.bytes", {{"path", path}}).add(payload);
+    (void)msgs;
+    obs::TraceCollector& tc = obs::TraceCollector::global();
+    if (tc.enabled()) {
+      tc.counter("exchange", ch.is_zero_copy() ? "zero_copy_bytes" : "remote_bytes",
+                 tc.now_us(), static_cast<double>(bytes), -1);
     }
   }
   return ch.send(std::move(t));

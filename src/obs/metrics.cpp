@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace ditto::obs {
+
+void HistogramMetric::observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.add(x);
+  stats_.add(x);
+}
+
+RunningStats HistogramMetric::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Histogram HistogramMetric::histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+std::size_t HistogramMetric::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+void HistogramMetric::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_ = Histogram(lo_, hi_, buckets_);
+  stats_.reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsRegistry::canonical_key(const std::string& name,
+                                           const MetricLabels& labels,
+                                           std::string* labels_out) {
+  if (labels.empty()) {
+    if (labels_out) labels_out->clear();
+    return name;
+  }
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string rendered = "{";
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) rendered += ",";
+    first = false;
+    rendered += k + "=" + v;
+  }
+  rendered += "}";
+  if (labels_out) *labels_out = rendered;
+  return name + rendered;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const MetricLabels& labels) {
+  std::string rendered;
+  const std::string key = canonical_key(name, labels, &rendered);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  if (!e.counter) {
+    e.name = name;
+    e.labels = rendered;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const MetricLabels& labels) {
+  std::string rendered;
+  const std::string key = canonical_key(name, labels, &rendered);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  if (!e.gauge) {
+    e.name = name;
+    e.labels = rendered;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                            std::size_t buckets, const MetricLabels& labels) {
+  std::string rendered;
+  const std::string key = canonical_key(name, labels, &rendered);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  if (!e.histogram) {
+    e.name = name;
+    e.labels = rendered;
+    e.histogram = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  }
+  return *e.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    if (e.counter) {
+      s.kind = MetricSample::Kind::kCounter;
+      s.value = static_cast<double>(e.counter->value());
+    } else if (e.gauge) {
+      s.kind = MetricSample::Kind::kGauge;
+      s.value = e.gauge->value();
+    } else if (e.histogram) {
+      s.kind = MetricSample::Kind::kHistogram;
+      s.distribution = e.histogram->stats();
+      s.value = static_cast<double>(s.distribution.count());
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::ostringstream os;
+  for (const MetricSample& s : snapshot()) {
+    const std::string id = s.name + s.labels;
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        os << id << " " << json_number(s.value) << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << id << "_count " << s.distribution.count() << "\n"
+           << id << "_sum " << json_number(s.distribution.sum()) << "\n"
+           << id << "_mean " << json_number(s.distribution.mean()) << "\n"
+           << id << "_min " << json_number(s.distribution.min()) << "\n"
+           << id << "_max " << json_number(s.distribution.max()) << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : snapshot()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"labels\":\"" << json_escape(s.labels)
+       << "\",";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << json_number(s.value);
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << json_number(s.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << "\"type\":\"histogram\",\"count\":" << s.distribution.count()
+           << ",\"sum\":" << json_number(s.distribution.sum())
+           << ",\"mean\":" << json_number(s.distribution.mean())
+           << ",\"min\":" << json_number(s.distribution.min())
+           << ",\"max\":" << json_number(s.distribution.max());
+        break;
+    }
+    os << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void set_observability_enabled(bool on) {
+  TraceCollector::global().set_enabled(on);
+  MetricsRegistry::global().set_enabled(on);
+}
+
+}  // namespace ditto::obs

@@ -1,0 +1,146 @@
+// MetricsRegistry: named counters, gauges, and histograms with labels.
+//
+// Complements the TraceCollector: where traces answer "what happened
+// when", metrics answer "how much, in aggregate". Instrumented layers
+// register metrics lazily by name + label set; snapshots render as
+// prometheus-style text or as JSON. Histograms reuse the fixed-bucket
+// Histogram and Welford RunningStats from common/stats.h.
+//
+// Instances handed out by the registry are never invalidated: reset()
+// zeroes values in place, so call sites may cache references. All
+// operations are thread-safe; counter/gauge updates are single atomic
+// ops. Like tracing, collection is OFF by default and every guarded
+// call site pays one relaxed atomic load when disabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ditto::obs {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count. add() returns the post-add value so
+/// callers can sample it into a trace counter track without a re-read.
+class Counter {
+ public:
+  std::uint64_t add(std::uint64_t n = 1) {
+    return v_.fetch_add(n, std::memory_order_relaxed) + n;
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value, with add() for level tracking
+/// (e.g. in-flight request concurrency).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+    return cur + d;
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Value distribution: fixed buckets plus streaming mean/min/max.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), buckets_(buckets), histogram_(lo, hi, buckets) {}
+
+  void observe(double x);
+  RunningStats stats() const;
+  Histogram histogram() const;
+  std::size_t count() const;
+  void reset();
+
+ private:
+  const double lo_;
+  const double hi_;
+  const std::size_t buckets_;
+  mutable std::mutex mu_;
+  Histogram histogram_;
+  RunningStats stats_;
+};
+
+/// One registered metric as rendered into a snapshot.
+struct MetricSample {
+  std::string name;
+  std::string labels;  ///< canonical "{k=v,...}" or "" when unlabeled
+  enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  double value = 0.0;        ///< counter/gauge value; histogram count
+  RunningStats distribution; ///< histogram only
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// Process-wide default registry used by built-in instrumentation.
+  static MetricsRegistry& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Lookup-or-create. The same (name, labels) pair always returns the
+  /// same instance; label order does not matter. Returned references
+  /// stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const MetricLabels& labels = {});
+  Gauge& gauge(const std::string& name, const MetricLabels& labels = {});
+  /// Bucket geometry is fixed on first registration; later calls with
+  /// the same key ignore the geometry arguments.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets, const MetricLabels& labels = {});
+
+  /// Point-in-time view of every registered metric, sorted by key.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Prometheus-style lines: `name{labels} value` (histograms add
+  /// _count/_sum/_min/_max/_mean series).
+  std::string to_text() const;
+  std::string to_json() const;
+
+  /// Zeroes every metric in place; registrations (and references held
+  /// by call sites) survive.
+  void reset();
+
+  std::size_t size() const;
+
+ private:
+  static std::string canonical_key(const std::string& name, const MetricLabels& labels,
+                                   std::string* labels_out);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Convenience: flip tracing + metrics on or off together.
+void set_observability_enabled(bool on);
+
+}  // namespace ditto::obs

@@ -1,0 +1,135 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/units.h"
+#include "obs/json.h"
+#include "scheduler/explain.h"
+
+namespace ditto::obs {
+
+ExecutionReport build_execution_report(const JobDag& dag, const scheduler::SchedulePlan& plan,
+                                       Objective objective,
+                                       const cluster::RuntimeMonitor& monitor,
+                                       const ReportExtras& extras) {
+  ExecutionReport report;
+  report.job = dag.name();
+  report.scheduler = plan.scheduler_name;
+  report.objective = objective_name(objective);
+  report.scheduling_seconds = plan.scheduling_seconds;
+  report.predicted_jct = plan.predicted.jct;
+  report.predicted_cost = plan.predicted.cost.total();
+  report.actual_jct = monitor.job_end();
+  report.actual_cost = extras.actual_cost;
+  report.total_slots_used = plan.placement.total_slots_used();
+  report.zero_copy_edges = plan.placement.zero_copy_edges.size();
+  report.remote_edges = dag.edges().size() - report.zero_copy_edges;
+  report.plan_text = scheduler::explain_plan(dag, plan);
+
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    StageReportRow row;
+    row.stage = s;
+    row.name = dag.stage(s).name();
+    row.op = dag.stage(s).op();
+    row.dop = plan.placement.dop_of(s);
+    if (s < plan.placement.launch_time.size()) {
+      row.launch_time = plan.placement.launch_time[s];
+    }
+    const cluster::StageSummary sum = monitor.stage_summary(s);
+    row.tasks_observed = sum.tasks;
+    row.start = sum.stage_start;
+    row.end = sum.stage_end;
+    row.mean_task_time = sum.mean_task_time;
+    row.max_task_time = sum.max_task_time;
+    row.straggler_scale = sum.straggler_scale();
+    row.bytes_read = sum.bytes_read;
+    row.bytes_written = sum.bytes_written;
+    report.stages.push_back(std::move(row));
+  }
+
+  if (extras.trace) report.trace_events = extras.trace->size();
+  if (extras.metrics) report.metrics_text = extras.metrics->to_text();
+  return report;
+}
+
+std::string ExecutionReport::to_text() const {
+  std::ostringstream os;
+  char buf[256];
+  os << "=== execution report: " << job << " ===\n";
+  os << "scheduler: " << scheduler << " (objective " << objective << ", "
+     << seconds_to_string(scheduling_seconds) << " to schedule)\n";
+  std::snprintf(buf, sizeof(buf), "JCT: predicted %s, actual %s (%+.1f%%)\n",
+                seconds_to_string(predicted_jct).c_str(),
+                seconds_to_string(actual_jct).c_str(), jct_prediction_error() * 100.0);
+  os << buf;
+  if (actual_cost >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "cost: predicted %.2f GB-s, actual %.2f GB-s\n",
+                  predicted_cost, actual_cost);
+  } else {
+    std::snprintf(buf, sizeof(buf), "cost: predicted %.2f GB-s\n", predicted_cost);
+  }
+  os << buf;
+  os << "slots used: " << total_slots_used << ", zero-copy edges: " << zero_copy_edges
+     << ", remote edges: " << remote_edges << "\n";
+
+  os << "\nper-stage runtime (observed):\n";
+  std::snprintf(buf, sizeof(buf), "  %-16s %5s %6s %10s %10s %10s %7s %12s %12s\n", "stage",
+                "dop", "tasks", "start", "end", "mean", "strag", "read", "written");
+  os << buf;
+  for (const StageReportRow& r : stages) {
+    std::snprintf(buf, sizeof(buf), "  %-16s %5d %6zu %10s %10s %10s %6.2fx %12s %12s\n",
+                  r.name.c_str(), r.dop, r.tasks_observed,
+                  seconds_to_string(r.start).c_str(), seconds_to_string(r.end).c_str(),
+                  seconds_to_string(r.mean_task_time).c_str(), r.straggler_scale,
+                  bytes_to_string(r.bytes_read).c_str(),
+                  bytes_to_string(r.bytes_written).c_str());
+    os << buf;
+  }
+
+  if (trace_events > 0) os << "\ntrace: " << trace_events << " events collected\n";
+  if (!metrics_text.empty()) os << "\nmetrics snapshot:\n" << metrics_text;
+  os << "\nplan:\n" << plan_text;
+  return os.str();
+}
+
+std::string ExecutionReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"job\":\"" << json_escape(job) << "\"";
+  os << ",\"scheduler\":\"" << json_escape(scheduler) << "\"";
+  os << ",\"objective\":\"" << json_escape(objective) << "\"";
+  os << ",\"scheduling_seconds\":" << json_number(scheduling_seconds);
+  os << ",\"predicted_jct\":" << json_number(predicted_jct);
+  os << ",\"actual_jct\":" << json_number(actual_jct);
+  os << ",\"predicted_cost\":" << json_number(predicted_cost);
+  if (actual_cost >= 0.0) os << ",\"actual_cost\":" << json_number(actual_cost);
+  os << ",\"total_slots_used\":" << total_slots_used;
+  os << ",\"zero_copy_edges\":" << zero_copy_edges;
+  os << ",\"remote_edges\":" << remote_edges;
+  os << ",\"trace_events\":" << trace_events;
+  os << ",\"stages\":[";
+  bool first = true;
+  for (const StageReportRow& r : stages) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"stage\":" << r.stage << ",\"name\":\"" << json_escape(r.name) << "\""
+       << ",\"op\":\"" << json_escape(r.op) << "\""
+       << ",\"dop\":" << r.dop << ",\"launch_time\":" << json_number(r.launch_time)
+       << ",\"tasks_observed\":" << r.tasks_observed
+       << ",\"start\":" << json_number(r.start) << ",\"end\":" << json_number(r.end)
+       << ",\"mean_task_time\":" << json_number(r.mean_task_time)
+       << ",\"max_task_time\":" << json_number(r.max_task_time)
+       << ",\"straggler_scale\":" << json_number(r.straggler_scale)
+       << ",\"bytes_read\":" << r.bytes_read << ",\"bytes_written\":" << r.bytes_written
+       << "}";
+  }
+  os << "]";
+  os << ",\"plan_text\":\"" << json_escape(plan_text) << "\"";
+  if (!metrics_text.empty()) {
+    os << ",\"metrics_text\":\"" << json_escape(metrics_text) << "\"";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ditto::obs

@@ -1,0 +1,78 @@
+// ExecutionReport: one per-job artifact joining the three views of a
+// run that the repo previously kept separate —
+//   * the plan     (what the scheduler decided: explain_plan, DoPs,
+//                   zero-copy groups, predicted JCT/cost),
+//   * the runtime  (what actually happened: RuntimeMonitor task
+//                   records aggregated per stage),
+//   * the telemetry (trace event count, metrics snapshot).
+// Renders as human-readable text or as JSON (parsable back with
+// obs::parse_json; the integration tests do exactly that).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/runtime_monitor.h"
+#include "dag/job_dag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scheduler/scheduler.h"
+
+namespace ditto::obs {
+
+/// Per-stage join of plan and runtime data.
+struct StageReportRow {
+  StageId stage = kNoStage;
+  std::string name;
+  std::string op;
+  int dop = 0;
+  double launch_time = 0.0;      ///< planned launch offset (s)
+  std::size_t tasks_observed = 0;
+  Seconds start = 0.0;           ///< earliest observed task start
+  Seconds end = 0.0;             ///< latest observed task end
+  Seconds mean_task_time = 0.0;
+  Seconds max_task_time = 0.0;
+  double straggler_scale = 1.0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+};
+
+struct ExecutionReport {
+  std::string job;
+  std::string scheduler;
+  std::string objective;
+  double scheduling_seconds = 0.0;
+  double predicted_jct = 0.0;
+  double actual_jct = 0.0;
+  double predicted_cost = 0.0;
+  double actual_cost = -1.0;  ///< < 0 = not measured (engine mode)
+  int total_slots_used = 0;
+  std::size_t zero_copy_edges = 0;
+  std::size_t remote_edges = 0;
+  std::vector<StageReportRow> stages;
+  std::string plan_text;      ///< explain_plan rendering
+  std::size_t trace_events = 0;
+  std::string metrics_text;   ///< MetricsRegistry::to_text snapshot
+
+  /// predicted/actual ratio; 0 when actual unknown.
+  double jct_prediction_error() const {
+    return actual_jct > 0.0 ? (predicted_jct - actual_jct) / actual_jct : 0.0;
+  }
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Optional joins beyond plan + monitor.
+struct ReportExtras {
+  double actual_cost = -1.0;                ///< simulated cost when known
+  const TraceCollector* trace = nullptr;    ///< event count provenance
+  const MetricsRegistry* metrics = nullptr; ///< snapshot to embed
+};
+
+ExecutionReport build_execution_report(const JobDag& dag, const scheduler::SchedulePlan& plan,
+                                       Objective objective,
+                                       const cluster::RuntimeMonitor& monitor,
+                                       const ReportExtras& extras = {});
+
+}  // namespace ditto::obs

@@ -8,6 +8,8 @@
 #include <numeric>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ditto::scheduler {
 
@@ -208,6 +210,9 @@ Result<SchedulePlan> DittoScheduler::schedule(const JobDag& dag,
                                               Objective objective,
                                               const storage::StorageModel& external) {
   Stopwatch clock;
+  obs::ScopedSpan sched_span("scheduler", "schedule");
+  sched_span.arg("job", dag.name());
+  sched_span.arg("objective", objective_name(objective));
   DITTO_RETURN_IF_ERROR(dag.validate());
 
   const std::vector<int> free_slots = cluster.free_slot_snapshot();
@@ -246,6 +251,36 @@ Result<SchedulePlan> DittoScheduler::schedule(const JobDag& dag,
   plan.predicted = evaluate_plan(dag, predictor, plan.placement, external);
   plan.scheduling_seconds = clock.elapsed_seconds();
   plan.scheduler_name = name();
+
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    const obs::MetricLabels labels{{"scheduler", name()}};
+    mx.counter("scheduler.plans_total", labels).add();
+    mx.histogram("scheduler.scheduling_seconds", 0.0, 1.0, 50, labels)
+        .observe(plan.scheduling_seconds);
+    mx.gauge("scheduler.predicted_jct", labels).set(plan.predicted.jct);
+    mx.gauge("scheduler.predicted_cost", labels).set(plan.predicted.cost.total());
+    mx.gauge("scheduler.slots_used", labels).set(plan.placement.total_slots_used());
+    mx.counter("scheduler.zero_copy_edges", labels)
+        .add(plan.placement.zero_copy_edges.size());
+  }
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    std::string dops;
+    for (StageId s = 0; s < dag.num_stages(); ++s) {
+      if (s) dops += ",";
+      dops += std::to_string(plan.placement.dop_of(s));
+    }
+    obs::TraceArgs args;
+    args.emplace_back("scheduler", name());
+    args.emplace_back("predicted_jct", std::to_string(plan.predicted.jct));
+    args.emplace_back("predicted_cost", std::to_string(plan.predicted.cost.total()));
+    args.emplace_back("candidates", std::to_string(candidates.size()));
+    args.emplace_back("zero_copy_edges",
+                      std::to_string(plan.placement.zero_copy_edges.size()));
+    args.emplace_back("dops", std::move(dops));
+    tc.instant("scheduler", "plan-chosen", tc.now_us(), 0, 0, std::move(args));
+  }
   return plan;
 }
 

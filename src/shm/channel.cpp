@@ -1,12 +1,27 @@
 #include "shm/channel.h"
 
+#include "obs/metrics.h"
+
 namespace ditto::shm {
+
+namespace {
+/// Channel-level counters in the global registry, labeled by channel
+/// kind so shm and remote traffic stay separable in one snapshot.
+void count_message(const char* kind, Bytes payload) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (!mx.enabled()) return;
+  const obs::MetricLabels labels{{"kind", kind}};
+  mx.counter("shm.channel_messages", labels).add();
+  mx.counter("shm.channel_bytes", labels).add(payload);
+}
+}  // namespace
 
 Status SharedMemoryChannel::send(Buffer buf) {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return Status::failed_precondition("send on closed channel");
   ++stats_.messages;
   stats_.payload_bytes += buf.size();
+  count_message(kind(), buf.size());
   // Zero-copy: the handle moves, the payload stays put.
   queue_.push_back(std::move(buf));
   cv_.notify_one();
@@ -44,6 +59,7 @@ Status RemoteChannel::send(Buffer buf) {
     ++stats_.payload_copies;  // serialize into the store
     stats_.modeled_time += store_->put_time(buf.size());
   }
+  count_message(kind(), buf.size());
   DITTO_RETURN_IF_ERROR(store_->put(prefix_ + "/" + std::to_string(seq), buf.view()));
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,113 @@
+#include "sim/trace_export.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace ditto::sim {
+
+namespace {
+
+std::uint64_t to_us(Seconds s) {
+  return s > 0.0 ? static_cast<std::uint64_t>(s * 1e6 + 0.5) : 0;
+}
+
+/// Unique viewer track per (stage, task): simulated tasks of different
+/// stages can overlap in time on one server, which would render as
+/// malformed nesting if they shared a tid.
+std::int64_t task_tid(StageId stage, TaskId task) {
+  return static_cast<std::int64_t>(stage) * 4096 + static_cast<std::int64_t>(task);
+}
+
+constexpr std::int64_t kJobPid = -1;
+
+}  // namespace
+
+void export_trace(const JobDag& dag, const cluster::PlacementPlan& plan,
+                  const SimResult& result, obs::TraceCollector& collector,
+                  const TraceExportOptions& options) {
+  if (!collector.enabled()) return;
+  const std::uint64_t off = options.time_offset_us;
+
+  collector.process_name(kJobPid, "job " + dag.name());
+  std::set<ServerId> servers;
+  for (const TaskTrace& t : result.tasks) {
+    if (t.server != kNoServer) servers.insert(t.server);
+  }
+  for (ServerId v : servers) {
+    collector.process_name(static_cast<std::int64_t>(v), "server " + std::to_string(v));
+  }
+
+  // Stage spans on the job track.
+  for (const StageTrace& st : result.stages) {
+    obs::TraceArgs args;
+    args.emplace_back("dop", std::to_string(st.dop));
+    args.emplace_back("straggler_scale", std::to_string(st.straggler_scale));
+    collector.span("sim.stage", dag.stage(st.stage).name(), off + to_us(st.start),
+                   to_us(st.end - st.start), kJobPid,
+                   static_cast<std::int64_t>(st.stage), std::move(args));
+  }
+
+  // Task spans on the owning server's track.
+  for (const TaskTrace& t : result.tasks) {
+    const std::int64_t pid = t.server == kNoServer ? kJobPid : static_cast<std::int64_t>(t.server);
+    const std::int64_t tid = task_tid(t.stage, t.task);
+    const std::string& stage_name = dag.stage(t.stage).name();
+    obs::TraceArgs args;
+    args.emplace_back("stage", stage_name);
+    args.emplace_back("task", std::to_string(t.task));
+    if (t.retried) args.emplace_back("retried", "true");
+    collector.span("sim.task", stage_name + "/" + std::to_string(t.task), off + to_us(t.start),
+                   to_us(t.duration()), pid, tid, std::move(args));
+    if (options.task_phases) {
+      Seconds cursor = t.start;
+      const std::pair<const char*, Seconds> phases[] = {
+          {"setup", t.setup}, {"read", t.read}, {"compute", t.compute}, {"write", t.write}};
+      for (const auto& [name, dur] : phases) {
+        if (dur > 0.0) {
+          collector.span("sim.phase", name, off + to_us(cursor), to_us(dur), pid, tid);
+        }
+        cursor += dur;
+      }
+    }
+  }
+
+  // Cumulative data-movement counters: each task's output volume goes
+  // to shared memory for co-located consumer edges, to the external
+  // store otherwise (the simulator's counterpart of ExchangeStats).
+  struct Sample {
+    std::uint64_t ts;
+    double shm = 0.0;
+    double remote = 0.0;
+  };
+  std::vector<Sample> samples;
+  for (const TaskTrace& t : result.tasks) {
+    const Stage& stage = dag.stage(t.stage);
+    const int dop = std::max(plan.dop_of(t.stage), 1);
+    const double out = static_cast<double>(stage.output_bytes()) / dop;
+    Sample s;
+    s.ts = off + to_us(t.end());
+    for (StageId child : dag.children(t.stage)) {
+      if (plan.edge_colocated(t.stage, child)) {
+        s.shm += out;
+      } else {
+        s.remote += out;
+      }
+    }
+    samples.push_back(s);
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.ts < b.ts; });
+  double shm_total = 0.0;
+  double remote_total = 0.0;
+  collector.counter("exchange", "zero_copy_bytes", off, 0.0, kJobPid);
+  collector.counter("exchange", "remote_bytes", off, 0.0, kJobPid);
+  for (const Sample& s : samples) {
+    shm_total += s.shm;
+    remote_total += s.remote;
+    collector.counter("exchange", "zero_copy_bytes", s.ts, shm_total, kJobPid);
+    collector.counter("exchange", "remote_bytes", s.ts, remote_total, kJobPid);
+  }
+}
+
+}  // namespace ditto::sim

@@ -1,0 +1,28 @@
+// Export a simulated execution as trace events, so the same run that
+// render_gantt prints as ASCII opens in Perfetto / chrome://tracing:
+// one track per server with a span per task (optionally nested
+// setup/read/compute/write phase spans), stage-level spans on a job
+// track, and cumulative counter tracks separating bytes moved through
+// zero-copy shared memory from bytes serialized through the external
+// store.
+#pragma once
+
+#include "cluster/placement.h"
+#include "dag/job_dag.h"
+#include "obs/trace.h"
+#include "sim/job_simulator.h"
+
+namespace ditto::sim {
+
+struct TraceExportOptions {
+  bool task_phases = true;          ///< nested setup/read/compute/write spans
+  std::uint64_t time_offset_us = 0; ///< shift the simulated timeline
+};
+
+/// Emits `result` into `collector` (which must be enabled to record).
+/// Simulated seconds map to trace microseconds starting at the offset.
+void export_trace(const JobDag& dag, const cluster::PlacementPlan& plan,
+                  const SimResult& result, obs::TraceCollector& collector,
+                  const TraceExportOptions& options = {});
+
+}  // namespace ditto::sim

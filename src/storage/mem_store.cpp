@@ -3,7 +3,59 @@
 #include <chrono>
 #include <thread>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ditto::storage {
+
+namespace {
+
+/// Per-backend request accounting: count, bytes, real latency, and an
+/// in-flight gauge approximating request concurrency. The cumulative
+/// byte counters also feed a trace counter track per store kind.
+class RequestScope {
+ public:
+  RequestScope(const char* kind, const char* op)
+      : mx_(obs::MetricsRegistry::global()), enabled_(mx_.enabled()), kind_(kind), op_(op) {
+    if (!enabled_) return;
+    mx_.gauge("storage.inflight_requests", {{"kind", kind_}}).add(1.0);
+  }
+
+  ~RequestScope() {
+    if (!enabled_) return;
+    const obs::MetricLabels labels{{"kind", kind_}, {"op", op_}};
+    mx_.counter("storage.requests", labels).add();
+    mx_.histogram("storage.request_seconds", 0.0, 0.1, 50, labels)
+        .observe(clock_.elapsed_seconds());
+    mx_.gauge("storage.inflight_requests", {{"kind", kind_}}).add(-1.0);
+    if (bytes_ > 0) {
+      const std::uint64_t total =
+          mx_.counter("storage.bytes", labels).add(bytes_);
+      obs::TraceCollector& tc = obs::TraceCollector::global();
+      if (tc.enabled()) {
+        tc.counter("storage", std::string(kind_) + "." + op_ + "_bytes", tc.now_us(),
+                   static_cast<double>(total), -1);
+      }
+    }
+    if (miss_) mx_.counter("storage.misses", {{"kind", kind_}}).add();
+  }
+
+  void set_bytes(Bytes n) { bytes_ = n; }
+  void set_miss() { miss_ = true; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  obs::MetricsRegistry& mx_;
+  const bool enabled_;
+  const char* kind_;
+  const char* op_;
+  Stopwatch clock_;
+  Bytes bytes_ = 0;
+  bool miss_ = false;
+};
+
+}  // namespace
 
 void MemStore::maybe_sleep(Bytes n) const {
   if (delay_scale_ <= 0.0) return;
@@ -14,6 +66,8 @@ void MemStore::maybe_sleep(Bytes n) const {
 }
 
 Status MemStore::put(const std::string& key, std::string_view value) {
+  RequestScope scope(kind(), "put");
+  scope.set_bytes(value.size());
   maybe_sleep(value.size());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
@@ -41,6 +95,7 @@ Status MemStore::put(const std::string& key, std::string_view value) {
 }
 
 Result<std::string> MemStore::get(const std::string& key) const {
+  RequestScope scope(kind(), "get");
   std::string out;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -48,11 +103,13 @@ Result<std::string> MemStore::get(const std::string& key) const {
     ++stats_.gets;
     if (it == data_.end()) {
       ++stats_.misses;
+      scope.set_miss();
       return Status::not_found("key not found: " + key);
     }
     out = it->second;
     stats_.bytes_read += out.size();
   }
+  scope.set_bytes(out.size());
   maybe_sleep(out.size());
   return out;
 }

@@ -30,6 +30,18 @@ TEST(LoggingTest, SingletonIdentity) {
   EXPECT_EQ(&Logger::instance(), &Logger::instance());
 }
 
+TEST(LoggingTest, ParsesLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   // Busy-wait a tiny amount.

@@ -75,6 +75,27 @@ TEST(PercentileTest, EmptyAndSingle) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
 }
 
+TEST(PercentileTest, SortedEmptyAndSingle) {
+  // The sorted variant is the one call sites reach with raw monitor
+  // data; empty and single-element inputs must be total.
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile_sorted(empty, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(empty, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(empty, 100.0), 0.0);
+  const std::vector<double> single = {4.5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(single, 0.0), 4.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(single, 50.0), 4.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(single, 100.0), 4.5);
+}
+
+TEST(PercentileTest, OutOfRangePClampsToBounds) {
+  // Release builds compile the assert away; p outside [0,100] must
+  // clamp, not read out of bounds.
+  const std::vector<double> v = {1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 150.0), 9.0);
+}
+
 TEST(HistogramTest, BucketsAndOverflow) {
   Histogram h(0.0, 10.0, 5);
   h.add(-1.0);

@@ -51,6 +51,30 @@ TEST(GanttTest, SolidBarsWithoutPhases) {
   EXPECT_NE(g.find('#'), std::string::npos);
 }
 
+TEST(GanttTest, EveryStageLineHasABarAndLabel) {
+  // Invariants a reader depends on: each stage renders exactly one line
+  // with its label before the '|' margin and a non-empty bar after it,
+  // and the final line is the time axis ending at the JCT.
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  const JobDag dag = workload::build_query(workload::QueryId::kQ95, 1000, p);
+  const SimResult r = q95_run(dag);
+  const std::string g = render_gantt(dag, r);
+  std::vector<std::string> lines;
+  std::istringstream is(g);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), dag.num_stages() + 1);
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    const std::string& l = lines[s];
+    const std::size_t bar = l.find('|');
+    ASSERT_NE(bar, std::string::npos) << l;
+    EXPECT_NE(l.substr(0, bar).find(dag.stage(s).name()), std::string::npos) << l;
+    EXPECT_NE(l.find_first_not_of(' ', bar + 1), std::string::npos)
+        << "stage " << s << " has an empty bar";
+  }
+}
+
 TEST(GanttTest, DownstreamStagesStartAfterUpstream) {
   // The final stage's bar must start past the first stage's start: scan
   // for the bar offsets indirectly via column of first non-space char.

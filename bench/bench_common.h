@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "scheduler/baselines.h"
 #include "scheduler/ditto_scheduler.h"
 #include "sim/sim_runner.h"
@@ -35,17 +36,23 @@ struct RunOutcome {
   double model_build_seconds = 0.0;
 };
 
-/// Full pipeline, averaged over `seeds` simulator seeds.
+/// Full pipeline, averaged over `seeds` simulator seeds. When `faults`
+/// is non-null the simulated runs replay that fault spec (with
+/// speculation armed), so benches can measure JCT under chaos.
 inline RunOutcome run_query(workload::QueryId q, int scale_factor,
                             const storage::StorageModel& store, scheduler::Scheduler& sched,
                             Objective objective, const cluster::SlotDistributionSpec& spec,
-                            int seeds = 3) {
+                            int seeds = 3, const faults::FaultSpec* faults = nullptr) {
   const JobDag truth = workload::build_query(q, scale_factor, physics_for(store));
   auto cl = cluster::Cluster::paper_testbed(spec);
   RunOutcome out;
   for (int i = 0; i < seeds; ++i) {
     sim::SimOptions opts;
     opts.seed = 1 + static_cast<std::uint64_t>(i);
+    if (faults != nullptr) {
+      opts.faults = *faults;
+      opts.resilience.speculation_factor = 2.0;
+    }
     const auto r = sim::run_experiment(truth, cl, sched, objective, store, opts);
     if (!r.ok()) {
       std::fprintf(stderr, "run_query failed: %s\n", r.status().to_string().c_str());

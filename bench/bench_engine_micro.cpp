@@ -8,6 +8,11 @@
 // run and dump the collected events as Chrome trace-event JSON. The
 // default (no flag) keeps observability disabled, so the numbers also
 // serve as the "tracing off costs nothing" check.
+//
+// Pass --faults SPEC (grammar in faults/fault_injector.h) to run the
+// flaky-exchange benchmark under injected storage faults; without the
+// flag it measures the pure decorator + retry-wiring overhead, which
+// is the "faults off costs nothing" check.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -18,6 +23,9 @@
 #include "exec/exchange.h"
 #include "exec/operators.h"
 #include "exec/serde.h"
+#include "faults/fault_injector.h"
+#include "faults/flaky_store.h"
+#include "faults/retry_policy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shm/channel.h"
@@ -107,6 +115,31 @@ void BM_ExchangeRemoteSerialized(benchmark::State& state) {
 }
 BENCHMARK(BM_ExchangeRemoteSerialized)->Arg(1000)->Arg(100000);
 
+faults::FaultSpec g_fault_spec;  // set by --faults; defaults inject nothing
+
+/// The remote path behind a FlakyStore + retrying channel. With no
+/// --faults this measures the resilience wiring's overhead (should be
+/// indistinguishable from BM_ExchangeRemoteSerialized); with --faults
+/// it measures the cost of absorbing the injected error rate.
+void BM_ExchangeRemoteFlaky(benchmark::State& state) {
+  auto table = std::make_shared<const Table>(fact(static_cast<std::size_t>(state.range(0))));
+  auto store = storage::make_instant_store();
+  faults::FaultInjector injector(g_fault_spec);
+  faults::FlakyStore flaky(*store, injector);
+  faults::RetryPolicy retry;  // defaults: 3 attempts, capped backoff
+  std::size_t i = 0;
+  for (auto _ : state) {
+    RemoteTableChannel ch(flaky, "bench" + std::to_string(i++), &retry);
+    (void)ch.send(table);
+    auto out = ch.recv();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * table->byte_size()));
+  state.counters["injected_errors"] =
+      static_cast<double>(injector.counts().storage_errors);
+}
+BENCHMARK(BM_ExchangeRemoteFlaky)->Arg(1000)->Arg(100000);
+
 void BM_ShmDescriptorRoundTrip(benchmark::State& state) {
   shm::SharedMemoryChannel ch;
   shm::Buffer payload = shm::Buffer::from_bytes(std::string(4096, 'x'));
@@ -129,6 +162,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      auto parsed = ditto::faults::parse_fault_spec(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "fault spec error: %s\n", parsed.status().to_string().c_str());
+        return 2;
+      }
+      g_fault_spec = std::move(parsed).value();
     } else {
       passthrough.push_back(argv[i]);
     }

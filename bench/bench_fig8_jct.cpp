@@ -9,6 +9,12 @@
 //
 // Pass --trace-out FILE to additionally export the Ditto Q95 run
 // (Zipf-0.9) as a Chrome trace-event timeline for Perfetto.
+//
+// Pass --faults SPEC (grammar in faults/fault_injector.h) to replay the
+// whole figure under injected chaos: both schedulers absorb the same
+// seeded fault sequence, so the comparison stays apples-to-apples while
+// showing how the JCT gap behaves when tasks crash, hang, or lose
+// storage ops.
 #include <cstring>
 
 #include "bench_common.h"
@@ -21,15 +27,30 @@ using namespace ditto::bench;
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  faults::FaultSpec fault_cfg;
+  bool faults_armed = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      auto parsed = faults::parse_fault_spec(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "fault spec error: %s\n", parsed.status().to_string().c_str());
+        return 2;
+      }
+      fault_cfg = std::move(parsed).value();
+      faults_armed = true;
     } else {
-      std::fprintf(stderr, "usage: bench_fig8_jct [--trace-out FILE]\n");
+      std::fprintf(stderr, "usage: bench_fig8_jct [--trace-out FILE] [--faults SPEC]\n");
       return 2;
     }
   }
   if (!trace_out.empty()) obs::set_observability_enabled(true);
+  const faults::FaultSpec* faults = faults_armed ? &fault_cfg : nullptr;
+  if (faults_armed) {
+    std::printf("faults armed: %s (seed %llu)\n", fault_cfg.to_string().c_str(),
+                static_cast<unsigned long long>(fault_cfg.seed));
+  }
 
   const auto s3 = storage::s3_model();
 
@@ -40,8 +61,9 @@ int main(int argc, char** argv) {
     scheduler::DittoScheduler ditto_sched;
     scheduler::NimbleScheduler nimble;
     const RunOutcome d =
-        run_query(q, 1000, s3, ditto_sched, Objective::kJct, cluster::zipf_0_9());
-    const RunOutcome n = run_query(q, 1000, s3, nimble, Objective::kJct, cluster::zipf_0_9());
+        run_query(q, 1000, s3, ditto_sched, Objective::kJct, cluster::zipf_0_9(), 3, faults);
+    const RunOutcome n =
+        run_query(q, 1000, s3, nimble, Objective::kJct, cluster::zipf_0_9(), 3, faults);
     std::printf("%-6s %12.1f %12.1f %9.2fx\n", workload::query_name(q), d.jct, n.jct,
                 n.jct / d.jct);
   }
@@ -53,10 +75,10 @@ int main(int argc, char** argv) {
     scheduler::DittoScheduler ditto_sched;
     scheduler::NimbleScheduler nimble;
     const auto spec = cluster::uniform_usage(usage);
-    const RunOutcome d =
-        run_query(workload::QueryId::kQ95, 1000, s3, ditto_sched, Objective::kJct, spec);
+    const RunOutcome d = run_query(workload::QueryId::kQ95, 1000, s3, ditto_sched,
+                                   Objective::kJct, spec, 3, faults);
     const RunOutcome n =
-        run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec);
+        run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec, 3, faults);
     std::printf("%-6s %12.1f %12.1f %9.2fx\n", spec.label().c_str(), d.jct, n.jct,
                 n.jct / d.jct);
   }
@@ -68,10 +90,10 @@ int main(int argc, char** argv) {
                            cluster::zipf_0_99()}) {
     scheduler::DittoScheduler ditto_sched;
     scheduler::NimbleScheduler nimble;
-    const RunOutcome d =
-        run_query(workload::QueryId::kQ95, 1000, s3, ditto_sched, Objective::kJct, spec);
+    const RunOutcome d = run_query(workload::QueryId::kQ95, 1000, s3, ditto_sched,
+                                   Objective::kJct, spec, 3, faults);
     const RunOutcome n =
-        run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec);
+        run_query(workload::QueryId::kQ95, 1000, s3, nimble, Objective::kJct, spec, 3, faults);
     std::printf("%-10s %12.1f %12.1f %9.2fx\n", spec.label().c_str(), d.jct, n.jct,
                 n.jct / d.jct);
   }

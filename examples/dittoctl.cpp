@@ -2,7 +2,7 @@
 //
 //   dittoctl <jobspec-file> [--cluster 8x96@zipf-0.9] [--objective jct|cost]
 //            [--store s3|redis] [--trace-out FILE] [--report FILE]
-//            [--metrics]
+//            [--metrics] [--faults SPEC] [--fault-seed N]
 //
 // Reads the job spec (see workload/jobspec.h for the format), derives
 // ground-truth step models from the annotated data volumes, profiles,
@@ -14,12 +14,18 @@
 // simulated execution timeline) as Chrome trace-event JSON, loadable
 // in Perfetto or chrome://tracing; --report writes a per-job execution
 // report (JSON); --metrics prints the metrics snapshot to stderr.
+//
+// Chaos: --faults arms the seeded fault injector for the simulated run
+// (see faults/fault_injector.h for the spec grammar, e.g.
+// "storage_error=0.05,crash=0.02,server_loss=1@2"); --fault-seed
+// overrides the spec's seed. The report gains a resilience section.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "cluster/runtime_monitor.h"
+#include "faults/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -50,7 +56,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: dittoctl [jobspec-file] [--cluster NxS[@dist]] "
                "[--objective jct|cost] [--store s3|redis] [--trace-out FILE] "
-               "[--report FILE] [--metrics]\n");
+               "[--report FILE] [--metrics] [--faults SPEC] [--fault-seed N]\n");
   return 2;
 }
 
@@ -64,10 +70,18 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string report_out;
   bool print_metrics = false;
+  std::string faults_spec;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
       cluster_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+      fault_seed_set = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
@@ -124,9 +138,22 @@ int main(int argc, char** argv) {
   const bool observe = !trace_out.empty() || !report_out.empty() || print_metrics;
   if (observe) obs::set_observability_enabled(true);
 
+  sim::SimOptions sim_options;
+  if (!faults_spec.empty()) {
+    auto parsed = faults::parse_fault_spec(faults_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fault spec error: %s\n", parsed.status().to_string().c_str());
+      return 2;
+    }
+    sim_options.faults = std::move(parsed).value();
+    if (fault_seed_set) sim_options.faults.seed = fault_seed;
+    // Arm the mitigations so injected hangs meet speculation.
+    sim_options.resilience.speculation_factor = 2.0;
+  }
+
   scheduler::DittoScheduler ditto_sched;
   const auto result =
-      sim::run_experiment(*dag, *cl, ditto_sched, objective, store);
+      sim::run_experiment(*dag, *cl, ditto_sched, objective, store, sim_options);
   if (!result.ok()) {
     std::fprintf(stderr, "scheduling failed: %s\n", result.status().to_string().c_str());
     return 1;
@@ -138,6 +165,35 @@ int main(int argc, char** argv) {
   std::printf("%s", scheduler::explain_plan(*dag, result->plan).c_str());
   std::printf("\nsimulated: JCT %.2f s, cost %.2f GB-s\n", result->sim.jct,
               result->sim.cost.total());
+
+  obs::ResilienceSection resilience;
+  if (!faults_spec.empty()) {
+    const faults::FaultCounts& fc = result->sim.fault_events;
+    const faults::ResilienceStats& rs = result->sim.resilience;
+    resilience.enabled = true;
+    resilience.fault_spec = sim_options.faults.to_string();
+    resilience.fault_seed = sim_options.faults.seed;
+    resilience.storage_errors = fc.storage_errors;
+    resilience.storage_delays = fc.storage_delays;
+    resilience.task_crashes = fc.task_crashes;
+    resilience.task_hangs = fc.task_hangs;
+    resilience.servers_lost = rs.servers_lost;
+    resilience.task_retries = rs.task_retries;
+    resilience.storage_retries = rs.storage_retries;
+    resilience.speculative_launched = rs.speculative_launched;
+    resilience.speculative_wins = rs.speculative_wins;
+    resilience.tasks_rerouted = rs.tasks_rerouted;
+    resilience.producers_recovered = rs.producers_recovered;
+    resilience.duplicate_publishes = rs.duplicate_publishes;
+    std::printf(
+        "resilience: injected %zu (storage_errors %zu, delays %zu, crashes %zu, hangs %zu, "
+        "servers_lost %zu); absorbed via %zu task retries, %zu storage retries, "
+        "%zu/%zu speculative launched/won, %zu rerouted, %zu producers recovered\n",
+        resilience.injected_total(), fc.storage_errors, fc.storage_delays, fc.task_crashes,
+        fc.task_hangs, rs.servers_lost, rs.task_retries, rs.storage_retries,
+        rs.speculative_launched, rs.speculative_wins, rs.tasks_rerouted,
+        rs.producers_recovered);
+  }
 
   if (!trace_out.empty()) {
     obs::TraceCollector& tc = obs::TraceCollector::global();
@@ -157,6 +213,7 @@ int main(int argc, char** argv) {
     extras.actual_cost = result->sim.cost.total();
     extras.trace = &obs::TraceCollector::global();
     extras.metrics = &obs::MetricsRegistry::global();
+    if (resilience.enabled) extras.resilience = &resilience;
     const obs::ExecutionReport report =
         obs::build_execution_report(*dag, result->plan, objective, monitor, extras);
     std::ofstream rf(report_out, std::ios::trunc);

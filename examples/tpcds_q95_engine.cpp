@@ -3,16 +3,26 @@
 // program, from data to plan to zero-copy execution to the answer.
 //
 //   tpcds_q95_engine [--trace-out FILE] [--report]
+//                    [--faults SPEC] [--fault-seed N]
 //
 // --trace-out enables the observability layer and writes the whole run
 // (scheduler spans, per-task engine spans, exchange/storage counter
 // tracks) as Chrome trace-event JSON for Perfetto. --report prints a
 // per-job execution report for the Ditto run.
+//
+// --faults runs the engine under the seeded fault injector (spec
+// grammar in faults/fault_injector.h): storage ops go through a
+// FlakyStore, task attempts can crash or hang, a server can die at a
+// wave boundary. The answer must still match the reference — retries,
+// speculation and server-loss recovery absorb the injected chaos.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "cluster/runtime_monitor.h"
 #include "exec/engine.h"
+#include "faults/fault_injector.h"
+#include "faults/flaky_store.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -33,10 +43,20 @@ struct RunStats {
 };
 
 Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPlan& plan,
-                         cluster::RuntimeMonitor* monitor = nullptr) {
+                         cluster::RuntimeMonitor* monitor = nullptr,
+                         faults::FaultInjector* injector = nullptr) {
   auto store = storage::make_redis_sim();
   store->set_real_delay_scale(0.01);  // small real delay: latency gap observable
-  exec::MiniEngine engine(job.dag, plan, *store);
+  exec::EngineOptions options;
+  std::unique_ptr<faults::FlakyStore> flaky;
+  if (injector != nullptr) {
+    flaky = std::make_unique<faults::FlakyStore>(*store, *injector);
+    options.injector = injector;
+    options.resilience.speculation_factor = 2.0;  // arm straggler mitigation
+  }
+  storage::ObjectStore& backing =
+      flaky != nullptr ? static_cast<storage::ObjectStore&>(*flaky) : *store;
+  exec::MiniEngine engine(job.dag, plan, backing, options);
   DITTO_ASSIGN_OR_RETURN(exec::EngineResult result, engine.run(job.bindings, monitor));
   RunStats out;
   DITTO_ASSIGN_OR_RETURN(out.answer, workload::q95_answer_from_sink(result.sink_outputs.at(8)));
@@ -49,17 +69,41 @@ Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPl
 int main(int argc, char** argv) {
   std::string trace_out;
   bool print_report = false;
+  std::string faults_spec;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
       print_report = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+      fault_seed_set = true;
     } else {
-      std::fprintf(stderr, "usage: tpcds_q95_engine [--trace-out FILE] [--report]\n");
+      std::fprintf(stderr,
+                   "usage: tpcds_q95_engine [--trace-out FILE] [--report] "
+                   "[--faults SPEC] [--fault-seed N]\n");
       return 2;
     }
   }
   if (!trace_out.empty() || print_report) obs::set_observability_enabled(true);
+
+  faults::FaultSpec fault_cfg;
+  if (!faults_spec.empty()) {
+    auto parsed = faults::parse_fault_spec(faults_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fault spec error: %s\n", parsed.status().to_string().c_str());
+      return 2;
+    }
+    fault_cfg = std::move(parsed).value();
+    if (fault_seed_set) fault_cfg.seed = fault_seed;
+    std::printf("faults armed: %s (seed %llu)\n", fault_cfg.to_string().c_str(),
+                static_cast<unsigned long long>(fault_cfg.seed));
+  }
+
   workload::Q95EngineSpec spec;
   spec.sales_rows = 100000;
   spec.num_orders = 15000;
@@ -93,7 +137,10 @@ int main(int argc, char** argv) {
 
     cluster::RuntimeMonitor monitor;
     const bool observing = !trace_out.empty() || print_report;
-    const auto run = execute(job, plan->placement, observing ? &monitor : nullptr);
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (fault_cfg.any()) injector = std::make_unique<faults::FaultInjector>(fault_cfg);
+    const auto run =
+        execute(job, plan->placement, observing ? &monitor : nullptr, injector.get());
     if (!run.ok()) {
       std::fprintf(stderr, "execution failed: %s\n", run.status().to_string().c_str());
       return 1;
@@ -102,15 +149,44 @@ int main(int argc, char** argv) {
                 static_cast<long long>(run->answer.order_count), run->answer.total_revenue,
                 run->answer.order_count == expected.order_count ? "matches reference"
                                                                 : "MISMATCH");
-    std::printf("  data plane: %zu zero-copy msgs, %zu via store (%s), wall %.1f ms\n\n",
+    std::printf("  data plane: %zu zero-copy msgs, %zu via store (%s), wall %.1f ms\n",
                 run->stats.exchange.zero_copy_messages, run->stats.exchange.remote_messages,
                 bytes_to_string(run->stats.exchange.remote_bytes).c_str(),
                 run->stats.wall_seconds * 1e3);
+
+    obs::ResilienceSection resilience;
+    if (injector != nullptr) {
+      const faults::FaultCounts fc = injector->counts();
+      const faults::ResilienceStats& rs = run->stats.resilience;
+      resilience.enabled = true;
+      resilience.fault_spec = fault_cfg.to_string();
+      resilience.fault_seed = fault_cfg.seed;
+      resilience.storage_errors = fc.storage_errors;
+      resilience.storage_delays = fc.storage_delays;
+      resilience.task_crashes = fc.task_crashes;
+      resilience.task_hangs = fc.task_hangs;
+      resilience.servers_lost = rs.servers_lost;
+      resilience.task_retries = rs.task_retries;
+      resilience.storage_retries = rs.storage_retries;
+      resilience.speculative_launched = rs.speculative_launched;
+      resilience.speculative_wins = rs.speculative_wins;
+      resilience.tasks_rerouted = rs.tasks_rerouted;
+      resilience.producers_recovered = rs.producers_recovered;
+      resilience.duplicate_publishes = rs.duplicate_publishes;
+      std::printf(
+          "  resilience: injected %zu faults; %zu task retries, %zu storage retries, "
+          "%zu/%zu speculative, %zu rerouted, %zu producers recovered, %zu dup publishes\n",
+          resilience.injected_total(), rs.task_retries, rs.storage_retries,
+          rs.speculative_launched, rs.speculative_wins, rs.tasks_rerouted,
+          rs.producers_recovered, rs.duplicate_publishes);
+    }
+    std::printf("\n");
 
     if (print_report && sched == &ditto_sched) {
       obs::ReportExtras extras;
       extras.trace = &obs::TraceCollector::global();
       extras.metrics = &obs::MetricsRegistry::global();
+      if (resilience.enabled) extras.resilience = &resilience;
       const obs::ExecutionReport report = obs::build_execution_report(
           model_dag, *plan, Objective::kJct, monitor, extras);
       std::printf("%s\n", report.to_text().c_str());

@@ -32,7 +32,10 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++active_;
     }
-    task();
+    try {
+      task();  // packaged_task stores exceptions; this guards raw closures
+    } catch (...) {
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -11,7 +11,10 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "common/status.h"
 
 namespace ditto {
 
@@ -36,6 +39,29 @@ class ThreadPool {
     }
     cv_.notify_one();
     return fut;
+  }
+
+  /// Enqueue a task whose failure modes are captured as a Status: a
+  /// thrown exception becomes INTERNAL instead of propagating out of
+  /// future::get(). Accepts callables returning void (mapped to OK) or
+  /// Status (passed through). Use this for work whose body is not
+  /// trusted to be exception-free (e.g. user-provided stage functions).
+  template <typename F>
+  std::future<Status> submit_guarded(F&& f) {
+    return submit([fn = std::forward<F>(f)]() mutable -> Status {
+      try {
+        if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
+          fn();
+          return Status::ok();
+        } else {
+          return fn();
+        }
+      } catch (const std::exception& e) {
+        return Status::internal(std::string("task threw: ") + e.what());
+      } catch (...) {
+        return Status::internal("task threw a non-standard exception");
+      }
+    });
   }
 
   std::size_t size() const { return workers_.size(); }

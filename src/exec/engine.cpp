@@ -1,7 +1,12 @@
 #include "exec/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <optional>
+#include <set>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "dag/dag_algorithms.h"
@@ -10,9 +15,297 @@
 
 namespace ditto::exec {
 
+namespace {
+
+void note_resilience(const char* what, std::string detail) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter(std::string("resilience.") + what).add();
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    obs::TraceArgs args;
+    args.emplace_back("detail", std::move(detail));
+    tc.instant("resilience", what, tc.now_us(), -1, 0, std::move(args));
+  }
+}
+
+std::string task_label(const JobDag& dag, StageId s, TaskId t) {
+  return dag.stage(s).name() + "/" + std::to_string(t);
+}
+
+/// Timings and volumes of one attempt, for monitor/trace reporting.
+struct TaskIo {
+  double t_start = 0.0;
+  double t_gathered = 0.0;
+  double t_computed = 0.0;
+  double t_end = 0.0;
+  Bytes bytes_in = 0;
+  Bytes bytes_out = 0;
+  std::size_t rows_out = 0;
+};
+
+/// Per-task wave bookkeeping. `won` is the first-successful-attempt
+/// gate: exactly one attempt records to the monitor and contributes a
+/// completed duration.
+struct TaskSlot {
+  std::atomic<bool> won{false};
+  std::atomic<bool> spec_launched{false};
+  double launch = 0.0;  ///< run-clock time the controller was submitted
+};
+
+/// Everything the per-attempt closures share for one run() call.
+struct RunState {
+  const JobDag* dag = nullptr;
+  const std::map<StageId, StageBinding>* bindings = nullptr;
+  cluster::RuntimeMonitor* monitor = nullptr;
+  faults::FaultInjector* injector = nullptr;
+  const faults::ResiliencePolicy* policy = nullptr;
+  std::map<std::pair<StageId, StageId>, std::unique_ptr<Exchange>>* exchanges = nullptr;
+  const Stopwatch* clock = nullptr;
+
+  /// Mutable copy of the plan's placement; server-loss recovery
+  /// reroutes entries. Only the wave driver thread mutates it, always
+  /// between waves.
+  std::vector<std::vector<ServerId>> task_server;
+
+  std::mutex sink_mu;
+  std::map<StageId, std::map<TaskId, Table>> sink_parts;  ///< first writer wins
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
+
+  std::atomic<std::size_t> task_retries{0};
+  std::atomic<std::size_t> spec_launched{0};
+  std::atomic<std::size_t> spec_wins{0};
+  std::atomic<std::size_t> tasks_rerouted{0};
+  std::atomic<std::size_t> producers_recovered{0};
+  std::atomic<std::size_t> servers_lost{0};
+
+  void fail(const Status& st) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.is_ok()) first_error = st;
+    failed.store(true);
+  }
+};
+
+/// One clean pass of a task's body: gather -> compute -> publish. No
+/// injection and no winner bookkeeping here — callers layer those. Safe
+/// to run multiple times: inputs are snapshots, exchange publishes are
+/// idempotent, sink slots are first-writer-wins.
+Status run_task_once(RunState& rs, StageId s, TaskId t, int dop, TaskIo* io) {
+  const StageBinding& binding = rs.bindings->at(s);
+  io->t_start = rs.clock->elapsed_seconds();
+
+  std::vector<Table> inputs;
+  inputs.reserve(rs.dag->parents(s).size());
+  for (StageId p : rs.dag->parents(s)) {
+    auto in = rs.exchanges->at({p, s})->recv_all(static_cast<std::size_t>(t));
+    if (!in.ok()) return in.status();
+    io->bytes_in += in.value().byte_size();
+    inputs.push_back(std::move(in).value());
+  }
+  io->t_gathered = rs.clock->elapsed_seconds();
+
+  std::optional<Result<Table>> out;
+  try {
+    out.emplace(binding.fn(static_cast<int>(t), dop, inputs));
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("stage fn threw: ") + e.what());
+  } catch (...) {
+    return Status::internal("stage fn threw a non-standard exception");
+  }
+  if (!out->ok()) return out->status();
+  io->t_computed = rs.clock->elapsed_seconds();
+  io->rows_out = out->value().num_rows();
+
+  const auto& children = rs.dag->children(s);
+  if (children.empty()) {
+    Table value = std::move(*out).value();
+    io->bytes_out = value.byte_size();
+    std::lock_guard<std::mutex> lock(rs.sink_mu);
+    rs.sink_parts[s].try_emplace(static_cast<TaskId>(t), std::move(value));
+  } else {
+    io->bytes_out = out->value().byte_size();
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      // The last child may take the table by move.
+      Table payload = (c + 1 == children.size()) ? std::move(*out).value() : out->value();
+      DITTO_RETURN_IF_ERROR(rs.exchanges->at({s, children[c]})
+                                ->send(static_cast<std::size_t>(t), std::move(payload)));
+    }
+  }
+  io->t_end = rs.clock->elapsed_seconds();
+  return Status::ok();
+}
+
+/// One attempt of a wave task: fault injection, body, winner election,
+/// reporting. Returns the attempt's status; a loser to a faster
+/// duplicate still returns OK (its duplicate publish was discarded).
+Status task_attempt(RunState& rs, StageId s, TaskId t, int dop, ServerId server, int attempt,
+                    bool speculative, TaskSlot& slot, std::mutex& dur_mu,
+                    std::vector<double>& durations) {
+  if (slot.won.load(std::memory_order_acquire)) return Status::ok();
+
+  if (rs.injector != nullptr) {
+    if (rs.injector->should_crash(s, t, attempt)) {
+      return Status::internal("injected crash: " + task_label(*rs.dag, s, t) + " attempt " +
+                              std::to_string(attempt));
+    }
+    const Seconds hang = rs.injector->hang_seconds(s, t, attempt);
+    if (hang > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(hang));
+    }
+  }
+
+  TaskIo io;
+  DITTO_RETURN_IF_ERROR(run_task_once(rs, s, t, dop, &io));
+
+  bool expected = false;
+  if (!slot.won.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return Status::ok();  // a duplicate finished first; publishes were idempotent
+  }
+
+  if (speculative) {
+    rs.spec_wins.fetch_add(1, std::memory_order_relaxed);
+    note_resilience("speculative_win", task_label(*rs.dag, s, t));
+  }
+  {
+    std::lock_guard<std::mutex> lock(dur_mu);
+    durations.push_back(io.t_end - io.t_start);
+  }
+
+  if (rs.monitor != nullptr) {
+    cluster::TaskRecord rec;
+    rec.stage = s;
+    rec.task = t;
+    rec.server = server;
+    rec.start = io.t_start;
+    rec.end = io.t_end;
+    rec.read_time = io.t_gathered - io.t_start;
+    rec.compute_time = io.t_computed - io.t_gathered;
+    rec.write_time = io.t_end - io.t_computed;
+    rec.bytes_read = io.bytes_in;
+    rec.bytes_written = io.bytes_out;
+    rs.monitor->record(rec);
+  }
+
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter("engine.tasks_total").add();
+    mx.counter("engine.rows_out").add(io.rows_out);
+    mx.counter("engine.bytes_out").add(io.bytes_out);
+    mx.counter("engine.bytes_in").add(io.bytes_in);
+    mx.histogram("engine.task_seconds", 0.0, 10.0, 50).observe(io.t_end - io.t_start);
+  }
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    const std::string& stage_name = rs.dag->stage(s).name();
+    const std::int64_t pid = server == kNoServer ? -1 : static_cast<std::int64_t>(server);
+    const std::int64_t tid = static_cast<std::int64_t>(s) * 4096 + t;
+    const std::uint64_t now = tc.now_us();
+    const std::uint64_t dur = static_cast<std::uint64_t>((io.t_end - io.t_start) * 1e6 + 0.5);
+    obs::TraceArgs args;
+    args.emplace_back("stage", stage_name);
+    args.emplace_back("task", std::to_string(t));
+    args.emplace_back("attempt", std::to_string(attempt));
+    args.emplace_back("speculative", speculative ? "1" : "0");
+    args.emplace_back("rows_out", std::to_string(io.rows_out));
+    args.emplace_back("bytes_in", std::to_string(io.bytes_in));
+    args.emplace_back("bytes_out", std::to_string(io.bytes_out));
+    args.emplace_back("gather_s", std::to_string(io.t_gathered - io.t_start));
+    args.emplace_back("compute_s", std::to_string(io.t_computed - io.t_gathered));
+    args.emplace_back("emit_s", std::to_string(io.t_end - io.t_computed));
+    tc.span("engine.task", stage_name + "/" + std::to_string(t), now > dur ? now - dur : 0,
+            dur, pid, tid, std::move(args));
+  }
+  return Status::ok();
+}
+
+/// Server-loss recovery, run between waves by the wave driver thread:
+///   1. reroute every not-yet-executed task placed on the dead server
+///      to surviving servers (deterministic round-robin);
+///   2. for completed producer tasks that lived on the dead server and
+///      fed a pending consumer through a zero-copy channel, reset those
+///      channels and re-run the producer on a survivor to re-publish.
+///      Remote payloads survive in the object store untouched; the
+///      re-publish overwrites them with identical bytes, and edges to
+///      already-finished consumers discard the duplicate publish.
+/// Channel flavours are fixed at placement time, so a rerouted pair
+/// keeps its original local/remote path — a modeling simplification
+/// (the payload lives in engine memory either way).
+Status recover_server_loss(RunState& rs, ServerId dead, const std::vector<StageId>& order,
+                           std::size_t next_idx) {
+  rs.servers_lost.fetch_add(1, std::memory_order_relaxed);
+  note_resilience("server_lost", "server " + std::to_string(dead));
+
+  std::set<ServerId> alive_set;
+  for (const auto& ts : rs.task_server) {
+    for (ServerId v : ts) {
+      if (v != kNoServer && v != dead && !(rs.injector != nullptr && rs.injector->server_dead(v))) {
+        alive_set.insert(v);
+      }
+    }
+  }
+  if (alive_set.empty()) return Status::unavailable("no surviving servers after loss");
+  const std::vector<ServerId> alive(alive_set.begin(), alive_set.end());
+
+  const std::set<StageId> pending(order.begin() + next_idx, order.end());
+
+  // Producers to recover, collected before rerouting mutates placement.
+  // De-dup: one producer task may feed several pending edges.
+  std::vector<std::pair<StageId, std::size_t>> rerun;
+  for (std::size_t idx = 0; idx < next_idx; ++idx) {
+    const StageId p = order[idx];
+    for (std::size_t i = 0; i < rs.task_server[p].size(); ++i) {
+      if (rs.task_server[p][i] != dead) continue;
+      for (StageId c : rs.dag->children(p)) {
+        if (pending.count(c) == 0) continue;
+        if (rs.exchanges->at({p, c})->producer_has_local_channel(i)) {
+          rerun.emplace_back(p, i);
+          break;
+        }
+      }
+    }
+  }
+
+  // Reroute pending tasks off the dead server.
+  std::size_t rr = 0;
+  for (std::size_t idx = next_idx; idx < order.size(); ++idx) {
+    for (ServerId& v : rs.task_server[order[idx]]) {
+      if (v == dead) {
+        v = alive[rr++ % alive.size()];
+        rs.tasks_rerouted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (rr > 0) note_resilience("tasks_rerouted", std::to_string(rr) + " off server " +
+                                                    std::to_string(dead));
+
+  // Re-publish lost zero-copy intermediates by re-running the producer.
+  for (const auto& [p, i] : rerun) {
+    for (StageId c : rs.dag->children(p)) {
+      if (pending.count(c) != 0) rs.exchanges->at({p, c})->reset_producer(i);
+    }
+    rs.task_server[p][i] = alive[rr++ % alive.size()];
+    const int dop = static_cast<int>(rs.task_server[p].size());
+    Status last = Status::ok();
+    const int attempts = std::max(1, rs.policy->max_task_attempts);
+    for (int a = 0; a < attempts; ++a) {
+      TaskIo io;
+      last = run_task_once(rs, p, static_cast<TaskId>(i), dop, &io);
+      if (last.is_ok()) break;
+    }
+    if (!last.is_ok()) return last;
+    rs.producers_recovered.fetch_add(1, std::memory_order_relaxed);
+    note_resilience("producer_recovered", task_label(*rs.dag, p, static_cast<TaskId>(i)));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
 MiniEngine::MiniEngine(const JobDag& dag, const cluster::PlacementPlan& plan,
-                       storage::ObjectStore& store)
-    : dag_(&dag), plan_(&plan), store_(&store) {}
+                       storage::ObjectStore& store, EngineOptions options)
+    : dag_(&dag), plan_(&plan), store_(&store), options_(options) {}
 
 Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bindings,
                                      cluster::RuntimeMonitor* monitor) {
@@ -45,7 +338,8 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   pools.reserve(width.size());
   for (std::size_t w : width) pools.push_back(std::make_unique<ThreadPool>(w));
 
-  // One exchange per DAG edge.
+  // One exchange per DAG edge. Remote channels retry transient storage
+  // failures under the resilience policy's storage RetryPolicy.
   std::map<std::pair<StageId, StageId>, std::unique_ptr<Exchange>> exchanges;
   for (const Edge& e : dag_->edges()) {
     const std::string key = bindings.at(e.src).key_for(e.dst);
@@ -54,148 +348,211 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
         std::make_unique<Exchange>(e.exchange, key, plan_->task_server[e.src],
                                    plan_->task_server[e.dst], *store_,
                                    dag_->name() + "/e" + std::to_string(e.src) + "_" +
-                                       std::to_string(e.dst)));
+                                       std::to_string(e.dst),
+                                   &options_.resilience.storage));
   }
 
   Stopwatch clock;
   EngineResult result;
-  std::mutex result_mu;
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mu;
+
+  RunState rs;
+  rs.dag = dag_;
+  rs.bindings = &bindings;
+  rs.monitor = monitor;
+  rs.injector = options_.injector;
+  rs.policy = &options_.resilience;
+  rs.exchanges = &exchanges;
+  rs.clock = &clock;
+  rs.task_server = plan_->task_server;
+
+  const faults::ResiliencePolicy& policy = options_.resilience;
+  const int max_attempts = std::max(1, policy.max_task_attempts);
+  const std::vector<StageId> order = topological_order(*dag_);
 
   // Stage waves in topological order.
-  for (StageId s : topological_order(*dag_)) {
-    const StageBinding& binding = bindings.at(s);
+  for (std::size_t wave = 0; wave < order.size(); ++wave) {
+    const StageId s = order[wave];
+
+    // Server-loss boundary: kill the doomed server, reroute its pending
+    // tasks, and re-publish completed zero-copy intermediates it held.
+    if (rs.injector != nullptr) {
+      const ServerId lost = rs.injector->take_server_loss(static_cast<int>(wave));
+      if (lost != kNoServer) {
+        const Status st = recover_server_loss(rs, lost, order, wave);
+        if (!st.is_ok()) {
+          for (auto& [edge, ex] : exchanges) ex->cancel();
+          return st;
+        }
+      }
+    }
+
     const int dop = plan_->dop_of(s);
     obs::ScopedSpan stage_span("engine.stage", dag_->stage(s).name().c_str(), -1,
                                static_cast<std::int64_t>(s));
     stage_span.arg("dop", std::to_string(dop));
-    std::vector<std::future<void>> futures;
+
+    std::vector<TaskSlot> slots(dop);
+    std::mutex dur_mu;
+    std::vector<double> durations;
+    durations.reserve(dop);
+    std::vector<std::future<Status>> futures;
     futures.reserve(dop);
+
     for (int t = 0; t < dop; ++t) {
-      const ServerId server = plan_->task_server[s][t];
+      const ServerId server = rs.task_server[s][t];
       ThreadPool& pool = server == kNoServer ? *pools[0] : *pools[server];
-      futures.push_back(pool.submit([&, s, t, dop, server] {
-        if (failed.load()) return;
-        const Stopwatch task_clock;
-        const double t_start = clock.elapsed_seconds();
-
-        // Gather inputs from every parent edge.
-        std::vector<Table> inputs;
-        inputs.reserve(dag_->parents(s).size());
-        Bytes bytes_in = 0;
-        for (StageId p : dag_->parents(s)) {
-          auto in = exchanges.at({p, s})->recv_all(static_cast<std::size_t>(t));
-          if (!in.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.is_ok()) first_error = in.status();
-            failed.store(true);
-            return;
+      TaskSlot& slot = slots[t];
+      slot.launch = clock.elapsed_seconds();
+      futures.push_back(pool.submit_guarded([&rs, &slot, &dur_mu, &durations, s, t, dop,
+                                             server, max_attempts]() -> Status {
+        Status last = Status::ok();
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          if (rs.failed.load() || slot.won.load()) return Status::ok();
+          if (attempt > 0) {
+            rs.task_retries.fetch_add(1, std::memory_order_relaxed);
+            note_resilience("task_retry", task_label(*rs.dag, s, static_cast<TaskId>(t)) +
+                                              " attempt " + std::to_string(attempt));
           }
-          bytes_in += in.value().byte_size();
-          inputs.push_back(std::move(in).value());
+          last = task_attempt(rs, s, static_cast<TaskId>(t), dop, server, attempt,
+                              /*speculative=*/false, slot, dur_mu, durations);
+          if (last.is_ok()) return Status::ok();
         }
-        const double t_gathered = clock.elapsed_seconds();
-
-        Result<Table> out = binding.fn(t, dop, inputs);
-        if (!out.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.is_ok()) first_error = out.status();
-          failed.store(true);
-          return;
-        }
-        const double t_computed = clock.elapsed_seconds();
-
-        Bytes bytes_out = 0;
-        std::size_t rows_out = out.value().num_rows();
-        const auto& children = dag_->children(s);
-        if (children.empty()) {
-          Table value = std::move(out).value();
-          bytes_out = value.byte_size();
-          std::lock_guard<std::mutex> lock(result_mu);
-          auto [it, inserted] = result.sink_outputs.try_emplace(s, std::move(value));
-          if (!inserted) (void)it->second.concat(value);
-        } else {
-          bytes_out = out.value().byte_size();
-          for (std::size_t c = 0; c < children.size(); ++c) {
-            // The last child may take the table by move.
-            Table payload = (c + 1 == children.size()) ? std::move(out).value() : out.value();
-            const Status st =
-                exchanges.at({s, children[c]})->send(static_cast<std::size_t>(t),
-                                                     std::move(payload));
-            if (!st.is_ok()) {
-              std::lock_guard<std::mutex> lock(error_mu);
-              if (first_error.is_ok()) first_error = st;
-              failed.store(true);
-              return;
-            }
-          }
-        }
-        const double t_end = clock.elapsed_seconds();
-
-        if (monitor != nullptr) {
-          cluster::TaskRecord rec;
-          rec.stage = s;
-          rec.task = static_cast<TaskId>(t);
-          rec.server = server;
-          rec.start = t_start;
-          rec.end = t_end;
-          rec.read_time = t_gathered - t_start;
-          rec.compute_time = t_computed - t_gathered;
-          rec.write_time = t_end - t_computed;
-          rec.bytes_read = bytes_in;
-          rec.bytes_written = bytes_out;
-          monitor->record(rec);
-        }
-
-        obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
-        if (mx.enabled()) {
-          mx.counter("engine.tasks_total").add();
-          mx.counter("engine.rows_out").add(rows_out);
-          mx.counter("engine.bytes_out").add(bytes_out);
-          mx.counter("engine.bytes_in").add(bytes_in);
-          mx.histogram("engine.task_seconds", 0.0, 10.0, 50).observe(t_end - t_start);
-        }
-        obs::TraceCollector& tc = obs::TraceCollector::global();
-        if (tc.enabled()) {
-          const std::string& stage_name = dag_->stage(s).name();
-          const std::int64_t pid = server == kNoServer ? -1 : static_cast<std::int64_t>(server);
-          const std::int64_t tid = static_cast<std::int64_t>(s) * 4096 + t;
-          const std::uint64_t now = tc.now_us();
-          const std::uint64_t dur =
-              static_cast<std::uint64_t>((t_end - t_start) * 1e6 + 0.5);
-          obs::TraceArgs args;
-          args.emplace_back("stage", stage_name);
-          args.emplace_back("task", std::to_string(t));
-          args.emplace_back("rows_out", std::to_string(rows_out));
-          args.emplace_back("bytes_in", std::to_string(bytes_in));
-          args.emplace_back("bytes_out", std::to_string(bytes_out));
-          args.emplace_back("gather_s", std::to_string(t_gathered - t_start));
-          args.emplace_back("compute_s", std::to_string(t_computed - t_gathered));
-          args.emplace_back("emit_s", std::to_string(t_end - t_computed));
-          tc.span("engine.task", stage_name + "/" + std::to_string(t),
-                  now > dur ? now - dur : 0, dur, pid, tid, std::move(args));
-        }
+        // Out of attempts. A speculative duplicate may still win; the
+        // wave driver decides after the wave drains.
+        std::lock_guard<std::mutex> lock(rs.error_mu);
+        if (rs.first_error.is_ok()) rs.first_error = last;
+        return Status::ok();
       }));
     }
-    for (auto& f : futures) f.get();
-    if (failed.load()) break;
+
+    // Drive the wave: poll for completion, launching speculative
+    // duplicates for stragglers past the deadline or the median-based
+    // speculation threshold.
+    const bool watching =
+        policy.speculation_enabled() || policy.task_deadline > 0.0;
+    for (;;) {
+      bool all_ready = true;
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        if (futures[i].wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+          all_ready = false;
+          break;
+        }
+      }
+      if (all_ready) break;
+      if (watching) {
+        double median = 0.0;
+        std::size_t completed = 0;
+        {
+          std::lock_guard<std::mutex> lock(dur_mu);
+          completed = durations.size();
+          if (completed > 0) {
+            std::vector<double> sorted = durations;
+            std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2, sorted.end());
+            median = sorted[sorted.size() / 2];
+          }
+        }
+        const double now = clock.elapsed_seconds();
+        for (int t = 0; t < dop; ++t) {
+          TaskSlot& slot = slots[t];
+          if (slot.won.load() || slot.spec_launched.load()) continue;
+          const double age = now - slot.launch;
+          const bool past_deadline = policy.task_deadline > 0.0 && age > policy.task_deadline;
+          const bool straggling =
+              policy.speculation_enabled() && completed > 0 && completed * 2 >= slots.size() &&
+              age > std::max(policy.speculation_min_wait, policy.speculation_factor * median);
+          if (!past_deadline && !straggling) continue;
+          slot.spec_launched.store(true);
+          rs.spec_launched.fetch_add(1, std::memory_order_relaxed);
+          note_resilience(past_deadline ? "deadline_duplicate" : "speculative_launch",
+                          task_label(*dag_, s, static_cast<TaskId>(t)));
+          // Duplicate on the next server over (if any), so a slow or
+          // hung slot on the original server cannot delay the copy.
+          const ServerId home = rs.task_server[s][t];
+          ServerId spec_server = home;
+          for (ServerId v = 1; v <= max_server; ++v) {
+            const ServerId cand =
+                (home == kNoServer ? v - 1 : home + v) % (max_server + 1);
+            if (rs.injector != nullptr && rs.injector->server_dead(cand)) continue;
+            spec_server = cand;
+            break;
+          }
+          ThreadPool& pool =
+              spec_server == kNoServer ? *pools[0] : *pools[spec_server];
+          futures.push_back(pool.submit_guarded(
+              [&rs, &slot, &dur_mu, &durations, s, t, dop, spec_server,
+               max_attempts]() -> Status {
+                // Attempt index >= max_attempts: injected attempt-0
+                // faults never re-fire on the duplicate.
+                return task_attempt(rs, s, static_cast<TaskId>(t), dop, spec_server,
+                                    max_attempts, /*speculative=*/true, slot, dur_mu,
+                                    durations);
+              }));
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    for (auto& f : futures) {
+      const Status st = f.get();
+      if (!st.is_ok()) rs.fail(st);  // thrown-through-pool defence
+    }
+    for (int t = 0; t < dop; ++t) {
+      if (!slots[t].won.load()) {
+        std::lock_guard<std::mutex> lock(rs.error_mu);
+        if (rs.first_error.is_ok()) {
+          rs.first_error =
+              Status::internal("task " + task_label(*dag_, s, static_cast<TaskId>(t)) +
+                               " failed every attempt");
+        }
+        rs.failed.store(true);
+      }
+    }
+    if (rs.failed.load()) break;
   }
 
-  if (failed.load()) {
-    std::lock_guard<std::mutex> lock(error_mu);
-    return first_error.is_ok() ? Status::internal("engine failed") : first_error;
+  if (rs.failed.load()) {
+    for (auto& [edge, ex] : exchanges) ex->cancel();
+    std::lock_guard<std::mutex> lock(rs.error_mu);
+    return rs.first_error.is_ok() ? Status::internal("engine failed") : rs.first_error;
+  }
+
+  // Deterministic sink assembly: concatenate per-task slots in task
+  // order, independent of which attempt produced each slot.
+  for (auto& [s, parts] : rs.sink_parts) {
+    Table merged;
+    bool first = true;
+    for (auto& [t, table] : parts) {  // std::map iterates tasks in order
+      if (first) {
+        merged = std::move(table);
+        first = false;
+      } else {
+        DITTO_RETURN_IF_ERROR(merged.concat(table));
+      }
+    }
+    result.sink_outputs.emplace(s, std::move(merged));
   }
 
   for (const auto& [edge, ex] : exchanges) {
-    result.stats.exchange.zero_copy_messages += ex->stats().zero_copy_messages;
-    result.stats.exchange.remote_messages += ex->stats().remote_messages;
-    result.stats.exchange.remote_bytes += ex->stats().remote_bytes;
+    const ExchangeStats es = ex->stats();
+    result.stats.exchange.zero_copy_messages += es.zero_copy_messages;
+    result.stats.exchange.remote_messages += es.remote_messages;
+    result.stats.exchange.remote_bytes += es.remote_bytes;
+    result.stats.exchange.duplicate_publishes += es.duplicate_publishes;
+    result.stats.exchange.storage_retries += es.storage_retries;
+    result.stats.exchange.producers_reset += es.producers_reset;
   }
   for (StageId s = 0; s < dag_->num_stages(); ++s) {
     result.stats.tasks_run += static_cast<std::size_t>(plan_->dop_of(s));
   }
+  faults::ResilienceStats& res = result.stats.resilience;
+  res.task_retries = rs.task_retries.load();
+  res.speculative_launched = rs.spec_launched.load();
+  res.speculative_wins = rs.spec_wins.load();
+  res.storage_retries = result.stats.exchange.storage_retries;
+  res.servers_lost = rs.servers_lost.load();
+  res.tasks_rerouted = rs.tasks_rerouted.load();
+  res.producers_recovered = rs.producers_recovered.load();
+  res.duplicate_publishes = result.stats.exchange.duplicate_publishes;
   result.stats.wall_seconds = clock.elapsed_seconds();
   return result;
 }

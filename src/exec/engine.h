@@ -8,6 +8,25 @@
 // moves every intermediate table through the Exchange fabric — zero-
 // copy within a server, serialized through the object store across
 // servers, exactly as the placement plan dictates.
+//
+// Resilience (EngineOptions): every task runs as a chain of attempts.
+//   * retries — a failed attempt (crash, thrown exception, storage
+//     error that outlived the fabric's own retry budget) is re-run up
+//     to ResiliencePolicy::max_task_attempts times;
+//   * speculation/deadlines — once half a wave has completed, tasks
+//     slower than speculation_factor x the median (or older than
+//     task_deadline) get a duplicate attempt on another server; the
+//     first successful attempt wins. Duplicates are safe because
+//     Exchange publishes are idempotent and sink outputs are
+//     first-writer-wins per (stage, task) slot;
+//   * server loss — when the FaultInjector kills a server at a wave
+//     boundary, its pending tasks are rerouted to surviving servers'
+//     pools and completed producers whose zero-copy intermediates
+//     lived on the dead server are re-executed to re-publish them
+//     (remote payloads survive in the object store).
+// Everything is deterministic given deterministic bindings: inputs are
+// gathered in producer order and sink outputs assembled in task order,
+// so a faulted run's results are byte-identical to a fault-free run.
 #pragma once
 
 #include <functional>
@@ -22,6 +41,8 @@
 #include "common/thread_pool.h"
 #include "dag/job_dag.h"
 #include "exec/exchange.h"
+#include "faults/fault_injector.h"
+#include "faults/retry_policy.h"
 #include "storage/object_store.h"
 
 namespace ditto::exec {
@@ -52,10 +73,20 @@ struct StageBinding {
   }
 };
 
+/// Fault-handling knobs for a run. Defaults run fault-free with retry
+/// wiring dormant (zero injected faults, so zero retries fire and the
+/// resilient path costs nothing measurable).
+struct EngineOptions {
+  /// Fault source (not owned, may be null = inject nothing).
+  faults::FaultInjector* injector = nullptr;
+  faults::ResiliencePolicy resilience;
+};
+
 struct EngineStats {
   ExchangeStats exchange;           ///< aggregated over all edges
+  faults::ResilienceStats resilience;
   double wall_seconds = 0.0;
-  std::size_t tasks_run = 0;
+  std::size_t tasks_run = 0;        ///< logical tasks (attempts excluded)
 };
 
 struct EngineResult {
@@ -70,7 +101,7 @@ class MiniEngine {
   /// placement (servers are materialized as thread pools sized by the
   /// maximum concurrent tasks placed on them).
   MiniEngine(const JobDag& dag, const cluster::PlacementPlan& plan,
-             storage::ObjectStore& store);
+             storage::ObjectStore& store, EngineOptions options = {});
 
   /// Runs the whole DAG. `bindings[s]` must exist for every stage.
   Result<EngineResult> run(const std::map<StageId, StageBinding>& bindings,
@@ -80,6 +111,7 @@ class MiniEngine {
   const JobDag* dag_;
   const cluster::PlacementPlan* plan_;
   storage::ObjectStore* store_;
+  EngineOptions options_;
 };
 
 }  // namespace ditto::exec

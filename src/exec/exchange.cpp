@@ -8,18 +8,23 @@ namespace ditto::exec {
 Status LocalTableChannel::send(std::shared_ptr<const Table> table) {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return Status::failed_precondition("send on closed channel");
-  queue_.push_back(std::move(table));  // zero-copy: pointer moves
-  cv_.notify_one();
+  items_.push_back(std::move(table));  // zero-copy: pointer moves
+  cv_.notify_all();
   return Status::ok();
 }
 
 std::optional<std::shared_ptr<const Table>> LocalTableChannel::recv() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return std::nullopt;
-  auto out = std::move(queue_.front());
-  queue_.pop_front();
-  return out;
+  cv_.wait(lock, [this] { return next_recv_ < items_.size() || closed_; });
+  if (next_recv_ >= items_.size()) return std::nullopt;
+  return items_[next_recv_++];
+}
+
+Result<std::vector<std::shared_ptr<const Table>>> LocalTableChannel::snapshot_all() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_; });
+  if (aborted_) return Status::unavailable("exchange canceled");
+  return items_;
 }
 
 void LocalTableChannel::close() {
@@ -28,17 +33,36 @@ void LocalTableChannel::close() {
   cv_.notify_all();
 }
 
+void LocalTableChannel::reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.clear();  // the lost server's shared memory is gone
+  next_recv_ = 0;
+  closed_ = false;
+  aborted_ = false;
+}
+
+void LocalTableChannel::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  aborted_ = true;
+  cv_.notify_all();
+}
+
 Status RemoteTableChannel::send(std::shared_ptr<const Table> table) {
   std::size_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return Status::failed_precondition("send on closed channel");
-    seq = next_send_++;
+    seq = next_send_;
   }
   const shm::Buffer bytes = serialize_table(*table);  // the copy shm avoids
-  DITTO_RETURN_IF_ERROR(store_->put(prefix_ + "/" + std::to_string(seq), bytes.view()));
+  const std::string key = prefix_ + "/" + std::to_string(seq);
+  const faults::RetryPolicy pol = policy();
+  DITTO_RETURN_IF_ERROR(faults::retry_status(
+      pol, "exchange.put", [&] { return store_->put(key, bytes.view()); }, retry_counter_));
   {
     std::lock_guard<std::mutex> lock(mu_);
+    next_send_ = seq + 1;
     cv_.notify_all();
   }
   return Status::ok();
@@ -59,20 +83,61 @@ std::optional<std::shared_ptr<const Table>> RemoteTableChannel::recv() {
   return std::make_shared<const Table>(std::move(table).value());
 }
 
+Result<std::vector<std::shared_ptr<const Table>>> RemoteTableChannel::snapshot_all() const {
+  std::size_t n;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_; });
+    if (aborted_) return Status::unavailable("exchange canceled");
+    n = next_send_;
+  }
+  const faults::RetryPolicy pol = policy();
+  std::vector<std::shared_ptr<const Table>> out;
+  out.reserve(n);
+  for (std::size_t seq = 0; seq < n; ++seq) {
+    const std::string key = prefix_ + "/" + std::to_string(seq);
+    DITTO_ASSIGN_OR_RETURN(
+        std::string bytes,
+        faults::retry_result<std::string>(
+            pol, "exchange.get", [&] { return store_->get(key); }, retry_counter_));
+    DITTO_ASSIGN_OR_RETURN(Table table, deserialize_table(bytes));
+    out.push_back(std::make_shared<const Table>(std::move(table)));
+  }
+  return out;
+}
+
 void RemoteTableChannel::close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
+void RemoteTableChannel::reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Durable payloads survive in the store; the re-publish overwrites
+  // the same deterministic keys with identical bytes.
+  next_send_ = 0;
+  next_recv_ = 0;
+  closed_ = false;
+  aborted_ = false;
+}
+
+void RemoteTableChannel::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  aborted_ = true;
+  cv_.notify_all();
+}
+
 Exchange::Exchange(ExchangeKind kind, std::string partition_key,
                    const std::vector<ServerId>& prod_servers,
                    const std::vector<ServerId>& cons_servers, storage::ObjectStore& store,
-                   std::string prefix)
+                   std::string prefix, const faults::RetryPolicy* retry)
     : kind_(kind),
       partition_key_(std::move(partition_key)),
       producers_(prod_servers.size()),
-      consumers_(cons_servers.size()) {
+      consumers_(cons_servers.size()),
+      pub_state_(prod_servers.size(), PubState::kIdle) {
   channels_.reserve(producers_ * consumers_);
   for (std::size_t i = 0; i < producers_; ++i) {
     for (std::size_t j = 0; j < consumers_; ++j) {
@@ -80,7 +145,8 @@ Exchange::Exchange(ExchangeKind kind, std::string partition_key,
         channels_.push_back(std::make_unique<LocalTableChannel>());
       } else {
         channels_.push_back(std::make_unique<RemoteTableChannel>(
-            store, prefix + "/" + std::to_string(i) + "-" + std::to_string(j)));
+            store, prefix + "/" + std::to_string(i) + "-" + std::to_string(j), retry,
+            &storage_retries_));
       }
     }
   }
@@ -118,8 +184,7 @@ Status Exchange::route(std::size_t i, std::size_t j, std::shared_ptr<const Table
   return ch.send(std::move(t));
 }
 
-Status Exchange::send(std::size_t producer, Table table) {
-  if (producer >= producers_) return Status::out_of_range("bad producer index");
+Status Exchange::do_send(std::size_t producer, Table table) {
   switch (kind_) {
     case ExchangeKind::kShuffle: {
       DITTO_ASSIGN_OR_RETURN(std::vector<Table> parts,
@@ -152,29 +217,85 @@ Status Exchange::send(std::size_t producer, Table table) {
   return Status::ok();
 }
 
+Status Exchange::send(std::size_t producer, Table table) {
+  if (producer >= producers_) return Status::out_of_range("bad producer index");
+
+  // Idempotence gate: first publish wins. A duplicate arriving while
+  // the winner is still in flight waits for it to resolve — and takes
+  // over if the winner's publish failed.
+  {
+    std::unique_lock<std::mutex> lock(pub_mu_);
+    pub_cv_.wait(lock, [&] { return pub_state_[producer] != PubState::kPublishing; });
+    if (pub_state_[producer] == PubState::kPublished) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.duplicate_publishes;
+      }
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) mx.counter("exchange.duplicate_publishes").add();
+      return Status::ok();
+    }
+    pub_state_[producer] = PubState::kPublishing;
+  }
+
+  const Status st = do_send(producer, std::move(table));
+  {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    pub_state_[producer] = st.is_ok() ? PubState::kPublished : PubState::kIdle;
+  }
+  pub_cv_.notify_all();
+  return st;
+}
+
 Result<Table> Exchange::recv_all(std::size_t consumer) {
   if (consumer >= consumers_) return Status::out_of_range("bad consumer index");
   Table merged;
   bool first = true;
   for (std::size_t i = 0; i < producers_; ++i) {
     // Gather sends only on one pipe; others close empty.
-    for (;;) {
-      auto t = channel(i, consumer).recv();
-      if (!t.has_value()) break;
+    DITTO_ASSIGN_OR_RETURN(auto items, channel(i, consumer).snapshot_all());
+    for (const auto& t : items) {
       if (first) {
-        merged = **t;
+        merged = *t;
         first = false;
       } else {
-        DITTO_RETURN_IF_ERROR(merged.concat(**t));
+        DITTO_RETURN_IF_ERROR(merged.concat(*t));
       }
     }
   }
   return merged;
 }
 
+void Exchange::reset_producer(std::size_t producer) {
+  if (producer >= producers_) return;
+  {
+    std::unique_lock<std::mutex> lock(pub_mu_);
+    pub_cv_.wait(lock, [&] { return pub_state_[producer] != PubState::kPublishing; });
+    pub_state_[producer] = PubState::kIdle;
+  }
+  for (std::size_t j = 0; j < consumers_; ++j) channel(producer, j).reopen();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.producers_reset;
+}
+
+void Exchange::cancel() {
+  for (auto& ch : channels_) ch->abort();
+  pub_cv_.notify_all();
+}
+
+bool Exchange::producer_has_local_channel(std::size_t producer) const {
+  if (producer >= producers_) return false;
+  for (std::size_t j = 0; j < consumers_; ++j) {
+    if (channel(producer, j).is_zero_copy()) return true;
+  }
+  return false;
+}
+
 ExchangeStats Exchange::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ExchangeStats out = stats_;
+  out.storage_retries = storage_retries_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace ditto::exec

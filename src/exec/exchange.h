@@ -10,10 +10,26 @@
 //     deserialize on the consumer side.
 // Exchange stats expose which path each message took, so tests and
 // examples can verify the zero-copy claim end to end.
+//
+// Resilience contract (what makes duplicate task execution safe):
+//   * send() is IDEMPOTENT per producer — the first publish wins, later
+//     publishes of the same producer index are discarded. Remote
+//     payloads live under deterministic keys, so a re-publish after a
+//     partial failure overwrites byte-identical data.
+//   * recv_all() is NON-DESTRUCTIVE — it snapshots the routed payloads
+//     without consuming them, so a speculative duplicate of a consumer
+//     task gathers exactly what the original saw.
+//   * remote puts/gets run under a RetryPolicy (capped exponential
+//     backoff), so transient storage errors injected by a FlakyStore
+//     are absorbed inside the fabric.
+//   * reset_producer() reopens one producer's channels after a server
+//     loss so the engine can re-run the producer task and re-publish
+//     its lost zero-copy intermediates (remote data survives in the
+//     object store and is simply overwritten identically).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,6 +41,7 @@
 #include "exec/partition.h"
 #include "exec/serde.h"
 #include "exec/table.h"
+#include "faults/retry_policy.h"
 #include "storage/object_store.h"
 
 namespace ditto::exec {
@@ -33,9 +50,29 @@ namespace ditto::exec {
 class TableChannel {
  public:
   virtual ~TableChannel() = default;
+
   virtual Status send(std::shared_ptr<const Table> table) = 0;
+
+  /// Destructive streaming read (legacy interface; channel-level tests
+  /// and benches use it). nullopt = closed and drained.
   virtual std::optional<std::shared_ptr<const Table>> recv() = 0;
+
+  /// Non-destructive read of every payload sent so far; blocks until
+  /// the channel is closed. Safe to call repeatedly (duplicate-safe
+  /// consumers) and after a producer re-publish.
+  virtual Result<std::vector<std::shared_ptr<const Table>>> snapshot_all() const = 0;
+
   virtual void close() = 0;
+
+  /// Reopens the channel after a producer reset, dropping any locally
+  /// buffered payloads (a lost server's shared memory); durable remote
+  /// payloads survive and are overwritten by the re-publish.
+  virtual void reopen() = 0;
+
+  /// Closes the channel and makes snapshot_all() fail UNAVAILABLE; used
+  /// to unblock consumers when the job aborts.
+  virtual void abort() = 0;
+
   virtual bool is_zero_copy() const = 0;
 };
 
@@ -44,59 +81,100 @@ class LocalTableChannel final : public TableChannel {
  public:
   Status send(std::shared_ptr<const Table> table) override;
   std::optional<std::shared_ptr<const Table>> recv() override;
+  Result<std::vector<std::shared_ptr<const Table>>> snapshot_all() const override;
   void close() override;
+  void reopen() override;
+  void abort() override;
   bool is_zero_copy() const override { return true; }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<const Table>> queue_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<std::shared_ptr<const Table>> items_;
+  std::size_t next_recv_ = 0;
   bool closed_ = false;
+  bool aborted_ = false;
 };
 
-/// Cross-server: serialize -> ObjectStore -> deserialize.
+/// Cross-server: serialize -> ObjectStore -> deserialize. Payload keys
+/// are deterministic (`prefix/seq`), so re-publishes after failure are
+/// idempotent overwrites and snapshots re-read from the store.
 class RemoteTableChannel final : public TableChannel {
  public:
-  RemoteTableChannel(storage::ObjectStore& store, std::string prefix)
-      : store_(&store), prefix_(std::move(prefix)) {}
+  RemoteTableChannel(storage::ObjectStore& store, std::string prefix,
+                     const faults::RetryPolicy* retry = nullptr,
+                     std::atomic<std::size_t>* retry_counter = nullptr)
+      : store_(&store), prefix_(std::move(prefix)), retry_(retry),
+        retry_counter_(retry_counter) {}
 
   Status send(std::shared_ptr<const Table> table) override;
   std::optional<std::shared_ptr<const Table>> recv() override;
+  Result<std::vector<std::shared_ptr<const Table>>> snapshot_all() const override;
   void close() override;
+  void reopen() override;
+  void abort() override;
   bool is_zero_copy() const override { return false; }
 
  private:
+  faults::RetryPolicy policy() const {
+    return retry_ != nullptr ? *retry_ : faults::RetryPolicy{.max_attempts = 1};
+  }
+
   storage::ObjectStore* store_;
   const std::string prefix_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  const faults::RetryPolicy* retry_;
+  std::atomic<std::size_t>* retry_counter_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
   std::size_t next_send_ = 0;
   std::size_t next_recv_ = 0;
   bool closed_ = false;
+  bool aborted_ = false;
 };
 
 struct ExchangeStats {
   std::size_t zero_copy_messages = 0;
   std::size_t remote_messages = 0;
   Bytes remote_bytes = 0;
+  std::size_t duplicate_publishes = 0;  ///< idempotently discarded sends
+  std::size_t storage_retries = 0;      ///< remote put/get retries absorbed
+  std::size_t producers_reset = 0;      ///< server-loss recovery resets
 };
 
 /// All channels of one DAG edge: producers x consumers.
 class Exchange {
  public:
   /// `prod_servers[i]` / `cons_servers[j]` decide each pipe's flavour.
+  /// `retry` (not owned, may be null) governs remote put/get retries.
   Exchange(ExchangeKind kind, std::string partition_key,
            const std::vector<ServerId>& prod_servers,
            const std::vector<ServerId>& cons_servers, storage::ObjectStore& store,
-           std::string prefix);
+           std::string prefix, const faults::RetryPolicy* retry = nullptr);
 
   /// Producer `i` publishes its output table; the exchange routes
   /// partitions (shuffle), the whole table (broadcast/all-gather), or a
-  /// 1:1 slice (gather) and then closes producer i's pipes.
+  /// 1:1 slice (gather) and then closes producer i's pipes. Idempotent:
+  /// the first publish per producer wins, duplicates are discarded (and
+  /// block until the winner's publish resolves, taking over if it
+  /// failed), which is what makes speculative re-execution safe.
   Status send(std::size_t producer, Table table);
 
-  /// Consumer `j` receives and concatenates everything routed to it.
+  /// Consumer `j` receives and concatenates everything routed to it, in
+  /// producer order (deterministic regardless of timing). Non-
+  /// destructive: duplicate consumers see identical input.
   Result<Table> recv_all(std::size_t consumer);
+
+  /// Forgets producer `i`'s publish and reopens its channels, dropping
+  /// locally buffered (zero-copy) payloads. The engine then re-runs the
+  /// producer task to re-publish. Used for server-loss recovery.
+  void reset_producer(std::size_t producer);
+
+  /// Aborts every channel so blocked consumers fail fast (job abort).
+  void cancel();
+
+  /// True if any of producer `i`'s channels is a zero-copy pipe (its
+  /// payloads would be lost with the producer's server).
+  bool producer_has_local_channel(std::size_t producer) const;
 
   ExchangeStats stats() const;
 
@@ -104,16 +182,27 @@ class Exchange {
   std::size_t consumers() const { return consumers_; }
 
  private:
+  enum class PubState : std::uint8_t { kIdle, kPublishing, kPublished };
+
   TableChannel& channel(std::size_t i, std::size_t j) {
     return *channels_[i * consumers_ + j];
   }
+  const TableChannel& channel(std::size_t i, std::size_t j) const {
+    return *channels_[i * consumers_ + j];
+  }
   Status route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t);
+  Status do_send(std::size_t producer, Table table);
 
   const ExchangeKind kind_;
   const std::string partition_key_;
   std::size_t producers_;
   std::size_t consumers_;
   std::vector<std::unique_ptr<TableChannel>> channels_;
+  std::atomic<std::size_t> storage_retries_{0};
+
+  mutable std::mutex pub_mu_;
+  std::condition_variable pub_cv_;
+  std::vector<PubState> pub_state_;
 
   mutable std::mutex stats_mu_;
   ExchangeStats stats_;

@@ -1,0 +1,275 @@
+#include "faults/fault_injector.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ditto::faults {
+
+namespace {
+
+/// splitmix64 finalizer: turns an accumulated site key into a
+/// well-mixed 64-bit value.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+}
+
+std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
+  for (char c : s) h = hash_combine(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  return h;
+}
+
+void note_injection(const char* kind) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("faults.injected", {{"kind", kind}}).add();
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) tc.instant("fault", kind, tc.now_us(), -1, 0);
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool FaultSpec::any() const {
+  return storage_error_prob > 0.0 || (storage_delay > 0.0 && storage_delay_prob > 0.0) ||
+         crash_prob > 0.0 || !crash_tasks.empty() || hang_prob > 0.0 || !hang_tasks.empty() ||
+         server_loss != kNoServer;
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream os;
+  const char* sep = "";
+  const auto emit = [&](const std::string& part) {
+    os << sep << part;
+    sep = ",";
+  };
+  if (storage_error_prob > 0.0) emit("storage_error=" + format_double(storage_error_prob));
+  if (storage_delay > 0.0 && storage_delay_prob > 0.0) {
+    std::string part = "storage_delay=" + format_double(storage_delay);
+    if (storage_delay_prob < 1.0) part += "@" + format_double(storage_delay_prob);
+    emit(part);
+  }
+  if (crash_prob > 0.0) emit("crash=" + format_double(crash_prob));
+  for (const auto& [s, t] : crash_tasks) {
+    emit("crash=" + std::to_string(s) + ":" + std::to_string(t));
+  }
+  if (hang_prob > 0.0) {
+    emit("hang=" + format_double(hang_prob) + ":" + format_double(hang_seconds));
+  }
+  for (const auto& [s, t, secs] : hang_tasks) {
+    emit("hang=" + std::to_string(s) + ":" + std::to_string(t) + ":" + format_double(secs));
+  }
+  if (server_loss != kNoServer) {
+    std::string part = "server_loss=" + std::to_string(server_loss);
+    if (server_loss_wave != 1) part += "@" + std::to_string(server_loss_wave);
+    emit(part);
+  }
+  if (seed != 1) emit("seed=" + std::to_string(seed));
+  return os.str();
+}
+
+Result<FaultSpec> parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::invalid_argument("fault spec item missing '=': " + item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    try {
+      if (key == "storage_error") {
+        spec.storage_error_prob = std::stod(val);
+      } else if (key == "storage_delay") {
+        const auto at = val.find('@');
+        spec.storage_delay = std::stod(val.substr(0, at));
+        spec.storage_delay_prob =
+            at == std::string::npos ? 1.0 : std::stod(val.substr(at + 1));
+      } else if (key == "crash") {
+        const auto colon = val.find(':');
+        if (colon == std::string::npos) {
+          spec.crash_prob = std::stod(val);
+        } else {
+          spec.crash_tasks.emplace_back(
+              static_cast<StageId>(std::stoul(val.substr(0, colon))),
+              static_cast<TaskId>(std::stoul(val.substr(colon + 1))));
+        }
+      } else if (key == "hang") {
+        const auto c1 = val.find(':');
+        if (c1 == std::string::npos) {
+          return Status::invalid_argument("hang needs P:SECS or S:T:SECS: " + item);
+        }
+        const auto c2 = val.find(':', c1 + 1);
+        if (c2 == std::string::npos) {
+          spec.hang_prob = std::stod(val.substr(0, c1));
+          spec.hang_seconds = std::stod(val.substr(c1 + 1));
+        } else {
+          spec.hang_tasks.emplace_back(
+              static_cast<StageId>(std::stoul(val.substr(0, c1))),
+              static_cast<TaskId>(std::stoul(val.substr(c1 + 1, c2 - c1 - 1))),
+              std::stod(val.substr(c2 + 1)));
+        }
+      } else if (key == "server_loss") {
+        const auto at = val.find('@');
+        spec.server_loss = static_cast<ServerId>(std::stoul(val.substr(0, at)));
+        if (at != std::string::npos) spec.server_loss_wave = std::stoi(val.substr(at + 1));
+      } else if (key == "seed") {
+        spec.seed = std::stoull(val);
+      } else {
+        return Status::invalid_argument("unknown fault spec key: " + key);
+      }
+    } catch (const std::exception&) {
+      return Status::invalid_argument("bad fault spec value: " + item);
+    }
+  }
+  if (spec.storage_error_prob < 0.0 || spec.storage_error_prob >= 1.0) {
+    return Status::invalid_argument("storage_error prob must be in [0,1)");
+  }
+  if (spec.crash_prob < 0.0 || spec.crash_prob > 1.0 || spec.hang_prob < 0.0 ||
+      spec.hang_prob > 1.0 || spec.storage_delay_prob < 0.0 || spec.storage_delay_prob > 1.0) {
+    return Status::invalid_argument("fault probabilities must be in [0,1]");
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {}
+
+double FaultInjector::draw(std::uint64_t site_hash) const {
+  // 53 mantissa bits of the mixed hash -> uniform double in [0,1).
+  return static_cast<double>(mix64(site_hash ^ spec_.seed) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t FaultInjector::site_seq(std::string_view op, std::string_view key) {
+  std::string site;
+  site.reserve(op.size() + key.size() + 1);
+  site.append(op);
+  site.push_back('|');
+  site.append(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_ops_[site]++;
+}
+
+bool FaultInjector::should_fail_storage(std::string_view op, std::string_view key) {
+  if (spec_.storage_error_prob <= 0.0) return false;
+  std::uint64_t h = hash_str(hash_combine(1, 0xe7), op);
+  h = hash_str(h, key);
+  h = hash_combine(h, site_seq(op, key));
+  if (draw(h) >= spec_.storage_error_prob) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.storage_errors;
+  }
+  note_injection("storage_error");
+  return true;
+}
+
+Seconds FaultInjector::storage_delay(std::string_view op, std::string_view key) {
+  if (spec_.storage_delay <= 0.0 || spec_.storage_delay_prob <= 0.0) return 0.0;
+  std::uint64_t h = hash_str(hash_combine(2, 0xd3), op);
+  h = hash_str(h, key);
+  h = hash_combine(h, site_seq(op, key));
+  if (draw(h) >= spec_.storage_delay_prob) return 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.storage_delays;
+  }
+  note_injection("storage_delay");
+  return spec_.storage_delay;
+}
+
+bool FaultInjector::should_crash(StageId s, TaskId t, int attempt) {
+  if (attempt != 0) return false;  // retries always run clean -> convergence
+  bool hit = false;
+  for (const auto& [cs, ct] : spec_.crash_tasks) {
+    if (cs == s && ct == t) hit = true;
+  }
+  if (!hit && spec_.crash_prob > 0.0) {
+    const std::uint64_t h = hash_combine(hash_combine(hash_combine(3, 0xc1), s), t);
+    hit = draw(h) < spec_.crash_prob;
+  }
+  if (!hit) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.task_crashes;
+  }
+  note_injection("task_crash");
+  return true;
+}
+
+Seconds FaultInjector::hang_seconds(StageId s, TaskId t, int attempt) {
+  if (attempt != 0) return 0.0;
+  for (const auto& [hs, ht, secs] : spec_.hang_tasks) {
+    if (hs == s && ht == t) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.task_hangs;
+      }
+      note_injection("task_hang");
+      return secs;
+    }
+  }
+  if (spec_.hang_prob > 0.0) {
+    const std::uint64_t h = hash_combine(hash_combine(hash_combine(4, 0xa9), s), t);
+    if (draw(h) < spec_.hang_prob) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.task_hangs;
+      }
+      note_injection("task_hang");
+      return spec_.hang_seconds;
+    }
+  }
+  return 0.0;
+}
+
+ServerId FaultInjector::take_server_loss(int wave) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (spec_.server_loss == kNoServer || server_loss_fired_ || wave < spec_.server_loss_wave) {
+    return kNoServer;
+  }
+  server_loss_fired_ = true;
+  dead_servers_.insert(spec_.server_loss);
+  ++counts_.servers_lost;
+  lock.unlock();
+  note_injection("server_loss");
+  return spec_.server_loss;
+}
+
+void FaultInjector::mark_server_dead(ServerId v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_servers_.insert(v);
+}
+
+bool FaultInjector::server_dead(ServerId v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_servers_.count(v) != 0;
+}
+
+FaultCounts FaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+void FaultInjector::reset_counts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_ = FaultCounts{};
+}
+
+}  // namespace ditto::faults

@@ -1,0 +1,127 @@
+// Seeded, deterministic fault injection for chaos testing.
+//
+// Serverless platforms make transient failure the common case: storage
+// requests time out, functions crash or stall, whole servers disappear
+// mid-job (Wukong re-executes failed tasks at the scheduler; Netherite
+// builds its programming model around reliable re-execution). The
+// FaultInjector is the single source of injected misbehaviour for the
+// whole stack — the FlakyStore decorator consults it per storage op,
+// the MiniEngine per task attempt and wave, and the discrete-event
+// simulator replays the same fault classes at cluster scale.
+//
+// Determinism: every probabilistic decision is a pure function of
+// (seed, site, nth-op-at-site), never of wall time or thread
+// interleaving. Two runs with the same seed and the same per-site op
+// sequences inject the same faults, which is what lets the chaos CI
+// job assert byte-identical results against a fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "dag/types.h"
+
+namespace ditto::faults {
+
+/// What to inject, parsed from a `--faults` spec string. Fields left at
+/// their defaults inject nothing. Spec grammar (comma-separated):
+///   storage_error=P            fail storage puts/gets with prob P
+///   storage_delay=SECS[@P]     add SECS latency to storage ops (prob P, default 1)
+///   crash=P                    crash each task's first attempt with prob P
+///   crash=S:T                  crash stage S task T's first attempt
+///   hang=P:SECS                hang each task with prob P for SECS
+///   hang=S:T:SECS              hang stage S task T for SECS
+///   server_loss=V[@W]          lose server V before wave index W (default 1)
+///   seed=N                     deterministic seed (default 1)
+struct FaultSpec {
+  double storage_error_prob = 0.0;
+  double storage_delay_prob = 0.0;
+  Seconds storage_delay = 0.0;
+  double crash_prob = 0.0;
+  std::vector<std::pair<StageId, TaskId>> crash_tasks;
+  double hang_prob = 0.0;
+  Seconds hang_seconds = 0.5;
+  std::vector<std::tuple<StageId, TaskId, Seconds>> hang_tasks;
+  ServerId server_loss = kNoServer;
+  int server_loss_wave = 1;
+  std::uint64_t seed = 1;
+
+  /// True when at least one fault class is armed.
+  bool any() const;
+
+  /// Canonical spec string (parse(to_string(s)) == s).
+  std::string to_string() const;
+};
+
+Result<FaultSpec> parse_fault_spec(const std::string& text);
+
+/// How many faults of each class were actually injected.
+struct FaultCounts {
+  std::size_t storage_errors = 0;
+  std::size_t storage_delays = 0;
+  std::size_t task_crashes = 0;
+  std::size_t task_hangs = 0;
+  std::size_t servers_lost = 0;
+
+  std::size_t total() const {
+    return storage_errors + storage_delays + task_crashes + task_hangs + servers_lost;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // --- storage plane (consulted by FlakyStore) -------------------------
+  /// Should the nth `op` on `key` fail with UNAVAILABLE? Deterministic
+  /// per (seed, op, key, n); increments the per-site op counter.
+  bool should_fail_storage(std::string_view op, std::string_view key);
+
+  /// Extra latency to add to the nth `op` on `key` (0 = none).
+  Seconds storage_delay(std::string_view op, std::string_view key);
+
+  // --- task plane (consulted by MiniEngine / simulator) ----------------
+  /// Crash this task attempt? Probabilistic crashes hit only attempt 0
+  /// so that retry always converges; explicit crash_tasks likewise.
+  bool should_crash(StageId s, TaskId t, int attempt);
+
+  /// Seconds this task attempt should stall before doing work (0 = no
+  /// hang). Hangs hit only attempt 0 — the respawned copy runs clean.
+  Seconds hang_seconds(StageId s, TaskId t, int attempt);
+
+  // --- server plane ----------------------------------------------------
+  /// Server to kill before executing wave `wave`, or kNoServer. Fires at
+  /// most once; the returned server is marked dead.
+  ServerId take_server_loss(int wave);
+
+  void mark_server_dead(ServerId v);
+  bool server_dead(ServerId v) const;
+
+  FaultCounts counts() const;
+  void reset_counts();
+
+ private:
+  /// Uniform [0,1) from a site hash — the deterministic coin.
+  double draw(std::uint64_t site_hash) const;
+  std::uint64_t site_seq(std::string_view op, std::string_view key);
+
+  const FaultSpec spec_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint64_t> site_ops_;
+  std::unordered_set<ServerId> dead_servers_;
+  bool server_loss_fired_ = false;
+  FaultCounts counts_;
+};
+
+}  // namespace ditto::faults

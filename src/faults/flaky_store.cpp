@@ -1,0 +1,30 @@
+#include "faults/flaky_store.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ditto::faults {
+
+Status FlakyStore::inject(const char* op, const std::string& key) const {
+  const Seconds extra = injector_->storage_delay(op, key);
+  if (extra > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+  }
+  if (injector_->should_fail_storage(op, key)) {
+    return Status::unavailable(std::string("injected storage error (") + op + " " + key + ")");
+  }
+  return Status::ok();
+}
+
+Status FlakyStore::put(const std::string& key, std::string_view value) {
+  DITTO_RETURN_IF_ERROR(inject("put", key));
+  return inner_->put(key, value);
+}
+
+Result<std::string> FlakyStore::get(const std::string& key) const {
+  const Status st = inject("get", key);
+  if (!st.is_ok()) return st;
+  return inner_->get(key);
+}
+
+}  // namespace ditto::faults

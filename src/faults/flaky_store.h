@@ -1,0 +1,56 @@
+// FlakyStore: ObjectStore decorator that injects storage faults.
+//
+// Wraps any ObjectStore and consults a FaultInjector before each put or
+// get: an injected error surfaces as UNAVAILABLE *before* the inner
+// store is touched (a failed put writes nothing — callers must retry),
+// an injected delay is slept for in real time.
+//
+// Latency composition rule (see also StorageModel::transfer_time): the
+// inner store models backend time as `transfer_time(n) * delay_scale`
+// and sleeps it itself; the FlakyStore adds ONLY the injected extra on
+// top. Total observed delay = modeled + injected — the two never scale
+// each other, so enabling fault injection does not change the modeled
+// S3-vs-Redis asymmetry.
+#pragma once
+
+#include <string>
+
+#include "faults/fault_injector.h"
+#include "storage/object_store.h"
+
+namespace ditto::faults {
+
+class FlakyStore final : public storage::ObjectStore {
+ public:
+  /// Neither the inner store nor the injector is owned; both must
+  /// outlive the FlakyStore.
+  FlakyStore(storage::ObjectStore& inner, FaultInjector& injector)
+      : inner_(&inner), injector_(&injector),
+        kind_(std::string("flaky-") + inner.kind()) {}
+
+  const char* kind() const override { return kind_.c_str(); }
+  const storage::StorageModel& model() const override { return inner_->model(); }
+
+  Status put(const std::string& key, std::string_view value) override;
+  Result<std::string> get(const std::string& key) const override;
+
+  bool contains(const std::string& key) const override { return inner_->contains(key); }
+  Status remove(const std::string& key) override { return inner_->remove(key); }
+  std::vector<std::string> list(const std::string& prefix) const override {
+    return inner_->list(prefix);
+  }
+  Bytes used_bytes() const override { return inner_->used_bytes(); }
+  storage::StoreStats stats() const override { return inner_->stats(); }
+
+  storage::ObjectStore& inner() { return *inner_; }
+
+ private:
+  /// Applies injected delay, then decides injected failure.
+  Status inject(const char* op, const std::string& key) const;
+
+  storage::ObjectStore* inner_;
+  FaultInjector* injector_;
+  const std::string kind_;
+};
+
+}  // namespace ditto::faults

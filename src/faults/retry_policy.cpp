@@ -1,0 +1,48 @@
+#include "faults/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ditto::faults {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Seconds RetryPolicy::backoff(int attempt, std::uint64_t salt) const {
+  const int n = std::max(1, attempt);
+  Seconds base = initial_backoff * std::pow(backoff_multiplier, n - 1);
+  base = std::min(base, max_backoff);
+  if (jitter > 0.0) {
+    // Deterministic jitter in [-jitter, +jitter] of the base value.
+    const double u =
+        static_cast<double>(mix64(salt ^ static_cast<std::uint64_t>(n)) >> 11) * 0x1.0p-53;
+    base *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return std::max(0.0, base);
+}
+
+void note_retry(const char* site, int attempt, const Status& failure) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter("resilience.storage_retries", {{"site", site}}).add();
+  }
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    obs::TraceArgs args;
+    args.emplace_back("site", site);
+    args.emplace_back("attempt", std::to_string(attempt));
+    args.emplace_back("after", status_code_name(failure.code()));
+    tc.instant("resilience", "retry", tc.now_us(), -1, 0, std::move(args));
+  }
+}
+
+}  // namespace ditto::faults

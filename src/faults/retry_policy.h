@@ -1,0 +1,128 @@
+// RetryPolicy: capped exponential backoff with deterministic jitter and
+// a per-op time budget, plus the ResiliencePolicy bundle the execution
+// layers (MiniEngine, Exchange, simulator) share.
+//
+// Only UNAVAILABLE is treated as transient: it is what the FlakyStore
+// injects and what a flaky network/storage backend would surface.
+// NOT_FOUND, RESOURCE_EXHAUSTED, INVALID_ARGUMENT etc. are permanent —
+// retrying them would just burn the budget.
+//
+// Jitter is deterministic: it is derived from (salt, attempt), never
+// from a global RNG or the clock, so a seeded chaos run replays the
+// exact same backoff schedule.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/units.h"
+
+namespace ditto::faults {
+
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total tries (1 = no retry)
+  Seconds initial_backoff = 1e-3;
+  double backoff_multiplier = 2.0;
+  Seconds max_backoff = 0.05;      ///< cap per sleep
+  double jitter = 0.25;            ///< +/- fraction of the backoff
+  Seconds budget = 2.0;            ///< total wall budget per op (0 = unbounded)
+
+  static bool retriable(StatusCode code) { return code == StatusCode::kUnavailable; }
+
+  /// Backoff before retry number `attempt` (1-based), jittered
+  /// deterministically by `salt`.
+  Seconds backoff(int attempt, std::uint64_t salt) const;
+};
+
+/// Observability hook: counts one retry (metrics counter + trace
+/// instant) for the given site label.
+void note_retry(const char* site, int attempt, const Status& failure);
+
+/// Runs `op` under `policy`. Transient failures (see retriable()) are
+/// retried with capped exponential backoff until attempts or budget run
+/// out; the last failure is returned. `retries` (optional) accumulates
+/// the number of re-tries performed.
+template <typename Fn>
+Status retry_status(const RetryPolicy& policy, const char* site, Fn&& op,
+                    std::atomic<std::size_t>* retries = nullptr) {
+  Stopwatch clock;
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts); ++attempt) {
+    if (attempt > 0) {
+      const Seconds wait = policy.backoff(attempt, std::hash<const char*>{}(site));
+      if (policy.budget > 0.0 && clock.elapsed_seconds() + wait > policy.budget) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      if (retries != nullptr) retries->fetch_add(1, std::memory_order_relaxed);
+      note_retry(site, attempt, last);
+    }
+    last = op();
+    if (last.is_ok() || !RetryPolicy::retriable(last.code())) return last;
+  }
+  return last;
+}
+
+/// Result<T> flavour of retry_status.
+template <typename T, typename Fn>
+Result<T> retry_result(const RetryPolicy& policy, const char* site, Fn&& op,
+                       std::atomic<std::size_t>* retries = nullptr) {
+  Stopwatch clock;
+  Status last = Status::internal("retry loop did not run");
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts); ++attempt) {
+    if (attempt > 0) {
+      const Seconds wait = policy.backoff(attempt, std::hash<const char*>{}(site));
+      if (policy.budget > 0.0 && clock.elapsed_seconds() + wait > policy.budget) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      if (retries != nullptr) retries->fetch_add(1, std::memory_order_relaxed);
+      note_retry(site, attempt, last);
+    }
+    Result<T> r = op();
+    if (r.ok() || !RetryPolicy::retriable(r.status().code())) return r;
+    last = r.status();
+  }
+  return last;
+}
+
+/// The resilience knobs threaded through MiniEngine and the simulator.
+struct ResiliencePolicy {
+  /// Max attempts per task (original + retries). 1 disables retry.
+  int max_task_attempts = 3;
+
+  /// Retry policy for storage puts/gets in the exchange fabric.
+  RetryPolicy storage;
+
+  /// Per-task deadline: a running attempt older than this gets a
+  /// duplicate launched (first writer wins). 0 disables deadlines.
+  Seconds task_deadline = 0.0;
+
+  /// Speculative straggler re-execution: once half a wave has finished,
+  /// tasks slower than `speculation_factor` x the median completed
+  /// duration (and older than `speculation_min_wait`) get a duplicate.
+  /// 0 disables speculation.
+  double speculation_factor = 0.0;
+  Seconds speculation_min_wait = 0.05;
+
+  bool speculation_enabled() const { return speculation_factor > 0.0; }
+};
+
+/// Aggregate resilience activity of one run (engine or simulator).
+struct ResilienceStats {
+  std::size_t task_retries = 0;
+  std::size_t speculative_launched = 0;
+  std::size_t speculative_wins = 0;
+  std::size_t storage_retries = 0;
+  std::size_t servers_lost = 0;
+  std::size_t tasks_rerouted = 0;
+  std::size_t producers_recovered = 0;
+  std::size_t duplicate_publishes = 0;  ///< idempotent-discarded exchange sends
+
+  std::size_t total_events() const {
+    return task_retries + speculative_launched + speculative_wins + storage_retries +
+           servers_lost + tasks_rerouted + producers_recovered + duplicate_publishes;
+  }
+};
+
+}  // namespace ditto::faults

@@ -50,6 +50,7 @@ ExecutionReport build_execution_report(const JobDag& dag, const scheduler::Sched
 
   if (extras.trace) report.trace_events = extras.trace->size();
   if (extras.metrics) report.metrics_text = extras.metrics->to_text();
+  if (extras.resilience) report.resilience = *extras.resilience;
   return report;
 }
 
@@ -85,6 +86,20 @@ std::string ExecutionReport::to_text() const {
                   bytes_to_string(r.bytes_read).c_str(),
                   bytes_to_string(r.bytes_written).c_str());
     os << buf;
+  }
+
+  if (resilience.enabled) {
+    const ResilienceSection& r = resilience;
+    os << "\nresilience (faults: " << (r.fault_spec.empty() ? "none" : r.fault_spec)
+       << ", seed " << r.fault_seed << "):\n";
+    os << "  injected: " << r.injected_total() << " (storage_errors " << r.storage_errors
+       << ", storage_delays " << r.storage_delays << ", task_crashes " << r.task_crashes
+       << ", task_hangs " << r.task_hangs << ", servers_lost " << r.servers_lost << ")\n";
+    os << "  recovered: task_retries " << r.task_retries << ", storage_retries "
+       << r.storage_retries << ", speculative " << r.speculative_launched << " launched/"
+       << r.speculative_wins << " won, tasks_rerouted " << r.tasks_rerouted
+       << ", producers_recovered " << r.producers_recovered << ", duplicate_publishes "
+       << r.duplicate_publishes << "\n";
   }
 
   if (trace_events > 0) os << "\ntrace: " << trace_events << " events collected\n";
@@ -124,6 +139,21 @@ std::string ExecutionReport::to_json() const {
        << "}";
   }
   os << "]";
+  if (resilience.enabled) {
+    const ResilienceSection& r = resilience;
+    os << ",\"resilience\":{\"fault_spec\":\"" << json_escape(r.fault_spec) << "\""
+       << ",\"fault_seed\":" << r.fault_seed
+       << ",\"storage_errors\":" << r.storage_errors
+       << ",\"storage_delays\":" << r.storage_delays
+       << ",\"task_crashes\":" << r.task_crashes << ",\"task_hangs\":" << r.task_hangs
+       << ",\"servers_lost\":" << r.servers_lost << ",\"task_retries\":" << r.task_retries
+       << ",\"storage_retries\":" << r.storage_retries
+       << ",\"speculative_launched\":" << r.speculative_launched
+       << ",\"speculative_wins\":" << r.speculative_wins
+       << ",\"tasks_rerouted\":" << r.tasks_rerouted
+       << ",\"producers_recovered\":" << r.producers_recovered
+       << ",\"duplicate_publishes\":" << r.duplicate_publishes << "}";
+  }
   os << ",\"plan_text\":\"" << json_escape(plan_text) << "\"";
   if (!metrics_text.empty()) {
     os << ",\"metrics_text\":\"" << json_escape(metrics_text) << "\"";

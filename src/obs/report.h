@@ -9,6 +9,7 @@
 // obs::parse_json; the integration tests do exactly that).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,37 @@ struct StageReportRow {
   Bytes bytes_written = 0;
 };
 
+/// Fault-injection + resilience activity of one run. A plain struct
+/// (obs cannot depend on ditto_faults without a cycle): callers copy
+/// counters in from faults::FaultCounts / faults::ResilienceStats.
+struct ResilienceSection {
+  bool enabled = false;             ///< a fault spec was armed for this run
+  std::string fault_spec;           ///< canonical spec string
+  std::uint64_t fault_seed = 0;
+  // Injected faults, by class.
+  std::size_t storage_errors = 0;
+  std::size_t storage_delays = 0;
+  std::size_t task_crashes = 0;
+  std::size_t task_hangs = 0;
+  // How the run absorbed them.
+  std::size_t task_retries = 0;
+  std::size_t storage_retries = 0;
+  std::size_t speculative_launched = 0;
+  std::size_t speculative_wins = 0;
+  std::size_t servers_lost = 0;
+  std::size_t tasks_rerouted = 0;
+  std::size_t producers_recovered = 0;
+  std::size_t duplicate_publishes = 0;
+
+  std::size_t injected_total() const {
+    return storage_errors + storage_delays + task_crashes + task_hangs + servers_lost;
+  }
+  std::size_t recovery_total() const {
+    return task_retries + storage_retries + speculative_launched + speculative_wins +
+           tasks_rerouted + producers_recovered + duplicate_publishes;
+  }
+};
+
 struct ExecutionReport {
   std::string job;
   std::string scheduler;
@@ -50,6 +82,7 @@ struct ExecutionReport {
   std::size_t zero_copy_edges = 0;
   std::size_t remote_edges = 0;
   std::vector<StageReportRow> stages;
+  ResilienceSection resilience;  ///< rendered only when enabled
   std::string plan_text;      ///< explain_plan rendering
   std::size_t trace_events = 0;
   std::string metrics_text;   ///< MetricsRegistry::to_text snapshot
@@ -68,6 +101,7 @@ struct ReportExtras {
   double actual_cost = -1.0;                ///< simulated cost when known
   const TraceCollector* trace = nullptr;    ///< event count provenance
   const MetricsRegistry* metrics = nullptr; ///< snapshot to embed
+  const ResilienceSection* resilience = nullptr;  ///< fault/recovery counters
 };
 
 ExecutionReport build_execution_report(const JobDag& dag, const scheduler::SchedulePlan& plan,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <set>
+#include <string>
 
 namespace ditto::sim {
 
@@ -37,7 +40,19 @@ SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
   std::vector<Seconds> stage_start(n, 0.0), stage_end(n, 0.0);
   result.stages.resize(n);
 
-  for (StageId s : topological_order(*dag_)) {
+  // Fault replay mirrors the engine: a seeded injector decides per-site,
+  // and the resilience policy decides how much time each fault costs.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (options_.faults.any()) {
+    injector = std::make_unique<faults::FaultInjector>(options_.faults);
+  }
+  std::vector<std::vector<ServerId>> task_server = plan.task_server;
+  std::vector<std::vector<bool>> rerouted(n);
+  for (std::size_t s2 = 0; s2 < n; ++s2) rerouted[s2].assign(task_server[s2].size(), false);
+
+  const std::vector<StageId> order = topological_order(*dag_);
+  for (std::size_t wave = 0; wave < order.size(); ++wave) {
+    const StageId s = order[wave];
     const Stage& stage = dag_->stage(s);
     const int d = plan.dop[s];
     Rng rng(mix_seed(options_.seed, s, static_cast<std::uint64_t>(d), 0));
@@ -46,6 +61,58 @@ SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
     for (StageId p : dag_->parents(s)) ready = std::max(ready, stage_end[p]);
     if (options_.honor_launch_times && s < plan.launch_time.size()) {
       ready = std::max(ready, plan.launch_time[s]);
+    }
+
+    // Server-loss boundary: reroute pending tasks to survivors and pay
+    // the recomputation of completed zero-copy producers the dead
+    // server held (remote intermediates survive in the store for free).
+    if (injector != nullptr) {
+      const ServerId lost = injector->take_server_loss(static_cast<int>(wave));
+      if (lost != kNoServer) {
+        result.resilience.servers_lost += 1;
+        std::set<ServerId> alive_set;
+        for (const auto& ts : task_server) {
+          for (ServerId v : ts) {
+            if (v != kNoServer && !injector->server_dead(v)) alive_set.insert(v);
+          }
+        }
+        const std::vector<ServerId> alive(alive_set.begin(), alive_set.end());
+        const std::set<StageId> pending(order.begin() + wave, order.end());
+        Seconds recovery = 0.0;
+        for (std::size_t idx = 0; idx < wave; ++idx) {
+          const StageId p = order[idx];
+          bool feeds_pending_zero_copy = false;
+          for (StageId c : dag_->children(p)) {
+            if (pending.count(c) != 0 && colocated(p, c)) {
+              feeds_pending_zero_copy = true;
+              break;
+            }
+          }
+          if (!feeds_pending_zero_copy) continue;
+          const StageTrace& pt = result.stages[p];
+          const Seconds mean_task =
+              pt.mean_setup + pt.mean_read + pt.mean_compute + pt.mean_write;
+          for (ServerId v : task_server[p]) {
+            if (v == lost) {
+              recovery += mean_task;  // re-run the producer task on a survivor
+              result.resilience.producers_recovered += 1;
+            }
+          }
+        }
+        if (!alive.empty()) {
+          std::size_t rr = 0;
+          for (const StageId p : pending) {
+            for (std::size_t i = 0; i < task_server[p].size(); ++i) {
+              if (task_server[p][i] == lost) {
+                task_server[p][i] = alive[rr++ % alive.size()];
+                rerouted[p][i] = true;
+                result.resilience.tasks_rerouted += 1;
+              }
+            }
+          }
+        }
+        ready += recovery;
+      }
     }
     stage_start[s] = ready;
 
@@ -59,9 +126,10 @@ SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
       TaskTrace task;
       task.stage = s;
       task.task = static_cast<TaskId>(t);
-      task.server = t < static_cast<int>(plan.task_server[s].size())
-                        ? plan.task_server[s][t]
+      task.server = t < static_cast<int>(task_server[s].size())
+                        ? task_server[s][t]
                         : kNoServer;
+      task.rerouted = t < static_cast<int>(rerouted[s].size()) && rerouted[s][t];
       task.start = ready;
       task.setup = options_.setup_time *
                    std::max(0.1, rng.normal(1.0, options_.setup_jitter_sigma));
@@ -77,6 +145,23 @@ SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
         } else {
           const double parallelized = step.alpha / static_cast<double>(d);
           t_step = (parallelized + step.beta) * noise(rng, parallelized);
+          // Injected storage misbehaviour (remote path only). Latency is
+          // ADDITIVE on top of the modeled time; an injected error costs
+          // a full re-request plus the policy's first backoff.
+          if (injector != nullptr && step.kind != StepKind::kCompute) {
+            const char* op = step.kind == StepKind::kRead ? "get" : "put";
+            const std::string site = std::to_string(s) + ":" + std::to_string(t) + ":" +
+                                     std::to_string(step.dep);
+            t_step += injector->storage_delay(op, site);
+            if (injector->should_fail_storage(op, site) &&
+                options_.resilience.storage.max_attempts > 1) {
+              t_step = 2.0 * t_step +
+                       options_.resilience.storage.backoff(
+                           1, mix_seed(options_.faults.seed, s,
+                                       static_cast<std::uint64_t>(t), step.dep));
+              result.resilience.storage_retries += 1;
+            }
+          }
         }
         switch (step.kind) {
           case StepKind::kRead: task.read += t_step; break;
@@ -85,13 +170,36 @@ SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
         }
       }
 
-      if (options_.task_failure_prob > 0.0 && rng.coin(options_.task_failure_prob)) {
+      const bool crashed =
+          injector != nullptr && injector->should_crash(s, static_cast<TaskId>(t), 0);
+      if (crashed ||
+          (options_.task_failure_prob > 0.0 && rng.coin(options_.task_failure_prob))) {
         // The failed attempt is re-executed from scratch.
         task.read *= 2.0;
         task.compute *= 2.0;
         task.write *= 2.0;
         task.setup *= 2.0;
         task.retried = true;
+        result.resilience.task_retries += 1;
+      }
+
+      if (injector != nullptr) {
+        const Seconds h = injector->hang_seconds(s, static_cast<TaskId>(t), 0);
+        if (h > 0.0) {
+          // With speculation on, a duplicate launches once the hang
+          // exceeds the straggler threshold and wins; the job only pays
+          // the detection wait. Without it, the full hang is on the path.
+          Seconds penalty = h;
+          if (options_.resilience.speculation_enabled()) {
+            penalty = std::min(
+                h, std::max(options_.resilience.speculation_min_wait,
+                            options_.resilience.speculation_factor * task.duration()));
+            task.speculated = true;
+            result.resilience.speculative_launched += 1;
+            if (penalty < h) result.resilience.speculative_wins += 1;
+          }
+          task.setup += penalty;
+        }
       }
 
       st.mean_setup += task.setup;
@@ -118,6 +226,7 @@ SimResult JobSimulator::run(const cluster::PlacementPlan& plan) const {
     st.end = stage_end[s];
     result.jct = std::max(result.jct, stage_end[s]);
   }
+  if (injector != nullptr) result.fault_events = injector->counts();
 
   // Intermediate-data persistence cost: from production (end of the
   // producer's write) to consumption (end of the consumer's read).

@@ -39,6 +39,8 @@ struct TaskTrace {
   Seconds compute = 0.0;
   Seconds write = 0.0;
   bool retried = false;
+  bool speculated = false;  ///< a duplicate was launched and won
+  bool rerouted = false;    ///< moved off a lost server
   Seconds end() const { return start + setup + read + compute + write; }
   Seconds duration() const { return setup + read + compute + write; }
 };
@@ -68,6 +70,8 @@ struct SimResult {
   SimCost cost;
   std::vector<StageTrace> stages;
   std::vector<TaskTrace> tasks;
+  faults::FaultCounts fault_events;       ///< what the injector fired
+  faults::ResilienceStats resilience;     ///< how the run absorbed it
 };
 
 class JobSimulator {

@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "faults/fault_injector.h"
+#include "faults/retry_policy.h"
 
 namespace ditto::sim {
 
@@ -36,6 +38,17 @@ struct SimOptions {
   bool honor_launch_times = true;
 
   std::uint64_t seed = 1;
+
+  /// Fault classes to replay at simulated-cluster scale (mirrors the
+  /// engine's injection: storage errors/delays, crashes, hangs, server
+  /// loss). Defaults inject nothing. Injected storage latency composes
+  /// ADDITIVELY with the modeled transfer time, per the rule documented
+  /// at StorageModel::transfer_time.
+  faults::FaultSpec faults;
+
+  /// How the simulated job absorbs injected faults (retry backoff,
+  /// speculation threshold). Mirrors MiniEngine's EngineOptions.
+  faults::ResiliencePolicy resilience;
 };
 
 }  // namespace ditto::sim

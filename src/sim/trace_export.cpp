@@ -57,8 +57,21 @@ void export_trace(const JobDag& dag, const cluster::PlacementPlan& plan,
     args.emplace_back("stage", stage_name);
     args.emplace_back("task", std::to_string(t.task));
     if (t.retried) args.emplace_back("retried", "true");
+    if (t.speculated) args.emplace_back("speculated", "true");
+    if (t.rerouted) args.emplace_back("rerouted", "true");
     collector.span("sim.task", stage_name + "/" + std::to_string(t.task), off + to_us(t.start),
                    to_us(t.duration()), pid, tid, std::move(args));
+    // Fault/recovery instants so injected misbehaviour is visible as
+    // markers on the task's own track in Perfetto.
+    if (t.retried) {
+      collector.instant("resilience", "task_retry", off + to_us(t.start), pid, tid);
+    }
+    if (t.speculated) {
+      collector.instant("resilience", "speculative_launch", off + to_us(t.start), pid, tid);
+    }
+    if (t.rerouted) {
+      collector.instant("resilience", "task_rerouted", off + to_us(t.start), pid, tid);
+    }
     if (options.task_phases) {
       Seconds cursor = t.start;
       const std::pair<const char*, Seconds> phases[] = {

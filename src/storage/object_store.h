@@ -30,6 +30,13 @@ struct StorageModel {
   Bytes capacity = 0;                   ///< 0 = unbounded
 
   /// Modeled wall time for transferring `n` bytes in one request.
+  ///
+  /// Composition with fault injection: injected latency (FlakyStore,
+  /// FaultSpec::storage_delay) is ADDED on top of this modeled time,
+  /// once per attempt — total = transfer_time(n) + injected_delay.
+  /// The two never multiply, and a retried op pays the modeled time
+  /// again per attempt (it is a new request), plus the retry backoff.
+  /// Simulator and engine follow the same rule so their timings agree.
   Seconds transfer_time(Bytes n) const {
     Seconds t = request_latency;
     if (bandwidth_bytes_per_s > 0.0) t += static_cast<double>(n) / bandwidth_bytes_per_s;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 
 namespace ditto {
 namespace {
@@ -71,6 +72,43 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // destructor joins
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitGuardedConvertsExceptionToStatus) {
+  // Regression: a task that throws must surface as INTERNAL, not crash
+  // the worker thread or poison the pool.
+  ThreadPool pool(2);
+  auto f = pool.submit_guarded([]() -> Status { throw std::runtime_error("task bug"); });
+  const Status st = f.get();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("task bug"), std::string::npos);
+  // The pool still works after the throw.
+  auto ok = pool.submit_guarded([] { return Status::ok(); });
+  EXPECT_TRUE(ok.get().is_ok());
+}
+
+TEST(ThreadPoolTest, SubmitGuardedHandlesNonStandardExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit_guarded([]() -> Status { throw 42; });
+  EXPECT_EQ(f.get().code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, SubmitGuardedWrapsVoidCallables) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  auto ok = pool.submit_guarded([&ran] { ran = true; });
+  EXPECT_TRUE(ok.get().is_ok());
+  EXPECT_TRUE(ran.load());
+  auto bad = pool.submit_guarded([]() { throw std::logic_error("void task bug"); });
+  EXPECT_EQ(bad.get().code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, SubmitGuardedPassesStatusThrough) {
+  ThreadPool pool(1);
+  auto f = pool.submit_guarded([] { return Status::unavailable("transient"); });
+  const Status st = f.get();
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.message(), "transient");
 }
 
 }  // namespace

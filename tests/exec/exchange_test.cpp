@@ -147,5 +147,66 @@ TEST(ExchangeTest, IndexBoundsChecked) {
   EXPECT_FALSE(ex.recv_all(5).ok());
 }
 
+TEST(ExchangeTest, DuplicatePublishIsDiscardedIdempotently) {
+  // A speculative duplicate of a producer task publishes the same
+  // output again; the exchange must keep exactly one copy.
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({1}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 20)).is_ok());
+  ASSERT_TRUE(ex.send(0, keyed(0, 20)).is_ok());  // duplicate: no-op
+  const auto t = ex.recv_all(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 20u);  // not doubled
+  EXPECT_EQ(ex.stats().duplicate_publishes, 1u);
+}
+
+TEST(ExchangeTest, RecvAllIsNonDestructive) {
+  // A duplicate consumer attempt must gather exactly what the original
+  // saw: receiving is a snapshot, not a drain.
+  auto store = storage::make_instant_store();
+  for (const auto& cons : {servers({0}), servers({1})}) {  // local and remote pipes
+    Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), cons, *store, "x" + std::to_string(cons[0]));
+    ASSERT_TRUE(ex.send(0, keyed(0, 15)).is_ok());
+    const auto first = ex.recv_all(0);
+    const auto second = ex.recv_all(0);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(*first, *second);
+    EXPECT_EQ(first->num_rows(), 15u);
+  }
+}
+
+TEST(ExchangeTest, ResetProducerAllowsRepublish) {
+  // Server-loss recovery: forget the producer's publish, re-run it, and
+  // consumers still see a single consistent copy.
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({0}), *store, "x");
+  ASSERT_TRUE(ex.send(0, keyed(0, 10)).is_ok());
+  ex.reset_producer(0);
+  ASSERT_TRUE(ex.send(0, keyed(0, 10)).is_ok());  // re-publish, not a duplicate
+  const auto t = ex.recv_all(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 10u);
+  EXPECT_EQ(ex.stats().producers_reset, 1u);
+  EXPECT_EQ(ex.stats().duplicate_publishes, 0u);
+}
+
+TEST(ExchangeTest, ProducerHasLocalChannelTracksPlacement) {
+  auto store = storage::make_instant_store();
+  // Producer 0 is co-located with consumer 0; producer 1 is alone on 2.
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0, 2}), servers({0, 1}), *store, "x");
+  EXPECT_TRUE(ex.producer_has_local_channel(0));
+  EXPECT_FALSE(ex.producer_has_local_channel(1));
+}
+
+TEST(ExchangeTest, CancelUnblocksConsumersWithUnavailable) {
+  auto store = storage::make_instant_store();
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({0}), *store, "x");
+  ex.cancel();  // producer never published
+  const auto t = ex.recv_all(0);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace ditto::exec

@@ -1,0 +1,155 @@
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ditto::faults {
+namespace {
+
+TEST(FaultSpecTest, DefaultInjectsNothing) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  EXPECT_EQ(spec.to_string(), "");
+}
+
+TEST(FaultSpecTest, ParseFullGrammar) {
+  const auto spec = parse_fault_spec(
+      "storage_error=0.05,storage_delay=0.002@0.3,crash=0.1,crash=2:3,"
+      "hang=0.2:0.5,hang=1:0:4,server_loss=1@2,seed=99");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_DOUBLE_EQ(spec->storage_error_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec->storage_delay, 0.002);
+  EXPECT_DOUBLE_EQ(spec->storage_delay_prob, 0.3);
+  EXPECT_DOUBLE_EQ(spec->crash_prob, 0.1);
+  ASSERT_EQ(spec->crash_tasks.size(), 1u);
+  EXPECT_EQ(spec->crash_tasks[0], (std::pair<StageId, TaskId>{2, 3}));
+  EXPECT_DOUBLE_EQ(spec->hang_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spec->hang_seconds, 0.5);
+  ASSERT_EQ(spec->hang_tasks.size(), 1u);
+  EXPECT_EQ(std::get<0>(spec->hang_tasks[0]), 1u);
+  EXPECT_EQ(std::get<1>(spec->hang_tasks[0]), 0u);
+  EXPECT_DOUBLE_EQ(std::get<2>(spec->hang_tasks[0]), 4.0);
+  EXPECT_EQ(spec->server_loss, 1u);
+  EXPECT_EQ(spec->server_loss_wave, 2);
+  EXPECT_EQ(spec->seed, 99u);
+  EXPECT_TRUE(spec->any());
+}
+
+TEST(FaultSpecTest, ToStringRoundTrips) {
+  const char* text =
+      "storage_error=0.05,storage_delay=0.002@0.3,crash=2:3,hang=1:0:4,"
+      "server_loss=1@2,seed=99";
+  const auto spec = parse_fault_spec(text);
+  ASSERT_TRUE(spec.ok());
+  const auto again = parse_fault_spec(spec->to_string());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->to_string(), spec->to_string());
+  EXPECT_EQ(spec->to_string(), text);
+}
+
+TEST(FaultSpecTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_fault_spec("nonsense").ok());
+  EXPECT_FALSE(parse_fault_spec("unknown_key=1").ok());
+  EXPECT_FALSE(parse_fault_spec("crash=notanumber").ok());
+  EXPECT_FALSE(parse_fault_spec("hang=0.5").ok());          // needs P:SECS
+  EXPECT_FALSE(parse_fault_spec("storage_error=1.5").ok()); // prob out of range
+  EXPECT_FALSE(parse_fault_spec("crash=-0.1").ok());
+}
+
+TEST(FaultInjectorTest, StorageFailuresAreDeterministicPerSeed) {
+  const auto spec = parse_fault_spec("storage_error=0.3,seed=5");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector a(*spec);
+  FaultInjector b(*spec);
+  std::vector<bool> seq_a, seq_b;
+  for (int i = 0; i < 200; ++i) {
+    seq_a.push_back(a.should_fail_storage("put", "edge/0"));
+    seq_b.push_back(b.should_fail_storage("put", "edge/0"));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(a.counts().storage_errors, b.counts().storage_errors);
+
+  // A different seed flips some decisions.
+  auto other = *spec;
+  other.seed = 6;
+  FaultInjector c(other);
+  std::vector<bool> seq_c;
+  for (int i = 0; i < 200; ++i) seq_c.push_back(c.should_fail_storage("put", "edge/0"));
+  EXPECT_NE(seq_a, seq_c);
+}
+
+TEST(FaultInjectorTest, StorageFailureRateTracksProbability) {
+  const auto spec = parse_fault_spec("storage_error=0.2,seed=11");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(*spec);
+  int failures = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (inj.should_fail_storage("put", "k")) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.2, 0.05);
+  EXPECT_EQ(inj.counts().storage_errors, static_cast<std::size_t>(failures));
+}
+
+TEST(FaultInjectorTest, DelayInjectsConfiguredSeconds) {
+  const auto spec = parse_fault_spec("storage_delay=0.25");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(*spec);
+  EXPECT_DOUBLE_EQ(inj.storage_delay("get", "k"), 0.25);  // prob defaults to 1
+  EXPECT_EQ(inj.counts().storage_delays, 1u);
+  EXPECT_FALSE(inj.should_fail_storage("get", "k"));  // errors not armed
+}
+
+TEST(FaultInjectorTest, TargetedCrashHitsOnlyFirstAttempt) {
+  const auto spec = parse_fault_spec("crash=1:2");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(*spec);
+  EXPECT_FALSE(inj.should_crash(1, 1, 0));  // wrong task
+  EXPECT_TRUE(inj.should_crash(1, 2, 0));
+  EXPECT_FALSE(inj.should_crash(1, 2, 1));  // retry runs clean
+  EXPECT_EQ(inj.counts().task_crashes, 1u);
+}
+
+TEST(FaultInjectorTest, TargetedHangReturnsSecondsOnce) {
+  const auto spec = parse_fault_spec("hang=0:1:2.5");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(*spec);
+  EXPECT_DOUBLE_EQ(inj.hang_seconds(0, 1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(inj.hang_seconds(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(inj.hang_seconds(0, 1, 1), 0.0);  // duplicate runs clean
+}
+
+TEST(FaultInjectorTest, ServerLossFiresExactlyOnceAtItsWave) {
+  const auto spec = parse_fault_spec("server_loss=2@3");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(*spec);
+  EXPECT_EQ(inj.take_server_loss(0), kNoServer);
+  EXPECT_EQ(inj.take_server_loss(2), kNoServer);
+  EXPECT_FALSE(inj.server_dead(2));
+  EXPECT_EQ(inj.take_server_loss(3), 2u);
+  EXPECT_TRUE(inj.server_dead(2));
+  EXPECT_EQ(inj.take_server_loss(4), kNoServer);  // fires at most once
+  EXPECT_EQ(inj.counts().servers_lost, 1u);
+}
+
+TEST(FaultInjectorTest, MarkServerDeadIsIndependentOfSpec) {
+  FaultInjector inj(FaultSpec{});
+  EXPECT_FALSE(inj.server_dead(7));
+  inj.mark_server_dead(7);
+  EXPECT_TRUE(inj.server_dead(7));
+  EXPECT_EQ(inj.counts().total(), 0u);  // manual marking is not an injection
+}
+
+TEST(FaultInjectorTest, ResetCountsClears) {
+  const auto spec = parse_fault_spec("storage_delay=0.1");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(*spec);
+  (void)inj.storage_delay("put", "a");
+  EXPECT_GT(inj.counts().total(), 0u);
+  inj.reset_counts();
+  EXPECT_EQ(inj.counts().total(), 0u);
+}
+
+}  // namespace
+}  // namespace ditto::faults

@@ -1,0 +1,146 @@
+#include "faults/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace ditto::faults {
+namespace {
+
+TEST(RetryPolicyTest, OnlyUnavailableIsRetriable) {
+  EXPECT_TRUE(RetryPolicy::retriable(StatusCode::kUnavailable));
+  EXPECT_FALSE(RetryPolicy::retriable(StatusCode::kNotFound));
+  EXPECT_FALSE(RetryPolicy::retriable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(RetryPolicy::retriable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(RetryPolicy::retriable(StatusCode::kInternal));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsDeterministicallyAndCaps) {
+  RetryPolicy pol;
+  pol.initial_backoff = 0.01;
+  pol.backoff_multiplier = 2.0;
+  pol.max_backoff = 0.03;
+  pol.jitter = 0.25;
+  // Deterministic: same (attempt, salt) -> same wait, different salt differs.
+  EXPECT_DOUBLE_EQ(pol.backoff(1, 42), pol.backoff(1, 42));
+  EXPECT_NE(pol.backoff(1, 42), pol.backoff(1, 43));
+  // Jitter stays within +/- 25% of the nominal value, and the cap holds.
+  EXPECT_GE(pol.backoff(1, 1), 0.01 * 0.75);
+  EXPECT_LE(pol.backoff(1, 1), 0.01 * 1.25);
+  for (int attempt = 1; attempt < 8; ++attempt) {
+    EXPECT_LE(pol.backoff(attempt, 7), 0.03 * 1.25) << attempt;
+  }
+}
+
+RetryPolicy fast_policy(int attempts = 3) {
+  RetryPolicy pol;
+  pol.max_attempts = attempts;
+  pol.initial_backoff = 1e-4;
+  pol.max_backoff = 1e-3;
+  return pol;
+}
+
+TEST(RetryStatusTest, TransientFailuresAreAbsorbed) {
+  int calls = 0;
+  std::atomic<std::size_t> retries{0};
+  const Status st = retry_status(
+      fast_policy(), "test.op",
+      [&]() -> Status {
+        return ++calls < 3 ? Status::unavailable("flaky") : Status::ok();
+      },
+      &retries);
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.load(), 2u);
+}
+
+TEST(RetryStatusTest, PermanentFailureReturnsImmediately) {
+  int calls = 0;
+  const Status st = retry_status(fast_policy(), "test.op", [&]() -> Status {
+    ++calls;
+    return Status::resource_exhausted("store full");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 1);  // RESOURCE_EXHAUSTED is permanent: no retry burned
+}
+
+TEST(RetryStatusTest, AttemptsExhaustedReturnsLastFailure) {
+  int calls = 0;
+  const Status st = retry_status(fast_policy(3), "test.op", [&]() -> Status {
+    ++calls;
+    return Status::unavailable("always down");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryStatusTest, BudgetStopsRetrying) {
+  RetryPolicy pol = fast_policy(10);
+  pol.initial_backoff = 0.05;
+  pol.max_backoff = 0.05;
+  pol.jitter = 0.0;
+  pol.budget = 0.01;  // smaller than one backoff: no retry fits
+  int calls = 0;
+  const Status st = retry_status(pol, "test.op", [&]() -> Status {
+    ++calls;
+    return Status::unavailable("down");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryStatusTest, SingleAttemptPolicyNeverRetries) {
+  int calls = 0;
+  const Status st = retry_status(fast_policy(1), "test.op", [&]() -> Status {
+    ++calls;
+    return Status::unavailable("down");
+  });
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryResultTest, ValueComesThroughAfterRetries) {
+  int calls = 0;
+  const Result<int> r = retry_result<int>(fast_policy(), "test.op", [&]() -> Result<int> {
+    if (++calls < 2) return Status::unavailable("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryResultTest, NotFoundIsNotRetried) {
+  int calls = 0;
+  const Result<int> r = retry_result<int>(fast_policy(), "test.op", [&]() -> Result<int> {
+    ++calls;
+    return Status::not_found("gone");
+  });
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ResiliencePolicyTest, DefaultsAreSaneAndDormant) {
+  ResiliencePolicy pol;
+  EXPECT_EQ(pol.max_task_attempts, 3);
+  EXPECT_FALSE(pol.speculation_enabled());
+  EXPECT_DOUBLE_EQ(pol.task_deadline, 0.0);
+  pol.speculation_factor = 2.0;
+  EXPECT_TRUE(pol.speculation_enabled());
+}
+
+TEST(ResilienceStatsTest, TotalSumsAllClasses) {
+  ResilienceStats stats;
+  stats.task_retries = 1;
+  stats.speculative_launched = 2;
+  stats.speculative_wins = 1;
+  stats.storage_retries = 3;
+  stats.servers_lost = 1;
+  stats.tasks_rerouted = 2;
+  stats.producers_recovered = 1;
+  stats.duplicate_publishes = 1;
+  EXPECT_EQ(stats.total_events(), 12u);
+}
+
+}  // namespace
+}  // namespace ditto::faults

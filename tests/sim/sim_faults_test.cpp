@@ -1,0 +1,159 @@
+// Fault modeling in the discrete-event simulator: injected faults must
+// cost simulated time the same way the engine pays wall time for them,
+// deterministically per seed.
+#include <gtest/gtest.h>
+
+#include "sim/job_simulator.h"
+#include "storage/sim_store.h"
+
+namespace ditto::sim {
+namespace {
+
+JobDag chain() {
+  JobDag dag("chain");
+  const StageId a = dag.add_stage("a");
+  const StageId b = dag.add_stage("b");
+  EXPECT_TRUE(dag.add_edge(a, b, ExchangeKind::kShuffle, 1_GB).is_ok());
+  dag.stage(a).add_step({StepKind::kCompute, kNoStage, 20.0, 0.5, false});
+  dag.stage(a).add_step({StepKind::kWrite, b, 10.0, 0.3, false});
+  dag.stage(b).add_step({StepKind::kRead, a, 10.0, 0.3, false});
+  dag.stage(b).add_step({StepKind::kCompute, kNoStage, 8.0, 0.5, false});
+  return dag;
+}
+
+cluster::PlacementPlan two_server_plan(const JobDag& dag, int dop) {
+  cluster::PlacementPlan plan;
+  plan.dop.assign(dag.num_stages(), dop);
+  plan.task_server.resize(dag.num_stages());
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    for (int t = 0; t < dop; ++t) {
+      plan.task_server[s].push_back(static_cast<ServerId>(t % 2));
+    }
+  }
+  return plan;
+}
+
+SimOptions base_options() {
+  SimOptions opts;
+  opts.skew_sigma = 0.0;
+  opts.setup_time = 0.0;
+  opts.setup_jitter_sigma = 0.0;
+  return opts;
+}
+
+SimOptions with_faults(const std::string& spec) {
+  SimOptions opts = base_options();
+  const auto parsed = faults::parse_fault_spec(spec);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+  opts.faults = *parsed;
+  return opts;
+}
+
+TEST(SimFaultsTest, EmptySpecMatchesFaultFreeExactly) {
+  const JobDag dag = chain();
+  const auto plan = two_server_plan(dag, 4);
+  const SimResult clean = JobSimulator(dag, storage::s3_model(), base_options()).run(plan);
+  const SimResult armed = JobSimulator(dag, storage::s3_model(), with_faults("")).run(plan);
+  EXPECT_DOUBLE_EQ(armed.jct, clean.jct);
+  EXPECT_EQ(armed.fault_events.total(), 0u);
+  EXPECT_EQ(armed.resilience.total_events(), 0u);
+}
+
+TEST(SimFaultsTest, InjectedFaultsAreDeterministicAndCostTime) {
+  const JobDag dag = chain();
+  const auto plan = two_server_plan(dag, 4);
+  const double clean_jct = JobSimulator(dag, storage::s3_model(), base_options()).run(plan).jct;
+
+  const auto opts = with_faults("storage_error=0.4,crash=0.3,seed=5");
+  const SimResult a = JobSimulator(dag, storage::s3_model(), opts).run(plan);
+  const SimResult b = JobSimulator(dag, storage::s3_model(), opts).run(plan);
+  EXPECT_DOUBLE_EQ(a.jct, b.jct);
+  EXPECT_EQ(a.fault_events.storage_errors, b.fault_events.storage_errors);
+  EXPECT_EQ(a.fault_events.task_crashes, b.fault_events.task_crashes);
+  EXPECT_GT(a.fault_events.total(), 0u);
+  EXPECT_GT(a.jct, clean_jct);  // faults are never free
+}
+
+TEST(SimFaultsTest, StorageErrorsShowUpAsRetries) {
+  const JobDag dag = chain();
+  const auto plan = two_server_plan(dag, 4);
+  const auto opts = with_faults("storage_error=0.5,seed=3");
+  const SimResult r = JobSimulator(dag, storage::s3_model(), opts).run(plan);
+  EXPECT_GT(r.fault_events.storage_errors, 0u);
+  EXPECT_GT(r.resilience.storage_retries, 0u);
+}
+
+TEST(SimFaultsTest, CrashedTasksAreMarkedRetried) {
+  const JobDag dag = chain();
+  const auto plan = two_server_plan(dag, 4);
+  const auto opts = with_faults("crash=0:1");
+  const SimResult r = JobSimulator(dag, storage::s3_model(), opts).run(plan);
+  EXPECT_EQ(r.fault_events.task_crashes, 1u);
+  EXPECT_EQ(r.resilience.task_retries, 1u);
+  bool found = false;
+  for (const TaskTrace& t : r.tasks) {
+    if (t.stage == 0 && t.task == 1) {
+      found = true;
+      EXPECT_TRUE(t.retried);
+    } else {
+      EXPECT_FALSE(t.retried);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimFaultsTest, SpeculationCapsTheHangPenalty) {
+  const JobDag dag = chain();
+  const auto plan = two_server_plan(dag, 4);
+  // A 50-second hang dwarfs the job itself.
+  SimOptions hung = with_faults("hang=0:1:50");
+  const double without = JobSimulator(dag, storage::s3_model(), hung).run(plan).jct;
+
+  hung.resilience.speculation_factor = 2.0;
+  const SimResult mitigated = JobSimulator(dag, storage::s3_model(), hung).run(plan);
+  EXPECT_LT(mitigated.jct, without - 10.0);  // most of the hang is cut
+  EXPECT_GE(mitigated.resilience.speculative_launched, 1u);
+  EXPECT_GE(mitigated.resilience.speculative_wins, 1u);
+  bool speculated = false;
+  for (const TaskTrace& t : mitigated.tasks) speculated |= t.speculated;
+  EXPECT_TRUE(speculated);
+}
+
+TEST(SimFaultsTest, ServerLossReroutesLaterWaves) {
+  const JobDag dag = chain();
+  const auto plan = two_server_plan(dag, 4);
+  const auto opts = with_faults("server_loss=1@1");
+  const SimResult r = JobSimulator(dag, storage::s3_model(), opts).run(plan);
+  EXPECT_EQ(r.fault_events.servers_lost, 1u);
+  EXPECT_EQ(r.resilience.servers_lost, 1u);
+  EXPECT_GT(r.resilience.tasks_rerouted, 0u);
+  for (const TaskTrace& t : r.tasks) {
+    if (t.stage == 1) {
+      EXPECT_NE(t.server, 1u);  // nothing runs on the dead server
+    }
+    if (t.rerouted) {
+      EXPECT_EQ(t.stage, 1u);
+    }
+  }
+  // With no zero-copy producers on the lost server, nothing has to be
+  // recomputed: remote intermediates survive in the store, so recovery
+  // costs no extra simulated time here.
+  const double clean_jct = JobSimulator(dag, storage::s3_model(), base_options()).run(plan).jct;
+  EXPECT_GE(r.jct, clean_jct);
+}
+
+TEST(SimFaultsTest, ServerLossRecomputesZeroCopyProducers) {
+  const JobDag dag = chain();
+  cluster::PlacementPlan plan = two_server_plan(dag, 4);
+  // Stage a/b tasks are pairwise co-located and the edge is zero-copy:
+  // losing server 1 destroys a's shared-memory intermediates there.
+  plan.zero_copy_edges = {{0, 1}};
+  const double clean_jct = JobSimulator(dag, storage::s3_model(), base_options()).run(plan).jct;
+  const auto opts = with_faults("server_loss=1@1");
+  const SimResult r = JobSimulator(dag, storage::s3_model(), opts).run(plan);
+  EXPECT_GT(r.resilience.producers_recovered, 0u);
+  EXPECT_GT(r.jct, clean_jct);  // re-running the producers costs time
+}
+
+}  // namespace
+}  // namespace ditto::sim

@@ -48,6 +48,23 @@ TEST(MemStoreTest, CapacityEnforced) {
   EXPECT_TRUE(store.put("c", "xx").is_ok());
 }
 
+TEST(MemStoreTest, ExhaustedPutWritesNothing) {
+  // A RESOURCE_EXHAUSTED put must be all-or-nothing: the key does not
+  // appear and accounting is untouched, so a caller that frees space
+  // and re-puts gets a clean overwrite, never a partial object.
+  StorageModel model;
+  model.capacity = 6;
+  MemStore store(model, "bounded");
+  ASSERT_TRUE(store.put("a", "123456").is_ok());
+  EXPECT_EQ(store.put("b", "xy").code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_EQ(store.get("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.used_bytes(), 6u);
+  // Free space, retry: succeeds.
+  ASSERT_TRUE(store.remove("a").is_ok());
+  EXPECT_TRUE(store.put("b", "xy").is_ok());
+}
+
 TEST(MemStoreTest, ListByPrefix) {
   MemStore store;
   ASSERT_TRUE(store.put("job1/s0", "a").is_ok());

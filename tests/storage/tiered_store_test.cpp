@@ -38,6 +38,37 @@ TEST(TieredStoreTest, FullFastTierSpillsToSlow) {
   EXPECT_EQ(store->get("b").value(), "zz");
 }
 
+TEST(TieredStoreTest, BothTiersFullSurfacesResourceExhausted) {
+  StorageModel fast = redis_model();
+  fast.capacity = 8;
+  StorageModel slow = s3_model();
+  slow.capacity = 8;
+  TieredStore store(std::make_unique<MemStore>(fast, "fast"),
+                    std::make_unique<MemStore>(slow, "slow"), /*threshold=*/10);
+  ASSERT_TRUE(store.put("a", "12345678").is_ok());  // fills fast
+  ASSERT_TRUE(store.put("b", "abcdefgh").is_ok());  // spills, fills slow
+  const Status st = store.put("c", "x");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // Existing data stays readable; nothing was partially written.
+  EXPECT_EQ(store.get("a").value(), "12345678");
+  EXPECT_EQ(store.get("b").value(), "abcdefgh");
+  EXPECT_FALSE(store.contains("c"));
+}
+
+TEST(TieredStoreTest, SpilledObjectsReadBackAfterFastTierFrees) {
+  auto store = small_tiers(/*threshold=*/10, /*fast_capacity=*/8);
+  ASSERT_TRUE(store->put("hot", "12345678").is_ok());   // fast tier full
+  ASSERT_TRUE(store->put("cold", "spillme").is_ok());   // forced to slow
+  EXPECT_TRUE(store->slow_tier().contains("cold"));
+  ASSERT_TRUE(store->remove("hot").is_ok());
+  // The spilled object is still served (reads span tiers)...
+  EXPECT_EQ(store->get("cold").value(), "spillme");
+  // ...and an overwrite now lands in the freed fast tier.
+  ASSERT_TRUE(store->put("cold", "spillme").is_ok());
+  EXPECT_TRUE(store->fast_tier().contains("cold"));
+  EXPECT_FALSE(store->slow_tier().contains("cold"));
+}
+
 TEST(TieredStoreTest, OverwriteAcrossTiersKeepsOneCopy) {
   auto store = small_tiers(10);
   ASSERT_TRUE(store->put("k", std::string(100, 'x')).is_ok());  // slow

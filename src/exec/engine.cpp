@@ -50,6 +50,12 @@ struct TaskSlot {
   std::atomic<bool> won{false};
   std::atomic<bool> spec_launched{false};
   double launch = 0.0;  ///< run-clock time the controller was submitted
+
+  /// Failure that exhausted the original attempt chain. Written only by
+  /// the original-attempt thread, read by the wave driver after every
+  /// future has drained (future.get() orders the accesses). Promoted to
+  /// the run's first_error only if no speculative duplicate won.
+  Status exhausted;
 };
 
 /// Everything the per-attempt closures share for one run() call.
@@ -417,10 +423,9 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
                               /*speculative=*/false, slot, dur_mu, durations);
           if (last.is_ok()) return Status::ok();
         }
-        // Out of attempts. A speculative duplicate may still win; the
-        // wave driver decides after the wave drains.
-        std::lock_guard<std::mutex> lock(rs.error_mu);
-        if (rs.first_error.is_ok()) rs.first_error = last;
+        // Out of attempts. A speculative duplicate may still win the
+        // slot; record the failure and let the post-wave check decide.
+        slot.exhausted = last;
         return Status::ok();
       }));
     }
@@ -501,8 +506,10 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
         std::lock_guard<std::mutex> lock(rs.error_mu);
         if (rs.first_error.is_ok()) {
           rs.first_error =
-              Status::internal("task " + task_label(*dag_, s, static_cast<TaskId>(t)) +
-                               " failed every attempt");
+              !slots[t].exhausted.is_ok()
+                  ? slots[t].exhausted
+                  : Status::internal("task " + task_label(*dag_, s, static_cast<TaskId>(t)) +
+                                     " failed every attempt");
         }
         rs.failed.store(true);
       }

@@ -137,7 +137,8 @@ Exchange::Exchange(ExchangeKind kind, std::string partition_key,
       partition_key_(std::move(partition_key)),
       producers_(prod_servers.size()),
       consumers_(cons_servers.size()),
-      pub_state_(prod_servers.size(), PubState::kIdle) {
+      pub_state_(prod_servers.size(), PubState::kIdle),
+      stats_counted_(prod_servers.size(), false) {
   channels_.reserve(producers_ * consumers_);
   for (std::size_t i = 0; i < producers_; ++i) {
     for (std::size_t j = 0; j < consumers_; ++j) {
@@ -152,53 +153,75 @@ Exchange::Exchange(ExchangeKind kind, std::string partition_key,
   }
 }
 
-Status Exchange::route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t) {
+Status Exchange::route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t,
+                       PendingStats& pending) {
   TableChannel& ch = channel(i, j);
   const Bytes payload = t->byte_size();
+  if (ch.is_zero_copy()) {
+    ++pending.zero_copy_messages;
+    pending.zero_copy_bytes += payload;
+  } else {
+    ++pending.remote_messages;
+    pending.remote_bytes += payload;
+  }
+  return ch.send(std::move(t));
+}
+
+// Routing telemetry is committed once per producer, on its first winning
+// publish: failed-publish retries and server-loss re-publishes move the
+// same logical data again and would otherwise inflate the
+// zero-copy-vs-remote counters relative to the data actually exchanged.
+void Exchange::commit_route_stats(std::size_t producer, const PendingStats& pending) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    if (ch.is_zero_copy()) {
-      ++stats_.zero_copy_messages;
-    } else {
-      ++stats_.remote_messages;
-      stats_.remote_bytes += payload;
-    }
+    if (stats_counted_[producer]) return;
+    stats_counted_[producer] = true;
+    stats_.zero_copy_messages += pending.zero_copy_messages;
+    stats_.remote_messages += pending.remote_messages;
+    stats_.remote_bytes += pending.remote_bytes;
   }
   // Global data-movement telemetry: counters prove how much of the
   // job's traffic stayed zero-copy, and the trace gains a cumulative
   // counter track per path (the engine-mode analogue of the sim's).
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
-  if (mx.enabled()) {
-    const char* path = ch.is_zero_copy() ? "zero_copy" : "remote";
-    const std::uint64_t msgs =
-        mx.counter("exchange.messages", {{"path", path}}).add();
+  if (!mx.enabled()) return;
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (pending.zero_copy_messages > 0) {
+    mx.counter("exchange.messages", {{"path", "zero_copy"}})
+        .add(pending.zero_copy_messages);
     const std::uint64_t bytes =
-        mx.counter("exchange.bytes", {{"path", path}}).add(payload);
-    (void)msgs;
-    obs::TraceCollector& tc = obs::TraceCollector::global();
+        mx.counter("exchange.bytes", {{"path", "zero_copy"}}).add(pending.zero_copy_bytes);
     if (tc.enabled()) {
-      tc.counter("exchange", ch.is_zero_copy() ? "zero_copy_bytes" : "remote_bytes",
-                 tc.now_us(), static_cast<double>(bytes), -1);
+      tc.counter("exchange", "zero_copy_bytes", tc.now_us(), static_cast<double>(bytes), -1);
     }
   }
-  return ch.send(std::move(t));
+  if (pending.remote_messages > 0) {
+    mx.counter("exchange.messages", {{"path", "remote"}}).add(pending.remote_messages);
+    const std::uint64_t bytes =
+        mx.counter("exchange.bytes", {{"path", "remote"}}).add(pending.remote_bytes);
+    if (tc.enabled()) {
+      tc.counter("exchange", "remote_bytes", tc.now_us(), static_cast<double>(bytes), -1);
+    }
+  }
 }
 
 Status Exchange::do_send(std::size_t producer, Table table) {
+  PendingStats pending;
   switch (kind_) {
     case ExchangeKind::kShuffle: {
       DITTO_ASSIGN_OR_RETURN(std::vector<Table> parts,
                              hash_partition(table, partition_key_, consumers_));
       for (std::size_t j = 0; j < consumers_; ++j) {
         DITTO_RETURN_IF_ERROR(
-            route(producer, j, std::make_shared<const Table>(std::move(parts[j]))));
+            route(producer, j, std::make_shared<const Table>(std::move(parts[j])), pending));
       }
       break;
     }
     case ExchangeKind::kGather: {
       // One producer feeds exactly one consumer (paper §4.5 Fig. 7).
       const std::size_t j = producer % consumers_;
-      DITTO_RETURN_IF_ERROR(route(producer, j, std::make_shared<const Table>(std::move(table))));
+      DITTO_RETURN_IF_ERROR(
+          route(producer, j, std::make_shared<const Table>(std::move(table)), pending));
       break;
     }
     case ExchangeKind::kBroadcast:
@@ -207,13 +230,14 @@ Status Exchange::do_send(std::size_t producer, Table table) {
       // local copies free; remote consumers each pay serialization.
       const auto shared = std::make_shared<const Table>(std::move(table));
       for (std::size_t j = 0; j < consumers_; ++j) {
-        DITTO_RETURN_IF_ERROR(route(producer, j, shared));
+        DITTO_RETURN_IF_ERROR(route(producer, j, shared, pending));
       }
       break;
     }
   }
   // This producer is done: close its row of channels.
   for (std::size_t j = 0; j < consumers_; ++j) channel(producer, j).close();
+  commit_route_stats(producer, pending);
   return Status::ok();
 }
 
@@ -239,6 +263,15 @@ Status Exchange::send(std::size_t producer, Table table) {
   }
 
   const Status st = do_send(producer, std::move(table));
+  if (!st.is_ok()) {
+    // Roll back the partial publish before releasing the gate: a failed
+    // do_send may have advanced some channels in the row (remote seqs,
+    // locally buffered tables) without closing them. Reopening resets
+    // every channel to seq 0 so the retried publish — or the duplicate
+    // that takes over — overwrites the same deterministic keys instead
+    // of appending a second copy of the data.
+    for (std::size_t j = 0; j < consumers_; ++j) channel(producer, j).reopen();
+  }
   {
     std::lock_guard<std::mutex> lock(pub_mu_);
     pub_state_[producer] = st.is_ok() ? PubState::kPublished : PubState::kIdle;

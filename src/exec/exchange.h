@@ -184,13 +184,25 @@ class Exchange {
  private:
   enum class PubState : std::uint8_t { kIdle, kPublishing, kPublished };
 
+  /// Routing telemetry of one publish attempt, committed to stats_ and
+  /// the global metrics only when the publish wins (once per producer),
+  /// so retries and recovery re-publishes don't inflate the counters.
+  struct PendingStats {
+    std::size_t zero_copy_messages = 0;
+    std::size_t remote_messages = 0;
+    Bytes zero_copy_bytes = 0;
+    Bytes remote_bytes = 0;
+  };
+
   TableChannel& channel(std::size_t i, std::size_t j) {
     return *channels_[i * consumers_ + j];
   }
   const TableChannel& channel(std::size_t i, std::size_t j) const {
     return *channels_[i * consumers_ + j];
   }
-  Status route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t);
+  Status route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t,
+               PendingStats& pending);
+  void commit_route_stats(std::size_t producer, const PendingStats& pending);
   Status do_send(std::size_t producer, Table table);
 
   const ExchangeKind kind_;
@@ -206,6 +218,7 @@ class Exchange {
 
   mutable std::mutex stats_mu_;
   ExchangeStats stats_;
+  std::vector<bool> stats_counted_;  ///< per-producer, guarded by stats_mu_
 };
 
 }  // namespace ditto::exec

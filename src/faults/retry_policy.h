@@ -15,6 +15,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <thread>
 
 #include "common/status.h"
@@ -42,6 +44,14 @@ struct RetryPolicy {
 /// instant) for the given site label.
 void note_retry(const char* site, int attempt, const Status& failure);
 
+/// Deterministic jitter salt for a retry site: hashes the label's
+/// CHARACTERS. (std::hash<const char*> would hash the pointer value,
+/// which differs per run under ASLR and per call site for identical
+/// labels — breaking seeded-replay determinism.)
+inline std::uint64_t site_salt(const char* site) {
+  return std::hash<std::string_view>{}(std::string_view(site));
+}
+
 /// Runs `op` under `policy`. Transient failures (see retriable()) are
 /// retried with capped exponential backoff until attempts or budget run
 /// out; the last failure is returned. `retries` (optional) accumulates
@@ -53,7 +63,7 @@ Status retry_status(const RetryPolicy& policy, const char* site, Fn&& op,
   Status last = Status::ok();
   for (int attempt = 0; attempt < std::max(1, policy.max_attempts); ++attempt) {
     if (attempt > 0) {
-      const Seconds wait = policy.backoff(attempt, std::hash<const char*>{}(site));
+      const Seconds wait = policy.backoff(attempt, site_salt(site));
       if (policy.budget > 0.0 && clock.elapsed_seconds() + wait > policy.budget) break;
       std::this_thread::sleep_for(std::chrono::duration<double>(wait));
       if (retries != nullptr) retries->fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +83,7 @@ Result<T> retry_result(const RetryPolicy& policy, const char* site, Fn&& op,
   Status last = Status::internal("retry loop did not run");
   for (int attempt = 0; attempt < std::max(1, policy.max_attempts); ++attempt) {
     if (attempt > 0) {
-      const Seconds wait = policy.backoff(attempt, std::hash<const char*>{}(site));
+      const Seconds wait = policy.backoff(attempt, site_salt(site));
       if (policy.budget > 0.0 && clock.elapsed_seconds() + wait > policy.budget) break;
       std::this_thread::sleep_for(std::chrono::duration<double>(wait));
       if (retries != nullptr) retries->fetch_add(1, std::memory_order_relaxed);

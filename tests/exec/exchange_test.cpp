@@ -191,6 +191,79 @@ TEST(ExchangeTest, ResetProducerAllowsRepublish) {
   EXPECT_EQ(ex.stats().duplicate_publishes, 0u);
 }
 
+/// Fails the first `fail_times` puts whose key contains `substr`;
+/// everything else passes through. Lets a test kill one channel of a
+/// publish row while earlier channels have already succeeded.
+class FailingPutStore final : public storage::ObjectStore {
+ public:
+  FailingPutStore(storage::ObjectStore& inner, std::string substr, int fail_times)
+      : inner_(&inner), substr_(std::move(substr)), remaining_(fail_times) {}
+
+  const char* kind() const override { return inner_->kind(); }
+  const storage::StorageModel& model() const override { return inner_->model(); }
+  Status put(const std::string& key, std::string_view value) override {
+    if (remaining_ > 0 && key.find(substr_) != std::string::npos) {
+      --remaining_;
+      return Status::unavailable("injected put failure: " + key);
+    }
+    return inner_->put(key, value);
+  }
+  Result<std::string> get(const std::string& key) const override { return inner_->get(key); }
+  bool contains(const std::string& key) const override { return inner_->contains(key); }
+  Status remove(const std::string& key) override { return inner_->remove(key); }
+  std::vector<std::string> list(const std::string& prefix) const override {
+    return inner_->list(prefix);
+  }
+  Bytes used_bytes() const override { return inner_->used_bytes(); }
+  storage::StoreStats stats() const override { return inner_->stats(); }
+
+ private:
+  storage::ObjectStore* inner_;
+  const std::string substr_;
+  int remaining_;
+};
+
+TEST(ExchangeTest, PartialPublishFailureRollsBackRemoteChannels) {
+  // The put to the second remote channel fails after the first channel's
+  // put already succeeded. The failed publish must roll the whole row
+  // back so the retry restarts from seq 0 and overwrites the same keys —
+  // otherwise the first channel would carry the partition twice.
+  auto inner = storage::make_instant_store();
+  FailingPutStore store(*inner, "0-1", 1);
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({1, 2}), store, "x");
+  ASSERT_FALSE(ex.send(0, keyed(0, 40)).is_ok());  // partial publish fails
+  ASSERT_TRUE(ex.send(0, keyed(0, 40)).is_ok());   // retry takes over cleanly
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto t = ex.recv_all(j);
+    ASSERT_TRUE(t.ok());
+    total += t->num_rows();
+  }
+  EXPECT_EQ(total, 40u);  // every row exactly once
+  // Routing telemetry counts the logical data moved, not the failed try.
+  EXPECT_EQ(ex.stats().remote_messages, 2u);
+}
+
+TEST(ExchangeTest, PartialPublishFailureClearsLocalBuffers) {
+  // Mixed row: the zero-copy pipe buffered its table before the remote
+  // pipe's put failed. The rollback must drop the local buffer too, or
+  // the retry would append a second copy for the co-located consumer.
+  auto inner = storage::make_instant_store();
+  FailingPutStore store(*inner, "0-1", 1);
+  Exchange ex(ExchangeKind::kShuffle, "k", servers({0}), servers({0, 1}), store, "x");
+  ASSERT_FALSE(ex.send(0, keyed(0, 30)).is_ok());
+  ASSERT_TRUE(ex.send(0, keyed(0, 30)).is_ok());
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto t = ex.recv_all(j);
+    ASSERT_TRUE(t.ok());
+    total += t->num_rows();
+  }
+  EXPECT_EQ(total, 30u);
+  EXPECT_EQ(ex.stats().zero_copy_messages, 1u);
+  EXPECT_EQ(ex.stats().remote_messages, 1u);
+}
+
 TEST(ExchangeTest, ProducerHasLocalChannelTracksPlacement) {
   auto store = storage::make_instant_store();
   // Producer 0 is co-located with consumer 0; producer 1 is alone on 2.

@@ -2,8 +2,11 @@
 // server-loss recovery must absorb the chaos without changing results.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exec/datagen.h"
@@ -163,6 +166,43 @@ TEST(EngineResilienceTest, SpeculationDuplicatesTheHungStraggler) {
   // The duplicate's publish was discarded idempotently (or the hung
   // original's was, if it lost the race after waking up).
   EXPECT_EQ(result->stats.tasks_run, 6u);
+}
+
+TEST(EngineResilienceTest, ExhaustedAttemptsDoNotMaskLaterFatalError) {
+  // The scan's only attempt is slow and fails AFTER its deadline
+  // duplicate already won the slot. That exhausted-attempts failure must
+  // stay local to the (won) slot: when the agg stage later fails for
+  // real, the run must report the agg's error, not the stale scan one.
+  const Table fact = gen_fact_table({.rows = 1000, .num_warehouses = 4, .seed = 19});
+  const JobDag dag = agg_dag();
+  const auto plan = plan_for({1, 1}, {{0}, {0}});
+
+  auto store = storage::make_instant_store();
+  exec::EngineOptions options;
+  options.resilience.max_task_attempts = 1;
+  options.resilience.task_deadline = 0.03;
+  exec::MiniEngine engine(dag, plan, *store, options);
+
+  std::atomic<int> scan_calls{0};
+  auto bindings = agg_bindings(fact);
+  const StageBinding original = bindings[0];
+  bindings[0].fn = [&, original](int task, int dop,
+                                 const std::vector<Table>& in) -> Result<Table> {
+    if (scan_calls.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      return Status::internal("slow scan attempt failed");
+    }
+    return original.fn(task, dop, in);
+  };
+  bindings[1].fn = [](int, int, const std::vector<Table>&) -> Result<Table> {
+    return Status::invalid_argument("agg is fatally broken");
+  };
+
+  const auto result = engine.run(bindings);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("agg is fatally broken"), std::string::npos)
+      << result.status().to_string();
 }
 
 TEST(EngineResilienceTest, ServerLossRecoversPendingAndPublishedWork) {

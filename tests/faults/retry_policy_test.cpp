@@ -32,6 +32,17 @@ TEST(RetryPolicyTest, BackoffGrowsDeterministicallyAndCaps) {
   }
 }
 
+TEST(RetryPolicyTest, SiteSaltHashesContentsNotPointer) {
+  // Two distinct buffers with the same label must jitter identically —
+  // the salt is derived from the characters, so a seeded chaos run
+  // replays the same backoff schedule regardless of ASLR.
+  const char a[] = "exchange.put";
+  const std::string b = "exchange.put";
+  ASSERT_NE(static_cast<const void*>(a), static_cast<const void*>(b.c_str()));
+  EXPECT_EQ(site_salt(a), site_salt(b.c_str()));
+  EXPECT_NE(site_salt("exchange.put"), site_salt("exchange.get"));
+}
+
 RetryPolicy fast_policy(int attempts = 3) {
   RetryPolicy pol;
   pol.max_attempts = attempts;

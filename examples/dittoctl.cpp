@@ -19,10 +19,25 @@
 // (see faults/fault_injector.h for the spec grammar, e.g.
 // "storage_error=0.05,crash=0.02,server_loss=1@2"); --fault-seed
 // overrides the spec's seed. The report gains a resilience section.
+//
+// Multi-tenant serving (the §4.5 co-design, live):
+//
+//   dittoctl serve [servespec-file] [--cluster NxS[@dist]]
+//                  [--policy fifo|fair|elastic] [--fair-slots N]
+//
+// Reads a serve spec (see service/serve_spec.h: one `job` line per
+// tenant with arrival offset, objective, optional deadline and
+// per-job faults), runs every job concurrently through the real
+// MiniEngine under the chosen inter-job admission policy, and prints
+// per-job outcome rows (queueing delay, JCT, slots, status) plus the
+// service summary. With no spec file it runs a built-in 3-tenant demo.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "cluster/runtime_monitor.h"
 #include "faults/fault_injector.h"
@@ -31,6 +46,9 @@
 #include "obs/trace.h"
 #include "scheduler/ditto_scheduler.h"
 #include "scheduler/explain.h"
+#include "service/engine_jobs.h"
+#include "service/job_service.h"
+#include "service/serve_spec.h"
 #include "sim/sim_runner.h"
 #include "sim/trace_export.h"
 #include "storage/sim_store.h"
@@ -52,17 +70,146 @@ edge scan_b join shuffle
 edge join agg gather
 )";
 
+constexpr const char* kServeDemoSpec =
+    R"(# demo tenants: three paper queries arriving 100 ms apart
+policy elastic
+job q1  arrival=0.0 objective=jct  rows=8000 orders=1500 seed=11 label=tenant-a
+job q16 arrival=0.1 objective=cost rows=8000 orders=1500 seed=22 label=tenant-b
+job q95 arrival=0.2 objective=jct  rows=8000 orders=1500 seed=33 label=tenant-c
+)";
+
 int usage() {
   std::fprintf(stderr,
                "usage: dittoctl [jobspec-file] [--cluster NxS[@dist]] "
                "[--objective jct|cost] [--store s3|redis] [--trace-out FILE] "
-               "[--report FILE] [--metrics] [--faults SPEC] [--fault-seed N]\n");
+               "[--report FILE] [--metrics] [--faults SPEC] [--fault-seed N]\n"
+               "       dittoctl serve [servespec-file] [--cluster NxS[@dist]] "
+               "[--policy fifo|fair|elastic] [--fair-slots N]\n");
   return 2;
+}
+
+// `dittoctl serve`: run a multi-tenant serve spec through the live
+// JobService and print per-job outcome rows plus the service summary.
+int run_serve(int argc, char** argv) {
+  std::string spec_text = kServeDemoSpec;
+  std::string cluster_spec = "4x8";
+  std::string policy_override;
+  int fair_slots_override = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
+      cluster_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_override = argv[++i];
+    } else if (std::strcmp(argv[i], "--fair-slots") == 0 && i + 1 < argc) {
+      fair_slots_override = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      std::ifstream f(argv[i]);
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      spec_text = buf.str();
+    }
+  }
+
+  auto spec = service::parse_serve_spec(spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "serve spec error: %s\n", spec.status().to_string().c_str());
+    return 1;
+  }
+  if (!policy_override.empty()) {
+    auto p = service::parse_admission_policy(policy_override);
+    if (!p.ok()) return usage();
+    spec->admission.policy = *p;
+  }
+  if (fair_slots_override > 0) spec->admission.fair_share_slots = fair_slots_override;
+
+  auto cl = workload::parse_cluster_spec(cluster_spec);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "cluster spec error: %s\n", cl.status().to_string().c_str());
+    return 1;
+  }
+
+  const storage::StorageModel external = storage::redis_model();
+  auto store = storage::make_instant_store();
+  service::ServiceOptions options;
+  options.admission = spec->admission;
+  options.external = external;
+  service::JobService svc(*cl, *store, options);
+
+  std::printf("cluster: %s (%d slots)  policy: %s  jobs: %zu\n\n", cluster_spec.c_str(),
+              cl->total_slots(), service::admission_policy_name(spec->admission.policy),
+              spec->jobs.size());
+
+  // Submit in arrival order, sleeping out the offsets so admission sees
+  // a moving free-slot view (like real tenant traffic would produce).
+  std::vector<std::size_t> order(spec->jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return spec->jobs[a].arrival < spec->jobs[b].arrival;
+  });
+
+  struct Submitted {
+    std::size_t spec_index;
+    service::JobId id;
+  };
+  std::vector<Submitted> submitted;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::size_t idx : order) {
+    const service::ServeJobSpec& js = spec->jobs[idx];
+    const auto target = t0 + std::chrono::duration<double>(js.arrival);
+    std::this_thread::sleep_until(target);
+
+    auto job = service::make_engine_query_job(js.query, js.data, external);
+    if (!job.ok()) {
+      std::fprintf(stderr, "job %s: %s\n", js.query.c_str(),
+                   job.status().to_string().c_str());
+      return 1;
+    }
+    job->submission.label = js.label.empty() ? js.query : js.label;
+    job->submission.objective = js.objective;
+    job->submission.deadline = js.deadline;
+    job->submission.faults = js.faults;
+    auto id = svc.submit(job->submission);
+    if (!id.ok()) {
+      std::fprintf(stderr, "submit %s: %s\n", job->submission.label.c_str(),
+                   id.status().to_string().c_str());
+      return 1;
+    }
+    submitted.push_back({idx, *id});
+  }
+
+  std::printf("%-12s %-5s %-10s %9s %9s %6s  %s\n", "label", "query", "state", "queue_s",
+              "jct_s", "slots", "error");
+  for (const Submitted& s : submitted) {
+    const auto outcome = svc.wait(s.id);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "wait failed: %s\n", outcome.status().to_string().c_str());
+      return 1;
+    }
+    const service::ServeJobSpec& js = spec->jobs[s.spec_index];
+    std::printf("%-12s %-5s %-10s %9.3f %9.3f %6d  %s\n", outcome->label.c_str(),
+                js.query.c_str(), service::job_state_name(outcome->state),
+                outcome->state == service::JobState::kDone ? outcome->queueing() : 0.0,
+                outcome->state == service::JobState::kDone ? outcome->jct() : 0.0,
+                outcome->slots_granted,
+                outcome->error.is_ok() ? "-" : outcome->error.to_string().c_str());
+  }
+  svc.drain();
+  std::printf("\n%s", svc.summary().to_text().c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) return run_serve(argc, argv);
+
   std::string spec_text = kDemoSpec;
   std::string cluster_spec = "8x96@zipf-0.9";
   Objective objective = Objective::kJct;

@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <cmath>
+
 namespace ditto::cluster {
 
 Cluster Cluster::uniform(int servers, int slots, Bytes memory_per_server) {
@@ -53,6 +55,29 @@ std::vector<int> Cluster::free_slot_snapshot() const {
   out.reserve(servers_.size());
   for (const Server& s : servers_) out.push_back(s.free_slots());
   return out;
+}
+
+std::vector<int> cap_offer(std::vector<int> free_slots, int cap) {
+  if (cap <= 0 || free_slots.empty()) return free_slots;
+  int total = 0;
+  for (int s : free_slots) total += s;
+  if (total <= cap) return free_slots;
+  const double scale = static_cast<double>(cap) / static_cast<double>(total);
+  int granted = 0;
+  for (int& s : free_slots) {
+    s = static_cast<int>(std::floor(s * scale));
+    granted += s;
+  }
+  // Distribute the rounding remainder to the largest servers.
+  while (granted < cap) {
+    int* best = &free_slots[0];
+    for (int& s : free_slots) {
+      if (s > *best) best = &s;
+    }
+    ++*best;
+    ++granted;
+  }
+  return free_slots;
 }
 
 }  // namespace ditto::cluster

@@ -47,10 +47,18 @@ class Cluster {
 
   /// Reserve `n` slots on a specific server.
   Status reserve(ServerId id, int n) { return servers_.at(id).reserve_slots(n); }
-  void release(ServerId id, int n) { servers_.at(id).release_slots(n); }
+  /// Return `n` slots; FAILED_PRECONDITION on over-release (see Server).
+  Status release(ServerId id, int n) { return servers_.at(id).release_slots(n); }
 
  private:
   std::vector<Server> servers_;
 };
+
+/// Limits a per-job slot offer to `cap` total slots, shrinking server
+/// contributions proportionally (largest-first rounding). `cap <= 0`
+/// returns the offer unchanged. Shared by the simulated job queue and
+/// the live JobService so fair-share admission decides identically in
+/// both worlds.
+std::vector<int> cap_offer(std::vector<int> free_slots, int cap);
 
 }  // namespace ditto::cluster

@@ -56,4 +56,14 @@ Status PlacementPlan::validate(const JobDag& dag, const Cluster& cluster) const 
   return Status::ok();
 }
 
+std::vector<int> slot_demand(const PlacementPlan& plan, std::size_t servers) {
+  std::vector<int> demand(servers, 0);
+  for (const auto& task_servers : plan.task_server) {
+    for (ServerId v : task_servers) {
+      if (v != kNoServer && v < servers) ++demand[v];
+    }
+  }
+  return demand;
+}
+
 }  // namespace ditto::cluster

@@ -54,4 +54,10 @@ struct PlacementPlan {
   Status validate(const JobDag& dag, const Cluster& cluster) const;
 };
 
+/// Per-server slot demand of a plan: total tasks placed on each server
+/// summed over ALL stages — the slots a job holds for its lifetime
+/// under the paper's §4.5 reservation model. Shared by the simulated
+/// job queue and the live JobService so both account identically.
+std::vector<int> slot_demand(const PlacementPlan& plan, std::size_t servers);
+
 }  // namespace ditto::cluster

@@ -38,9 +38,20 @@ class Server {
     return Status::ok();
   }
 
-  void release_slots(int n) {
+  /// Return `n` previously reserved slots. Over-release (returning more
+  /// than is outstanding) is a bookkeeping bug: it fails with
+  /// FAILED_PRECONDITION and leaves the count untouched instead of
+  /// silently clamping — a double release would otherwise hand the same
+  /// slots to two jobs.
+  Status release_slots(int n) {
+    if (n < 0) return Status::invalid_argument("negative slot release");
+    if (free_slots_ + n > total_slots_) {
+      return Status::failed_precondition(
+          "server " + std::to_string(id_) + " release of " + std::to_string(n) +
+          " slots exceeds " + std::to_string(total_slots_ - free_slots_) + " outstanding");
+    }
     free_slots_ += n;
-    if (free_slots_ > total_slots_) free_slots_ = total_slots_;
+    return Status::ok();
   }
 
   shm::Arena& arena() { return *arena_; }

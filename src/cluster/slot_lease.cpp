@@ -1,0 +1,130 @@
+#include "cluster/slot_lease.h"
+
+#include <numeric>
+#include <string>
+
+namespace ditto::cluster {
+
+SlotLease::~SlotLease() {
+  if (ledger_ != nullptr) (void)release();
+}
+
+SlotLease& SlotLease::operator=(SlotLease&& other) noexcept {
+  if (this != &other) {
+    if (ledger_ != nullptr) (void)release();
+    ledger_ = other.ledger_;
+    slots_ = std::move(other.slots_);
+    other.ledger_ = nullptr;
+    other.slots_.clear();
+  }
+  return *this;
+}
+
+int SlotLease::total_slots() const {
+  return std::accumulate(slots_.begin(), slots_.end(), 0);
+}
+
+Status SlotLease::release() {
+  if (ledger_ == nullptr) {
+    return Status::failed_precondition("slot lease already released");
+  }
+  SlotLedger* ledger = ledger_;
+  ledger_ = nullptr;  // the lease is spent even if the ledger objects
+  const Status st = ledger->release(slots_);
+  slots_.clear();
+  return st;
+}
+
+SlotLedger::SlotLedger(Cluster& cluster)
+    : cluster_(&cluster),
+      total_slots_(cluster.total_slots()),
+      outstanding_(cluster.num_servers(), 0) {}
+
+Result<SlotLease> SlotLedger::acquire(const std::vector<int>& per_server) {
+  if (per_server.size() != outstanding_.size()) {
+    return Status::invalid_argument("demand vector sized " + std::to_string(per_server.size()) +
+                                    " for " + std::to_string(outstanding_.size()) + " servers");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int n : per_server) {
+    if (n < 0) return Status::invalid_argument("negative slot demand");
+  }
+  // All-or-nothing: validate the whole demand before mutating anything.
+  for (std::size_t v = 0; v < per_server.size(); ++v) {
+    if (per_server[v] > cluster_->server(static_cast<ServerId>(v)).free_slots()) {
+      return Status::resource_exhausted(
+          "server " + std::to_string(v) + " has " +
+          std::to_string(cluster_->server(static_cast<ServerId>(v)).free_slots()) +
+          " free slots, need " + std::to_string(per_server[v]));
+    }
+  }
+  advance_locked();
+  for (std::size_t v = 0; v < per_server.size(); ++v) {
+    if (per_server[v] == 0) continue;
+    const Status st = cluster_->reserve(static_cast<ServerId>(v), per_server[v]);
+    if (!st.is_ok()) {
+      // Unwind the prefix; the pre-check makes this unreachable unless
+      // someone mutated the cluster behind the ledger's back.
+      for (std::size_t u = 0; u < v; ++u) {
+        if (per_server[u] > 0) {
+          (void)cluster_->release(static_cast<ServerId>(u), per_server[u]);
+          outstanding_[u] -= per_server[u];
+        }
+      }
+      return st;
+    }
+    outstanding_[v] += per_server[v];
+  }
+  return SlotLease(this, per_server);
+}
+
+Status SlotLedger::release(const std::vector<int>& per_server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (per_server.size() != outstanding_.size()) {
+    return Status::invalid_argument("release vector size mismatch");
+  }
+  for (std::size_t v = 0; v < per_server.size(); ++v) {
+    if (per_server[v] > outstanding_[v]) {
+      return Status::failed_precondition(
+          "release of " + std::to_string(per_server[v]) + " slots on server " +
+          std::to_string(v) + " exceeds " + std::to_string(outstanding_[v]) + " outstanding");
+    }
+  }
+  advance_locked();
+  for (std::size_t v = 0; v < per_server.size(); ++v) {
+    if (per_server[v] == 0) continue;
+    DITTO_RETURN_IF_ERROR(cluster_->release(static_cast<ServerId>(v), per_server[v]));
+    outstanding_[v] -= per_server[v];
+  }
+  return Status::ok();
+}
+
+std::vector<int> SlotLedger::free_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cluster_->free_slot_snapshot();
+}
+
+int SlotLedger::free_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cluster_->free_slots();
+}
+
+int SlotLedger::outstanding_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::accumulate(outstanding_.begin(), outstanding_.end(), 0);
+}
+
+double SlotLedger::slot_seconds() {
+  std::lock_guard<std::mutex> lock(mu_);
+  advance_locked();
+  return slot_seconds_;
+}
+
+void SlotLedger::advance_locked() {
+  const double now = clock_.elapsed_seconds();
+  const int reserved = std::accumulate(outstanding_.begin(), outstanding_.end(), 0);
+  slot_seconds_ += static_cast<double>(reserved) * (now - last_advance_);
+  last_advance_ = now;
+}
+
+}  // namespace ditto::cluster

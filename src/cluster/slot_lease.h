@@ -1,0 +1,99 @@
+// Slot leasing: the thread-safe resource-manager face of a Cluster.
+//
+// The Cluster itself is a plain data structure (the simulator mutates
+// it single-threaded); the JobService shares one cluster between many
+// concurrently completing jobs, so slot accounting needs a serialized
+// owner. The SlotLedger is that owner: every reservation goes through
+// acquire(), which hands back a move-only RAII SlotLease. Releasing is
+// idempotent at the lease level (the destructor is a no-op after an
+// explicit release) and *guarded* at the ledger level — a release that
+// does not match outstanding reservations fails with
+// FAILED_PRECONDITION instead of silently inflating the free count and
+// double-granting slots to two jobs.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace ditto::cluster {
+
+class SlotLedger;
+
+/// Move-only RAII handle to a per-server slot reservation. Destruction
+/// returns the slots; release() does it eagerly and reports the
+/// ledger's verdict (a second explicit release fails).
+class SlotLease {
+ public:
+  SlotLease() = default;
+  ~SlotLease();
+
+  SlotLease(SlotLease&& other) noexcept { *this = std::move(other); }
+  SlotLease& operator=(SlotLease&& other) noexcept;
+  SlotLease(const SlotLease&) = delete;
+  SlotLease& operator=(const SlotLease&) = delete;
+
+  bool active() const { return ledger_ != nullptr; }
+  const std::vector<int>& slots_per_server() const { return slots_; }
+  int total_slots() const;
+
+  /// Returns the slots to the ledger. FAILED_PRECONDITION if the lease
+  /// was already released (double release).
+  Status release();
+
+ private:
+  friend class SlotLedger;
+  SlotLease(SlotLedger* ledger, std::vector<int> slots)
+      : ledger_(ledger), slots_(std::move(slots)) {}
+
+  SlotLedger* ledger_ = nullptr;
+  std::vector<int> slots_;
+};
+
+/// Serializes slot reservations on a shared Cluster and tracks the
+/// outstanding total so releases can be validated. Also integrates
+/// reserved-slots x time for utilization reporting.
+class SlotLedger {
+ public:
+  /// The cluster is not owned and must outlive the ledger. All slot
+  /// mutations on it must go through this ledger once it exists.
+  explicit SlotLedger(Cluster& cluster);
+
+  /// Reserve `per_server[v]` slots on each server v; all or nothing.
+  /// RESOURCE_EXHAUSTED if any server lacks the free slots,
+  /// INVALID_ARGUMENT on a malformed demand vector.
+  Result<SlotLease> acquire(const std::vector<int>& per_server);
+
+  std::vector<int> free_snapshot() const;
+  int free_total() const;
+  int total_slots() const { return total_slots_; }
+  /// Slots currently out on leases.
+  int outstanding_total() const;
+
+  /// Integral of reserved slots over time (slot-seconds) since the
+  /// ledger was built, advanced on every acquire/release and on read.
+  /// Average utilization over a window is a slot_seconds delta divided
+  /// by (total_slots x window).
+  double slot_seconds();
+
+  /// Seconds since the ledger was built (the clock slot_seconds uses).
+  double elapsed_seconds() const { return clock_.elapsed_seconds(); }
+
+ private:
+  friend class SlotLease;
+  Status release(const std::vector<int>& per_server);
+  void advance_locked();
+
+  Cluster* cluster_;
+  const int total_slots_;
+  Stopwatch clock_;
+  mutable std::mutex mu_;
+  std::vector<int> outstanding_;
+  double last_advance_ = 0.0;
+  double slot_seconds_ = 0.0;
+};
+
+}  // namespace ditto::cluster

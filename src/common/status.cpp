@@ -14,6 +14,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

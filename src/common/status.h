@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a status code, e.g. "NOT_FOUND".
@@ -46,6 +48,8 @@ class [[nodiscard]] Status {
   static Status unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
   static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
+  static Status deadline_exceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -309,9 +309,16 @@ Status recover_server_loss(RunState& rs, ServerId dead, const std::vector<StageI
 
 }  // namespace
 
+ServerPools::ServerPools(const std::vector<int>& widths) {
+  pools_.reserve(widths.size());
+  for (int w : widths) {
+    pools_.push_back(std::make_unique<ThreadPool>(static_cast<std::size_t>(std::max(1, w))));
+  }
+}
+
 MiniEngine::MiniEngine(const JobDag& dag, const cluster::PlacementPlan& plan,
                        storage::ObjectStore& store, EngineOptions options)
-    : dag_(&dag), plan_(&plan), store_(&store), options_(options) {}
+    : dag_(&dag), plan_(&plan), store_(&store), options_(std::move(options)) {}
 
 Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bindings,
                                      cluster::RuntimeMonitor* monitor) {
@@ -325,7 +332,9 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
     }
   }
 
-  // Materialize servers as thread pools. Width = the maximum number of
+  // Worker pools. Shared pools (a multi-job service's substrate) bound
+  // concurrency per cluster server across jobs; otherwise this run
+  // materializes private pools whose width is the maximum number of
   // tasks any single stage places there (stages execute in waves).
   ServerId max_server = 0;
   for (const auto& ts : plan_->task_server) {
@@ -333,19 +342,38 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
       if (v != kNoServer) max_server = std::max(max_server, v);
     }
   }
-  std::vector<std::size_t> width(max_server + 1, 1);
-  for (StageId s = 0; s < dag_->num_stages(); ++s) {
-    std::vector<std::size_t> per_server(max_server + 1, 0);
-    for (ServerId v : plan_->task_server[s]) {
-      if (v != kNoServer) width[v] = std::max(width[v], ++per_server[v]);
+  std::vector<std::unique_ptr<ThreadPool>> own_pools;
+  if (options_.pools != nullptr) {
+    if (static_cast<std::size_t>(max_server) >= options_.pools->num_servers()) {
+      return Status::invalid_argument(
+          "plan places tasks on server " + std::to_string(max_server) + " but shared pools "
+          "cover only " + std::to_string(options_.pools->num_servers()) + " servers");
     }
+  } else {
+    std::vector<std::size_t> width(max_server + 1, 1);
+    for (StageId s = 0; s < dag_->num_stages(); ++s) {
+      std::vector<std::size_t> per_server(max_server + 1, 0);
+      for (ServerId v : plan_->task_server[s]) {
+        if (v != kNoServer) width[v] = std::max(width[v], ++per_server[v]);
+      }
+    }
+    own_pools.reserve(width.size());
+    for (std::size_t w : width) own_pools.push_back(std::make_unique<ThreadPool>(w));
   }
-  std::vector<std::unique_ptr<ThreadPool>> pools;
-  pools.reserve(width.size());
-  for (std::size_t w : width) pools.push_back(std::make_unique<ThreadPool>(w));
+  const auto pool_for = [&](ServerId v) -> ThreadPool& {
+    const std::size_t idx = v == kNoServer ? 0 : static_cast<std::size_t>(v);
+    return options_.pools != nullptr ? options_.pools->pool(idx) : *own_pools[idx];
+  };
+  const auto cancel_requested = [this]() {
+    return options_.cancel != nullptr && options_.cancel->load(std::memory_order_acquire);
+  };
 
-  // One exchange per DAG edge. Remote channels retry transient storage
-  // failures under the resilience policy's storage RetryPolicy.
+  // One exchange per DAG edge, namespaced so concurrent jobs sharing an
+  // object store cannot collide on deterministic keys. Remote channels
+  // retry transient storage failures under the resilience policy's
+  // storage RetryPolicy.
+  const std::string ns =
+      options_.exchange_prefix.empty() ? dag_->name() : options_.exchange_prefix;
   std::map<std::pair<StageId, StageId>, std::unique_ptr<Exchange>> exchanges;
   for (const Edge& e : dag_->edges()) {
     const std::string key = bindings.at(e.src).key_for(e.dst);
@@ -353,7 +381,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
         std::make_pair(e.src, e.dst),
         std::make_unique<Exchange>(e.exchange, key, plan_->task_server[e.src],
                                    plan_->task_server[e.dst], *store_,
-                                   dag_->name() + "/e" + std::to_string(e.src) + "_" +
+                                   ns + "/e" + std::to_string(e.src) + "_" +
                                        std::to_string(e.dst),
                                    &options_.resilience.storage));
   }
@@ -378,6 +406,11 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   // Stage waves in topological order.
   for (std::size_t wave = 0; wave < order.size(); ++wave) {
     const StageId s = order[wave];
+
+    if (cancel_requested()) {
+      rs.fail(Status::cancelled("engine run cancelled before stage " + dag_->stage(s).name()));
+      break;
+    }
 
     // Server-loss boundary: kill the doomed server, reroute its pending
     // tasks, and re-publish completed zero-copy intermediates it held.
@@ -406,7 +439,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
 
     for (int t = 0; t < dop; ++t) {
       const ServerId server = rs.task_server[s][t];
-      ThreadPool& pool = server == kNoServer ? *pools[0] : *pools[server];
+      ThreadPool& pool = pool_for(server);
       TaskSlot& slot = slots[t];
       slot.launch = clock.elapsed_seconds();
       futures.push_back(pool.submit_guarded([&rs, &slot, &dur_mu, &durations, s, t, dop,
@@ -444,7 +477,13 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
         }
       }
       if (all_ready) break;
-      if (watching) {
+      if (cancel_requested() && !rs.failed.load()) {
+        // Queued/retrying attempts observe rs.failed and short-circuit;
+        // attempts already computing finish their current pass (their
+        // publishes are idempotent and will be discarded with the job).
+        rs.fail(Status::cancelled("engine run cancelled"));
+      }
+      if (watching && !rs.failed.load()) {
         double median = 0.0;
         std::size_t completed = 0;
         {
@@ -481,8 +520,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
             spec_server = cand;
             break;
           }
-          ThreadPool& pool =
-              spec_server == kNoServer ? *pools[0] : *pools[spec_server];
+          ThreadPool& pool = pool_for(spec_server);
           futures.push_back(pool.submit_guarded(
               [&rs, &slot, &dur_mu, &durations, s, t, dop, spec_server,
                max_attempts]() -> Status {

@@ -29,6 +29,7 @@
 // so a faulted run's results are byte-identical to a fault-free run.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -73,6 +74,24 @@ struct StageBinding {
   }
 };
 
+/// Per-server worker pools shared across engine runs. A standalone run
+/// materializes private pools sized to its own placement; a multi-job
+/// service instead builds ONE pool per cluster server (width = the
+/// server's slot count) and hands it to every engine, so concurrent
+/// jobs compete for exactly the paper's per-server CPU-core limit
+/// instead of each job pretending it owns the machine.
+class ServerPools {
+ public:
+  /// `widths[v]` = worker threads for server v (clamped to >= 1).
+  explicit ServerPools(const std::vector<int>& widths);
+
+  std::size_t num_servers() const { return pools_.size(); }
+  ThreadPool& pool(std::size_t v) { return *pools_.at(v); }
+
+ private:
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
+};
+
 /// Fault-handling knobs for a run. Defaults run fault-free with retry
 /// wiring dormant (zero injected faults, so zero retries fire and the
 /// resilient path costs nothing measurable).
@@ -80,6 +99,22 @@ struct EngineOptions {
   /// Fault source (not owned, may be null = inject nothing).
   faults::FaultInjector* injector = nullptr;
   faults::ResiliencePolicy resilience;
+
+  /// Shared per-server pools (not owned, may be null = the run builds
+  /// private pools). Must cover every server the plan places tasks on.
+  ServerPools* pools = nullptr;
+
+  /// Namespace for exchange keys in the shared object store. Empty =
+  /// the DAG's name (fine for a run that owns the store). A service
+  /// running concurrent jobs MUST set a per-job prefix: two jobs built
+  /// from the same query share a DAG name, and colliding deterministic
+  /// exchange keys would silently cross-feed their shuffles.
+  std::string exchange_prefix;
+
+  /// Cooperative cancellation (not owned, may be null). When the flag
+  /// becomes true the run stops launching work, drains in-flight
+  /// attempts, and returns CANCELLED.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct EngineStats {

@@ -1,0 +1,49 @@
+#include "service/admission.h"
+
+#include <numeric>
+
+#include "cluster/cluster.h"
+
+namespace ditto::service {
+
+const char* admission_policy_name(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kFifoExclusive: return "fifo-exclusive";
+    case AdmissionPolicy::kFairShare: return "fair-share";
+    case AdmissionPolicy::kElastic: return "elastic";
+  }
+  return "unknown";
+}
+
+Result<AdmissionPolicy> parse_admission_policy(std::string_view text) {
+  if (text == "fifo" || text == "fifo-exclusive" || text == "exclusive") {
+    return AdmissionPolicy::kFifoExclusive;
+  }
+  if (text == "fair" || text == "fair-share") return AdmissionPolicy::kFairShare;
+  if (text == "elastic") return AdmissionPolicy::kElastic;
+  return Status::invalid_argument("unknown admission policy '" + std::string(text) +
+                                  "' (want fifo|fair|elastic)");
+}
+
+std::vector<int> admission_offer(const AdmissionOptions& options, const std::vector<int>& free,
+                                 int total_slots, int leased_slots) {
+  const int free_total = std::accumulate(free.begin(), free.end(), 0);
+  switch (options.policy) {
+    case AdmissionPolicy::kFifoExclusive:
+      // Head runs alone on the idle cluster or not at all.
+      if (leased_slots > 0 || free_total < total_slots) return {};
+      return free;
+    case AdmissionPolicy::kFairShare: {
+      if (free_total < std::max(1, options.min_free_slots)) return {};
+      const int cap =
+          options.fair_share_slots > 0 ? options.fair_share_slots : std::max(1, total_slots / 2);
+      return cluster::cap_offer(free, cap);
+    }
+    case AdmissionPolicy::kElastic:
+      if (free_total < std::max(1, options.min_free_slots)) return {};
+      return free;
+  }
+  return {};
+}
+
+}  // namespace ditto::service

@@ -1,0 +1,55 @@
+// Inter-job admission policies (the paper's §4.5 future work, served
+// live): given the cluster's current free-slot view, decide what slot
+// offer — if any — the job at the head of the FIFO queue is planned
+// against. All policies are strict-FIFO (a blocked head blocks the
+// queue) so no job starves; they differ in how eagerly they carve the
+// cluster:
+//
+//   * kFifoExclusive — the head waits until the cluster is completely
+//     idle and is planned against every slot. The batch baseline: jobs
+//     serialize, each gets the paper's single-job assumption.
+//   * kFairShare — the head is planned against the free view capped at
+//     `fair_share_slots` total (proportionally per server), bounding
+//     how much one job can grab and letting jobs overlap.
+//   * kElastic — the head is planned against whatever is free right
+//     now: the intra-job scheduler's DoP elasticity (§4.2) turns a
+//     small offer into a small-but-admitted plan instead of a wait.
+//     This is the co-design the paper calls for — elastic parallelism
+//     absorbs inter-job contention.
+//
+// admission_offer() is a pure function so the live JobService and the
+// discrete-event job_queue simulator can be cross-validated against
+// the same decisions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ditto::service {
+
+enum class AdmissionPolicy { kFifoExclusive, kFairShare, kElastic };
+
+const char* admission_policy_name(AdmissionPolicy p);
+Result<AdmissionPolicy> parse_admission_policy(std::string_view text);
+
+struct AdmissionOptions {
+  AdmissionPolicy policy = AdmissionPolicy::kElastic;
+  /// Per-job slot cap under kFairShare (<= 0 = total_slots / 2).
+  int fair_share_slots = 0;
+  /// kElastic/kFairShare: minimum free slots before the head is even
+  /// planned, so a job is not squeezed to DoP 1 by a momentarily full
+  /// cluster when waiting a beat would do better.
+  int min_free_slots = 1;
+};
+
+/// The slot view to plan the head job against, or an empty vector for
+/// "do not admit now". `free` is the per-server free-slot snapshot,
+/// `total_slots` the cluster total, `leased_slots` the slots currently
+/// out on leases to running jobs.
+std::vector<int> admission_offer(const AdmissionOptions& options, const std::vector<int>& free,
+                                 int total_slots, int leased_slots);
+
+}  // namespace ditto::service

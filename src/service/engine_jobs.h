@@ -1,0 +1,44 @@
+// Bridges the workload library's executable TPC-DS miniatures (Q1,
+// Q16, Q94, Q95) into service::JobSubmissions: builds the engine job,
+// annotates volumes, applies physics for the scheduling model, and
+// packages the source tables as the submission's keepalive — one call
+// turns a query name into something JobService::submit() accepts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/table.h"
+#include "service/job_service.h"
+#include "storage/object_store.h"
+#include "workload/engine_queries.h"
+
+namespace ditto::service {
+
+struct EngineQueryJob {
+  JobSubmission submission;
+
+  /// Ground truth from the query's single-node reference.
+  std::int64_t ref_rows = 0;
+  double ref_value = 0.0;
+
+  /// The stage whose output carries the answer.
+  StageId sink = kNoStage;
+
+  /// Reads (rows, value) from the sink stage's output table.
+  Result<workload::EngineAnswer> (*extract)(const exec::Table&) = nullptr;
+};
+
+/// Supported query names for make_engine_query_job().
+const std::vector<std::string_view>& engine_query_names();
+
+/// Builds a submission-ready engine job for `query` in {q1, q16, q94,
+/// q95}. `external` is the storage model physics instantiates step
+/// models against (it should match the store the service runs on).
+Result<EngineQueryJob> make_engine_query_job(std::string_view query,
+                                             const workload::EngineQuerySpec& spec,
+                                             const storage::StorageModel& external);
+
+}  // namespace ditto::service

@@ -1,0 +1,482 @@
+#include "service/job_service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scheduler/ditto_scheduler.h"
+
+namespace ditto::service {
+namespace {
+
+std::vector<int> slot_widths(const cluster::Cluster& cluster) {
+  std::vector<int> widths(cluster.num_servers(), 1);
+  for (std::size_t v = 0; v < cluster.num_servers(); ++v) {
+    widths[v] = cluster.server(v).total_slots();
+  }
+  return widths;
+}
+
+/// Per-server shared-memory bytes a job's intermediates occupy: each
+/// task materializes output_bytes / dop of its stage's output on its
+/// server. A modeling charge (the engine's tables live on the heap),
+/// but it makes arena accounting observable and reclaimable per job.
+std::vector<Bytes> arena_demand(const JobDag& model_dag, const cluster::PlacementPlan& plan,
+                                std::size_t servers) {
+  std::vector<Bytes> demand(servers, 0);
+  for (StageId s = 0; s < plan.task_server.size(); ++s) {
+    if (s >= model_dag.num_stages()) break;
+    const int dop = plan.dop_of(s);
+    if (dop <= 0) continue;
+    const Bytes per_task = model_dag.stage(s).output_bytes() / dop;
+    for (ServerId v : plan.task_server[s]) {
+      if (v != kNoServer && v < servers) demand[v] += per_task;
+    }
+  }
+  return demand;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kAdmitted: return "ADMITTED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kDone: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
+}
+
+std::string ServiceSummary::to_text() const {
+  std::ostringstream out;
+  out << "jobs: " << submitted << " submitted, " << done << " done, " << failed << " failed, "
+      << cancelled << " cancelled\n";
+  out << "queueing: mean " << mean_queueing << " s, max " << max_queueing << " s\n";
+  out << "makespan: " << makespan << " s, avg slot utilization "
+      << static_cast<int>(avg_utilization * 100.0 + 0.5) << "%\n";
+  return out.str();
+}
+
+JobService::JobService(cluster::Cluster& cluster, storage::ObjectStore& store,
+                       ServiceOptions options)
+    : cluster_(&cluster),
+      store_(&store),
+      options_(std::move(options)),
+      ledger_(cluster),
+      pools_(slot_widths(cluster)) {
+  dispatcher_ = std::thread(&JobService::dispatcher_loop, this);
+}
+
+JobService::~JobService() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_dispatcher_ = true;
+  }
+  dispatch_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher joins runners as they finish; anything still
+  // unjoined after its exit is collected here.
+  for (auto& [id, rec] : jobs_) {
+    if (rec->runner.joinable()) rec->runner.join();
+  }
+}
+
+Result<JobId> JobService::submit(JobSubmission sub) {
+  if (sub.dag.num_stages() == 0) {
+    return Status::invalid_argument("job DAG has no stages");
+  }
+  if (sub.model_dag.num_stages() != sub.dag.num_stages()) {
+    return Status::invalid_argument("model DAG does not match executable DAG (" +
+                                    std::to_string(sub.model_dag.num_stages()) + " vs " +
+                                    std::to_string(sub.dag.num_stages()) + " stages)");
+  }
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (intake_closed_) {
+      return Status::failed_precondition("job service is draining; intake closed");
+    }
+    id = next_id_++;
+    auto rec = std::make_unique<JobRecord>();
+    rec->id = id;
+    rec->sub = std::move(sub);
+    if (rec->sub.label.empty()) rec->sub.label = "job-" + std::to_string(id);
+    rec->submitted = now();
+    if (rec->sub.deadline > 0.0) rec->deadline_at = rec->submitted + rec->sub.deadline;
+    if (first_submit_ < 0.0) {
+      first_submit_ = rec->submitted;
+      slot_seconds_at_first_submit_ = ledger_.slot_seconds();
+    }
+    queue_.push_back(id);
+    jobs_.emplace(id, std::move(rec));
+  }
+  dispatch_cv_.notify_all();
+  return id;
+}
+
+Status JobService::cancel(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::not_found("no job " + std::to_string(id));
+  }
+  JobRecord& rec = *it->second;
+  if (is_terminal(rec.state)) {
+    if (rec.state == JobState::kCancelled) return Status::ok();
+    return Status::failed_precondition("job " + std::to_string(id) + " already " +
+                                       job_state_name(rec.state));
+  }
+  if (rec.state == JobState::kQueued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    finish_job_locked(rec, JobState::kCancelled, Status::cancelled("cancelled while queued"));
+    lk.unlock();
+    state_cv_.notify_all();
+    dispatch_cv_.notify_all();
+    return Status::ok();
+  }
+  // ADMITTED/RUNNING: ask the engine to stop at the next wave boundary.
+  if (rec.pending_stop.is_ok()) rec.pending_stop = Status::cancelled("cancelled by caller");
+  rec.cancel_token.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+Result<JobState> JobService::state(JobId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::not_found("no job " + std::to_string(id));
+  return it->second->state;
+}
+
+Result<JobOutcome> JobService::wait(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::not_found("no job " + std::to_string(id));
+  JobRecord& rec = *it->second;
+  state_cv_.wait(lk, [&] { return is_terminal(rec.state); });
+  return outcome_of_locked(rec);
+}
+
+std::vector<JobOutcome> JobService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  intake_closed_ = true;
+  dispatch_cv_.notify_all();
+  state_cv_.wait(lk, [&] {
+    for (const auto& [id, rec] : jobs_) {
+      if (!is_terminal(rec->state)) return false;
+    }
+    return queue_.empty();
+  });
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) outcomes.push_back(outcome_of_locked(*rec));
+  return outcomes;
+}
+
+ServiceSummary JobService::summary() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceSummary s;
+  s.submitted = jobs_.size();
+  double queue_sum = 0.0;
+  std::size_t started = 0;
+  for (const auto& [id, rec] : jobs_) {
+    switch (rec->state) {
+      case JobState::kDone: ++s.done; break;
+      case JobState::kFailed: ++s.failed; break;
+      case JobState::kCancelled: ++s.cancelled; break;
+      default: break;
+    }
+    if (rec->started > 0.0) {
+      const double q = rec->started - rec->submitted;
+      queue_sum += q;
+      s.max_queueing = std::max(s.max_queueing, q);
+      ++started;
+    }
+  }
+  if (started > 0) s.mean_queueing = queue_sum / static_cast<double>(started);
+  if (first_submit_ >= 0.0 && last_finish_ > first_submit_) {
+    s.makespan = last_finish_ - first_submit_;
+    const double busy = slot_seconds_at_last_finish_ - slot_seconds_at_first_submit_;
+    const double capacity = static_cast<double>(ledger_.total_slots()) * s.makespan;
+    if (capacity > 0.0) s.avg_utilization = busy / capacity;
+  }
+  return s;
+}
+
+void JobService::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Join runner threads that have finished.
+    while (!finished_unjoined_.empty()) {
+      const JobId id = finished_unjoined_.back();
+      finished_unjoined_.pop_back();
+      std::thread t = std::move(jobs_.at(id)->runner);
+      lk.unlock();
+      if (t.joinable()) t.join();
+      lk.lock();
+    }
+
+    expire_deadlines_locked();
+    while (try_admit_head_locked()) {
+    }
+
+    if (stop_dispatcher_ && queue_.empty() && running_jobs_ == 0 &&
+        finished_unjoined_.empty()) {
+      break;
+    }
+
+    // Sleep until woken (submit / completion / cancel / stop) or the
+    // earliest pending deadline, whichever comes first.
+    double next_deadline = 0.0;
+    for (const auto& [id, rec] : jobs_) {
+      if (is_terminal(rec->state) || rec->deadline_at <= 0.0) continue;
+      if (rec->state == JobState::kRunning && rec->cancel_token.load()) continue;
+      if (next_deadline <= 0.0 || rec->deadline_at < next_deadline) {
+        next_deadline = rec->deadline_at;
+      }
+    }
+    if (next_deadline > 0.0) {
+      const double wait = next_deadline - now();
+      if (wait > 0.0) {
+        dispatch_cv_.wait_for(lk, std::chrono::duration<double>(wait));
+      }
+      // else: loop immediately to expire it.
+    } else {
+      dispatch_cv_.wait(lk);
+    }
+  }
+}
+
+void JobService::expire_deadlines_locked() {
+  const double t = now();
+  // Queued jobs past their deadline fail without ever running.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    JobRecord& rec = *jobs_.at(*it);
+    if (rec.deadline_at > 0.0 && t >= rec.deadline_at) {
+      it = queue_.erase(it);
+      finish_job_locked(rec, JobState::kFailed,
+                        Status::deadline_exceeded("deadline expired after " +
+                                                  std::to_string(rec.sub.deadline) +
+                                                  " s in queue"));
+      state_cv_.notify_all();
+    } else {
+      ++it;
+    }
+  }
+  // Running jobs past their deadline get a cooperative stop; the runner
+  // maps the engine's CANCELLED into FAILED/DEADLINE_EXCEEDED.
+  for (const auto& [id, rec] : jobs_) {
+    if (rec->state != JobState::kRunning && rec->state != JobState::kAdmitted) continue;
+    if (rec->deadline_at <= 0.0 || t < rec->deadline_at) continue;
+    if (rec->cancel_token.load(std::memory_order_acquire)) continue;
+    if (rec->pending_stop.is_ok()) {
+      rec->pending_stop = Status::deadline_exceeded(
+          "deadline expired after " + std::to_string(rec->sub.deadline) + " s");
+    }
+    rec->cancel_token.store(true, std::memory_order_release);
+  }
+}
+
+bool JobService::try_admit_head_locked() {
+  if (queue_.empty()) return false;
+  JobRecord& rec = *jobs_.at(queue_.front());
+
+  const std::vector<int> free = ledger_.free_snapshot();
+  const int leased = ledger_.outstanding_total();
+  const std::vector<int> offer =
+      admission_offer(options_.admission, free, ledger_.total_slots(), leased);
+  if (offer.empty()) return false;  // policy says wait
+
+  // The cluster is maximally available when nothing is leased — if the
+  // head cannot be planned against THIS offer it never will be, so fail
+  // it instead of head-blocking the queue forever.
+  const bool maximal_offer = leased == 0;
+
+  const cluster::Cluster view = cluster::Cluster::from_slots(offer);
+  scheduler::DittoScheduler sched;
+  auto plan = sched.schedule(rec.sub.model_dag, view, rec.sub.objective, options_.external);
+  if (!plan.ok()) {
+    if (maximal_offer) {
+      queue_.pop_front();
+      finish_job_locked(rec, JobState::kFailed,
+                        Status::unavailable("job does not fit the cluster under policy " +
+                                            std::string(admission_policy_name(
+                                                options_.admission.policy)) +
+                                            ": " + plan.status().message()));
+      state_cv_.notify_all();
+      return true;
+    }
+    return false;  // wait for completions to widen the offer
+  }
+
+  const std::vector<int> demand =
+      cluster::slot_demand(plan->placement, cluster_->num_servers());
+  auto lease = ledger_.acquire(demand);
+  if (!lease.ok()) return false;  // cannot happen under mu_; be safe
+
+  // Charge the job's modeled shared-memory footprint per server.
+  std::vector<Bytes> charge;
+  if (options_.account_arena) {
+    charge = arena_demand(rec.sub.model_dag, plan->placement, cluster_->num_servers());
+    for (std::size_t v = 0; v < charge.size(); ++v) {
+      if (charge[v] == 0) continue;
+      const Status st = cluster_->server(v).arena().reserve(charge[v]);
+      if (!st.is_ok()) {
+        // Unwind and either wait for memory or fail permanently.
+        for (std::size_t u = 0; u < v; ++u) {
+          if (charge[u] > 0) cluster_->server(u).arena().release(charge[u]);
+        }
+        const Status released = lease->release();
+        (void)released;
+        if (maximal_offer) {
+          queue_.pop_front();
+          finish_job_locked(rec, JobState::kFailed, st);
+          state_cv_.notify_all();
+          return true;
+        }
+        return false;
+      }
+    }
+  }
+
+  rec.lease = std::move(*lease);
+  rec.arena_charge = std::move(charge);
+  rec.plan = std::move(plan->placement);
+  rec.state = JobState::kAdmitted;
+  rec.admitted = now();
+  queue_.pop_front();
+  ++running_jobs_;
+  rec.runner = std::thread(&JobService::run_job, this, &rec);
+  state_cv_.notify_all();
+  return true;
+}
+
+void JobService::run_job(JobRecord* rec) {
+  exec::EngineOptions opts;
+  storage::ObjectStore* store = store_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rec->state = JobState::kRunning;
+    rec->started = now();
+    opts.resilience = rec->sub.resilience;
+    opts.pools = &pools_;
+    opts.exchange_prefix = "job-" + std::to_string(rec->id) + "/" + rec->sub.dag.name();
+    opts.cancel = &rec->cancel_token;
+    if (rec->sub.faults.any()) {
+      rec->injector = std::make_unique<faults::FaultInjector>(rec->sub.faults);
+      rec->flaky = std::make_unique<faults::FlakyStore>(*store_, *rec->injector);
+      opts.injector = rec->injector.get();
+      store = rec->flaky.get();
+    }
+  }
+  state_cv_.notify_all();
+
+  exec::MiniEngine engine(rec->sub.dag, rec->plan, *store, opts);
+  auto result = engine.run(rec->sub.bindings);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (result.ok()) {
+      rec->sinks = std::move(result->sink_outputs);
+      rec->stats = result->stats;
+      finish_job_locked(*rec, JobState::kDone, Status::ok());
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      const Status why =
+          rec->pending_stop.is_ok() ? Status::cancelled("cancelled by caller") : rec->pending_stop;
+      const JobState terminal = why.code() == StatusCode::kDeadlineExceeded
+                                    ? JobState::kFailed
+                                    : JobState::kCancelled;
+      finish_job_locked(*rec, terminal, why);
+    } else {
+      finish_job_locked(*rec, JobState::kFailed, result.status());
+    }
+    finished_unjoined_.push_back(rec->id);
+  }
+  state_cv_.notify_all();
+  dispatch_cv_.notify_all();
+}
+
+void JobService::finish_job_locked(JobRecord& rec, JobState state, Status error) {
+  const bool was_active =
+      rec.state == JobState::kAdmitted || rec.state == JobState::kRunning;
+  rec.state = state;
+  rec.error = std::move(error);
+  rec.finished = now();
+  release_resources_locked(rec);
+  if (was_active) --running_jobs_;
+  last_finish_ = std::max(last_finish_, rec.finished);
+  slot_seconds_at_last_finish_ = ledger_.slot_seconds();
+  observe_terminal_locked(rec);
+}
+
+void JobService::observe_terminal_locked(const JobRecord& rec) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  const char* policy = admission_policy_name(options_.admission.policy);
+  if (mx.enabled()) {
+    const obs::MetricLabels labels{{"policy", policy},
+                                   {"state", job_state_name(rec.state)}};
+    mx.counter("service.jobs", labels).add();
+    mx.gauge("service.running_jobs", {{"policy", policy}})
+        .set(static_cast<double>(running_jobs_));
+    if (rec.state == JobState::kDone) {
+      const obs::MetricLabels plabels{{"policy", policy}};
+      mx.histogram("service.queueing_seconds", 0.0, 60.0, 60, plabels)
+          .observe(rec.started - rec.submitted);
+      mx.histogram("service.jct_seconds", 0.0, 600.0, 60, plabels)
+          .observe(rec.finished - rec.submitted);
+    }
+  }
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    // One span per job on the job-level track (pid -1), covering
+    // submission to terminal state, labeled for the viewer.
+    const auto us = [](Seconds s) { return static_cast<std::uint64_t>(s * 1e6); };
+    tc.span("service.job", rec.sub.label.empty() ? ("job-" + std::to_string(rec.id))
+                                                 : rec.sub.label,
+            us(rec.submitted), us(rec.finished - rec.submitted), -1,
+            static_cast<std::int64_t>(rec.id),
+            {{"state", job_state_name(rec.state)},
+             {"policy", policy},
+             {"queueing_s", std::to_string(std::max(0.0, rec.started - rec.submitted))}});
+  }
+}
+
+void JobService::release_resources_locked(JobRecord& rec) {
+  if (rec.lease.active()) {
+    const Status released = rec.lease.release();
+    (void)released;  // ledger-validated; cannot fail for an active lease
+  }
+  for (std::size_t v = 0; v < rec.arena_charge.size(); ++v) {
+    if (rec.arena_charge[v] > 0) cluster_->server(v).arena().release(rec.arena_charge[v]);
+  }
+  rec.arena_charge.clear();
+}
+
+JobOutcome JobService::outcome_of_locked(const JobRecord& rec) const {
+  JobOutcome out;
+  out.id = rec.id;
+  out.label = rec.sub.label;
+  out.state = rec.state;
+  out.error = rec.error;
+  out.submitted = rec.submitted;
+  out.admitted = rec.admitted;
+  out.started = rec.started;
+  out.finished = rec.finished;
+  out.slots_granted = 0;
+  for (const auto& row : rec.plan.task_server) out.slots_granted += static_cast<int>(row.size());
+  out.plan = rec.plan;
+  out.sink_outputs = rec.sinks;
+  out.stats = rec.stats;
+  return out;
+}
+
+}  // namespace ditto::service

@@ -1,0 +1,244 @@
+// JobService: a concurrent, multi-tenant job service over the real
+// MiniEngine — the serving-system layer the paper leaves as future
+// work (§4.5: inter-job resource allocation co-designed with intra-job
+// elastic scheduling).
+//
+// Shape (Netherite-style service over Wukong-style decentralized
+// execution): callers submit executable jobs (DAG + stage bindings +
+// a physics-annotated model DAG) at any time; a dispatcher thread
+// admits them strictly FIFO through a pluggable inter-job policy
+// (admission.h), plans each admitted job with the Ditto scheduler
+// against the slots currently free, leases those slots from the shared
+// Cluster via RAII SlotLease handles, and runs the job on the shared
+// per-server thread pools. Job lifecycle:
+//
+//     QUEUED -> ADMITTED -> RUNNING -> { DONE, FAILED, CANCELLED }
+//
+// Isolation guarantees for co-resident jobs:
+//   * exchange keys are namespaced per job id, so two instances of the
+//     same query never cross-feed shuffles through the shared store;
+//   * slots are leased all-or-nothing and released exactly once (the
+//     ledger rejects double releases), so one job's completion cannot
+//     free another job's slots;
+//   * per-server arena bytes are charged per job from its model-DAG
+//     volumes and reclaimed at job end, so back-to-back jobs do not
+//     grow shared-memory accounting without bound;
+//   * chaos is per job: each submission carries its own FaultSpec and
+//     the injector/FlakyStore it arms wrap only that job's engine run.
+//
+// Deadlines and cancellation are cooperative: a queued job past its
+// deadline fails without running; a running job's engine is cancelled
+// at the next wave boundary. drain() closes intake and waits for every
+// job to reach a terminal state; the destructor drains implicitly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "cluster/slot_lease.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "dag/job_dag.h"
+#include "exec/engine.h"
+#include "faults/fault_injector.h"
+#include "faults/flaky_store.h"
+#include "faults/retry_policy.h"
+#include "service/admission.h"
+#include "storage/object_store.h"
+
+namespace ditto::service {
+
+using JobId = std::uint64_t;
+
+enum class JobState { kQueued, kAdmitted, kRunning, kDone, kFailed, kCancelled };
+const char* job_state_name(JobState s);
+bool is_terminal(JobState s);
+
+struct JobSubmission {
+  std::string label;
+
+  /// Executable side: the DAG the engine runs and its stage bindings.
+  JobDag dag;
+  std::map<StageId, exec::StageBinding> bindings;
+
+  /// Scheduling side: the same DAG annotated with data volumes and
+  /// physics-instantiated step models (see workload::apply_physics) —
+  /// what the Ditto scheduler plans against.
+  JobDag model_dag;
+
+  Objective objective = Objective::kJct;
+
+  /// Seconds from submission to forced termination (0 = none). Expiry
+  /// in the queue fails the job without running it; expiry while
+  /// running cancels the engine at the next wave boundary. Either way
+  /// the job ends FAILED with DEADLINE_EXCEEDED.
+  Seconds deadline = 0.0;
+
+  /// Per-job chaos: when armed (faults.any()), this job's engine run is
+  /// wrapped in its own FaultInjector + FlakyStore. Co-resident jobs
+  /// are untouched.
+  faults::FaultSpec faults;
+  faults::ResiliencePolicy resilience;
+
+  /// Keeps source tables (captured by the bindings) alive for the
+  /// job's lifetime.
+  std::shared_ptr<const void> keepalive;
+};
+
+struct JobOutcome {
+  JobId id = 0;
+  std::string label;
+  JobState state = JobState::kQueued;
+  Status error;  ///< why FAILED/CANCELLED; OK for DONE
+
+  // Service-clock timestamps (seconds since service start).
+  Seconds submitted = 0.0;
+  Seconds admitted = 0.0;
+  Seconds started = 0.0;
+  Seconds finished = 0.0;
+
+  int slots_granted = 0;
+  cluster::PlacementPlan plan;  ///< what the job actually ran with
+  std::map<StageId, exec::Table> sink_outputs;
+  exec::EngineStats stats;
+
+  Seconds queueing() const { return started - submitted; }
+  Seconds jct() const { return finished - submitted; }
+};
+
+struct ServiceSummary {
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  Seconds mean_queueing = 0.0;
+  Seconds max_queueing = 0.0;
+  /// First submission to last completion.
+  Seconds makespan = 0.0;
+  /// Time-averaged fraction of cluster slots under lease during the
+  /// makespan window.
+  double avg_utilization = 0.0;
+
+  std::string to_text() const;
+};
+
+struct ServiceOptions {
+  AdmissionOptions admission;
+  /// Storage model the scheduler prices non-co-located shuffles with.
+  storage::StorageModel external;
+  /// Charge per-job arena bytes from model-DAG volumes (on by default;
+  /// off lets tests isolate slot accounting).
+  bool account_arena = true;
+};
+
+class JobService {
+ public:
+  /// `cluster` supplies slots and per-server arenas; `store` backs all
+  /// cross-server exchanges (namespaced per job). Neither is owned;
+  /// both must outlive the service. All slot mutations on the cluster
+  /// must go through this service once it exists.
+  JobService(cluster::Cluster& cluster, storage::ObjectStore& store,
+             ServiceOptions options = {});
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Queue a job. FAILED_PRECONDITION after drain()/destruction began.
+  Result<JobId> submit(JobSubmission sub);
+
+  /// Cancel a queued or running job. Terminal jobs (and unknown ids)
+  /// are errors; cancelling an already-cancelled job is OK (idempotent).
+  Status cancel(JobId id);
+
+  Result<JobState> state(JobId id) const;
+
+  /// Block until the job is terminal; returns a copy of its outcome.
+  Result<JobOutcome> wait(JobId id);
+
+  /// Close intake, wait for every job to reach a terminal state, and
+  /// return all outcomes ordered by id. Idempotent.
+  std::vector<JobOutcome> drain();
+
+  ServiceSummary summary() const;
+
+  int total_slots() const { return ledger_.total_slots(); }
+  int free_slots() const { return ledger_.free_total(); }
+
+ private:
+  struct JobRecord {
+    JobId id = 0;
+    JobSubmission sub;
+    JobState state = JobState::kQueued;
+    Status error;
+    Seconds submitted = 0.0, admitted = 0.0, started = 0.0, finished = 0.0;
+    double deadline_at = 0.0;  ///< absolute service clock; 0 = none
+
+    cluster::SlotLease lease;
+    std::vector<Bytes> arena_charge;  ///< per-server bytes reserved
+    cluster::PlacementPlan plan;
+    std::map<StageId, exec::Table> sinks;
+    exec::EngineStats stats;
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    std::unique_ptr<faults::FlakyStore> flaky;
+    std::atomic<bool> cancel_token{false};
+    /// Set (with mu_ held) before cancel_token, so the runner knows
+    /// whether the token meant "user cancel" or "deadline".
+    Status pending_stop;
+
+    std::thread runner;
+  };
+
+  void dispatcher_loop();
+  /// Tries to admit the queue head; returns true if it made progress
+  /// (admitted or failed a job). Caller holds mu_.
+  bool try_admit_head_locked();
+  void expire_deadlines_locked();
+  void run_job(JobRecord* rec);
+  void finish_job_locked(JobRecord& rec, JobState state, Status error);
+  /// Emits per-job labeled metrics + a job-track trace span (no-ops
+  /// while observability is disabled).
+  void observe_terminal_locked(const JobRecord& rec);
+  void release_resources_locked(JobRecord& rec);
+  JobOutcome outcome_of_locked(const JobRecord& rec) const;
+  double now() const { return clock_.elapsed_seconds(); }
+
+  cluster::Cluster* cluster_;
+  storage::ObjectStore* store_;
+  ServiceOptions options_;
+  cluster::SlotLedger ledger_;
+  exec::ServerPools pools_;
+  Stopwatch clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  ///< wakes the dispatcher
+  std::condition_variable state_cv_;     ///< wakes wait()/drain()
+  std::map<JobId, std::unique_ptr<JobRecord>> jobs_;
+  std::deque<JobId> queue_;  ///< FIFO of QUEUED job ids
+  JobId next_id_ = 1;
+  int running_jobs_ = 0;
+  bool intake_closed_ = false;
+  bool stop_dispatcher_ = false;
+  std::vector<JobId> finished_unjoined_;  ///< runners awaiting join
+
+  // Summary accounting (guarded by mu_).
+  Seconds first_submit_ = -1.0;
+  Seconds last_finish_ = 0.0;
+  double slot_seconds_at_first_submit_ = 0.0;
+  double slot_seconds_at_last_finish_ = 0.0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ditto::service

@@ -1,0 +1,41 @@
+// Text spec for a multi-job serve run (`dittoctl serve`): one `policy`
+// line plus one `job` line per submission. Grammar (whitespace-
+// separated tokens, `#` starts a comment):
+//
+//   policy fifo|fair|elastic [fair_share_slots=N] [min_free_slots=N]
+//   job <q1|q16|q94|q95> [arrival=SECS] [objective=jct|cost]
+//       [deadline=SECS] [label=NAME] [rows=N] [orders=N] [seed=N]
+//       [faults=SPEC]
+//
+// `arrival` is the submission offset from serve start; `faults` is a
+// faults::parse_fault_spec() string (comma-separated, no spaces).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "faults/fault_injector.h"
+#include "service/admission.h"
+#include "workload/engine_queries.h"
+
+namespace ditto::service {
+
+struct ServeJobSpec {
+  std::string query;
+  Seconds arrival = 0.0;
+  Objective objective = Objective::kJct;
+  Seconds deadline = 0.0;
+  std::string label;
+  workload::EngineQuerySpec data;
+  faults::FaultSpec faults;
+};
+
+struct ServeSpec {
+  AdmissionOptions admission;
+  std::vector<ServeJobSpec> jobs;
+};
+
+Result<ServeSpec> parse_serve_spec(const std::string& text);
+
+}  // namespace ditto::service

@@ -1,7 +1,6 @@
 #include "sim/job_queue.h"
 
 #include <algorithm>
-#include <cmath>
 #include <deque>
 #include <map>
 
@@ -15,42 +14,6 @@ struct RunningJob {
   Seconds finish = 0.0;
   std::vector<int> slots_per_server;  // to release at completion
 };
-
-/// Limits the per-job resource offer to `cap` total slots, shrinking
-/// server contributions proportionally (largest-first rounding).
-std::vector<int> cap_offer(std::vector<int> free_slots, int cap) {
-  if (cap <= 0) return free_slots;
-  int total = 0;
-  for (int s : free_slots) total += s;
-  if (total <= cap) return free_slots;
-  const double scale = static_cast<double>(cap) / static_cast<double>(total);
-  int granted = 0;
-  for (int& s : free_slots) {
-    s = static_cast<int>(std::floor(s * scale));
-    granted += s;
-  }
-  // Distribute the rounding remainder to the largest servers.
-  while (granted < cap) {
-    int* best = &free_slots[0];
-    for (int& s : free_slots) {
-      if (s > *best) best = &s;
-    }
-    ++*best;
-    ++granted;
-  }
-  return free_slots;
-}
-
-/// Per-server slot demand of a placement plan.
-std::vector<int> demand_of(const cluster::PlacementPlan& plan, std::size_t servers) {
-  std::vector<int> demand(servers, 0);
-  for (const auto& task_servers : plan.task_server) {
-    for (ServerId v : task_servers) {
-      if (v != kNoServer && v < servers) ++demand[v];
-    }
-  }
-  return demand;
-}
 
 }  // namespace
 
@@ -141,10 +104,12 @@ Result<QueueResult> run_job_queue(const cluster::Cluster& cluster,
     // Admit from the head of the queue while jobs fit (strict FIFO: a
     // blocked head blocks the queue, avoiding starvation).
     while (!waiting.empty()) {
+      // Exclusive mode: the head runs alone on the fully idle cluster.
+      if (options.exclusive && reserved_now > 0) break;
       const std::size_t idx = waiting.front();
       PreparedJob& job = prepared[idx];
-      auto view =
-          cluster::Cluster::from_slots(cap_offer(free_slots, options.max_slots_per_job));
+      auto view = cluster::Cluster::from_slots(
+          cluster::cap_offer(free_slots, options.max_slots_per_job));
       const auto plan =
           sched.schedule(job.fitted, view, job.sub->objective, external);
       if (!plan.ok()) break;  // head does not fit yet; wait for completions
@@ -152,7 +117,7 @@ Result<QueueResult> run_job_queue(const cluster::Cluster& cluster,
       const SimResult sim = job.simulator->run(plan->placement);
       RunningJob run;
       run.finish = now + sim.jct;
-      run.slots_per_server = demand_of(plan->placement, free_slots.size());
+      run.slots_per_server = cluster::slot_demand(plan->placement, free_slots.size());
       int used = 0;
       for (std::size_t v = 0; v < free_slots.size(); ++v) {
         free_slots[v] -= run.slots_per_server[v];

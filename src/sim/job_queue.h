@@ -61,6 +61,11 @@ struct JobQueueOptions {
   /// job at hand (the paper's per-job assumption), so concurrent jobs
   /// serialize; a cap implements a simple fair-share inter-job policy.
   int max_slots_per_job = 0;
+  /// Batch baseline: the head job waits until the cluster is fully idle
+  /// and gets every slot — jobs never overlap. Mirrors the live
+  /// JobService's fifo-exclusive admission policy so the simulator and
+  /// the service can be cross-validated on the same decisions.
+  bool exclusive = false;
 };
 
 /// Runs the submissions through the cluster with the given intra-job

@@ -11,7 +11,7 @@ TEST(ServerTest, SlotAccounting) {
   ASSERT_TRUE(s.reserve_slots(5).is_ok());
   EXPECT_EQ(s.free_slots(), 3);
   EXPECT_EQ(s.used_slots(), 5);
-  s.release_slots(2);
+  EXPECT_TRUE(s.release_slots(2).is_ok());
   EXPECT_EQ(s.free_slots(), 5);
 }
 
@@ -22,10 +22,18 @@ TEST(ServerTest, OverReservationFails) {
   EXPECT_FALSE(s.reserve_slots(-1).is_ok());
 }
 
-TEST(ServerTest, ReleaseClampsAtTotal) {
+TEST(ServerTest, OverReleaseFailsWithoutCorruptingCounts) {
   Server s(0, 4);
-  s.release_slots(10);
+  EXPECT_EQ(s.release_slots(10).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s.free_slots(), 4);  // untouched
+  ASSERT_TRUE(s.reserve_slots(3).is_ok());
+  EXPECT_EQ(s.release_slots(4).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s.release_slots(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(s.release_slots(3).is_ok());
   EXPECT_EQ(s.free_slots(), 4);
+  // A double release of the same reservation is the canonical bug this
+  // guard exists for.
+  EXPECT_EQ(s.release_slots(3).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(ServerTest, HasArena) {
@@ -52,8 +60,9 @@ TEST(ClusterTest, ReserveReleaseThroughCluster) {
   ASSERT_TRUE(cl.reserve(1, 3).is_ok());
   EXPECT_EQ(cl.free_slots(), 5);
   EXPECT_EQ(cl.free_slot_snapshot(), (std::vector<int>{4, 1}));
-  cl.release(1, 3);
+  EXPECT_TRUE(cl.release(1, 3).is_ok());
   EXPECT_EQ(cl.free_slots(), 8);
+  EXPECT_EQ(cl.release(1, 1).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(ClusterTest, FromDistributionMatchesSlotVector) {

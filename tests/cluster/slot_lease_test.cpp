@@ -1,0 +1,110 @@
+#include "cluster/slot_lease.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ditto::cluster {
+namespace {
+
+TEST(SlotLeaseTest, AcquireReservesAndDestructorReturns) {
+  auto cl = Cluster::uniform(3, 4);
+  SlotLedger ledger(cl);
+  EXPECT_EQ(ledger.total_slots(), 12);
+  EXPECT_EQ(ledger.free_total(), 12);
+  {
+    auto lease = ledger.acquire({2, 0, 3});
+    ASSERT_TRUE(lease.ok()) << lease.status().to_string();
+    EXPECT_TRUE(lease->active());
+    EXPECT_EQ(lease->total_slots(), 5);
+    EXPECT_EQ(ledger.free_total(), 7);
+    EXPECT_EQ(ledger.outstanding_total(), 5);
+    EXPECT_EQ(ledger.free_snapshot(), (std::vector<int>{2, 4, 1}));
+    EXPECT_EQ(cl.free_slots(), 7);  // the ledger mutates the real cluster
+  }
+  EXPECT_EQ(ledger.free_total(), 12);
+  EXPECT_EQ(ledger.outstanding_total(), 0);
+}
+
+TEST(SlotLeaseTest, AcquireIsAllOrNothing) {
+  auto cl = Cluster::uniform(2, 2);
+  SlotLedger ledger(cl);
+  // Server 1 lacks the slots: nothing may be taken from server 0 either.
+  const auto lease = ledger.acquire({1, 3});
+  EXPECT_FALSE(lease.ok());
+  EXPECT_EQ(lease.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ledger.free_total(), 4);
+  EXPECT_EQ(ledger.outstanding_total(), 0);
+}
+
+TEST(SlotLeaseTest, MalformedDemandRejected) {
+  auto cl = Cluster::uniform(2, 2);
+  SlotLedger ledger(cl);
+  EXPECT_EQ(ledger.acquire({1}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.acquire({1, -1}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.free_total(), 4);
+}
+
+TEST(SlotLeaseTest, ExplicitDoubleReleaseFails) {
+  auto cl = Cluster::uniform(1, 4);
+  SlotLedger ledger(cl);
+  auto lease = ledger.acquire({2});
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(lease->release().is_ok());
+  EXPECT_FALSE(lease->active());
+  const Status again = lease->release();
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  // The double release must not have inflated the free count.
+  EXPECT_EQ(ledger.free_total(), 4);
+}
+
+TEST(SlotLeaseTest, MoveTransfersOwnership) {
+  auto cl = Cluster::uniform(1, 4);
+  SlotLedger ledger(cl);
+  auto lease = ledger.acquire({3});
+  ASSERT_TRUE(lease.ok());
+  SlotLease moved = std::move(*lease);
+  EXPECT_FALSE(lease->active());
+  EXPECT_TRUE(moved.active());
+  EXPECT_EQ(ledger.free_total(), 1);
+  EXPECT_TRUE(moved.release().is_ok());
+  EXPECT_EQ(ledger.free_total(), 4);
+}
+
+TEST(SlotLeaseTest, SlotSecondsIntegralAdvances) {
+  auto cl = Cluster::uniform(1, 8);
+  SlotLedger ledger(cl);
+  const double before = ledger.slot_seconds();
+  {
+    auto lease = ledger.acquire({8});
+    ASSERT_TRUE(lease.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  const double after = ledger.slot_seconds();
+  // 8 slots held for >= 30 ms: at least 0.24 slot-seconds accrued.
+  EXPECT_GE(after - before, 8 * 0.030 * 0.5);  // generous lower bound
+}
+
+TEST(SlotLeaseTest, ConcurrentAcquireReleaseKeepsAccountingConsistent) {
+  auto cl = Cluster::uniform(4, 8);
+  SlotLedger ledger(cl);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&ledger, t] {
+      for (int i = 0; i < 200; ++i) {
+        auto lease = ledger.acquire({(t + i) % 3, 1, 0, i % 2});
+        if (lease.ok()) {
+          EXPECT_TRUE(lease->release().is_ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ledger.free_total(), 32);
+  EXPECT_EQ(ledger.outstanding_total(), 0);
+  EXPECT_EQ(cl.free_slots(), 32);
+}
+
+}  // namespace
+}  // namespace ditto::cluster

@@ -1,0 +1,62 @@
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/cluster.h"
+
+namespace ditto::service {
+namespace {
+
+int total(const std::vector<int>& v) { return std::accumulate(v.begin(), v.end(), 0); }
+
+TEST(AdmissionPolicyTest, NamesRoundTrip) {
+  for (const AdmissionPolicy p : {AdmissionPolicy::kFifoExclusive, AdmissionPolicy::kFairShare,
+                                  AdmissionPolicy::kElastic}) {
+    const auto parsed = parse_admission_policy(admission_policy_name(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_TRUE(parse_admission_policy("fifo").ok());
+  EXPECT_TRUE(parse_admission_policy("fair").ok());
+  EXPECT_FALSE(parse_admission_policy("round-robin").ok());
+}
+
+TEST(AdmissionOfferTest, FifoExclusiveWaitsForIdleCluster) {
+  AdmissionOptions opt;
+  opt.policy = AdmissionPolicy::kFifoExclusive;
+  // Something is leased: do not admit even though slots are free.
+  EXPECT_TRUE(admission_offer(opt, {4, 4}, 16, 8).empty());
+  // Free but not all slots free (partial external reservation): wait.
+  EXPECT_TRUE(admission_offer(opt, {4, 4}, 16, 0).empty());
+  // Fully idle: the head gets everything.
+  EXPECT_EQ(admission_offer(opt, {8, 8}, 16, 0), (std::vector<int>{8, 8}));
+}
+
+TEST(AdmissionOfferTest, FairShareCapsTheOffer) {
+  AdmissionOptions opt;
+  opt.policy = AdmissionPolicy::kFairShare;
+  opt.fair_share_slots = 6;
+  const auto offer = admission_offer(opt, {8, 8}, 16, 0);
+  EXPECT_EQ(total(offer), 6);
+  // The cap must match the shared cluster::cap_offer exactly — the sim
+  // job queue uses it for its fair-share mode.
+  EXPECT_EQ(offer, cluster::cap_offer({8, 8}, 6));
+  // Default cap: half the cluster.
+  opt.fair_share_slots = 0;
+  EXPECT_EQ(total(admission_offer(opt, {16, 16}, 32, 0)), 16);
+}
+
+TEST(AdmissionOfferTest, ElasticOffersWhateverIsFree) {
+  AdmissionOptions opt;
+  opt.policy = AdmissionPolicy::kElastic;
+  EXPECT_EQ(admission_offer(opt, {1, 0, 2}, 24, 21), (std::vector<int>{1, 0, 2}));
+  // Below min_free_slots: wait a beat instead of squeezing to nothing.
+  opt.min_free_slots = 4;
+  EXPECT_TRUE(admission_offer(opt, {1, 0, 2}, 24, 21).empty());
+  EXPECT_EQ(total(admission_offer(opt, {2, 0, 2}, 24, 20)), 4);
+}
+
+}  // namespace
+}  // namespace ditto::service

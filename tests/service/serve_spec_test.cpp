@@ -1,0 +1,62 @@
+#include "service/serve_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace ditto::service {
+namespace {
+
+TEST(ServeSpecTest, ParsesPolicyAndJobs) {
+  const std::string text = R"(# multi-tenant demo
+policy fair fair_share_slots=12 min_free_slots=2
+job q95 arrival=0.0 label=flagship rows=20000 orders=4000 seed=7
+job q1 arrival=0.5 objective=cost deadline=30
+job q16 arrival=1.0 faults=crash=0.2,seed=9   # chaos rider
+)";
+  const auto spec = parse_serve_spec(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->admission.policy, AdmissionPolicy::kFairShare);
+  EXPECT_EQ(spec->admission.fair_share_slots, 12);
+  EXPECT_EQ(spec->admission.min_free_slots, 2);
+  ASSERT_EQ(spec->jobs.size(), 3u);
+
+  EXPECT_EQ(spec->jobs[0].query, "q95");
+  EXPECT_EQ(spec->jobs[0].label, "flagship");
+  EXPECT_EQ(spec->jobs[0].data.fact_rows, 20000u);
+  EXPECT_EQ(spec->jobs[0].data.num_orders, 4000);
+  EXPECT_EQ(spec->jobs[0].data.seed, 7u);
+
+  EXPECT_DOUBLE_EQ(spec->jobs[1].arrival, 0.5);
+  EXPECT_EQ(spec->jobs[1].objective, Objective::kCost);
+  EXPECT_DOUBLE_EQ(spec->jobs[1].deadline, 30.0);
+
+  EXPECT_DOUBLE_EQ(spec->jobs[2].faults.crash_prob, 0.2);
+  EXPECT_EQ(spec->jobs[2].faults.seed, 9u);
+}
+
+TEST(ServeSpecTest, DefaultsAreElasticJctNoDeadline) {
+  const auto spec = parse_serve_spec("job q94\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->admission.policy, AdmissionPolicy::kElastic);
+  EXPECT_EQ(spec->jobs[0].objective, Objective::kJct);
+  EXPECT_DOUBLE_EQ(spec->jobs[0].deadline, 0.0);
+  EXPECT_FALSE(spec->jobs[0].faults.any());
+}
+
+TEST(ServeSpecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_serve_spec("").ok());                      // no jobs
+  EXPECT_FALSE(parse_serve_spec("# only comments\n").ok());
+  EXPECT_FALSE(parse_serve_spec("job q99\n").ok());             // unknown query
+  EXPECT_FALSE(parse_serve_spec("job q1 arrival=abc\n").ok());  // bad number
+  EXPECT_FALSE(parse_serve_spec("job q1 wat=1\n").ok());        // unknown key
+  EXPECT_FALSE(parse_serve_spec("job q1 deadline\n").ok());     // no '='
+  EXPECT_FALSE(parse_serve_spec("policy lifo\njob q1\n").ok()); // unknown policy
+  EXPECT_FALSE(parse_serve_spec("serve q1\n").ok());            // unknown directive
+  EXPECT_FALSE(parse_serve_spec("job q1 arrival=-1\n").ok());   // negative time
+  // Errors carry the line number.
+  const auto bad = parse_serve_spec("job q1\njob q1 wat=1\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ditto::service

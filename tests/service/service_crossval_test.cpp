@@ -1,0 +1,107 @@
+// Cross-validation: the live JobService and the discrete-event job
+// queue simulator implement the same inter-job policies. The pure
+// admission_offer() function and the shared cluster::cap_offer /
+// cluster::slot_demand helpers are what keeps them aligned; these
+// tests pin the correspondence.
+#include <gtest/gtest.h>
+
+#include "scheduler/ditto_scheduler.h"
+#include "service/admission.h"
+#include "sim/job_queue.h"
+#include "storage/sim_store.h"
+#include "workload/micro.h"
+
+namespace ditto {
+namespace {
+
+workload::PhysicsParams s3_physics() {
+  workload::PhysicsParams p;
+  p.store = storage::s3_model();
+  return p;
+}
+
+sim::JobSubmission submit(JobDag dag, Seconds arrival, std::string label) {
+  sim::JobSubmission s;
+  s.dag = std::move(dag);
+  s.arrival = arrival;
+  s.label = std::move(label);
+  return s;
+}
+
+TEST(ServiceSimCrossvalTest, FairShareOfferEqualsSimCap) {
+  // The sim's max_slots_per_job and the service's fair-share policy
+  // must carve identical per-server offers from the same free view.
+  for (const std::vector<int>& free :
+       {std::vector<int>{8, 8, 8}, std::vector<int>{5, 0, 3}, std::vector<int>{1, 1, 1}}) {
+    for (const int cap : {2, 4, 7}) {
+      service::AdmissionOptions opt;
+      opt.policy = service::AdmissionPolicy::kFairShare;
+      opt.fair_share_slots = cap;
+      const auto service_offer = service::admission_offer(opt, free, 24, 0);
+      EXPECT_EQ(service_offer, cluster::cap_offer(free, cap)) << "cap=" << cap;
+    }
+  }
+}
+
+TEST(ServiceSimCrossvalTest, FifoExclusiveAdmitsExactlyWhenSimWould) {
+  service::AdmissionOptions opt;
+  opt.policy = service::AdmissionPolicy::kFifoExclusive;
+  // The sim's exclusive gate is `reserved_now == 0`; the service's is
+  // `leased == 0 && free == total`. Same decisions on the same states:
+  EXPECT_TRUE(service::admission_offer(opt, {6, 8}, 16, 2).empty());  // busy -> wait
+  EXPECT_EQ(service::admission_offer(opt, {8, 8}, 16, 0), (std::vector<int>{8, 8}));
+}
+
+TEST(ServiceSimCrossvalTest, SimExclusiveModeSerializesJobs) {
+  auto cl = cluster::Cluster::uniform(4, 8);
+  std::vector<sim::JobSubmission> subs;
+  for (int i = 0; i < 3; ++i) {
+    subs.push_back(submit(workload::chain_dag(3, 5_GB, 0.5, s3_physics()), 0.1 * i,
+                          "job" + std::to_string(i)));
+  }
+  scheduler::DittoScheduler sched;
+  sim::JobQueueOptions options;
+  options.exclusive = true;
+  const auto r = sim::run_job_queue(cl, std::move(subs), sched, storage::s3_model(), options);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r->jobs.size(), 3u);
+  for (const auto& job : r->jobs) EXPECT_TRUE(job.scheduled);
+  // Strict serialization: each job starts exactly when its predecessor
+  // finishes (or at its own arrival if later).
+  for (std::size_t i = 1; i < r->jobs.size(); ++i) {
+    EXPECT_GE(r->jobs[i].started, r->jobs[i - 1].finished - 1e-9);
+  }
+}
+
+TEST(ServiceSimCrossvalTest, SimElasticBeatsExclusiveOnBurstyArrivals) {
+  // The paper's §4.5 co-design thesis at simulator scale: elastic
+  // admission (plan against what is free) absorbs a burst better than
+  // the batch baseline. The live-service counterpart is benchmarked in
+  // bench_multijob.
+  auto cl = cluster::Cluster::uniform(4, 8);
+  const auto make_subs = [&] {
+    std::vector<sim::JobSubmission> subs;
+    for (int i = 0; i < 4; ++i) {
+      subs.push_back(submit(workload::chain_dag(3, 5_GB, 0.5, s3_physics()), 0.05 * i,
+                            "job" + std::to_string(i)));
+    }
+    return subs;
+  };
+  scheduler::DittoScheduler sched;
+  sim::JobQueueOptions exclusive;
+  exclusive.exclusive = true;
+  const auto batch =
+      sim::run_job_queue(cl, make_subs(), sched, storage::s3_model(), exclusive);
+  const auto elastic = sim::run_job_queue(cl, make_subs(), sched, storage::s3_model(), {});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(elastic.ok());
+  EXPECT_LE(elastic->makespan, batch->makespan + 1e-9);
+
+  double batch_queueing = 0.0, elastic_queueing = 0.0;
+  for (const auto& j : batch->jobs) batch_queueing += j.queueing();
+  for (const auto& j : elastic->jobs) elastic_queueing += j.queueing();
+  EXPECT_LE(elastic_queueing, batch_queueing + 1e-9);
+}
+
+}  // namespace
+}  // namespace ditto

@@ -82,7 +82,7 @@ int main() {
     }
     double revenue = 0.0;
     for (const auto& [sid, table] : result->sink_outputs) {
-      for (double v : table.column_by_name("revenue").doubles()) revenue += v;
+      for (double v : table.column_by_name("revenue").double_span()) revenue += v;
     }
     std::printf(
         "\n%-24s wall %6.1f ms | zero-copy msgs %3zu, remote msgs %3zu (%s via store)\n",

@@ -57,7 +57,7 @@ Table gen_dim_table(std::size_t rows, std::int64_t attr_domain, std::uint64_t se
 
 Table gen_returns_table(const Table& fact, double return_fraction, std::uint64_t seed) {
   Rng rng(seed);
-  const auto& orders = fact.column_by_name("order_id").ints();
+  const auto& orders = fact.column_by_name("order_id").int_span();
   std::unordered_set<std::int64_t> distinct(orders.begin(), orders.end());
   std::vector<std::int64_t> order_id;
   std::vector<double> amount;

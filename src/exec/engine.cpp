@@ -374,6 +374,14 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   // storage RetryPolicy.
   const std::string ns =
       options_.exchange_prefix.empty() ? dag_->name() : options_.exchange_prefix;
+  // Dedicated pure-compute pool for shuffle partitioning, shared by all
+  // exchanges. It never runs blocking work, so it cannot deadlock with
+  // the bounded server pools; declared before the exchange map so it
+  // outlives every exchange that uses it.
+  std::unique_ptr<ThreadPool> scatter_pool;
+  if (const unsigned hw = std::thread::hardware_concurrency(); hw >= 2) {
+    scatter_pool = std::make_unique<ThreadPool>(std::min<unsigned>(hw, 8));
+  }
   std::map<std::pair<StageId, StageId>, std::unique_ptr<Exchange>> exchanges;
   for (const Edge& e : dag_->edges()) {
     const std::string key = bindings.at(e.src).key_for(e.dst);
@@ -383,7 +391,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
                                    plan_->task_server[e.dst], *store_,
                                    ns + "/e" + std::to_string(e.src) + "_" +
                                        std::to_string(e.dst),
-                                   &options_.resilience.storage));
+                                   &options_.resilience.storage, scatter_pool.get()));
   }
 
   Stopwatch clock;

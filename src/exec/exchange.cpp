@@ -55,11 +55,16 @@ Status RemoteTableChannel::send(std::shared_ptr<const Table> table) {
     if (closed_) return Status::failed_precondition("send on closed channel");
     seq = next_send_;
   }
-  const shm::Buffer bytes = serialize_table(*table);  // the copy shm avoids
   const std::string key = prefix_ + "/" + std::to_string(seq);
   const faults::RetryPolicy pol = policy();
-  DITTO_RETURN_IF_ERROR(faults::retry_status(
-      pol, "exchange.put", [&] { return store_->put(key, bytes.view()); }, retry_counter_));
+  {
+    // Encode into the channel's reusable scratch (exact-size, no
+    // realloc in steady state) and hand the store a view of it.
+    std::lock_guard<std::mutex> slock(scratch_mu_);
+    const std::string_view bytes = serialize_table_into(*table, scratch_);
+    DITTO_RETURN_IF_ERROR(faults::retry_status(
+        pol, "exchange.put", [&] { return store_->put(key, bytes); }, retry_counter_));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     next_send_ = seq + 1;
@@ -76,9 +81,12 @@ std::optional<std::shared_ptr<const Table>> RemoteTableChannel::recv() {
     if (next_recv_ >= next_send_) return std::nullopt;
     seq = next_recv_++;
   }
-  const auto bytes = store_->get(prefix_ + "/" + std::to_string(seq));
+  auto bytes = store_->get(prefix_ + "/" + std::to_string(seq));
   if (!bytes.ok()) return std::nullopt;
-  auto table = deserialize_table(*bytes);
+  // Zero-copy receive: fixed-width columns view the fetched payload,
+  // which the table keeps alive through `owner`.
+  const auto owner = std::make_shared<const std::string>(std::move(bytes).value());
+  auto table = deserialize_table_borrowing(*owner, owner);
   if (!table.ok()) return std::nullopt;
   return std::make_shared<const Table>(std::move(table).value());
 }
@@ -100,7 +108,8 @@ Result<std::vector<std::shared_ptr<const Table>>> RemoteTableChannel::snapshot_a
         std::string bytes,
         faults::retry_result<std::string>(
             pol, "exchange.get", [&] { return store_->get(key); }, retry_counter_));
-    DITTO_ASSIGN_OR_RETURN(Table table, deserialize_table(bytes));
+    const auto owner = std::make_shared<const std::string>(std::move(bytes));
+    DITTO_ASSIGN_OR_RETURN(Table table, deserialize_table_borrowing(*owner, owner));
     out.push_back(std::make_shared<const Table>(std::move(table)));
   }
   return out;
@@ -132,9 +141,11 @@ void RemoteTableChannel::abort() {
 Exchange::Exchange(ExchangeKind kind, std::string partition_key,
                    const std::vector<ServerId>& prod_servers,
                    const std::vector<ServerId>& cons_servers, storage::ObjectStore& store,
-                   std::string prefix, const faults::RetryPolicy* retry)
+                   std::string prefix, const faults::RetryPolicy* retry,
+                   ThreadPool* scatter_pool)
     : kind_(kind),
       partition_key_(std::move(partition_key)),
+      scatter_pool_(scatter_pool),
       producers_(prod_servers.size()),
       consumers_(cons_servers.size()),
       pub_state_(prod_servers.size(), PubState::kIdle),
@@ -210,7 +221,7 @@ Status Exchange::do_send(std::size_t producer, Table table) {
   switch (kind_) {
     case ExchangeKind::kShuffle: {
       DITTO_ASSIGN_OR_RETURN(std::vector<Table> parts,
-                             hash_partition(table, partition_key_, consumers_));
+                             hash_partition(table, partition_key_, consumers_, scatter_pool_));
       for (std::size_t j = 0; j < consumers_; ++j) {
         DITTO_RETURN_IF_ERROR(
             route(producer, j, std::make_shared<const Table>(std::move(parts[j])), pending));

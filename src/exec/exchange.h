@@ -124,6 +124,10 @@ class RemoteTableChannel final : public TableChannel {
   const std::string prefix_;
   const faults::RetryPolicy* retry_;
   std::atomic<std::size_t>* retry_counter_;
+  /// Reused encode buffer: steady-state sends serialize without
+  /// allocating. Guarded separately so serialization never holds mu_.
+  mutable std::mutex scratch_mu_;
+  SerdeScratch scratch_;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::size_t next_send_ = 0;
@@ -146,10 +150,14 @@ class Exchange {
  public:
   /// `prod_servers[i]` / `cons_servers[j]` decide each pipe's flavour.
   /// `retry` (not owned, may be null) governs remote put/get retries.
+  /// `scatter_pool` (not owned, may be null) parallelizes shuffle
+  /// partitioning for large tables; it must only run pure compute
+  /// tasks, so sharing it across exchanges cannot deadlock.
   Exchange(ExchangeKind kind, std::string partition_key,
            const std::vector<ServerId>& prod_servers,
            const std::vector<ServerId>& cons_servers, storage::ObjectStore& store,
-           std::string prefix, const faults::RetryPolicy* retry = nullptr);
+           std::string prefix, const faults::RetryPolicy* retry = nullptr,
+           ThreadPool* scatter_pool = nullptr);
 
   /// Producer `i` publishes its output table; the exchange routes
   /// partitions (shuffle), the whole table (broadcast/all-gather), or a
@@ -207,6 +215,7 @@ class Exchange {
 
   const ExchangeKind kind_;
   const std::string partition_key_;
+  ThreadPool* scatter_pool_;
   std::size_t producers_;
   std::size_t consumers_;
   std::vector<std::unique_ptr<TableChannel>> channels_;

@@ -19,12 +19,11 @@ Table filter(const Table& in, const RowPredicate& pred) {
 
 Result<Table> filter_int(const Table& in, const std::string& col, CmpOp op,
                          std::int64_t operand) {
-  const int ci = in.column_index(col);
-  if (ci < 0) return Status::not_found("no such column: " + col);
-  if (in.column(ci).type() != DataType::kInt64) {
+  DITTO_ASSIGN_OR_RETURN(const Column* cp, in.checked_column(col));
+  if (cp->type() != DataType::kInt64) {
     return Status::invalid_argument("filter_int on non-int column: " + col);
   }
-  const auto& values = in.column(ci).ints();
+  const ColumnSpan<std::int64_t> values = cp->int_span();
   std::vector<std::size_t> keep;
   for (std::size_t r = 0; r < values.size(); ++r) {
     const std::int64_t v = values[r];
@@ -67,10 +66,10 @@ Result<Table> hash_join(const Table& left, const std::string& left_key, const Ta
   // Build a hash table over the right side.
   std::unordered_multimap<std::int64_t, std::size_t> build;
   build.reserve(right.num_rows());
-  const auto& rkeys = right.column(rk).ints();
+  const ColumnSpan<std::int64_t> rkeys = right.column(rk).int_span();
   for (std::size_t r = 0; r < rkeys.size(); ++r) build.emplace(rkeys[r], r);
 
-  const auto& lkeys = left.column(lk).ints();
+  const ColumnSpan<std::int64_t> lkeys = left.column(lk).int_span();
 
   if (kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti) {
     std::vector<std::size_t> keep;
@@ -113,9 +112,8 @@ Result<Table> hash_join(const Table& left, const std::string& left_key, const Ta
 
 Result<Table> group_by(const Table& in, const std::string& key,
                        const std::vector<AggSpec>& aggs) {
-  const int ki = in.column_index(key);
-  if (ki < 0) return Status::not_found("no such column: " + key);
-  if (in.column(ki).type() != DataType::kInt64) {
+  DITTO_ASSIGN_OR_RETURN(const Column* kp, in.checked_column(key));
+  if (kp->type() != DataType::kInt64) {
     return Status::invalid_argument("group_by key must be int64");
   }
 
@@ -128,25 +126,28 @@ Result<Table> group_by(const Table& in, const std::string& key,
     bool has_first = false;
   };
 
-  // Resolve aggregate inputs.
+  // Resolve aggregate inputs (spans: borrowed columns stay borrowed).
   struct Input {
-    const std::vector<std::int64_t>* ints = nullptr;
-    const std::vector<double>* doubles = nullptr;
+    ColumnSpan<std::int64_t> ints;
+    ColumnSpan<double> doubles;
+    bool is_int = false;
   };
   std::vector<Input> inputs(aggs.size());
   for (std::size_t a = 0; a < aggs.size(); ++a) {
     if (aggs[a].kind == AggKind::kCount) continue;
-    const int ci = in.column_index(aggs[a].column);
-    if (ci < 0) return Status::not_found("no such column: " + aggs[a].column);
-    switch (in.column(ci).type()) {
-      case DataType::kInt64: inputs[a].ints = &in.column(ci).ints(); break;
-      case DataType::kDouble: inputs[a].doubles = &in.column(ci).doubles(); break;
+    DITTO_ASSIGN_OR_RETURN(const Column* cp, in.checked_column(aggs[a].column));
+    switch (cp->type()) {
+      case DataType::kInt64:
+        inputs[a].ints = cp->int_span();
+        inputs[a].is_int = true;
+        break;
+      case DataType::kDouble: inputs[a].doubles = cp->double_span(); break;
       case DataType::kString:
         return Status::invalid_argument("cannot aggregate string column");
     }
   }
 
-  const auto& keys = in.column(ki).ints();
+  const ColumnSpan<std::int64_t> keys = kp->int_span();
   std::unordered_map<std::int64_t, std::vector<Acc>> groups;
   for (std::size_t r = 0; r < keys.size(); ++r) {
     auto [it, inserted] = groups.try_emplace(keys[r], std::vector<Acc>(aggs.size()));
@@ -155,14 +156,14 @@ Result<Table> group_by(const Table& in, const std::string& key,
       ++acc.count;
       if (aggs[a].kind == AggKind::kCount) continue;
       if (aggs[a].kind == AggKind::kFirstInt) {
-        if (!acc.has_first && inputs[a].ints != nullptr) {
-          acc.first = (*inputs[a].ints)[r];
+        if (!acc.has_first && inputs[a].is_int) {
+          acc.first = inputs[a].ints[r];
           acc.has_first = true;
         }
         continue;
       }
-      const double v = inputs[a].ints ? static_cast<double>((*inputs[a].ints)[r])
-                                      : (*inputs[a].doubles)[r];
+      const double v = inputs[a].is_int ? static_cast<double>(inputs[a].ints[r])
+                                        : inputs[a].doubles[r];
       acc.sum += v;
       acc.min = std::min(acc.min, v);
       acc.max = std::max(acc.max, v);
@@ -186,7 +187,7 @@ Result<Table> group_by(const Table& in, const std::string& key,
       schema.push_back({aggs[a].as, DataType::kInt64});
       cols.emplace_back(std::move(v));
     } else if (aggs[a].kind == AggKind::kFirstInt) {
-      if (inputs[a].ints == nullptr) {
+      if (!inputs[a].is_int) {
         return Status::invalid_argument("first-int aggregate needs an int64 column");
       }
       std::vector<std::int64_t> v;
@@ -220,14 +221,13 @@ Result<Table> group_by_multi(const Table& in, const std::vector<std::string>& ke
   if (keys.empty()) return Status::invalid_argument("group_by_multi needs keys");
   if (keys.size() == 1) return group_by(in, keys[0], aggs);
 
-  std::vector<const std::vector<std::int64_t>*> key_cols;
+  std::vector<ColumnSpan<std::int64_t>> key_cols;
   for (const std::string& k : keys) {
-    const int ci = in.column_index(k);
-    if (ci < 0) return Status::not_found("no such column: " + k);
-    if (in.column(ci).type() != DataType::kInt64) {
+    DITTO_ASSIGN_OR_RETURN(const Column* cp, in.checked_column(k));
+    if (cp->type() != DataType::kInt64) {
       return Status::invalid_argument("group_by_multi keys must be int64");
     }
-    key_cols.push_back(&in.column(ci).ints());
+    key_cols.push_back(cp->int_span());
   }
 
   // Composite key -> representative row index; grouping by map over key
@@ -235,7 +235,7 @@ Result<Table> group_by_multi(const Table& in, const std::vector<std::string>& ke
   std::map<std::vector<std::int64_t>, std::vector<std::size_t>> groups;
   std::vector<std::int64_t> tuple(keys.size());
   for (std::size_t r = 0; r < in.num_rows(); ++r) {
-    for (std::size_t k = 0; k < keys.size(); ++k) tuple[k] = (*key_cols[k])[r];
+    for (std::size_t k = 0; k < keys.size(); ++k) tuple[k] = key_cols[k][r];
     groups[tuple].push_back(r);
   }
 
@@ -260,9 +260,8 @@ Result<Table> group_by_multi(const Table& in, const std::vector<std::string>& ke
         agg_out[a].i.push_back(static_cast<std::int64_t>(rows.size()));
         continue;
       }
-      const int ci = in.column_index(spec.column);
-      if (ci < 0) return Status::not_found("no such column: " + spec.column);
-      const Column& col = in.column(ci);
+      DITTO_ASSIGN_OR_RETURN(const Column* colp, in.checked_column(spec.column));
+      const Column& col = *colp;
       if (spec.kind == AggKind::kFirstInt) {
         if (col.type() != DataType::kInt64) {
           return Status::invalid_argument("first-int aggregate needs an int64 column");
@@ -311,12 +310,11 @@ Result<Table> group_by_multi(const Table& in, const std::vector<std::string>& ke
 }
 
 Result<Table> sort_by_int(const Table& in, const std::string& col, bool ascending) {
-  const int ci = in.column_index(col);
-  if (ci < 0) return Status::not_found("no such column: " + col);
-  if (in.column(ci).type() != DataType::kInt64) {
+  DITTO_ASSIGN_OR_RETURN(const Column* cp, in.checked_column(col));
+  if (cp->type() != DataType::kInt64) {
     return Status::invalid_argument("sort_by_int on non-int column");
   }
-  const auto& keys = in.column(ci).ints();
+  const ColumnSpan<std::int64_t> keys = cp->int_span();
   std::vector<std::size_t> idx(in.num_rows());
   std::iota(idx.begin(), idx.end(), 0);
   std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
@@ -334,12 +332,11 @@ Table limit(const Table& in, std::size_t n) {
 }
 
 Result<Table> distinct_by(const Table& in, const std::string& key) {
-  const int ki = in.column_index(key);
-  if (ki < 0) return Status::not_found("no such column: " + key);
-  if (in.column(ki).type() != DataType::kInt64) {
+  DITTO_ASSIGN_OR_RETURN(const Column* kp, in.checked_column(key));
+  if (kp->type() != DataType::kInt64) {
     return Status::invalid_argument("distinct_by key must be int64");
   }
-  const auto& keys = in.column(ki).ints();
+  const ColumnSpan<std::int64_t> keys = kp->int_span();
   std::unordered_set<std::int64_t> seen;
   std::vector<std::size_t> keep;
   for (std::size_t r = 0; r < keys.size(); ++r) {
@@ -379,12 +376,11 @@ Result<Table> with_column(const Table& in, const std::string& name, const Scalar
 }
 
 Result<std::size_t> count_distinct(const Table& in, const std::string& col) {
-  const int ci = in.column_index(col);
-  if (ci < 0) return Status::not_found("no such column: " + col);
-  if (in.column(ci).type() != DataType::kInt64) {
+  DITTO_ASSIGN_OR_RETURN(const Column* cp, in.checked_column(col));
+  if (cp->type() != DataType::kInt64) {
     return Status::invalid_argument("count_distinct on non-int column");
   }
-  const auto& v = in.column(ci).ints();
+  const ColumnSpan<std::int64_t> v = cp->int_span();
   const std::unordered_set<std::int64_t> set(v.begin(), v.end());
   return set.size();
 }

@@ -1,5 +1,12 @@
 #include "exec/partition.h"
 
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <future>
+
+#include "common/thread_pool.h"
+
 namespace ditto::exec {
 
 std::uint64_t stable_hash64(std::int64_t key) {
@@ -10,45 +17,223 @@ std::uint64_t stable_hash64(std::int64_t key) {
   return x ^ (x >> 31);
 }
 
-Result<std::vector<Table>> hash_partition(const Table& in, const std::string& key,
-                                          std::size_t n) {
-  if (n == 0) return Status::invalid_argument("zero partitions");
-  const int ki = in.column_index(key);
-  if (ki < 0) return Status::not_found("no such column: " + key);
-  if (in.column(ki).type() != DataType::kInt64) {
-    return Status::invalid_argument("hash_partition key must be int64");
+namespace {
+
+/// Rows per scatter chunk. Tables at or below this size always take the
+/// serial path; larger ones parallelize chunk-per-task when a pool is
+/// given.
+constexpr std::size_t kScatterChunkRows = 64 * 1024;
+
+/// Routing and placement state shared by both scatter passes.
+struct ScatterPlan {
+  std::size_t rows = 0;
+  std::size_t parts = 0;
+  std::size_t chunks = 1;
+  std::size_t chunk_rows = kScatterChunkRows;
+  std::vector<std::uint32_t> part_of;    // rows entries: routing decision
+  std::vector<std::size_t> counts;       // parts entries: partition sizes
+  std::vector<std::size_t> base;         // chunks x parts: first write slot
+  std::vector<std::size_t> part_start;   // parts+1 entries: global layout
+};
+
+void run_chunked(std::size_t chunks, ThreadPool* pool,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) body(c);
+    return;
   }
-  const auto& keys = in.column(ki).ints();
-  std::vector<std::vector<std::size_t>> buckets(n);
-  for (std::size_t r = 0; r < keys.size(); ++r) {
-    buckets[stable_hash64(keys[r]) % n].push_back(r);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futures.push_back(pool->submit([&body, c] { body(c); }));
   }
-  std::vector<Table> out;
-  out.reserve(n);
-  for (const auto& b : buckets) out.push_back(in.take(b));
+  for (auto& f : futures) f.get();
+}
+
+template <typename PartFn>
+ScatterPlan make_plan(std::size_t rows, std::size_t parts, ThreadPool* pool,
+                      PartFn part_of_row) {
+  ScatterPlan p;
+  p.rows = rows;
+  p.parts = parts;
+  p.chunks = std::max<std::size_t>(1, (rows + p.chunk_rows - 1) / p.chunk_rows);
+  p.part_of.resize(rows);
+  p.base.assign(p.chunks * parts, 0);
+  p.counts.assign(parts, 0);
+
+  // Count pass: per-row partition ids and per-chunk histograms (each
+  // chunk owns one histogram row, so no synchronization).
+  run_chunked(p.chunks, pool, [&](std::size_t c) {
+    const std::size_t lo = c * p.chunk_rows;
+    const std::size_t hi = std::min(rows, lo + p.chunk_rows);
+    std::size_t* hist = p.base.data() + c * parts;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::uint32_t q = part_of_row(r);
+      p.part_of[r] = q;
+      ++hist[q];
+    }
+  });
+
+  // Exclusive scan per partition: base[c][q] = rows of partition q in
+  // chunks before c. Rewrites the histograms in place.
+  for (std::size_t q = 0; q < parts; ++q) {
+    std::size_t running = 0;
+    for (std::size_t c = 0; c < p.chunks; ++c) {
+      const std::size_t h = p.base[c * parts + q];
+      p.base[c * parts + q] = running;
+      running += h;
+    }
+    p.counts[q] = running;
+  }
+  p.part_start.resize(parts + 1);
+  p.part_start[0] = 0;
+  for (std::size_t q = 0; q < parts; ++q) {
+    p.part_start[q + 1] = p.part_start[q] + p.counts[q];
+  }
+  return p;
+}
+
+/// String scatter keeps per-partition owned vectors: strings copy
+/// either way, and borrowed columns are fixed-width only.
+std::vector<std::vector<std::string>> scatter_strings(const std::vector<std::string>& src,
+                                                      const ScatterPlan& p, ThreadPool* pool) {
+  std::vector<std::vector<std::string>> out(p.parts);
+  std::vector<std::string*> dst(p.parts);
+  for (std::size_t q = 0; q < p.parts; ++q) {
+    out[q].resize(p.counts[q]);
+    dst[q] = out[q].data();
+  }
+  run_chunked(p.chunks, pool, [&](std::size_t c) {
+    std::vector<std::size_t> cursor(p.base.begin() + static_cast<std::ptrdiff_t>(c * p.parts),
+                                    p.base.begin() + static_cast<std::ptrdiff_t>((c + 1) * p.parts));
+    const std::size_t lo = c * p.chunk_rows;
+    const std::size_t hi = std::min(p.rows, lo + p.chunk_rows);
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::uint32_t q = p.part_of[r];
+      dst[q][cursor[q]++] = src[r];
+    }
+  });
   return out;
 }
 
-std::vector<Table> round_robin_partition(const Table& in, std::size_t n) {
-  std::vector<std::vector<std::size_t>> buckets(n);
-  for (std::size_t r = 0; r < in.num_rows(); ++r) buckets[r % n].push_back(r);
+std::vector<Table> scatter_table(const Table& in, const ScatterPlan& p, ThreadPool* pool) {
+  const std::size_t ncols = in.num_columns();
+  std::vector<std::vector<Column>> cols(p.parts);
+  for (auto& c : cols) c.resize(ncols);
+
+  // All fixed-width columns share one fused scatter sweep: every column
+  // has the same partition-major layout, so one cursor update per ROW
+  // routes all of them, and `part_of` is read once instead of once per
+  // column. int64 and double are both 8-byte PODs; the move is a fixed
+  // 8-byte memcpy (a single load/store after optimization), which
+  // sidesteps strict-aliasing for the double case. Each column lands in
+  // ONE uninitialized partition-major buffer (every slot written
+  // exactly once — no zero-fill, one allocation) and partitions BORROW
+  // slices of it: holding one small partition keeps the whole gathered
+  // column alive (same deal as Table::slice); mutation copies out.
+  struct FusedCol {
+    std::size_t index;
+    DataType type;
+    const unsigned char* src;
+    unsigned char* dst;
+    std::shared_ptr<void> buf;
+  };
+  std::vector<FusedCol> fused;
+  fused.reserve(ncols);
+  for (std::size_t ci = 0; ci < ncols; ++ci) {
+    const Column& col = in.column(ci);
+    if (col.type() == DataType::kInt64) {
+      std::shared_ptr<void> buf(new std::int64_t[p.rows], std::default_delete<std::int64_t[]>());
+      fused.push_back({ci, col.type(),
+                       reinterpret_cast<const unsigned char*>(col.int_span().data()),
+                       static_cast<unsigned char*>(buf.get()), std::move(buf)});
+    } else if (col.type() == DataType::kDouble) {
+      std::shared_ptr<void> buf(new double[p.rows], std::default_delete<double[]>());
+      fused.push_back({ci, col.type(),
+                       reinterpret_cast<const unsigned char*>(col.double_span().data()),
+                       static_cast<unsigned char*>(buf.get()), std::move(buf)});
+    }
+  }
+  if (!fused.empty() && p.rows > 0) {
+    run_chunked(p.chunks, pool, [&](std::size_t c) {
+      std::vector<std::size_t> cursor(p.parts);
+      for (std::size_t q = 0; q < p.parts; ++q) {
+        cursor[q] = p.part_start[q] + p.base[c * p.parts + q];
+      }
+      const std::size_t lo = c * p.chunk_rows;
+      const std::size_t hi = std::min(p.rows, lo + p.chunk_rows);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const std::size_t slot = cursor[p.part_of[r]]++;
+        for (const FusedCol& f : fused) {
+          std::memcpy(f.dst + slot * 8, f.src + r * 8, 8);
+        }
+      }
+    });
+  }
+  for (const FusedCol& f : fused) {
+    for (std::size_t q = 0; q < p.parts; ++q) {
+      if (p.counts[q] == 0) {
+        cols[q][f.index] = f.type == DataType::kInt64 ? Column(std::vector<std::int64_t>{})
+                                                      : Column(std::vector<double>{});
+      } else if (f.type == DataType::kInt64) {
+        cols[q][f.index] = Column::borrow_ints(
+            f.buf, reinterpret_cast<const std::int64_t*>(f.dst) + p.part_start[q], p.counts[q]);
+      } else {
+        cols[q][f.index] = Column::borrow_doubles(
+            f.buf, reinterpret_cast<const double*>(f.dst) + p.part_start[q], p.counts[q]);
+      }
+    }
+  }
+
+  for (std::size_t ci = 0; ci < ncols; ++ci) {
+    const Column& col = in.column(ci);
+    if (col.type() != DataType::kString) continue;
+    auto outs = scatter_strings(col.strings(), p, pool);
+    for (std::size_t q = 0; q < p.parts; ++q) cols[q][ci] = Column(std::move(outs[q]));
+  }
   std::vector<Table> out;
-  out.reserve(n);
-  for (const auto& b : buckets) out.push_back(in.take(b));
+  out.reserve(p.parts);
+  for (std::size_t q = 0; q < p.parts; ++q) {
+    auto t = Table::make(in.schema(), std::move(cols[q]));
+    assert(t.ok() && "scatter built a malformed partition");
+    out.push_back(std::move(t).value());
+  }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<Table>> hash_partition(const Table& in, const std::string& key,
+                                          std::size_t n, ThreadPool* pool) {
+  if (n == 0) return Status::invalid_argument("zero partitions");
+  DITTO_ASSIGN_OR_RETURN(const Column* kc, in.checked_column(key));
+  if (kc->type() != DataType::kInt64) {
+    return Status::invalid_argument("hash_partition key must be int64");
+  }
+  const ColumnSpan<std::int64_t> keys = kc->int_span();
+  const ScatterPlan plan = make_plan(keys.size(), n, pool, [keys, n](std::size_t r) {
+    return static_cast<std::uint32_t>(stable_hash64(keys[r]) % n);
+  });
+  return scatter_table(in, plan, pool);
+}
+
+std::vector<Table> round_robin_partition(const Table& in, std::size_t n, ThreadPool* pool) {
+  assert(n > 0 && "zero partitions");
+  const ScatterPlan plan = make_plan(in.num_rows(), n, pool, [n](std::size_t r) {
+    return static_cast<std::uint32_t>(r % n);
+  });
+  return scatter_table(in, plan, pool);
 }
 
 std::vector<Table> range_partition(const Table& in, std::size_t n) {
+  assert(n > 0 && "zero partitions");
   std::vector<Table> out;
   out.reserve(n);
   const std::size_t rows = in.num_rows();
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lo = rows * i / n;
     const std::size_t hi = rows * (i + 1) / n;
-    std::vector<std::size_t> idx;
-    idx.reserve(hi - lo);
-    for (std::size_t r = lo; r < hi; ++r) idx.push_back(r);
-    out.push_back(in.take(idx));
+    out.push_back(in.slice(lo, hi - lo));
   }
   return out;
 }

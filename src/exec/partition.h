@@ -1,4 +1,13 @@
 // Partitioners: split a table into n partitions for exchange.
+//
+// All row-routing partitioners run a single count-then-scatter pass:
+// one pass computes each row's partition and per-chunk histograms, an
+// exclusive scan turns the histograms into write cursors, and one
+// scatter pass places every value directly into exact-size output
+// vectors. No per-row push_back, no index vectors, no realloc. When a
+// ThreadPool is supplied, both passes run chunk-parallel and write
+// disjoint output ranges, so no locks are needed and row order within
+// each partition is preserved.
 #pragma once
 
 #include <vector>
@@ -6,18 +15,25 @@
 #include "common/status.h"
 #include "exec/table.h"
 
+namespace ditto {
+class ThreadPool;
+}
+
 namespace ditto::exec {
 
 /// Hash-partition by an int64 key column: row r goes to partition
-/// hash(key[r]) % n. Deterministic across runs and platforms.
+/// hash(key[r]) % n. Deterministic across runs and platforms (the pool
+/// only changes who does the work, never the routing or row order).
 Result<std::vector<Table>> hash_partition(const Table& in, const std::string& key,
-                                          std::size_t n);
+                                          std::size_t n, ThreadPool* pool = nullptr);
 
 /// Split rows round-robin (used when no key is needed, e.g. scan
 /// output balancing).
-std::vector<Table> round_robin_partition(const Table& in, std::size_t n);
+std::vector<Table> round_robin_partition(const Table& in, std::size_t n,
+                                         ThreadPool* pool = nullptr);
 
 /// Contiguous range split: partition i gets rows [i*rows/n, (i+1)*rows/n).
+/// Implemented as slices, so borrowed columns stay zero-copy.
 std::vector<Table> range_partition(const Table& in, std::size_t n);
 
 /// The stable 64-bit mix used by hash_partition (exposed for tests:

@@ -1,29 +1,181 @@
 #include "exec/serde.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace ditto::exec {
 
 namespace {
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  const std::size_t at = out.size();
-  out.resize(at + sizeof(v));
-  std::memcpy(out.data() + at, &v, sizeof(v));
+constexpr std::uint64_t kMagicV1 = 0x444954544f544231ull;  // "DITTOTB1"
+constexpr std::uint64_t kMagicV2 = 0x444954544f544232ull;  // "DITTOTB2"
+
+// Plausibility bounds applied before any allocation. Every limit is
+// also cross-checked against the bytes actually present, so a corrupt
+// header can neither over-allocate nor wrap an offset computation.
+constexpr std::uint64_t kMaxCols = 1'000'000;
+constexpr std::uint64_t kMaxNameLen = 1'000'000;
+constexpr std::uint64_t kMaxRows = 1'000'000'000;
+
+std::atomic<int> g_write_version{2};
+
+std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+// ---------------------------------------------------------------- write
+
+/// Writes at computed offsets into a pre-sized buffer; the exact-size
+/// pass has already run, so no bounds checks and no reallocation here.
+class RawWriter {
+ public:
+  explicit RawWriter(std::uint8_t* out) : out_(out) {}
+
+  void u64(std::uint64_t v) {
+    std::memcpy(out_ + pos_, &v, sizeof(v));
+    pos_ += sizeof(v);
+  }
+  void bytes(const void* p, std::size_t n) {
+    if (n > 0) std::memcpy(out_ + pos_, p, n);
+    pos_ += n;
+  }
+  void pad8() {
+    while (pos_ % 8 != 0) out_[pos_++] = 0;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::uint8_t* out_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t size_v1(const Table& t) {
+  const std::size_t rows = t.num_rows();
+  std::size_t n = 3 * 8;
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    n += 8 + t.schema()[c].name.size() + 8;
+    switch (t.schema()[c].type) {
+      case DataType::kInt64:
+      case DataType::kDouble:
+        n += rows * 8;
+        break;
+      case DataType::kString:
+        for (const std::string& s : t.column(c).strings()) n += 8 + s.size();
+        break;
+    }
+  }
+  return n;
 }
 
-void put_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
-  const std::size_t at = out.size();
-  out.resize(at + n);
-  std::memcpy(out.data() + at, p, n);
+std::size_t size_v2(const Table& t) {
+  const std::size_t rows = t.num_rows();
+  std::size_t n = 3 * 8;
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    n += 8 + t.schema()[c].name.size() + 8;
+    switch (t.schema()[c].type) {
+      case DataType::kInt64:
+      case DataType::kDouble:
+        n = align8(n) + rows * 8;
+        break;
+      case DataType::kString: {
+        n = align8(n) + (rows + 1) * 8;
+        for (const std::string& s : t.column(c).strings()) n += s.size();
+        break;
+      }
+    }
+  }
+  return n;
 }
+
+void write_v1(const Table& t, RawWriter& w) {
+  w.u64(kMagicV1);
+  w.u64(t.num_columns());
+  w.u64(t.num_rows());
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    const Field& f = t.schema()[c];
+    w.u64(f.name.size());
+    w.bytes(f.name.data(), f.name.size());
+    w.u64(static_cast<std::uint64_t>(f.type));
+    const Column& col = t.column(c);
+    switch (col.type()) {
+      case DataType::kInt64: {
+        const auto v = col.int_span();
+        w.bytes(v.data(), v.size() * sizeof(std::int64_t));
+        break;
+      }
+      case DataType::kDouble: {
+        const auto v = col.double_span();
+        w.bytes(v.data(), v.size() * sizeof(double));
+        break;
+      }
+      case DataType::kString:
+        for (const std::string& s : col.strings()) {
+          w.u64(s.size());
+          w.bytes(s.data(), s.size());
+        }
+        break;
+    }
+  }
+}
+
+void write_v2(const Table& t, RawWriter& w) {
+  w.u64(kMagicV2);
+  w.u64(t.num_columns());
+  w.u64(t.num_rows());
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    const Field& f = t.schema()[c];
+    w.u64(f.name.size());
+    w.bytes(f.name.data(), f.name.size());
+    w.u64(static_cast<std::uint64_t>(f.type));
+    const Column& col = t.column(c);
+    switch (col.type()) {
+      case DataType::kInt64: {
+        const auto v = col.int_span();
+        w.pad8();
+        w.bytes(v.data(), v.size() * sizeof(std::int64_t));
+        break;
+      }
+      case DataType::kDouble: {
+        const auto v = col.double_span();
+        w.pad8();
+        w.bytes(v.data(), v.size() * sizeof(double));
+        break;
+      }
+      case DataType::kString: {
+        // One offsets array (rows+1 entries, offsets[0] == 0) and one
+        // contiguous blob: two bulk writes instead of 2·rows small ones.
+        const auto& v = col.strings();
+        w.pad8();
+        std::uint64_t off = 0;
+        w.u64(off);
+        for (const std::string& s : v) {
+          off += s.size();
+          w.u64(off);
+        }
+        for (const std::string& s : v) w.bytes(s.data(), s.size());
+        break;
+      }
+    }
+  }
+}
+
+void write_table(const Table& t, int version, std::uint8_t* out, std::size_t expect) {
+  RawWriter w(out);
+  if (version == 1) {
+    write_v1(t, w);
+  } else {
+    write_v2(t, w);
+  }
+  assert(w.pos() == expect && "serialized size mismatch");
+  (void)expect;
+}
+
+// ----------------------------------------------------------------- read
 
 class Reader {
  public:
   explicit Reader(std::string_view bytes) : bytes_(bytes) {}
 
   Result<std::uint64_t> u64() {
-    if (pos_ + sizeof(std::uint64_t) > bytes_.size()) {
+    if (remaining() < sizeof(std::uint64_t)) {
       return Status::invalid_argument("truncated table payload");
     }
     std::uint64_t v;
@@ -32,15 +184,25 @@ class Reader {
     return v;
   }
 
-  Result<std::string_view> bytes(std::size_t n) {
-    if (pos_ + n > bytes_.size()) {
-      return Status::invalid_argument("truncated table payload");
-    }
-    const std::string_view v = bytes_.substr(pos_, n);
-    pos_ += n;
+  /// Overflow-safe: compares `n` against what is left instead of
+  /// computing pos_ + n (which wraps for huge corrupt lengths).
+  Result<std::string_view> bytes(std::uint64_t n) {
+    if (n > remaining()) return Status::invalid_argument("truncated table payload");
+    const std::string_view v = bytes_.substr(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
     return v;
   }
 
+  /// Skips v2 alignment padding (position is payload-relative).
+  Status skip_padding8() {
+    const std::size_t pad = (8 - pos_ % 8) % 8;
+    if (pad > remaining()) return Status::invalid_argument("truncated table payload");
+    pos_ += pad;
+    return Status::ok();
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  const char* cursor() const { return bytes_.data() + pos_; }
   bool exhausted() const { return pos_ == bytes_.size(); }
 
  private:
@@ -48,90 +210,174 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-constexpr std::uint64_t kMagic = 0x444954544f544231ull;  // "DITTOTB1"
-
-}  // namespace
-
-shm::Buffer serialize_table(const Table& table) {
-  std::vector<std::uint8_t> out;
-  out.reserve(table.byte_size() + 64);
-  put_u64(out, kMagic);
-  put_u64(out, table.num_columns());
-  put_u64(out, table.num_rows());
-  for (std::size_t c = 0; c < table.num_columns(); ++c) {
-    const Field& f = table.schema()[c];
-    put_u64(out, f.name.size());
-    put_bytes(out, f.name.data(), f.name.size());
-    put_u64(out, static_cast<std::uint64_t>(f.type));
-    const Column& col = table.column(c);
-    switch (col.type()) {
-      case DataType::kInt64:
-        put_bytes(out, col.ints().data(), col.ints().size() * sizeof(std::int64_t));
-        break;
-      case DataType::kDouble:
-        put_bytes(out, col.doubles().data(), col.doubles().size() * sizeof(double));
-        break;
-      case DataType::kString:
-        for (const std::string& s : col.strings()) {
-          put_u64(out, s.size());
-          put_bytes(out, s.data(), s.size());
-        }
-        break;
-    }
+Result<Field> read_field(Reader& r) {
+  DITTO_ASSIGN_OR_RETURN(const std::uint64_t name_len, r.u64());
+  if (name_len > kMaxNameLen) return Status::invalid_argument("implausible column name length");
+  DITTO_ASSIGN_OR_RETURN(const std::string_view name, r.bytes(name_len));
+  DITTO_ASSIGN_OR_RETURN(const std::uint64_t type_raw, r.u64());
+  if (type_raw > static_cast<std::uint64_t>(DataType::kString)) {
+    return Status::invalid_argument("bad column type");
   }
-  return shm::Buffer::adopt(std::move(out));
+  return Field{std::string(name), static_cast<DataType>(type_raw)};
 }
 
-Result<Table> deserialize_table(std::string_view bytes) {
+template <typename T>
+Result<Column> read_fixed_v1(Reader& r, std::uint64_t rows) {
+  // Bound the allocation by the bytes actually present (division, so a
+  // huge `rows` cannot wrap the product).
+  if (rows > r.remaining() / sizeof(T)) {
+    return Status::invalid_argument("truncated table payload");
+  }
+  DITTO_ASSIGN_OR_RETURN(const std::string_view raw, r.bytes(rows * sizeof(T)));
+  std::vector<T> v(static_cast<std::size_t>(rows));
+  if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
+  return Column(std::move(v));
+}
+
+Result<Column> read_strings_v1(Reader& r, std::uint64_t rows) {
+  // Every v1 string costs at least its 8-byte length prefix, so the
+  // reserve below is bounded by the payload size.
+  if (rows > r.remaining() / 8) return Status::invalid_argument("truncated table payload");
+  std::vector<std::string> v;
+  v.reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    DITTO_ASSIGN_OR_RETURN(const std::uint64_t len, r.u64());
+    DITTO_ASSIGN_OR_RETURN(const std::string_view s, r.bytes(len));
+    v.emplace_back(s);
+  }
+  return Column(std::move(v));
+}
+
+template <typename T>
+Result<Column> read_fixed_v2(Reader& r, std::uint64_t rows,
+                             const std::shared_ptr<const void>& owner) {
+  DITTO_RETURN_IF_ERROR(r.skip_padding8());
+  if (rows > r.remaining() / sizeof(T)) {
+    return Status::invalid_argument("truncated table payload");
+  }
+  const char* payload = r.cursor();
+  DITTO_ASSIGN_OR_RETURN(const std::string_view raw, r.bytes(rows * sizeof(T)));
+  const bool aligned = reinterpret_cast<std::uintptr_t>(payload) % alignof(T) == 0;
+  if (owner != nullptr && aligned && rows > 0) {
+    // Zero-copy: view the values where they already are; `owner` keeps
+    // the wire buffer alive for as long as the column does.
+    if constexpr (std::is_same_v<T, std::int64_t>) {
+      return Column::borrow_ints(owner, reinterpret_cast<const std::int64_t*>(payload),
+                                 static_cast<std::size_t>(rows));
+    } else {
+      return Column::borrow_doubles(owner, reinterpret_cast<const double*>(payload),
+                                    static_cast<std::size_t>(rows));
+    }
+  }
+  std::vector<T> v(static_cast<std::size_t>(rows));
+  if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
+  return Column(std::move(v));
+}
+
+Result<Column> read_strings_v2(Reader& r, std::uint64_t rows) {
+  DITTO_RETURN_IF_ERROR(r.skip_padding8());
+  const std::uint64_t entries = rows + 1;
+  if (entries > r.remaining() / 8) return Status::invalid_argument("truncated table payload");
+  DITTO_ASSIGN_OR_RETURN(const std::string_view raw_offsets, r.bytes(entries * 8));
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(entries));
+  std::memcpy(offsets.data(), raw_offsets.data(), raw_offsets.size());
+  if (offsets.front() != 0) return Status::invalid_argument("bad string offsets");
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) return Status::invalid_argument("bad string offsets");
+  }
+  DITTO_ASSIGN_OR_RETURN(const std::string_view blob, r.bytes(offsets.back()));
+  std::vector<std::string> v;
+  v.reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    v.emplace_back(blob.substr(static_cast<std::size_t>(offsets[i]),
+                               static_cast<std::size_t>(offsets[i + 1] - offsets[i])));
+  }
+  return Column(std::move(v));
+}
+
+Result<Table> deserialize_impl(std::string_view bytes, std::shared_ptr<const void> owner) {
   Reader r(bytes);
   DITTO_ASSIGN_OR_RETURN(const std::uint64_t magic, r.u64());
-  if (magic != kMagic) return Status::invalid_argument("bad table magic");
+  int version;
+  if (magic == kMagicV1) {
+    version = 1;
+  } else if (magic == kMagicV2) {
+    version = 2;
+  } else {
+    return Status::invalid_argument("bad table magic");
+  }
   DITTO_ASSIGN_OR_RETURN(const std::uint64_t cols, r.u64());
   DITTO_ASSIGN_OR_RETURN(const std::uint64_t rows, r.u64());
-  if (cols > 1'000'000) return Status::invalid_argument("implausible column count");
+  if (cols > kMaxCols) return Status::invalid_argument("implausible column count");
+  if (rows > kMaxRows) return Status::invalid_argument("implausible row count");
 
   Schema schema;
   std::vector<Column> columns;
   for (std::uint64_t c = 0; c < cols; ++c) {
-    DITTO_ASSIGN_OR_RETURN(const std::uint64_t name_len, r.u64());
-    DITTO_ASSIGN_OR_RETURN(const std::string_view name, r.bytes(name_len));
-    DITTO_ASSIGN_OR_RETURN(const std::uint64_t type_raw, r.u64());
-    if (type_raw > static_cast<std::uint64_t>(DataType::kString)) {
-      return Status::invalid_argument("bad column type");
+    DITTO_ASSIGN_OR_RETURN(Field field, read_field(r));
+    Result<Column> col = Status::invalid_argument("unreachable");
+    switch (field.type) {
+      case DataType::kInt64:
+        col = version == 1 ? read_fixed_v1<std::int64_t>(r, rows)
+                           : read_fixed_v2<std::int64_t>(r, rows, owner);
+        break;
+      case DataType::kDouble:
+        col = version == 1 ? read_fixed_v1<double>(r, rows)
+                           : read_fixed_v2<double>(r, rows, owner);
+        break;
+      case DataType::kString:
+        col = version == 1 ? read_strings_v1(r, rows) : read_strings_v2(r, rows);
+        break;
     }
-    const DataType type = static_cast<DataType>(type_raw);
-    schema.push_back({std::string(name), type});
-    switch (type) {
-      case DataType::kInt64: {
-        DITTO_ASSIGN_OR_RETURN(const std::string_view raw,
-                               r.bytes(rows * sizeof(std::int64_t)));
-        std::vector<std::int64_t> v(rows);
-        std::memcpy(v.data(), raw.data(), raw.size());
-        columns.emplace_back(std::move(v));
-        break;
-      }
-      case DataType::kDouble: {
-        DITTO_ASSIGN_OR_RETURN(const std::string_view raw, r.bytes(rows * sizeof(double)));
-        std::vector<double> v(rows);
-        std::memcpy(v.data(), raw.data(), raw.size());
-        columns.emplace_back(std::move(v));
-        break;
-      }
-      case DataType::kString: {
-        std::vector<std::string> v;
-        v.reserve(rows);
-        for (std::uint64_t i = 0; i < rows; ++i) {
-          DITTO_ASSIGN_OR_RETURN(const std::uint64_t len, r.u64());
-          DITTO_ASSIGN_OR_RETURN(const std::string_view s, r.bytes(len));
-          v.emplace_back(s);
-        }
-        columns.emplace_back(std::move(v));
-        break;
-      }
-    }
+    if (!col.ok()) return col.status();
+    schema.push_back(std::move(field));
+    columns.push_back(std::move(col).value());
   }
   if (!r.exhausted()) return Status::invalid_argument("trailing bytes after table");
   return Table::make(std::move(schema), std::move(columns));
+}
+
+}  // namespace
+
+int serde_write_version() { return g_write_version.load(std::memory_order_relaxed); }
+
+void set_serde_write_version(int version) {
+  assert((version == 1 || version == 2) && "unknown serde version");
+  g_write_version.store(version == 1 ? 1 : 2, std::memory_order_relaxed);
+}
+
+std::size_t serialized_size(const Table& table) {
+  return serde_write_version() == 1 ? size_v1(table) : size_v2(table);
+}
+
+std::string_view serialize_table_into(const Table& table, SerdeScratch& scratch) {
+  const int version = serde_write_version();
+  const std::size_t n = version == 1 ? size_v1(table) : size_v2(table);
+  scratch.bytes.resize(n);  // keeps capacity: steady state reallocates never
+  write_table(table, version, scratch.bytes.data(), n);
+  return {reinterpret_cast<const char*>(scratch.bytes.data()), n};
+}
+
+shm::Buffer serialize_table(const Table& table) {
+  const int version = serde_write_version();
+  const std::size_t n = version == 1 ? size_v1(table) : size_v2(table);
+  std::vector<std::uint8_t> out(n);
+  write_table(table, version, out.data(), n);
+  return shm::Buffer::adopt(std::move(out));
+}
+
+Result<Table> deserialize_table(std::string_view bytes) {
+  return deserialize_impl(bytes, nullptr);
+}
+
+Result<Table> deserialize_table_borrowing(std::string_view bytes,
+                                          std::shared_ptr<const void> owner) {
+  return deserialize_impl(bytes, std::move(owner));
+}
+
+Result<Table> deserialize_table(const shm::Buffer& buf) {
+  if (buf.empty()) return deserialize_impl(buf.view(), nullptr);
+  return deserialize_impl(buf.view(), std::make_shared<shm::Buffer>(buf));
 }
 
 }  // namespace ditto::exec

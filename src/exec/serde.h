@@ -2,10 +2,25 @@
 //
 // Intra-server exchange never serializes (Buffer handles move through
 // shared memory); cross-server exchange pays exactly this encode +
-// decode — the cost asymmetry Ditto's grouping exploits. The format is
-// a simple length-prefixed binary layout (little-endian, host order).
+// decode — the cost asymmetry Ditto's grouping exploits. Two wire
+// versions exist:
+//
+//   v1 ("DITTOTB1", legacy): length-prefixed per string, fixed-width
+//     payloads unaligned. Always readable; writable via the version
+//     knob for compatibility testing.
+//   v2 ("DITTOTB2", default): string columns are one (rows+1) offsets
+//     array plus one contiguous bytes blob; fixed-width payloads and
+//     offset arrays are 8-byte aligned relative to the start of the
+//     payload, so a receiver can BORROW them in place (zero-copy
+//     deserialize) instead of copying into fresh vectors.
+//
+// Both readers treat input as untrusted: every length is bounds-checked
+// overflow-safely and implausible sizes return INVALID_ARGUMENT before
+// any allocation — a corrupt object from storage can never crash,
+// throw, or over-allocate.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -14,13 +29,42 @@
 
 namespace ditto::exec {
 
-/// Serializes a table into a fresh buffer.
+/// Wire version used by serialize_table (1 or 2; default 2). The knob
+/// exists for compatibility tests and for pinning a mixed-version
+/// deployment to the old format; readers accept both regardless.
+int serde_write_version();
+void set_serde_write_version(int version);
+
+/// Reusable serialization scratch: keeps its capacity across tables so
+/// steady-state serialization never reallocates. One scratch per
+/// producer channel (not thread-safe).
+struct SerdeScratch {
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Exact encoded size of `table` under the current write version.
+std::size_t serialized_size(const Table& table);
+
+/// Serializes into `scratch` (overwriting it) and returns a view of the
+/// encoded payload. The view is valid until the scratch is next used.
+std::string_view serialize_table_into(const Table& table, SerdeScratch& scratch);
+
+/// Serializes a table into a fresh buffer (one exact-size allocation).
 shm::Buffer serialize_table(const Table& table);
 
-/// Parses a buffer produced by serialize_table.
+/// Parses a buffer produced by serialize_table. All columns are owned
+/// (the input bytes may go away).
 Result<Table> deserialize_table(std::string_view bytes);
-inline Result<Table> deserialize_table(const shm::Buffer& buf) {
-  return deserialize_table(buf.view());
-}
+
+/// Zero-copy parse: fixed-width v2 columns borrow from `bytes` in
+/// place, with `owner` keeping the backing memory alive for as long as
+/// any resulting column (or a slice of it) exists. Falls back to owned
+/// copies for v1 payloads, string columns, and misaligned payloads.
+Result<Table> deserialize_table_borrowing(std::string_view bytes,
+                                          std::shared_ptr<const void> owner);
+
+/// Zero-copy parse from a shared-memory buffer: the table's borrowed
+/// columns hold a refcount on the buffer payload.
+Result<Table> deserialize_table(const shm::Buffer& buf);
 
 }  // namespace ditto::exec

@@ -1,5 +1,8 @@
 #include "exec/table.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace ditto::exec {
 
 namespace {
@@ -37,9 +40,25 @@ int Table::column_index(const std::string& name) const {
 }
 
 const Column& Table::column_by_name(const std::string& name) const {
+  const Column* c = find_column(name);
+  if (c == nullptr) {
+    // Loud, defined failure: the release-mode alternative is indexing
+    // columns_ with (size_t)-1.
+    std::fprintf(stderr, "fatal: column_by_name: no such column: %s\n", name.c_str());
+    std::abort();
+  }
+  return *c;
+}
+
+const Column* Table::find_column(const std::string& name) const {
   const int i = column_index(name);
-  assert(i >= 0 && "column_by_name: no such column");
-  return columns_[static_cast<std::size_t>(i)];
+  return i < 0 ? nullptr : &columns_[static_cast<std::size_t>(i)];
+}
+
+Result<const Column*> Table::checked_column(const std::string& name) const {
+  const Column* c = find_column(name);
+  if (c == nullptr) return Status::not_found("no such column: " + name);
+  return c;
 }
 
 void Table::append_row_from(const Table& src, std::size_t row) {
@@ -57,19 +76,33 @@ Table Table::take(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+Table Table::slice(std::size_t offset, std::size_t count) const {
+  Table out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) out.columns_.push_back(c.slice(offset, count));
+  return out;
+}
+
+void Table::ensure_owned() {
+  for (Column& c : columns_) c.ensure_owned();
+}
+
 Status Table::concat(const Table& other) {
   if (schema_ != other.schema_) return Status::invalid_argument("concat schema mismatch");
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     switch (columns_[c].type()) {
       case DataType::kInt64: {
+        // Pointer-range insert is a single bulk memcpy; reading through
+        // the span keeps a borrowed source un-materialized.
         auto& dst = columns_[c].ints();
-        const auto& src = other.columns_[c].ints();
+        const auto src = other.columns_[c].int_span();
         dst.insert(dst.end(), src.begin(), src.end());
         break;
       }
       case DataType::kDouble: {
         auto& dst = columns_[c].doubles();
-        const auto& src = other.columns_[c].doubles();
+        const auto src = other.columns_[c].double_span();
         dst.insert(dst.end(), src.begin(), src.end());
         break;
       }

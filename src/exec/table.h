@@ -28,13 +28,32 @@ class Table {
 
   /// Index of a named column; -1 when absent.
   int column_index(const std::string& name) const;
+
+  /// Named lookup; ABORTS with a diagnostic when the column is absent
+  /// (defined behaviour in release builds too). Prefer checked_column
+  /// on any path fed by untrusted or computed schemas.
   const Column& column_by_name(const std::string& name) const;
+
+  /// Named lookup that can miss: nullptr when absent.
+  const Column* find_column(const std::string& name) const;
+
+  /// Named lookup as a Result (NOT_FOUND on miss); the never-null
+  /// pointer makes DITTO_ASSIGN_OR_RETURN chains read naturally.
+  Result<const Column*> checked_column(const std::string& name) const;
 
   /// Appends row `row` of `src` (same schema) to this table.
   void append_row_from(const Table& src, std::size_t row);
 
   /// New table with the rows selected by `indices` (in order).
   Table take(const std::vector<std::size_t>& indices) const;
+
+  /// New table with rows [offset, offset+count): the bulk fast path for
+  /// contiguous selections (range partitioning, limit). Fixed-width
+  /// columns copy with one memcpy, or stay zero-copy when borrowed.
+  Table slice(std::size_t offset, std::size_t count) const;
+
+  /// Converts every borrowed column to owned storage.
+  void ensure_owned();
 
   /// Appends all rows of `other` (same schema).
   Status concat(const Table& other);

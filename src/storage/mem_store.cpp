@@ -67,30 +67,35 @@ void MemStore::maybe_sleep(Bytes n) const {
 
 Status MemStore::put(const std::string& key, std::string_view value) {
   RequestScope scope(kind(), "put");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key);
+    if (model_.capacity > 0) {
+      const Bytes prospective =
+          used_ + value.size() - (it != data_.end() ? it->second.size() : 0);
+      if (prospective > model_.capacity) {
+        // A rejected put moves no data: it must not count toward the
+        // byte telemetry and pays no modeled transfer delay.
+        ++stats_.rejected;
+        if (scope.enabled()) {
+          obs::MetricsRegistry::global().counter("storage.rejected", {{"kind", kind()}}).add();
+        }
+        return Status::resource_exhausted(std::string(kind()) + " store capacity exceeded");
+      }
+    }
+    if (it != data_.end()) {
+      used_ -= it->second.size();
+      it->second.assign(value);
+      used_ += it->second.size();
+    } else {
+      data_.emplace(key, std::string(value));
+      used_ += value.size();
+    }
+    ++stats_.puts;
+    stats_.bytes_written += value.size();
+  }
   scope.set_bytes(value.size());
   maybe_sleep(value.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = data_.find(key);
-  Bytes delta = value.size();
-  if (it != data_.end()) delta = value.size() > it->second.size() ? value.size() - it->second.size() : 0;
-  if (model_.capacity > 0) {
-    const Bytes prospective =
-        used_ + value.size() - (it != data_.end() ? it->second.size() : 0);
-    if (prospective > model_.capacity) {
-      return Status::resource_exhausted(std::string(kind()) + " store capacity exceeded");
-    }
-  }
-  (void)delta;
-  if (it != data_.end()) {
-    used_ -= it->second.size();
-    it->second.assign(value);
-    used_ += it->second.size();
-  } else {
-    data_.emplace(key, std::string(value));
-    used_ += value.size();
-  }
-  ++stats_.puts;
-  stats_.bytes_written += value.size();
   return Status::ok();
 }
 

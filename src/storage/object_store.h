@@ -61,9 +61,10 @@ inline double relative_to_memory_price(const StorageModel& m) {
 /// Aggregate per-store operation statistics (the runtime monitor reads
 /// these; tests assert on them).
 struct StoreStats {
-  std::size_t puts = 0;
+  std::size_t puts = 0;      ///< successful puts only
   std::size_t gets = 0;
   std::size_t misses = 0;
+  std::size_t rejected = 0;  ///< puts refused for capacity
   Bytes bytes_written = 0;
   Bytes bytes_read = 0;
 };

@@ -25,7 +25,7 @@ Result<Table> summarize(std::int64_t rows, double value) {
 Result<Table> summarize_orders(const Table& t, const std::string& value_col) {
   double total = 0.0;
   if (t.column_index(value_col) >= 0) {
-    for (double v : t.column_by_name(value_col).doubles()) total += v;
+    for (double v : t.column_by_name(value_col).double_span()) total += v;
   }
   return summarize(static_cast<std::int64_t>(t.num_rows()), total);
 }
@@ -187,7 +187,7 @@ EngineAnswer q1_engine_reference(const EngineJob& job, const EngineQuerySpec& sp
            factor * t.column_by_name("avg_total").double_at(r);
   });
   answer.rows = static_cast<std::int64_t>(above.num_rows());
-  for (double v : above.column_by_name("total").doubles()) answer.value += v;
+  for (double v : above.column_by_name("total").double_span()) answer.value += v;
   return answer;
 }
 
@@ -321,7 +321,7 @@ EngineAnswer q16_shaped_reference(const EngineJob& job, const EngineQuerySpec& s
       exec::group_by(*no_return, "order_id", {{AggKind::kSum, "price", "revenue"}});
   if (!per_order.ok()) return answer;
   answer.rows = static_cast<std::int64_t>(per_order->num_rows());
-  for (double v : per_order->column_by_name("revenue").doubles()) answer.value += v;
+  for (double v : per_order->column_by_name("revenue").double_span()) answer.value += v;
   return answer;
 }
 
@@ -350,8 +350,8 @@ Result<EngineAnswer> engine_answer_from_sink(const exec::Table& sink_output) {
   const int vi = sink_output.column_index("value");
   if (ri < 0 || vi < 0) return Status::invalid_argument("unexpected sink schema");
   EngineAnswer answer;
-  for (std::int64_t n : sink_output.column(ri).ints()) answer.rows += n;
-  for (double v : sink_output.column(vi).doubles()) answer.value += v;
+  for (std::int64_t n : sink_output.column(ri).int_span()) answer.rows += n;
+  for (double v : sink_output.column(vi).double_span()) answer.value += v;
   return answer;
 }
 

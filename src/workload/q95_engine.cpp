@@ -39,7 +39,7 @@ Result<Table> multi_warehouse_orders(const Table& filtered_sales) {
 
 Result<Table> summarize(const Table& orders) {
   double revenue = 0.0;
-  for (double v : orders.column_by_name("revenue").doubles()) revenue += v;
+  for (double v : orders.column_by_name("revenue").double_span()) revenue += v;
   return Table::make(
       {{"orders", exec::DataType::kInt64}, {"revenue", exec::DataType::kDouble}},
       {exec::Column(std::vector<std::int64_t>{static_cast<std::int64_t>(orders.num_rows())}),
@@ -219,7 +219,7 @@ Q95Answer q95_reference(const Q95EngineJob& job, const Q95EngineSpec& spec) {
   if (!final_orders.ok()) return fail("site join");
 
   answer.order_count = static_cast<std::int64_t>(final_orders->num_rows());
-  for (double v : final_orders->column_by_name("revenue").doubles()) {
+  for (double v : final_orders->column_by_name("revenue").double_span()) {
     answer.total_revenue += v;
   }
   return answer;
@@ -230,8 +230,8 @@ Result<Q95Answer> q95_answer_from_sink(const exec::Table& sink_output) {
   const int ri = sink_output.column_index("revenue");
   if (oi < 0 || ri < 0) return Status::invalid_argument("unexpected sink schema");
   Q95Answer answer;
-  for (std::int64_t n : sink_output.column(oi).ints()) answer.order_count += n;
-  for (double v : sink_output.column(ri).doubles()) answer.total_revenue += v;
+  for (std::int64_t n : sink_output.column(oi).int_span()) answer.order_count += n;
+  for (double v : sink_output.column(ri).double_span()) answer.total_revenue += v;
   return answer;
 }
 

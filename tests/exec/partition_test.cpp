@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace ditto::exec {
 namespace {
 
@@ -91,6 +93,74 @@ TEST(RangePartitionTest, ContiguousAndComplete) {
     }
   }
   EXPECT_EQ(total, 10u);
+}
+
+Table mixed(std::size_t rows) {
+  std::vector<std::int64_t> k(rows);
+  std::vector<double> d(rows);
+  std::vector<std::string> s(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    k[i] = static_cast<std::int64_t>(i % 101);
+    d[i] = static_cast<double>(i) * 0.5;
+    s[i] = "row-" + std::to_string(i);
+  }
+  auto t = Table::make(
+      {{"k", DataType::kInt64}, {"d", DataType::kDouble}, {"s", DataType::kString}},
+      {Column(std::move(k)), Column(std::move(d)), Column(std::move(s))});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+/// The pre-scatter formulation (per-row push_back into index vectors,
+/// then take) kept as the correctness oracle.
+std::vector<Table> reference_hash_partition(const Table& in, const std::string& key,
+                                            std::size_t n) {
+  const auto keys = in.column_by_name(key).int_span();
+  std::vector<std::vector<std::size_t>> buckets(n);
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    buckets[stable_hash64(keys[r]) % n].push_back(r);
+  }
+  std::vector<Table> out;
+  out.reserve(n);
+  for (const auto& b : buckets) out.push_back(in.take(b));
+  return out;
+}
+
+TEST(HashPartitionTest, MatchesReferenceOnMixedTypes) {
+  const Table t = mixed(3000);
+  const auto got = hash_partition(t, "k", 7);
+  ASSERT_TRUE(got.ok());
+  const auto want = reference_hash_partition(t, "k", 7);
+  ASSERT_EQ(got->size(), want.size());
+  for (std::size_t p = 0; p < want.size(); ++p) {
+    EXPECT_EQ((*got)[p], want[p]) << "partition " << p;
+  }
+}
+
+TEST(HashPartitionTest, ParallelMatchesSerial) {
+  // Enough rows to span several scatter chunks.
+  const Table t = mixed(200'000);
+  ThreadPool pool(4);
+  const auto serial = hash_partition(t, "k", 9);
+  const auto parallel = hash_partition(t, "k", 9, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  for (std::size_t p = 0; p < serial->size(); ++p) {
+    EXPECT_EQ((*serial)[p], (*parallel)[p]) << "partition " << p;
+  }
+}
+
+TEST(RoundRobinTest, ParallelMatchesSerialAndPreservesOrder) {
+  const Table t = mixed(150'000);
+  ThreadPool pool(4);
+  const auto serial = round_robin_partition(t, 3);
+  const auto parallel = round_robin_partition(t, 3, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_EQ(serial[p], parallel[p]) << "partition " << p;
+    // Row order within a partition is the original row order.
+    const auto d = serial[p].column_by_name("d").double_span();
+    for (std::size_t r = 1; r < d.size(); ++r) EXPECT_LT(d[r - 1], d[r]);
+  }
 }
 
 TEST(StableHashTest, DeterministicAndSpread) {

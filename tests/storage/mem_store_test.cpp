@@ -65,6 +65,19 @@ TEST(MemStoreTest, ExhaustedPutWritesNothing) {
   EXPECT_TRUE(store.put("b", "xy").is_ok());
 }
 
+TEST(MemStoreTest, RejectedPutsCountedSeparately) {
+  StorageModel model;
+  model.capacity = 4;
+  MemStore store(model, "bounded");
+  ASSERT_TRUE(store.put("a", "1234").is_ok());
+  EXPECT_EQ(store.put("b", "x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(store.put("b", "x").code(), StatusCode::kResourceExhausted);
+  const StoreStats st = store.stats();
+  EXPECT_EQ(st.puts, 1u) << "rejected puts are not puts";
+  EXPECT_EQ(st.rejected, 2u);
+  EXPECT_EQ(st.bytes_written, 4u) << "rejected puts move no bytes";
+}
+
 TEST(MemStoreTest, ListByPrefix) {
   MemStore store;
   ASSERT_TRUE(store.put("job1/s0", "a").is_ok());

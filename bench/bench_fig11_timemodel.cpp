@@ -5,8 +5,10 @@
 // for DoP 20..120. Paper result: error within 6% except Q1's small
 // IO stage (higher variance of smaller tasks, up to 15%).
 #include <cmath>
+#include <vector>
 
 #include "bench_common.h"
+#include "timemodel/drift.h"
 #include "timemodel/profiler.h"
 
 using namespace ditto;
@@ -68,6 +70,7 @@ int main() {
     std::printf("%5s | %10s %10s %6s | %10s %10s %6s\n", "DoP", "IO actual", "IO model",
                 "err%", "C actual", "C model", "err%");
     print_rule();
+    std::vector<StageDriftSample> drift;
     for (int d = 20; d <= 120; d += 20) {
       double vals[2][2];  // [stage][actual, predicted]
       const StageId stages[2] = {io_stage, comp_stage};
@@ -89,7 +92,19 @@ int main() {
       std::printf("%5d | %10.2f %10.2f %5.1f%% | %10.2f %10.2f %5.1f%%\n", d, vals[0][0],
                   vals[0][1], err(vals[0][0], vals[0][1]), vals[1][0], vals[1][1],
                   err(vals[1][0], vals[1][1]));
+      for (int k = 0; k < 2; ++k) {
+        StageDriftSample sample;
+        sample.stage = stages[k];
+        sample.dop = d;
+        sample.predicted_seconds = vals[k][1];
+        sample.observed_seconds = vals[k][0];
+        drift.push_back(sample);
+      }
     }
+    const DriftSummary summary = summarize_drift(drift);
+    std::printf("accuracy: mean rel error %.1f%%, max %.1f%% over %zu predictions\n",
+                summary.mean_abs_rel_error * 100.0, summary.max_abs_rel_error * 100.0,
+                summary.count);
   }
   return 0;
 }

@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -47,6 +48,7 @@
 #include "scheduler/ditto_scheduler.h"
 #include "scheduler/explain.h"
 #include "service/engine_jobs.h"
+#include "service/http_endpoint.h"
 #include "service/job_service.h"
 #include "service/serve_spec.h"
 #include "sim/sim_runner.h"
@@ -84,7 +86,8 @@ int usage() {
                "[--objective jct|cost] [--store s3|redis] [--trace-out FILE] "
                "[--report FILE] [--metrics] [--faults SPEC] [--fault-seed N]\n"
                "       dittoctl serve [servespec-file] [--cluster NxS[@dist]] "
-               "[--policy fifo|fair|elastic] [--fair-slots N]\n");
+               "[--policy fifo|fair|elastic] [--fair-slots N] "
+               "[--http-port N] [--linger SECS]\n");
   return 2;
 }
 
@@ -95,6 +98,8 @@ int run_serve(int argc, char** argv) {
   std::string cluster_spec = "4x8";
   std::string policy_override;
   int fair_slots_override = 0;
+  int http_port = -1;  ///< < 0 = no endpoint; 0 = ephemeral
+  double linger = 0.0;
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
@@ -103,6 +108,10 @@ int run_serve(int argc, char** argv) {
       policy_override = argv[++i];
     } else if (std::strcmp(argv[i], "--fair-slots") == 0 && i + 1 < argc) {
       fair_slots_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--http-port") == 0 && i + 1 < argc) {
+      http_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger = std::atof(argv[++i]);
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -141,6 +150,25 @@ int run_serve(int argc, char** argv) {
   options.admission = spec->admission;
   options.external = external;
   service::JobService svc(*cl, *store, options);
+
+  // Live endpoints: enable metrics collection (bounding the trace ring
+  // for long-serving processes) and expose /metrics, /jobs, /healthz.
+  std::unique_ptr<service::HttpEndpoint> http;
+  if (http_port >= 0) {
+    obs::set_observability_enabled(true);
+    obs::TraceCollector::global().set_capacity(1 << 16);
+    service::HttpEndpoint::Options hopts;
+    hopts.port = http_port;
+    hopts.service = &svc;
+    http = std::make_unique<service::HttpEndpoint>(hopts);
+    const Status st = http->start();
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "http endpoint: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("http: serving /metrics /jobs /healthz on http://127.0.0.1:%d\n",
+                http->port());
+  }
 
   std::printf("cluster: %s (%d slots)  policy: %s  jobs: %zu\n\n", cluster_spec.c_str(),
               cl->total_slots(), service::admission_policy_name(spec->admission.policy),
@@ -202,6 +230,15 @@ int run_serve(int argc, char** argv) {
   }
   svc.drain();
   std::printf("\n%s", svc.summary().to_text().c_str());
+  if (http != nullptr) {
+    if (linger > 0.0) {
+      std::printf("http: lingering %.1f s for scrapes\n", linger);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+    }
+    std::printf("http: served %llu requests\n",
+                static_cast<unsigned long long>(http->requests_served()));
+  }
   return 0;
 }
 

@@ -1,0 +1,31 @@
+// promcheck: validate Prometheus text exposition read from stdin.
+//
+//   curl -s http://127.0.0.1:9095/metrics | promcheck
+//
+// Exits 0 when the document is well-formed (per the strict checks in
+// obs/prometheus.h: sample-line syntax, cumulative histogram buckets,
+// +Inf == _count), nonzero with a line-numbered diagnostic otherwise.
+// Used by the CI serve smoke job to gate the /metrics endpoint.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/prometheus.h"
+
+int main() {
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "promcheck: empty input\n");
+    return 2;
+  }
+  const ditto::Status st = ditto::obs::validate_prometheus_text(text);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "promcheck: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("promcheck: ok (%zu bytes)\n", text.size());
+  return 0;
+}

@@ -20,12 +20,16 @@
 #include <memory>
 
 #include "cluster/runtime_monitor.h"
+#include "dag/dag_algorithms.h"
 #include "exec/engine.h"
 #include "faults/fault_injector.h"
 #include "faults/flaky_store.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
+#include "obs/profile_store.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "timemodel/predictor.h"
 #include "scheduler/baselines.h"
 #include "scheduler/ditto_scheduler.h"
 #include "scheduler/explain.h"
@@ -42,12 +46,25 @@ struct RunStats {
   exec::EngineStats stats;
 };
 
+/// Profiling context threaded into the engine run (all optional).
+struct Profiling {
+  obs::StageProfileStore* profiles = nullptr;
+  std::uint64_t fingerprint = 0;
+  std::vector<double> predicted_stage_seconds;
+};
+
 Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPlan& plan,
                          cluster::RuntimeMonitor* monitor = nullptr,
-                         faults::FaultInjector* injector = nullptr) {
+                         faults::FaultInjector* injector = nullptr,
+                         const Profiling* profiling = nullptr) {
   auto store = storage::make_redis_sim();
   store->set_real_delay_scale(0.01);  // small real delay: latency gap observable
   exec::EngineOptions options;
+  if (profiling != nullptr) {
+    options.profiles = profiling->profiles;
+    options.plan_fingerprint = profiling->fingerprint;
+    options.predicted_stage_seconds = profiling->predicted_stage_seconds;
+  }
   std::unique_ptr<faults::FlakyStore> flaky;
   if (injector != nullptr) {
     flaky = std::make_unique<faults::FlakyStore>(*store, *injector);
@@ -139,8 +156,24 @@ int main(int argc, char** argv) {
     const bool observing = !trace_out.empty() || print_report;
     std::unique_ptr<faults::FaultInjector> injector;
     if (fault_cfg.any()) injector = std::make_unique<faults::FaultInjector>(fault_cfg);
-    const auto run =
-        execute(job, plan->placement, observing ? &monitor : nullptr, injector.get());
+
+    // Profiling loop context: record per-task samples under the model
+    // DAG's fingerprint and feed predicted stage times for drift.
+    obs::StageProfileStore profiles;
+    Profiling profiling;
+    profiling.profiles = &profiles;
+    profiling.fingerprint = structural_fingerprint(model_dag);
+    {
+      const ExecTimePredictor predictor(model_dag);
+      const ColocatedFn colocated = plan->placement.colocated_fn();
+      profiling.predicted_stage_seconds.resize(model_dag.num_stages(), 0.0);
+      for (StageId s = 0; s < model_dag.num_stages(); ++s) {
+        profiling.predicted_stage_seconds[s] =
+            predictor.stage_time(s, std::max(1, plan->placement.dop_of(s)), colocated);
+      }
+    }
+    const auto run = execute(job, plan->placement, observing ? &monitor : nullptr,
+                             injector.get(), &profiling);
     if (!run.ok()) {
       std::fprintf(stderr, "execution failed: %s\n", run.status().to_string().c_str());
       return 1;
@@ -187,9 +220,14 @@ int main(int argc, char** argv) {
       extras.trace = &obs::TraceCollector::global();
       extras.metrics = &obs::MetricsRegistry::global();
       if (resilience.enabled) extras.resilience = &resilience;
+      extras.model_dag = &model_dag;
       const obs::ExecutionReport report = obs::build_execution_report(
           model_dag, *plan, Objective::kJct, monitor, extras);
       std::printf("%s\n", report.to_text().c_str());
+      if (!trace_out.empty()) {
+        obs::export_critical_path_track(report.critical_path,
+                                        obs::TraceCollector::global());
+      }
     }
   }
 

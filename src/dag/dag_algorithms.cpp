@@ -127,4 +127,42 @@ bool is_ancestor(const JobDag& dag, StageId a, StageId b) {
   return false;
 }
 
+namespace {
+
+/// FNV-1a over a byte sequence, seeded with the running hash.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a(h, s.data(), s.size());
+  // Length delimiter so ("ab","c") != ("a","bc").
+  const std::uint64_t len = s.size();
+  return fnv1a(h, &len, sizeof(len));
+}
+
+}  // namespace
+
+std::uint64_t structural_fingerprint(const JobDag& dag) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  const std::uint64_t stages = dag.num_stages();
+  h = fnv1a(h, &stages, sizeof(stages));
+  for (const Stage& s : dag.stages()) {
+    h = fnv1a_str(h, s.name());
+    h = fnv1a_str(h, s.op());
+  }
+  for (const Edge& e : dag.edges()) {
+    const std::uint64_t packed = (static_cast<std::uint64_t>(e.src) << 40) |
+                                 (static_cast<std::uint64_t>(e.dst) << 8) |
+                                 static_cast<std::uint64_t>(e.exchange);
+    h = fnv1a(h, &packed, sizeof(packed));
+  }
+  return h;
+}
+
 }  // namespace ditto

@@ -48,4 +48,11 @@ std::vector<std::vector<StageId>> enumerate_paths(const JobDag& dag,
 /// True iff `a` is an ancestor of `b` (a strictly upstream of b).
 bool is_ancestor(const JobDag& dag, StageId a, StageId b);
 
+/// Stable 64-bit fingerprint of the DAG's *plan shape*: stage names,
+/// operators, and the edge list with exchange kinds. Two submissions of
+/// the same query shape hash identically regardless of data volumes or
+/// fitted model parameters, so recurring jobs share profile history
+/// keyed by this value (paper §6.5: recurring analytics jobs).
+std::uint64_t structural_fingerprint(const JobDag& dag);
+
 }  // namespace ditto

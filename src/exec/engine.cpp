@@ -80,6 +80,9 @@ struct RunState {
   std::mutex error_mu;
   Status first_error;
 
+  obs::StageProfileStore* profiles = nullptr;
+  std::uint64_t fingerprint = 0;
+
   std::atomic<std::size_t> task_retries{0};
   std::atomic<std::size_t> spec_launched{0};
   std::atomic<std::size_t> spec_wins{0};
@@ -192,6 +195,16 @@ Status task_attempt(RunState& rs, StageId s, TaskId t, int dop, ServerId server,
     rec.bytes_read = io.bytes_in;
     rec.bytes_written = io.bytes_out;
     rs.monitor->record(rec);
+  }
+
+  if (rs.profiles != nullptr) {
+    obs::TaskSample sample;
+    sample.task_seconds = io.t_end - io.t_start;
+    sample.compute_seconds = io.t_computed - io.t_gathered;
+    sample.transport_seconds = (io.t_gathered - io.t_start) + (io.t_end - io.t_computed);
+    sample.queue_seconds = std::max(0.0, io.t_start - slot.launch);
+    sample.retries = attempt;
+    rs.profiles->record(rs.fingerprint, s, dop, sample);
   }
 
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
@@ -406,6 +419,8 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   rs.exchanges = &exchanges;
   rs.clock = &clock;
   rs.task_server = plan_->task_server;
+  rs.profiles = options_.profiles;
+  rs.fingerprint = options_.plan_fingerprint;
 
   const faults::ResiliencePolicy& policy = options_.resilience;
   const int max_attempts = std::max(1, policy.max_task_attempts);
@@ -434,6 +449,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
     }
 
     const int dop = plan_->dop_of(s);
+    const double wave_start = clock.elapsed_seconds();
     obs::ScopedSpan stage_span("engine.stage", dag_->stage(s).name().c_str(), -1,
                                static_cast<std::int64_t>(s));
     stage_span.arg("dop", std::to_string(dop));
@@ -558,6 +574,19 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
                                      " failed every attempt");
         }
         rs.failed.store(true);
+      }
+    }
+
+    // Wave-level drift: join this stage's observed wall time against
+    // the scheduler's prediction, if the caller supplied one.
+    if (!rs.failed.load() && s < options_.predicted_stage_seconds.size()) {
+      const double predicted = options_.predicted_stage_seconds[s];
+      const double observed = clock.elapsed_seconds() - wave_start;
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (predicted > 0.0 && observed > 0.0 && mx.enabled()) {
+        const double rel = std::abs(predicted - observed) / observed;
+        mx.histogram("timemodel.drift", 0.0, 2.0, 20).observe(rel);
+        mx.gauge("timemodel.rel_error", {{"stage", dag_->stage(s).name()}}).set(rel);
       }
     }
     if (rs.failed.load()) break;

@@ -44,6 +44,7 @@
 #include "exec/exchange.h"
 #include "faults/fault_injector.h"
 #include "faults/retry_policy.h"
+#include "obs/profile_store.h"
 #include "storage/object_store.h"
 
 namespace ditto::exec {
@@ -115,6 +116,19 @@ struct EngineOptions {
   /// becomes true the run stops launching work, drains in-flight
   /// attempts, and returns CANCELLED.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Profiling sink (not owned, may be null = record nothing). Every
+  /// winning task attempt feeds one TaskSample into the store under
+  /// (plan_fingerprint, stage, DoP) — the paper's §6.5 history that
+  /// recurring submissions refit their time model from.
+  obs::StageProfileStore* profiles = nullptr;
+  std::uint64_t plan_fingerprint = 0;
+
+  /// Predicted stage times (seconds, indexed by StageId) from the
+  /// scheduler's time model under the plan's placement. When non-empty
+  /// the engine emits `timemodel.drift` histogram samples and
+  /// per-stage `timemodel.rel_error` gauges as each wave completes.
+  std::vector<double> predicted_stage_seconds;
 };
 
 struct EngineStats {

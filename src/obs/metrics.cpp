@@ -42,9 +42,10 @@ MetricsRegistry& MetricsRegistry::global() {
 
 std::string MetricsRegistry::canonical_key(const std::string& name,
                                            const MetricLabels& labels,
-                                           std::string* labels_out) {
+                                           std::string* labels_out, MetricLabels* pairs_out) {
   if (labels.empty()) {
     if (labels_out) labels_out->clear();
+    if (pairs_out) pairs_out->clear();
     return name;
   }
   MetricLabels sorted = labels;
@@ -58,17 +59,20 @@ std::string MetricsRegistry::canonical_key(const std::string& name,
   }
   rendered += "}";
   if (labels_out) *labels_out = rendered;
+  if (pairs_out) *pairs_out = std::move(sorted);
   return name + rendered;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, const MetricLabels& labels) {
   std::string rendered;
-  const std::string key = canonical_key(name, labels, &rendered);
+  MetricLabels pairs;
+  const std::string key = canonical_key(name, labels, &rendered, &pairs);
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[key];
   if (!e.counter) {
     e.name = name;
     e.labels = rendered;
+    e.label_pairs = std::move(pairs);
     e.counter = std::make_unique<Counter>();
   }
   return *e.counter;
@@ -76,12 +80,14 @@ Counter& MetricsRegistry::counter(const std::string& name, const MetricLabels& l
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const MetricLabels& labels) {
   std::string rendered;
-  const std::string key = canonical_key(name, labels, &rendered);
+  MetricLabels pairs;
+  const std::string key = canonical_key(name, labels, &rendered, &pairs);
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[key];
   if (!e.gauge) {
     e.name = name;
     e.labels = rendered;
+    e.label_pairs = std::move(pairs);
     e.gauge = std::make_unique<Gauge>();
   }
   return *e.gauge;
@@ -90,12 +96,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const MetricLabels& label
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
                                             std::size_t buckets, const MetricLabels& labels) {
   std::string rendered;
-  const std::string key = canonical_key(name, labels, &rendered);
+  MetricLabels pairs;
+  const std::string key = canonical_key(name, labels, &rendered, &pairs);
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[key];
   if (!e.histogram) {
     e.name = name;
     e.labels = rendered;
+    e.label_pairs = std::move(pairs);
     e.histogram = std::make_unique<HistogramMetric>(lo, hi, buckets);
   }
   return *e.histogram;
@@ -109,6 +117,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     MetricSample s;
     s.name = e.name;
     s.labels = e.labels;
+    s.label_pairs = e.label_pairs;
     if (e.counter) {
       s.kind = MetricSample::Kind::kCounter;
       s.value = static_cast<double>(e.counter->value());
@@ -119,6 +128,17 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
       s.kind = MetricSample::Kind::kHistogram;
       s.distribution = e.histogram->stats();
       s.value = static_cast<double>(s.distribution.count());
+      const Histogram h = e.histogram->histogram();
+      const double lo = e.histogram->lo();
+      const std::size_t n = e.histogram->num_buckets();
+      const double width = n > 0 ? (e.histogram->hi() - lo) / static_cast<double>(n) : 0.0;
+      s.underflow = h.underflow();
+      s.overflow = h.overflow();
+      s.buckets.reserve(h.counts().size());
+      for (std::size_t i = 0; i < h.counts().size(); ++i) {
+        s.buckets.push_back(
+            {lo + width * static_cast<double>(i + 1), static_cast<std::uint64_t>(h.counts()[i])});
+      }
     }
     out.push_back(std::move(s));
   }

@@ -72,6 +72,10 @@ class HistogramMetric {
   std::size_t count() const;
   void reset();
 
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t num_buckets() const { return buckets_; }
+
  private:
   const double lo_;
   const double hi_;
@@ -81,13 +85,25 @@ class HistogramMetric {
   RunningStats stats_;
 };
 
+/// One histogram bucket: raw (non-cumulative) count of observations in
+/// [upper - width, upper). The Prometheus renderer accumulates.
+struct BucketSample {
+  double upper = 0.0;
+  std::uint64_t count = 0;
+};
+
 /// One registered metric as rendered into a snapshot.
 struct MetricSample {
   std::string name;
-  std::string labels;  ///< canonical "{k=v,...}" or "" when unlabeled
+  std::string labels;        ///< canonical "{k=v,...}" or "" when unlabeled
+  MetricLabels label_pairs;  ///< structured labels, sorted by key
   enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
   double value = 0.0;        ///< counter/gauge value; histogram count
   RunningStats distribution; ///< histogram only
+  // Histogram only: fixed buckets plus out-of-range tallies.
+  std::vector<BucketSample> buckets;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
 };
 
 class MetricsRegistry {
@@ -126,13 +142,14 @@ class MetricsRegistry {
 
  private:
   static std::string canonical_key(const std::string& name, const MetricLabels& labels,
-                                   std::string* labels_out);
+                                   std::string* labels_out, MetricLabels* pairs_out);
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   struct Entry {
     std::string name;
     std::string labels;
+    MetricLabels label_pairs;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;

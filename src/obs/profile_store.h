@@ -1,0 +1,115 @@
+// StageProfileStore: durable per-stage execution profiles — the data
+// half of the paper's §6.5 profiling loop for recurring jobs.
+//
+// Every completed task feeds one TaskSample (compute / transport /
+// queue / retry breakdown) into the profile keyed by
+//
+//     (plan fingerprint, stage id, DoP)
+//
+// where the fingerprint is dag::structural_fingerprint of the job's
+// model DAG, so a second submission of the same query shape lands on
+// the same history regardless of data volumes. Aggregation keeps a
+// count, EWMAs of each component, and a bounded reservoir of recent
+// task times for p50/p99. Profiles serialize as JSON through any
+// ObjectStore (one object per fingerprint under a key prefix), so
+// recurring submissions accumulate history across process lifetimes;
+// corrupt payloads are rejected with a Status — never a crash — and
+// leave previously-loaded profiles untouched.
+//
+// The store is thread-safe: engine tasks record concurrently while a
+// /metrics scrape or a refit pass reads a snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/types.h"
+#include "storage/object_store.h"
+
+namespace ditto::obs {
+
+/// Observed breakdown of one completed task (the winning attempt).
+struct TaskSample {
+  double task_seconds = 0.0;       ///< end - start of the winning attempt
+  double compute_seconds = 0.0;    ///< inside the stage function
+  double transport_seconds = 0.0;  ///< gather (read) + publish (write)
+  double queue_seconds = 0.0;      ///< pool submit -> attempt start
+  int retries = 0;                 ///< attempts before the winning one
+};
+
+/// Aggregated history of one (fingerprint, stage, DoP) key.
+struct StageProfile {
+  std::uint64_t fingerprint = 0;
+  StageId stage = kNoStage;
+  int dop = 0;
+
+  std::size_t count = 0;    ///< tasks observed, all runs
+  std::size_t retries = 0;  ///< extra attempts summed over tasks
+  // Exponentially-weighted means (alpha = kEwmaAlpha, seeded by the
+  // first sample) — recent runs dominate, old calibration decays.
+  double ewma_task = 0.0;
+  double ewma_compute = 0.0;
+  double ewma_transport = 0.0;
+  double ewma_queue = 0.0;
+  /// Bounded reservoir of recent task times (newest last, capped at
+  /// kMaxRecent) backing the percentile queries.
+  std::vector<double> recent;
+
+  static constexpr double kEwmaAlpha = 0.2;
+  static constexpr std::size_t kMaxRecent = 256;
+
+  void add(const TaskSample& s);
+  double p50() const;
+  double p99() const;
+};
+
+class StageProfileStore {
+ public:
+  StageProfileStore() = default;
+
+  /// Folds one task observation into the (fp, stage, dop) profile.
+  void record(std::uint64_t fingerprint, StageId stage, int dop, const TaskSample& sample);
+
+  /// Copy-out lookups (the store keeps mutating under concurrent runs).
+  std::optional<StageProfile> lookup(std::uint64_t fingerprint, StageId stage, int dop) const;
+  std::vector<StageProfile> profiles_for(std::uint64_t fingerprint) const;
+  std::vector<StageProfile> all() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Persists every fingerprint's profiles as one JSON object at
+  /// `<prefix>/<fingerprint hex>.json` (overwrites).
+  Status save(storage::ObjectStore& store, const std::string& prefix = "profiles") const;
+
+  /// Loads every `<prefix>/` object, merging into this store (loaded
+  /// profiles REPLACE same-key entries; unrelated keys survive). A
+  /// corrupt payload fails with INVALID_ARGUMENT naming the object and
+  /// leaves the store as it was before that object.
+  Status load(storage::ObjectStore& store, const std::string& prefix = "profiles");
+
+  /// One fingerprint's profiles as a JSON document (what save() puts).
+  std::string fingerprint_json(std::uint64_t fingerprint) const;
+
+  /// Parses a persisted document; every structural or numeric problem
+  /// (truncation, type confusion, non-finite numbers, bad dop/stage) is
+  /// an INVALID_ARGUMENT Status.
+  static Result<std::vector<StageProfile>> parse_profiles_json(const std::string& text);
+
+ private:
+  using Key = std::tuple<std::uint64_t, StageId, int>;
+  mutable std::mutex mu_;
+  std::map<Key, StageProfile> profiles_;
+};
+
+/// "deadbeef01234567" — fingerprints render as fixed-width hex (JSON
+/// numbers cannot carry 64 bits exactly).
+std::string fingerprint_hex(std::uint64_t fp);
+Result<std::uint64_t> parse_fingerprint_hex(const std::string& hex);
+
+}  // namespace ditto::obs

@@ -1,0 +1,307 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ditto::obs {
+
+namespace {
+
+bool valid_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool valid_name_char(char c) {
+  return valid_name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string sanitize(const std::string& s, bool allow_colon) {
+  std::string out = s.empty() ? std::string("_") : s;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = i == 0 ? (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                              (allow_colon && c == ':'))
+                           : (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                              (allow_colon && c == ':'));
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) { return sanitize(name, true); }
+
+std::string prometheus_label_name(const std::string& name) { return sanitize(name, false); }
+
+std::string prometheus_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// `{k="v",...}` from structured pairs, optionally with an extra label
+/// appended (the histogram `le`).
+std::string render_labels(const MetricLabels& pairs, const std::string& extra_name = "",
+                          const std::string& extra_value = "") {
+  if (pairs.empty() && extra_name.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : pairs) {
+    if (!first) out += ",";
+    first = false;
+    out += prometheus_label_name(k) + "=\"" + prometheus_escape_label_value(v) + "\"";
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ",";
+    out += extra_name + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* kind_name(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  std::string last_typed;
+  for (const MetricSample& s : registry.snapshot()) {
+    const std::string name = prometheus_name(s.name);
+    if (name != last_typed) {
+      os << "# TYPE " << name << " " << kind_name(s.kind) << "\n";
+      last_typed = name;
+    }
+    const std::string labels = render_labels(s.label_pairs);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        os << name << labels << " " << json_number(s.value) << "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Cumulative buckets. Underflow sits below every bound, so it
+        // seeds the running count; overflow appears only in +Inf.
+        std::uint64_t running = s.underflow;
+        for (const BucketSample& b : s.buckets) {
+          running += b.count;
+          os << name << "_bucket"
+             << render_labels(s.label_pairs, "le", json_number(b.upper)) << " " << running
+             << "\n";
+        }
+        os << name << "_bucket" << render_labels(s.label_pairs, "le", "+Inf") << " "
+           << s.distribution.count() << "\n";
+        os << name << "_sum" << labels << " " << json_number(s.distribution.sum()) << "\n";
+        os << name << "_count" << labels << " " << s.distribution.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+struct Cursor {
+  const std::string& line;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= line.size(); }
+  char peek() const { return line[pos]; }
+};
+
+Status err(std::size_t line_no, const std::string& what) {
+  return Status::invalid_argument("prometheus exposition line " + std::to_string(line_no) +
+                                  ": " + what);
+}
+
+/// Parses `name{label="value",...}`; returns (name, full labels string,
+/// labels string without any `le` pair, le value if present).
+struct ParsedSeries {
+  std::string name;
+  std::string labels_without_le;
+  bool has_le = false;
+  double le = 0.0;
+};
+
+Status parse_series(Cursor& c, std::size_t line_no, ParsedSeries* out) {
+  if (c.done() || !valid_name_start(c.peek())) return err(line_no, "bad metric name start");
+  while (!c.done() && valid_name_char(c.peek())) out->name += c.line[c.pos++];
+  if (c.done() || c.peek() != '{') return Status::ok();
+
+  ++c.pos;  // '{'
+  std::vector<std::pair<std::string, std::string>> pairs;
+  while (true) {
+    if (c.done()) return err(line_no, "unterminated label set");
+    if (c.peek() == '}') {
+      ++c.pos;
+      break;
+    }
+    std::string lname;
+    if (!valid_name_start(c.peek()) || c.peek() == ':') {
+      return err(line_no, "bad label name start");
+    }
+    while (!c.done() && (valid_name_char(c.peek()) && c.peek() != ':')) {
+      lname += c.line[c.pos++];
+    }
+    if (c.done() || c.peek() != '=') return err(line_no, "label missing '='");
+    ++c.pos;
+    if (c.done() || c.peek() != '"') return err(line_no, "label value missing opening quote");
+    ++c.pos;
+    std::string value;
+    bool closed = false;
+    while (!c.done()) {
+      const char ch = c.line[c.pos++];
+      if (ch == '"') {
+        closed = true;
+        break;
+      }
+      if (ch == '\\') {
+        if (c.done()) return err(line_no, "dangling escape in label value");
+        const char esc = c.line[c.pos++];
+        if (esc != '\\' && esc != '"' && esc != 'n') {
+          return err(line_no, std::string("invalid escape '\\") + esc + "' in label value");
+        }
+        value += esc == 'n' ? '\n' : esc;
+      } else {
+        value += ch;
+      }
+    }
+    if (!closed) return err(line_no, "unterminated label value");
+    if (lname == "le") {
+      out->has_le = true;
+      if (value == "+Inf") {
+        out->le = std::numeric_limits<double>::infinity();
+      } else {
+        char* end = nullptr;
+        out->le = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          return err(line_no, "le label is not a number");
+        }
+      }
+    } else {
+      pairs.emplace_back(lname, value);
+    }
+    if (!c.done() && c.peek() == ',') ++c.pos;
+  }
+  std::string rendered;
+  for (const auto& [k, v] : pairs) rendered += k + "=" + v + ";";
+  out->labels_without_le = rendered;
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate_prometheus_text(const std::string& text) {
+  if (!text.empty() && text.back() != '\n') {
+    return Status::invalid_argument("prometheus exposition must end with a newline");
+  }
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  // (base name, labels-without-le) -> cumulative bucket series.
+  std::map<std::pair<std::string, std::string>, std::vector<std::pair<double, double>>>
+      bucket_series;
+  std::map<std::pair<std::string, std::string>, double> counts;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword;
+      ls >> hash >> keyword;
+      if (keyword == "TYPE") {
+        std::string name, type;
+        ls >> name >> type;
+        if (name.empty() || type.empty()) return err(line_no, "malformed TYPE comment");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return err(line_no, "unknown metric type '" + type + "'");
+        }
+      }
+      continue;  // HELP and free comments are unconstrained
+    }
+
+    Cursor c{line};
+    ParsedSeries series;
+    DITTO_RETURN_IF_ERROR(parse_series(c, line_no, &series));
+    if (c.done() || c.peek() != ' ') return err(line_no, "missing space before value");
+    ++c.pos;
+    const std::string rest = line.substr(c.pos);
+    if (rest.empty()) return err(line_no, "missing sample value");
+    double value = 0.0;
+    if (rest == "+Inf") {
+      value = std::numeric_limits<double>::infinity();
+    } else if (rest == "-Inf") {
+      value = -std::numeric_limits<double>::infinity();
+    } else if (rest == "NaN") {
+      value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      char* end = nullptr;
+      value = std::strtod(rest.c_str(), &end);
+      if (end == rest.c_str() || *end != '\0') {
+        return err(line_no, "sample value '" + rest + "' is not a number");
+      }
+    }
+
+    const std::string& name = series.name;
+    if (series.has_le && name.size() > 7 && name.substr(name.size() - 7) == "_bucket") {
+      bucket_series[{name.substr(0, name.size() - 7), series.labels_without_le}]
+          .emplace_back(series.le, value);
+    } else if (name.size() > 6 && name.substr(name.size() - 6) == "_count") {
+      counts[{name.substr(0, name.size() - 6), series.labels_without_le}] = value;
+    }
+  }
+
+  for (const auto& [key, series] : bucket_series) {
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_count = -1.0;
+    for (const auto& [le, count] : series) {
+      if (le <= prev_le) {
+        return Status::invalid_argument("histogram '" + key.first +
+                                        "' bucket bounds are not increasing");
+      }
+      if (count < prev_count) {
+        return Status::invalid_argument("histogram '" + key.first +
+                                        "' bucket counts are not cumulative");
+      }
+      prev_le = le;
+      prev_count = count;
+    }
+    if (!std::isinf(series.back().first)) {
+      return Status::invalid_argument("histogram '" + key.first + "' missing +Inf bucket");
+    }
+    const auto count_it = counts.find(key);
+    if (count_it != counts.end() && count_it->second != series.back().second) {
+      return Status::invalid_argument("histogram '" + key.first +
+                                      "' +Inf bucket disagrees with _count");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace ditto::obs

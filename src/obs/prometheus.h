@@ -1,0 +1,45 @@
+// Prometheus text exposition (format version 0.0.4) for the
+// MetricsRegistry, plus a strict validator used by tests and the CI
+// `promcheck` binary.
+//
+// The repo's internal metric names use dots ("engine.tasks_total");
+// exposition names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so the
+// renderer sanitizes names (invalid chars -> '_') and label names the
+// same way (labels may not contain ':'), and escapes label VALUES
+// per the spec: backslash, double-quote, and newline.
+//
+// Kind mapping:
+//   Counter   -> `<name> <v>` with `# TYPE <name> counter`
+//   Gauge     -> `<name> <v>` with `# TYPE <name> gauge`
+//   Histogram -> cumulative `<name>_bucket{le="..."}` series ending in
+//                le="+Inf", plus `<name>_sum` and `<name>_count`.
+//                Underflow observations count into every bucket
+//                (cumulative from below); overflow only into +Inf.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ditto::obs {
+
+/// Sanitized exposition-safe metric name.
+std::string prometheus_name(const std::string& name);
+
+/// Sanitized label name ([a-zA-Z_][a-zA-Z0-9_]*).
+std::string prometheus_label_name(const std::string& name);
+
+/// Escapes a label value: `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+std::string prometheus_escape_label_value(const std::string& value);
+
+/// Full exposition document for every metric in `registry`.
+std::string to_prometheus_text(const MetricsRegistry& registry);
+
+/// Strict format check: every line must be a well-formed comment or
+/// sample, histogram bucket series must be cumulative with the +Inf
+/// bucket equal to the matching _count. The first problem is reported
+/// with its line number.
+Status validate_prometheus_text(const std::string& text);
+
+}  // namespace ditto::obs

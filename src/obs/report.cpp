@@ -6,8 +6,48 @@
 #include "common/units.h"
 #include "obs/json.h"
 #include "scheduler/explain.h"
+#include "timemodel/drift.h"
+#include "timemodel/predictor.h"
 
 namespace ditto::obs {
+
+namespace {
+
+AccuracySection build_accuracy(const JobDag& model_dag, const scheduler::SchedulePlan& plan,
+                               const cluster::RuntimeMonitor& monitor) {
+  AccuracySection section;
+  const ExecTimePredictor predictor(model_dag);
+  const ColocatedFn colocated = plan.placement.colocated_fn();
+  std::vector<StageDriftSample> samples;
+  for (StageId s = 0; s < model_dag.num_stages(); ++s) {
+    const cluster::StageSummary sum = monitor.stage_summary(s);
+    if (sum.tasks == 0) continue;
+    StageDriftSample d;
+    d.stage = s;
+    d.dop = plan.placement.dop_of(s);
+    if (d.dop < 1) d.dop = 1;
+    d.predicted_seconds = predictor.stage_time(s, d.dop, colocated);
+    d.observed_seconds = sum.stage_end - sum.stage_start;
+    samples.push_back(d);
+
+    AccuracyRow row;
+    row.stage = s;
+    row.name = model_dag.stage(s).name();
+    row.dop = d.dop;
+    row.predicted_seconds = d.predicted_seconds;
+    row.observed_seconds = d.observed_seconds;
+    row.rel_error = d.rel_error();
+    section.rows.push_back(std::move(row));
+  }
+  if (section.rows.empty()) return section;
+  const DriftSummary summary = summarize_drift(samples);
+  section.enabled = true;
+  section.mean_abs_rel_error = summary.mean_abs_rel_error;
+  section.max_abs_rel_error = summary.max_abs_rel_error;
+  return section;
+}
+
+}  // namespace
 
 ExecutionReport build_execution_report(const JobDag& dag, const scheduler::SchedulePlan& plan,
                                        Objective objective,
@@ -51,6 +91,8 @@ ExecutionReport build_execution_report(const JobDag& dag, const scheduler::Sched
   if (extras.trace) report.trace_events = extras.trace->size();
   if (extras.metrics) report.metrics_text = extras.metrics->to_text();
   if (extras.resilience) report.resilience = *extras.resilience;
+  if (extras.model_dag) report.accuracy = build_accuracy(*extras.model_dag, plan, monitor);
+  report.critical_path = build_critical_path(dag, monitor);
   return report;
 }
 
@@ -85,6 +127,50 @@ std::string ExecutionReport::to_text() const {
                   seconds_to_string(r.mean_task_time).c_str(), r.straggler_scale,
                   bytes_to_string(r.bytes_read).c_str(),
                   bytes_to_string(r.bytes_written).c_str());
+    os << buf;
+  }
+
+  if (accuracy.enabled) {
+    os << "\nprediction accuracy (time model vs observed):\n";
+    std::snprintf(buf, sizeof(buf), "  %-16s %5s %12s %12s %9s\n", "stage", "dop",
+                  "predicted", "observed", "rel_err");
+    os << buf;
+    for (const AccuracyRow& r : accuracy.rows) {
+      std::snprintf(buf, sizeof(buf), "  %-16s %5d %12s %12s %8.1f%%\n", r.name.c_str(),
+                    r.dop, seconds_to_string(r.predicted_seconds).c_str(),
+                    seconds_to_string(r.observed_seconds).c_str(), r.rel_error * 100.0);
+      os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  mean |rel err| %.1f%%, max %.1f%%\n",
+                  accuracy.mean_abs_rel_error * 100.0, accuracy.max_abs_rel_error * 100.0);
+    os << buf;
+  }
+
+  if (!critical_path.empty()) {
+    const CriticalPathSection& cp = critical_path;
+    os << "\ncritical path (where the time went):\n";
+    std::snprintf(buf, sizeof(buf), "  %-16s %10s %10s %10s %10s %10s\n", "stage", "queue",
+                  "window", "compute", "transport", "straggler");
+    os << buf;
+    for (const CriticalPathEntry& e : cp.entries) {
+      std::snprintf(buf, sizeof(buf), "  %-16s %10s %10s %10s %10s %10s\n", e.name.c_str(),
+                    seconds_to_string(e.queue_seconds).c_str(),
+                    seconds_to_string(e.window_seconds()).c_str(),
+                    seconds_to_string(e.compute_seconds).c_str(),
+                    seconds_to_string(e.transport_seconds).c_str(),
+                    seconds_to_string(e.straggler_seconds).c_str());
+      os << buf;
+    }
+    auto pct = [&cp](double x) {
+      return cp.path_seconds > 0.0 ? x / cp.path_seconds * 100.0 : 0.0;
+    };
+    std::snprintf(buf, sizeof(buf),
+                  "  path %s of JCT %s: compute %.1f%%, transport %.1f%%, queue %.1f%%, "
+                  "straggler %.1f%%\n",
+                  seconds_to_string(cp.path_seconds).c_str(),
+                  seconds_to_string(cp.total_seconds).c_str(), pct(cp.compute_seconds),
+                  pct(cp.transport_seconds), pct(cp.queue_seconds),
+                  pct(cp.straggler_seconds));
     os << buf;
   }
 
@@ -139,6 +225,43 @@ std::string ExecutionReport::to_json() const {
        << "}";
   }
   os << "]";
+  if (accuracy.enabled) {
+    os << ",\"accuracy\":{\"mean_abs_rel_error\":" << json_number(accuracy.mean_abs_rel_error)
+       << ",\"max_abs_rel_error\":" << json_number(accuracy.max_abs_rel_error)
+       << ",\"stages\":[";
+    bool afirst = true;
+    for (const AccuracyRow& r : accuracy.rows) {
+      if (!afirst) os << ",";
+      afirst = false;
+      os << "{\"stage\":" << r.stage << ",\"name\":\"" << json_escape(r.name) << "\""
+         << ",\"dop\":" << r.dop << ",\"predicted\":" << json_number(r.predicted_seconds)
+         << ",\"observed\":" << json_number(r.observed_seconds)
+         << ",\"rel_error\":" << json_number(r.rel_error) << "}";
+    }
+    os << "]}";
+  }
+  if (!critical_path.empty()) {
+    const CriticalPathSection& cp = critical_path;
+    os << ",\"critical_path\":{\"total_seconds\":" << json_number(cp.total_seconds)
+       << ",\"path_seconds\":" << json_number(cp.path_seconds)
+       << ",\"queue_seconds\":" << json_number(cp.queue_seconds)
+       << ",\"compute_seconds\":" << json_number(cp.compute_seconds)
+       << ",\"transport_seconds\":" << json_number(cp.transport_seconds)
+       << ",\"straggler_seconds\":" << json_number(cp.straggler_seconds) << ",\"stages\":[";
+    bool cfirst = true;
+    for (const CriticalPathEntry& e : cp.entries) {
+      if (!cfirst) os << ",";
+      cfirst = false;
+      os << "{\"stage\":" << e.stage << ",\"name\":\"" << json_escape(e.name) << "\""
+         << ",\"tasks\":" << e.tasks << ",\"start\":" << json_number(e.start)
+         << ",\"end\":" << json_number(e.end)
+         << ",\"queue\":" << json_number(e.queue_seconds)
+         << ",\"compute\":" << json_number(e.compute_seconds)
+         << ",\"transport\":" << json_number(e.transport_seconds)
+         << ",\"straggler\":" << json_number(e.straggler_seconds) << "}";
+    }
+    os << "]}";
+  }
   if (resilience.enabled) {
     const ResilienceSection& r = resilience;
     os << ",\"resilience\":{\"fault_spec\":\"" << json_escape(r.fault_spec) << "\""

@@ -15,6 +15,7 @@
 
 #include "cluster/runtime_monitor.h"
 #include "dag/job_dag.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scheduler/scheduler.h"
@@ -69,6 +70,25 @@ struct ResilienceSection {
   }
 };
 
+/// One stage's predicted time joined against the observed wave window.
+struct AccuracyRow {
+  StageId stage = kNoStage;
+  std::string name;
+  int dop = 0;
+  double predicted_seconds = 0.0;  ///< model prediction at the planned DoP
+  double observed_seconds = 0.0;   ///< observed stage window (end - start)
+  double rel_error = 0.0;          ///< |predicted - observed| / observed
+};
+
+/// Prediction accuracy of the time model, built when the caller hands
+/// the model DAG (the one the scheduler planned from) to the report.
+struct AccuracySection {
+  bool enabled = false;
+  std::vector<AccuracyRow> rows;
+  double mean_abs_rel_error = 0.0;
+  double max_abs_rel_error = 0.0;
+};
+
 struct ExecutionReport {
   std::string job;
   std::string scheduler;
@@ -83,6 +103,8 @@ struct ExecutionReport {
   std::size_t remote_edges = 0;
   std::vector<StageReportRow> stages;
   ResilienceSection resilience;  ///< rendered only when enabled
+  AccuracySection accuracy;      ///< rendered only when enabled
+  CriticalPathSection critical_path;  ///< rendered when non-empty
   std::string plan_text;      ///< explain_plan rendering
   std::size_t trace_events = 0;
   std::string metrics_text;   ///< MetricsRegistry::to_text snapshot
@@ -102,6 +124,10 @@ struct ReportExtras {
   const TraceCollector* trace = nullptr;    ///< event count provenance
   const MetricsRegistry* metrics = nullptr; ///< snapshot to embed
   const ResilienceSection* resilience = nullptr;  ///< fault/recovery counters
+  /// The DAG the scheduler planned from (fitted step models). When set,
+  /// the report computes the prediction-accuracy section by re-running
+  /// the ExecTimePredictor under the plan's placement.
+  const JobDag* model_dag = nullptr;
 };
 
 ExecutionReport build_execution_report(const JobDag& dag, const scheduler::SchedulePlan& plan,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace ditto::obs {
 
@@ -22,7 +23,53 @@ std::uint64_t TraceCollector::now_us() const {
 
 void TraceCollector::push(TraceEvent e) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(e));
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(e));
+    return;
+  }
+  events_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    if (dropped_counter_ == nullptr) dropped_counter_ = &mx.counter("trace.dropped_events");
+    dropped_counter_->add();
+  }
+}
+
+std::vector<TraceEvent> TraceCollector::ordered_locked() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void TraceCollector::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap = cap == 0 ? 1 : cap;
+  if (!events_.empty()) {
+    // Normalize to chronological order, then keep the newest `cap`.
+    std::vector<TraceEvent> ordered = ordered_locked();
+    if (ordered.size() > cap) {
+      dropped_ += ordered.size() - cap;
+      ordered.erase(ordered.begin(), ordered.end() - static_cast<std::ptrdiff_t>(cap));
+    }
+    events_ = std::move(ordered);
+  }
+  head_ = 0;
+  capacity_ = cap;
+}
+
+std::size_t TraceCollector::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t TraceCollector::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 void TraceCollector::span(std::string cat, std::string name, std::uint64_t ts_us,
@@ -85,12 +132,14 @@ std::size_t TraceCollector::size() const {
 
 std::vector<TraceEvent> TraceCollector::events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return ordered_locked();
 }
 
 void TraceCollector::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  head_ = 0;
+  dropped_ = 0;
 }
 
 namespace {

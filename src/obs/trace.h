@@ -27,6 +27,8 @@
 
 namespace ditto::obs {
 
+class Counter;
+
 /// Key/value annotations attached to an event (rendered into "args").
 using TraceArgs = std::vector<std::pair<std::string, std::string>>;
 
@@ -61,6 +63,18 @@ class TraceCollector {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
+  /// Memory bound for long-running collection (serve mode): the
+  /// collector keeps at most `cap` events in a ring — once full, each
+  /// new event overwrites the oldest and bumps dropped_events() (and
+  /// the `trace.dropped_events` metric). Lowering the capacity below
+  /// the current event count discards the oldest events immediately.
+  /// Defaults to kDefaultCapacity; cap is clamped to >= 1.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const;
+  std::uint64_t dropped_events() const;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;  // ~262k events
+
   /// Microseconds of wall time since the collector's epoch (creation).
   std::uint64_t now_us() const;
 
@@ -89,11 +103,18 @@ class TraceCollector {
 
  private:
   void push(TraceEvent e);
+  /// Chronological copy of the ring (oldest first). Caller holds mu_.
+  std::vector<TraceEvent> ordered_locked() const;
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
+  /// Ring storage: grows to capacity_, then wraps at head_.
   std::vector<TraceEvent> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t head_ = 0;  ///< next overwrite slot once the ring is full
+  std::uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;  ///< lazily-bound trace.dropped_events
 };
 
 /// RAII wall-clock span against the global collector. Captures the

@@ -1,0 +1,76 @@
+// HttpEndpoint: a minimal dependency-free HTTP/1.1 listener exposing
+// the service's live state —
+//
+//   GET /metrics   Prometheus text exposition of the MetricsRegistry
+//   GET /jobs      JobService lifecycle snapshot as JSON
+//   GET /healthz   liveness probe ("ok")
+//
+// Scope is deliberately tiny: GET only, one request per connection
+// (Connection: close), loopback by default, requests served serially
+// by one background thread. That is exactly what a scrape target and
+// a smoke test need, and nothing a production proxy provides. The
+// endpoint never blocks job traffic: handlers only read thread-safe
+// snapshots (MetricsRegistry::snapshot, JobService::jobs_snapshot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "service/job_service.h"
+
+namespace ditto::service {
+
+class HttpEndpoint {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read
+    /// it back with port()).
+    int port = 0;
+    /// Metrics source for /metrics (null = the process-global registry).
+    const obs::MetricsRegistry* metrics = nullptr;
+    /// Jobs source for /jobs (null = an empty job list). Not owned;
+    /// must outlive the endpoint or be cleared via stop() first.
+    JobService* service = nullptr;
+  };
+
+  explicit HttpEndpoint(Options options);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. Fails (UNAVAILABLE)
+  /// if the port cannot be bound; FAILED_PRECONDITION if already started.
+  Status start();
+
+  /// Stops the serving thread and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Bound port (valid after a successful start()).
+  int port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Pure request routing: full HTTP response bytes for a request
+  /// target. Exposed so tests can exercise handlers without sockets.
+  std::string respond(const std::string& method, const std::string& target) const;
+
+ private:
+  void serve_loop();
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace ditto::service

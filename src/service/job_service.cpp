@@ -4,9 +4,11 @@
 #include <sstream>
 #include <utility>
 
+#include "dag/dag_algorithms.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scheduler/ditto_scheduler.h"
+#include "timemodel/predictor.h"
 
 namespace ditto::service {
 namespace {
@@ -73,6 +75,12 @@ JobService::JobService(cluster::Cluster& cluster, storage::ObjectStore& store,
       options_(std::move(options)),
       ledger_(cluster),
       pools_(slot_widths(cluster)) {
+  if (options_.persist_profiles) {
+    // Best effort: a fresh store simply has no profiles yet, and a
+    // corrupt object must not keep the service from starting.
+    const Status loaded = profiles_.load(*store_, options_.profile_prefix);
+    (void)loaded;
+  }
   dispatcher_ = std::thread(&JobService::dispatcher_loop, this);
 }
 
@@ -371,6 +379,17 @@ void JobService::run_job(JobRecord* rec) {
     opts.pools = &pools_;
     opts.exchange_prefix = "job-" + std::to_string(rec->id) + "/" + rec->sub.dag.name();
     opts.cancel = &rec->cancel_token;
+    if (options_.profiling) {
+      opts.profiles = &profiles_;
+      opts.plan_fingerprint = structural_fingerprint(rec->sub.model_dag);
+      const ExecTimePredictor predictor(rec->sub.model_dag);
+      const ColocatedFn colocated = rec->plan.colocated_fn();
+      opts.predicted_stage_seconds.resize(rec->sub.model_dag.num_stages(), 0.0);
+      for (StageId s = 0; s < rec->sub.model_dag.num_stages(); ++s) {
+        opts.predicted_stage_seconds[s] =
+            predictor.stage_time(s, std::max(1, rec->plan.dop_of(s)), colocated);
+      }
+    }
     if (rec->sub.faults.any()) {
       rec->injector = std::make_unique<faults::FaultInjector>(rec->sub.faults);
       rec->flaky = std::make_unique<faults::FlakyStore>(*store_, *rec->injector);
@@ -400,6 +419,12 @@ void JobService::run_job(JobRecord* rec) {
       finish_job_locked(*rec, JobState::kFailed, result.status());
     }
     finished_unjoined_.push_back(rec->id);
+  }
+  if (options_.profiling && options_.persist_profiles) {
+    // Outside mu_: the profile store has its own lock and the object
+    // store is thread-safe. Persistence is best effort.
+    const Status saved = profiles_.save(*store_, options_.profile_prefix);
+    (void)saved;
   }
   state_cv_.notify_all();
   dispatch_cv_.notify_all();
@@ -459,6 +484,27 @@ void JobService::release_resources_locked(JobRecord& rec) {
     if (rec.arena_charge[v] > 0) cluster_->server(v).arena().release(rec.arena_charge[v]);
   }
   rec.arena_charge.clear();
+}
+
+std::vector<JobService::JobSnapshotRow> JobService::jobs_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobSnapshotRow> rows;
+  rows.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) {
+    JobSnapshotRow row;
+    row.id = rec->id;
+    row.label = rec->sub.label;
+    row.state = rec->state;
+    if (!rec->error.is_ok()) row.error = rec->error.message();
+    row.submitted = rec->submitted;
+    row.started = rec->started;
+    row.finished = rec->finished;
+    for (const auto& ts : rec->plan.task_server) {
+      row.slots_granted += static_cast<int>(ts.size());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 JobOutcome JobService::outcome_of_locked(const JobRecord& rec) const {

@@ -53,6 +53,7 @@
 #include "faults/fault_injector.h"
 #include "faults/flaky_store.h"
 #include "faults/retry_policy.h"
+#include "obs/profile_store.h"
 #include "service/admission.h"
 #include "storage/object_store.h"
 
@@ -139,6 +140,15 @@ struct ServiceOptions {
   /// Charge per-job arena bytes from model-DAG volumes (on by default;
   /// off lets tests isolate slot accounting).
   bool account_arena = true;
+  /// Record every winning task attempt into the service's
+  /// StageProfileStore keyed by the model DAG's structural fingerprint,
+  /// and emit timemodel drift metrics per wave (paper §6.5 loop).
+  bool profiling = true;
+  /// Preload profiles from the shared ObjectStore at construction and
+  /// persist them after each completed job, so recurring submissions
+  /// accumulate history across service lifetimes.
+  bool persist_profiles = false;
+  std::string profile_prefix = "profiles";
 };
 
 class JobService {
@@ -174,6 +184,25 @@ class JobService {
 
   int total_slots() const { return ledger_.total_slots(); }
   int free_slots() const { return ledger_.free_total(); }
+
+  /// Point-in-time lifecycle view of every job the service has seen
+  /// (the /jobs endpoint's data source).
+  struct JobSnapshotRow {
+    JobId id = 0;
+    std::string label;
+    JobState state = JobState::kQueued;
+    std::string error;  ///< message for FAILED/CANCELLED, "" otherwise
+    Seconds submitted = 0.0;
+    Seconds started = 0.0;
+    Seconds finished = 0.0;
+    int slots_granted = 0;
+  };
+  std::vector<JobSnapshotRow> jobs_snapshot() const;
+
+  /// The per-(fingerprint, stage, DoP) execution history recorded by
+  /// completed runs (empty while ServiceOptions::profiling is off).
+  const obs::StageProfileStore& profiles() const { return profiles_; }
+  obs::StageProfileStore& profiles() { return profiles_; }
 
  private:
   struct JobRecord {
@@ -220,6 +249,7 @@ class JobService {
   cluster::SlotLedger ledger_;
   exec::ServerPools pools_;
   Stopwatch clock_;
+  obs::StageProfileStore profiles_;
 
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  ///< wakes the dispatcher

@@ -1,0 +1,21 @@
+#include "timemodel/drift.h"
+
+#include <algorithm>
+
+namespace ditto {
+
+DriftSummary summarize_drift(const std::vector<StageDriftSample>& samples) {
+  DriftSummary out;
+  if (samples.empty()) return out;
+  double sum = 0.0;
+  for (const StageDriftSample& s : samples) {
+    const double e = s.rel_error();
+    sum += e;
+    out.max_abs_rel_error = std::max(out.max_abs_rel_error, e);
+  }
+  out.count = samples.size();
+  out.mean_abs_rel_error = sum / static_cast<double>(samples.size());
+  return out;
+}
+
+}  // namespace ditto

@@ -1,0 +1,44 @@
+// Predicted-vs-observed drift: how far the step time model is from
+// what the engine actually measured (paper §6.5 — the check side of
+// the profiling loop for recurring jobs).
+//
+// A StageDriftSample joins one stage's predicted time (from
+// ExecTimePredictor under the placement used) with the observed wall
+// time of its wave. summarize_drift reduces a set of samples to the
+// mean / max absolute relative error that the ExecutionReport and
+// bench_fig11_timemodel print, and that the `timemodel.drift`
+// histogram feeds from.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "dag/types.h"
+
+namespace ditto {
+
+/// One stage's prediction joined against its observation.
+struct StageDriftSample {
+  StageId stage = kNoStage;
+  int dop = 0;
+  double predicted_seconds = 0.0;
+  double observed_seconds = 0.0;
+
+  /// |predicted - observed| / observed; 0 when nothing was observed.
+  double rel_error() const {
+    if (!(observed_seconds > 0.0)) return 0.0;
+    return std::abs(predicted_seconds - observed_seconds) / observed_seconds;
+  }
+};
+
+struct DriftSummary {
+  double mean_abs_rel_error = 0.0;
+  double max_abs_rel_error = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean / max of |rel error| over the samples (empty set -> zeros).
+DriftSummary summarize_drift(const std::vector<StageDriftSample>& samples);
+
+}  // namespace ditto

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 
 #include "common/stats.h"
+#include "obs/profile_store.h"
 
 namespace ditto {
 
@@ -36,6 +38,125 @@ Result<FitResult> fit_step_model(const std::vector<ProfileSample>& samples) {
 double relative_error(const StepModel& model, int dop, double actual) {
   if (actual <= 0.0) return 0.0;
   return std::abs(model.eval(dop) - actual) / actual;
+}
+
+namespace {
+
+/// Fits one component from (dop, value) observations. A single
+/// distinct DoP pins the model at the operating point: beta = the
+/// observed value there (count-weighted mean), alpha = 0.
+StepModel fit_component(const std::vector<obs::StageProfile>& history,
+                        double (*value_of)(const obs::StageProfile&), bool* pinned,
+                        double* r2) {
+  std::set<int> dops;
+  for (const obs::StageProfile& p : history) dops.insert(p.dop);
+  if (dops.size() >= 2) {
+    std::vector<ProfileSample> samples;
+    samples.reserve(history.size());
+    for (const obs::StageProfile& p : history) {
+      samples.push_back({p.dop, value_of(p)});
+    }
+    Result<FitResult> fit = fit_step_model(samples);
+    if (fit.ok()) {
+      if (pinned) *pinned = false;
+      if (r2) *r2 = fit.value().r2;
+      return fit.value().model;
+    }
+  }
+  double weight = 0.0, sum = 0.0;
+  for (const obs::StageProfile& p : history) {
+    const double w = static_cast<double>(std::max<std::size_t>(p.count, 1));
+    weight += w;
+    sum += w * value_of(p);
+  }
+  if (pinned) *pinned = true;
+  if (r2) *r2 = 0.0;
+  return {0.0, weight > 0.0 ? sum / weight : 0.0};
+}
+
+/// Rescales the steps selected by `want` so their summed (alpha, beta)
+/// equals `target`; zero-valued groups split the target evenly.
+void apply_component(Stage& stage, bool (*want)(const Step&), const StepModel& target) {
+  double old_alpha = 0.0, old_beta = 0.0;
+  std::size_t n = 0;
+  for (const Step& s : stage.steps()) {
+    if (!want(s)) continue;
+    ++n;
+    old_alpha += s.alpha;
+    old_beta += s.beta;
+  }
+  if (n == 0) {
+    // No step of this kind (e.g. a source stage with no reads): fold
+    // the component into a fresh compute step so the total survives.
+    if (target.alpha > 0.0 || target.beta > 0.0) {
+      Step extra;
+      extra.kind = StepKind::kCompute;
+      extra.alpha = target.alpha;
+      extra.beta = target.beta;
+      stage.add_step(extra);
+    }
+    return;
+  }
+  for (Step& s : stage.steps()) {
+    if (!want(s)) continue;
+    s.alpha = old_alpha > 0.0 ? s.alpha * target.alpha / old_alpha
+                              : target.alpha / static_cast<double>(n);
+    s.beta = old_beta > 0.0 ? s.beta * target.beta / old_beta
+                            : target.beta / static_cast<double>(n);
+  }
+}
+
+bool is_compute_step(const Step& s) { return s.kind == StepKind::kCompute; }
+bool is_transport_step(const Step& s) {
+  return !s.pipelined && (s.kind == StepKind::kRead || s.kind == StepKind::kWrite);
+}
+
+}  // namespace
+
+Result<RefitReport> refit_from_profiles(const obs::StageProfileStore& store,
+                                        std::uint64_t fingerprint, JobDag& dag) {
+  const std::vector<obs::StageProfile> profiles = store.profiles_for(fingerprint);
+  if (profiles.empty()) {
+    return Status::not_found("no profiles recorded for fingerprint " +
+                             obs::fingerprint_hex(fingerprint));
+  }
+  std::map<StageId, std::vector<obs::StageProfile>> by_stage;
+  for (const obs::StageProfile& p : profiles) {
+    if (p.stage < dag.num_stages()) by_stage[p.stage].push_back(p);
+  }
+  if (by_stage.empty()) {
+    return Status::invalid_argument("profiles for fingerprint " +
+                                    obs::fingerprint_hex(fingerprint) +
+                                    " reference no stage of this DAG");
+  }
+
+  RefitReport report;
+  report.fingerprint = fingerprint;
+  for (auto& [stage_id, history] : by_stage) {
+    StageRefit refit;
+    refit.stage = stage_id;
+    std::set<int> dops;
+    for (const obs::StageProfile& p : history) {
+      dops.insert(p.dop);
+      refit.tasks += p.count;
+    }
+    refit.distinct_dops = dops.size();
+    refit.total = fit_component(
+        history, [](const obs::StageProfile& p) { return p.ewma_task; }, &refit.pinned,
+        &refit.r2);
+    refit.compute = fit_component(
+        history, [](const obs::StageProfile& p) { return p.ewma_compute; }, nullptr,
+        nullptr);
+    refit.transport = fit_component(
+        history, [](const obs::StageProfile& p) { return p.ewma_transport; }, nullptr,
+        nullptr);
+
+    Stage& stage = dag.stage(stage_id);
+    apply_component(stage, is_compute_step, refit.compute);
+    apply_component(stage, is_transport_step, refit.transport);
+    report.stages.push_back(std::move(refit));
+  }
+  return report;
 }
 
 }  // namespace ditto

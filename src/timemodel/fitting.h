@@ -4,12 +4,23 @@
 // by ordinary least squares with x = 1/d (paper §6.5: five DoPs per
 // stage, least-squares method). Negative fitted parameters are clamped
 // to zero: both alpha and beta are physically non-negative.
+//
+// refit_from_profiles closes the loop for recurring jobs: it pulls the
+// durable per-(stage, DoP) history out of an obs::StageProfileStore and
+// rewrites a JobDag's step parameters so the next submission's
+// predictions track what the engine actually measured.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
+#include "dag/job_dag.h"
 #include "timemodel/step_model.h"
+
+namespace ditto::obs {
+class StageProfileStore;
+}  // namespace ditto::obs
 
 namespace ditto {
 
@@ -28,5 +39,35 @@ Result<FitResult> fit_step_model(const std::vector<ProfileSample>& samples);
 
 /// Relative prediction error |pred - actual| / actual at one point.
 double relative_error(const StepModel& model, int dop, double actual);
+
+/// Outcome of recalibrating one stage from profiled history.
+struct StageRefit {
+  StageId stage = kNoStage;
+  StepModel total;      ///< fitted end-to-end stage-time model
+  StepModel compute;    ///< fitted compute component
+  StepModel transport;  ///< fitted gather+publish component
+  double r2 = 0.0;      ///< goodness of the total fit (pinned -> 0)
+  std::size_t distinct_dops = 0;
+  std::size_t tasks = 0;  ///< observations backing the fit
+  bool pinned = false;    ///< single-DoP history: model pinned at the
+                          ///< operating point (alpha = 0, beta = t)
+};
+
+struct RefitReport {
+  std::uint64_t fingerprint = 0;
+  std::vector<StageRefit> stages;
+};
+
+/// Recalibrates `dag`'s step models from the history stored for
+/// `fingerprint`: compute steps are rescaled to the fitted compute
+/// component, read/write steps to the fitted transport component, so
+/// ExecTimePredictor over the rewritten DAG reproduces the observed
+/// times. With history at only one DoP the fit degenerates to a pin
+/// (beta = observed mean, alpha = 0) — exact at the operating DoP,
+/// conservative elsewhere. Stages with no recorded history keep their
+/// hand-seeded parameters. Fails if the store holds nothing for the
+/// fingerprint.
+Result<RefitReport> refit_from_profiles(const obs::StageProfileStore& store,
+                                        std::uint64_t fingerprint, JobDag& dag);
 
 }  // namespace ditto

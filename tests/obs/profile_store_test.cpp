@@ -1,0 +1,202 @@
+// StageProfileStore: aggregation math, JSON round-trip through an
+// ObjectStore, and a corruption corpus — every mangled payload must be
+// rejected with a Status and leave previously-loaded state untouched.
+#include "obs/profile_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/mem_store.h"
+
+namespace ditto::obs {
+namespace {
+
+TaskSample sample(double task, double compute = 0.0, double transport = 0.0,
+                  double queue = 0.0, int retries = 0) {
+  TaskSample s;
+  s.task_seconds = task;
+  s.compute_seconds = compute;
+  s.transport_seconds = transport;
+  s.queue_seconds = queue;
+  s.retries = retries;
+  return s;
+}
+
+TEST(StageProfileTest, FirstSampleSeedsEwmas) {
+  StageProfile p;
+  p.add(sample(2.0, 1.5, 0.4, 0.1, 3));
+  EXPECT_EQ(p.count, 1u);
+  EXPECT_EQ(p.retries, 3u);
+  EXPECT_DOUBLE_EQ(p.ewma_task, 2.0);
+  EXPECT_DOUBLE_EQ(p.ewma_compute, 1.5);
+  EXPECT_DOUBLE_EQ(p.ewma_transport, 0.4);
+  EXPECT_DOUBLE_EQ(p.ewma_queue, 0.1);
+}
+
+TEST(StageProfileTest, EwmaTracksRecentRuns) {
+  StageProfile p;
+  p.add(sample(1.0));
+  p.add(sample(2.0));
+  // alpha = 0.2: 1.0 + 0.2 * (2.0 - 1.0)
+  EXPECT_NEAR(p.ewma_task, 1.2, 1e-12);
+  for (int i = 0; i < 200; ++i) p.add(sample(2.0));
+  EXPECT_NEAR(p.ewma_task, 2.0, 1e-6);  // old calibration decays away
+}
+
+TEST(StageProfileTest, ReservoirCapsAndPercentilesFollow) {
+  StageProfile p;
+  for (int i = 0; i < 1000; ++i) p.add(sample(static_cast<double>(i)));
+  EXPECT_EQ(p.recent.size(), StageProfile::kMaxRecent);
+  EXPECT_EQ(p.count, 1000u);
+  // Only the newest kMaxRecent samples (744..999) back the percentiles.
+  EXPECT_GE(p.p50(), 744.0);
+  EXPECT_LE(p.p50(), 999.0);
+  EXPECT_GE(p.p99(), p.p50());
+}
+
+TEST(FingerprintHexTest, RoundTripsAndRejectsGarbage) {
+  for (std::uint64_t fp : {0ull, 1ull, 0xdeadbeef01234567ull, ~0ull}) {
+    const std::string hex = fingerprint_hex(fp);
+    EXPECT_EQ(hex.size(), 16u);
+    const auto back = parse_fingerprint_hex(hex);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, fp);
+  }
+  EXPECT_FALSE(parse_fingerprint_hex("").ok());
+  EXPECT_FALSE(parse_fingerprint_hex("dead").ok());
+  EXPECT_FALSE(parse_fingerprint_hex("zzzzzzzzzzzzzzzz").ok());
+  EXPECT_FALSE(parse_fingerprint_hex("0123456789abcdefg").ok());
+}
+
+TEST(StageProfileStoreTest, RecordsKeyedByFingerprintStageDop) {
+  StageProfileStore store;
+  store.record(0xabc, 0, 4, sample(1.0));
+  store.record(0xabc, 0, 4, sample(3.0));
+  store.record(0xabc, 1, 8, sample(0.5));
+  store.record(0xdef, 0, 4, sample(9.0));
+
+  const auto p = store.lookup(0xabc, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->count, 2u);
+  EXPECT_EQ(p->dop, 4);
+  EXPECT_FALSE(store.lookup(0xabc, 0, 5).has_value());
+  EXPECT_EQ(store.profiles_for(0xabc).size(), 2u);
+  EXPECT_EQ(store.all().size(), 3u);
+  EXPECT_EQ(store.size(), 3u);
+
+  // Invalid keys are dropped silently rather than polluting history.
+  store.record(0xabc, kNoStage, 4, sample(1.0));
+  store.record(0xabc, 0, 0, sample(1.0));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(StageProfileStoreTest, SaveLoadRoundTripsThroughObjectStore) {
+  StageProfileStore a;
+  a.record(0x11, 0, 2, sample(1.0, 0.6, 0.3, 0.05, 1));
+  a.record(0x11, 0, 2, sample(2.0, 1.2, 0.6, 0.10, 0));
+  a.record(0x11, 1, 4, sample(0.25));
+  a.record(0x22, 0, 8, sample(7.0));
+
+  storage::MemStore object_store;
+  ASSERT_TRUE(a.save(object_store).is_ok());
+  EXPECT_EQ(object_store.list("profiles/").size(), 2u);
+
+  StageProfileStore b;
+  ASSERT_TRUE(b.load(object_store).is_ok());
+  EXPECT_EQ(b.size(), a.size());
+  const auto orig = a.lookup(0x11, 0, 2);
+  const auto loaded = b.lookup(0x11, 0, 2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->count, orig->count);
+  EXPECT_EQ(loaded->retries, orig->retries);
+  EXPECT_NEAR(loaded->ewma_task, orig->ewma_task, 1e-9);
+  EXPECT_NEAR(loaded->ewma_compute, orig->ewma_compute, 1e-9);
+  EXPECT_NEAR(loaded->ewma_transport, orig->ewma_transport, 1e-9);
+  EXPECT_NEAR(loaded->ewma_queue, orig->ewma_queue, 1e-9);
+  ASSERT_EQ(loaded->recent.size(), orig->recent.size());
+}
+
+TEST(StageProfileStoreTest, LoadReplacesSameKeyAndKeepsOthers) {
+  StageProfileStore persisted;
+  persisted.record(0x11, 0, 2, sample(10.0));
+  storage::MemStore object_store;
+  ASSERT_TRUE(persisted.save(object_store).is_ok());
+
+  StageProfileStore live;
+  live.record(0x11, 0, 2, sample(1.0));  // same key: replaced by load
+  live.record(0x99, 3, 4, sample(5.0));  // unrelated key: survives
+  ASSERT_TRUE(live.load(object_store).is_ok());
+  EXPECT_NEAR(live.lookup(0x11, 0, 2)->ewma_task, 10.0, 1e-9);
+  ASSERT_TRUE(live.lookup(0x99, 3, 4).has_value());
+  EXPECT_NEAR(live.lookup(0x99, 3, 4)->ewma_task, 5.0, 1e-9);
+}
+
+TEST(StageProfileStoreTest, CorruptionCorpusIsRejectedNotCrashed) {
+  StageProfileStore source;
+  source.record(0x42, 0, 2, sample(1.0, 0.5, 0.3, 0.1));
+  source.record(0x42, 1, 4, sample(2.0));
+  const std::string good = source.fingerprint_json(0x42);
+  ASSERT_TRUE(StageProfileStore::parse_profiles_json(good).ok());
+
+  std::vector<std::string> corpus;
+  // Truncations at every eighth byte — covers mid-token, mid-string,
+  // mid-array cuts.
+  for (std::size_t cut = 0; cut < good.size(); cut += 8) {
+    corpus.push_back(good.substr(0, cut));
+  }
+  corpus.push_back("");                                 // empty object
+  corpus.push_back("not json at all");                  // garbage
+  corpus.push_back("[]");                               // wrong root kind
+  corpus.push_back("42");                               // wrong root kind
+  corpus.push_back("{\"profiles\":[]}");                // missing fingerprint
+  corpus.push_back("{\"fingerprint\":123,\"profiles\":[]}");     // type confusion
+  corpus.push_back("{\"fingerprint\":\"xyz\",\"profiles\":[]}");  // bad hex
+  corpus.push_back("{\"fingerprint\":\"0000000000000042\"}");     // missing list
+  corpus.push_back("{\"fingerprint\":\"0000000000000042\",\"profiles\":[7]}");
+  corpus.push_back(
+      "{\"fingerprint\":\"0000000000000042\",\"profiles\":"
+      "[{\"stage\":0,\"dop\":\"two\",\"count\":1,\"retries\":0,\"ewma_task\":1,"
+      "\"ewma_compute\":0,\"ewma_transport\":0,\"ewma_queue\":0,\"recent\":[]}]}");
+  corpus.push_back(  // negative / non-finite component
+      "{\"fingerprint\":\"0000000000000042\",\"profiles\":"
+      "[{\"stage\":0,\"dop\":2,\"count\":1,\"retries\":0,\"ewma_task\":-1,"
+      "\"ewma_compute\":0,\"ewma_transport\":0,\"ewma_queue\":0,\"recent\":[]}]}");
+  corpus.push_back(  // implausible dop
+      "{\"fingerprint\":\"0000000000000042\",\"profiles\":"
+      "[{\"stage\":0,\"dop\":0,\"count\":1,\"retries\":0,\"ewma_task\":1,"
+      "\"ewma_compute\":0,\"ewma_transport\":0,\"ewma_queue\":0,\"recent\":[]}]}");
+  corpus.push_back(  // zero count
+      "{\"fingerprint\":\"0000000000000042\",\"profiles\":"
+      "[{\"stage\":0,\"dop\":2,\"count\":0,\"retries\":0,\"ewma_task\":1,"
+      "\"ewma_compute\":0,\"ewma_transport\":0,\"ewma_queue\":0,\"recent\":[]}]}");
+  corpus.push_back(  // missing 'recent'
+      "{\"fingerprint\":\"0000000000000042\",\"profiles\":"
+      "[{\"stage\":0,\"dop\":2,\"count\":1,\"retries\":0,\"ewma_task\":1,"
+      "\"ewma_compute\":0,\"ewma_transport\":0,\"ewma_queue\":0}]}");
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto parsed = StageProfileStore::parse_profiles_json(corpus[i]);
+    EXPECT_FALSE(parsed.ok()) << "corpus entry " << i << " parsed: " << corpus[i];
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << parsed.status().to_string();
+    }
+  }
+
+  // A corrupt object in the store fails load() and leaves the
+  // already-loaded profiles exactly as they were.
+  storage::MemStore object_store;
+  ASSERT_TRUE(source.save(object_store).is_ok());
+  ASSERT_TRUE(object_store.put("profiles/zzzz.json", "{\"broken\"").is_ok());
+  StageProfileStore victim;
+  victim.record(0x7, 0, 1, sample(3.0));
+  const Status st = victim.load(object_store);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("zzzz"), std::string::npos) << st.to_string();
+  ASSERT_TRUE(victim.lookup(0x7, 0, 1).has_value());
+  EXPECT_NEAR(victim.lookup(0x7, 0, 1)->ewma_task, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ditto::obs

@@ -1,0 +1,133 @@
+// Prometheus text exposition: name sanitization, label escaping,
+// cumulative histogram buckets, and the strict validator the CI
+// promcheck binary relies on.
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace ditto::obs {
+namespace {
+
+TEST(PrometheusNameTest, SanitizesDotsAndBadChars) {
+  EXPECT_EQ(prometheus_name("engine.tasks_total"), "engine_tasks_total");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name("ditto:custom_rule"), "ditto:custom_rule");  // ':' legal
+  EXPECT_EQ(prometheus_name("9lives"), "_lives");  // digit may not lead
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(PrometheusNameTest, LabelNamesMayNotContainColon) {
+  EXPECT_EQ(prometheus_label_name("stage.name"), "stage_name");
+  EXPECT_EQ(prometheus_label_name("a:b"), "a_b");
+}
+
+TEST(PrometheusEscapeTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label_value("line1\nline2"), "line1\\nline2");
+}
+
+TEST(PrometheusRenderTest, CountersAndGaugesWithTypedHeaders) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("engine.tasks_total").add(3);
+  registry.gauge("service.free_slots", {{"pool", "a\"b\nc"}}).set(7.5);
+
+  const std::string text = to_prometheus_text(registry);
+  EXPECT_NE(text.find("# TYPE engine_tasks_total counter\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("engine_tasks_total 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE service_free_slots gauge\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("service_free_slots{pool=\"a\\\"b\\nc\"} 7.5\n"), std::string::npos)
+      << text;
+  EXPECT_TRUE(validate_prometheus_text(text).is_ok())
+      << validate_prometheus_text(text).to_string();
+}
+
+TEST(PrometheusRenderTest, HistogramBucketsAreCumulativeWithInfAndCount) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  HistogramMetric& h = registry.histogram("wave.seconds", 0.0, 1.0, 4);
+  h.observe(-0.5);  // underflow: below every bound
+  h.observe(0.1);
+  h.observe(0.1);
+  h.observe(0.6);
+  h.observe(5.0);  // overflow: only in +Inf
+
+  const std::string text = to_prometheus_text(registry);
+  EXPECT_NE(text.find("# TYPE wave_seconds histogram\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("wave_seconds_bucket{le=\"0.25\"} 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("wave_seconds_bucket{le=\"0.5\"} 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("wave_seconds_bucket{le=\"0.75\"} 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("wave_seconds_bucket{le=\"1\"} 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("wave_seconds_bucket{le=\"+Inf\"} 5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("wave_seconds_count 5\n"), std::string::npos) << text;
+  EXPECT_TRUE(validate_prometheus_text(text).is_ok())
+      << validate_prometheus_text(text).to_string();
+}
+
+TEST(PrometheusValidatorTest, AcceptsCommentsAndWellFormedSamples) {
+  EXPECT_TRUE(validate_prometheus_text("").is_ok());
+  EXPECT_TRUE(validate_prometheus_text("# HELP x whatever\n# TYPE x counter\nx 1\n").is_ok());
+  EXPECT_TRUE(validate_prometheus_text("up{job=\"a b\",x=\"c\\\\d\"} 1\n").is_ok());
+  EXPECT_TRUE(validate_prometheus_text("x 1e-3\nnan_metric NaN\ninf_metric +Inf\n").is_ok());
+}
+
+TEST(PrometheusValidatorTest, RejectsMalformedLines) {
+  // Missing trailing newline.
+  EXPECT_FALSE(validate_prometheus_text("x 1").is_ok());
+  // Bad metric name start.
+  EXPECT_FALSE(validate_prometheus_text("9x 1\n").is_ok());
+  // Unterminated label set / value, bad escape.
+  EXPECT_FALSE(validate_prometheus_text("x{a=\"b\" 1\n").is_ok());
+  EXPECT_FALSE(validate_prometheus_text("x{a=\"b 1\n").is_ok());
+  EXPECT_FALSE(validate_prometheus_text("x{a=\"b\\q\"} 1\n").is_ok());
+  // Missing or non-numeric value.
+  EXPECT_FALSE(validate_prometheus_text("x\n").is_ok());
+  EXPECT_FALSE(validate_prometheus_text("x one\n").is_ok());
+  EXPECT_FALSE(validate_prometheus_text("x 1 2\n").is_ok());
+  // Unknown TYPE.
+  EXPECT_FALSE(validate_prometheus_text("# TYPE x sparkline\n").is_ok());
+}
+
+TEST(PrometheusValidatorTest, RejectsBrokenHistograms) {
+  // Non-cumulative bucket counts.
+  EXPECT_FALSE(validate_prometheus_text("h_bucket{le=\"1\"} 5\n"
+                                        "h_bucket{le=\"2\"} 3\n"
+                                        "h_bucket{le=\"+Inf\"} 5\n")
+                   .is_ok());
+  // Missing +Inf bucket.
+  EXPECT_FALSE(validate_prometheus_text("h_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\n")
+                   .is_ok());
+  // +Inf disagrees with _count.
+  EXPECT_FALSE(validate_prometheus_text("h_bucket{le=\"+Inf\"} 4\nh_count 5\n").is_ok());
+  // Bounds not increasing.
+  EXPECT_FALSE(validate_prometheus_text("h_bucket{le=\"2\"} 1\n"
+                                        "h_bucket{le=\"1\"} 2\n"
+                                        "h_bucket{le=\"+Inf\"} 2\n")
+                   .is_ok());
+  // Same series split by other labels validates independently.
+  EXPECT_TRUE(validate_prometheus_text("h_bucket{s=\"a\",le=\"1\"} 1\n"
+                                       "h_bucket{s=\"a\",le=\"+Inf\"} 2\n"
+                                       "h_bucket{s=\"b\",le=\"1\"} 9\n"
+                                       "h_bucket{s=\"b\",le=\"+Inf\"} 9\n")
+                  .is_ok());
+}
+
+TEST(PrometheusRenderTest, GlobalRegistryDocumentAlwaysValidates) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  // Adversarial names/labels from the internal dotted vocabulary.
+  registry.counter("trace.dropped_events").add(1);
+  registry.gauge("timemodel.rel_error", {{"stage", "scan/web_sales \"q95\""}}).set(0.25);
+  registry.histogram("timemodel.drift", 0.0, 2.0, 20).observe(0.5);
+  registry.histogram("timemodel.drift", 0.0, 2.0, 20).observe(3.0);
+  const std::string text = to_prometheus_text(registry);
+  const Status st = validate_prometheus_text(text);
+  EXPECT_TRUE(st.is_ok()) << st.to_string() << "\n" << text;
+}
+
+}  // namespace
+}  // namespace ditto::obs

@@ -1,0 +1,80 @@
+// TraceCollector ring bound: serve-mode collection must stay within a
+// fixed capacity under sustained event volume, count what it drops,
+// and keep the surviving events in chronological order.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ditto::obs {
+namespace {
+
+TEST(TraceRingTest, DefaultCapacityIsLarge) {
+  TraceCollector tc;
+  EXPECT_EQ(tc.capacity(), TraceCollector::kDefaultCapacity);
+  EXPECT_EQ(tc.dropped_events(), 0u);
+}
+
+TEST(TraceRingTest, SustainedVolumeStaysWithinCapAndCountsDrops) {
+  TraceCollector tc;
+  tc.set_enabled(true);
+  tc.set_capacity(4096);
+
+  constexpr std::size_t kEvents = 200000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    tc.instant("volume", "e", static_cast<std::uint64_t>(i), /*pid=*/0,
+               /*tid=*/static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(tc.size(), 4096u);
+  EXPECT_EQ(tc.dropped_events(), kEvents - 4096);
+
+  // Survivors are the newest events, oldest-first.
+  const std::vector<TraceEvent> events = tc.events();
+  ASSERT_EQ(events.size(), 4096u);
+  EXPECT_EQ(events.front().ts_us, kEvents - 4096);
+  EXPECT_EQ(events.back().ts_us, kEvents - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].ts_us, events[i].ts_us);
+  }
+
+  // The export paths see the same rotated view.
+  const std::string json = tc.to_chrome_json();
+  EXPECT_EQ(json.find("\"ts\":0,"), std::string::npos);
+
+  tc.clear();
+  EXPECT_EQ(tc.size(), 0u);
+  EXPECT_EQ(tc.dropped_events(), 0u);
+}
+
+TEST(TraceRingTest, LoweringCapacityTrimsOldest) {
+  TraceCollector tc;
+  tc.set_enabled(true);
+  tc.set_capacity(100);
+  for (int i = 0; i < 50; ++i) tc.instant("c", "e", static_cast<std::uint64_t>(i));
+  tc.set_capacity(10);
+  EXPECT_EQ(tc.size(), 10u);
+  EXPECT_EQ(tc.dropped_events(), 40u);
+  const std::vector<TraceEvent> events = tc.events();
+  EXPECT_EQ(events.front().ts_us, 40u);
+  EXPECT_EQ(events.back().ts_us, 49u);
+}
+
+TEST(TraceRingTest, DropsFeedTheMetricsCounter) {
+  MetricsRegistry& mx = MetricsRegistry::global();
+  const bool was_enabled = mx.enabled();
+  mx.set_enabled(true);
+  Counter& dropped = mx.counter("trace.dropped_events");
+  const std::uint64_t before = dropped.value();
+
+  TraceCollector tc;
+  tc.set_enabled(true);
+  tc.set_capacity(8);
+  for (int i = 0; i < 20; ++i) tc.instant("c", "e", static_cast<std::uint64_t>(i));
+  EXPECT_EQ(tc.dropped_events(), 12u);
+  EXPECT_EQ(dropped.value() - before, 12u);
+
+  mx.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace ditto::obs

@@ -1,0 +1,163 @@
+// Drift summaries and closed-loop recalibration: refit_from_profiles
+// must reproduce a linear-in-1/d ground truth from two-DoP history,
+// pin itself at the operating point with single-DoP history, and
+// refuse fingerprints it has never seen.
+#include "timemodel/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/dag_builder.h"
+#include "obs/profile_store.h"
+#include "timemodel/fitting.h"
+#include "timemodel/predictor.h"
+
+namespace ditto {
+namespace {
+
+TEST(DriftSummaryTest, EmptyAndBasicAggregation) {
+  EXPECT_EQ(summarize_drift({}).count, 0u);
+  EXPECT_EQ(summarize_drift({}).mean_abs_rel_error, 0.0);
+
+  StageDriftSample a;  // 10% off
+  a.predicted_seconds = 1.1;
+  a.observed_seconds = 1.0;
+  StageDriftSample b;  // 50% off
+  b.predicted_seconds = 0.5;
+  b.observed_seconds = 1.0;
+  StageDriftSample c;  // unobserved: contributes zero error
+  c.predicted_seconds = 4.0;
+  c.observed_seconds = 0.0;
+  EXPECT_NEAR(a.rel_error(), 0.1, 1e-12);
+  EXPECT_NEAR(b.rel_error(), 0.5, 1e-12);
+  EXPECT_EQ(c.rel_error(), 0.0);
+
+  const DriftSummary s = summarize_drift({a, b, c});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.mean_abs_rel_error, (0.1 + 0.5 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(s.max_abs_rel_error, 0.5, 1e-12);
+}
+
+JobDag two_stage_dag() {
+  auto dag = DagBuilder("refit")
+                 .stage("scan", {.op = "map"})
+                 .stage("agg", {.op = "agg"})
+                 .edge("scan", "agg")
+                 .build();
+  EXPECT_TRUE(dag.ok());
+  return *std::move(dag);
+}
+
+obs::TaskSample task_sample(double compute, double transport) {
+  obs::TaskSample s;
+  s.task_seconds = compute + transport;
+  s.compute_seconds = compute;
+  s.transport_seconds = transport;
+  return s;
+}
+
+TEST(RefitTest, TwoDopHistoryRecoversTheLinearModel) {
+  JobDag dag = two_stage_dag();
+  // Hand-seeded (wrong) parameters the refit must overwrite.
+  dag.stage(0).add_step({StepKind::kCompute, kNoStage, 100.0, 100.0, false});
+  dag.stage(0).add_step({StepKind::kRead, kNoStage, 30.0, 3.0, false});
+  dag.stage(0).add_step({StepKind::kWrite, 1, 10.0, 1.0, false});
+
+  // Ground truth: compute t(d) = 8/d + 1, transport t(d) = 4/d + 0.5.
+  obs::StageProfileStore store;
+  const std::uint64_t fp = 0x5151;
+  store.record(fp, 0, 2, task_sample(8.0 / 2 + 1.0, 4.0 / 2 + 0.5));
+  store.record(fp, 0, 4, task_sample(8.0 / 4 + 1.0, 4.0 / 4 + 0.5));
+
+  const auto report = refit_from_profiles(store, fp, dag);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  ASSERT_EQ(report->stages.size(), 1u);  // agg has no history: untouched
+  const StageRefit& refit = report->stages[0];
+  EXPECT_EQ(refit.stage, 0u);
+  EXPECT_FALSE(refit.pinned);
+  EXPECT_EQ(refit.distinct_dops, 2u);
+  EXPECT_EQ(refit.tasks, 2u);
+  EXPECT_NEAR(refit.compute.alpha, 8.0, 1e-9);
+  EXPECT_NEAR(refit.compute.beta, 1.0, 1e-9);
+  EXPECT_NEAR(refit.transport.alpha, 4.0, 1e-9);
+  EXPECT_NEAR(refit.transport.beta, 0.5, 1e-9);
+  EXPECT_NEAR(refit.total.alpha, 12.0, 1e-9);
+  EXPECT_NEAR(refit.total.beta, 1.5, 1e-9);
+
+  // Steps rescaled in place, preserving the read/write split 3:1 on
+  // alpha and 3:1 on beta.
+  double compute_alpha = 0.0, compute_beta = 0.0;
+  double transport_alpha = 0.0, transport_beta = 0.0;
+  for (const Step& s : dag.stage(0).steps()) {
+    if (s.kind == StepKind::kCompute) {
+      compute_alpha += s.alpha;
+      compute_beta += s.beta;
+    } else {
+      transport_alpha += s.alpha;
+      transport_beta += s.beta;
+    }
+  }
+  EXPECT_NEAR(compute_alpha, 8.0, 1e-9);
+  EXPECT_NEAR(compute_beta, 1.0, 1e-9);
+  EXPECT_NEAR(transport_alpha, 4.0, 1e-9);
+  EXPECT_NEAR(transport_beta, 0.5, 1e-9);
+  const Step& read = dag.stage(0).steps()[1];
+  const Step& write = dag.stage(0).steps()[2];
+  EXPECT_NEAR(read.alpha / write.alpha, 3.0, 1e-9);
+
+  // The predictor over the refit DAG now reproduces the observations.
+  const ExecTimePredictor predictor(dag);
+  EXPECT_NEAR(predictor.stage_time(0, 2, nothing_colocated()), 12.0 / 2 + 1.5, 1e-6);
+  EXPECT_NEAR(predictor.stage_time(0, 4, nothing_colocated()), 12.0 / 4 + 1.5, 1e-6);
+
+  // Agg keeps its (empty) hand-seeded step list.
+  EXPECT_TRUE(dag.stage(1).steps().empty());
+}
+
+TEST(RefitTest, SingleDopHistoryPinsAtTheOperatingPoint) {
+  JobDag dag = two_stage_dag();
+  dag.stage(0).add_step({StepKind::kCompute, kNoStage, 50.0, 50.0, false});
+
+  obs::StageProfileStore store;
+  const std::uint64_t fp = 0x99;
+  for (int i = 0; i < 5; ++i) store.record(fp, 0, 3, task_sample(2.0, 0.0));
+
+  const auto report = refit_from_profiles(store, fp, dag);
+  ASSERT_TRUE(report.ok());
+  const StageRefit& refit = report->stages[0];
+  EXPECT_TRUE(refit.pinned);
+  EXPECT_EQ(refit.distinct_dops, 1u);
+  EXPECT_NEAR(refit.total.alpha, 0.0, 1e-12);
+  EXPECT_NEAR(refit.total.beta, 2.0, 1e-9);
+  // Exact at the operating DoP regardless of d (conservative pin).
+  const ExecTimePredictor predictor(dag);
+  EXPECT_NEAR(predictor.stage_time(0, 3, nothing_colocated()), 2.0, 1e-6);
+}
+
+TEST(RefitTest, SourceStageWithNoTransportStepsGrowsOne) {
+  JobDag dag = two_stage_dag();
+  dag.stage(0).add_step({StepKind::kCompute, kNoStage, 1.0, 0.0, false});
+  obs::StageProfileStore store;
+  store.record(0x1, 0, 2, task_sample(1.0, 0.8));
+  store.record(0x1, 0, 4, task_sample(0.5, 0.4));
+  ASSERT_TRUE(refit_from_profiles(store, 0x1, dag).ok());
+  // The transport component had no step to land on; a fresh compute
+  // step carries it so the stage total still matches observations.
+  EXPECT_EQ(dag.stage(0).steps().size(), 2u);
+}
+
+TEST(RefitTest, UnknownFingerprintIsNotFound) {
+  JobDag dag = two_stage_dag();
+  obs::StageProfileStore store;
+  const auto r = refit_from_profiles(store, 0xdead, dag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+
+  // Profiles that reference only out-of-range stages are also an error.
+  store.record(0xdead, 57, 2, task_sample(1.0, 0.0));
+  const auto r2 = refit_from_profiles(store, 0xdead, dag);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ditto

@@ -16,6 +16,17 @@
 // simulator comparison, and the experiment behind the claim that
 // elastic admission (inter-job policy co-designed with intra-job DoP
 // elasticity) beats the batch baseline.
+//
+// Part 3 (overload protection): a 2x overload burst — twice as many
+// jobs as the bounded admission queue plus the running slot can hold —
+// split between the latency and batch SLO tiers. The service must shed
+// ONLY batch-tier jobs and keep latency-tier p99 queueing bounded by
+// the queue depth times the slowest single-job service time.
+// Regression exit code if either property fails.
+#include <algorithm>
+#include <cmath>
+#include <map>
+
 #include "bench_common.h"
 #include "service/engine_jobs.h"
 #include "service/job_service.h"
@@ -98,6 +109,117 @@ service::ServiceSummary run_live(service::AdmissionPolicy policy) {
   return svc.summary();
 }
 
+/// Part 3: 2x overload burst against a bounded queue, latency vs batch
+/// tiers. Returns false on regression (latency shed, no batch shed, or
+/// unbounded latency queueing).
+bool run_overload() {
+  const auto& external = storage::s3_model();
+  workload::EngineQuerySpec spec;
+  spec.fact_rows = 20000;
+  spec.num_orders = 4000;
+  spec.seed = 29;
+
+  constexpr std::size_t kQueueDepth = 4;
+  // Capacity of the instantaneous burst = 1 running + kQueueDepth
+  // queued; submit twice that.
+  constexpr std::size_t kJobs = 2 * (kQueueDepth + 1) + 6;
+
+  auto cl = cluster::Cluster::uniform(4, 8);
+  storage::MemStore store(external, "s3");
+  store.set_real_delay_scale(1.0);
+  service::ServiceOptions options;
+  options.admission.policy = service::AdmissionPolicy::kFifoExclusive;
+  options.external = external;
+  options.max_queue_depth = kQueueDepth;
+  service::JobService svc(cl, store, options);
+
+  const auto& names = service::engine_query_names();
+  std::map<std::string, std::size_t> rejected;  // tier -> fast-rejects
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    auto job = service::make_engine_query_job(names[i % names.size()], spec, external);
+    if (!job.ok()) {
+      std::fprintf(stderr, "job build failed: %s\n", job.status().to_string().c_str());
+      return false;
+    }
+    // Batch first in every pair, so the queue holds batch work for
+    // latency arrivals to displace.
+    job->submission.tier = i % 2 == 1 ? "latency" : "batch";
+    job->submission.label =
+        std::string(names[i % names.size()]) + "-" + job->submission.tier + std::to_string(i);
+    job->submission.objective = Objective::kCost;
+    const auto id = svc.submit(job->submission);
+    if (!id.ok()) {
+      ++rejected[job->submission.tier];
+    } else {
+      ++accepted;
+    }
+  }
+
+  struct TierStats {
+    std::size_t done = 0, shed = 0, failed = 0;
+    std::vector<double> queueing;
+  };
+  std::map<std::string, TierStats> tiers;
+  double max_service_time = 0.0;
+  for (const auto& outcome : svc.drain()) {
+    TierStats& ts = tiers[outcome.tier];
+    if (outcome.state == service::JobState::kDone) {
+      ++ts.done;
+      ts.queueing.push_back(outcome.queueing());
+      max_service_time = std::max(max_service_time, outcome.finished - outcome.started);
+    } else if (outcome.error.code() == StatusCode::kResourceExhausted) {
+      ++ts.shed;
+    } else {
+      ++ts.failed;
+    }
+  }
+
+  const auto p99 = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t idx =
+        std::min(v.size() - 1, static_cast<std::size_t>(std::ceil(0.99 * v.size())) - 1);
+    return v[idx];
+  };
+
+  std::printf("  burst: %zu jobs (queue depth %zu), %zu accepted\n", kJobs, kQueueDepth,
+              accepted);
+  std::printf("  %-8s %6s %6s %9s %9s %14s\n", "tier", "done", "shed", "rejected", "failed",
+              "p99_queue(s)");
+  for (const auto& [tier, ts] : tiers) {
+    std::printf("  %-8s %6zu %6zu %9zu %9zu %14.3f\n", tier.c_str(), ts.done, ts.shed,
+                rejected[tier], ts.failed, p99(ts.queueing));
+  }
+
+  const TierStats& latency = tiers["latency"];
+  const TierStats& batch = tiers["batch"];
+  const double latency_bound = 1.5 * static_cast<double>(kQueueDepth + 1) * max_service_time;
+  std::printf("  latency p99 bound: %.3f s (%.1fx slowest service time %.3f s)\n",
+              latency_bound, 1.5 * (kQueueDepth + 1), max_service_time);
+
+  bool ok = true;
+  if (latency.shed != 0) {
+    std::fprintf(stderr, "REGRESSION: %zu latency-tier job(s) shed\n", latency.shed);
+    ok = false;
+  }
+  if (batch.shed == 0) {
+    std::fprintf(stderr, "REGRESSION: overload did not shed any batch-tier job\n");
+    ok = false;
+  }
+  if (latency.failed + batch.failed != 0) {
+    std::fprintf(stderr, "REGRESSION: %zu job(s) failed outside shedding\n",
+                 latency.failed + batch.failed);
+    ok = false;
+  }
+  if (p99(latency.queueing) > latency_bound) {
+    std::fprintf(stderr, "REGRESSION: latency-tier p99 queueing %.3f s above bound %.3f s\n",
+                 p99(latency.queueing), latency_bound);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -147,5 +269,8 @@ int main() {
     std::fprintf(stderr, "REGRESSION: elastic did not beat fifo-exclusive\n");
     return 1;
   }
+
+  print_header("Overload protection: 2x burst, latency vs batch tiers (bounded queue)");
+  if (!run_overload()) return 1;
   return 0;
 }

@@ -24,23 +24,38 @@
 //
 //   dittoctl serve [servespec-file] [--cluster NxS[@dist]]
 //                  [--policy fifo|fair|elastic] [--fair-slots N]
+//                  [--state DIR] [--recover] [--best-effort] [--breaker]
 //
 // Reads a serve spec (see service/serve_spec.h: one `job` line per
-// tenant with arrival offset, objective, optional deadline and
-// per-job faults), runs every job concurrently through the real
+// tenant with arrival offset, objective, optional deadline, SLO tier
+// and per-job faults), runs every job concurrently through the real
 // MiniEngine under the chosen inter-job admission policy, and prints
 // per-job outcome rows (queueing delay, JCT, slots, status) plus the
 // service summary. With no spec file it runs a built-in 3-tenant demo.
+//
+// Resilience:
+//   * --state DIR backs exchanges, the job journal, and completed sink
+//     bytes with a FileStore rooted at DIR, so a SIGKILL'd serve can be
+//     restarted with --recover: completed jobs are skipped, queued jobs
+//     re-enqueued, and interrupted jobs re-run under a fresh exchange
+//     epoch — recovered sinks land on the same keys, byte-identical.
+//   * --breaker routes the store through a circuit breaker that fails
+//     fast while the backend browns out.
+//   * serve exits non-zero when any job ends FAILED or is rejected at
+//     admission; --best-effort restores exit 0 (outcomes still print).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <thread>
 
 #include "cluster/runtime_monitor.h"
+#include "exec/serde.h"
+#include "faults/circuit_breaker.h"
 #include "faults/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -51,8 +66,10 @@
 #include "service/http_endpoint.h"
 #include "service/job_service.h"
 #include "service/serve_spec.h"
+#include "service/journal.h"
 #include "sim/sim_runner.h"
 #include "sim/trace_export.h"
+#include "storage/file_store.h"
 #include "storage/sim_store.h"
 #include "workload/jobspec.h"
 #include "workload/physics.h"
@@ -87,7 +104,8 @@ int usage() {
                "[--report FILE] [--metrics] [--faults SPEC] [--fault-seed N]\n"
                "       dittoctl serve [servespec-file] [--cluster NxS[@dist]] "
                "[--policy fifo|fair|elastic] [--fair-slots N] "
-               "[--http-port N] [--linger SECS]\n");
+               "[--http-port N] [--linger SECS] "
+               "[--state DIR] [--recover] [--best-effort] [--breaker]\n");
   return 2;
 }
 
@@ -100,6 +118,10 @@ int run_serve(int argc, char** argv) {
   int fair_slots_override = 0;
   int http_port = -1;  ///< < 0 = no endpoint; 0 = ephemeral
   double linger = 0.0;
+  std::string state_dir;
+  bool recover = false;
+  bool best_effort = false;
+  bool use_breaker = false;
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
@@ -112,6 +134,14 @@ int run_serve(int argc, char** argv) {
       http_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
       linger = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--state") == 0 && i + 1 < argc) {
+      state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--best-effort") == 0) {
+      best_effort = true;
+    } else if (std::strcmp(argv[i], "--breaker") == 0) {
+      use_breaker = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -144,11 +174,110 @@ int run_serve(int argc, char** argv) {
     return 1;
   }
 
+  if (recover && state_dir.empty()) {
+    std::fprintf(stderr, "--recover requires --state DIR\n");
+    return usage();
+  }
+
+  // Enable metrics before anything registers gauges at construction
+  // (the circuit breaker does), so a /metrics scrape sees them even
+  // before the first state transition.
+  if (http_port >= 0) obs::set_observability_enabled(true);
+
   const storage::StorageModel external = storage::redis_model();
-  auto store = storage::make_instant_store();
+  std::unique_ptr<storage::ObjectStore> owned_store;
+  if (state_dir.empty()) {
+    owned_store = storage::make_instant_store();
+  } else {
+    owned_store = std::make_unique<storage::FileStore>(state_dir);
+  }
+  faults::CircuitBreaker breaker;
+  std::unique_ptr<faults::BreakerStore> breaker_store;
+  storage::ObjectStore* store = owned_store.get();
+  if (use_breaker) {
+    breaker_store = std::make_unique<faults::BreakerStore>(*owned_store, breaker);
+    store = breaker_store.get();
+  }
+
+  // The durable journal (with --state) and, with --recover, the plan it
+  // dictates: skip completed jobs, resubmit queued ones, re-run
+  // interrupted ones under a fresh exchange epoch.
+  const std::string journal_key = "journal/serve.log";
+  std::unique_ptr<service::JobJournal> journal;
+  struct ServeEntry {
+    service::ServeJobSpec js;
+    std::uint64_t jid = 0;
+    int epoch = 0;
+  };
+  std::vector<ServeEntry> entries;
+  if (!state_dir.empty()) {
+    auto records = service::JobJournal::replay(*store, journal_key);
+    if (!records.ok()) {
+      std::fprintf(stderr, "journal error: %s\n", records.status().to_string().c_str());
+      return 1;
+    }
+    journal = std::make_unique<service::JobJournal>(*store, journal_key);
+    const Status opened = journal->open();
+    if (!opened.is_ok()) {
+      std::fprintf(stderr, "journal error: %s\n", opened.to_string().c_str());
+      return 1;
+    }
+    if (recover) {
+      const service::RecoveryPlan plan = service::build_recovery(*records);
+      std::printf("recovery: %zu journaled jobs — %zu completed (skipped), "
+                  "%zu resubmitted, %zu re-run under a fresh epoch\n",
+                  plan.jobs.size(), plan.completed, plan.to_resubmit, plan.to_rerun);
+      // Journaled jobs first, by jid: skip completed ones, re-enqueue
+      // the rest with their durable identity (jid, next epoch).
+      std::multiset<std::string> journaled_lines;
+      for (const service::RecoveredJob& rj : plan.jobs) {
+        journaled_lines.insert(rj.payload);
+        if (rj.disposition == service::RecoveredJob::Disposition::kSkip) continue;
+        auto rspec = service::parse_serve_spec(rj.payload);
+        if (!rspec.ok() || rspec->jobs.size() != 1) {
+          std::fprintf(stderr, "recovery: jid %llu payload unparsable: %s\n",
+                       static_cast<unsigned long long>(rj.jid),
+                       rspec.ok() ? "not a single job line"
+                                  : rspec.status().to_string().c_str());
+          return 1;
+        }
+        ServeEntry entry;
+        entry.js = std::move(rspec->jobs[0]);
+        entry.js.arrival = 0.0;  // recovered work runs immediately
+        entry.jid = rj.jid;
+        entry.epoch = rj.next_epoch;
+        entries.push_back(std::move(entry));
+      }
+      // Spec jobs the crashed run never got to journal (the client died
+      // before submitting them) are submitted fresh — matched to the
+      // journal by payload line so nothing runs twice or gets lost.
+      for (service::ServeJobSpec& js : spec->jobs) {
+        const auto seen = journaled_lines.find(js.line);
+        if (seen != journaled_lines.end()) {
+          journaled_lines.erase(seen);
+          continue;
+        }
+        ServeEntry entry;
+        entry.js = std::move(js);
+        entries.push_back(std::move(entry));
+      }
+    }
+  }
+  if (!recover) {
+    for (service::ServeJobSpec& js : spec->jobs) {
+      ServeEntry entry;
+      entry.js = std::move(js);
+      entries.push_back(std::move(entry));
+    }
+  }
+
   service::ServiceOptions options;
   options.admission = spec->admission;
   options.external = external;
+  options.max_queue_depth = spec->max_queue_depth;
+  options.reject_infeasible = spec->reject_infeasible;
+  options.journal = journal.get();
+  options.persist_sinks = !state_dir.empty();
   service::JobService svc(*cl, *store, options);
 
   // Live endpoints: enable metrics collection (bounding the trace ring
@@ -172,24 +301,26 @@ int run_serve(int argc, char** argv) {
 
   std::printf("cluster: %s (%d slots)  policy: %s  jobs: %zu\n\n", cluster_spec.c_str(),
               cl->total_slots(), service::admission_policy_name(spec->admission.policy),
-              spec->jobs.size());
+              entries.size());
 
   // Submit in arrival order, sleeping out the offsets so admission sees
   // a moving free-slot view (like real tenant traffic would produce).
-  std::vector<std::size_t> order(spec->jobs.size());
+  std::vector<std::size_t> order(entries.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return spec->jobs[a].arrival < spec->jobs[b].arrival;
+    return entries[a].js.arrival < entries[b].js.arrival;
   });
 
   struct Submitted {
-    std::size_t spec_index;
+    std::size_t entry_index;
     service::JobId id;
   };
   std::vector<Submitted> submitted;
+  std::size_t rejected = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (const std::size_t idx : order) {
-    const service::ServeJobSpec& js = spec->jobs[idx];
+    const ServeEntry& entry = entries[idx];
+    const service::ServeJobSpec& js = entry.js;
     const auto target = t0 + std::chrono::duration<double>(js.arrival);
     std::this_thread::sleep_until(target);
 
@@ -203,33 +334,50 @@ int run_serve(int argc, char** argv) {
     job->submission.objective = js.objective;
     job->submission.deadline = js.deadline;
     job->submission.faults = js.faults;
+    job->submission.tier = js.tier;
+    job->submission.job_attempts = 1 + js.retries;
+    if (journal != nullptr) job->submission.spec_line = js.line;
+    job->submission.jid = entry.jid;
+    job->submission.epoch = entry.epoch;
     auto id = svc.submit(job->submission);
     if (!id.ok()) {
+      // Bounded-queue fast-rejects (and journal-append failures) turn
+      // away one job, not the whole serve run.
       std::fprintf(stderr, "submit %s: %s\n", job->submission.label.c_str(),
                    id.status().to_string().c_str());
-      return 1;
+      ++rejected;
+      continue;
     }
     submitted.push_back({idx, *id});
   }
 
-  std::printf("%-12s %-5s %-10s %9s %9s %6s  %s\n", "label", "query", "state", "queue_s",
-              "jct_s", "slots", "error");
+  std::size_t failed = 0;
+  std::printf("%-12s %-5s %-8s %-10s %9s %9s %6s %4s  %s\n", "label", "query", "tier",
+              "state", "queue_s", "jct_s", "slots", "try", "error");
   for (const Submitted& s : submitted) {
     const auto outcome = svc.wait(s.id);
     if (!outcome.ok()) {
       std::fprintf(stderr, "wait failed: %s\n", outcome.status().to_string().c_str());
       return 1;
     }
-    const service::ServeJobSpec& js = spec->jobs[s.spec_index];
-    std::printf("%-12s %-5s %-10s %9.3f %9.3f %6d  %s\n", outcome->label.c_str(),
-                js.query.c_str(), service::job_state_name(outcome->state),
+    const service::ServeJobSpec& js = entries[s.entry_index].js;
+    std::printf("%-12s %-5s %-8s %-10s %9.3f %9.3f %6d %4d  %s\n", outcome->label.c_str(),
+                js.query.c_str(), outcome->tier.c_str(),
+                service::job_state_name(outcome->state),
                 outcome->state == service::JobState::kDone ? outcome->queueing() : 0.0,
                 outcome->state == service::JobState::kDone ? outcome->jct() : 0.0,
-                outcome->slots_granted,
+                outcome->slots_granted, outcome->attempts,
                 outcome->error.is_ok() ? "-" : outcome->error.to_string().c_str());
+    if (outcome->state == service::JobState::kFailed) ++failed;
   }
   svc.drain();
   std::printf("\n%s", svc.summary().to_text().c_str());
+  if (use_breaker) {
+    const faults::CircuitBreaker::Counters bc = breaker.counters();
+    std::printf("breaker: state %s, %zu trips, %zu fast-fails, %zu probes\n",
+                faults::breaker_state_name(breaker.state()), bc.trips, bc.fast_fails,
+                bc.probes);
+  }
   if (http != nullptr) {
     if (linger > 0.0) {
       std::printf("http: lingering %.1f s for scrapes\n", linger);
@@ -238,6 +386,10 @@ int run_serve(int argc, char** argv) {
     }
     std::printf("http: served %llu requests\n",
                 static_cast<unsigned long long>(http->requests_served()));
+  }
+  if ((failed > 0 || rejected > 0) && !best_effort) {
+    std::fprintf(stderr, "serve: %zu job(s) failed, %zu rejected\n", failed, rejected);
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,162 @@
+#include "faults/circuit_breaker.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ditto::faults {
+
+namespace {
+
+double state_gauge_value(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return 0.0;
+    case BreakerState::kHalfOpen: return 1.0;
+    case BreakerState::kOpen: return 2.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half-open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(Options options, std::string label)
+    : options_(std::move(options)), label_(std::move(label)) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.probes_to_close == 0) options_.probes_to_close = 1;
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    // Register the gauge at construction so a scrape sees the breaker
+    // even before the first transition.
+    mx.gauge("faults.breaker_state", {{"breaker", label_}})
+        .set(state_gauge_value(state_));
+  }
+}
+
+double CircuitBreaker::now_locked() const {
+  return options_.clock ? options_.clock() : fallback_clock_.elapsed_seconds();
+}
+
+void CircuitBreaker::transition_locked(BreakerState next) {
+  if (next == state_) return;
+  if (next == BreakerState::kOpen) {
+    ++counters_.trips;
+    opened_at_ = now_locked();
+  }
+  if (next == BreakerState::kHalfOpen) {
+    half_open_in_flight_ = 0;
+    half_open_successes_ = 0;
+  }
+  if (next == BreakerState::kClosed) window_.clear();
+  state_ = next;
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.gauge("faults.breaker_state", {{"breaker", label_}}).set(state_gauge_value(next));
+    if (next == BreakerState::kOpen) {
+      mx.counter("faults.breaker_trips", {{"breaker", label_}}).add();
+    }
+  }
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) tc.instant("breaker", breaker_state_name(next), tc.now_us(), -1, 0);
+}
+
+Status CircuitBreaker::admit() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kOpen) {
+    if (now_locked() - opened_at_ >= options_.cooldown) {
+      transition_locked(BreakerState::kHalfOpen);
+    } else {
+      ++counters_.fast_fails;
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) mx.counter("faults.breaker_fast_fail", {{"breaker", label_}}).add();
+      return Status::unavailable("circuit open (" + label_ + ")");
+    }
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    if (half_open_in_flight_ >= options_.probes_to_close) {
+      ++counters_.fast_fails;
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) mx.counter("faults.breaker_fast_fail", {{"breaker", label_}}).add();
+      return Status::unavailable("circuit half-open, probe quota spent (" + label_ + ")");
+    }
+    ++half_open_in_flight_;
+    ++counters_.probes;
+  }
+  return Status::ok();
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    ++half_open_successes_;
+    if (half_open_successes_ >= options_.probes_to_close) {
+      transition_locked(BreakerState::kClosed);
+    }
+    return;
+  }
+  window_.push_back(false);
+  while (window_.size() > options_.window) window_.pop_front();
+}
+
+void CircuitBreaker::on_failure(StatusCode code) {
+  if (code != StatusCode::kUnavailable) {
+    on_success();  // an application answer, not backend health
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The backend is still sick; go straight back to open.
+    transition_locked(BreakerState::kOpen);
+    return;
+  }
+  window_.push_back(true);
+  while (window_.size() > options_.window) window_.pop_front();
+  std::size_t failures = 0;
+  for (const bool f : window_) failures += f ? 1 : 0;
+  const double rate = static_cast<double>(failures) / static_cast<double>(window_.size());
+  if (failures >= options_.min_failures && rate >= options_.error_threshold) {
+    transition_locked(BreakerState::kOpen);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+Status BreakerStore::put(const std::string& key, std::string_view value) {
+  DITTO_RETURN_IF_ERROR(breaker_->admit());
+  const Status st = inner_->put(key, value);
+  if (st.is_ok()) {
+    breaker_->on_success();
+  } else {
+    breaker_->on_failure(st.code());
+  }
+  return st;
+}
+
+Result<std::string> BreakerStore::get(const std::string& key) const {
+  const Status gate = breaker_->admit();
+  if (!gate.is_ok()) return gate;
+  Result<std::string> r = inner_->get(key);
+  if (r.ok()) {
+    breaker_->on_success();
+  } else {
+    breaker_->on_failure(r.status().code());
+  }
+  return r;
+}
+
+}  // namespace ditto::faults

@@ -1,0 +1,135 @@
+// CircuitBreaker + BreakerStore: fail fast on a browning-out store.
+//
+// A store in a brownout (elevated error rate for a window — the S3
+// throttling / Redis failover shape) makes every dependent retry loop
+// pay its full backoff budget before failing. The breaker watches the
+// recent error rate and, once it trips, fails calls immediately
+// (UNAVAILABLE, no I/O, no sleep) until a cooldown elapses; it then
+// lets a limited number of probes through (half-open) and closes again
+// only when the probes succeed. Classic closed → open → half-open →
+// closed, per Nygard via the serverless platforms in PAPERS.md.
+//
+//            error rate over window >= threshold
+//   CLOSED ────────────────────────────────────────▶ OPEN
+//      ▲                                              │ cooldown
+//      │ probes succeed                               ▼
+//      └─────────────────────────────────────── HALF-OPEN
+//                       (a probe failure re-opens)
+//
+// Determinism for tests: the breaker never reads the wall clock
+// directly — it asks an injectable `clock` (seconds, monotonic), so a
+// test can drive open→half-open→closed transitions exactly.
+//
+// Only UNAVAILABLE counts as a failure (the transient class retry
+// loops chase); NOT_FOUND etc. are application answers, not backend
+// health.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/units.h"
+#include "storage/object_store.h"
+
+namespace ditto::faults {
+
+enum class BreakerState { kClosed, kHalfOpen, kOpen };
+const char* breaker_state_name(BreakerState s);
+
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Sliding window of most-recent call outcomes the error rate is
+    /// computed over.
+    std::size_t window = 16;
+    /// Trip when failures/window >= this rate (and >= min_failures).
+    double error_threshold = 0.5;
+    /// Never trip on fewer than this many failures in the window, so a
+    /// cold start with one error cannot open the breaker.
+    std::size_t min_failures = 4;
+    /// Seconds to stay open before allowing half-open probes.
+    Seconds cooldown = 0.25;
+    /// Successful probes required to close from half-open.
+    std::size_t probes_to_close = 2;
+    /// Clock in seconds (monotonic). Null = internal stopwatch.
+    std::function<double()> clock;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options(), "store") {}
+  explicit CircuitBreaker(Options options, std::string label = "store");
+
+  /// Gate a call. OK to proceed, or UNAVAILABLE ("circuit open") when
+  /// the breaker is open / half-open probe quota is spent. Callers MUST
+  /// follow a kOk admit with exactly one on_success()/on_failure().
+  Status admit();
+
+  void on_success();
+  /// `code` filters what counts: only kUnavailable marks backend
+  /// failure; other codes count as successes for breaker purposes.
+  void on_failure(StatusCode code);
+
+  BreakerState state() const;
+
+  struct Counters {
+    std::size_t trips = 0;       ///< closed/half-open -> open transitions
+    std::size_t fast_fails = 0;  ///< calls rejected without touching the store
+    std::size_t probes = 0;      ///< half-open calls admitted
+  };
+  Counters counters() const;
+
+ private:
+  void transition_locked(BreakerState next);
+  double now_locked() const;
+
+  Options options_;
+  std::string label_;
+  Stopwatch fallback_clock_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<bool> window_;  ///< true = failure, newest at back
+  double opened_at_ = 0.0;
+  std::size_t half_open_in_flight_ = 0;
+  std::size_t half_open_successes_ = 0;
+  Counters counters_;
+};
+
+/// ObjectStore decorator that routes put/get through a CircuitBreaker.
+/// While the breaker is open, calls fail UNAVAILABLE immediately —
+/// the inner store (and any injected FlakyStore latency under it) is
+/// never touched, which is the whole point under a brownout.
+class BreakerStore final : public storage::ObjectStore {
+ public:
+  /// Neither the inner store nor the breaker is owned.
+  BreakerStore(storage::ObjectStore& inner, CircuitBreaker& breaker)
+      : inner_(&inner), breaker_(&breaker),
+        kind_(std::string("breaker-") + inner.kind()) {}
+
+  const char* kind() const override { return kind_.c_str(); }
+  const storage::StorageModel& model() const override { return inner_->model(); }
+
+  Status put(const std::string& key, std::string_view value) override;
+  Result<std::string> get(const std::string& key) const override;
+
+  bool contains(const std::string& key) const override { return inner_->contains(key); }
+  Status remove(const std::string& key) override { return inner_->remove(key); }
+  std::vector<std::string> list(const std::string& prefix) const override {
+    return inner_->list(prefix);
+  }
+  Bytes used_bytes() const override { return inner_->used_bytes(); }
+  storage::StoreStats stats() const override { return inner_->stats(); }
+
+  CircuitBreaker& breaker() { return *breaker_; }
+
+ private:
+  storage::ObjectStore* inner_;
+  CircuitBreaker* breaker_;
+  const std::string kind_;
+};
+
+}  // namespace ditto::faults

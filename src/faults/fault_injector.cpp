@@ -47,7 +47,8 @@ std::string format_double(double v) {
 bool FaultSpec::any() const {
   return storage_error_prob > 0.0 || (storage_delay > 0.0 && storage_delay_prob > 0.0) ||
          crash_prob > 0.0 || !crash_tasks.empty() || hang_prob > 0.0 || !hang_tasks.empty() ||
-         server_loss != kNoServer;
+         server_loss != kNoServer || journal_error_prob > 0.0 ||
+         (brownout_duration > 0.0 && brownout_prob > 0.0);
 }
 
 std::string FaultSpec::to_string() const {
@@ -76,6 +77,13 @@ std::string FaultSpec::to_string() const {
   if (server_loss != kNoServer) {
     std::string part = "server_loss=" + std::to_string(server_loss);
     if (server_loss_wave != 1) part += "@" + std::to_string(server_loss_wave);
+    emit(part);
+  }
+  if (journal_error_prob > 0.0) emit("journal_error=" + format_double(journal_error_prob));
+  if (brownout_duration > 0.0 && brownout_prob > 0.0) {
+    std::string part =
+        "brownout=" + format_double(brownout_start) + ":" + format_double(brownout_duration);
+    if (brownout_prob < 1.0) part += "@" + format_double(brownout_prob);
     emit(part);
   }
   if (seed != 1) emit("seed=" + std::to_string(seed));
@@ -130,6 +138,17 @@ Result<FaultSpec> parse_fault_spec(const std::string& text) {
         const auto at = val.find('@');
         spec.server_loss = static_cast<ServerId>(std::stoul(val.substr(0, at)));
         if (at != std::string::npos) spec.server_loss_wave = std::stoi(val.substr(at + 1));
+      } else if (key == "journal_error") {
+        spec.journal_error_prob = std::stod(val);
+      } else if (key == "brownout") {
+        const auto colon = val.find(':');
+        if (colon == std::string::npos) {
+          return Status::invalid_argument("brownout needs START:DUR[@P]: " + item);
+        }
+        const auto at = val.find('@', colon + 1);
+        spec.brownout_start = std::stod(val.substr(0, colon));
+        spec.brownout_duration = std::stod(val.substr(colon + 1, at - colon - 1));
+        if (at != std::string::npos) spec.brownout_prob = std::stod(val.substr(at + 1));
       } else if (key == "seed") {
         spec.seed = std::stoull(val);
       } else {
@@ -143,8 +162,13 @@ Result<FaultSpec> parse_fault_spec(const std::string& text) {
     return Status::invalid_argument("storage_error prob must be in [0,1)");
   }
   if (spec.crash_prob < 0.0 || spec.crash_prob > 1.0 || spec.hang_prob < 0.0 ||
-      spec.hang_prob > 1.0 || spec.storage_delay_prob < 0.0 || spec.storage_delay_prob > 1.0) {
+      spec.hang_prob > 1.0 || spec.storage_delay_prob < 0.0 || spec.storage_delay_prob > 1.0 ||
+      spec.journal_error_prob < 0.0 || spec.journal_error_prob > 1.0 ||
+      spec.brownout_prob < 0.0 || spec.brownout_prob > 1.0) {
     return Status::invalid_argument("fault probabilities must be in [0,1]");
+  }
+  if (spec.brownout_start < 0.0 || spec.brownout_duration < 0.0) {
+    return Status::invalid_argument("brownout window must be >= 0");
   }
   return spec;
 }
@@ -192,6 +216,34 @@ Seconds FaultInjector::storage_delay(std::string_view op, std::string_view key) 
   }
   note_injection("storage_delay");
   return spec_.storage_delay;
+}
+
+bool FaultInjector::should_fail_brownout(std::string_view op, std::string_view key) {
+  if (spec_.brownout_prob <= 0.0) return false;
+  std::uint64_t h = hash_str(hash_combine(5, 0xb0), op);
+  h = hash_str(h, key);
+  h = hash_combine(h, site_seq(op, key));
+  if (spec_.brownout_prob < 1.0 && draw(h) >= spec_.brownout_prob) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.brownout_errors;
+  }
+  note_injection("brownout");
+  return true;
+}
+
+bool FaultInjector::should_fail_journal(std::string_view key) {
+  if (spec_.journal_error_prob <= 0.0) return false;
+  std::uint64_t h = hash_str(hash_combine(6, 0x17), "journal");
+  h = hash_str(h, key);
+  h = hash_combine(h, site_seq("journal", key));
+  if (draw(h) >= spec_.journal_error_prob) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.journal_errors;
+  }
+  note_injection("journal_error");
+  return true;
 }
 
 bool FaultInjector::should_crash(StageId s, TaskId t, int attempt) {

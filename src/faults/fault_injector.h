@@ -41,11 +41,20 @@ namespace ditto::faults {
 ///   hang=P:SECS                hang each task with prob P for SECS
 ///   hang=S:T:SECS              hang stage S task T for SECS
 ///   server_loss=V[@W]          lose server V before wave index W (default 1)
+///   journal_error=P            fail job-journal appends with prob P
+///   brownout=START:DUR[@P]     elevated storage error rate P (default 1)
+///                              during [START, START+DUR) seconds
 ///   seed=N                     deterministic seed (default 1)
 struct FaultSpec {
   double storage_error_prob = 0.0;
   double storage_delay_prob = 0.0;
   Seconds storage_delay = 0.0;
+  double journal_error_prob = 0.0;
+  /// Time-windowed brownout (exercised by FlakyStore, which owns the
+  /// clock; the injector only supplies the deterministic error draw).
+  Seconds brownout_start = 0.0;
+  Seconds brownout_duration = 0.0;
+  double brownout_prob = 1.0;
   double crash_prob = 0.0;
   std::vector<std::pair<StageId, TaskId>> crash_tasks;
   double hang_prob = 0.0;
@@ -71,9 +80,12 @@ struct FaultCounts {
   std::size_t task_crashes = 0;
   std::size_t task_hangs = 0;
   std::size_t servers_lost = 0;
+  std::size_t journal_errors = 0;
+  std::size_t brownout_errors = 0;
 
   std::size_t total() const {
-    return storage_errors + storage_delays + task_crashes + task_hangs + servers_lost;
+    return storage_errors + storage_delays + task_crashes + task_hangs + servers_lost +
+           journal_errors + brownout_errors;
   }
 };
 
@@ -90,6 +102,15 @@ class FaultInjector {
 
   /// Extra latency to add to the nth `op` on `key` (0 = none).
   Seconds storage_delay(std::string_view op, std::string_view key);
+
+  /// Brownout error draw for the nth `op` on `key` — the caller
+  /// (FlakyStore) decides whether the brownout window is active; this
+  /// only answers the deterministic coin at brownout_prob.
+  bool should_fail_brownout(std::string_view op, std::string_view key);
+
+  // --- journal plane (consulted by service::JobJournal) ----------------
+  /// Should the nth append to journal `key` fail with UNAVAILABLE?
+  bool should_fail_journal(std::string_view key);
 
   // --- task plane (consulted by MiniEngine / simulator) ----------------
   /// Crash this task attempt? Probabilistic crashes hit only attempt 0

@@ -5,10 +5,20 @@
 
 namespace ditto::faults {
 
+bool FlakyStore::in_brownout() const {
+  const FaultSpec& spec = injector_->spec();
+  if (spec.brownout_duration <= 0.0 || spec.brownout_prob <= 0.0) return false;
+  const double t = now();
+  return t >= spec.brownout_start && t < spec.brownout_start + spec.brownout_duration;
+}
+
 Status FlakyStore::inject(const char* op, const std::string& key) const {
   const Seconds extra = injector_->storage_delay(op, key);
   if (extra > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+  }
+  if (in_brownout() && injector_->should_fail_brownout(op, key)) {
+    return Status::unavailable(std::string("brownout storage error (") + op + " " + key + ")");
   }
   if (injector_->should_fail_storage(op, key)) {
     return Status::unavailable(std::string("injected storage error (") + op + " " + key + ")");

@@ -11,10 +11,20 @@
 // top. Total observed delay = modeled + injected — the two never scale
 // each other, so enabling fault injection does not change the modeled
 // S3-vs-Redis asymmetry.
+//
+// Brownout mode (FaultSpec `brownout=START:DUR[@P]`): during the
+// window [START, START+DUR) seconds of the store's clock, every op
+// additionally fails with probability P — the time-correlated error
+// burst a real S3 throttle or Redis failover produces, and the input
+// the circuit breaker's open → half-open → closed cycle needs. The
+// clock is injectable (set_clock) so tests drive the window
+// deterministically; it defaults to seconds since construction.
 #pragma once
 
+#include <functional>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "faults/fault_injector.h"
 #include "storage/object_store.h"
 
@@ -44,13 +54,24 @@ class FlakyStore final : public storage::ObjectStore {
 
   storage::ObjectStore& inner() { return *inner_; }
 
+  /// Clock (seconds, monotonic) the brownout window is evaluated
+  /// against. Default: seconds since this FlakyStore was constructed.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// True while the injector's brownout window covers `now()`.
+  bool in_brownout() const;
+
  private:
-  /// Applies injected delay, then decides injected failure.
+  /// Applies injected delay, then decides injected failure (brownout
+  /// window first, then the steady-state error rate).
   Status inject(const char* op, const std::string& key) const;
+  double now() const { return clock_ ? clock_() : birth_.elapsed_seconds(); }
 
   storage::ObjectStore* inner_;
   FaultInjector* injector_;
   const std::string kind_;
+  std::function<double()> clock_;
+  Stopwatch birth_;
 };
 
 }  // namespace ditto::faults

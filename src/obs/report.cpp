@@ -186,6 +186,13 @@ std::string ExecutionReport::to_text() const {
        << r.speculative_wins << " won, tasks_rerouted " << r.tasks_rerouted
        << ", producers_recovered " << r.producers_recovered << ", duplicate_publishes "
        << r.duplicate_publishes << "\n";
+    if (r.service_tier_active()) {
+      os << "  service: journal_errors " << r.journal_errors << ", brownout_errors "
+         << r.brownout_errors << ", job_retries " << r.job_retries << ", jobs_shed "
+         << r.jobs_shed << ", jobs_rejected " << r.jobs_rejected << ", jobs_recovered "
+         << r.jobs_recovered << ", breaker " << r.breaker_trips << " trips/"
+         << r.breaker_fast_fails << " fast-fails\n";
+    }
   }
 
   if (trace_events > 0) os << "\ntrace: " << trace_events << " events collected\n";
@@ -275,7 +282,14 @@ std::string ExecutionReport::to_json() const {
        << ",\"speculative_wins\":" << r.speculative_wins
        << ",\"tasks_rerouted\":" << r.tasks_rerouted
        << ",\"producers_recovered\":" << r.producers_recovered
-       << ",\"duplicate_publishes\":" << r.duplicate_publishes << "}";
+       << ",\"duplicate_publishes\":" << r.duplicate_publishes
+       << ",\"journal_errors\":" << r.journal_errors
+       << ",\"brownout_errors\":" << r.brownout_errors
+       << ",\"job_retries\":" << r.job_retries << ",\"jobs_shed\":" << r.jobs_shed
+       << ",\"jobs_rejected\":" << r.jobs_rejected
+       << ",\"jobs_recovered\":" << r.jobs_recovered
+       << ",\"breaker_trips\":" << r.breaker_trips
+       << ",\"breaker_fast_fails\":" << r.breaker_fast_fails << "}";
   }
   os << ",\"plan_text\":\"" << json_escape(plan_text) << "\"";
   if (!metrics_text.empty()) {

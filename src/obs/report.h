@@ -60,13 +60,30 @@ struct ResilienceSection {
   std::size_t tasks_rerouted = 0;
   std::size_t producers_recovered = 0;
   std::size_t duplicate_publishes = 0;
+  // Service-tier faults and responses (journal writes, brownouts,
+  // whole-job lifecycle): populated by serve-mode callers.
+  std::size_t journal_errors = 0;    ///< injected journal-append failures
+  std::size_t brownout_errors = 0;   ///< injected brownout-window errors
+  std::size_t job_retries = 0;       ///< whole-job re-admissions
+  std::size_t jobs_shed = 0;         ///< batch-tier jobs shed under overload
+  std::size_t jobs_rejected = 0;     ///< bounded-queue fast-rejects
+  std::size_t jobs_recovered = 0;    ///< jobs replayed from the journal
+  std::size_t breaker_trips = 0;     ///< circuit breaker closed/half -> open
+  std::size_t breaker_fast_fails = 0;  ///< calls rejected while open
 
   std::size_t injected_total() const {
-    return storage_errors + storage_delays + task_crashes + task_hangs + servers_lost;
+    return storage_errors + storage_delays + task_crashes + task_hangs + servers_lost +
+           journal_errors + brownout_errors;
   }
   std::size_t recovery_total() const {
     return task_retries + storage_retries + speculative_launched + speculative_wins +
-           tasks_rerouted + producers_recovered + duplicate_publishes;
+           tasks_rerouted + producers_recovered + duplicate_publishes + job_retries +
+           jobs_recovered;
+  }
+  bool service_tier_active() const {
+    return journal_errors + brownout_errors + job_retries + jobs_shed + jobs_rejected +
+               jobs_recovered + breaker_trips + breaker_fast_fails >
+           0;
   }
 };
 

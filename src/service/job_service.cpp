@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dag/dag_algorithms.h"
+#include "exec/serde.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scheduler/ditto_scheduler.h"
@@ -108,11 +109,40 @@ Result<JobId> JobService::submit(JobSubmission sub) {
                                     std::to_string(sub.model_dag.num_stages()) + " vs " +
                                     std::to_string(sub.dag.num_stages()) + " stages)");
   }
+  if (sub.tier != "latency" && sub.tier != "batch") {
+    return Status::invalid_argument("bad tier '" + sub.tier + "' (latency|batch)");
+  }
+  if (sub.job_attempts < 1) {
+    return Status::invalid_argument("job_attempts must be >= 1");
+  }
   JobId id = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (intake_closed_) {
       return Status::failed_precondition("job service is draining; intake closed");
+    }
+    if (options_.max_queue_depth > 0 && queue_.size() >= options_.max_queue_depth) {
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      // Overload: shed the newest queued batch-tier job to make room
+      // for a latency-tier arrival; otherwise fast-reject the arrival.
+      const auto victim =
+          sub.tier == "latency"
+              ? std::find_if(queue_.rbegin(), queue_.rend(),
+                             [&](JobId qid) { return jobs_.at(qid)->sub.tier != "latency"; })
+              : queue_.rend();
+      if (victim == queue_.rend()) {
+        if (mx.enabled()) mx.counter("service.rejected_jobs", {{"tier", sub.tier}}).add();
+        return Status::resource_exhausted(
+            "admission queue full (" + std::to_string(queue_.size()) + " jobs)");
+      }
+      JobRecord& shed = *jobs_.at(*victim);
+      queue_.erase(std::next(victim).base());
+      if (mx.enabled()) mx.counter("service.shed_jobs", {{"tier", shed.sub.tier}}).add();
+      finish_job_locked(shed, JobState::kFailed,
+                        Status::resource_exhausted("shed under overload (batch tier, queue "
+                                                   "full at depth " +
+                                                   std::to_string(options_.max_queue_depth) +
+                                                   ")"));
     }
     id = next_id_++;
     auto rec = std::make_unique<JobRecord>();
@@ -121,15 +151,48 @@ Result<JobId> JobService::submit(JobSubmission sub) {
     if (rec->sub.label.empty()) rec->sub.label = "job-" + std::to_string(id);
     rec->submitted = now();
     if (rec->sub.deadline > 0.0) rec->deadline_at = rec->submitted + rec->sub.deadline;
+    rec->epoch = rec->sub.epoch;
+    if (options_.journal != nullptr && !rec->sub.spec_line.empty()) {
+      auto jid = options_.journal->append_submit(rec->sub.spec_line, rec->sub.tier,
+                                                rec->sub.deadline, rec->sub.jid);
+      if (!jid.ok()) {
+        // A job the journal never saw would be lost by a crash — refuse
+        // to accept it on the quiet.
+        return Status::unavailable("journal SUBMIT append failed: " + jid.status().message());
+      }
+      rec->jid = *jid;
+    }
     if (first_submit_ < 0.0) {
       first_submit_ = rec->submitted;
       slot_seconds_at_first_submit_ = ledger_.slot_seconds();
     }
-    queue_.push_back(id);
+    const std::string tier = rec->sub.tier;
     jobs_.emplace(id, std::move(rec));
+    enqueue_locked(id, tier);
+    note_queue_locked();
   }
   dispatch_cv_.notify_all();
+  state_cv_.notify_all();  // a shed job may have just turned terminal
   return id;
+}
+
+void JobService::enqueue_locked(JobId id, const std::string& tier) {
+  if (tier == "latency") {
+    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](JobId qid) {
+      return jobs_.at(qid)->sub.tier != "latency";
+    });
+    queue_.insert(it, id);
+  } else {
+    queue_.push_back(id);
+  }
+}
+
+void JobService::note_queue_locked() {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (!mx.enabled()) return;
+  mx.gauge("service.queue_depth",
+           {{"policy", admission_policy_name(options_.admission.policy)}})
+      .set(static_cast<double>(queue_.size()));
 }
 
 Status JobService::cancel(JobId id) {
@@ -146,6 +209,7 @@ Status JobService::cancel(JobId id) {
   }
   if (rec.state == JobState::kQueued) {
     queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    note_queue_locked();
     finish_job_locked(rec, JobState::kCancelled, Status::cancelled("cancelled while queued"));
     lk.unlock();
     state_cv_.notify_all();
@@ -242,22 +306,37 @@ void JobService::dispatcher_loop() {
       break;
     }
 
-    // Sleep until woken (submit / completion / cancel / stop) or the
-    // earliest pending deadline, whichever comes first.
+    // Sleep until woken (submit / completion / cancel / stop), the
+    // earliest pending deadline, or the earliest retry-backoff gate,
+    // whichever comes first.
     double next_deadline = 0.0;
     for (const auto& [id, rec] : jobs_) {
       if (is_terminal(rec->state) || rec->deadline_at <= 0.0) continue;
-      if (rec->state == JobState::kRunning && rec->cancel_token.load()) continue;
+      // Once the cancel token is set there is nothing left for the
+      // dispatcher to do about this deadline — the runner observes the
+      // token and notifies on completion. This covers kAdmitted too: a
+      // deadline can expire in the window after admission but before
+      // the runner thread takes mu_ and flips the state to kRunning.
+      if (rec->cancel_token.load()) continue;
       if (next_deadline <= 0.0 || rec->deadline_at < next_deadline) {
         next_deadline = rec->deadline_at;
       }
     }
-    if (next_deadline > 0.0) {
-      const double wait = next_deadline - now();
-      if (wait > 0.0) {
-        dispatch_cv_.wait_for(lk, std::chrono::duration<double>(wait));
+    const double t_gate = now();
+    for (const JobId qid : queue_) {
+      const double gate = jobs_.at(qid)->earliest_admit;
+      if (gate > t_gate && (next_deadline <= 0.0 || gate < next_deadline)) {
+        next_deadline = gate;
       }
-      // else: loop immediately to expire it.
+    }
+    if (next_deadline > 0.0) {
+      // Clamp below by 1 ms: even if some non-terminal job's deadline
+      // is already past (it will be expired or cancelled on the next
+      // pass), the dispatcher must release mu_ before looping so runner
+      // threads blocked on it can make progress — re-looping while
+      // holding the lock live-locks the whole service.
+      const double wait = std::max(1e-3, next_deadline - now());
+      dispatch_cv_.wait_for(lk, std::chrono::duration<double>(wait));
     } else {
       dispatch_cv_.wait(lk);
     }
@@ -271,6 +350,7 @@ void JobService::expire_deadlines_locked() {
     JobRecord& rec = *jobs_.at(*it);
     if (rec.deadline_at > 0.0 && t >= rec.deadline_at) {
       it = queue_.erase(it);
+      note_queue_locked();
       finish_job_locked(rec, JobState::kFailed,
                         Status::deadline_exceeded("deadline expired after " +
                                                   std::to_string(rec.sub.deadline) +
@@ -296,7 +376,15 @@ void JobService::expire_deadlines_locked() {
 
 bool JobService::try_admit_head_locked() {
   if (queue_.empty()) return false;
-  JobRecord& rec = *jobs_.at(queue_.front());
+  // The effective head is the first job whose retry-backoff gate has
+  // passed; jobs still backing off are overtaken, everything else
+  // stays strict FIFO (no fit-based overtaking).
+  const double t = now();
+  const auto head_it = std::find_if(queue_.begin(), queue_.end(), [&](JobId qid) {
+    return jobs_.at(qid)->earliest_admit <= t;
+  });
+  if (head_it == queue_.end()) return false;  // everyone is backing off
+  JobRecord& rec = *jobs_.at(*head_it);
 
   const std::vector<int> free = ledger_.free_snapshot();
   const int leased = ledger_.outstanding_total();
@@ -314,7 +402,8 @@ bool JobService::try_admit_head_locked() {
   auto plan = sched.schedule(rec.sub.model_dag, view, rec.sub.objective, options_.external);
   if (!plan.ok()) {
     if (maximal_offer) {
-      queue_.pop_front();
+      queue_.erase(head_it);
+      note_queue_locked();
       finish_job_locked(rec, JobState::kFailed,
                         Status::unavailable("job does not fit the cluster under policy " +
                                             std::string(admission_policy_name(
@@ -324,6 +413,23 @@ bool JobService::try_admit_head_locked() {
       return true;
     }
     return false;  // wait for completions to widen the offer
+  }
+
+  // Deadline infeasibility: the plan's own time model says this job
+  // cannot make its deadline — fail fast instead of running doomed.
+  if (options_.reject_infeasible && rec.deadline_at > 0.0 &&
+      plan->predicted.jct > rec.deadline_at - now()) {
+    if (maximal_offer) {
+      queue_.erase(head_it);
+      note_queue_locked();
+      std::ostringstream why;
+      why << "infeasible: predicted JCT " << plan->predicted.jct
+          << " s exceeds remaining deadline " << std::max(0.0, rec.deadline_at - now()) << " s";
+      finish_job_locked(rec, JobState::kFailed, Status::deadline_exceeded(why.str()));
+      state_cv_.notify_all();
+      return true;
+    }
+    return false;  // a wider offer after completions may still make it
   }
 
   const std::vector<int> demand =
@@ -346,7 +452,8 @@ bool JobService::try_admit_head_locked() {
         const Status released = lease->release();
         (void)released;
         if (maximal_offer) {
-          queue_.pop_front();
+          queue_.erase(head_it);
+          note_queue_locked();
           finish_job_locked(rec, JobState::kFailed, st);
           state_cv_.notify_all();
           return true;
@@ -361,7 +468,12 @@ bool JobService::try_admit_head_locked() {
   rec.plan = std::move(plan->placement);
   rec.state = JobState::kAdmitted;
   rec.admitted = now();
-  queue_.pop_front();
+  queue_.erase(head_it);
+  note_queue_locked();
+  if (options_.journal != nullptr && rec.jid != 0) {
+    const Status journaled = options_.journal->append_admit(rec.jid);
+    (void)journaled;  // best effort: a lost ADMIT only re-plans on recovery
+  }
   ++running_jobs_;
   rec.runner = std::thread(&JobService::run_job, this, &rec);
   state_cv_.notify_all();
@@ -377,8 +489,19 @@ void JobService::run_job(JobRecord* rec) {
     rec->started = now();
     opts.resilience = rec->sub.resilience;
     opts.pools = &pools_;
-    opts.exchange_prefix = "job-" + std::to_string(rec->id) + "/" + rec->sub.dag.name();
+    // Exchange keys are namespaced by the job's durable identity (jid
+    // when journaled, else the in-memory id) and, past epoch 0, by the
+    // run epoch — so a crash re-run or job retry never reads the dead
+    // attempt's partial publishes. Epoch 0 keeps the legacy prefix.
+    const std::uint64_t eid = rec->jid != 0 ? rec->jid : rec->id;
+    std::string prefix = "job-" + std::to_string(eid);
+    if (rec->epoch > 0) prefix += "e" + std::to_string(rec->epoch);
+    opts.exchange_prefix = prefix + "/" + rec->sub.dag.name();
     opts.cancel = &rec->cancel_token;
+    if (options_.journal != nullptr && rec->jid != 0) {
+      const Status journaled = options_.journal->append_start(rec->jid, rec->epoch);
+      (void)journaled;  // best effort: a lost START degrades to resubmit
+    }
     if (options_.profiling) {
       opts.profiles = &profiles_;
       opts.plan_fingerprint = structural_fingerprint(rec->sub.model_dag);
@@ -402,8 +525,27 @@ void JobService::run_job(JobRecord* rec) {
   exec::MiniEngine engine(rec->sub.dag, rec->plan, *store, opts);
   auto result = engine.run(rec->sub.bindings);
 
+  // Durable answers: persist sink bytes before the FINISH transition is
+  // journaled, so "journal says DONE" implies the bytes survived. Done
+  // outside mu_ — serialization and the put can be slow.
+  Status persist_st = Status::ok();
+  if (result.ok() && options_.persist_sinks) {
+    for (const auto& [stage, table] : result->sink_outputs) {
+      const shm::Buffer bytes = exec::serialize_table(table);
+      persist_st = store_->put(
+          options_.sink_prefix + "/" + rec->sub.label + "/stage-" + std::to_string(stage),
+          bytes.view());
+      if (!persist_st.is_ok()) break;
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (result.ok() && !persist_st.is_ok()) {
+      // Completing with volatile results would break recovery's
+      // contract; fail (retriably, if UNAVAILABLE) instead.
+      result = persist_st;
+    }
     if (result.ok()) {
       rec->sinks = std::move(result->sink_outputs);
       rec->stats = result->stats;
@@ -415,6 +557,28 @@ void JobService::run_job(JobRecord* rec) {
                                     ? JobState::kFailed
                                     : JobState::kCancelled;
       finish_job_locked(*rec, terminal, why);
+    } else if (faults::RetryPolicy::retriable(result.status().code()) &&
+               rec->attempt < rec->sub.job_attempts &&
+               !rec->cancel_token.load(std::memory_order_acquire)) {
+      // Whole-job retry: release everything, go back through admission
+      // after a capped jittered backoff, re-run under a fresh epoch.
+      release_resources_locked(*rec);
+      --running_jobs_;
+      const Seconds wait =
+          rec->sub.job_backoff.backoff(rec->attempt, faults::site_salt(rec->sub.label.c_str()));
+      rec->earliest_admit = now() + wait;
+      ++rec->attempt;
+      ++rec->epoch;
+      rec->state = JobState::kQueued;
+      rec->error = Status::ok();
+      rec->sinks.clear();
+      rec->stats = exec::EngineStats{};
+      enqueue_locked(rec->id, rec->sub.tier);
+      note_queue_locked();
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) {
+        mx.counter("service.job_retries", {{"tier", rec->sub.tier}}).add();
+      }
     } else {
       finish_job_locked(*rec, JobState::kFailed, result.status());
     }
@@ -440,6 +604,11 @@ void JobService::finish_job_locked(JobRecord& rec, JobState state, Status error)
   if (was_active) --running_jobs_;
   last_finish_ = std::max(last_finish_, rec.finished);
   slot_seconds_at_last_finish_ = ledger_.slot_seconds();
+  if (options_.journal != nullptr && rec.jid != 0) {
+    const Status journaled = options_.journal->append_finish(
+        rec.jid, job_state_name(rec.state), rec.error.message());
+    (void)journaled;  // best effort: a lost FINISH costs one safe re-run
+  }
   observe_terminal_locked(rec);
 }
 
@@ -522,6 +691,10 @@ JobOutcome JobService::outcome_of_locked(const JobRecord& rec) const {
   out.plan = rec.plan;
   out.sink_outputs = rec.sinks;
   out.stats = rec.stats;
+  out.tier = rec.sub.tier;
+  out.attempts = rec.attempt;
+  out.epoch = rec.epoch;
+  out.jid = rec.jid;
   return out;
 }
 

@@ -55,6 +55,7 @@
 #include "faults/retry_policy.h"
 #include "obs/profile_store.h"
 #include "service/admission.h"
+#include "service/journal.h"
 #include "storage/object_store.h"
 
 namespace ditto::service {
@@ -91,6 +92,27 @@ struct JobSubmission {
   faults::FaultSpec faults;
   faults::ResiliencePolicy resilience;
 
+  /// SLO tier: "latency" jobs are enqueued ahead of "batch" jobs and
+  /// survive load shedding; "batch" (the default) is shed first when
+  /// the bounded admission queue overflows.
+  std::string tier = "batch";
+
+  /// Whole-job attempts on retriable (UNAVAILABLE) engine failure.
+  /// 1 = no job-level retry. A retried job goes back through the
+  /// admission queue after job_backoff's capped, jittered delay and
+  /// re-runs under a fresh exchange epoch.
+  int job_attempts = 1;
+  faults::RetryPolicy job_backoff;
+
+  /// Journal identity. `spec_line` is the serve-spec `job` line that
+  /// re-creates this submission — it becomes the journaled SUBMIT
+  /// payload (empty = this job is not journaled). `jid` pre-assigns the
+  /// journal id (recovery resubmits; 0 = the journal assigns). `epoch`
+  /// is the starting exchange epoch (recovered reruns pass next_epoch).
+  std::string spec_line;
+  std::uint64_t jid = 0;
+  int epoch = 0;
+
   /// Keeps source tables (captured by the bindings) alive for the
   /// job's lifetime.
   std::shared_ptr<const void> keepalive;
@@ -112,6 +134,11 @@ struct JobOutcome {
   cluster::PlacementPlan plan;  ///< what the job actually ran with
   std::map<StageId, exec::Table> sink_outputs;
   exec::EngineStats stats;
+
+  std::string tier;   ///< "latency" | "batch"
+  int attempts = 1;   ///< engine runs this job took (>1 = job retried)
+  int epoch = 0;      ///< exchange epoch of the final run
+  std::uint64_t jid = 0;  ///< journal id (0 = unjournaled)
 
   Seconds queueing() const { return started - submitted; }
   Seconds jct() const { return finished - submitted; }
@@ -149,6 +176,27 @@ struct ServiceOptions {
   /// accumulate history across service lifetimes.
   bool persist_profiles = false;
   std::string profile_prefix = "profiles";
+  /// Bounded admission queue: submissions beyond this depth are
+  /// fast-rejected RESOURCE_EXHAUSTED — except that a latency-tier
+  /// arrival sheds the newest queued batch-tier job instead of being
+  /// turned away. 0 = unbounded (the default).
+  std::size_t max_queue_depth = 0;
+  /// Reject a job at admission when the schedule plan's predicted JCT
+  /// already exceeds its remaining deadline (fail fast instead of
+  /// running doomed). Opt-in: model predictions are paper-scale
+  /// seconds, real engine runs are milliseconds.
+  bool reject_infeasible = false;
+  /// Write-ahead journal for job lifecycle transitions (not owned; may
+  /// be null). A failed SUBMIT append rejects the submission — losing
+  /// SUBMIT would lose the job; later transitions are best-effort.
+  JobJournal* journal = nullptr;
+  /// Persist each completed job's serialized sink tables to the shared
+  /// store under `<sink_prefix>/<label>/stage-<id>` BEFORE the FINISH
+  /// transition is journaled — so a journal that says DONE implies the
+  /// answer bytes are durable. A failed persist fails (or retries) the
+  /// job rather than completing it with volatile results.
+  bool persist_sinks = false;
+  std::string sink_prefix = "sinks";
 };
 
 class JobService {
@@ -213,6 +261,11 @@ class JobService {
     Seconds submitted = 0.0, admitted = 0.0, started = 0.0, finished = 0.0;
     double deadline_at = 0.0;  ///< absolute service clock; 0 = none
 
+    std::uint64_t jid = 0;        ///< journal id (0 = unjournaled)
+    int epoch = 0;                ///< exchange epoch of the current run
+    int attempt = 1;              ///< 1-based engine-run attempt
+    double earliest_admit = 0.0;  ///< retry backoff gate (service clock)
+
     cluster::SlotLease lease;
     std::vector<Bytes> arena_charge;  ///< per-server bytes reserved
     cluster::PlacementPlan plan;
@@ -230,9 +283,15 @@ class JobService {
   };
 
   void dispatcher_loop();
-  /// Tries to admit the queue head; returns true if it made progress
+  /// Tries to admit the effective queue head (the first job whose
+  /// retry-backoff gate has passed); returns true if it made progress
   /// (admitted or failed a job). Caller holds mu_.
   bool try_admit_head_locked();
+  /// Inserts into queue_ honoring tier priority: latency jobs go ahead
+  /// of every queued batch job, FIFO within a tier. Caller holds mu_.
+  void enqueue_locked(JobId id, const std::string& tier);
+  /// Publishes the queue-depth gauge. Caller holds mu_.
+  void note_queue_locked();
   void expire_deadlines_locked();
   void run_job(JobRecord* rec);
   void finish_job_locked(JobRecord& rec, JobState state, Status error);

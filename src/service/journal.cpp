@@ -1,0 +1,372 @@
+#include "service/journal.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace ditto::service {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'I', 'T', 'T', 'O', 'J', 'L', '1'};
+constexpr std::size_t kHeaderBytes = 8;  ///< u32 len + u32 crc per record
+
+/// CRC-32 (IEEE, reflected), table-driven — the integrity check that
+/// tells a mangled mid-record from a merely truncated tail.
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+std::uint32_t read_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string format_seconds(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<std::uint64_t> parse_u64(const std::string& what, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    return Status::invalid_argument("journal: bad " + what + " '" + text + "'");
+  }
+}
+
+/// One record as text. `payload=` (SUBMIT) and `error=` (FINISH) come
+/// last and consume the remainder, so they may contain spaces.
+std::string record_text(const JournalRecord& rec) {
+  std::ostringstream os;
+  os << journal_kind_name(rec.kind) << " jid=" << rec.jid;
+  switch (rec.kind) {
+    case JournalKind::kSubmit:
+      os << " tier=" << (rec.tier.empty() ? "batch" : rec.tier)
+         << " deadline=" << format_seconds(rec.deadline) << " payload=" << rec.payload;
+      break;
+    case JournalKind::kAdmit:
+      break;
+    case JournalKind::kStart:
+      os << " epoch=" << rec.epoch;
+      break;
+    case JournalKind::kFinish:
+      os << " state=" << rec.state << " error=" << rec.error;
+      break;
+  }
+  return os.str();
+}
+
+Result<JournalRecord> parse_record_text(const std::string& text) {
+  JournalRecord rec;
+  std::istringstream in(text);
+  std::string kind;
+  if (!(in >> kind)) return Status::invalid_argument("journal: empty record");
+  if (kind == "submit") {
+    rec.kind = JournalKind::kSubmit;
+  } else if (kind == "admit") {
+    rec.kind = JournalKind::kAdmit;
+  } else if (kind == "start") {
+    rec.kind = JournalKind::kStart;
+  } else if (kind == "finish") {
+    rec.kind = JournalKind::kFinish;
+  } else {
+    return Status::invalid_argument("journal: unknown record kind '" + kind + "'");
+  }
+
+  std::string token;
+  bool saw_jid = false;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::invalid_argument("journal: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "payload" || key == "error") {
+      // Consumes the remainder of the record verbatim.
+      std::string rest;
+      std::getline(in, rest);
+      value += rest;
+      (key == "payload" ? rec.payload : rec.error) = value;
+      continue;
+    }
+    if (key == "jid") {
+      DITTO_ASSIGN_OR_RETURN(rec.jid, parse_u64("jid", value));
+      saw_jid = true;
+    } else if (key == "tier") {
+      if (value != "latency" && value != "batch") {
+        return Status::invalid_argument("journal: bad tier '" + value + "'");
+      }
+      rec.tier = value;
+    } else if (key == "deadline") {
+      try {
+        std::size_t used = 0;
+        rec.deadline = std::stod(value, &used);
+        if (used != value.size() || !(rec.deadline >= 0.0)) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        return Status::invalid_argument("journal: bad deadline '" + value + "'");
+      }
+    } else if (key == "epoch") {
+      DITTO_ASSIGN_OR_RETURN(const std::uint64_t e, parse_u64("epoch", value));
+      rec.epoch = static_cast<int>(e);
+    } else if (key == "state") {
+      rec.state = value;
+    } else {
+      return Status::invalid_argument("journal: unknown field '" + key + "'");
+    }
+  }
+  if (!saw_jid || rec.jid == 0) return Status::invalid_argument("journal: record without jid");
+  if (rec.kind == JournalKind::kSubmit && rec.payload.empty()) {
+    return Status::invalid_argument("journal: submit record without payload");
+  }
+  if (rec.kind == JournalKind::kFinish && rec.state.empty()) {
+    return Status::invalid_argument("journal: finish record without state");
+  }
+  return rec;
+}
+
+void note_append(bool ok) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (!mx.enabled()) return;
+  mx.counter(ok ? "service.journal_appends" : "service.journal_append_failures").add();
+}
+
+}  // namespace
+
+const char* journal_kind_name(JournalKind k) {
+  switch (k) {
+    case JournalKind::kSubmit: return "submit";
+    case JournalKind::kAdmit: return "admit";
+    case JournalKind::kStart: return "start";
+    case JournalKind::kFinish: return "finish";
+  }
+  return "unknown";
+}
+
+std::string JobJournal::encode(const JournalRecord& rec) {
+  const std::string text = record_text(rec);
+  std::string out;
+  out.reserve(kHeaderBytes + text.size());
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  put_u32(out, crc32(text));
+  out += text;
+  return out;
+}
+
+Result<std::vector<JournalRecord>> JobJournal::parse(std::string_view bytes) {
+  std::vector<JournalRecord> records;
+  if (bytes.empty()) return records;
+  if (bytes.size() < sizeof(kMagic)) {
+    // Crash during the very first append, mid-magic: an empty journal.
+    return records;
+  }
+  if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::invalid_argument("journal: bad magic");
+  }
+  std::size_t at = sizeof(kMagic);
+  while (at < bytes.size()) {
+    if (bytes.size() - at < kHeaderBytes) break;  // torn header: truncated tail
+    const std::uint32_t len = read_u32(bytes, at);
+    const std::uint32_t crc = read_u32(bytes, at + 4);
+    if (bytes.size() - at - kHeaderBytes < len) break;  // torn payload: truncated tail
+    const std::string_view payload = bytes.substr(at + kHeaderBytes, len);
+    if (crc32(payload) != crc) {
+      return Status::invalid_argument("journal: CRC mismatch in record " +
+                                      std::to_string(records.size()));
+    }
+    auto rec = parse_record_text(std::string(payload));
+    if (!rec.ok()) {
+      return Status::invalid_argument("journal: record " + std::to_string(records.size()) +
+                                      ": " + rec.status().message());
+    }
+    records.push_back(std::move(*rec));
+    at += kHeaderBytes + len;
+  }
+  return records;
+}
+
+Result<std::vector<JournalRecord>> JobJournal::replay(const storage::ObjectStore& store,
+                                                      const std::string& key) {
+  auto bytes = store.get(key);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) return std::vector<JournalRecord>{};
+    return bytes.status();
+  }
+  auto parsed = parse(*bytes);
+  if (!parsed.ok()) {
+    return Status::invalid_argument("journal '" + key + "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+RecoveryPlan build_recovery(const std::vector<JournalRecord>& records) {
+  struct Fold {
+    RecoveredJob job;
+    bool started = false;
+    bool finished = false;
+    int last_epoch = 0;
+  };
+  std::map<std::uint64_t, Fold> by_jid;
+  for (const JournalRecord& rec : records) {
+    Fold& f = by_jid[rec.jid];
+    f.job.jid = rec.jid;
+    switch (rec.kind) {
+      case JournalKind::kSubmit:
+        f.job.payload = rec.payload;
+        f.job.tier = rec.tier;
+        f.job.deadline = rec.deadline;
+        break;
+      case JournalKind::kAdmit:
+        break;
+      case JournalKind::kStart:
+        f.started = true;
+        f.last_epoch = std::max(f.last_epoch, rec.epoch);
+        break;
+      case JournalKind::kFinish:
+        f.finished = true;
+        f.job.final_state = rec.state;
+        break;
+    }
+  }
+  RecoveryPlan plan;
+  for (auto& [jid, f] : by_jid) {
+    if (f.finished) {
+      f.job.disposition = RecoveredJob::Disposition::kSkip;
+      f.job.next_epoch = f.last_epoch;
+      ++plan.completed;
+    } else if (f.started) {
+      // Interrupted mid-run: the fresh epoch namespaces its exchange
+      // keys away from the dead attempt's partial publishes.
+      f.job.disposition = RecoveredJob::Disposition::kRerun;
+      f.job.next_epoch = f.last_epoch + 1;
+      ++plan.to_rerun;
+    } else {
+      f.job.disposition = RecoveredJob::Disposition::kResubmit;
+      f.job.next_epoch = f.last_epoch;
+      ++plan.to_resubmit;
+    }
+    plan.jobs.push_back(std::move(f.job));
+  }
+  return plan;
+}
+
+JobJournal::JobJournal(storage::ObjectStore& store, std::string key,
+                       faults::FaultInjector* injector)
+    : store_(&store), key_(std::move(key)), injector_(injector) {
+  retry_.max_attempts = 3;
+  retry_.initial_backoff = 1e-3;
+  retry_.max_backoff = 0.02;
+  retry_.budget = 0.5;
+}
+
+void JobJournal::set_retry_policy(faults::RetryPolicy policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  retry_ = policy;
+}
+
+Status JobJournal::open() {
+  DITTO_ASSIGN_OR_RETURN(const std::vector<JournalRecord> records, replay(*store_, key_));
+  std::lock_guard<std::mutex> lk(mu_);
+  // Rebuild the valid byte prefix from the replayed records (encode is
+  // canonical), dropping any torn tail the crash left behind.
+  log_.assign(kMagic, sizeof(kMagic));
+  for (const JournalRecord& rec : records) {
+    log_ += encode(rec);
+    next_jid_ = std::max(next_jid_, rec.jid + 1);
+  }
+  if (records.empty()) log_.clear();  // fresh journal: write magic on first append
+  return Status::ok();
+}
+
+Status JobJournal::append_locked(const JournalRecord& rec) {
+  std::string next = log_.empty() ? std::string(kMagic, sizeof(kMagic)) : log_;
+  next += encode(rec);
+  const Status st = faults::retry_status(retry_, "journal.append", [&] {
+    if (injector_ != nullptr && injector_->should_fail_journal(key_)) {
+      return Status::unavailable("injected journal-append failure (" + key_ + ")");
+    }
+    return store_->put(key_, next);
+  });
+  note_append(st.is_ok());
+  if (!st.is_ok()) return st;
+  log_ = std::move(next);
+  ++appended_;
+  return Status::ok();
+}
+
+Result<std::uint64_t> JobJournal::append_submit(const std::string& payload,
+                                                const std::string& tier, Seconds deadline,
+                                                std::uint64_t jid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  JournalRecord rec;
+  rec.kind = JournalKind::kSubmit;
+  rec.jid = jid != 0 ? jid : next_jid_;
+  rec.payload = payload;
+  rec.tier = tier;
+  rec.deadline = deadline;
+  DITTO_RETURN_IF_ERROR(append_locked(rec));
+  if (jid == 0) ++next_jid_;
+  next_jid_ = std::max(next_jid_, rec.jid + 1);
+  return rec.jid;
+}
+
+Status JobJournal::append_admit(std::uint64_t jid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  JournalRecord rec;
+  rec.kind = JournalKind::kAdmit;
+  rec.jid = jid;
+  return append_locked(rec);
+}
+
+Status JobJournal::append_start(std::uint64_t jid, int epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  JournalRecord rec;
+  rec.kind = JournalKind::kStart;
+  rec.jid = jid;
+  rec.epoch = epoch;
+  return append_locked(rec);
+}
+
+Status JobJournal::append_finish(std::uint64_t jid, const std::string& state,
+                                 const std::string& error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  JournalRecord rec;
+  rec.kind = JournalKind::kFinish;
+  rec.jid = jid;
+  rec.state = state;
+  rec.error = error;
+  return append_locked(rec);
+}
+
+std::size_t JobJournal::appended() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+}  // namespace ditto::service

@@ -1,0 +1,161 @@
+// JobJournal: durable write-ahead journal of job lifecycle transitions,
+// with crash-tolerant replay — the event-sourcing half of the service
+// tier's resilience story (Netherite's durable-journal pattern from
+// PAPERS.md, sized for this service).
+//
+// Every job the service accepts appends records through any
+// ObjectStore (a FileStore in production so the log survives SIGKILL):
+//
+//   SUBMIT  jid payload tier deadline    the re-runnable job description
+//                                        (a serve-spec `job` line)
+//   ADMIT   jid                          planned + slots leased
+//   START   jid epoch                    engine run began under `epoch`
+//   FINISH  jid state error              exactly-one terminal transition
+//
+// Wire format: an 8-byte magic ("DITTOJL1") then length-prefixed
+// records `[u32 len][u32 crc32][payload]` (little-endian). The log is
+// rewritten whole on each append (journals hold tens of jobs, not
+// millions), so a crash mid-put leaves a PREFIX of the intended bytes.
+// Replay's contract mirrors that failure model:
+//
+//   * a truncated tail (incomplete header or short payload) is the
+//     mid-append crash signature — tolerated: replay returns every
+//     complete record before it;
+//   * a mangled mid-record (bad magic, CRC mismatch, unparsable
+//     payload) is real corruption — INVALID_ARGUMENT, corpus-tested
+//     like the serde and profile-store parsers.
+//
+// Recovery: build_recovery() folds replayed records into one
+// disposition per jid — completed jobs are skipped, jobs that never
+// started are re-enqueued, and jobs caught RUNNING are re-run under a
+// FRESH exchange epoch (epoch = last started + 1; PR 2's idempotent,
+// epoch-namespaced exchange publishes make that re-execution
+// byte-safe). `dittoctl serve --recover` turns the plan back into
+// submissions.
+//
+// Appends are retried under a RetryPolicy; an exhausted SUBMIT append
+// is returned to the caller (losing a SUBMIT would lose the job),
+// while later transitions degrade to at-least-once semantics (a lost
+// FINISH merely causes one safe re-execution). Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "faults/fault_injector.h"
+#include "faults/retry_policy.h"
+#include "storage/object_store.h"
+
+namespace ditto::service {
+
+enum class JournalKind { kSubmit, kAdmit, kStart, kFinish };
+const char* journal_kind_name(JournalKind k);
+
+struct JournalRecord {
+  JournalKind kind = JournalKind::kSubmit;
+  std::uint64_t jid = 0;  ///< journal job id, stable across restarts
+
+  // SUBMIT only.
+  std::string payload;  ///< serve-spec `job` line that re-creates the job
+  std::string tier;     ///< "latency" | "batch"
+  Seconds deadline = 0.0;
+
+  // START only.
+  int epoch = 0;
+
+  // FINISH only.
+  std::string state;  ///< terminal state name (DONE/FAILED/CANCELLED)
+  std::string error;  ///< status message, "" when DONE
+};
+
+/// What a replayed journal says should happen to one job.
+struct RecoveredJob {
+  enum class Disposition {
+    kResubmit,  ///< SUBMIT/ADMIT seen, never started: re-enqueue as-is
+    kRerun,     ///< START without FINISH: re-run under a fresh epoch
+    kSkip,      ///< FINISH seen: already terminal, do not run again
+  };
+  std::uint64_t jid = 0;
+  Disposition disposition = Disposition::kResubmit;
+  std::string payload;
+  std::string tier;
+  Seconds deadline = 0.0;
+  int next_epoch = 0;        ///< epoch a re-run must use
+  std::string final_state;   ///< kSkip: the recorded terminal state
+};
+
+struct RecoveryPlan {
+  std::vector<RecoveredJob> jobs;  ///< ordered by jid
+
+  std::size_t to_resubmit = 0;
+  std::size_t to_rerun = 0;
+  std::size_t completed = 0;
+};
+
+/// Folds records (replay order) into per-jid dispositions. Pure.
+RecoveryPlan build_recovery(const std::vector<JournalRecord>& records);
+
+class JobJournal {
+ public:
+  /// Appends go to `store` under `key`; the store must outlive the
+  /// journal. `injector` (optional, not owned) arms the journal-write
+  /// fault site.
+  JobJournal(storage::ObjectStore& store, std::string key,
+             faults::FaultInjector* injector = nullptr);
+
+  /// Opens an existing log: replays `key` from `store`, keeps the valid
+  /// byte prefix as the append base, and continues jid numbering past
+  /// the highest replayed id. A missing object is an empty journal; a
+  /// mangled one is INVALID_ARGUMENT.
+  static Result<std::vector<JournalRecord>> replay(const storage::ObjectStore& store,
+                                                   const std::string& key);
+
+  /// Parses raw log bytes (what replay does after the get). Truncated
+  /// tails are tolerated; mid-record corruption is INVALID_ARGUMENT.
+  static Result<std::vector<JournalRecord>> parse(std::string_view bytes);
+
+  /// Serializes one record as it would appear in the log (header +
+  /// CRC + payload) — corpus tests build logs from these.
+  static std::string encode(const JournalRecord& rec);
+
+  /// Loads the existing log (if any) so appends extend it instead of
+  /// clobbering it, and advances jid numbering. Call once before the
+  /// first append when recovering; a fresh key is a no-op.
+  Status open();
+
+  /// Appends SUBMIT and returns the assigned jid. When `jid` is
+  /// non-zero (a recovered job) it is reused and no numbering advances.
+  Result<std::uint64_t> append_submit(const std::string& payload, const std::string& tier,
+                                      Seconds deadline, std::uint64_t jid = 0);
+  Status append_admit(std::uint64_t jid);
+  Status append_start(std::uint64_t jid, int epoch);
+  Status append_finish(std::uint64_t jid, const std::string& state, const std::string& error);
+
+  /// Records appended (not replayed) through this instance.
+  std::size_t appended() const;
+
+  const std::string& key() const { return key_; }
+
+  /// Retry policy for the underlying put (default: 3 quick attempts).
+  void set_retry_policy(faults::RetryPolicy policy);
+
+ private:
+  Status append_locked(const JournalRecord& rec);
+
+  storage::ObjectStore* store_;
+  const std::string key_;
+  faults::FaultInjector* injector_;
+  faults::RetryPolicy retry_;
+
+  mutable std::mutex mu_;
+  std::string log_;  ///< serialized log, mirrors the stored object
+  std::uint64_t next_jid_ = 1;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace ditto::service

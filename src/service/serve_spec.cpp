@@ -72,16 +72,41 @@ Status apply_job_token(ServeJobSpec& job, const std::string& key, const std::str
     DITTO_ASSIGN_OR_RETURN(job.faults, faults::parse_fault_spec(value));
     return Status::ok();
   }
+  if (key == "tier") {
+    if (value != "latency" && value != "batch") {
+      return Status::invalid_argument("bad tier '" + value + "' (want latency|batch)");
+    }
+    job.tier = value;
+    return Status::ok();
+  }
+  if (key == "retries") {
+    DITTO_ASSIGN_OR_RETURN(const std::int64_t n, parse_int(key, value));
+    if (n < 0) return Status::invalid_argument("retries must be >= 0");
+    job.retries = static_cast<int>(n);
+    return Status::ok();
+  }
   return Status::invalid_argument("unknown job option '" + key + "'");
 }
 
-Status apply_policy_token(AdmissionOptions& admission, const std::string& key,
-                          const std::string& value) {
+Status apply_policy_token(ServeSpec& spec, const std::string& key, const std::string& value) {
   if (key == "fair_share_slots" || key == "min_free_slots") {
     DITTO_ASSIGN_OR_RETURN(const std::int64_t n, parse_int(key, value));
     if (n <= 0) return Status::invalid_argument(key + " must be > 0");
-    (key == "fair_share_slots" ? admission.fair_share_slots : admission.min_free_slots) =
-        static_cast<int>(n);
+    (key == "fair_share_slots" ? spec.admission.fair_share_slots
+                               : spec.admission.min_free_slots) = static_cast<int>(n);
+    return Status::ok();
+  }
+  if (key == "queue_depth") {
+    DITTO_ASSIGN_OR_RETURN(const std::int64_t n, parse_int(key, value));
+    if (n < 0) return Status::invalid_argument("queue_depth must be >= 0");
+    spec.max_queue_depth = static_cast<std::size_t>(n);
+    return Status::ok();
+  }
+  if (key == "reject_infeasible") {
+    if (value != "0" && value != "1") {
+      return Status::invalid_argument("reject_infeasible must be 0 or 1");
+    }
+    spec.reject_infeasible = value == "1";
     return Status::ok();
   }
   return Status::invalid_argument("unknown policy option '" + key + "'");
@@ -120,8 +145,7 @@ Result<ServeSpec> parse_serve_spec(const std::string& text) {
         if (eq == std::string::npos) {
           return fail(Status::invalid_argument("expected key=value, got '" + token + "'"));
         }
-        const Status st =
-            apply_policy_token(spec.admission, token.substr(0, eq), token.substr(eq + 1));
+        const Status st = apply_policy_token(spec, token.substr(0, eq), token.substr(eq + 1));
         if (!st.is_ok()) return fail(st);
       }
       continue;
@@ -146,6 +170,10 @@ Result<ServeSpec> parse_serve_spec(const std::string& text) {
         const Status st = apply_job_token(job, token.substr(0, eq), token.substr(eq + 1));
         if (!st.is_ok()) return fail(st);
       }
+      // Keep the raw line: it becomes the journaled SUBMIT payload.
+      const auto first = line.find_first_not_of(" \t");
+      const auto last = line.find_last_not_of(" \t\r");
+      job.line = line.substr(first, last - first + 1);
       spec.jobs.push_back(std::move(job));
       continue;
     }

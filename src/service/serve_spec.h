@@ -3,12 +3,27 @@
 // separated tokens, `#` starts a comment):
 //
 //   policy fifo|fair|elastic [fair_share_slots=N] [min_free_slots=N]
+//          [queue_depth=N] [reject_infeasible=0|1]
 //   job <q1|q16|q94|q95> [arrival=SECS] [objective=jct|cost]
 //       [deadline=SECS] [label=NAME] [rows=N] [orders=N] [seed=N]
-//       [faults=SPEC]
+//       [faults=SPEC] [tier=latency|batch] [retries=N]
 //
 // `arrival` is the submission offset from serve start; `faults` is a
 // faults::parse_fault_spec() string (comma-separated, no spaces).
+//
+// Resilience options:
+//   * `tier` is the job's SLO class. latency-tier jobs are enqueued
+//     ahead of batch-tier jobs; batch is the default.
+//   * `queue_depth` bounds the admission queue. A submission beyond
+//     the bound is fast-rejected RESOURCE_EXHAUSTED — except that a
+//     latency-tier arrival shifts the overload onto the batch tier by
+//     shedding the newest queued batch job instead. 0 = unbounded.
+//   * `retries` is the number of whole-job re-admissions allowed after
+//     a retriable (UNAVAILABLE) engine failure; each re-run uses a
+//     fresh exchange epoch.
+//   * `reject_infeasible=1` fails a job at admission when the plan's
+//     predicted JCT exceeds its remaining deadline (opt-in: the time
+//     model predicts paper-scale seconds).
 #pragma once
 
 #include <string>
@@ -29,10 +44,18 @@ struct ServeJobSpec {
   std::string label;
   workload::EngineQuerySpec data;
   faults::FaultSpec faults;
+  std::string tier = "batch";  ///< "latency" | "batch"
+  int retries = 0;             ///< extra whole-job attempts on UNAVAILABLE
+  /// The raw `job ...` line this spec was parsed from — what the
+  /// service journals as the SUBMIT payload, so recovery can re-create
+  /// the submission by re-parsing it.
+  std::string line;
 };
 
 struct ServeSpec {
   AdmissionOptions admission;
+  std::size_t max_queue_depth = 0;  ///< bounded admission queue; 0 = unbounded
+  bool reject_infeasible = false;
   std::vector<ServeJobSpec> jobs;
 };
 

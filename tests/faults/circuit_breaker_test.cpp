@@ -1,0 +1,196 @@
+// CircuitBreaker: the closed → open → half-open → closed cycle under a
+// manual clock, what counts as backend failure, the BreakerStore
+// decorator's fail-fast guarantee, and the headline composition: a
+// FlakyStore brownout window drives the full breaker cycle
+// deterministically.
+#include "faults/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "faults/flaky_store.h"
+#include "faults/retry_policy.h"
+#include "storage/mem_store.h"
+
+namespace ditto::faults {
+namespace {
+
+CircuitBreaker::Options test_options(double* clock) {
+  CircuitBreaker::Options opt;
+  opt.window = 8;
+  opt.error_threshold = 0.5;
+  opt.min_failures = 4;
+  opt.cooldown = 1.0;
+  opt.probes_to_close = 2;
+  opt.clock = [clock] { return *clock; };
+  return opt;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowMinFailures) {
+  double now = 0.0;
+  CircuitBreaker breaker(test_options(&now));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.admit().is_ok());
+    breaker.on_failure(StatusCode::kUnavailable);
+  }
+  // 3 failures in a window of 3 is a 100% error rate, but below
+  // min_failures: a cold start must not trip the breaker.
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndFailsFast) {
+  double now = 0.0;
+  CircuitBreaker breaker(test_options(&now));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.admit().is_ok());
+    breaker.on_failure(StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 1u);
+
+  // While open: UNAVAILABLE without touching anything, counted.
+  const Status st = breaker.admit();
+  ASSERT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("circuit open"), std::string::npos);
+  EXPECT_EQ(breaker.counters().fast_fails, 1u);
+  // Fast-fails are retriable: callers' retry loops keep polling until
+  // the cooldown elapses.
+  EXPECT_TRUE(RetryPolicy::retriable(st.code()));
+}
+
+TEST(CircuitBreakerTest, CooldownHalfOpensThenProbesClose) {
+  double now = 0.0;
+  CircuitBreaker breaker(test_options(&now));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.admit().is_ok());
+    breaker.on_failure(StatusCode::kUnavailable);
+  }
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  now = 0.99;  // still cooling down
+  EXPECT_FALSE(breaker.admit().is_ok());
+  now = 1.01;  // cooldown elapsed: next admit transitions to half-open
+  ASSERT_TRUE(breaker.admit().is_ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // Probe quota: probes_to_close in flight, the rest rejected.
+  ASSERT_TRUE(breaker.admit().is_ok());
+  EXPECT_FALSE(breaker.admit().is_ok());
+  EXPECT_EQ(breaker.counters().probes, 2u);
+
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopens) {
+  double now = 0.0;
+  CircuitBreaker breaker(test_options(&now));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(breaker.admit().is_ok());
+    breaker.on_failure(StatusCode::kUnavailable);
+  }
+  now = 1.5;
+  ASSERT_TRUE(breaker.admit().is_ok());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.on_failure(StatusCode::kUnavailable);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 2u);
+  // The re-open restarts the cooldown from the failure time.
+  now = 2.0;
+  EXPECT_FALSE(breaker.admit().is_ok());
+  now = 2.6;
+  EXPECT_TRUE(breaker.admit().is_ok());
+}
+
+TEST(CircuitBreakerTest, ApplicationErrorsAreNotBackendFailures) {
+  double now = 0.0;
+  CircuitBreaker breaker(test_options(&now));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(breaker.admit().is_ok());
+    breaker.on_failure(StatusCode::kNotFound);  // an answer, not an outage
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BreakerStoreTest, OpenBreakerShieldsInnerStore) {
+  double now = 0.0;
+  storage::MemStore inner;
+  const auto spec = parse_fault_spec("storage_error=0.999");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector injector(*spec);
+  FlakyStore flaky(inner, injector);
+  CircuitBreaker breaker(test_options(&now));
+  BreakerStore store(flaky, breaker);
+  EXPECT_EQ(std::string(store.kind()), "breaker-flaky-mem");
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store.put("k", "v").code(), StatusCode::kUnavailable);
+  }
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  const auto injected_so_far = injector.counts().storage_errors;
+
+  // While open, puts and gets fail WITHOUT reaching the flaky layer —
+  // no injector draw, no modeled latency, no inner-store traffic.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(store.put("k", "v").code(), StatusCode::kUnavailable);
+    EXPECT_EQ(store.get("k").status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(injector.counts().storage_errors, injected_so_far);
+  EXPECT_EQ(breaker.counters().fast_fails, 20u);
+}
+
+// Satellite: a time-windowed brownout drives the full breaker cycle
+// deterministically — errors only inside [start, start+duration) of the
+// store clock, recovery probes after it, all under manual clocks.
+TEST(BreakerStoreTest, BrownoutDrivesOpenHalfOpenClosedCycle) {
+  double now = 0.0;
+  storage::MemStore inner;
+  const auto spec = parse_fault_spec("brownout=1:2");  // window [1, 3)
+  ASSERT_TRUE(spec.ok());
+  FaultInjector injector(*spec);
+  FlakyStore flaky(inner, injector);
+  flaky.set_clock([&now] { return now; });
+  CircuitBreaker breaker(test_options(&now));
+  BreakerStore store(flaky, breaker);
+
+  // Before the window: healthy.
+  EXPECT_FALSE(flaky.in_brownout());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(store.put("warm", "x").is_ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  // Inside the window: every op fails; min_failures trips the breaker.
+  now = 1.5;
+  EXPECT_TRUE(flaky.in_brownout());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store.put("hot", "x").code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_GT(injector.counts().brownout_errors, 0u);
+
+  // Still browned out, still cooling down: fast-fail, no store traffic.
+  now = 2.0;
+  const auto brownout_errors = injector.counts().brownout_errors;
+  EXPECT_EQ(store.put("hot", "x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(injector.counts().brownout_errors, brownout_errors);
+
+  // Window over, cooldown elapsed: half-open probes hit the recovered
+  // store and close the breaker.
+  now = 3.1;
+  EXPECT_FALSE(flaky.in_brownout());
+  ASSERT_TRUE(store.put("probe1", "x").is_ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  ASSERT_TRUE(store.put("probe2", "x").is_ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  // Back to normal service.
+  ASSERT_TRUE(store.put("steady", "x").is_ok());
+  const auto v = store.get("steady");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "x");
+}
+
+}  // namespace
+}  // namespace ditto::faults

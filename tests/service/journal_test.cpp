@@ -1,0 +1,408 @@
+// JobJournal: wire format round-trips, the replay contract (truncated
+// tail tolerated, mid-record corruption rejected — corpus-swept like
+// the serde parsers), recovery-plan folding, and the kill-point
+// property: from ANY byte prefix of the log, replay + recovery
+// converges to the same completed-job set as the uninterrupted run.
+#include "service/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "storage/mem_store.h"
+
+namespace ditto::service {
+namespace {
+
+constexpr char kKey[] = "journal/serve.log";
+constexpr char kMagic[] = "DITTOJL1";
+
+JournalRecord submit_rec(std::uint64_t jid, const std::string& payload,
+                         const std::string& tier = "batch", Seconds deadline = 0.0) {
+  JournalRecord r;
+  r.kind = JournalKind::kSubmit;
+  r.jid = jid;
+  r.payload = payload;
+  r.tier = tier;
+  r.deadline = deadline;
+  return r;
+}
+
+JournalRecord admit_rec(std::uint64_t jid) {
+  JournalRecord r;
+  r.kind = JournalKind::kAdmit;
+  r.jid = jid;
+  return r;
+}
+
+JournalRecord start_rec(std::uint64_t jid, int epoch) {
+  JournalRecord r;
+  r.kind = JournalKind::kStart;
+  r.jid = jid;
+  r.epoch = epoch;
+  return r;
+}
+
+JournalRecord finish_rec(std::uint64_t jid, const std::string& state,
+                         const std::string& error = "") {
+  JournalRecord r;
+  r.kind = JournalKind::kFinish;
+  r.jid = jid;
+  r.state = state;
+  r.error = error;
+  return r;
+}
+
+/// A representative job history: job 1 completed, job 2 admitted but
+/// never started, job 3 caught mid-run, job 4 failed terminally.
+std::vector<JournalRecord> sample_history() {
+  return {
+      submit_rec(1, "job q95 label=a tier=latency", "latency", 12.5),
+      submit_rec(2, "job q1 label=b rows=5000"),
+      admit_rec(1),
+      start_rec(1, 0),
+      submit_rec(3, "job q16 label=c"),
+      admit_rec(2),
+      finish_rec(1, "DONE"),
+      admit_rec(3),
+      start_rec(3, 0),
+      submit_rec(4, "job q94 label=d"),
+      admit_rec(4),
+      start_rec(4, 0),
+      finish_rec(4, "FAILED", "engine: task crashed (stage 2)"),
+  };
+}
+
+std::string log_bytes(const std::vector<JournalRecord>& records) {
+  std::string bytes = kMagic;
+  for (const auto& r : records) bytes += JobJournal::encode(r);
+  return bytes;
+}
+
+void expect_equal(const JournalRecord& a, const JournalRecord& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.jid, b.jid);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.tier, b.tier);
+  EXPECT_DOUBLE_EQ(a.deadline, b.deadline);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST(JournalTest, EncodeParseRoundTrip) {
+  const auto history = sample_history();
+  const auto parsed = JobJournal::parse(log_bytes(history));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_equal((*parsed)[i], history[i]);
+  }
+}
+
+TEST(JournalTest, AppendsThroughStoreAndReplays) {
+  storage::MemStore store;
+  JobJournal journal(store, kKey);
+  const auto jid1 = journal.append_submit("job q95 label=a", "latency", 30.0);
+  ASSERT_TRUE(jid1.ok());
+  EXPECT_EQ(*jid1, 1u);
+  const auto jid2 = journal.append_submit("job q1 label=b", "batch", 0.0);
+  ASSERT_TRUE(jid2.ok());
+  EXPECT_EQ(*jid2, 2u);
+  ASSERT_TRUE(journal.append_admit(*jid1).is_ok());
+  ASSERT_TRUE(journal.append_start(*jid1, 0).is_ok());
+  ASSERT_TRUE(journal.append_finish(*jid1, "DONE", "").is_ok());
+  EXPECT_EQ(journal.appended(), 5u);
+
+  const auto replayed = JobJournal::replay(store, kKey);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().to_string();
+  ASSERT_EQ(replayed->size(), 5u);
+  EXPECT_EQ((*replayed)[0].kind, JournalKind::kSubmit);
+  EXPECT_EQ((*replayed)[0].payload, "job q95 label=a");
+  EXPECT_EQ((*replayed)[0].tier, "latency");
+  EXPECT_DOUBLE_EQ((*replayed)[0].deadline, 30.0);
+  EXPECT_EQ((*replayed)[4].kind, JournalKind::kFinish);
+  EXPECT_EQ((*replayed)[4].state, "DONE");
+}
+
+TEST(JournalTest, ReplayOfMissingKeyIsEmpty) {
+  storage::MemStore store;
+  const auto replayed = JobJournal::replay(store, "journal/nothing-here");
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->empty());
+}
+
+TEST(JournalTest, OpenContinuesJidNumberingAndExtendsLog) {
+  storage::MemStore store;
+  {
+    JobJournal first(store, kKey);
+    ASSERT_TRUE(first.append_submit("job q1 label=a", "batch", 0.0).ok());
+    ASSERT_TRUE(first.append_submit("job q16 label=b", "batch", 0.0).ok());
+  }
+  // "Restart": a fresh journal over the same key must extend, not
+  // clobber, and must number past the highest replayed jid.
+  JobJournal second(store, kKey);
+  ASSERT_TRUE(second.open().is_ok());
+  const auto jid = second.append_submit("job q94 label=c", "batch", 0.0);
+  ASSERT_TRUE(jid.ok());
+  EXPECT_EQ(*jid, 3u);
+
+  const auto replayed = JobJournal::replay(store, kKey);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 3u);
+  EXPECT_EQ((*replayed)[0].payload, "job q1 label=a");
+  EXPECT_EQ((*replayed)[2].payload, "job q94 label=c");
+}
+
+TEST(JournalTest, RecoveredSubmitReusesJid) {
+  storage::MemStore store;
+  JobJournal journal(store, kKey);
+  const auto jid = journal.append_submit("job q1 label=x", "batch", 0.0, 7);
+  ASSERT_TRUE(jid.ok());
+  EXPECT_EQ(*jid, 7u);
+  // Fresh assignment continues past the reused id.
+  const auto next = journal.append_submit("job q1 label=y", "batch", 0.0);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 8u);
+}
+
+TEST(JournalTest, EmptyAndMagicOnlyBytesParseEmpty) {
+  for (const std::string& bytes : {std::string(), std::string("DIT"), std::string(kMagic)}) {
+    const auto parsed = JobJournal::parse(bytes);
+    ASSERT_TRUE(parsed.ok()) << "prefix of " << bytes.size() << " bytes";
+    EXPECT_TRUE(parsed->empty());
+  }
+}
+
+TEST(JournalTest, BadMagicIsCorruption) {
+  std::string bytes = log_bytes(sample_history());
+  bytes[0] = 'X';
+  const auto parsed = JobJournal::parse(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Corpus sweep 1: every byte-prefix of a valid log is a possible
+// crash-mid-put artifact and must parse as a (possibly shorter) prefix
+// of the record sequence — never an error, never a crash.
+TEST(JournalTest, TruncationSweepToleratesEveryTornTail) {
+  const auto history = sample_history();
+  const std::string bytes = log_bytes(history);
+
+  // Record end offsets, to know how many complete records a prefix holds.
+  std::vector<std::size_t> ends;
+  std::size_t off = 8;
+  for (const auto& r : history) {
+    off += JobJournal::encode(r).size();
+    ends.push_back(off);
+  }
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const auto parsed = JobJournal::parse(bytes.substr(0, cut));
+    ASSERT_TRUE(parsed.ok()) << "cut at byte " << cut << ": "
+                             << parsed.status().to_string();
+    std::size_t expect = 0;
+    while (expect < ends.size() && ends[expect] <= cut) ++expect;
+    ASSERT_EQ(parsed->size(), expect) << "cut at byte " << cut;
+    for (std::size_t i = 0; i < expect; ++i) {
+      SCOPED_TRACE(cut);
+      expect_equal((*parsed)[i], history[i]);
+    }
+  }
+}
+
+// Corpus sweep 2: flipping any single bit of a complete log must never
+// yield the original record sequence — it is either detected corruption
+// (INVALID_ARGUMENT) or, when the flip manufactures a torn tail (e.g.
+// growing a length field past the end), a strictly shorter replay.
+TEST(JournalTest, BitFlipSweepNeverParsesCleanly) {
+  const auto history = sample_history();
+  const std::string bytes = log_bytes(history);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mangled = bytes;
+      mangled[pos] = static_cast<char>(mangled[pos] ^ (1 << bit));
+      const auto parsed = JobJournal::parse(mangled);
+      if (parsed.ok()) {
+        EXPECT_LT(parsed->size(), history.size())
+            << "flip at byte " << pos << " bit " << bit
+            << " parsed as a full-length record sequence";
+      } else {
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+            << "flip at byte " << pos << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(JournalTest, MidRecordCorruptionIsRejectedNotTruncated) {
+  const auto history = sample_history();
+  std::string bytes = log_bytes(history);
+  // Corrupt one payload byte of the FIRST record: later records are
+  // intact, so this cannot be a torn tail.
+  bytes[8 + 8 + 2] = static_cast<char>(bytes[8 + 8 + 2] ^ 0x40);
+  const auto parsed = JobJournal::parse(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JournalTest, BuildRecoveryFoldsOneDispositionPerJob) {
+  const auto plan = build_recovery(sample_history());
+  ASSERT_EQ(plan.jobs.size(), 4u);
+  EXPECT_EQ(plan.completed, 2u);
+  EXPECT_EQ(plan.to_resubmit, 1u);
+  EXPECT_EQ(plan.to_rerun, 1u);
+
+  EXPECT_EQ(plan.jobs[0].jid, 1u);
+  EXPECT_EQ(plan.jobs[0].disposition, RecoveredJob::Disposition::kSkip);
+  EXPECT_EQ(plan.jobs[0].final_state, "DONE");
+
+  EXPECT_EQ(plan.jobs[1].jid, 2u);
+  EXPECT_EQ(plan.jobs[1].disposition, RecoveredJob::Disposition::kResubmit);
+  EXPECT_EQ(plan.jobs[1].payload, "job q1 label=b rows=5000");
+
+  EXPECT_EQ(plan.jobs[2].jid, 3u);
+  EXPECT_EQ(plan.jobs[2].disposition, RecoveredJob::Disposition::kRerun);
+  EXPECT_EQ(plan.jobs[2].next_epoch, 1);
+
+  EXPECT_EQ(plan.jobs[3].jid, 4u);
+  EXPECT_EQ(plan.jobs[3].disposition, RecoveredJob::Disposition::kSkip);
+  EXPECT_EQ(plan.jobs[3].final_state, "FAILED");
+}
+
+TEST(JournalTest, RerunEpochAdvancesPastEveryObservedStart) {
+  const std::vector<JournalRecord> records = {
+      submit_rec(1, "job q1 label=a"),
+      start_rec(1, 0),
+      start_rec(1, 1),  // a prior recovery's re-run, also interrupted
+  };
+  const auto plan = build_recovery(records);
+  ASSERT_EQ(plan.jobs.size(), 1u);
+  EXPECT_EQ(plan.jobs[0].disposition, RecoveredJob::Disposition::kRerun);
+  EXPECT_EQ(plan.jobs[0].next_epoch, 2);
+}
+
+// The kill-point property behind the chaos-restart harness: cut the log
+// at EVERY byte offset (= every possible SIGKILL point, since appends
+// rewrite old-log + record and a torn put leaves a byte prefix), run
+// the recovery protocol that `dittoctl serve --recover` implements —
+// journaled non-terminal jobs re-run, journaled terminal jobs skipped,
+// never-journaled spec jobs merged back in — and assert the journal
+// converges to the SAME completed-job set as the uninterrupted run.
+TEST(JournalTest, KillPointSweepConvergesToSameCompletedJobSet) {
+  const std::vector<std::string> spec_payloads = {
+      "job q95 label=a tier=latency",
+      "job q1 label=b rows=5000",
+      "job q16 label=c",
+      "job q94 label=d",
+  };
+
+  // The uninterrupted history (every job submitted, run, finished).
+  storage::MemStore store;
+  {
+    JobJournal journal(store, kKey);
+    for (const auto& p : spec_payloads) ASSERT_TRUE(journal.append_submit(p, "batch", 0.0).ok());
+    for (std::uint64_t jid = 1; jid <= spec_payloads.size(); ++jid) {
+      ASSERT_TRUE(journal.append_admit(jid).is_ok());
+      ASSERT_TRUE(journal.append_start(jid, 0).is_ok());
+      ASSERT_TRUE(journal.append_finish(jid, "DONE", "").is_ok());
+    }
+  }
+  const auto full = store.get(kKey);
+  ASSERT_TRUE(full.ok());
+  const std::set<std::string> want(spec_payloads.begin(), spec_payloads.end());
+
+  for (std::size_t cut = 0; cut <= full->size(); ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    storage::MemStore crashed;
+    ASSERT_TRUE(crashed.put(kKey, full->substr(0, cut)).is_ok());
+
+    const auto replayed = JobJournal::replay(crashed, kKey);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().to_string();
+    const auto plan = build_recovery(*replayed);
+
+    JobJournal journal(crashed, kKey);
+    ASSERT_TRUE(journal.open().is_ok());
+
+    // Journaled jobs: finish the non-terminal ones (under the fresh
+    // epoch the plan mandates for interrupted runs).
+    std::set<std::string> journaled_payloads;
+    for (const auto& job : plan.jobs) {
+      journaled_payloads.insert(job.payload);
+      if (job.disposition == RecoveredJob::Disposition::kSkip) continue;
+      ASSERT_TRUE(journal.append_start(job.jid, job.next_epoch).is_ok());
+      ASSERT_TRUE(journal.append_finish(job.jid, "DONE", "").is_ok());
+    }
+    // Spec jobs the crash caught before their SUBMIT reached the
+    // journal: submitted fresh (the serve-spec merge).
+    for (const auto& p : spec_payloads) {
+      if (journaled_payloads.count(p)) continue;
+      const auto jid = journal.append_submit(p, "batch", 0.0);
+      ASSERT_TRUE(jid.ok());
+      ASSERT_TRUE(journal.append_start(*jid, 0).is_ok());
+      ASSERT_TRUE(journal.append_finish(*jid, "DONE", "").is_ok());
+    }
+
+    // Convergence: replaying the post-recovery journal shows every spec
+    // job terminal exactly once, and nothing else.
+    const auto after = JobJournal::replay(crashed, kKey);
+    ASSERT_TRUE(after.ok()) << after.status().to_string();
+    const auto converged = build_recovery(*after);
+    EXPECT_EQ(converged.to_resubmit, 0u);
+    EXPECT_EQ(converged.to_rerun, 0u);
+    EXPECT_EQ(converged.completed, spec_payloads.size());
+    std::set<std::string> completed;
+    for (const auto& job : converged.jobs) {
+      EXPECT_EQ(job.disposition, RecoveredJob::Disposition::kSkip);
+      EXPECT_TRUE(completed.insert(job.payload).second)
+          << "job journaled terminal twice: " << job.payload;
+    }
+    EXPECT_EQ(completed, want);
+  }
+}
+
+TEST(JournalTest, InjectedAppendFaultsAreRetriedAndCounted) {
+  storage::MemStore store;
+  const auto spec = faults::parse_fault_spec("journal_error=0.5,seed=11");
+  ASSERT_TRUE(spec.ok());
+  faults::FaultInjector injector(*spec);
+  JobJournal journal(store, kKey, &injector);
+  faults::RetryPolicy patient;  // outlasts any plausible losing streak at p=0.5
+  patient.max_attempts = 20;
+  patient.initial_backoff = 1e-5;
+  patient.max_backoff = 1e-4;
+  journal.set_retry_policy(patient);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(journal.append_submit("job q1 label=j" + std::to_string(i), "batch", 0.0).ok());
+  }
+  EXPECT_GT(injector.counts().journal_errors, 0u);
+  const auto replayed = JobJournal::replay(store, kKey);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->size(), 12u);
+}
+
+TEST(JournalTest, ExhaustedSubmitAppendSurfacesToCaller) {
+  storage::MemStore store;
+  const auto spec = faults::parse_fault_spec("journal_error=1");
+  ASSERT_TRUE(spec.ok());
+  faults::FaultInjector injector(*spec);
+  JobJournal journal(store, kKey, &injector);
+  faults::RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.initial_backoff = 1e-5;
+  fast.max_backoff = 1e-4;
+  journal.set_retry_policy(fast);
+  const auto jid = journal.append_submit("job q1 label=doomed", "batch", 0.0);
+  ASSERT_FALSE(jid.ok());
+  EXPECT_EQ(jid.status().code(), StatusCode::kUnavailable);
+  // The failed append committed nothing.
+  EXPECT_EQ(journal.appended(), 0u);
+  EXPECT_FALSE(store.contains(kKey));
+}
+
+}  // namespace
+}  // namespace ditto::service

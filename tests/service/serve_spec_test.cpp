@@ -42,6 +42,48 @@ TEST(ServeSpecTest, DefaultsAreElasticJctNoDeadline) {
   EXPECT_FALSE(spec->jobs[0].faults.any());
 }
 
+TEST(ServeSpecTest, ParsesResilienceOptions) {
+  const std::string text = R"(policy fifo queue_depth=3 reject_infeasible=1
+job q95 tier=latency retries=2 label=flagship
+job q1
+)";
+  const auto spec = parse_serve_spec(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->max_queue_depth, 3u);
+  EXPECT_TRUE(spec->reject_infeasible);
+  ASSERT_EQ(spec->jobs.size(), 2u);
+  EXPECT_EQ(spec->jobs[0].tier, "latency");
+  EXPECT_EQ(spec->jobs[0].retries, 2);
+  EXPECT_EQ(spec->jobs[1].tier, "batch");  // default
+  EXPECT_EQ(spec->jobs[1].retries, 0);
+  // Defaults when the policy line omits them.
+  const auto plain = parse_serve_spec("job q1\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->max_queue_depth, 0u);
+  EXPECT_FALSE(plain->reject_infeasible);
+}
+
+TEST(ServeSpecTest, KeepsRawJobLineForTheJournal) {
+  const auto spec = parse_serve_spec("  job q95 tier=latency label=x  # trailing\njob q1\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  // The journaled SUBMIT payload is the trimmed line, comment stripped —
+  // re-parsing it must reproduce the same job.
+  EXPECT_EQ(spec->jobs[0].line, "job q95 tier=latency label=x");
+  EXPECT_EQ(spec->jobs[1].line, "job q1");
+  const auto again = parse_serve_spec(spec->jobs[0].line + "\n");
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->jobs.size(), 1u);
+  EXPECT_EQ(again->jobs[0].tier, "latency");
+  EXPECT_EQ(again->jobs[0].label, "x");
+}
+
+TEST(ServeSpecTest, RejectsMalformedResilienceOptions) {
+  EXPECT_FALSE(parse_serve_spec("job q1 tier=gold\n").ok());
+  EXPECT_FALSE(parse_serve_spec("job q1 retries=-1\n").ok());
+  EXPECT_FALSE(parse_serve_spec("policy fifo queue_depth=-2\njob q1\n").ok());
+  EXPECT_FALSE(parse_serve_spec("policy fifo reject_infeasible=2\njob q1\n").ok());
+}
+
 TEST(ServeSpecTest, RejectsMalformedInput) {
   EXPECT_FALSE(parse_serve_spec("").ok());                      // no jobs
   EXPECT_FALSE(parse_serve_spec("# only comments\n").ok());

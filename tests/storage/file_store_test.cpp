@@ -1,0 +1,102 @@
+// FileStore: the durable ObjectStore behind the service tier's crash
+// story. Round-trips, subdirectory keys, root-escape rejection, and the
+// property the journal depends on: contents persist across instances
+// (process restarts), and a torn value is readable as the bytes that
+// made it to disk.
+#include "storage/file_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ditto::storage {
+namespace {
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "ditto_file_store_" + name;
+  // Tests re-run in the same TempDir: start from empty.
+  FileStore sweeper(root);
+  for (const auto& key : sweeper.list("")) (void)sweeper.remove(key);
+  return root;
+}
+
+TEST(FileStoreTest, PutGetRoundTrip) {
+  FileStore store(fresh_root("roundtrip"));
+  EXPECT_EQ(std::string(store.kind()), "file");
+  const std::string value = "hello\0world\xff binary ok";
+  ASSERT_TRUE(store.put("k", value).is_ok());
+  const auto got = store.get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+  EXPECT_TRUE(store.contains("k"));
+  EXPECT_FALSE(store.contains("missing"));
+  EXPECT_EQ(store.get("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileStoreTest, OverwriteReplacesWhole) {
+  FileStore store(fresh_root("overwrite"));
+  ASSERT_TRUE(store.put("k", "a much longer original value").is_ok());
+  ASSERT_TRUE(store.put("k", "short").is_ok());
+  const auto got = store.get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "short");  // truncated, not merged with the old tail
+}
+
+TEST(FileStoreTest, SlashKeysBecomeSubdirectories) {
+  FileStore store(fresh_root("subdirs"));
+  ASSERT_TRUE(store.put("journal/serve.log", "J").is_ok());
+  ASSERT_TRUE(store.put("sinks/a/stage-3", "A3").is_ok());
+  ASSERT_TRUE(store.put("sinks/b/stage-3", "B3").is_ok());
+  auto sinks = store.list("sinks/");
+  std::sort(sinks.begin(), sinks.end());
+  ASSERT_EQ(sinks.size(), 2u);
+  EXPECT_EQ(sinks[0], "sinks/a/stage-3");
+  EXPECT_EQ(sinks[1], "sinks/b/stage-3");
+  EXPECT_EQ(store.list("").size(), 3u);
+  EXPECT_TRUE(store.list("nothing/").empty());
+}
+
+TEST(FileStoreTest, RejectsKeysThatEscapeTheRoot) {
+  FileStore store(fresh_root("escape"));
+  for (const std::string key : {"", "/etc/passwd", "../outside", "a/../../b", "a/..", ".."}) {
+    const Status st = store.put(key, "x");
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << "key: '" << key << "'";
+  }
+  // '..' as a NAME fragment is fine; only path segments escape.
+  EXPECT_TRUE(store.put("a..b", "x").is_ok());
+}
+
+TEST(FileStoreTest, PersistsAcrossInstances) {
+  const std::string root = fresh_root("persist");
+  {
+    FileStore first(root);
+    ASSERT_TRUE(first.put("journal/serve.log", "DITTOJL1...").is_ok());
+    ASSERT_TRUE(first.put("sinks/a/stage-1", "bytes").is_ok());
+  }
+  // A new instance over the same root — the restart in miniature.
+  FileStore second(root);
+  EXPECT_TRUE(second.contains("journal/serve.log"));
+  const auto log = second.get("journal/serve.log");
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(*log, "DITTOJL1...");
+  EXPECT_EQ(second.list("").size(), 2u);
+}
+
+TEST(FileStoreTest, RemoveDeletesAndCountsBytes) {
+  FileStore store(fresh_root("remove"));
+  ASSERT_TRUE(store.put("a", "12345678").is_ok());
+  ASSERT_TRUE(store.put("b", "1234").is_ok());
+  EXPECT_EQ(store.used_bytes(), 12u);
+  ASSERT_TRUE(store.remove("a").is_ok());
+  EXPECT_FALSE(store.contains("a"));
+  EXPECT_EQ(store.used_bytes(), 4u);
+  EXPECT_EQ(store.remove("a").code(), StatusCode::kNotFound);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.puts, 2u);
+}
+
+}  // namespace
+}  // namespace ditto::storage

@@ -163,6 +163,27 @@ Column Column::slice(std::size_t offset, std::size_t count) const {
   }
 }
 
+Column Column::borrowed_copy() const {
+  switch (type()) {
+    case DataType::kInt64: {
+      const auto src = int_span();
+      auto buf = std::make_shared<std::vector<std::int64_t>>(src.begin(), src.end());
+      const std::int64_t* p = buf->data();
+      const std::size_t n = buf->size();
+      return borrow_ints(std::move(buf), p, n);
+    }
+    case DataType::kDouble: {
+      const auto src = double_span();
+      auto buf = std::make_shared<std::vector<double>>(src.begin(), src.end());
+      const double* p = buf->data();
+      const std::size_t n = buf->size();
+      return borrow_doubles(std::move(buf), p, n);
+    }
+    case DataType::kString: return *this;
+  }
+  return *this;
+}
+
 std::size_t Column::byte_size() const {
   switch (type()) {
     case DataType::kInt64: return size() * sizeof(std::int64_t);

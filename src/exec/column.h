@@ -128,6 +128,13 @@ class Column {
   /// columns are copied with one bulk memcpy.
   Column slice(std::size_t offset, std::size_t count) const;
 
+  /// Same contents, but as a BORROWED fixed-width column backed by a
+  /// fresh shared buffer (string columns come back owned: they are
+  /// never borrowed). This is how the kernel-equivalence corpus and
+  /// the micro-bench exercise the borrowed storage mode without a
+  /// serde round trip.
+  Column borrowed_copy() const;
+
   /// Approximate in-memory footprint in bytes.
   std::size_t byte_size() const;
 

@@ -10,6 +10,7 @@
 
 #include "common/stopwatch.h"
 #include "dag/dag_algorithms.h"
+#include "exec/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -41,6 +42,7 @@ struct TaskIo {
   Bytes bytes_in = 0;
   Bytes bytes_out = 0;
   std::size_t rows_out = 0;
+  KernelSeconds kernels;  ///< operator-kernel time inside the stage fn
 };
 
 /// Per-task wave bookkeeping. `won` is the first-successful-attempt
@@ -83,6 +85,11 @@ struct RunState {
   obs::StageProfileStore* profiles = nullptr;
   std::uint64_t fingerprint = 0;
 
+  /// Pure-compute pool granted to stage fns (task_compute_pool());
+  /// the same scatter pool the exchanges use — never a bounded server
+  /// pool, so operator kernels can block on sub-work safely.
+  ThreadPool* compute_pool = nullptr;
+
   std::atomic<std::size_t> task_retries{0};
   std::atomic<std::size_t> spec_launched{0};
   std::atomic<std::size_t> spec_wins{0};
@@ -116,12 +123,20 @@ Status run_task_once(RunState& rs, StageId s, TaskId t, int dop, TaskIo* io) {
   io->t_gathered = rs.clock->elapsed_seconds();
 
   std::optional<Result<Table>> out;
-  try {
-    out.emplace(binding.fn(static_cast<int>(t), dop, inputs));
-  } catch (const std::exception& e) {
-    return Status::internal(std::string("stage fn threw: ") + e.what());
-  } catch (...) {
-    return Status::internal("stage fn threw a non-standard exception");
+  {
+    // Operator kernels inside the stage fn pick up the pure-compute
+    // pool via task_compute_pool(), and their per-kernel wall time is
+    // collected for the task's profile sample.
+    ScopedComputePool pool_scope(rs.compute_pool);
+    reset_kernel_seconds();
+    try {
+      out.emplace(binding.fn(static_cast<int>(t), dop, inputs));
+    } catch (const std::exception& e) {
+      return Status::internal(std::string("stage fn threw: ") + e.what());
+    } catch (...) {
+      return Status::internal("stage fn threw a non-standard exception");
+    }
+    io->kernels = current_kernel_seconds();
   }
   if (!out->ok()) return out->status();
   io->t_computed = rs.clock->elapsed_seconds();
@@ -204,6 +219,10 @@ Status task_attempt(RunState& rs, StageId s, TaskId t, int dop, ServerId server,
     sample.transport_seconds = (io.t_gathered - io.t_start) + (io.t_end - io.t_computed);
     sample.queue_seconds = std::max(0.0, io.t_start - slot.launch);
     sample.retries = attempt;
+    if (io.kernels.group_by > 0.0) sample.kernel_seconds["group_by"] = io.kernels.group_by;
+    if (io.kernels.join > 0.0) sample.kernel_seconds["join"] = io.kernels.join;
+    if (io.kernels.filter > 0.0) sample.kernel_seconds["filter"] = io.kernels.filter;
+    if (io.kernels.top_k > 0.0) sample.kernel_seconds["top_k"] = io.kernels.top_k;
     rs.profiles->record(rs.fingerprint, s, dop, sample);
   }
 
@@ -214,6 +233,9 @@ Status task_attempt(RunState& rs, StageId s, TaskId t, int dop, ServerId server,
     mx.counter("engine.bytes_out").add(io.bytes_out);
     mx.counter("engine.bytes_in").add(io.bytes_in);
     mx.histogram("engine.task_seconds", 0.0, 10.0, 50).observe(io.t_end - io.t_start);
+    if (io.kernels.any()) {
+      mx.histogram("engine.kernel_seconds", 0.0, 10.0, 50).observe(io.kernels.total());
+    }
   }
   obs::TraceCollector& tc = obs::TraceCollector::global();
   if (tc.enabled()) {
@@ -421,6 +443,7 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   rs.task_server = plan_->task_server;
   rs.profiles = options_.profiles;
   rs.fingerprint = options_.plan_fingerprint;
+  rs.compute_pool = scatter_pool.get();
 
   const faults::ResiliencePolicy& policy = options_.resilience;
   const int max_attempts = std::max(1, policy.max_task_attempts);

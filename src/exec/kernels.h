@@ -1,0 +1,168 @@
+// Columnar multi-core operator kernels (ROADMAP item 1).
+//
+// The hot operators — group-by, hash join, filter — are implemented
+// here as chunk/partition-parallel kernels over borrowed fixed-width
+// columns, reusing the ScatterPlan count-then-scatter machinery from
+// partition.{h,cpp}. The row-at-a-time formulations they replaced are
+// retained under ditto::exec::reference (operators.h) and every kernel
+// is required to be bit-identical to its reference — see
+// tests/exec/kernels_test.cpp and the bench_engine_micro gates.
+//
+// Bit-identity argument, in one place:
+//  - Radix group-by routes every row of one key to one partition and
+//    partitioned_row_indices preserves original row order within the
+//    partition, so each group's accumulator sees exactly the
+//    reference's value sequence (FP sums add in the same order).
+//  - The central-merge group-by variant merges chunk-local tables in
+//    chunk order, which is only exact for order-insensitive
+//    aggregates; the adaptive pick therefore routes kSum/kAvg to the
+//    radix path unconditionally.
+//  - The join builds per-partition tables by appending right rows in
+//    ascending order and probes left rows in order, reproducing the
+//    documented output order (left-row major, duplicate matches by
+//    ascending right row).
+//  - The filter evaluates predicates into a selection mask whose
+//    gather preserves row order; the mask itself is order-free.
+//
+// Thread-pool contract: every kernel takes an optional ThreadPool*.
+// nullptr means "consult task_compute_pool()", the thread-local set by
+// the engine around each task body (the engine's dedicated pure-compute
+// scatter pool — never a bounded server pool, so kernels can block on
+// their sub-work without deadlocking task scheduling). Kernel sub-work
+// never submits to the pool from a pool thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace ditto {
+class ThreadPool;
+}
+
+namespace ditto::exec {
+
+// ---------------------------------------------------------------------------
+// Compute-pool plumbing.
+
+/// The pure-compute pool the engine granted the current task (nullptr
+/// outside a task, or when the engine runs without one). Operators use
+/// it when their explicit pool argument is nullptr.
+ThreadPool* task_compute_pool();
+
+/// RAII setter for task_compute_pool(); the engine wraps each stage
+/// function invocation in one of these.
+class ScopedComputePool {
+ public:
+  explicit ScopedComputePool(ThreadPool* pool);
+  ~ScopedComputePool();
+  ScopedComputePool(const ScopedComputePool&) = delete;
+  ScopedComputePool& operator=(const ScopedComputePool&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-kernel wall-time accounting (thread-local, entry-point only:
+// nested operator calls fold into the outermost kernel's bucket).
+
+struct KernelSeconds {
+  double group_by = 0.0;
+  double join = 0.0;
+  double filter = 0.0;
+  double top_k = 0.0;
+
+  double total() const { return group_by + join + filter + top_k; }
+  bool any() const { return total() > 0.0; }
+};
+
+/// Zeroes the calling thread's kernel-time accumulator. The engine
+/// calls this before each task attempt.
+void reset_kernel_seconds();
+
+/// The calling thread's accumulated kernel time since the last reset.
+KernelSeconds current_kernel_seconds();
+
+namespace detail {
+
+/// RAII scope accumulating wall time into one KernelSeconds bucket.
+/// Only the outermost scope on a thread records (nested operator calls
+/// fold into the entry-point's bucket). Placed at every dispatching
+/// operator entry point in operators.cpp.
+class KernelTimer {
+ public:
+  explicit KernelTimer(double KernelSeconds::*field);
+  ~KernelTimer();
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  double KernelSeconds::*field_;
+  std::chrono::steady_clock::time_point start_;
+  bool outer_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Group-by strategy (exposed so tests can pin the adaptive pick).
+
+enum class GroupByStrategy {
+  kSerialFlat,        ///< one flat table, one thread (small inputs)
+  kRadixPartitioned,  ///< ScatterPlan radix route + per-partition tables;
+                      ///< picked for every large input — with a pool the
+                      ///< partitions aggregate in parallel, without one the
+                      ///< value scatter still pays for itself by keeping
+                      ///< per-partition state cache-resident
+  kCentralMerge,      ///< chunk-local tables merged centrally (low card.)
+};
+
+const char* group_by_strategy_name(GroupByStrategy s);
+
+/// Observed-cardinality threshold below which the central-merge variant
+/// wins (no row movement; merge cost ~ cardinality x chunks).
+inline constexpr std::size_t kCentralMergeCardinality = 512;
+
+/// Tables at or below this many rows always take the serial flat path.
+inline constexpr std::size_t kParallelMinRows = 32 * 1024;
+
+/// Distinct keys in a fixed-stride sample of at most 4096 rows — the
+/// cheap cardinality estimate driving the adaptive pick.
+std::size_t sample_cardinality(ColumnSpan<std::int64_t> keys);
+
+/// True iff every aggregate is exact under chunk-ordered merging
+/// (kCount/kMin/kMax/kFirstInt; double sums are order-dependent).
+bool aggs_merge_exact(const std::vector<AggSpec>& aggs);
+
+/// The pick group_by_kernel will make for this input and pool.
+GroupByStrategy pick_group_by_strategy(ColumnSpan<std::int64_t> keys,
+                                       const std::vector<AggSpec>& aggs,
+                                       ThreadPool* pool);
+
+// ---------------------------------------------------------------------------
+// Kernels. Entry points mirror the operators.h contracts exactly
+// (schema, row order, error statuses); operators.cpp dispatches here.
+
+Result<Table> group_by_kernel(const Table& in, const std::string& key,
+                              const std::vector<AggSpec>& aggs, ThreadPool* pool);
+
+Result<Table> group_by_multi_kernel(const Table& in, const std::vector<std::string>& keys,
+                                    const std::vector<AggSpec>& aggs, ThreadPool* pool);
+
+Result<Table> hash_join_kernel(const Table& left, const std::string& left_key,
+                               const Table& right, const std::string& right_key,
+                               JoinKind kind, ThreadPool* pool);
+
+/// Fused multi-predicate columnar filter: evaluates each predicate
+/// column-at-a-time into a shared selection mask (AND) and gathers the
+/// surviving rows through the uninitialized-buffer move path.
+Result<Table> filter_kernel(const Table& in, const std::vector<ColumnPred>& preds,
+                            ThreadPool* pool);
+
+}  // namespace ditto::exec

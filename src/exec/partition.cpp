@@ -1,6 +1,7 @@
 #include "exec/partition.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <functional>
 #include <future>
@@ -17,25 +18,6 @@ std::uint64_t stable_hash64(std::int64_t key) {
   return x ^ (x >> 31);
 }
 
-namespace {
-
-/// Rows per scatter chunk. Tables at or below this size always take the
-/// serial path; larger ones parallelize chunk-per-task when a pool is
-/// given.
-constexpr std::size_t kScatterChunkRows = 64 * 1024;
-
-/// Routing and placement state shared by both scatter passes.
-struct ScatterPlan {
-  std::size_t rows = 0;
-  std::size_t parts = 0;
-  std::size_t chunks = 1;
-  std::size_t chunk_rows = kScatterChunkRows;
-  std::vector<std::uint32_t> part_of;    // rows entries: routing decision
-  std::vector<std::size_t> counts;       // parts entries: partition sizes
-  std::vector<std::size_t> base;         // chunks x parts: first write slot
-  std::vector<std::size_t> part_start;   // parts+1 entries: global layout
-};
-
 void run_chunked(std::size_t chunks, ThreadPool* pool,
                  const std::function<void(std::size_t)>& body) {
   if (pool == nullptr || chunks <= 1) {
@@ -49,6 +31,8 @@ void run_chunked(std::size_t chunks, ThreadPool* pool,
   }
   for (auto& f : futures) f.get();
 }
+
+namespace {
 
 template <typename PartFn>
 ScatterPlan make_plan(std::size_t rows, std::size_t parts, ThreadPool* pool,
@@ -203,6 +187,156 @@ std::vector<Table> scatter_table(const Table& in, const ScatterPlan& p, ThreadPo
 
 }  // namespace
 
+ScatterPlan make_hash_plan(ColumnSpan<std::int64_t> keys, std::size_t parts,
+                           ThreadPool* pool) {
+  return make_plan(keys.size(), parts, pool, [keys, parts](std::size_t r) {
+    return static_cast<std::uint32_t>(stable_hash64(keys[r]) % parts);
+  });
+}
+
+ScatterPlan make_radix_plan(ColumnSpan<std::int64_t> keys, std::size_t parts,
+                            ThreadPool* pool) {
+  assert(parts > 0 && (parts & (parts - 1)) == 0 && "radix fanout must be a power of two");
+  const std::uint64_t mask = parts - 1;
+  return make_plan(keys.size(), parts, pool, [keys, mask](std::size_t r) {
+    return static_cast<std::uint32_t>(stable_hash64(keys[r]) & mask);
+  });
+}
+
+ScatterPlan make_radix_plan_multi(const std::vector<ColumnSpan<std::int64_t>>& keys,
+                                  std::size_t parts, ThreadPool* pool) {
+  assert(parts > 0 && (parts & (parts - 1)) == 0 && "radix fanout must be a power of two");
+  assert(!keys.empty());
+  const std::uint64_t mask = parts - 1;
+  const std::size_t rows = keys[0].size();
+  return make_plan(rows, parts, pool, [&keys, mask](std::size_t r) {
+    std::uint64_t h = 0;
+    for (const auto& k : keys) h = stable_hash64(static_cast<std::int64_t>(h) ^ k[r]);
+    return static_cast<std::uint32_t>(h & mask);
+  });
+}
+
+std::vector<std::uint32_t> partitioned_row_indices(const ScatterPlan& p, ThreadPool* pool) {
+  std::vector<std::uint32_t> out(p.rows);
+  run_chunked(p.chunks, pool, [&](std::size_t c) {
+    std::vector<std::size_t> cursor(p.parts);
+    for (std::size_t q = 0; q < p.parts; ++q) {
+      cursor[q] = p.part_start[q] + p.base[c * p.parts + q];
+    }
+    const std::size_t lo = c * p.chunk_rows;
+    const std::size_t hi = std::min(p.rows, lo + p.chunk_rows);
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[cursor[p.part_of[r]]++] = static_cast<std::uint32_t>(r);
+    }
+  });
+  return out;
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> partitioned_values_impl(const ScatterPlan& p, ColumnSpan<T> vals,
+                                       ThreadPool* pool) {
+  std::vector<T> out(p.rows);
+  run_chunked(p.chunks, pool, [&](std::size_t c) {
+    std::vector<std::size_t> cursor(p.parts);
+    for (std::size_t q = 0; q < p.parts; ++q) {
+      cursor[q] = p.part_start[q] + p.base[c * p.parts + q];
+    }
+    const std::size_t lo = c * p.chunk_rows;
+    const std::size_t hi = std::min(p.rows, lo + p.chunk_rows);
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[cursor[p.part_of[r]]++] = vals[r];
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> partitioned_values(const ScatterPlan& plan,
+                                             ColumnSpan<std::int64_t> vals,
+                                             ThreadPool* pool) {
+  return partitioned_values_impl(plan, vals, pool);
+}
+
+std::vector<double> partitioned_values(const ScatterPlan& plan, ColumnSpan<double> vals,
+                                       ThreadPool* pool) {
+  return partitioned_values_impl(plan, vals, pool);
+}
+
+Table gather_rows(const Table& in, const std::uint32_t* rows, std::size_t n,
+                  ThreadPool* pool) {
+  const std::size_t ncols = in.num_columns();
+  std::vector<Column> cols(ncols);
+
+  // Fused fixed-width gather: one sweep over the output positions moves
+  // every fixed-width column, each into one uninitialized exact-size
+  // buffer written exactly once; the output columns borrow the buffers.
+  struct FusedCol {
+    std::size_t index;
+    DataType type;
+    const unsigned char* src;
+    unsigned char* dst;
+    std::shared_ptr<void> buf;
+  };
+  std::vector<FusedCol> fused;
+  fused.reserve(ncols);
+  for (std::size_t ci = 0; ci < ncols; ++ci) {
+    const Column& col = in.column(ci);
+    if (col.type() == DataType::kInt64) {
+      std::shared_ptr<void> buf(new std::int64_t[n], std::default_delete<std::int64_t[]>());
+      fused.push_back({ci, col.type(),
+                       reinterpret_cast<const unsigned char*>(col.int_span().data()),
+                       static_cast<unsigned char*>(buf.get()), std::move(buf)});
+    } else if (col.type() == DataType::kDouble) {
+      std::shared_ptr<void> buf(new double[n], std::default_delete<double[]>());
+      fused.push_back({ci, col.type(),
+                       reinterpret_cast<const unsigned char*>(col.double_span().data()),
+                       static_cast<unsigned char*>(buf.get()), std::move(buf)});
+    }
+  }
+  const std::size_t chunks = std::max<std::size_t>(1, (n + kScatterChunkRows - 1) / kScatterChunkRows);
+  if (!fused.empty() && n > 0) {
+    run_chunked(chunks, pool, [&](std::size_t c) {
+      const std::size_t lo = c * kScatterChunkRows;
+      const std::size_t hi = std::min(n, lo + kScatterChunkRows);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t r = rows[i];
+        for (const FusedCol& f : fused) {
+          std::memcpy(f.dst + i * 8, f.src + r * 8, 8);
+        }
+      }
+    });
+  }
+  for (const FusedCol& f : fused) {
+    if (n == 0) {
+      cols[f.index] = f.type == DataType::kInt64 ? Column(std::vector<std::int64_t>{})
+                                                 : Column(std::vector<double>{});
+    } else if (f.type == DataType::kInt64) {
+      cols[f.index] =
+          Column::borrow_ints(f.buf, reinterpret_cast<const std::int64_t*>(f.dst), n);
+    } else {
+      cols[f.index] = Column::borrow_doubles(f.buf, reinterpret_cast<const double*>(f.dst), n);
+    }
+  }
+  for (std::size_t ci = 0; ci < ncols; ++ci) {
+    const Column& col = in.column(ci);
+    if (col.type() != DataType::kString) continue;
+    const auto& src = col.strings();
+    std::vector<std::string> dst(n);
+    run_chunked(chunks, pool, [&](std::size_t c) {
+      const std::size_t lo = c * kScatterChunkRows;
+      const std::size_t hi = std::min(n, lo + kScatterChunkRows);
+      for (std::size_t i = lo; i < hi; ++i) dst[i] = src[rows[i]];
+    });
+    cols[ci] = Column(std::move(dst));
+  }
+  auto t = Table::make(in.schema(), std::move(cols));
+  assert(t.ok() && "gather built a malformed table");
+  return std::move(t).value();
+}
+
 Result<std::vector<Table>> hash_partition(const Table& in, const std::string& key,
                                           std::size_t n, ThreadPool* pool) {
   if (n == 0) return Status::invalid_argument("zero partitions");
@@ -211,9 +345,7 @@ Result<std::vector<Table>> hash_partition(const Table& in, const std::string& ke
     return Status::invalid_argument("hash_partition key must be int64");
   }
   const ColumnSpan<std::int64_t> keys = kc->int_span();
-  const ScatterPlan plan = make_plan(keys.size(), n, pool, [keys, n](std::size_t r) {
-    return static_cast<std::uint32_t>(stable_hash64(keys[r]) % n);
-  });
+  const ScatterPlan plan = make_hash_plan(keys, n, pool);
   return scatter_table(in, plan, pool);
 }
 

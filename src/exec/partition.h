@@ -8,8 +8,16 @@
 // ThreadPool is supplied, both passes run chunk-parallel and write
 // disjoint output ranges, so no locks are needed and row order within
 // each partition is preserved.
+//
+// The plan/scatter machinery is exposed (not just the table-level
+// partitioners) because the operator kernels reuse it: radix group-by
+// and partitioned hash join route rows with the same count-then-scatter
+// pass, and the vectorized filter gathers selected rows through the
+// same uninitialized-buffer move path.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -20,6 +28,79 @@ class ThreadPool;
 }
 
 namespace ditto::exec {
+
+/// Rows per chunk for chunk-parallel passes. Tables at or below this
+/// size always take the serial path; larger ones parallelize
+/// chunk-per-task when a pool is given.
+inline constexpr std::size_t kScatterChunkRows = 64 * 1024;
+
+/// Routing and placement state shared by the count and scatter passes.
+/// Row order within each partition is the original row order (the
+/// scatter is stable), which is what lets the operator kernels stay
+/// bit-identical to their row-at-a-time references.
+struct ScatterPlan {
+  std::size_t rows = 0;
+  std::size_t parts = 0;
+  std::size_t chunks = 1;
+  std::size_t chunk_rows = kScatterChunkRows;
+  std::vector<std::uint32_t> part_of;    // rows entries: routing decision
+  std::vector<std::size_t> counts;       // parts entries: partition sizes
+  std::vector<std::size_t> base;         // chunks x parts: first write slot
+  std::vector<std::size_t> part_start;   // parts+1 entries: global layout
+};
+
+/// Runs `body(chunk)` for chunks [0, chunks); chunk-parallel on `pool`
+/// when given, serial otherwise. Blocks until every chunk finished.
+/// Bodies must write disjoint state (the caller's contract).
+void run_chunked(std::size_t chunks, ThreadPool* pool,
+                 const std::function<void(std::size_t)>& body);
+
+/// Count pass + exclusive scan for routing by stable_hash64(key) % parts
+/// (the exchange-compatible routing used by hash_partition).
+ScatterPlan make_hash_plan(ColumnSpan<std::int64_t> keys, std::size_t parts,
+                           ThreadPool* pool);
+
+/// Same, but routing by stable_hash64(key) & (parts - 1). `parts` must
+/// be a power of two. This is the kernels' radix routing: cheaper than
+/// the modulo and free to pick any power-of-two fanout.
+ScatterPlan make_radix_plan(ColumnSpan<std::int64_t> keys, std::size_t parts,
+                            ThreadPool* pool);
+
+/// Radix routing over a composite key: row r is routed by
+/// mix(h_0(r), ..., h_{k-1}(r)) & (parts - 1) where each h_i is
+/// stable_hash64 of key column i. `parts` must be a power of two.
+ScatterPlan make_radix_plan_multi(const std::vector<ColumnSpan<std::int64_t>>& keys,
+                                  std::size_t parts, ThreadPool* pool);
+
+/// Scatter pass over row INDICES: returns the partition-major array of
+/// original row ids (partition q occupies [part_start[q], part_start[q+1])
+/// and keeps original row order). The kernels aggregate or build hash
+/// tables per partition straight off this array without materializing
+/// partitioned tables.
+std::vector<std::uint32_t> partitioned_row_indices(const ScatterPlan& plan,
+                                                   ThreadPool* pool);
+
+/// Scatter pass over VALUES: the partition-major copy of one column
+/// (same layout as partitioned_row_indices — partition q occupies
+/// [part_start[q], part_start[q+1]) in original row order). Reads are
+/// sequential and writes stream per partition, so this is much cheaper
+/// than gathering through a row-id permutation when the consumer scans
+/// whole partitions — the radix group-by aggregates straight off these
+/// arrays with every per-partition access cache-resident.
+std::vector<std::int64_t> partitioned_values(const ScatterPlan& plan,
+                                             ColumnSpan<std::int64_t> vals,
+                                             ThreadPool* pool);
+std::vector<double> partitioned_values(const ScatterPlan& plan, ColumnSpan<double> vals,
+                                       ThreadPool* pool);
+
+/// Gathers `n` rows of `in` (in the given order) into a new table
+/// through the uninitialized-buffer move path: every fixed-width column
+/// lands in one exact-size buffer written once (no zero-fill), columns
+/// borrow the buffer, and the copy loop fuses all fixed-width columns
+/// into a single row sweep. Chunk-parallel over output rows when a pool
+/// is given. Row indices must be < in.num_rows().
+Table gather_rows(const Table& in, const std::uint32_t* rows, std::size_t n,
+                  ThreadPool* pool = nullptr);
 
 /// Hash-partition by an int64 key column: row r goes to partition
 /// hash(key[r]) % n. Deterministic across runs and platforms (the pool

@@ -19,6 +19,14 @@ void StageProfile::add(const TaskSample& s) {
   ewma_compute = ewma(ewma_compute, s.compute_seconds);
   ewma_transport = ewma(ewma_transport, s.transport_seconds);
   ewma_queue = ewma(ewma_queue, s.queue_seconds);
+  for (const auto& [name, seconds] : s.kernel_seconds) {
+    const auto it = ewma_kernel.find(name);
+    if (it == ewma_kernel.end()) {
+      ewma_kernel.emplace(name, seconds);
+    } else {
+      it->second += kEwmaAlpha * (seconds - it->second);
+    }
+  }
   ++count;
   retries += static_cast<std::size_t>(std::max(0, s.retries));
   if (recent.size() >= kMaxRecent) recent.erase(recent.begin());
@@ -103,8 +111,15 @@ void append_profile_json(std::ostringstream& os, const StageProfile& p) {
      << ",\"retries\":" << p.retries << ",\"ewma_task\":" << json_number(p.ewma_task)
      << ",\"ewma_compute\":" << json_number(p.ewma_compute)
      << ",\"ewma_transport\":" << json_number(p.ewma_transport)
-     << ",\"ewma_queue\":" << json_number(p.ewma_queue) << ",\"recent\":[";
+     << ",\"ewma_queue\":" << json_number(p.ewma_queue) << ",\"kernels\":{";
   bool first = true;
+  for (const auto& [name, seconds] : p.ewma_kernel) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_number(seconds);
+  }
+  os << "},\"recent\":[";
+  first = true;
   for (double v : p.recent) {
     if (!first) os << ",";
     first = false;
@@ -184,6 +199,20 @@ Result<std::vector<StageProfile>> StageProfileStore::parse_profiles_json(
     p.dop = static_cast<int>(dop);
     p.count = static_cast<std::size_t>(count);
     p.retries = static_cast<std::size_t>(retries);
+    // "kernels" is optional: profiles persisted before the kernel
+    // breakdown existed parse fine without it.
+    if (const JsonValue* kernels = entry.find("kernels"); kernels != nullptr) {
+      if (!kernels->is_object()) {
+        return Status::invalid_argument("profile entry 'kernels' is not an object");
+      }
+      for (const auto& [name, v] : kernels->as_object()) {
+        if (!v.is_number() || !std::isfinite(v.as_number()) || v.as_number() < 0.0) {
+          return Status::invalid_argument(
+              "profile entry 'kernels' holds a non-finite value");
+        }
+        p.ewma_kernel[name] = v.as_number();
+      }
+    }
     const JsonValue* recent = entry.find("recent");
     if (recent == nullptr || !recent->is_array()) {
       return Status::invalid_argument("profile entry missing array 'recent'");

@@ -41,6 +41,11 @@ struct TaskSample {
   double transport_seconds = 0.0;  ///< gather (read) + publish (write)
   double queue_seconds = 0.0;      ///< pool submit -> attempt start
   int retries = 0;                 ///< attempts before the winning one
+  /// Seconds spent inside named operator kernels during the stage
+  /// function (group_by / join / filter / top_k), from the
+  /// thread-local accounting in exec/kernels.h. A subset of
+  /// compute_seconds; keys absent when the kernel never ran.
+  std::map<std::string, double> kernel_seconds;
 };
 
 /// Aggregated history of one (fingerprint, stage, DoP) key.
@@ -57,6 +62,10 @@ struct StageProfile {
   double ewma_compute = 0.0;
   double ewma_transport = 0.0;
   double ewma_queue = 0.0;
+  /// Per-kernel EWMAs (same alpha), keyed by kernel name; a key is
+  /// seeded by the first sample that reports it. Lets timemodel.drift
+  /// see WHERE the compute model shifted when kernels change.
+  std::map<std::string, double> ewma_kernel;
   /// Bounded reservoir of recent task times (newest last, capped at
   /// kMaxRecent) backing the percentile queries.
   std::vector<double> recent;

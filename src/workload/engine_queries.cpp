@@ -48,9 +48,7 @@ Result<Table> multi_warehouse(const Table& t) {
                          exec::group_by(t, "order_id",
                                         {{AggKind::kMin, "warehouse_id", "wh_min"},
                                          {AggKind::kMax, "warehouse_id", "wh_max"}}));
-  return exec::filter(grouped, [](const Table& g, std::size_t r) {
-    return g.column_by_name("wh_min").double_at(r) < g.column_by_name("wh_max").double_at(r);
-  });
+  return exec::filter_cols(grouped, {exec::pred_cols("wh_min", CmpOp::kLt, "wh_max")});
 }
 
 exec::FactTableSpec fact_spec_from(const EngineQuerySpec& spec) {
@@ -149,10 +147,10 @@ EngineJob build_q1_engine_job(const EngineQuerySpec& spec) {
         DITTO_ASSIGN_OR_RETURN(
             Table with_avg,
             exec::hash_join(known, "warehouse_id", in.at(1), "warehouse_id"));
-        const Table above = exec::filter(with_avg, [factor](const Table& t, std::size_t r) {
-          return t.column_by_name("total").double_at(r) >
-                 factor * t.column_by_name("avg_total").double_at(r);
-        });
+        DITTO_ASSIGN_OR_RETURN(
+            Table above,
+            exec::filter_cols(with_avg,
+                              {exec::pred_cols("total", CmpOp::kGt, "avg_total", factor)}));
         return summarize_orders(above, "total");
       },
       "", {}};
@@ -182,12 +180,11 @@ EngineAnswer q1_engine_reference(const EngineJob& job, const EngineQuerySpec& sp
   auto with_avg = exec::hash_join(*known, "warehouse_id", *avgs, "warehouse_id");
   if (!with_avg.ok()) return answer;
   const double factor = spec.q1_avg_factor;
-  const Table above = exec::filter(*with_avg, [factor](const Table& t, std::size_t r) {
-    return t.column_by_name("total").double_at(r) >
-           factor * t.column_by_name("avg_total").double_at(r);
-  });
-  answer.rows = static_cast<std::int64_t>(above.num_rows());
-  for (double v : above.column_by_name("total").double_span()) answer.value += v;
+  auto above = exec::filter_cols(
+      *with_avg, {exec::pred_cols("total", CmpOp::kGt, "avg_total", factor)});
+  if (!above.ok()) return answer;
+  answer.rows = static_cast<std::int64_t>(above->num_rows());
+  for (double v : above->column_by_name("total").double_span()) answer.value += v;
   return answer;
 }
 
@@ -232,9 +229,9 @@ EngineJob build_q16_shaped(const EngineQuerySpec& spec, const char* name,
   job.bindings[scan_sales] = StageBinding{
       [sales, threshold](int task, int dop, const std::vector<Table>&) -> Result<Table> {
         const Table slice = exec::range_partition(*sales, dop)[task];
-        const Table filtered = exec::filter(slice, [threshold](const Table& t, std::size_t r) {
-          return t.column_by_name("price").double_at(r) > threshold;
-        });
+        DITTO_ASSIGN_OR_RETURN(
+            Table filtered,
+            exec::filter_cols(slice, {exec::pred_double("price", CmpOp::kGt, threshold)}));
         return exec::project(filtered,
                              {"order_id", "warehouse_id", "date_id", "site_id", "price"});
       },
@@ -301,13 +298,13 @@ EngineAnswer q16_shaped_reference(const EngineJob& job, const EngineQuerySpec& s
   const Table& dim = *job.sources.at("dim");
 
   const double threshold = spec.price_threshold;
-  const Table filtered = exec::filter(sales, [threshold](const Table& t, std::size_t r) {
-    return t.column_by_name("price").double_at(r) > threshold;
-  });
+  auto filtered =
+      exec::filter_cols(sales, {exec::pred_double("price", CmpOp::kGt, threshold)});
+  if (!filtered.ok()) return answer;
   auto allowed = exec::filter_int(dim, "attr", CmpOp::kEq, spec.dim_attr_allowed);
   if (!allowed.ok()) return answer;
   auto dimmed =
-      exec::hash_join(filtered, dim_join_column, *allowed, "id", JoinKind::kLeftSemi);
+      exec::hash_join(*filtered, dim_join_column, *allowed, "id", JoinKind::kLeftSemi);
   if (!dimmed.ok()) return answer;
   auto multi = multi_warehouse(sales);
   if (!multi.ok()) return answer;

@@ -16,9 +16,8 @@ namespace {
 
 /// map1 + groupby logic shared with the reference implementation.
 Result<Table> filter_sales(const Table& sales, double price_threshold) {
-  return exec::filter(sales, [price_threshold](const Table& t, std::size_t r) {
-    return t.column_by_name("price").double_at(r) > price_threshold;
-  });
+  return exec::filter_cols(sales,
+                           {exec::pred_double("price", CmpOp::kGt, price_threshold)});
 }
 
 Result<Table> multi_warehouse_orders(const Table& filtered_sales) {
@@ -30,10 +29,8 @@ Result<Table> multi_warehouse_orders(const Table& filtered_sales) {
                       {AggKind::kFirstInt, "date_id", "date_id"},
                       {AggKind::kFirstInt, "site_id", "site_id"},
                       {AggKind::kSum, "price", "revenue"}}));
-  const Table multi = exec::filter(grouped, [](const Table& t, std::size_t r) {
-    return t.column_by_name("wh_min").double_at(r) <
-           t.column_by_name("wh_max").double_at(r);
-  });
+  DITTO_ASSIGN_OR_RETURN(
+      Table multi, exec::filter_cols(grouped, {exec::pred_cols("wh_min", CmpOp::kLt, "wh_max")}));
   return exec::project(multi, {"order_id", "date_id", "site_id", "revenue"});
 }
 

@@ -117,6 +117,52 @@ TEST(StageProfileStoreTest, SaveLoadRoundTripsThroughObjectStore) {
   ASSERT_EQ(loaded->recent.size(), orig->recent.size());
 }
 
+TEST(StageProfileTest, KernelEwmasSeedAndTrack) {
+  StageProfile p;
+  TaskSample s1 = sample(1.0, 0.8);
+  s1.kernel_seconds = {{"group_by", 0.5}, {"join", 0.2}};
+  p.add(s1);
+  EXPECT_DOUBLE_EQ(p.ewma_kernel.at("group_by"), 0.5);
+  EXPECT_DOUBLE_EQ(p.ewma_kernel.at("join"), 0.2);
+
+  TaskSample s2 = sample(1.0, 0.8);
+  s2.kernel_seconds = {{"group_by", 1.0}, {"filter", 0.1}};
+  p.add(s2);
+  // alpha = 0.2: 0.5 + 0.2 * (1.0 - 0.5); new key seeds; absent key holds.
+  EXPECT_NEAR(p.ewma_kernel.at("group_by"), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(p.ewma_kernel.at("filter"), 0.1);
+  EXPECT_DOUBLE_EQ(p.ewma_kernel.at("join"), 0.2);
+}
+
+TEST(StageProfileStoreTest, KernelEwmasRoundTripAndStayOptional) {
+  StageProfileStore a;
+  TaskSample s = sample(2.0, 1.5);
+  s.kernel_seconds = {{"group_by", 0.9}, {"filter", 0.05}};
+  a.record(0x33, 0, 4, s);
+  a.record(0x33, 1, 4, sample(1.0));  // no kernel breakdown at all
+
+  storage::MemStore object_store;
+  ASSERT_TRUE(a.save(object_store).is_ok());
+  StageProfileStore b;
+  ASSERT_TRUE(b.load(object_store).is_ok());
+  const auto with = b.lookup(0x33, 0, 4);
+  ASSERT_TRUE(with.has_value());
+  EXPECT_NEAR(with->ewma_kernel.at("group_by"), 0.9, 1e-9);
+  EXPECT_NEAR(with->ewma_kernel.at("filter"), 0.05, 1e-9);
+  const auto without = b.lookup(0x33, 1, 4);
+  ASSERT_TRUE(without.has_value());
+  EXPECT_TRUE(without->ewma_kernel.empty());
+
+  // Documents persisted before the kernel breakdown existed (no
+  // "kernels" key) must keep parsing.
+  const auto parsed = StageProfileStore::parse_profiles_json(
+      "{\"fingerprint\":\"0000000000000042\",\"profiles\":"
+      "[{\"stage\":0,\"dop\":2,\"count\":1,\"retries\":0,\"ewma_task\":1,"
+      "\"ewma_compute\":0,\"ewma_transport\":0,\"ewma_queue\":0,\"recent\":[1]}]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_TRUE((*parsed)[0].ewma_kernel.empty());
+}
+
 TEST(StageProfileStoreTest, LoadReplacesSameKeyAndKeepsOthers) {
   StageProfileStore persisted;
   persisted.record(0x11, 0, 2, sample(10.0));
@@ -141,8 +187,10 @@ TEST(StageProfileStoreTest, CorruptionCorpusIsRejectedNotCrashed) {
 
   std::vector<std::string> corpus;
   // Truncations at every eighth byte — covers mid-token, mid-string,
-  // mid-array cuts.
+  // mid-array cuts. A cut that only sheds trailing whitespace leaves a
+  // complete document, so it is not corruption; skip those.
   for (std::size_t cut = 0; cut < good.size(); cut += 8) {
+    if (good.find_first_not_of(" \t\r\n", cut) == std::string::npos) continue;
     corpus.push_back(good.substr(0, cut));
   }
   corpus.push_back("");                                 // empty object

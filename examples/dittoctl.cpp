@@ -41,6 +41,16 @@
 //     epoch — recovered sinks land on the same keys, byte-identical.
 //   * --breaker routes the store through a circuit breaker that fails
 //     fast while the backend browns out.
+//
+// Recurring-job result cache: the service caches completed stage
+// outputs keyed by (plan fingerprint, input signature, input_version),
+// serving repeated submissions slot-free (whole-job hits), pruning
+// cached upstream stages (partial hits), and deduplicating identical
+// in-flight jobs. Sized via `policy ... cache_bytes=N` in the spec
+// (64 MiB default; 0 disables); per-job `cache=off` opts a line out and
+// `input_version=N` invalidates prior entries. With --state the cache
+// persists alongside the journal, so --recover restarts warm. The
+// outcome table's `src` column shows cache|dedup|prune|run per job.
 //   * serve exits non-zero when any job ends FAILED or is rejected at
 //     admission; --best-effort restores exit 0 (outcomes still print).
 #include <algorithm>
@@ -278,6 +288,8 @@ int run_serve(int argc, char** argv) {
   options.reject_infeasible = spec->reject_infeasible;
   options.journal = journal.get();
   options.persist_sinks = !state_dir.empty();
+  options.cache_bytes = spec->cache_bytes;
+  options.persist_cache = !state_dir.empty();
   service::JobService svc(*cl, *store, options);
 
   // Live endpoints: enable metrics collection (bounding the trace ring
@@ -336,6 +348,10 @@ int run_serve(int argc, char** argv) {
     job->submission.faults = js.faults;
     job->submission.tier = js.tier;
     job->submission.job_attempts = 1 + js.retries;
+    // Result-cache identity: version from the spec line; `cache=off`
+    // clears the identity so the job neither probes nor deduplicates.
+    job->submission.cache_id.input_version = js.input_version;
+    if (!js.cache) job->submission.cache_id = {};
     if (journal != nullptr) job->submission.spec_line = js.line;
     job->submission.jid = entry.jid;
     job->submission.epoch = entry.epoch;
@@ -352,8 +368,8 @@ int run_serve(int argc, char** argv) {
   }
 
   std::size_t failed = 0;
-  std::printf("%-12s %-5s %-8s %-10s %9s %9s %6s %4s  %s\n", "label", "query", "tier",
-              "state", "queue_s", "jct_s", "slots", "try", "error");
+  std::printf("%-12s %-5s %-8s %-10s %9s %9s %6s %4s %-6s  %s\n", "label", "query", "tier",
+              "state", "queue_s", "jct_s", "slots", "try", "src", "error");
   for (const Submitted& s : submitted) {
     const auto outcome = svc.wait(s.id);
     if (!outcome.ok()) {
@@ -361,17 +377,43 @@ int run_serve(int argc, char** argv) {
       return 1;
     }
     const service::ServeJobSpec& js = entries[s.entry_index].js;
-    std::printf("%-12s %-5s %-8s %-10s %9.3f %9.3f %6d %4d  %s\n", outcome->label.c_str(),
-                js.query.c_str(), outcome->tier.c_str(),
+    // Where the result came from: a whole-job cache hit, a deduplicated
+    // leader's run, or an engine run (possibly with pruned stages).
+    const char* src = outcome->dedup_leader != 0 ? "dedup"
+                      : outcome->from_cache      ? "cache"
+                      : outcome->reused_stages > 0 ? "prune"
+                                                   : "run";
+    std::printf("%-12s %-5s %-8s %-10s %9.3f %9.3f %6d %4d %-6s  %s\n",
+                outcome->label.c_str(), js.query.c_str(), outcome->tier.c_str(),
                 service::job_state_name(outcome->state),
                 outcome->state == service::JobState::kDone ? outcome->queueing() : 0.0,
                 outcome->state == service::JobState::kDone ? outcome->jct() : 0.0,
-                outcome->slots_granted, outcome->attempts,
+                outcome->slots_granted, outcome->attempts, src,
                 outcome->error.is_ok() ? "-" : outcome->error.to_string().c_str());
     if (outcome->state == service::JobState::kFailed) ++failed;
   }
   svc.drain();
   std::printf("\n%s", svc.summary().to_text().c_str());
+  if (const service::ResultCache* rc = svc.result_cache()) {
+    const service::CacheStats cs = rc->stats();
+    obs::CacheSection cache;
+    cache.enabled = true;
+    cache.hits = cs.hits;
+    cache.partial_hits = cs.partial_hits;
+    cache.misses = cs.misses;
+    cache.stage_hits = cs.stage_hits;
+    cache.insertions = cs.insertions;
+    cache.evictions = cs.evictions;
+    cache.entries = cs.entries;
+    cache.bytes = cs.bytes;
+    cache.slot_seconds_saved = cs.slot_seconds_saved;
+    std::printf(
+        "cache: %zu hits, %zu partial, %zu misses (%.0f%% hit rate); "
+        "%zu entries / %.1f MiB live, %zu evicted, %.2f slot-s saved\n",
+        cache.hits, cache.partial_hits, cache.misses, 100.0 * cache.hit_rate(),
+        cache.entries, static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
+        cache.evictions, cache.slot_seconds_saved);
+  }
   if (use_breaker) {
     const faults::CircuitBreaker::Counters bc = breaker.counters();
     std::printf("breaker: state %s, %zu trips, %zu fast-fails, %zu probes\n",

@@ -148,6 +148,110 @@ std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
 
 }  // namespace
 
+Result<DagPruning> prune_completed_stages(const JobDag& dag,
+                                          const std::vector<bool>& completed) {
+  const std::size_t n = dag.num_stages();
+  if (completed.size() != n) {
+    return Status::invalid_argument("completed mask has " + std::to_string(completed.size()) +
+                                    " entries for a " + std::to_string(n) + "-stage DAG");
+  }
+
+  // A stage still executes iff it is uncached and some uncached sink
+  // depends on it through uncached stages only (a cached consumer cuts
+  // the dependency: its output is served, not recomputed). Walk in
+  // reverse topological order so children resolve first.
+  std::vector<bool> needed(n, false);
+  const std::vector<StageId> topo = topological_order(dag);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const StageId s = *it;
+    if (completed[s]) continue;
+    if (dag.children(s).empty()) {
+      needed[s] = true;
+      continue;
+    }
+    for (const StageId c : dag.children(s)) {
+      if (needed[c]) {
+        needed[s] = true;
+        break;
+      }
+    }
+  }
+  if (std::find(needed.begin(), needed.end(), true) == needed.end()) {
+    return Status::invalid_argument(
+        "every sink is completed: whole-job hit, nothing to prune");
+  }
+
+  // Completed stages a remaining stage still reads become replay
+  // sources. Replaying across a gather edge would misroute rows (1:1
+  // task mapping under a different DoP) — refuse rather than corrupt.
+  std::vector<bool> replay(n, false);
+  for (const Edge& e : dag.edges()) {
+    if (!completed[e.src] || !needed[e.dst]) continue;
+    if (e.exchange == ExchangeKind::kGather) {
+      return Status::invalid_argument("stage '" + dag.stage(e.src).name() +
+                                      "' feeds a gather edge and cannot be replayed from "
+                                      "cache");
+    }
+    replay[e.src] = true;
+  }
+
+  DagPruning out;
+  out.dag = JobDag(dag.name());
+  out.to_new.assign(n, kNoStage);
+  for (StageId s = 0; s < n; ++s) {
+    if (!needed[s] && !replay[s]) {
+      ++out.num_dropped;
+      continue;
+    }
+    const Stage& old = dag.stage(s);
+    const StageId ns = out.dag.add_stage(replay[s] ? old.name() + "~cached" : old.name());
+    out.to_old.push_back(s);
+    out.to_new[s] = ns;
+    out.is_replay.push_back(replay[s]);
+    if (replay[s]) ++out.num_replay;
+    Stage& fresh = out.dag.stage(ns);
+    fresh.set_op(replay[s] ? "cached" : old.op());
+    fresh.set_input_bytes(replay[s] ? 0 : old.input_bytes());
+    fresh.set_output_bytes(old.output_bytes());
+    fresh.set_rho(old.rho());
+    fresh.set_sigma(old.sigma());
+    fresh.set_base_memory_bytes(old.base_memory_bytes());
+    fresh.set_straggler_scale(old.straggler_scale());
+  }
+
+  // Steps: keep what the pruned run actually performs, deps remapped.
+  // A replay source only writes; reads from dropped/replayed producers
+  // and writes toward completed consumers vanish with their edges.
+  for (StageId ns = 0; ns < out.dag.num_stages(); ++ns) {
+    const Stage& old = dag.stage(out.to_old[ns]);
+    Stage& fresh = out.dag.stage(ns);
+    for (const Step& step : old.steps()) {
+      Step copy = step;
+      if (step.dep != kNoStage) {
+        const StageId dep = out.to_new[step.dep];
+        const bool dep_runs = dep != kNoStage && !out.is_replay[dep];
+        if (step.kind == StepKind::kRead) {
+          if (out.is_replay[ns] || dep == kNoStage) continue;
+        } else if (step.kind == StepKind::kWrite) {
+          if (!dep_runs) continue;  // consumer is served from cache
+        }
+        copy.dep = dep;
+      } else if (out.is_replay[ns] && step.kind != StepKind::kWrite) {
+        continue;  // replay reads nothing and computes nothing
+      }
+      fresh.add_step(copy);
+    }
+  }
+
+  for (const Edge& e : dag.edges()) {
+    if (out.to_new[e.src] == kNoStage || !needed[e.dst]) continue;
+    DITTO_RETURN_IF_ERROR(
+        out.dag.add_edge(out.to_new[e.src], out.to_new[e.dst], e.exchange, e.bytes));
+  }
+  DITTO_RETURN_IF_ERROR(out.dag.validate());
+  return out;
+}
+
 std::uint64_t structural_fingerprint(const JobDag& dag) {
   std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
   const std::uint64_t stages = dag.num_stages();

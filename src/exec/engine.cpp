@@ -77,6 +77,11 @@ struct RunState {
 
   std::mutex sink_mu;
   std::map<StageId, std::map<TaskId, Table>> sink_parts;  ///< first writer wins
+  /// Captured non-sink outputs (EngineOptions::capture_stages); same
+  /// first-writer-wins slots under sink_mu, so speculative duplicates
+  /// stay safe.
+  std::vector<char> capture;  ///< by stage; 1 = capture this stage
+  std::map<StageId, std::map<TaskId, Table>> capture_parts;
 
   std::atomic<bool> failed{false};
   std::mutex error_mu;
@@ -150,6 +155,11 @@ Status run_task_once(RunState& rs, StageId s, TaskId t, int dop, TaskIo* io) {
     rs.sink_parts[s].try_emplace(static_cast<TaskId>(t), std::move(value));
   } else {
     io->bytes_out = out->value().byte_size();
+    if (s < rs.capture.size() && rs.capture[s] != 0) {
+      Table copy = out->value();
+      std::lock_guard<std::mutex> lock(rs.sink_mu);
+      rs.capture_parts[s].try_emplace(static_cast<TaskId>(t), std::move(copy));
+    }
     for (std::size_t c = 0; c < children.size(); ++c) {
       // The last child may take the table by move.
       Table payload = (c + 1 == children.size()) ? std::move(*out).value() : out->value();
@@ -444,6 +454,10 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   rs.profiles = options_.profiles;
   rs.fingerprint = options_.plan_fingerprint;
   rs.compute_pool = scatter_pool.get();
+  rs.capture.assign(dag_->num_stages(), 0);
+  for (const StageId s : options_.capture_stages) {
+    if (s < rs.capture.size()) rs.capture[s] = 1;
+  }
 
   const faults::ResiliencePolicy& policy = options_.resilience;
   const int max_attempts = std::max(1, policy.max_task_attempts);
@@ -635,6 +649,19 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
       }
     }
     result.sink_outputs.emplace(s, std::move(merged));
+  }
+  for (auto& [s, parts] : rs.capture_parts) {
+    Table merged;
+    bool first = true;
+    for (auto& [t, table] : parts) {
+      if (first) {
+        merged = std::move(table);
+        first = false;
+      } else {
+        DITTO_RETURN_IF_ERROR(merged.concat(table));
+      }
+    }
+    result.captured_outputs.emplace(s, std::move(merged));
   }
 
   for (const auto& [edge, ex] : exchanges) {

@@ -129,6 +129,12 @@ struct EngineOptions {
   /// the engine emits `timemodel.drift` histogram samples and
   /// per-stage `timemodel.rel_error` gauges as each wave completes.
   std::vector<double> predicted_stage_seconds;
+
+  /// Non-sink stages whose merged outputs should also be returned in
+  /// EngineResult::captured_outputs (the service result cache feeds on
+  /// these). Costs one table copy per captured task; sink stages are
+  /// already returned and need no capturing.
+  std::vector<StageId> capture_stages;
 };
 
 struct EngineStats {
@@ -141,6 +147,8 @@ struct EngineStats {
 struct EngineResult {
   /// Concatenated outputs of each sink stage's tasks, keyed by StageId.
   std::map<StageId, Table> sink_outputs;
+  /// Same per-task-order assembly for EngineOptions::capture_stages.
+  std::map<StageId, Table> captured_outputs;
   EngineStats stats;
 };
 

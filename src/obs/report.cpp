@@ -91,6 +91,7 @@ ExecutionReport build_execution_report(const JobDag& dag, const scheduler::Sched
   if (extras.trace) report.trace_events = extras.trace->size();
   if (extras.metrics) report.metrics_text = extras.metrics->to_text();
   if (extras.resilience) report.resilience = *extras.resilience;
+  if (extras.cache) report.cache = *extras.cache;
   if (extras.model_dag) report.accuracy = build_accuracy(*extras.model_dag, plan, monitor);
   report.critical_path = build_critical_path(dag, monitor);
   return report;
@@ -195,6 +196,17 @@ std::string ExecutionReport::to_text() const {
     }
   }
 
+  if (cache.enabled) {
+    const CacheSection& c = cache;
+    os << "\nresult cache:\n";
+    os << "  jobs: " << c.hits << " hits, " << c.partial_hits << " partial, " << c.misses
+       << " misses (hit rate " << static_cast<int>(c.hit_rate() * 100.0 + 0.5) << "%), "
+       << c.dedup_followers << " dedup followers\n";
+    os << "  entries: " << c.entries << " live (" << c.bytes << " bytes), " << c.insertions
+       << " inserted, " << c.evictions << " evicted, " << c.stage_hits << " stage hits\n";
+    os << "  slot-seconds saved: " << c.slot_seconds_saved << "\n";
+  }
+
   if (trace_events > 0) os << "\ntrace: " << trace_events << " events collected\n";
   if (!metrics_text.empty()) os << "\nmetrics snapshot:\n" << metrics_text;
   os << "\nplan:\n" << plan_text;
@@ -290,6 +302,16 @@ std::string ExecutionReport::to_json() const {
        << ",\"jobs_recovered\":" << r.jobs_recovered
        << ",\"breaker_trips\":" << r.breaker_trips
        << ",\"breaker_fast_fails\":" << r.breaker_fast_fails << "}";
+  }
+  if (cache.enabled) {
+    const CacheSection& c = cache;
+    os << ",\"cache\":{\"hits\":" << c.hits << ",\"partial_hits\":" << c.partial_hits
+       << ",\"misses\":" << c.misses << ",\"hit_rate\":" << json_number(c.hit_rate())
+       << ",\"stage_hits\":" << c.stage_hits
+       << ",\"dedup_followers\":" << c.dedup_followers
+       << ",\"insertions\":" << c.insertions << ",\"evictions\":" << c.evictions
+       << ",\"entries\":" << c.entries << ",\"bytes\":" << c.bytes
+       << ",\"slot_seconds_saved\":" << json_number(c.slot_seconds_saved) << "}";
   }
   os << ",\"plan_text\":\"" << json_escape(plan_text) << "\"";
   if (!metrics_text.empty()) {

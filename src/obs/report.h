@@ -87,6 +87,30 @@ struct ResilienceSection {
   }
 };
 
+/// Result-cache activity of a serve run. A plain struct (obs cannot
+/// depend on ditto_service without a cycle): serve-mode callers copy
+/// counters in from service::CacheStats.
+struct CacheSection {
+  bool enabled = false;           ///< the service ran with a result cache
+  std::size_t hits = 0;           ///< whole-job hits served slot-free
+  std::size_t partial_hits = 0;   ///< jobs that pruned >= 1 cached stage
+  std::size_t misses = 0;         ///< jobs that ran their full DAG
+  std::size_t stage_hits = 0;     ///< stage entries served
+  std::size_t dedup_followers = 0;  ///< submissions resolved by a leader
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;        ///< live entries at snapshot time
+  Bytes bytes = 0;                ///< live payload bytes at snapshot time
+  double slot_seconds_saved = 0.0;
+
+  double hit_rate() const {
+    const std::size_t classed = hits + partial_hits + misses;
+    return classed > 0 ? static_cast<double>(hits + partial_hits) /
+                             static_cast<double>(classed)
+                       : 0.0;
+  }
+};
+
 /// One stage's predicted time joined against the observed wave window.
 struct AccuracyRow {
   StageId stage = kNoStage;
@@ -120,6 +144,7 @@ struct ExecutionReport {
   std::size_t remote_edges = 0;
   std::vector<StageReportRow> stages;
   ResilienceSection resilience;  ///< rendered only when enabled
+  CacheSection cache;            ///< rendered only when enabled
   AccuracySection accuracy;      ///< rendered only when enabled
   CriticalPathSection critical_path;  ///< rendered when non-empty
   std::string plan_text;      ///< explain_plan rendering
@@ -141,6 +166,7 @@ struct ReportExtras {
   const TraceCollector* trace = nullptr;    ///< event count provenance
   const MetricsRegistry* metrics = nullptr; ///< snapshot to embed
   const ResilienceSection* resilience = nullptr;  ///< fault/recovery counters
+  const CacheSection* cache = nullptr;            ///< result-cache counters
   /// The DAG the scheduler planned from (fitted step models). When set,
   /// the report computes the prediction-accuracy section by re-running
   /// the ExecTimePredictor under the plan's placement.

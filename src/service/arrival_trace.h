@@ -1,0 +1,64 @@
+// ArrivalTrace: deterministic open-loop workload generator for the
+// service throughput benchmark (bench/bench_service_throughput.cpp).
+//
+// A trace is a list of (arrival time, query, spec) tuples drawn from a
+// pool of `distinct_jobs` recurring job templates — the paper's §6.5
+// premise that production analytics is dominated by recurring
+// submissions. `repeat_ratio` controls how many arrivals re-draw an
+// existing template (cacheable/dedupable) versus materialize a fresh
+// one (unique seed, guaranteed cold). Three arrival shapes:
+//
+//   kUniform — Poisson arrivals at a constant rate (exponential gaps);
+//   kBursty  — duty-cycled Poisson: `burst_factor` x the base rate for
+//              a fraction of each period, idle otherwise (same mean);
+//   kDiurnal — sinusoidally modulated rate over the trace duration
+//              (one "day": trough at the start/end, peak mid-trace).
+//
+// Everything is seeded: the same TraceOptions always yields the same
+// trace, so cache-on and cache-off benchmark runs replay identical
+// workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/engine_queries.h"
+
+namespace ditto::service {
+
+enum class TraceShape : std::uint8_t { kUniform, kBursty, kDiurnal };
+
+const char* trace_shape_name(TraceShape s);
+
+struct TraceOptions {
+  TraceShape shape = TraceShape::kUniform;
+  double duration_s = 10.0;   ///< open-loop window arrivals fall in
+  double rate_hz = 4.0;       ///< mean arrival rate over the window
+  double repeat_ratio = 0.5;  ///< fraction of arrivals drawn from the pool
+  std::size_t distinct_jobs = 4;  ///< recurring template pool size
+  /// Burst shaping (kBursty only): rate multiplier inside a burst and
+  /// the fraction of each 1-second period spent bursting.
+  double burst_factor = 4.0;
+  double burst_duty = 0.25;
+  /// Data scale for the generated TPC-DS miniatures.
+  std::int64_t fact_rows = 2000;
+  std::int64_t num_orders = 300;
+  std::uint64_t seed = 42;
+};
+
+struct TraceArrival {
+  double at_s = 0.0;          ///< offset from trace start
+  std::string query;          ///< q1 | q16 | q94 | q95
+  workload::EngineQuerySpec spec;
+  bool repeat = false;        ///< drawn from the recurring pool
+  std::size_t template_id = 0;  ///< pool index (repeats) or unique id
+};
+
+/// Generates the trace, sorted by arrival time. Fails INVALID_ARGUMENT
+/// on nonsensical options (non-positive duration/rate, repeat_ratio
+/// outside [0,1], empty pool with repeat_ratio > 0).
+Result<std::vector<TraceArrival>> generate_trace(const TraceOptions& options);
+
+}  // namespace ditto::service

@@ -1,9 +1,11 @@
 #include "service/engine_jobs.h"
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 
+#include "dag/dag_algorithms.h"
 #include "workload/physics.h"
 #include "workload/q95_engine.h"
 
@@ -16,6 +18,14 @@ JobDag model_of(const JobDag& dag, const storage::StorageModel& external) {
   physics.store = external;
   workload::apply_physics(model, physics);
   return model;
+}
+
+CacheIdentity cache_identity(std::string_view query, const workload::EngineQuerySpec& spec,
+                             const JobDag& model) {
+  CacheIdentity id;
+  id.plan_fingerprint = structural_fingerprint(model);
+  id.input_signature = engine_query_signature(query, spec);
+  return id;
 }
 
 EngineQueryJob from_engine_job(workload::EngineJob job, const workload::EngineAnswer& ref,
@@ -55,23 +65,40 @@ const std::vector<std::string_view>& engine_query_names() {
   return names;
 }
 
+std::string engine_query_signature(std::string_view query,
+                                   const workload::EngineQuerySpec& spec) {
+  std::ostringstream os;
+  os << query << "|rows=" << spec.fact_rows << "|orders=" << spec.num_orders
+     << "|wh=" << spec.num_warehouses << "|dates=" << spec.num_dates
+     << "|sites=" << spec.num_sites << "|rf=" << spec.return_fraction
+     << "|pt=" << spec.price_threshold << "|avg=" << spec.q1_avg_factor
+     << "|attr=" << spec.dim_attr_allowed << "|seed=" << spec.seed;
+  return os.str();
+}
+
 Result<EngineQueryJob> make_engine_query_job(std::string_view query,
                                              const workload::EngineQuerySpec& spec,
                                              const storage::StorageModel& external) {
   if (query == "q1") {
     workload::EngineJob job = workload::build_q1_engine_job(spec);
     const workload::EngineAnswer ref = workload::q1_engine_reference(job, spec);
-    return from_engine_job(std::move(job), ref, external);
+    EngineQueryJob out = from_engine_job(std::move(job), ref, external);
+    out.submission.cache_id = cache_identity(query, spec, out.submission.model_dag);
+    return out;
   }
   if (query == "q16") {
     workload::EngineJob job = workload::build_q16_engine_job(spec);
     const workload::EngineAnswer ref = workload::q16_engine_reference(job, spec);
-    return from_engine_job(std::move(job), ref, external);
+    EngineQueryJob out = from_engine_job(std::move(job), ref, external);
+    out.submission.cache_id = cache_identity(query, spec, out.submission.model_dag);
+    return out;
   }
   if (query == "q94") {
     workload::EngineJob job = workload::build_q94_engine_job(spec);
     const workload::EngineAnswer ref = workload::q94_engine_reference(job, spec);
-    return from_engine_job(std::move(job), ref, external);
+    EngineQueryJob out = from_engine_job(std::move(job), ref, external);
+    out.submission.cache_id = cache_identity(query, spec, out.submission.model_dag);
+    return out;
   }
   if (query == "q95") {
     const workload::Q95EngineSpec q95_spec = q95_spec_of(spec);
@@ -89,6 +116,7 @@ Result<EngineQueryJob> make_engine_query_job(std::string_view query,
       return workload::EngineAnswer{answer->order_count, answer->total_revenue};
     };
     out.submission.model_dag = model_of(job.dag, external);
+    out.submission.cache_id = cache_identity(query, spec, out.submission.model_dag);
     auto keep = std::make_shared<workload::Q95EngineJob>(std::move(job));
     out.submission.dag = keep->dag;
     out.submission.bindings = keep->bindings;

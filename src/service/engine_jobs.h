@@ -18,7 +18,8 @@
 namespace ditto::service {
 
 struct EngineQueryJob {
-  JobSubmission submission;
+  JobSubmission submission;  ///< cache_id pre-filled (version 0); clear
+                             ///< it to opt the job out of caching
 
   /// Ground truth from the query's single-node reference.
   std::int64_t ref_rows = 0;
@@ -33,6 +34,14 @@ struct EngineQueryJob {
 
 /// Supported query names for make_engine_query_job().
 const std::vector<std::string_view>& engine_query_names();
+
+/// Canonical, whitespace-free signature of the input data a query
+/// reads: every EngineQuerySpec field, so two submissions share a
+/// result-cache identity only when they would generate byte-identical
+/// source tables (structural_fingerprint alone deliberately ignores
+/// data volumes and seeds).
+std::string engine_query_signature(std::string_view query,
+                                   const workload::EngineQuerySpec& spec);
 
 /// Builds a submission-ready engine job for `query` in {q1, q16, q94,
 /// q95}. `external` is the storage model physics instantiates step

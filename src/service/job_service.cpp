@@ -82,6 +82,15 @@ JobService::JobService(cluster::Cluster& cluster, storage::ObjectStore& store,
     const Status loaded = profiles_.load(*store_, options_.profile_prefix);
     (void)loaded;
   }
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
+    if (options_.persist_cache) {
+      // Same best-effort contract as profiles: a warm cache is an
+      // optimization, never a startup requirement.
+      const Status loaded = cache_->load(*store_, options_.cache_prefix);
+      (void)loaded;
+    }
+  }
   dispatcher_ = std::thread(&JobService::dispatcher_loop, this);
 }
 
@@ -121,7 +130,34 @@ Result<JobId> JobService::submit(JobSubmission sub) {
     if (intake_closed_) {
       return Status::failed_precondition("job service is draining; intake closed");
     }
-    if (options_.max_queue_depth > 0 && queue_.size() >= options_.max_queue_depth) {
+    // Result-cache pre-probe. A whole-job hit is served without a queue
+    // slot and an in-flight duplicate attaches to its leader, so
+    // neither participates in overload shedding below.
+    const bool cache_on = cache_ != nullptr && sub.cache_id.enabled();
+    bool whole_hit = false;
+    JobId leader_id = 0;
+    if (cache_on) {
+      whole_hit = true;
+      bool any_sink = false;
+      for (StageId s = 0; s < sub.dag.num_stages(); ++s) {
+        if (!sub.dag.children(s).empty()) continue;
+        any_sink = true;
+        if (!cache_->contains(sub.cache_id, s)) {
+          whole_hit = false;
+          break;
+        }
+      }
+      if (!any_sink) whole_hit = false;
+      if (!whole_hit) {
+        const auto in = inflight_.find(sub.cache_id);
+        if (in != inflight_.end()) {
+          const auto lit = jobs_.find(in->second);
+          if (lit != jobs_.end() && !is_terminal(lit->second->state)) leader_id = in->second;
+        }
+      }
+    }
+    if (!whole_hit && leader_id == 0 && options_.max_queue_depth > 0 &&
+        queue_.size() >= options_.max_queue_depth) {
       obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
       // Overload: shed the newest queued batch-tier job to make room
       // for a latency-tier arrival; otherwise fast-reject the arrival.
@@ -167,9 +203,32 @@ Result<JobId> JobService::submit(JobSubmission sub) {
       slot_seconds_at_first_submit_ = ledger_.slot_seconds();
     }
     const std::string tier = rec->sub.tier;
+    JobRecord* raw = rec.get();
     jobs_.emplace(id, std::move(rec));
-    enqueue_locked(id, tier);
-    note_queue_locked();
+    if (whole_hit && try_serve_from_cache_locked(*raw)) {
+      // Served DONE straight from cached sink bytes; never queued, no
+      // engine slots occupied.
+    } else if (leader_id != 0) {
+      // In-flight dedupe: attach as a follower; the leader's terminal
+      // transition resolves us (result copy, failure, or promotion).
+      raw->leader = leader_id;
+      jobs_.at(leader_id)->followers.push_back(id);
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) mx.counter("service.dedup_followers", {{"tier", tier}}).add();
+      obs::TraceCollector& tc = obs::TraceCollector::global();
+      if (tc.enabled()) {
+        tc.instant("service", "dedup.attach", static_cast<std::uint64_t>(now() * 1e6), -1,
+                   static_cast<std::int64_t>(id),
+                   {{"leader", std::to_string(leader_id)}});
+      }
+    } else {
+      if (cache_on) {
+        inflight_[raw->sub.cache_id] = id;
+        raw->inflight_registered = true;
+      }
+      enqueue_locked(id, tier);
+      note_queue_locked();
+    }
   }
   dispatch_cv_.notify_all();
   state_cv_.notify_all();  // a shed job may have just turned terminal
@@ -298,8 +357,7 @@ void JobService::dispatcher_loop() {
     }
 
     expire_deadlines_locked();
-    while (try_admit_head_locked()) {
-    }
+    admit_batch_locked();
 
     if (stop_dispatcher_ && queue_.empty() && running_jobs_ == 0 &&
         finished_unjoined_.empty()) {
@@ -360,6 +418,17 @@ void JobService::expire_deadlines_locked() {
       ++it;
     }
   }
+  // Dedupe followers live outside queue_ (state QUEUED, attached to a
+  // leader): their deadlines expire here, detaching them on the way out.
+  for (const auto& [id, rec] : jobs_) {
+    if (rec->state != JobState::kQueued || rec->leader == 0) continue;
+    if (rec->deadline_at <= 0.0 || t < rec->deadline_at) continue;
+    finish_job_locked(*rec, JobState::kFailed,
+                      Status::deadline_exceeded("deadline expired after " +
+                                                std::to_string(rec->sub.deadline) +
+                                                " s waiting on deduplicated leader"));
+    state_cv_.notify_all();
+  }
   // Running jobs past their deadline get a cooperative stop; the runner
   // maps the engine's CANCELLED into FAILED/DEADLINE_EXCEEDED.
   for (const auto& [id, rec] : jobs_) {
@@ -374,119 +443,370 @@ void JobService::expire_deadlines_locked() {
   }
 }
 
-bool JobService::try_admit_head_locked() {
-  if (queue_.empty()) return false;
-  // The effective head is the first job whose retry-backoff gate has
-  // passed; jobs still backing off are overtaken, everything else
-  // stays strict FIFO (no fit-based overtaking).
+std::size_t JobService::admit_batch_locked() {
+  if (queue_.empty()) return 0;
   const double t = now();
-  const auto head_it = std::find_if(queue_.begin(), queue_.end(), [&](JobId qid) {
-    return jobs_.at(qid)->earliest_admit <= t;
-  });
-  if (head_it == queue_.end()) return false;  // everyone is backing off
-  JobRecord& rec = *jobs_.at(*head_it);
+  std::size_t eligible = 0;
+  for (const JobId qid : queue_) {
+    if (jobs_.at(qid)->earliest_admit <= t) ++eligible;
+  }
+  if (eligible == 0) return 0;  // everyone is backing off
 
-  const std::vector<int> free = ledger_.free_snapshot();
-  const int leased = ledger_.outstanding_total();
-  const std::vector<int> offer =
-      admission_offer(options_.admission, free, ledger_.total_slots(), leased);
-  if (offer.empty()) return false;  // policy says wait
+  // Batched admission: ONE ledger snapshot for the whole drainable
+  // prefix. Each admitted job's demand is deducted from the local view,
+  // so the batch plans against consistent numbers without re-reading
+  // the ledger per job — one elastic planning pass per wakeup instead
+  // of one per arrival.
+  std::vector<int> free = ledger_.free_snapshot();
+  int leased = ledger_.outstanding_total();
+  const int total = ledger_.total_slots();
 
-  // The cluster is maximally available when nothing is leased — if the
-  // head cannot be planned against THIS offer it never will be, so fail
-  // it instead of head-blocking the queue forever.
-  const bool maximal_offer = leased == 0;
-
-  const cluster::Cluster view = cluster::Cluster::from_slots(offer);
-  scheduler::DittoScheduler sched;
-  auto plan = sched.schedule(rec.sub.model_dag, view, rec.sub.objective, options_.external);
-  if (!plan.ok()) {
-    if (maximal_offer) {
-      queue_.erase(head_it);
-      note_queue_locked();
-      finish_job_locked(rec, JobState::kFailed,
-                        Status::unavailable("job does not fit the cluster under policy " +
-                                            std::string(admission_policy_name(
-                                                options_.admission.policy)) +
-                                            ": " + plan.status().message()));
-      state_cv_.notify_all();
-      return true;
-    }
-    return false;  // wait for completions to widen the offer
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    const obs::MetricLabels labels{
+        {"policy", admission_policy_name(options_.admission.policy)}};
+    mx.counter("service.admission_passes", labels).add();
+    mx.histogram("service.admission_batch", 0.0, 64.0, 32, labels)
+        .observe(static_cast<double>(eligible));
   }
 
-  // Deadline infeasibility: the plan's own time model says this job
-  // cannot make its deadline — fail fast instead of running doomed.
-  if (options_.reject_infeasible && rec.deadline_at > 0.0 &&
-      plan->predicted.jct > rec.deadline_at - now()) {
-    if (maximal_offer) {
+  std::size_t progressed = 0;
+  for (;;) {
+    // The effective head is the first job whose retry-backoff gate has
+    // passed; jobs still backing off are overtaken, everything else
+    // stays strict FIFO (no fit-based overtaking).
+    const auto head_it = std::find_if(queue_.begin(), queue_.end(), [&](JobId qid) {
+      return jobs_.at(qid)->earliest_admit <= t;
+    });
+    if (head_it == queue_.end()) break;
+    JobRecord& rec = *jobs_.at(*head_it);
+    const bool cache_on = cache_ != nullptr && rec.sub.cache_id.enabled();
+
+    // A whole-job hit may have materialized while this job queued (an
+    // identical job finished ahead of it): serve it slot-free.
+    if (cache_on && try_serve_from_cache_locked(rec)) {
       queue_.erase(head_it);
       note_queue_locked();
-      std::ostringstream why;
-      why << "infeasible: predicted JCT " << plan->predicted.jct
-          << " s exceeds remaining deadline " << std::max(0.0, rec.deadline_at - now()) << " s";
-      finish_job_locked(rec, JobState::kFailed, Status::deadline_exceeded(why.str()));
       state_cv_.notify_all();
-      return true;
+      ++progressed;
+      continue;
     }
-    return false;  // a wider offer after completions may still make it
-  }
 
-  const std::vector<int> demand =
-      cluster::slot_demand(plan->placement, cluster_->num_servers());
-  auto lease = ledger_.acquire(demand);
-  if (!lease.ok()) return false;  // cannot happen under mu_; be safe
+    const std::vector<int> offer = admission_offer(options_.admission, free, total, leased);
+    if (offer.empty()) break;  // policy says wait
 
-  // Charge the job's modeled shared-memory footprint per server.
-  std::vector<Bytes> charge;
-  if (options_.account_arena) {
-    charge = arena_demand(rec.sub.model_dag, plan->placement, cluster_->num_servers());
-    for (std::size_t v = 0; v < charge.size(); ++v) {
-      if (charge[v] == 0) continue;
-      const Status st = cluster_->server(v).arena().reserve(charge[v]);
-      if (!st.is_ok()) {
-        // Unwind and either wait for memory or fail permanently.
-        for (std::size_t u = 0; u < v; ++u) {
-          if (charge[u] > 0) cluster_->server(u).arena().release(charge[u]);
+    // The cluster is maximally available when nothing is leased — if
+    // the head cannot be planned against THIS offer it never will be,
+    // so fail it instead of head-blocking the queue forever.
+    const bool maximal_offer = leased == 0;
+
+    // Partial hit: prune cached upstream stages before planning so the
+    // scheduler sizes only the work that actually runs.
+    if (cache_on && rec.pruned == nullptr && rec.attempt <= 1) {
+      build_pruned_run_locked(rec);
+    }
+    const JobDag& model = rec.pruned != nullptr ? rec.pruned->model : rec.sub.model_dag;
+
+    const cluster::Cluster view = cluster::Cluster::from_slots(offer);
+    scheduler::DittoScheduler sched;
+    auto plan = sched.schedule(model, view, rec.sub.objective, options_.external);
+    if (!plan.ok()) {
+      if (maximal_offer) {
+        queue_.erase(head_it);
+        note_queue_locked();
+        finish_job_locked(rec, JobState::kFailed,
+                          Status::unavailable("job does not fit the cluster under policy " +
+                                              std::string(admission_policy_name(
+                                                  options_.admission.policy)) +
+                                              ": " + plan.status().message()));
+        state_cv_.notify_all();
+        ++progressed;
+        continue;
+      }
+      break;  // wait for completions to widen the offer
+    }
+
+    // Deadline infeasibility: the plan's own time model says this job
+    // cannot make its deadline — fail fast instead of running doomed.
+    if (options_.reject_infeasible && rec.deadline_at > 0.0 &&
+        plan->predicted.jct > rec.deadline_at - now()) {
+      if (maximal_offer) {
+        queue_.erase(head_it);
+        note_queue_locked();
+        std::ostringstream why;
+        why << "infeasible: predicted JCT " << plan->predicted.jct
+            << " s exceeds remaining deadline " << std::max(0.0, rec.deadline_at - now())
+            << " s";
+        finish_job_locked(rec, JobState::kFailed, Status::deadline_exceeded(why.str()));
+        state_cv_.notify_all();
+        ++progressed;
+        continue;
+      }
+      break;  // a wider offer after completions may still make it
+    }
+
+    const std::vector<int> demand =
+        cluster::slot_demand(plan->placement, cluster_->num_servers());
+    auto lease = ledger_.acquire(demand);
+    if (!lease.ok()) break;  // cannot happen under mu_; be safe
+
+    // Charge the job's modeled shared-memory footprint per server.
+    std::vector<Bytes> charge;
+    bool arena_ok = true;
+    if (options_.account_arena) {
+      charge = arena_demand(model, plan->placement, cluster_->num_servers());
+      for (std::size_t v = 0; v < charge.size(); ++v) {
+        if (charge[v] == 0) continue;
+        const Status st = cluster_->server(v).arena().reserve(charge[v]);
+        if (!st.is_ok()) {
+          // Unwind and either wait for memory or fail permanently.
+          for (std::size_t u = 0; u < v; ++u) {
+            if (charge[u] > 0) cluster_->server(u).arena().release(charge[u]);
+          }
+          const Status released = lease->release();
+          (void)released;
+          if (maximal_offer) {
+            queue_.erase(head_it);
+            note_queue_locked();
+            finish_job_locked(rec, JobState::kFailed, st);
+            state_cv_.notify_all();
+            ++progressed;
+          }
+          arena_ok = false;
+          break;
         }
-        const Status released = lease->release();
-        (void)released;
-        if (maximal_offer) {
-          queue_.erase(head_it);
-          note_queue_locked();
-          finish_job_locked(rec, JobState::kFailed, st);
-          state_cv_.notify_all();
-          return true;
-        }
-        return false;
       }
     }
+    if (!arena_ok) {
+      if (maximal_offer) continue;  // progressed above; try the next head
+      break;                        // wait for memory
+    }
+
+    rec.lease = std::move(*lease);
+    rec.arena_charge = std::move(charge);
+    rec.plan = std::move(plan->placement);
+    rec.state = JobState::kAdmitted;
+    rec.admitted = now();
+    queue_.erase(head_it);
+    note_queue_locked();
+    if (options_.journal != nullptr && rec.jid != 0) {
+      const Status journaled = options_.journal->append_admit(rec.jid);
+      (void)journaled;  // best effort: a lost ADMIT only re-plans on recovery
+    }
+    ++running_jobs_;
+    rec.runner = std::thread(&JobService::run_job, this, &rec);
+    state_cv_.notify_all();
+    // Deduct locally so the rest of the batch plans against what
+    // remains of the snapshot.
+    for (std::size_t v = 0; v < free.size() && v < demand.size(); ++v) {
+      free[v] -= demand[v];
+      leased += demand[v];
+    }
+    ++progressed;
+  }
+  return progressed;
+}
+
+bool JobService::try_serve_from_cache_locked(JobRecord& rec) {
+  if (cache_ == nullptr || !rec.sub.cache_id.enabled()) return false;
+  std::map<StageId, exec::Table> sinks;
+  std::vector<std::pair<StageId, std::shared_ptr<const std::string>>> raw;
+  double slot_seconds = 0.0;
+  for (StageId s = 0; s < rec.sub.dag.num_stages(); ++s) {
+    if (!rec.sub.dag.children(s).empty()) continue;
+    auto hit = cache_->lookup(rec.sub.cache_id, s);
+    if (!hit.has_value()) return false;
+    auto table = exec::deserialize_table(std::string_view(*hit->bytes));
+    if (!table.ok()) {
+      // Corrupt entry: drop it so the job (and future ones) run cold.
+      cache_->remove(rec.sub.cache_id, s);
+      return false;
+    }
+    sinks.emplace(s, std::move(*table));
+    raw.emplace_back(s, hit->bytes);
+    slot_seconds = std::max(slot_seconds, hit->slot_seconds);
+  }
+  if (sinks.empty()) return false;
+  if (options_.persist_sinks) {
+    // Durability first: a hit must leave the same on-store sink bytes a
+    // cold run would, or recovery's convergence contract breaks. On
+    // failure the job runs normally instead.
+    for (const auto& [stage, bytes] : raw) {
+      const Status st = store_->put(options_.sink_prefix + "/" + rec.sub.label + "/stage-" +
+                                        std::to_string(stage),
+                                    *bytes);
+      if (!st.is_ok()) return false;
+    }
+  }
+  rec.admitted = now();
+  rec.started = rec.admitted;
+  rec.sinks = std::move(sinks);
+  rec.from_cache = true;
+  rec.cache_counted = true;
+  rec.reused_stages = raw.size();
+  cache_->note_hit(slot_seconds);
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    tc.instant("service", "cache.hit", static_cast<std::uint64_t>(now() * 1e6), -1,
+               static_cast<std::int64_t>(rec.id), {{"job", rec.sub.label}});
+  }
+  finish_job_locked(rec, JobState::kDone, Status::ok());
+  return true;
+}
+
+void JobService::build_pruned_run_locked(JobRecord& rec) {
+  const JobDag& dag = rec.sub.dag;
+  const auto miss = [&] {
+    if (!rec.cache_counted) {
+      cache_->note_miss();
+      rec.cache_counted = true;
+    }
+  };
+
+  // Stages feeding a gather edge are never reused: gather routes
+  // producer task i to consumer task i, and a replayed producer
+  // collapses to a single task.
+  std::vector<bool> gather_out(dag.num_stages(), false);
+  for (const Edge& e : dag.edges()) {
+    if (e.exchange == ExchangeKind::kGather) gather_out[e.src] = true;
+  }
+  std::vector<bool> completed(dag.num_stages(), false);
+  std::size_t ncomp = 0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    if (gather_out[s]) continue;
+    if (cache_->contains(rec.sub.cache_id, s)) {
+      completed[s] = true;
+      ++ncomp;
+    }
+  }
+  if (ncomp == 0) {
+    miss();
+    return;
   }
 
-  rec.lease = std::move(*lease);
-  rec.arena_charge = std::move(charge);
-  rec.plan = std::move(plan->placement);
-  rec.state = JobState::kAdmitted;
-  rec.admitted = now();
-  queue_.erase(head_it);
-  note_queue_locked();
-  if (options_.journal != nullptr && rec.jid != 0) {
-    const Status journaled = options_.journal->append_admit(rec.jid);
-    (void)journaled;  // best effort: a lost ADMIT only re-plans on recovery
+  auto pruning = prune_completed_stages(dag, completed);
+  auto model_pruning = pruning.ok() ? prune_completed_stages(rec.sub.model_dag, completed)
+                                    : Result<DagPruning>(pruning.status());
+  if (!pruning.ok() || !model_pruning.ok()) {
+    // e.g. "every sink completed" after a failed whole-hit serve, or a
+    // gather edge the mask missed — run the full DAG.
+    miss();
+    return;
   }
-  ++running_jobs_;
-  rec.runner = std::thread(&JobService::run_job, this, &rec);
-  state_cv_.notify_all();
-  return true;
+
+  auto pr = std::make_unique<PrunedRun>();
+  pr->dag = std::move(pruning->dag);
+  pr->model = std::move(model_pruning->dag);
+  pr->to_old = std::move(pruning->to_old);
+  pr->is_replay = std::move(pruning->is_replay);
+  double hit_slot_seconds = 0.0;
+
+  // Remap a binding's per-consumer partition keys into pruned ids.
+  const auto remap_edge_keys = [&](const exec::StageBinding& old_b, exec::StageBinding& b) {
+    b.output_key = old_b.output_key;
+    for (const auto& [consumer, key] : old_b.edge_keys) {
+      if (consumer < pruning->to_new.size() && pruning->to_new[consumer] != kNoStage) {
+        b.edge_keys[pruning->to_new[consumer]] = key;
+      }
+    }
+  };
+
+  for (StageId ns = 0; ns < pr->dag.num_stages(); ++ns) {
+    const StageId old = pr->to_old[ns];
+    const auto ob = rec.sub.bindings.find(old);
+    exec::StageBinding b;
+    if (pr->is_replay[ns]) {
+      auto hit = cache_->lookup(rec.sub.cache_id, old);
+      if (!hit.has_value()) {  // raced an eviction: give up pruning
+        miss();
+        return;
+      }
+      auto table = exec::deserialize_table(std::string_view(*hit->bytes));
+      if (!table.ok()) {
+        cache_->remove(rec.sub.cache_id, old);
+        miss();
+        return;
+      }
+      hit_slot_seconds = std::max(hit_slot_seconds, hit->slot_seconds);
+      // Replay source: task 0 emits the cached table, the rest emit a
+      // schema-preserving empty slice. The stable scatter then
+      // reproduces the cold run's partitions byte-for-byte.
+      auto shared = std::make_shared<exec::Table>(std::move(*table));
+      b.fn = [shared](int task, int, const std::vector<exec::Table>&) -> Result<exec::Table> {
+        if (task == 0) return *shared;
+        return shared->slice(0, 0);
+      };
+      if (ob != rec.sub.bindings.end()) remap_edge_keys(ob->second, b);
+    } else {
+      if (ob == rec.sub.bindings.end()) {
+        miss();
+        return;
+      }
+      b.fn = ob->second.fn;
+      remap_edge_keys(ob->second, b);
+    }
+    pr->bindings.emplace(ns, std::move(b));
+  }
+
+  // Completed sinks were dropped from the pruned DAG entirely; decode
+  // them now and merge into the outcome after the run.
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    if (!completed[s] || !dag.children(s).empty()) continue;
+    auto hit = cache_->lookup(rec.sub.cache_id, s);
+    if (!hit.has_value()) {
+      miss();
+      return;
+    }
+    auto table = exec::deserialize_table(std::string_view(*hit->bytes));
+    if (!table.ok()) {
+      cache_->remove(rec.sub.cache_id, s);
+      miss();
+      return;
+    }
+    hit_slot_seconds = std::max(hit_slot_seconds, hit->slot_seconds);
+    pr->cached_sinks.emplace(s, std::move(*table));
+  }
+
+  // Surviving non-sink stages are re-captured so a later identical
+  // submission upgrades to a whole-job hit.
+  for (StageId ns = 0; ns < pr->dag.num_stages(); ++ns) {
+    if (pr->is_replay[ns]) continue;
+    if (pr->dag.children(ns).empty()) continue;  // sinks return anyway
+    if (!gather_out[pr->to_old[ns]]) pr->capture_stages.push_back(ns);
+  }
+
+  pr->reused_stages = ncomp;
+  pr->slot_seconds_estimate = hit_slot_seconds * static_cast<double>(ncomp) /
+                              static_cast<double>(dag.num_stages());
+  cache_->note_partial_hit(pr->slot_seconds_estimate);
+  rec.cache_counted = true;
+  rec.reused_stages = pr->reused_stages;
+  obs::TraceCollector& tc = obs::TraceCollector::global();
+  if (tc.enabled()) {
+    tc.instant("service", "cache.partial_hit", static_cast<std::uint64_t>(now() * 1e6), -1,
+               static_cast<std::int64_t>(rec.id),
+               {{"job", rec.sub.label}, {"reused_stages", std::to_string(ncomp)}});
+  }
+  rec.pruned = std::move(pr);
 }
 
 void JobService::run_job(JobRecord* rec) {
   exec::EngineOptions opts;
   storage::ObjectStore* store = store_;
+  // A partial cache hit swaps in the pruned DAG/model/bindings built at
+  // admission; rec->pruned is stable for the whole run (only the
+  // dispatcher writes it, and only while the job is queued).
+  const PrunedRun* pruned = rec->pruned.get();
+  const JobDag& run_dag = pruned != nullptr ? pruned->dag : rec->sub.dag;
+  const JobDag& run_model = pruned != nullptr ? pruned->model : rec->sub.model_dag;
+  const std::map<StageId, exec::StageBinding>& run_bindings =
+      pruned != nullptr ? pruned->bindings : rec->sub.bindings;
+  bool cache_on = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     rec->state = JobState::kRunning;
     rec->started = now();
+    cache_on = cache_ != nullptr && rec->sub.cache_id.enabled();
     opts.resilience = rec->sub.resilience;
     opts.pools = &pools_;
     // Exchange keys are namespaced by the job's durable identity (jid
@@ -496,7 +816,7 @@ void JobService::run_job(JobRecord* rec) {
     const std::uint64_t eid = rec->jid != 0 ? rec->jid : rec->id;
     std::string prefix = "job-" + std::to_string(eid);
     if (rec->epoch > 0) prefix += "e" + std::to_string(rec->epoch);
-    opts.exchange_prefix = prefix + "/" + rec->sub.dag.name();
+    opts.exchange_prefix = prefix + "/" + run_dag.name();
     opts.cancel = &rec->cancel_token;
     if (options_.journal != nullptr && rec->jid != 0) {
       const Status journaled = options_.journal->append_start(rec->jid, rec->epoch);
@@ -504,13 +824,29 @@ void JobService::run_job(JobRecord* rec) {
     }
     if (options_.profiling) {
       opts.profiles = &profiles_;
-      opts.plan_fingerprint = structural_fingerprint(rec->sub.model_dag);
-      const ExecTimePredictor predictor(rec->sub.model_dag);
+      opts.plan_fingerprint = structural_fingerprint(run_model);
+      const ExecTimePredictor predictor(run_model);
       const ColocatedFn colocated = rec->plan.colocated_fn();
-      opts.predicted_stage_seconds.resize(rec->sub.model_dag.num_stages(), 0.0);
-      for (StageId s = 0; s < rec->sub.model_dag.num_stages(); ++s) {
+      opts.predicted_stage_seconds.resize(run_model.num_stages(), 0.0);
+      for (StageId s = 0; s < run_model.num_stages(); ++s) {
         opts.predicted_stage_seconds[s] =
             predictor.stage_time(s, std::max(1, rec->plan.dop_of(s)), colocated);
+      }
+    }
+    if (cache_on) {
+      // Capture intermediate outputs for the cache. Stages feeding a
+      // gather edge are excluded (their outputs cannot be replayed).
+      if (pruned != nullptr) {
+        opts.capture_stages = pruned->capture_stages;
+      } else {
+        std::vector<bool> gather_out(run_dag.num_stages(), false);
+        for (const Edge& e : run_dag.edges()) {
+          if (e.exchange == ExchangeKind::kGather) gather_out[e.src] = true;
+        }
+        for (StageId s = 0; s < run_dag.num_stages(); ++s) {
+          if (run_dag.children(s).empty() || gather_out[s]) continue;
+          opts.capture_stages.push_back(s);
+        }
       }
     }
     if (rec->sub.faults.any()) {
@@ -522,8 +858,25 @@ void JobService::run_job(JobRecord* rec) {
   }
   state_cv_.notify_all();
 
-  exec::MiniEngine engine(rec->sub.dag, rec->plan, *store, opts);
-  auto result = engine.run(rec->sub.bindings);
+  exec::MiniEngine engine(run_dag, rec->plan, *store, opts);
+  auto result = engine.run(run_bindings);
+
+  // Pruned run: translate outputs back into the submission's stage ids
+  // and merge the cached sinks the pruning dropped, so callers (and the
+  // persisted sink layout) never see pruned ids.
+  if (result.ok() && pruned != nullptr) {
+    std::map<StageId, exec::Table> sinks;
+    for (auto& [ns, table] : result->sink_outputs) {
+      sinks.emplace(pruned->to_old.at(ns), std::move(table));
+    }
+    for (const auto& [olds, table] : pruned->cached_sinks) sinks.emplace(olds, table);
+    result->sink_outputs = std::move(sinks);
+    std::map<StageId, exec::Table> captured;
+    for (auto& [ns, table] : result->captured_outputs) {
+      captured.emplace(pruned->to_old.at(ns), std::move(table));
+    }
+    result->captured_outputs = std::move(captured);
+  }
 
   // Durable answers: persist sink bytes before the FINISH transition is
   // journaled, so "journal says DONE" implies the bytes survived. Done
@@ -536,6 +889,24 @@ void JobService::run_job(JobRecord* rec) {
           options_.sink_prefix + "/" + rec->sub.label + "/stage-" + std::to_string(stage),
           bytes.view());
       if (!persist_st.is_ok()) break;
+    }
+  }
+
+  // Feed the cache (outside mu_ — serialization can be slow; the cache
+  // has its own lock). Sinks and captured intermediates are stored in
+  // submission ids; the whole run's slot-seconds ride along so a later
+  // hit can report what it saved.
+  if (result.ok() && persist_st.is_ok() && cache_on) {
+    int slots = 0;
+    for (const auto& row : rec->plan.task_server) slots += static_cast<int>(row.size());
+    const double slot_secs = static_cast<double>(slots) * result->stats.wall_seconds;
+    for (const auto& [stage, table] : result->sink_outputs) {
+      const shm::Buffer bytes = exec::serialize_table(table);
+      cache_->insert(rec->sub.cache_id, stage, std::string(bytes.view()), slot_secs);
+    }
+    for (const auto& [stage, table] : result->captured_outputs) {
+      const shm::Buffer bytes = exec::serialize_table(table);
+      cache_->insert(rec->sub.cache_id, stage, std::string(bytes.view()), slot_secs);
     }
   }
 
@@ -590,6 +961,12 @@ void JobService::run_job(JobRecord* rec) {
     const Status saved = profiles_.save(*store_, options_.profile_prefix);
     (void)saved;
   }
+  if (cache_ != nullptr && options_.persist_cache) {
+    // Best effort, same as profiles: a torn save degrades to skipped
+    // entries at the next load, never to wrong answers.
+    const Status saved = cache_->save(*store_, options_.cache_prefix);
+    (void)saved;
+  }
   state_cv_.notify_all();
   dispatch_cv_.notify_all();
 }
@@ -597,6 +974,7 @@ void JobService::run_job(JobRecord* rec) {
 void JobService::finish_job_locked(JobRecord& rec, JobState state, Status error) {
   const bool was_active =
       rec.state == JobState::kAdmitted || rec.state == JobState::kRunning;
+  if (rec.leader != 0) detach_follower_locked(rec);
   rec.state = state;
   rec.error = std::move(error);
   rec.finished = now();
@@ -610,6 +988,99 @@ void JobService::finish_job_locked(JobRecord& rec, JobState state, Status error)
     (void)journaled;  // best effort: a lost FINISH costs one safe re-run
   }
   observe_terminal_locked(rec);
+  resolve_followers_locked(rec);
+}
+
+void JobService::resolve_followers_locked(JobRecord& rec) {
+  if (rec.inflight_registered) {
+    const auto it = inflight_.find(rec.sub.cache_id);
+    if (it != inflight_.end() && it->second == rec.id) inflight_.erase(it);
+    rec.inflight_registered = false;
+  }
+  if (rec.followers.empty()) return;
+  const std::vector<JobId> followers = std::move(rec.followers);
+  rec.followers.clear();
+  // Recursion is depth-1: followers have no followers of their own.
+  if (rec.state == JobState::kDone) {
+    obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+    for (const JobId fid : followers) {
+      const auto fit = jobs_.find(fid);
+      if (fit == jobs_.end()) continue;
+      JobRecord& f = *fit->second;
+      if (is_terminal(f.state)) continue;
+      f.leader = 0;
+      f.admitted = now();
+      f.started = f.admitted;
+      f.sinks = rec.sinks;
+      f.from_cache = true;
+      f.dedup_leader = rec.id;
+      f.reused_stages = f.sinks.size();
+      // The follower owes the store the same sink bytes a solo run
+      // would have written (tables are miniature; the puts are cheap
+      // enough to hold mu_ across).
+      Status persist_st = Status::ok();
+      if (options_.persist_sinks) {
+        for (const auto& [stage, table] : f.sinks) {
+          const shm::Buffer bytes = exec::serialize_table(table);
+          persist_st = store_->put(options_.sink_prefix + "/" + f.sub.label + "/stage-" +
+                                       std::to_string(stage),
+                                   bytes.view());
+          if (!persist_st.is_ok()) break;
+        }
+      }
+      if (mx.enabled()) mx.counter("service.dedup_served", {{"tier", f.sub.tier}}).add();
+      if (persist_st.is_ok()) {
+        finish_job_locked(f, JobState::kDone, Status::ok());
+      } else {
+        f.sinks.clear();
+        f.from_cache = false;
+        finish_job_locked(f, JobState::kFailed, persist_st);
+      }
+    }
+  } else if (rec.state == JobState::kFailed) {
+    // Followers inherit the leader's exact failure Status.
+    for (const JobId fid : followers) {
+      const auto fit = jobs_.find(fid);
+      if (fit == jobs_.end()) continue;
+      JobRecord& f = *fit->second;
+      if (is_terminal(f.state)) continue;
+      f.leader = 0;
+      f.dedup_leader = rec.id;
+      finish_job_locked(f, JobState::kFailed, rec.error);
+    }
+  } else {
+    // Cancelled leader: its cancellation is not the followers' — the
+    // first live follower is promoted to a fresh leader and queued.
+    JobId promoted = 0;
+    for (const JobId fid : followers) {
+      const auto fit = jobs_.find(fid);
+      if (fit == jobs_.end()) continue;
+      JobRecord& f = *fit->second;
+      if (is_terminal(f.state)) continue;
+      if (promoted == 0) {
+        promoted = fid;
+        f.leader = 0;
+        if (cache_ != nullptr && f.sub.cache_id.enabled()) {
+          inflight_[f.sub.cache_id] = fid;
+          f.inflight_registered = true;
+        }
+        enqueue_locked(fid, f.sub.tier);
+        note_queue_locked();
+      } else {
+        f.leader = promoted;
+        jobs_.at(promoted)->followers.push_back(fid);
+      }
+    }
+  }
+}
+
+void JobService::detach_follower_locked(JobRecord& rec) {
+  const auto it = jobs_.find(rec.leader);
+  if (it != jobs_.end()) {
+    auto& fs = it->second->followers;
+    fs.erase(std::remove(fs.begin(), fs.end(), rec.id), fs.end());
+  }
+  rec.leader = 0;
 }
 
 void JobService::observe_terminal_locked(const JobRecord& rec) {
@@ -695,6 +1166,9 @@ JobOutcome JobService::outcome_of_locked(const JobRecord& rec) const {
   out.attempts = rec.attempt;
   out.epoch = rec.epoch;
   out.jid = rec.jid;
+  out.from_cache = rec.from_cache;
+  out.dedup_leader = rec.dedup_leader;
+  out.reused_stages = rec.reused_stages;
   return out;
 }
 

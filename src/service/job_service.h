@@ -56,6 +56,7 @@
 #include "obs/profile_store.h"
 #include "service/admission.h"
 #include "service/journal.h"
+#include "service/result_cache.h"
 #include "storage/object_store.h"
 
 namespace ditto::service {
@@ -113,6 +114,13 @@ struct JobSubmission {
   std::uint64_t jid = 0;
   int epoch = 0;
 
+  /// Result-cache identity (result_cache.h). When valid (enabled())
+  /// and the service runs with a cache, this job can complete from
+  /// cached sink bytes, reuse cached upstream stages, and deduplicate
+  /// against an identical in-flight submission. Default-constructed =
+  /// caching off for this job.
+  CacheIdentity cache_id;
+
   /// Keeps source tables (captured by the bindings) alive for the
   /// job's lifetime.
   std::shared_ptr<const void> keepalive;
@@ -139,6 +147,14 @@ struct JobOutcome {
   int attempts = 1;   ///< engine runs this job took (>1 = job retried)
   int epoch = 0;      ///< exchange epoch of the final run
   std::uint64_t jid = 0;  ///< journal id (0 = unjournaled)
+
+  /// True when the job completed without an engine run of its own: a
+  /// whole-job cache hit, or a dedupe follower inheriting its leader's
+  /// result (dedup_leader names the leader then).
+  bool from_cache = false;
+  JobId dedup_leader = 0;
+  /// Cached stages this job reused (sinks served + stages pruned).
+  std::size_t reused_stages = 0;
 
   Seconds queueing() const { return started - submitted; }
   Seconds jct() const { return finished - submitted; }
@@ -197,6 +213,17 @@ struct ServiceOptions {
   /// job rather than completing it with volatile results.
   bool persist_sinks = false;
   std::string sink_prefix = "sinks";
+  /// Result cache byte budget (ROADMAP item 4). 0 disables caching,
+  /// stage reuse, and in-flight dedupe — the default, so existing
+  /// embedders opt in explicitly (dittoctl serve turns it on via the
+  /// spec's `cache_bytes=`). Jobs additionally opt in per submission
+  /// through JobSubmission::cache_id.
+  Bytes cache_bytes = 0;
+  /// Preload the cache from the shared store at construction and
+  /// persist it after each completed job (the profile-store pattern),
+  /// so `--state`/`--recover` restarts keep the cache warm.
+  bool persist_cache = false;
+  std::string cache_prefix = "cache";
 };
 
 class JobService {
@@ -252,7 +279,26 @@ class JobService {
   const obs::StageProfileStore& profiles() const { return profiles_; }
   obs::StageProfileStore& profiles() { return profiles_; }
 
+  /// The recurring-job result cache; null while cache_bytes == 0.
+  const ResultCache* result_cache() const { return cache_.get(); }
+  ResultCache* result_cache() { return cache_.get(); }
+
  private:
+  /// Partial-hit execution override, built at admission: the pruned
+  /// DAG (cached upstream stages replaced by replay sources) the
+  /// engine runs instead of the submission's.
+  struct PrunedRun {
+    JobDag dag;
+    JobDag model;
+    std::map<StageId, exec::StageBinding> bindings;
+    std::vector<StageId> to_old;   ///< pruned id -> original id
+    std::vector<bool> is_replay;   ///< by pruned id
+    std::vector<StageId> capture_stages;  ///< pruned ids worth re-caching
+    std::map<StageId, exec::Table> cached_sinks;  ///< original ids, decoded
+    std::size_t reused_stages = 0;
+    double slot_seconds_estimate = 0.0;  ///< saved-work estimate
+  };
+
   struct JobRecord {
     JobId id = 0;
     JobSubmission sub;
@@ -272,6 +318,16 @@ class JobService {
     std::map<StageId, exec::Table> sinks;
     exec::EngineStats stats;
 
+    // Result cache + in-flight dedupe (all guarded by mu_).
+    bool from_cache = false;          ///< served without an engine run
+    std::size_t reused_stages = 0;    ///< cached stages this job reused
+    bool cache_counted = false;       ///< job-level hit/miss accounted
+    JobId leader = 0;                 ///< follower: leader job id (0 = none)
+    JobId dedup_leader = 0;           ///< terminal: who served this follower
+    std::vector<JobId> followers;     ///< leader: attached identical jobs
+    bool inflight_registered = false; ///< this job owns inflight_[cache_id]
+    std::unique_ptr<PrunedRun> pruned;
+
     std::unique_ptr<faults::FaultInjector> injector;
     std::unique_ptr<faults::FlakyStore> flaky;
     std::atomic<bool> cancel_token{false};
@@ -283,10 +339,30 @@ class JobService {
   };
 
   void dispatcher_loop();
-  /// Tries to admit the effective queue head (the first job whose
-  /// retry-backoff gate has passed); returns true if it made progress
-  /// (admitted or failed a job). Caller holds mu_.
-  bool try_admit_head_locked();
+  /// Batched admission (Netherite-style work-queue drain): takes ONE
+  /// free-slot snapshot, then admits the drainable FIFO prefix of the
+  /// queue in a single planning pass — serving queued whole-job cache
+  /// hits, pruning partial hits, and stopping at the first job the
+  /// remaining offer cannot fit (strict FIFO preserved). Returns how
+  /// many jobs made progress (admitted, served, or failed). Caller
+  /// holds mu_.
+  std::size_t admit_batch_locked();
+  /// Serves a whole-job cache hit: every sink decoded from cache, sink
+  /// bytes persisted (when configured), job finished DONE without
+  /// touching the slot ledger. False = some sink missing/corrupt; run
+  /// it normally. Caller holds mu_; rec must not be in queue_.
+  bool try_serve_from_cache_locked(JobRecord& rec);
+  /// Builds rec.pruned when cached upstream stages let the scheduler
+  /// plan a smaller DAG; counts the job's hit/miss class. Caller holds
+  /// mu_.
+  void build_pruned_run_locked(JobRecord& rec);
+  /// Terminal-state fan-out for in-flight dedupe: DONE copies sinks to
+  /// followers, FAILED propagates the same Status, CANCELLED promotes
+  /// the first live follower to a fresh leader. Also releases this
+  /// job's inflight_ registration. Caller holds mu_.
+  void resolve_followers_locked(JobRecord& rec);
+  /// Removes rec from its leader's follower list. Caller holds mu_.
+  void detach_follower_locked(JobRecord& rec);
   /// Inserts into queue_ honoring tier priority: latency jobs go ahead
   /// of every queued batch job, FIFO within a tier. Caller holds mu_.
   void enqueue_locked(JobId id, const std::string& tier);
@@ -309,12 +385,17 @@ class JobService {
   exec::ServerPools pools_;
   Stopwatch clock_;
   obs::StageProfileStore profiles_;
+  std::unique_ptr<ResultCache> cache_;  ///< null while cache_bytes == 0
 
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  ///< wakes the dispatcher
   std::condition_variable state_cv_;     ///< wakes wait()/drain()
   std::map<JobId, std::unique_ptr<JobRecord>> jobs_;
   std::deque<JobId> queue_;  ///< FIFO of QUEUED job ids
+  /// In-flight dedupe: identity -> the job (leader) currently queued or
+  /// running it. Identical arrivals attach as followers instead of
+  /// executing twice.
+  std::map<CacheIdentity, JobId> inflight_;
   JobId next_id_ = 1;
   int running_jobs_ = 0;
   bool intake_closed_ = false;

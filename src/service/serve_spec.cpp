@@ -85,6 +85,19 @@ Status apply_job_token(ServeJobSpec& job, const std::string& key, const std::str
     job.retries = static_cast<int>(n);
     return Status::ok();
   }
+  if (key == "cache") {
+    if (value != "on" && value != "off") {
+      return Status::invalid_argument("cache must be on or off");
+    }
+    job.cache = value == "on";
+    return Status::ok();
+  }
+  if (key == "input_version") {
+    DITTO_ASSIGN_OR_RETURN(const std::int64_t n, parse_int(key, value));
+    if (n < 0) return Status::invalid_argument("input_version must be >= 0");
+    job.input_version = static_cast<std::uint64_t>(n);
+    return Status::ok();
+  }
   return Status::invalid_argument("unknown job option '" + key + "'");
 }
 
@@ -107,6 +120,12 @@ Status apply_policy_token(ServeSpec& spec, const std::string& key, const std::st
       return Status::invalid_argument("reject_infeasible must be 0 or 1");
     }
     spec.reject_infeasible = value == "1";
+    return Status::ok();
+  }
+  if (key == "cache_bytes") {
+    DITTO_ASSIGN_OR_RETURN(const std::int64_t n, parse_int(key, value));
+    if (n < 0) return Status::invalid_argument("cache_bytes must be >= 0");
+    spec.cache_bytes = static_cast<Bytes>(n);
     return Status::ok();
   }
   return Status::invalid_argument("unknown policy option '" + key + "'");

@@ -3,10 +3,11 @@
 // separated tokens, `#` starts a comment):
 //
 //   policy fifo|fair|elastic [fair_share_slots=N] [min_free_slots=N]
-//          [queue_depth=N] [reject_infeasible=0|1]
+//          [queue_depth=N] [reject_infeasible=0|1] [cache_bytes=N]
 //   job <q1|q16|q94|q95> [arrival=SECS] [objective=jct|cost]
 //       [deadline=SECS] [label=NAME] [rows=N] [orders=N] [seed=N]
 //       [faults=SPEC] [tier=latency|batch] [retries=N]
+//       [input_version=N] [cache=on|off]
 //
 // `arrival` is the submission offset from serve start; `faults` is a
 // faults::parse_fault_spec() string (comma-separated, no spaces).
@@ -24,6 +25,15 @@
 //   * `reject_infeasible=1` fails a job at admission when the plan's
 //     predicted JCT exceeds its remaining deadline (opt-in: the time
 //     model predicts paper-scale seconds).
+//
+// Result-cache options:
+//   * `cache_bytes` (policy) sizes the service's recurring-job result
+//     cache; 0 disables caching and in-flight dedupe entirely. Default
+//     64 MiB.
+//   * `cache=off` (job) opts one job out of caching/dedupe; `cache=on`
+//     is the default.
+//   * `input_version=N` (job) is the explicit invalidation handle: a
+//     bumped version never matches entries cached under the old one.
 #pragma once
 
 #include <string>
@@ -46,6 +56,8 @@ struct ServeJobSpec {
   faults::FaultSpec faults;
   std::string tier = "batch";  ///< "latency" | "batch"
   int retries = 0;             ///< extra whole-job attempts on UNAVAILABLE
+  bool cache = true;           ///< false = opt out of caching + dedupe
+  std::uint64_t input_version = 0;  ///< cache invalidation handle
   /// The raw `job ...` line this spec was parsed from — what the
   /// service journals as the SUBMIT payload, so recovery can re-create
   /// the submission by re-parsing it.
@@ -56,6 +68,7 @@ struct ServeSpec {
   AdmissionOptions admission;
   std::size_t max_queue_depth = 0;  ///< bounded admission queue; 0 = unbounded
   bool reject_infeasible = false;
+  Bytes cache_bytes = 64ULL << 20;  ///< result-cache capacity; 0 = off
   std::vector<ServeJobSpec> jobs;
 };
 

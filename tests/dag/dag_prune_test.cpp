@@ -1,0 +1,132 @@
+// prune_completed_stages: the result cache's stage-granular reuse.
+// Shapes covered: chain prefix, diamond branch, dropped subtrees,
+// gather refusal, and the whole-job-hit error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/dag_algorithms.h"
+
+namespace ditto {
+namespace {
+
+/// a -> b -> c chain with shuffle edges and annotated volumes.
+JobDag chain() {
+  JobDag dag("chain");
+  for (const char* n : {"a", "b", "c"}) dag.add_stage(n);
+  EXPECT_TRUE(dag.add_edge(0, 1, ExchangeKind::kShuffle).is_ok());
+  EXPECT_TRUE(dag.add_edge(1, 2, ExchangeKind::kShuffle).is_ok());
+  for (StageId s = 0; s < 3; ++s) {
+    dag.stage(s).set_input_bytes(100_MB);
+    dag.stage(s).set_output_bytes(50_MB);
+  }
+  return dag;
+}
+
+JobDag diamond(ExchangeKind right_edge = ExchangeKind::kShuffle) {
+  JobDag dag("diamond");
+  for (const char* n : {"src", "left", "right", "sink"}) dag.add_stage(n);
+  EXPECT_TRUE(dag.add_edge(0, 1, ExchangeKind::kShuffle).is_ok());
+  EXPECT_TRUE(dag.add_edge(0, 2, ExchangeKind::kShuffle).is_ok());
+  EXPECT_TRUE(dag.add_edge(1, 3, ExchangeKind::kShuffle).is_ok());
+  EXPECT_TRUE(dag.add_edge(2, 3, right_edge).is_ok());
+  return dag;
+}
+
+TEST(PruneCompletedTest, NoCompletionIsIdentity) {
+  const JobDag dag = chain();
+  const auto pruning = prune_completed_stages(dag, {false, false, false});
+  ASSERT_TRUE(pruning.ok()) << pruning.status().to_string();
+  EXPECT_EQ(pruning->dag.num_stages(), 3u);
+  EXPECT_EQ(pruning->num_replay, 0u);
+  EXPECT_EQ(pruning->num_dropped, 0u);
+  for (StageId s = 0; s < 3; ++s) {
+    EXPECT_EQ(pruning->to_new[s], s);
+    EXPECT_EQ(pruning->to_old[s], s);
+    EXPECT_FALSE(pruning->is_replay[s]);
+  }
+}
+
+TEST(PruneCompletedTest, CompletedPrefixBecomesReplaySource) {
+  const JobDag dag = chain();
+  // Stage a is cached: b still reads it, so a becomes a replay source.
+  const auto pruning = prune_completed_stages(dag, {true, false, false});
+  ASSERT_TRUE(pruning.ok()) << pruning.status().to_string();
+  EXPECT_EQ(pruning->dag.num_stages(), 3u);
+  EXPECT_EQ(pruning->num_replay, 1u);
+  EXPECT_EQ(pruning->num_dropped, 0u);
+  const StageId na = pruning->to_new[0];
+  ASSERT_NE(na, kNoStage);
+  EXPECT_TRUE(pruning->is_replay[na]);
+  EXPECT_EQ(pruning->dag.stage(na).name(), "a~cached");
+  // Replay sources read and compute nothing but still write.
+  EXPECT_EQ(pruning->dag.stage(na).input_bytes(), 0u);
+  EXPECT_EQ(pruning->dag.stage(na).output_bytes(), 50_MB);
+  // The a -> b edge survives under remapped ids.
+  bool found = false;
+  for (const Edge& e : pruning->dag.edges()) {
+    if (e.src == na && e.dst == pruning->to_new[1]) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PruneCompletedTest, DeepPrefixDropsUnreadStages) {
+  const JobDag dag = chain();
+  // a and b cached: only c runs; b replays its output for c; a's
+  // result is not read by anything that still runs, so a is dropped.
+  const auto pruning = prune_completed_stages(dag, {true, true, false});
+  ASSERT_TRUE(pruning.ok()) << pruning.status().to_string();
+  EXPECT_EQ(pruning->dag.num_stages(), 2u);
+  EXPECT_EQ(pruning->num_replay, 1u);
+  EXPECT_EQ(pruning->num_dropped, 1u);
+  EXPECT_EQ(pruning->to_new[0], kNoStage);
+  ASSERT_NE(pruning->to_new[1], kNoStage);
+  EXPECT_TRUE(pruning->is_replay[pruning->to_new[1]]);
+  EXPECT_FALSE(pruning->is_replay[pruning->to_new[2]]);
+  // to_old inverts to_new over surviving stages.
+  EXPECT_EQ(pruning->to_old[pruning->to_new[1]], 1u);
+  EXPECT_EQ(pruning->to_old[pruning->to_new[2]], 2u);
+}
+
+TEST(PruneCompletedTest, DiamondBranchPrunes) {
+  const JobDag dag = diamond();
+  // left cached: src must still run (right reads it), left replays.
+  const auto pruning = prune_completed_stages(dag, {false, true, false, false});
+  ASSERT_TRUE(pruning.ok()) << pruning.status().to_string();
+  EXPECT_EQ(pruning->dag.num_stages(), 4u);
+  EXPECT_EQ(pruning->num_replay, 1u);
+  EXPECT_EQ(pruning->num_dropped, 0u);
+  // The src -> left edge is gone (replay sources read nothing); the
+  // other three survive.
+  std::size_t into_left = 0, edges = 0;
+  for (const Edge& e : pruning->dag.edges()) {
+    ++edges;
+    if (e.dst == pruning->to_new[1]) ++into_left;
+  }
+  EXPECT_EQ(into_left, 0u);
+  EXPECT_EQ(edges, 3u);
+}
+
+TEST(PruneCompletedTest, AllSinksCompletedIsWholeJobHit) {
+  const JobDag dag = chain();
+  const auto pruning = prune_completed_stages(dag, {true, true, true});
+  EXPECT_EQ(pruning.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PruneCompletedTest, RefusesGatherProducers) {
+  // right -> sink is a gather edge: caching `right` would misroute
+  // rows if the replay source ran at a different DoP.
+  const JobDag dag = diamond(ExchangeKind::kGather);
+  const auto pruning = prune_completed_stages(dag, {false, false, true, false});
+  EXPECT_EQ(pruning.status().code(), StatusCode::kInvalidArgument);
+  // The non-gather branch remains prunable.
+  EXPECT_TRUE(prune_completed_stages(dag, {false, true, false, false}).ok());
+}
+
+TEST(PruneCompletedTest, ValidatesMaskLength) {
+  const JobDag dag = chain();
+  EXPECT_FALSE(prune_completed_stages(dag, {true}).ok());
+}
+
+}  // namespace
+}  // namespace ditto

@@ -260,6 +260,44 @@ TEST(MiniEngineTest, TaskErrorPropagates) {
   EXPECT_EQ(result.status().code(), StatusCode::kInternal);
 }
 
+TEST(MiniEngineTest, CaptureStagesReturnsMergedNonSinkOutputs) {
+  const Table fact = gen_fact_table({.rows = 3000, .num_warehouses = 8, .seed = 3});
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  const auto plan = plan_for(dag, {3, 2}, {{0, 0, 1}, {0, 1}});
+
+  EngineOptions opts;
+  opts.capture_stages = {0};
+  MiniEngine engine(dag, plan, *store, opts);
+  const auto result = engine.run(agg_bindings(fact));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+  // The captured scan output is the whole fact table, assembled in
+  // task order — exactly what the scan tasks collectively emitted.
+  ASSERT_EQ(result->captured_outputs.count(0), 1u);
+  const Table& captured = result->captured_outputs.at(0);
+  EXPECT_EQ(captured.num_rows(), fact.num_rows());
+  const auto parts = range_partition(fact, 3);
+  Table expect = parts[0];
+  ASSERT_TRUE(expect.concat(parts[1]).is_ok());
+  ASSERT_TRUE(expect.concat(parts[2]).is_ok());
+  EXPECT_EQ(captured, expect);
+  // Sinks are not duplicated into captured_outputs.
+  EXPECT_EQ(result->captured_outputs.count(1), 0u);
+  EXPECT_EQ(result->sink_outputs.count(1), 1u);
+}
+
+TEST(MiniEngineTest, NoCaptureByDefault) {
+  const Table fact = gen_fact_table({.rows = 1000, .seed = 5});
+  const JobDag dag = agg_dag();
+  auto store = storage::make_instant_store();
+  const auto plan = plan_for(dag, {2, 2}, {{0, 0}, {0, 0}});
+  MiniEngine engine(dag, plan, *store);
+  const auto result = engine.run(agg_bindings(fact));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->captured_outputs.empty());
+}
+
 TEST(DatagenTest, FactTableShapeAndDeterminism) {
   const Table a = gen_fact_table({.rows = 100, .seed = 1});
   const Table b = gen_fact_table({.rows = 100, .seed = 1});

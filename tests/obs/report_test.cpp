@@ -114,6 +114,60 @@ TEST(ExecutionReportTest, ExtrasEmbedTraceCountAndMetrics) {
   EXPECT_NE(report.metrics_text.find("engine.tasks_total"), std::string::npos);
 }
 
+TEST(ExecutionReportTest, CacheSectionRendersInTextAndJson) {
+  const ReportFixture f;
+  CacheSection cache;
+  cache.enabled = true;
+  cache.hits = 6;
+  cache.partial_hits = 2;
+  cache.misses = 2;
+  cache.stage_hits = 14;
+  cache.dedup_followers = 3;
+  cache.insertions = 9;
+  cache.evictions = 1;
+  cache.entries = 8;
+  cache.bytes = 4096;
+  cache.slot_seconds_saved = 12.5;
+  EXPECT_NEAR(cache.hit_rate(), 0.8, 1e-12);
+
+  ReportExtras extras;
+  extras.cache = &cache;
+  const ExecutionReport report =
+      build_execution_report(f.dag, f.plan, Objective::kJct, f.monitor, extras);
+  ASSERT_TRUE(report.cache.enabled);
+  EXPECT_EQ(report.cache.hits, 6u);
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("result cache:"), std::string::npos);
+  EXPECT_NE(text.find("6 hits, 2 partial, 2 misses"), std::string::npos);
+  EXPECT_NE(text.find("hit rate 80%"), std::string::npos);
+  EXPECT_NE(text.find("3 dedup followers"), std::string::npos);
+  EXPECT_NE(text.find("slot-seconds saved: 12.5"), std::string::npos);
+
+  const auto parsed = parse_json(report.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const JsonValue* c = parsed->find("cache");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->find("hits")->as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(c->find("partial_hits")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(c->find("misses")->as_number(), 2.0);
+  EXPECT_NEAR(c->find("hit_rate")->as_number(), 0.8, 1e-9);
+  EXPECT_DOUBLE_EQ(c->find("stage_hits")->as_number(), 14.0);
+  EXPECT_DOUBLE_EQ(c->find("dedup_followers")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(c->find("entries")->as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(c->find("bytes")->as_number(), 4096.0);
+  EXPECT_NEAR(c->find("slot_seconds_saved")->as_number(), 12.5, 1e-9);
+}
+
+TEST(ExecutionReportTest, CacheSectionOmittedWhenDisabled) {
+  const ReportFixture f;
+  const ExecutionReport report =
+      build_execution_report(f.dag, f.plan, Objective::kJct, f.monitor);
+  EXPECT_FALSE(report.cache.enabled);
+  EXPECT_EQ(report.to_text().find("result cache:"), std::string::npos);
+  EXPECT_EQ(report.to_json().find("\"cache\""), std::string::npos);
+}
+
 TEST(ExecutionReportTest, PredictionErrorIsZeroWithoutActual) {
   ExecutionReport report;
   report.predicted_jct = 10.0;

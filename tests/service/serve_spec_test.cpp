@@ -84,6 +84,49 @@ TEST(ServeSpecTest, RejectsMalformedResilienceOptions) {
   EXPECT_FALSE(parse_serve_spec("policy fifo reject_infeasible=2\njob q1\n").ok());
 }
 
+TEST(ServeSpecTest, ParsesCacheOptions) {
+  const auto spec = parse_serve_spec(
+      "policy fifo cache_bytes=1000000\n"
+      "job q1 cache=off\n"
+      "job q16 input_version=3\n"
+      "job q94\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->cache_bytes, 1000000u);
+  ASSERT_EQ(spec->jobs.size(), 3u);
+  EXPECT_FALSE(spec->jobs[0].cache);
+  EXPECT_EQ(spec->jobs[0].input_version, 0u);
+  EXPECT_TRUE(spec->jobs[1].cache);
+  EXPECT_EQ(spec->jobs[1].input_version, 3u);
+  EXPECT_TRUE(spec->jobs[2].cache);  // caching defaults on per job
+
+  // cache_bytes=0 disables the service cache outright.
+  const auto off = parse_serve_spec("policy fifo cache_bytes=0\njob q1\n");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->cache_bytes, 0u);
+}
+
+TEST(ServeSpecTest, DefaultCacheBytesIsNonZero) {
+  const auto spec = parse_serve_spec("job q1\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_GT(spec->cache_bytes, 0u);
+}
+
+TEST(ServeSpecTest, RejectsMalformedCacheOptions) {
+  EXPECT_FALSE(parse_serve_spec("job q1 cache=maybe\n").ok());
+  EXPECT_FALSE(parse_serve_spec("job q1 cache=\n").ok());
+  EXPECT_FALSE(parse_serve_spec("job q1 input_version=-1\n").ok());
+  EXPECT_FALSE(parse_serve_spec("job q1 input_version=abc\n").ok());
+  EXPECT_FALSE(parse_serve_spec("policy fifo cache_bytes=-1\njob q1\n").ok());
+  EXPECT_FALSE(parse_serve_spec("policy fifo cache_bytes=big\njob q1\n").ok());
+  // cache_bytes is a policy knob, not a job knob.
+  EXPECT_FALSE(parse_serve_spec("job q1 cache_bytes=100\n").ok());
+  // All malformed cache tokens are INVALID_ARGUMENT with a line number.
+  const auto bad = parse_serve_spec("job q1\njob q1 cache=maybe\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
 TEST(ServeSpecTest, RejectsMalformedInput) {
   EXPECT_FALSE(parse_serve_spec("").ok());                      // no jobs
   EXPECT_FALSE(parse_serve_spec("# only comments\n").ok());

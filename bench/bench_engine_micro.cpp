@@ -20,7 +20,11 @@
 // their legacy/reference formulations on the same data, results are
 // verified equal, and the process exits non-zero if the speedups fall
 // below the floors (1.5x partition, 1.3x serde, 3x serial group-by;
-// 8-thread scaling floors adapt to the host's core count).
+// 8-thread scaling floors adapt to the host's core count). The check
+// also gates the pipelined shuffle: chunk-granular push must beat
+// materialized waves on a 48 MB cross-server shuffle, stay
+// byte-identical under the fault storm, and not widen the Q95
+// time-model drift.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -32,6 +36,7 @@
 #include "common/thread_pool.h"
 
 #include "exec/datagen.h"
+#include "exec/engine.h"
 #include "exec/exchange.h"
 #include "exec/operators.h"
 #include "exec/serde.h"
@@ -42,6 +47,10 @@
 #include "obs/trace.h"
 #include "shm/channel.h"
 #include "storage/sim_store.h"
+#include "timemodel/predictor.h"
+#include "workload/physics.h"
+#include "workload/pipelining.h"
+#include "workload/q95_engine.h"
 
 using namespace ditto;
 using namespace ditto::exec;
@@ -333,6 +342,296 @@ std::pair<double, double> timed_ratio(double floor, int reps, A&& base, B&& cand
   return {tb, tc};
 }
 
+/// Store decorator that pays its model's transfer time in real wall
+/// clock on every put and get — cross-server exchange then has the
+/// latency/bandwidth profile the time model predicts, which is what
+/// makes pipelined-vs-materialized wall times (and time-model drift)
+/// meaningful on a single machine.
+class DelayStore final : public storage::ObjectStore {
+ public:
+  DelayStore(storage::ObjectStore& inner, storage::StorageModel model)
+      : inner_(&inner), model_(model) {}
+
+  const char* kind() const override { return "delay"; }
+  const storage::StorageModel& model() const override { return model_; }
+  Status put(const std::string& key, std::string_view value) override {
+    pay(value.size());
+    return inner_->put(key, value);
+  }
+  Result<std::string> get(const std::string& key) const override {
+    auto r = inner_->get(key);
+    if (r.ok()) pay(r->size());
+    return r;
+  }
+  bool contains(const std::string& key) const override { return inner_->contains(key); }
+  Status remove(const std::string& key) override { return inner_->remove(key); }
+  std::vector<std::string> list(const std::string& prefix) const override {
+    return inner_->list(prefix);
+  }
+  Bytes used_bytes() const override { return inner_->used_bytes(); }
+  storage::StoreStats stats() const override { return inner_->stats(); }
+
+ private:
+  void pay(std::size_t n) const {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(model_.transfer_time(n)));
+  }
+
+  storage::ObjectStore* inner_;
+  const storage::StorageModel model_;
+};
+
+std::string engine_sink_bytes(const EngineResult& result, StageId sink) {
+  const shm::Buffer buf = serialize_table(result.sink_outputs.at(sink));
+  return std::string(buf.view());
+}
+
+cluster::PlacementPlan uniform_plan(const JobDag& dag, int dop, int servers) {
+  cluster::PlacementPlan plan;
+  plan.dop.assign(dag.num_stages(), dop);
+  plan.task_server.resize(dag.num_stages());
+  int next = 0;
+  for (StageId s = 0; s < dag.num_stages(); ++s) {
+    plan.task_server[s].resize(dop);
+    for (int t = 0; t < dop; ++t) {
+      plan.task_server[s][t] = static_cast<ServerId>(next++ % servers);
+    }
+  }
+  return plan;
+}
+
+/// Pipelined-shuffle self-check: the chunk-granular exchange must be
+/// (a) strictly faster than materialized waves on a 48 MB cross-server
+/// shuffle with transport modeled as real delay, (b) byte-identical to
+/// waves under the PR 2 fault storm, and (c) closing — not widening —
+/// the time-model drift on Q95 when the model's pipelining annotations
+/// are matched by actual engine pipelining.
+bool run_pipelined_quick_check() {
+  constexpr double kPipelineFloor = 1.15;
+  bool ok = true;
+
+  // --- (a) 48 MB shuffle: scan (2 tasks) -> filter (2 tasks), all
+  // four edges remote through a 1 GB/s store. Materialized pays
+  // produce + transport + consume serially across the wave barrier;
+  // chunked overlaps them.
+  {
+    JobDag dag("pipe-bench");
+    const StageId scan = dag.add_stage("scan");
+    const StageId filt = dag.add_stage("filter");
+    (void)dag.add_edge(scan, filt, ExchangeKind::kShuffle);
+    auto big = std::make_shared<const Table>(fact(1'000'000));
+    cluster::PlacementPlan plan;
+    plan.dop = {2, 2};
+    plan.task_server = {{0, 1}, {2, 3}};
+
+    std::map<StageId, StageBinding> bindings;
+    bindings[scan] = StageBinding{
+        [big](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+          return range_partition(*big, dop)[task];
+        },
+        "order_id"};
+    const std::vector<ColumnPred> preds{pred_double("price", CmpOp::kGt, 25.0)};
+    bindings[filt] = StageBinding{
+        [preds](int, int, const std::vector<Table>& in) -> Result<Table> {
+          return filter_cols(in.at(0), preds);
+        },
+        ""};
+    bindings[filt].stream_fn =
+        [preds](int, int, std::vector<TableChunkFn>& in) -> Result<Table> {
+      return filter_stream(in.at(0), preds, nullptr);
+    };
+
+    storage::StorageModel transport;
+    transport.request_latency = 0.0002;
+    transport.bandwidth_bytes_per_s = 1e9;
+
+    const auto run = [&](bool pipeline) -> Result<EngineResult> {
+      auto inner = storage::make_instant_store();
+      DelayStore store(*inner, transport);
+      EngineOptions options;
+      options.pipeline = pipeline;
+      options.chunk_rows = 64 * 1024;
+      MiniEngine engine(dag, plan, store, options);
+      return engine.run(bindings);
+    };
+
+    const auto wave = run(false);
+    const auto piped = run(true);
+    if (!wave.ok() || !piped.ok()) {
+      std::fprintf(stderr, "FAIL: pipelined shuffle bench run errored\n");
+      return false;
+    }
+    if (engine_sink_bytes(*piped, filt) != engine_sink_bytes(*wave, filt)) {
+      std::fprintf(stderr, "FAIL: pipelined shuffle output differs from materialized\n");
+      ok = false;
+    }
+    if (piped->stats.exchange.chunks_published <= wave->stats.exchange.chunks_published) {
+      std::fprintf(stderr, "FAIL: pipelined run did not actually chunk the stream\n");
+      ok = false;
+    }
+
+    const auto [t_wave, t_piped] =
+        timed_ratio(kPipelineFloor, 3, [&] { benchmark::DoNotOptimize(run(false)); },
+                    [&] { benchmark::DoNotOptimize(run(true)); });
+    const double speedup = t_wave / t_piped;
+    std::fprintf(stderr,
+                 "pipelined shuffle (48 MB, 1 GB/s transport): materialized %.1f ms, "
+                 "chunked %.1f ms -> %.2fx (floor %.2fx)\n",
+                 t_wave * 1e3, t_piped * 1e3, speedup, kPipelineFloor);
+    if (speedup < kPipelineFloor) {
+      std::fprintf(stderr, "FAIL: chunked shuffle not faster than materialized\n");
+      ok = false;
+    }
+  }
+
+  // --- (b) fault storm: the PR 2 chaos config against the chunked
+  // path must leave the sink byte-identical to a fault-free
+  // materialized run.
+  {
+    JobDag dag("pipe-chaos");
+    const StageId scan = dag.add_stage("scan");
+    const StageId filt = dag.add_stage("filter");
+    const StageId agg = dag.add_stage("agg");
+    (void)dag.add_edge(scan, filt, ExchangeKind::kShuffle);
+    (void)dag.add_edge(filt, agg, ExchangeKind::kShuffle);
+    auto rows = std::make_shared<const Table>(
+        gen_fact_table({.rows = 60000, .num_warehouses = 16, .seed = 21}));
+    cluster::PlacementPlan plan;
+    plan.dop = {2, 2, 2};
+    plan.task_server = {{0, 1}, {0, 1}, {1, 0}};
+
+    std::map<StageId, StageBinding> bindings;
+    bindings[scan] = StageBinding{
+        [rows](int task, int dop, const std::vector<Table>&) -> Result<Table> {
+          return range_partition(*rows, dop)[task];
+        },
+        "warehouse_id"};
+    bindings[filt] = StageBinding{
+        [](int, int, const std::vector<Table>& in) -> Result<Table> {
+          return filter_cols(in.at(0), {pred_int("quantity", CmpOp::kGt, 20)});
+        },
+        "warehouse_id"};
+    bindings[filt].stream_fn =
+        [](int, int, std::vector<TableChunkFn>& in) -> Result<Table> {
+      return filter_stream(in.at(0), {pred_int("quantity", CmpOp::kGt, 20)}, nullptr);
+    };
+    bindings[agg] = StageBinding{
+        [](int, int, const std::vector<Table>& in) -> Result<Table> {
+          return group_by(in.at(0), "warehouse_id",
+                          {{AggKind::kSum, "quantity", "qty"}, {AggKind::kCount, "", "n"}});
+        },
+        ""};
+
+    auto clean_store = storage::make_instant_store();
+    MiniEngine clean(dag, plan, *clean_store);
+    const auto base = clean.run(bindings);
+    if (!base.ok()) {
+      std::fprintf(stderr, "FAIL: fault-free baseline errored\n");
+      return false;
+    }
+
+    auto spec = ditto::faults::parse_fault_spec(
+        "storage_error=0.1,storage_delay=0.001@0.3,crash=1:0,hang=0:1:0.3,"
+        "server_loss=1@1,seed=7");
+    ditto::faults::FaultInjector injector(std::move(spec).value());
+    auto inner = storage::make_instant_store();
+    ditto::faults::FlakyStore flaky(*inner, injector);
+    EngineOptions options;
+    options.pipeline = true;
+    options.chunk_rows = 4096;
+    // Stream only scan->filter so agg starts at a group boundary —
+    // where the injector's server loss fires.
+    options.pipeline_edges = {{scan, filt}};
+    options.injector = &injector;
+    options.resilience.speculation_factor = 2.0;
+    options.resilience.speculation_min_wait = 0.01;
+    options.resilience.storage.initial_backoff = 1e-4;
+    options.resilience.storage.max_backoff = 1e-3;
+    MiniEngine chaos_engine(dag, plan, flaky, options);
+    const auto chaos = chaos_engine.run(bindings);
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "FAIL: pipelined fault-storm run errored: %s\n",
+                   chaos.status().to_string().c_str());
+      return false;
+    }
+    const bool identical = engine_sink_bytes(*chaos, agg) == engine_sink_bytes(*base, agg);
+    std::fprintf(stderr,
+                 "pipelined fault storm: %zu storage errors, %zu server lost -> "
+                 "sink %s\n",
+                 injector.counts().storage_errors, injector.counts().servers_lost,
+                 identical ? "byte-identical" : "DIFFERS");
+    if (!identical || injector.counts().storage_errors == 0) {
+      std::fprintf(stderr, "FAIL: fault storm broke pipelined byte-identity\n");
+      ok = false;
+    }
+  }
+
+  // --- (c) Q95 drift: with the model's pipelining annotations matched
+  // by engine pipelining, the total predicted-vs-observed gap over the
+  // streaming stages (reduce1/join1/join2) must not grow vs the
+  // materialized run judged by the unannotated model.
+  {
+    workload::Q95EngineSpec spec;
+    spec.sales_rows = 200'000;
+    spec.num_orders = 30'000;
+    workload::Q95EngineJob job = workload::build_q95_engine_job(spec);
+    workload::annotate_q95_volumes(job);
+    JobDag model = job.dag;
+    workload::PhysicsParams physics;
+    physics.store = storage::redis_model();
+    workload::apply_physics(model, physics);
+    JobDag model_piped = model;
+    (void)workload::pipeline_all_shuffles(model_piped);
+    const ExecTimePredictor pred_plain(model);
+    const ExecTimePredictor pred_piped(model_piped);
+
+    constexpr int kDop = 3;
+    const auto plan = uniform_plan(job.dag, kDop, /*servers=*/3);
+    const auto run = [&](bool pipeline) -> Result<EngineResult> {
+      auto inner = storage::make_instant_store();
+      DelayStore store(*inner, storage::redis_model());
+      EngineOptions options;
+      options.pipeline = pipeline;
+      options.chunk_rows = 16384;
+      MiniEngine engine(job.dag, plan, store, options);
+      return engine.run(job.bindings);
+    };
+    const auto wave = run(false);
+    const auto piped = run(true);
+    if (!wave.ok() || !piped.ok()) {
+      std::fprintf(stderr, "FAIL: Q95 drift bench run errored\n");
+      return false;
+    }
+    const auto expected = workload::q95_reference(job, spec);
+    for (const auto* r : {&wave, &piped}) {
+      const auto answer = workload::q95_answer_from_sink((*r)->sink_outputs.at(8));
+      if (!answer.ok() || answer->order_count != expected.order_count) {
+        std::fprintf(stderr, "FAIL: Q95 answer mismatch in drift bench\n");
+        ok = false;
+      }
+    }
+
+    // Stage ids per build_q95_engine_job: reduce1=3, join1=5, join2=7.
+    double gap_wave = 0.0, gap_piped = 0.0;
+    for (const StageId s : {StageId{3}, StageId{5}, StageId{7}}) {
+      const double pw = pred_plain.stage_time(s, kDop, nothing_colocated());
+      const double pp = pred_piped.stage_time(s, kDop, nothing_colocated());
+      gap_wave += std::abs(pw - wave->stats.stage_seconds.at(s));
+      gap_piped += std::abs(pp - piped->stats.stage_seconds.at(s));
+    }
+    std::fprintf(stderr,
+                 "Q95 drift (streaming stages): materialized gap %.1f ms, "
+                 "pipelined gap %.1f ms (must not grow)\n",
+                 gap_wave * 1e3, gap_piped * 1e3);
+    if (gap_piped > gap_wave * 1.05 + 1e-9) {
+      std::fprintf(stderr, "FAIL: engine pipelining widened Q95 time-model drift\n");
+      ok = false;
+    }
+  }
+
+  return ok;
+}
+
 /// Regression self-check (--quick): verifies the rebuilt data path is
 /// both CORRECT (bit-equal results vs the legacy formulations) and
 /// FASTER by at least the floors below. Non-zero exit on any miss, so
@@ -566,6 +865,8 @@ int run_quick_check() {
                  "filter: reference %.2f ms, kernel 8t %.2f ms -> %.2fx (informational)\n",
                  t_f_ref * 1e3, t_f8 * 1e3, t_f_ref / t_f8);
   }
+
+  if (!run_pipelined_quick_check()) ok = false;
 
   std::fprintf(stderr, "%s\n", ok ? "quick check PASSED" : "quick check FAILED");
   return ok ? 0 : 1;

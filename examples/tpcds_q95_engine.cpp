@@ -2,8 +2,16 @@
 // and the MiniEngine runs it on generated data — the full stack in one
 // program, from data to plan to zero-copy execution to the answer.
 //
-//   tpcds_q95_engine [--trace-out FILE] [--report]
+//   tpcds_q95_engine [--pipeline] [--trace-out FILE] [--report]
 //                    [--faults SPEC] [--fault-seed N]
+//
+// --pipeline turns on chunk-granular pipelined shuffles (paper §4.5):
+// the model DAG is annotated with pipeline_all_shuffles() so the
+// scheduler and predictor credit the overlap, and the engine runs
+// producer/consumer overlap groups that actually deliver it. Without
+// the flag the model stays unannotated and the engine materializes —
+// predictions and runtime agree either way (that symmetry is what
+// keeps timemodel drift honest).
 //
 // --trace-out enables the observability layer and writes the whole run
 // (scheduler spans, per-task engine spans, exchange/storage counter
@@ -35,6 +43,7 @@
 #include "scheduler/explain.h"
 #include "storage/sim_store.h"
 #include "workload/physics.h"
+#include "workload/pipelining.h"
 #include "workload/q95_engine.h"
 
 using namespace ditto;
@@ -56,10 +65,11 @@ struct Profiling {
 Result<RunStats> execute(workload::Q95EngineJob& job, const cluster::PlacementPlan& plan,
                          cluster::RuntimeMonitor* monitor = nullptr,
                          faults::FaultInjector* injector = nullptr,
-                         const Profiling* profiling = nullptr) {
+                         const Profiling* profiling = nullptr, bool pipeline = false) {
   auto store = storage::make_redis_sim();
   store->set_real_delay_scale(0.01);  // small real delay: latency gap observable
   exec::EngineOptions options;
+  options.pipeline = pipeline;
   if (profiling != nullptr) {
     options.profiles = profiling->profiles;
     options.plan_fingerprint = profiling->fingerprint;
@@ -89,11 +99,14 @@ int main(int argc, char** argv) {
   std::string faults_spec;
   std::uint64_t fault_seed = 0;
   bool fault_seed_set = false;
+  bool pipeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
       print_report = true;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      pipeline = true;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       faults_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
@@ -101,7 +114,7 @@ int main(int argc, char** argv) {
       fault_seed_set = true;
     } else {
       std::fprintf(stderr,
-                   "usage: tpcds_q95_engine [--trace-out FILE] [--report] "
+                   "usage: tpcds_q95_engine [--pipeline] [--trace-out FILE] [--report] "
                    "[--faults SPEC] [--fault-seed N]\n");
       return 2;
     }
@@ -139,6 +152,13 @@ int main(int argc, char** argv) {
   workload::PhysicsParams physics;
   physics.store = storage::redis_model();
   workload::apply_physics(model_dag, physics);
+  if (pipeline) {
+    // Annotate the model only when the engine will actually pipeline,
+    // so predictions and runtime describe the same execution.
+    const int annotated = workload::pipeline_all_shuffles(model_dag);
+    std::printf("pipelining: %d shuffle edges annotated, engine overlap mode on\n\n",
+                annotated);
+  }
   auto cl = cluster::Cluster::uniform(4, 8);
 
   scheduler::DittoScheduler ditto_sched;
@@ -173,7 +193,7 @@ int main(int argc, char** argv) {
       }
     }
     const auto run = execute(job, plan->placement, observing ? &monitor : nullptr,
-                             injector.get(), &profiling);
+                             injector.get(), &profiling, pipeline);
     if (!run.ok()) {
       std::fprintf(stderr, "execution failed: %s\n", run.status().to_string().c_str());
       return 1;
@@ -182,10 +202,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(run->answer.order_count), run->answer.total_revenue,
                 run->answer.order_count == expected.order_count ? "matches reference"
                                                                 : "MISMATCH");
-    std::printf("  data plane: %zu zero-copy msgs, %zu via store (%s), wall %.1f ms\n",
+    std::printf("  data plane: %zu zero-copy msgs, %zu via store (%s), "
+                "%zu chunks published, wall %.1f ms\n",
                 run->stats.exchange.zero_copy_messages, run->stats.exchange.remote_messages,
                 bytes_to_string(run->stats.exchange.remote_bytes).c_str(),
-                run->stats.wall_seconds * 1e3);
+                run->stats.exchange.chunks_published, run->stats.wall_seconds * 1e3);
 
     obs::ResilienceSection resilience;
     if (injector != nullptr) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <optional>
 #include <set>
@@ -51,6 +52,12 @@ struct TaskIo {
 struct TaskSlot {
   std::atomic<bool> won{false};
   std::atomic<bool> spec_launched{false};
+  /// Attempts currently submitted or running for this slot. In overlap
+  /// groups the driver uses `inflight == 0 && !won` to promote an
+  /// exhausted slot to a run failure *mid-group*, so streaming
+  /// consumers blocked on the dead producer's chunks get unblocked by
+  /// the exchange cancel instead of deadlocking the group.
+  std::atomic<int> inflight{0};
   double launch = 0.0;  ///< run-clock time the controller was submitted
 
   /// Failure that exhausted the original attempt chain. Written only by
@@ -95,6 +102,16 @@ struct RunState {
   /// pool, so operator kernels can block on sub-work safely.
   ThreadPool* compute_pool = nullptr;
 
+  /// Edges executing the chunked protocol (EngineOptions::pipeline):
+  /// producers send_chunked(), consumers with a stream_fn pull via
+  /// cursors. Empty when pipelining is off.
+  std::set<std::pair<StageId, StageId>> stream_edges;
+  std::size_t chunk_rows = 64 * 1024;
+
+  bool streams(StageId src, StageId dst) const {
+    return stream_edges.count({src, dst}) != 0;
+  }
+
   std::atomic<std::size_t> task_retries{0};
   std::atomic<std::size_t> spec_launched{0};
   std::atomic<std::size_t> spec_wins{0};
@@ -117,31 +134,89 @@ Status run_task_once(RunState& rs, StageId s, TaskId t, int dop, TaskIo* io) {
   const StageBinding& binding = rs.bindings->at(s);
   io->t_start = rs.clock->elapsed_seconds();
 
-  std::vector<Table> inputs;
-  inputs.reserve(rs.dag->parents(s).size());
-  for (StageId p : rs.dag->parents(s)) {
-    auto in = rs.exchanges->at({p, s})->recv_all(static_cast<std::size_t>(t));
-    if (!in.ok()) return in.status();
-    io->bytes_in += in.value().byte_size();
-    inputs.push_back(std::move(in).value());
-  }
-  io->t_gathered = rs.clock->elapsed_seconds();
+  const auto& parents = rs.dag->parents(s);
+  const bool stream_in = binding.stream_fn != nullptr &&
+                         std::any_of(parents.begin(), parents.end(),
+                                     [&](StageId p) { return rs.streams(p, s); });
 
   std::optional<Result<Table>> out;
-  {
-    // Operator kernels inside the stage fn pick up the pure-compute
-    // pool via task_compute_pool(), and their per-kernel wall time is
-    // collected for the task's profile sample.
-    ScopedComputePool pool_scope(rs.compute_pool);
-    reset_kernel_seconds();
-    try {
-      out.emplace(binding.fn(static_cast<int>(t), dop, inputs));
-    } catch (const std::exception& e) {
-      return Status::internal(std::string("stage fn threw: ") + e.what());
-    } catch (...) {
-      return Status::internal("stage fn threw a non-standard exception");
+  if (stream_in) {
+    // Streaming consumer: parent edges on the chunked protocol become
+    // pull cursors, so the stage fn starts on the first arrived chunk
+    // while upstream tasks are still producing. Materialized parent
+    // edges (broadcast build sides, non-pipelined edges) appear as a
+    // single-chunk iterator over their merged table. Gather time is
+    // interleaved with compute here, so the whole fn is charged as
+    // compute (t_gathered == t_start).
+    std::vector<ChunkCursor> cursors;
+    cursors.reserve(parents.size());
+    std::vector<TableChunkFn> inputs;
+    inputs.reserve(parents.size());
+    for (StageId p : parents) {
+      Exchange* ex = rs.exchanges->at({p, s}).get();
+      if (rs.streams(p, s)) {
+        cursors.push_back(ex->open_cursor(static_cast<std::size_t>(t)));
+        ChunkCursor* cur = &cursors.back();
+        inputs.push_back([cur]() -> Result<std::optional<Table>> {
+          DITTO_ASSIGN_OR_RETURN(auto chunk, cur->next());
+          if (!chunk.has_value()) return std::optional<Table>(std::nullopt);
+          return std::optional<Table>(**chunk);
+        });
+      } else {
+        auto done = std::make_shared<bool>(false);
+        inputs.push_back([ex, t, done, io]() -> Result<std::optional<Table>> {
+          if (*done) return std::optional<Table>(std::nullopt);
+          *done = true;
+          DITTO_ASSIGN_OR_RETURN(Table in, ex->recv_all(static_cast<std::size_t>(t)));
+          io->bytes_in += in.byte_size();
+          return std::optional<Table>(std::move(in));
+        });
+      }
     }
-    io->kernels = current_kernel_seconds();
+    io->t_gathered = io->t_start;
+    {
+      ScopedComputePool pool_scope(rs.compute_pool);
+      reset_kernel_seconds();
+      try {
+        out.emplace(binding.stream_fn(static_cast<int>(t), dop, inputs));
+      } catch (const std::exception& e) {
+        return Status::internal(std::string("stream fn threw: ") + e.what());
+      } catch (...) {
+        return Status::internal("stream fn threw a non-standard exception");
+      }
+      io->kernels = current_kernel_seconds();
+    }
+    for (const ChunkCursor& cur : cursors) io->bytes_in += cur.bytes_read();
+  } else {
+    // Materialized path: gather every parent edge in full, then run the
+    // stage fn. Streaming producers feeding a fn-only stage fall back
+    // to gather-on-last-chunk here — recv_all blocks until the stream
+    // seals and concatenates the chunks in cursor order, so blocking
+    // consumers (group-by builds) see the identical merged table.
+    std::vector<Table> inputs;
+    inputs.reserve(parents.size());
+    for (StageId p : parents) {
+      auto in = rs.exchanges->at({p, s})->recv_all(static_cast<std::size_t>(t));
+      if (!in.ok()) return in.status();
+      io->bytes_in += in.value().byte_size();
+      inputs.push_back(std::move(in).value());
+    }
+    io->t_gathered = rs.clock->elapsed_seconds();
+    {
+      // Operator kernels inside the stage fn pick up the pure-compute
+      // pool via task_compute_pool(), and their per-kernel wall time is
+      // collected for the task's profile sample.
+      ScopedComputePool pool_scope(rs.compute_pool);
+      reset_kernel_seconds();
+      try {
+        out.emplace(binding.fn(static_cast<int>(t), dop, inputs));
+      } catch (const std::exception& e) {
+        return Status::internal(std::string("stage fn threw: ") + e.what());
+      } catch (...) {
+        return Status::internal("stage fn threw a non-standard exception");
+      }
+      io->kernels = current_kernel_seconds();
+    }
   }
   if (!out->ok()) return out->status();
   io->t_computed = rs.clock->elapsed_seconds();
@@ -160,11 +235,24 @@ Status run_task_once(RunState& rs, StageId s, TaskId t, int dop, TaskIo* io) {
       std::lock_guard<std::mutex> lock(rs.sink_mu);
       rs.capture_parts[s].try_emplace(static_cast<TaskId>(t), std::move(copy));
     }
+    // Cancellation at chunk boundaries: a failing run stops a
+    // streaming producer between chunks instead of finishing the
+    // stream.
+    const auto tick = [&rs]() -> Status {
+      return rs.failed.load(std::memory_order_acquire)
+                 ? Status::cancelled("job aborting")
+                 : Status::ok();
+    };
     for (std::size_t c = 0; c < children.size(); ++c) {
       // The last child may take the table by move.
       Table payload = (c + 1 == children.size()) ? std::move(*out).value() : out->value();
-      DITTO_RETURN_IF_ERROR(rs.exchanges->at({s, children[c]})
-                                ->send(static_cast<std::size_t>(t), std::move(payload)));
+      Exchange* ex = rs.exchanges->at({s, children[c]}).get();
+      if (rs.streams(s, children[c])) {
+        DITTO_RETURN_IF_ERROR(ex->send_chunked(static_cast<std::size_t>(t),
+                                               std::move(payload), rs.chunk_rows, tick));
+      } else {
+        DITTO_RETURN_IF_ERROR(ex->send(static_cast<std::size_t>(t), std::move(payload)));
+      }
     }
   }
   io->t_end = rs.clock->elapsed_seconds();
@@ -377,16 +465,70 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
     }
   }
 
-  // Worker pools. Shared pools (a multi-job service's substrate) bound
-  // concurrency per cluster server across jobs; otherwise this run
-  // materializes private pools whose width is the maximum number of
-  // tasks any single stage places there (stages execute in waves).
   ServerId max_server = 0;
   for (const auto& ts : plan_->task_server) {
     for (ServerId v : ts) {
       if (v != kNoServer) max_server = std::max(max_server, v);
     }
   }
+
+  const std::vector<StageId> order = topological_order(*dag_);
+
+  // Pipelined shuffle (EngineOptions::pipeline): collect the streaming
+  // edges, then coalesce consecutive topo-order stages connected only
+  // by streaming edges into overlap groups that execute together.
+  // Overlap requires private pools — on a shared multi-job substrate a
+  // blocked streaming consumer could starve the producer feeding it
+  // through the FIFO queue, so with shared pools every stage stays its
+  // own group (classic waves).
+  const bool overlap_enabled = options_.pipeline && options_.pools == nullptr;
+  std::set<std::pair<StageId, StageId>> stream_edges;
+  if (overlap_enabled) {
+    std::set<std::pair<StageId, StageId>> wanted(options_.pipeline_edges.begin(),
+                                                 options_.pipeline_edges.end());
+    for (const Edge& e : dag_->edges()) {
+      if (e.exchange != ExchangeKind::kShuffle) continue;
+      if (!wanted.empty() && wanted.count({e.src, e.dst}) == 0) continue;
+      stream_edges.insert({e.src, e.dst});
+    }
+  }
+  // groups[g] = contiguous run of indices into `order`. A stage joins
+  // the current group iff it has a parent there and every such parent
+  // connects through a streaming edge; everything else (including all
+  // stages when pipelining is off) starts a fresh group, which makes a
+  // singleton group exactly one classic wave.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<int> group_of(dag_->num_stages(), -1);
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const StageId s = order[idx];
+    bool join = false;
+    if (!groups.empty()) {
+      const int cur = static_cast<int>(groups.size()) - 1;
+      bool has_cur_parent = false;
+      bool all_stream = true;
+      for (StageId p : dag_->parents(s)) {
+        if (group_of[p] == cur) {
+          has_cur_parent = true;
+          if (stream_edges.count({p, s}) == 0) all_stream = false;
+        }
+      }
+      join = has_cur_parent && all_stream;
+    }
+    if (join) {
+      groups.back().push_back(idx);
+    } else {
+      groups.push_back({idx});
+    }
+    group_of[s] = static_cast<int>(groups.size()) - 1;
+  }
+
+  // Worker pools. Shared pools (a multi-job service's substrate) bound
+  // concurrency per cluster server across jobs; otherwise this run
+  // materializes private pools whose width is the maximum number of
+  // tasks any single overlap group places there (a singleton group =
+  // one stage, the classic wave sizing). Group-sum sizing guarantees a
+  // thread for every task in the group, so a streaming consumer can
+  // block on its cursor without starving the producer feeding it.
   std::vector<std::unique_ptr<ThreadPool>> own_pools;
   if (options_.pools != nullptr) {
     if (static_cast<std::size_t>(max_server) >= options_.pools->num_servers()) {
@@ -396,10 +538,12 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
     }
   } else {
     std::vector<std::size_t> width(max_server + 1, 1);
-    for (StageId s = 0; s < dag_->num_stages(); ++s) {
+    for (const auto& gidx : groups) {
       std::vector<std::size_t> per_server(max_server + 1, 0);
-      for (ServerId v : plan_->task_server[s]) {
-        if (v != kNoServer) width[v] = std::max(width[v], ++per_server[v]);
+      for (const std::size_t idx : gidx) {
+        for (ServerId v : plan_->task_server[order[idx]]) {
+          if (v != kNoServer) width[v] = std::max(width[v], ++per_server[v]);
+        }
       }
     }
     own_pools.reserve(width.size());
@@ -454,6 +598,8 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
   rs.profiles = options_.profiles;
   rs.fingerprint = options_.plan_fingerprint;
   rs.compute_pool = scatter_pool.get();
+  rs.stream_edges = stream_edges;
+  rs.chunk_rows = std::max<std::size_t>(1, options_.chunk_rows);
   rs.capture.assign(dag_->num_stages(), 0);
   for (const StageId s : options_.capture_stages) {
     if (s < rs.capture.size()) rs.capture[s] = 1;
@@ -461,23 +607,43 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
 
   const faults::ResiliencePolicy& policy = options_.resilience;
   const int max_attempts = std::max(1, policy.max_task_attempts);
-  const std::vector<StageId> order = topological_order(*dag_);
+  result.stats.stage_seconds.assign(dag_->num_stages(), 0.0);
 
-  // Stage waves in topological order.
-  for (std::size_t wave = 0; wave < order.size(); ++wave) {
-    const StageId s = order[wave];
+  /// Per-stage bookkeeping of one overlap group (a singleton group is
+  /// exactly one classic wave).
+  struct StageWave {
+    StageId s = kNoStage;
+    int dop = 0;
+    double launch_time = 0.0;
+    double done_time = -1.0;  ///< set when every slot has a winner
+    std::vector<TaskSlot> slots;
+    std::mutex dur_mu;
+    std::vector<double> durations;
+    explicit StageWave(int n) : slots(n) { durations.reserve(n); }
+  };
+
+  // Overlap groups in topological order. Within a group, producers are
+  // submitted before their streaming consumers (topo order + FIFO
+  // pools), so every task in the group holds a thread and chunks flow
+  // producer -> consumer without a wave barrier.
+  for (std::size_t gi = 0; gi < groups.size() && !rs.failed.load(); ++gi) {
+    const std::vector<std::size_t>& gidx = groups[gi];
 
     if (cancel_requested()) {
-      rs.fail(Status::cancelled("engine run cancelled before stage " + dag_->stage(s).name()));
+      rs.fail(Status::cancelled("engine run cancelled before stage " +
+                                dag_->stage(order[gidx.front()]).name()));
       break;
     }
 
     // Server-loss boundary: kill the doomed server, reroute its pending
     // tasks, and re-publish completed zero-copy intermediates it held.
+    // The boundary index is the order position of the group's first
+    // stage, so a loss scheduled mid-group fires before the group (the
+    // injector fires at the first boundary >= its configured wave).
     if (rs.injector != nullptr) {
-      const ServerId lost = rs.injector->take_server_loss(static_cast<int>(wave));
+      const ServerId lost = rs.injector->take_server_loss(static_cast<int>(gidx.front()));
       if (lost != kNoServer) {
-        const Status st = recover_server_loss(rs, lost, order, wave);
+        const Status st = recover_server_loss(rs, lost, order, gidx.front());
         if (!st.is_ok()) {
           for (auto& [edge, ex] : exchanges) ex->cancel();
           return st;
@@ -485,50 +651,69 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
       }
     }
 
-    const int dop = plan_->dop_of(s);
-    const double wave_start = clock.elapsed_seconds();
-    obs::ScopedSpan stage_span("engine.stage", dag_->stage(s).name().c_str(), -1,
-                               static_cast<std::int64_t>(s));
-    stage_span.arg("dop", std::to_string(dop));
-
-    std::vector<TaskSlot> slots(dop);
-    std::mutex dur_mu;
-    std::vector<double> durations;
-    durations.reserve(dop);
+    std::vector<std::unique_ptr<StageWave>> waves;
+    waves.reserve(gidx.size());
     std::vector<std::future<Status>> futures;
-    futures.reserve(dop);
+    // ScopedSpan is pinned (no moves); deque emplace never relocates.
+    std::deque<obs::ScopedSpan> spans;  // one per stage, closed at group end
 
-    for (int t = 0; t < dop; ++t) {
-      const ServerId server = rs.task_server[s][t];
-      ThreadPool& pool = pool_for(server);
-      TaskSlot& slot = slots[t];
-      slot.launch = clock.elapsed_seconds();
-      futures.push_back(pool.submit_guarded([&rs, &slot, &dur_mu, &durations, s, t, dop,
-                                             server, max_attempts]() -> Status {
-        Status last = Status::ok();
-        for (int attempt = 0; attempt < max_attempts; ++attempt) {
-          if (rs.failed.load() || slot.won.load()) return Status::ok();
-          if (attempt > 0) {
-            rs.task_retries.fetch_add(1, std::memory_order_relaxed);
-            note_resilience("task_retry", task_label(*rs.dag, s, static_cast<TaskId>(t)) +
-                                              " attempt " + std::to_string(attempt));
+    for (const std::size_t idx : gidx) {
+      const StageId s = order[idx];
+      const int dop = plan_->dop_of(s);
+      spans.emplace_back("engine.stage", dag_->stage(s).name().c_str(), -1,
+                         static_cast<std::int64_t>(s));
+      spans.back().arg("dop", std::to_string(dop));
+      if (gidx.size() > 1) spans.back().arg("overlap_group", std::to_string(gi));
+
+      auto wave = std::make_unique<StageWave>(dop);
+      wave->s = s;
+      wave->dop = dop;
+      wave->launch_time = clock.elapsed_seconds();
+      StageWave& w = *wave;
+      waves.push_back(std::move(wave));
+
+      for (int t = 0; t < dop; ++t) {
+        const ServerId server = rs.task_server[s][t];
+        ThreadPool& pool = pool_for(server);
+        TaskSlot& slot = w.slots[t];
+        slot.launch = clock.elapsed_seconds();
+        slot.inflight.fetch_add(1, std::memory_order_acq_rel);
+        futures.push_back(pool.submit_guarded([&rs, &w, &slot, s, t, dop, server,
+                                               max_attempts]() -> Status {
+          Status last = Status::ok();
+          for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            if (rs.failed.load() || slot.won.load()) {
+              slot.inflight.fetch_sub(1, std::memory_order_acq_rel);
+              return Status::ok();
+            }
+            if (attempt > 0) {
+              rs.task_retries.fetch_add(1, std::memory_order_relaxed);
+              note_resilience("task_retry", task_label(*rs.dag, s, static_cast<TaskId>(t)) +
+                                                " attempt " + std::to_string(attempt));
+            }
+            last = task_attempt(rs, s, static_cast<TaskId>(t), dop, server, attempt,
+                                /*speculative=*/false, slot, w.dur_mu, w.durations);
+            if (last.is_ok()) {
+              slot.inflight.fetch_sub(1, std::memory_order_acq_rel);
+              return Status::ok();
+            }
           }
-          last = task_attempt(rs, s, static_cast<TaskId>(t), dop, server, attempt,
-                              /*speculative=*/false, slot, dur_mu, durations);
-          if (last.is_ok()) return Status::ok();
-        }
-        // Out of attempts. A speculative duplicate may still win the
-        // slot; record the failure and let the post-wave check decide.
-        slot.exhausted = last;
-        return Status::ok();
-      }));
+          // Out of attempts. A speculative duplicate may still win the
+          // slot; record the failure and let the post-wave check (or
+          // the overlap-group dead-slot scan) decide.
+          slot.exhausted = last;
+          slot.inflight.fetch_sub(1, std::memory_order_acq_rel);
+          return Status::ok();
+        }));
+      }
     }
 
-    // Drive the wave: poll for completion, launching speculative
+    // Drive the group: poll for completion, launching speculative
     // duplicates for stragglers past the deadline or the median-based
-    // speculation threshold.
+    // speculation threshold (per stage, as in classic waves).
     const bool watching =
         policy.speculation_enabled() || policy.task_deadline > 0.0;
+    bool cancelled_exchanges = false;
     for (;;) {
       bool all_ready = true;
       for (std::size_t i = 0; i < futures.size(); ++i) {
@@ -544,53 +729,100 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
         // publishes are idempotent and will be discarded with the job).
         rs.fail(Status::cancelled("engine run cancelled"));
       }
-      if (watching && !rs.failed.load()) {
-        double median = 0.0;
-        std::size_t completed = 0;
-        {
-          std::lock_guard<std::mutex> lock(dur_mu);
-          completed = durations.size();
-          if (completed > 0) {
-            std::vector<double> sorted = durations;
-            std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2, sorted.end());
-            median = sorted[sorted.size() / 2];
+      const double now = clock.elapsed_seconds();
+      for (auto& wptr : waves) {
+        StageWave& w = *wptr;
+        if (w.done_time < 0.0 &&
+            std::all_of(w.slots.begin(), w.slots.end(),
+                        [](const TaskSlot& sl) { return sl.won.load(); })) {
+          w.done_time = now;
+        }
+      }
+      if (gidx.size() > 1 && !rs.failed.load()) {
+        // Dead-slot scan: in an overlap group a task that exhausted
+        // every attempt (with no duplicate left in flight) must fail
+        // the run NOW — its streaming consumers are blocked on chunks
+        // that will never arrive, so waiting for all futures would
+        // deadlock. (Classic waves keep the post-drain check, which
+        // also lets a later-launched duplicate rescue the slot.)
+        for (auto& wptr : waves) {
+          StageWave& w = *wptr;
+          for (int t = 0; t < w.dop && !rs.failed.load(); ++t) {
+            TaskSlot& slot = w.slots[t];
+            if (!slot.won.load(std::memory_order_acquire) &&
+                slot.inflight.load(std::memory_order_acquire) == 0) {
+              rs.fail(!slot.exhausted.is_ok()
+                          ? slot.exhausted
+                          : Status::internal("task " +
+                                             task_label(*dag_, w.s, static_cast<TaskId>(t)) +
+                                             " failed every attempt"));
+            }
           }
         }
-        const double now = clock.elapsed_seconds();
-        for (int t = 0; t < dop; ++t) {
-          TaskSlot& slot = slots[t];
-          if (slot.won.load() || slot.spec_launched.load()) continue;
-          const double age = now - slot.launch;
-          const bool past_deadline = policy.task_deadline > 0.0 && age > policy.task_deadline;
-          const bool straggling =
-              policy.speculation_enabled() && completed > 0 && completed * 2 >= slots.size() &&
-              age > std::max(policy.speculation_min_wait, policy.speculation_factor * median);
-          if (!past_deadline && !straggling) continue;
-          slot.spec_launched.store(true);
-          rs.spec_launched.fetch_add(1, std::memory_order_relaxed);
-          note_resilience(past_deadline ? "deadline_duplicate" : "speculative_launch",
-                          task_label(*dag_, s, static_cast<TaskId>(t)));
-          // Duplicate on the next server over (if any), so a slow or
-          // hung slot on the original server cannot delay the copy.
-          const ServerId home = rs.task_server[s][t];
-          ServerId spec_server = home;
-          for (ServerId v = 1; v <= max_server; ++v) {
-            const ServerId cand =
-                (home == kNoServer ? v - 1 : home + v) % (max_server + 1);
-            if (rs.injector != nullptr && rs.injector->server_dead(cand)) continue;
-            spec_server = cand;
-            break;
+      }
+      if (gidx.size() > 1 && rs.failed.load() && !cancelled_exchanges) {
+        // Unblock streaming producers (tick) and consumers (cursors)
+        // so the group can drain; the failed run tears down anyway.
+        cancelled_exchanges = true;
+        for (auto& [edge, ex] : exchanges) ex->cancel();
+      }
+      if (watching && !rs.failed.load()) {
+        for (auto& wptr : waves) {
+          StageWave& w = *wptr;
+          const StageId s = w.s;
+          double median = 0.0;
+          std::size_t completed = 0;
+          {
+            std::lock_guard<std::mutex> lock(w.dur_mu);
+            completed = w.durations.size();
+            if (completed > 0) {
+              std::vector<double> sorted = w.durations;
+              std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                               sorted.end());
+              median = sorted[sorted.size() / 2];
+            }
           }
-          ThreadPool& pool = pool_for(spec_server);
-          futures.push_back(pool.submit_guarded(
-              [&rs, &slot, &dur_mu, &durations, s, t, dop, spec_server,
-               max_attempts]() -> Status {
-                // Attempt index >= max_attempts: injected attempt-0
-                // faults never re-fire on the duplicate.
-                return task_attempt(rs, s, static_cast<TaskId>(t), dop, spec_server,
-                                    max_attempts, /*speculative=*/true, slot, dur_mu,
-                                    durations);
-              }));
+          for (int t = 0; t < w.dop; ++t) {
+            TaskSlot& slot = w.slots[t];
+            if (slot.won.load() || slot.spec_launched.load()) continue;
+            const double age = now - slot.launch;
+            const bool past_deadline =
+                policy.task_deadline > 0.0 && age > policy.task_deadline;
+            const bool straggling =
+                policy.speculation_enabled() && completed > 0 &&
+                completed * 2 >= w.slots.size() &&
+                age > std::max(policy.speculation_min_wait, policy.speculation_factor * median);
+            if (!past_deadline && !straggling) continue;
+            slot.spec_launched.store(true);
+            rs.spec_launched.fetch_add(1, std::memory_order_relaxed);
+            note_resilience(past_deadline ? "deadline_duplicate" : "speculative_launch",
+                            task_label(*dag_, s, static_cast<TaskId>(t)));
+            // Duplicate on the next server over (if any), so a slow or
+            // hung slot on the original server cannot delay the copy.
+            const ServerId home = rs.task_server[s][t];
+            ServerId spec_server = home;
+            for (ServerId v = 1; v <= max_server; ++v) {
+              const ServerId cand =
+                  (home == kNoServer ? v - 1 : home + v) % (max_server + 1);
+              if (rs.injector != nullptr && rs.injector->server_dead(cand)) continue;
+              spec_server = cand;
+              break;
+            }
+            ThreadPool& pool = pool_for(spec_server);
+            const int dop = w.dop;
+            slot.inflight.fetch_add(1, std::memory_order_acq_rel);
+            futures.push_back(pool.submit_guarded(
+                [&rs, &w, &slot, s, t, dop, spec_server, max_attempts]() -> Status {
+                  // Attempt index >= max_attempts: injected attempt-0
+                  // faults never re-fire on the duplicate.
+                  const Status st =
+                      task_attempt(rs, s, static_cast<TaskId>(t), dop, spec_server,
+                                   max_attempts, /*speculative=*/true, slot, w.dur_mu,
+                                   w.durations);
+                  slot.inflight.fetch_sub(1, std::memory_order_acq_rel);
+                  return st;
+                }));
+          }
         }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -600,33 +832,55 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
       const Status st = f.get();
       if (!st.is_ok()) rs.fail(st);  // thrown-through-pool defence
     }
-    for (int t = 0; t < dop; ++t) {
-      if (!slots[t].won.load()) {
-        std::lock_guard<std::mutex> lock(rs.error_mu);
-        if (rs.first_error.is_ok()) {
-          rs.first_error =
-              !slots[t].exhausted.is_ok()
-                  ? slots[t].exhausted
-                  : Status::internal("task " + task_label(*dag_, s, static_cast<TaskId>(t)) +
-                                     " failed every attempt");
+    const double drain_time = clock.elapsed_seconds();
+    for (auto& wptr : waves) {
+      StageWave& w = *wptr;
+      bool all_won = true;
+      for (int t = 0; t < w.dop; ++t) {
+        if (!w.slots[t].won.load()) {
+          all_won = false;
+          std::lock_guard<std::mutex> lock(rs.error_mu);
+          if (rs.first_error.is_ok()) {
+            rs.first_error =
+                !w.slots[t].exhausted.is_ok()
+                    ? w.slots[t].exhausted
+                    : Status::internal("task " + task_label(*dag_, w.s, static_cast<TaskId>(t)) +
+                                       " failed every attempt");
+          }
+          rs.failed.store(true);
         }
-        rs.failed.store(true);
       }
+      if (all_won && w.done_time < 0.0) w.done_time = drain_time;
     }
 
-    // Wave-level drift: join this stage's observed wall time against
-    // the scheduler's prediction, if the caller supplied one.
-    if (!rs.failed.load() && s < options_.predicted_stage_seconds.size()) {
-      const double predicted = options_.predicted_stage_seconds[s];
-      const double observed = clock.elapsed_seconds() - wave_start;
-      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
-      if (predicted > 0.0 && observed > 0.0 && mx.enabled()) {
-        const double rel = std::abs(predicted - observed) / observed;
-        mx.histogram("timemodel.drift", 0.0, 2.0, 20).observe(rel);
-        mx.gauge("timemodel.rel_error", {{"stage", dag_->stage(s).name()}}).set(rel);
+    // Per-stage drift: observed time is overlap-adjusted — a stage
+    // pipelined behind in-group parents is charged only its tail past
+    // the last such parent's completion, the same quantity an
+    // annotated (pipelined-read-skipping) time model predicts. For a
+    // singleton group this reduces to the classic wave wall time.
+    if (!rs.failed.load()) {
+      for (auto& wptr : waves) {
+        StageWave& w = *wptr;
+        double start = w.launch_time;
+        for (StageId p : dag_->parents(w.s)) {
+          if (group_of[p] != static_cast<int>(gi)) continue;
+          for (const auto& pw : waves) {
+            if (pw->s == p && pw->done_time >= 0.0) start = std::max(start, pw->done_time);
+          }
+        }
+        const double observed = std::max(0.0, w.done_time - start);
+        result.stats.stage_seconds[w.s] = observed;
+        if (w.s < options_.predicted_stage_seconds.size()) {
+          const double predicted = options_.predicted_stage_seconds[w.s];
+          obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+          if (predicted > 0.0 && observed > 0.0 && mx.enabled()) {
+            const double rel = std::abs(predicted - observed) / observed;
+            mx.histogram("timemodel.drift", 0.0, 2.0, 20).observe(rel);
+            mx.gauge("timemodel.rel_error", {{"stage", dag_->stage(w.s).name()}}).set(rel);
+          }
+        }
       }
     }
-    if (rs.failed.load()) break;
   }
 
   if (rs.failed.load()) {
@@ -672,6 +926,8 @@ Result<EngineResult> MiniEngine::run(const std::map<StageId, StageBinding>& bind
     result.stats.exchange.duplicate_publishes += es.duplicate_publishes;
     result.stats.exchange.storage_retries += es.storage_retries;
     result.stats.exchange.producers_reset += es.producers_reset;
+    result.stats.exchange.chunks_published += es.chunks_published;
+    result.stats.exchange.chunks_consumed += es.chunks_consumed;
   }
   for (StageId s = 0; s < dag_->num_stages(); ++s) {
     result.stats.tasks_run += static_cast<std::size_t>(plan_->dop_of(s));

@@ -42,6 +42,7 @@
 #include "common/thread_pool.h"
 #include "dag/job_dag.h"
 #include "exec/exchange.h"
+#include "exec/kernels.h"
 #include "faults/fault_injector.h"
 #include "faults/retry_policy.h"
 #include "obs/profile_store.h"
@@ -55,6 +56,16 @@ namespace ditto::exec {
 using StageFn =
     std::function<Result<Table>(int task, int dop, const std::vector<Table>& inputs)>;
 
+/// Streaming variant of StageFn for pipelined shuffle edges (§4.5
+/// pipelined read steps): inputs[k] iterates the k-th parent edge's
+/// chunks. Parents whose edge does not stream (broadcast build sides,
+/// materialized edges) appear as a single-chunk iterator over the
+/// merged table. A streaming fn must produce output bit-identical to
+/// its materialized StageFn on the concatenated chunks — that contract
+/// is what keeps pipelined and wave execution interchangeable.
+using StreamFn =
+    std::function<Result<Table>(int task, int dop, std::vector<TableChunkFn>& inputs)>;
+
 /// Per-stage binding of logic + partitioning key for its output edges.
 /// A stage feeding multiple consumers can need different partition keys
 /// per edge (e.g. Q1's customer totals shuffle by customer to the final
@@ -66,6 +77,12 @@ struct StageBinding {
       : fn(std::move(f)), output_key(std::move(key)), edge_keys(std::move(per_edge)) {}
 
   StageFn fn;
+  /// Optional streaming consumer (filter, join probe, ...). Used only
+  /// when EngineOptions::pipeline is on and at least one parent edge
+  /// streams; stages without one gather-on-last-chunk (recv_all) and
+  /// run `fn` unchanged — the right fallback for blocking consumers
+  /// like group-by builds.
+  StreamFn stream_fn;
   std::string output_key;                  ///< default shuffle key
   std::map<StageId, std::string> edge_keys;  ///< per-consumer overrides
 
@@ -128,7 +145,30 @@ struct EngineOptions {
   /// scheduler's time model under the plan's placement. When non-empty
   /// the engine emits `timemodel.drift` histogram samples and
   /// per-stage `timemodel.rel_error` gauges as each wave completes.
+  /// The predictions must be derived from a model whose pipelining
+  /// annotations match `pipeline` below — see
+  /// ExecTimePredictor::set_honor_pipelining.
   std::vector<double> predicted_stage_seconds;
+
+  /// Pipelined shuffle (ROADMAP item 2, paper §4.5): producers on
+  /// shuffle edges publish fixed-size row chunks and downstream tasks
+  /// launch in the same overlap group, starting on the first arrived
+  /// chunk — overlapping upstream compute, transport, and downstream
+  /// compute. Off (default) = classic stage waves with whole-table
+  /// materialization. Requires private pools: when `pools` is set the
+  /// engine silently falls back to waves, because a blocked streaming
+  /// consumer on a shared FIFO pool could starve the producer feeding
+  /// it.
+  bool pipeline = false;
+
+  /// Rows per published chunk in pipelined mode (the PR 4 ScatterPlan
+  /// chunk granularity; slices of borrowed columns are zero-copy).
+  std::size_t chunk_rows = 64 * 1024;
+
+  /// When non-empty, only these (producer, consumer) shuffle edges
+  /// stream; empty = every shuffle edge streams. Lets callers mirror a
+  /// model annotated with pipeline_edge() on a subset of edges.
+  std::vector<std::pair<StageId, StageId>> pipeline_edges;
 
   /// Non-sink stages whose merged outputs should also be returned in
   /// EngineResult::captured_outputs (the service result cache feeds on
@@ -142,6 +182,12 @@ struct EngineStats {
   faults::ResilienceStats resilience;
   double wall_seconds = 0.0;
   std::size_t tasks_run = 0;        ///< logical tasks (attempts excluded)
+  /// Observed per-stage seconds (indexed by StageId), overlap-adjusted:
+  /// a stage pipelined behind an in-group parent is charged only its
+  /// tail beyond the parent's completion — the same quantity the
+  /// annotated time model predicts for a pipelined read step. 0.0 for
+  /// stages the driver could not time (failed waves).
+  std::vector<double> stage_seconds;
 };
 
 struct EngineResult {

@@ -16,6 +16,15 @@
 //     publishes of the same producer index are discarded. Remote
 //     payloads live under deterministic keys, so a re-publish after a
 //     partial failure overwrites byte-identical data.
+//   * send_chunked() generalizes the same contract to chunk
+//     granularity: a producer's output is published as a sequence of
+//     fixed-size row chunks under deterministic (producer, chunk-seq)
+//     keys, each chunk accepted exactly once (concurrent duplicate
+//     attempts cooperatively claim the next unpublished chunk), and a
+//     partial-failure rollback restarts the stream from chunk 0 —
+//     deterministic stage functions re-produce byte-identical chunks,
+//     so a consumer that already read part of the old stream observes
+//     an indistinguishable sequence. See DESIGN.md §14.
 //   * recv_all() is NON-DESTRUCTIVE — it snapshots the routed payloads
 //     without consuming them, so a speculative duplicate of a consumer
 //     task gathers exactly what the original saw.
@@ -30,6 +39,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -62,6 +72,14 @@ class TableChannel {
   /// consumers) and after a producer re-publish.
   virtual Result<std::vector<std::shared_ptr<const Table>>> snapshot_all() const = 0;
 
+  /// Non-destructive indexed read: blocks until payload `idx` has been
+  /// sent (or the channel aborts), without waiting for close. This is
+  /// what lets a consumer start on the first arrived chunk while the
+  /// producer is still streaming. After a producer reset the call
+  /// simply waits for the re-publish to refill the slot — re-published
+  /// chunks are byte-identical, so pre-reset reads stay valid.
+  virtual Result<std::shared_ptr<const Table>> recv_at(std::size_t idx) const = 0;
+
   virtual void close() = 0;
 
   /// Reopens the channel after a producer reset, dropping any locally
@@ -82,6 +100,7 @@ class LocalTableChannel final : public TableChannel {
   Status send(std::shared_ptr<const Table> table) override;
   std::optional<std::shared_ptr<const Table>> recv() override;
   Result<std::vector<std::shared_ptr<const Table>>> snapshot_all() const override;
+  Result<std::shared_ptr<const Table>> recv_at(std::size_t idx) const override;
   void close() override;
   void reopen() override;
   void abort() override;
@@ -110,6 +129,7 @@ class RemoteTableChannel final : public TableChannel {
   Status send(std::shared_ptr<const Table> table) override;
   std::optional<std::shared_ptr<const Table>> recv() override;
   Result<std::vector<std::shared_ptr<const Table>>> snapshot_all() const override;
+  Result<std::shared_ptr<const Table>> recv_at(std::size_t idx) const override;
   void close() override;
   void reopen() override;
   void abort() override;
@@ -143,6 +163,37 @@ struct ExchangeStats {
   std::size_t duplicate_publishes = 0;  ///< idempotently discarded sends
   std::size_t storage_retries = 0;      ///< remote put/get retries absorbed
   std::size_t producers_reset = 0;      ///< server-loss recovery resets
+  std::size_t chunks_published = 0;     ///< accepted chunk publishes (>=1 per producer)
+  std::size_t chunks_consumed = 0;      ///< chunks handed to streaming cursors
+};
+
+class Exchange;
+
+/// Streaming consumer handle: yields the chunks routed to one consumer
+/// in deterministic (producer-major, chunk-seq) order, blocking until
+/// each chunk arrives — this is how a downstream task starts on the
+/// first arrived chunk while upstream tasks are still running.
+/// Non-destructive: a speculative duplicate consumer opening its own
+/// cursor observes the identical sequence.
+class ChunkCursor {
+ public:
+  /// Next chunk, or nullopt once every producer's stream is finished
+  /// and drained. Fails UNAVAILABLE if the exchange is cancelled.
+  Result<std::optional<std::shared_ptr<const Table>>> next();
+
+  /// Bytes of chunk payload handed out so far (consumer-side I/O
+  /// accounting for profiles).
+  Bytes bytes_read() const { return bytes_; }
+
+ private:
+  friend class Exchange;
+  ChunkCursor(Exchange* ex, std::size_t consumer) : ex_(ex), consumer_(consumer) {}
+
+  Exchange* ex_;
+  std::size_t consumer_;
+  std::size_t producer_ = 0;
+  std::size_t chunk_ = 0;
+  Bytes bytes_ = 0;
 };
 
 /// All channels of one DAG edge: producers x consumers.
@@ -167,10 +218,33 @@ class Exchange {
   /// failed), which is what makes speculative re-execution safe.
   Status send(std::size_t producer, Table table);
 
+  /// Chunk-granular publish: splits `table` into `chunk_rows`-row
+  /// slices (zero-copy when the columns are borrowed) and publishes
+  /// them in sequence, each chunk visible to streaming consumers the
+  /// moment it is routed. Idempotent at chunk granularity: concurrent
+  /// duplicate attempts cooperatively claim the next unpublished chunk
+  /// from a shared per-producer counter, so every chunk is routed
+  /// exactly once no matter how attempts interleave. On a mid-stream
+  /// routing failure the whole stream rolls back to chunk 0 and the
+  /// call fails; the retrying attempt (or a concurrent duplicate)
+  /// restarts from the rolled-back counter. `tick` (may be null) runs
+  /// between chunks — the engine uses it to honor cancellation at
+  /// chunk boundaries; a non-ok tick abandons the stream without
+  /// rollback (the job is aborting anyway).
+  /// send() is exactly send_chunked() with a single chunk.
+  Status send_chunked(std::size_t producer, Table table, std::size_t chunk_rows,
+                      const std::function<Status()>& tick = nullptr);
+
   /// Consumer `j` receives and concatenates everything routed to it, in
   /// producer order (deterministic regardless of timing). Non-
   /// destructive: duplicate consumers see identical input.
   Result<Table> recv_all(std::size_t consumer);
+
+  /// Opens a streaming cursor for consumer `j`. The cursor's chunk
+  /// order (producer-major, chunk-seq) matches recv_all()'s concat
+  /// order, which is what keeps pipelined and materialized execution
+  /// bit-identical for order-preserving consumers.
+  ChunkCursor open_cursor(std::size_t consumer) { return ChunkCursor(this, consumer); }
 
   /// Forgets producer `i`'s publish and reopens its channels, dropping
   /// locally buffered (zero-copy) payloads. The engine then re-runs the
@@ -190,11 +264,20 @@ class Exchange {
   std::size_t consumers() const { return consumers_; }
 
  private:
-  enum class PubState : std::uint8_t { kIdle, kPublishing, kPublished };
+  friend class ChunkCursor;
+
+  /// Per-producer chunk-stream state, guarded by pub_mu_. The legacy
+  /// whole-table publish is the 1-chunk special case.
+  struct ChunkStream {
+    std::size_t accepted = 0;  ///< chunks fully routed to every consumer
+    bool publishing = false;   ///< a chunk route is in flight
+    bool finished = false;     ///< stream complete; channel row closed
+  };
 
   /// Routing telemetry of one publish attempt, committed to stats_ and
-  /// the global metrics only when the publish wins (once per producer),
-  /// so retries and recovery re-publishes don't inflate the counters.
+  /// the global metrics only when the publish wins (once per chunk
+  /// index), so retries and recovery re-publishes don't inflate the
+  /// counters.
   struct PendingStats {
     std::size_t zero_copy_messages = 0;
     std::size_t remote_messages = 0;
@@ -210,8 +293,16 @@ class Exchange {
   }
   Status route(std::size_t i, std::size_t j, std::shared_ptr<const Table> t,
                PendingStats& pending);
-  void commit_route_stats(std::size_t producer, const PendingStats& pending);
-  Status do_send(std::size_t producer, Table table);
+  void commit_route_stats(std::size_t producer, std::size_t chunk,
+                          const PendingStats& pending);
+  Status route_chunk(std::size_t producer, std::size_t chunk, Table table);
+  void count_duplicate_publish();
+  /// ChunkCursor backend: next chunk for `consumer` at cursor position
+  /// (producer, chunk); blocks until the chunk arrives or the stream
+  /// finishes. nullopt = this producer drained, advance the cursor.
+  Result<std::optional<std::shared_ptr<const Table>>> next_chunk(std::size_t consumer,
+                                                                 std::size_t producer,
+                                                                 std::size_t chunk);
 
   const ExchangeKind kind_;
   const std::string partition_key_;
@@ -223,11 +314,14 @@ class Exchange {
 
   mutable std::mutex pub_mu_;
   std::condition_variable pub_cv_;
-  std::vector<PubState> pub_state_;
+  std::vector<ChunkStream> streams_;
+  bool cancelled_ = false;  ///< guarded by pub_mu_; fails blocked cursors
 
   mutable std::mutex stats_mu_;
   ExchangeStats stats_;
-  std::vector<bool> stats_counted_;  ///< per-producer, guarded by stats_mu_
+  /// Per-producer count of chunk indices already counted into stats_,
+  /// guarded by stats_mu_; re-publishes of the same chunk don't recount.
+  std::vector<std::size_t> stats_chunks_counted_;
 };
 
 }  // namespace ditto::exec

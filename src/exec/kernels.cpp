@@ -1083,34 +1083,32 @@ std::vector<std::uint32_t> selection_from_mask(const std::uint8_t* mask, std::si
 
 }  // namespace
 
-Result<Table> hash_join_kernel(const Table& left, const std::string& left_key,
-                               const Table& right, const std::string& right_key,
-                               JoinKind kind, ThreadPool* pool) {
-  const int lk = left.column_index(left_key);
-  const int rk = right.column_index(right_key);
-  if (lk < 0 || rk < 0) return Status::not_found("join key column missing");
-  if (left.column(lk).type() != DataType::kInt64 ||
-      right.column(rk).type() != DataType::kInt64) {
-    return Status::invalid_argument("join keys must be int64");
-  }
-  const ColumnSpan<std::int64_t> lkeys = left.column(lk).int_span();
-  const ColumnSpan<std::int64_t> rkeys = right.column(rk).int_span();
+namespace {
 
-  // Build: radix-partition the right side when it pays, flat table per
-  // partition. Rows insert in ascending right-row order either way.
-  const bool parallel =
-      pool_width(pool) >= 2 && (rkeys.size() > kParallelMinRows || lkeys.size() > kParallelMinRows);
-  const std::size_t parts = parallel ? radix_fanout(pool_width(pool)) : 1;
-  std::vector<JoinPart> tables(parts);
-  if (parts == 1) {
+/// The build phase of the hash join, factored out so hash_join_stream
+/// can build once and probe many chunks. Output order is independent
+/// of `parts`: rows insert in ascending right-row order either way.
+struct JoinBuild {
+  std::vector<JoinPart> tables;
+  std::size_t parts = 1;
+  std::uint64_t part_mask = 0;
+};
+
+JoinBuild make_join_build(ColumnSpan<std::int64_t> rkeys, bool parallel, ThreadPool* pool) {
+  JoinBuild build;
+  build.parts = parallel ? radix_fanout(pool_width(pool)) : 1;
+  build.part_mask = build.parts - 1;
+  build.tables.resize(build.parts);
+  std::vector<JoinPart>& tables = build.tables;
+  if (build.parts == 1) {
     tables[0].reserve(rkeys.size());
     for (std::size_t r = 0; r < rkeys.size(); ++r) {
       tables[0].insert(rkeys[r], static_cast<std::uint32_t>(r));
     }
   } else {
-    const ScatterPlan plan = make_radix_plan(rkeys, parts, pool);
+    const ScatterPlan plan = make_radix_plan(rkeys, build.parts, pool);
     const std::vector<std::uint32_t> row_ids = partitioned_row_indices(plan, pool);
-    run_chunked(parts, pool, [&](std::size_t p) {
+    run_chunked(build.parts, pool, [&](std::size_t p) {
       tables[p].reserve(plan.counts[p]);
       for (std::size_t i = plan.part_start[p]; i < plan.part_start[p + 1]; ++i) {
         const std::uint32_t r = row_ids[i];
@@ -1118,7 +1116,18 @@ Result<Table> hash_join_kernel(const Table& left, const std::string& left_key,
       }
     });
   }
-  const std::uint64_t part_mask = parts - 1;
+  return build;
+}
+
+/// The probe phase against a prepared build. `left` may be one probe
+/// chunk: its output is left-row major, so concatenating per-chunk
+/// results over ascending left-row ranges reproduces the whole join.
+Result<Table> probe_join(const Table& left, int lk, const Table& right, int rk,
+                         JoinKind kind, const JoinBuild& build, ThreadPool* pool) {
+  const ColumnSpan<std::int64_t> lkeys = left.column(lk).int_span();
+  const std::vector<JoinPart>& tables = build.tables;
+  const std::size_t parts = build.parts;
+  const std::uint64_t part_mask = build.part_mask;
   auto probe = [&](std::int64_t key) {
     const std::size_t p = parts == 1 ? 0 : (stable_hash64(key) & part_mask);
     return tables[p].find(key);
@@ -1192,6 +1201,26 @@ Result<Table> hash_join_kernel(const Table& left, const std::string& left_key,
     cols.push_back(rpart.column(c));
   }
   return Table::make(std::move(schema), std::move(cols));
+}
+
+}  // namespace
+
+Result<Table> hash_join_kernel(const Table& left, const std::string& left_key,
+                               const Table& right, const std::string& right_key,
+                               JoinKind kind, ThreadPool* pool) {
+  const int lk = left.column_index(left_key);
+  const int rk = right.column_index(right_key);
+  if (lk < 0 || rk < 0) return Status::not_found("join key column missing");
+  if (left.column(lk).type() != DataType::kInt64 ||
+      right.column(rk).type() != DataType::kInt64) {
+    return Status::invalid_argument("join keys must be int64");
+  }
+  const ColumnSpan<std::int64_t> rkeys = right.column(rk).int_span();
+  const bool parallel =
+      pool_width(pool) >= 2 &&
+      (rkeys.size() > kParallelMinRows || left.num_rows() > kParallelMinRows);
+  const JoinBuild build = make_join_build(rkeys, parallel, pool);
+  return probe_join(left, lk, right, rk, kind, build, pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -1321,6 +1350,84 @@ Result<Table> filter_kernel(const Table& in, const std::vector<ColumnPred>& pred
   });
   const std::vector<std::uint32_t> keep = selection_from_mask(mask.data(), rows, pool);
   return gather_rows(in, keep.data(), keep.size(), pool);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming kernels. Kernel timers wrap only the per-chunk compute, not
+// the blocking next() pull — waiting on an upstream producer is
+// transport time, not kernel time.
+
+Result<Table> gather_chunks(const TableChunkFn& next) {
+  std::optional<Table> out;
+  while (true) {
+    DITTO_ASSIGN_OR_RETURN(std::optional<Table> chunk, next());
+    if (!chunk.has_value()) break;
+    if (!out.has_value()) {
+      out = std::move(*chunk);
+    } else {
+      DITTO_RETURN_IF_ERROR(out->concat(*chunk));
+    }
+  }
+  if (!out.has_value()) return Status::invalid_argument("gather_chunks: empty chunk stream");
+  return std::move(*out);
+}
+
+Result<Table> filter_stream(const TableChunkFn& next, const std::vector<ColumnPred>& preds,
+                            ThreadPool* pool) {
+  if (pool == nullptr) pool = task_compute_pool();
+  std::optional<Table> out;
+  while (true) {
+    DITTO_ASSIGN_OR_RETURN(std::optional<Table> chunk, next());
+    if (!chunk.has_value()) break;
+    detail::KernelTimer timer(&KernelSeconds::filter);
+    DITTO_ASSIGN_OR_RETURN(Table part, filter_kernel(*chunk, preds, pool));
+    if (!out.has_value()) {
+      out = std::move(part);
+    } else {
+      DITTO_RETURN_IF_ERROR(out->concat(part));
+    }
+  }
+  if (!out.has_value()) return Status::invalid_argument("filter_stream: empty chunk stream");
+  return std::move(*out);
+}
+
+Result<Table> hash_join_stream(const TableChunkFn& next_left, const std::string& left_key,
+                               const Table& right, const std::string& right_key,
+                               JoinKind kind, ThreadPool* pool) {
+  if (pool == nullptr) pool = task_compute_pool();
+  const int rk = right.column_index(right_key);
+  if (rk < 0) return Status::not_found("join key column missing");
+  if (right.column(rk).type() != DataType::kInt64) {
+    return Status::invalid_argument("join keys must be int64");
+  }
+  const ColumnSpan<std::int64_t> rkeys = right.column(rk).int_span();
+  // Probe volume is unknown up front, so the parallel-build decision
+  // keys off the build side alone; `parts` never changes the output.
+  const bool parallel = pool_width(pool) >= 2 && rkeys.size() > kParallelMinRows;
+  std::optional<JoinBuild> build;
+  {
+    detail::KernelTimer timer(&KernelSeconds::join);
+    build = make_join_build(rkeys, parallel, pool);
+  }
+  std::optional<Table> out;
+  while (true) {
+    DITTO_ASSIGN_OR_RETURN(std::optional<Table> chunk, next_left());
+    if (!chunk.has_value()) break;
+    const int lk = chunk->column_index(left_key);
+    if (lk < 0) return Status::not_found("join key column missing");
+    if (chunk->column(lk).type() != DataType::kInt64) {
+      return Status::invalid_argument("join keys must be int64");
+    }
+    detail::KernelTimer timer(&KernelSeconds::join);
+    DITTO_ASSIGN_OR_RETURN(Table part, probe_join(*chunk, lk, right, rk, kind, *build, pool));
+    if (!out.has_value()) {
+      out = std::move(part);
+    } else {
+      DITTO_RETURN_IF_ERROR(out->concat(part));
+    }
+  }
+  if (!out.has_value()) return Status::invalid_argument("hash_join_stream: empty chunk stream");
+  return std::move(*out);
 }
 
 }  // namespace ditto::exec

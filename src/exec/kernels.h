@@ -34,6 +34,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -164,5 +166,38 @@ Result<Table> hash_join_kernel(const Table& left, const std::string& left_key,
 /// surviving rows through the uninitialized-buffer move path.
 Result<Table> filter_kernel(const Table& in, const std::vector<ColumnPred>& preds,
                             ThreadPool* pool);
+
+// ---------------------------------------------------------------------------
+// Streaming kernels (pipelined shuffle, paper §4.5). A chunk source is
+// a pull iterator: each call blocks for and returns the next input
+// chunk in deterministic (producer-major, chunk-seq) order; nullopt =
+// stream drained. Each streaming kernel is bit-identical to running
+// its materialized counterpart on the concatenation of every chunk —
+// that contract is what keeps pipelined and wave execution
+// interchangeable (and is pinned by the fault-storm identity tests).
+
+/// Pull-based chunk iterator handed to streaming consumers.
+using TableChunkFn = std::function<Result<std::optional<Table>>()>;
+
+/// Drains a chunk stream into one table (the gather-on-last-chunk
+/// fallback for blocking consumers like group-by builds). Errors on an
+/// empty stream — Exchange always publishes at least one (possibly
+/// zero-row) chunk, so a drained-empty stream means a protocol bug.
+Result<Table> gather_chunks(const TableChunkFn& next);
+
+/// filter_kernel applied per chunk; filtering preserves row order, so
+/// the concatenated survivors equal filtering the concatenated input.
+Result<Table> filter_stream(const TableChunkFn& next, const std::vector<ColumnPred>& preds,
+                            ThreadPool* pool);
+
+/// Hash join with a streaming probe side: builds the right-side hash
+/// ONCE, then probes each left chunk as it arrives and concatenates
+/// the per-chunk results. Probe chunks are ascending left-row ranges
+/// and hash_join_kernel's output is left-row major, so the concat is
+/// bit-identical to the materialized join. The build side must be a
+/// complete table (it is blocking by nature — gather_chunks it first).
+Result<Table> hash_join_stream(const TableChunkFn& next_left, const std::string& left_key,
+                               const Table& right, const std::string& right_key,
+                               JoinKind kind, ThreadPool* pool);
 
 }  // namespace ditto::exec

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 
@@ -141,6 +142,7 @@ void HttpEndpoint::serve_loop() {
     char buf[2048];
     while (request.size() < 16 * 1024 && request.find("\r\n\r\n") == std::string::npos) {
       const ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       request.append(buf, static_cast<std::size_t>(n));
     }
@@ -154,9 +156,15 @@ void HttpEndpoint::serve_loop() {
                                      ? http_response(400, "Bad Request", "text/plain",
                                                      "bad request\n")
                                      : respond(method, target);
+    // Large bodies (/metrics grows with every chunk counter) need the
+    // full partial-write loop: send() can return short or -1/EINTR on
+    // a signal, and MSG_NOSIGNAL turns a peer reset into EPIPE instead
+    // of a process-killing SIGPIPE.
     std::size_t off = 0;
     while (off < response.size()) {
-      const ssize_t n = ::write(conn, response.data() + off, response.size() - off);
+      const ssize_t n =
+          ::send(conn, response.data() + off, response.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       off += static_cast<std::size_t>(n);
     }

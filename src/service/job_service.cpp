@@ -825,7 +825,13 @@ void JobService::run_job(JobRecord* rec) {
     if (options_.profiling) {
       opts.profiles = &profiles_;
       opts.plan_fingerprint = structural_fingerprint(run_model);
-      const ExecTimePredictor predictor(run_model);
+      ExecTimePredictor predictor(run_model);
+      // The service engine materializes every exchange (shared pools
+      // force wave mode), so predictions must ignore any pipelining
+      // annotations on the model — otherwise the model credits an
+      // overlap the runtime never delivers and timemodel.rel_error is
+      // inflated on every annotated shuffle stage.
+      predictor.set_honor_pipelining(false);
       const ColocatedFn colocated = rec->plan.colocated_fn();
       opts.predicted_stage_seconds.resize(run_model.num_stages(), 0.0);
       for (StageId s = 0; s < run_model.num_stages(); ++s) {

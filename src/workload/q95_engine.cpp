@@ -123,6 +123,14 @@ Q95EngineJob build_q95_engine_job(const Q95EngineSpec& spec) {
                                JoinKind::kLeftSemi);
       },
       "order_id"};
+  // Streaming variant: the returns build side gathers fully (hash
+  // builds are blocking), then each arriving orders chunk probes it.
+  job.bindings[reduce1].stream_fn =
+      [](int, int, std::vector<exec::TableChunkFn>& inputs) -> Result<Table> {
+    DITTO_ASSIGN_OR_RETURN(Table rets, exec::gather_chunks(inputs.at(1)));
+    return exec::hash_join_stream(inputs.at(0), "order_id", rets, "order_id",
+                                  JoinKind::kLeftSemi, nullptr);
+  };
 
   job.bindings[map3] = StageBinding{
       [dates, date_ok](int task, int dop, const std::vector<Table>&) -> Result<Table> {
@@ -139,6 +147,12 @@ Q95EngineJob build_q95_engine_job(const Q95EngineSpec& spec) {
                                JoinKind::kLeftSemi);
       },
       "order_id"};
+  job.bindings[join1].stream_fn =
+      [](int, int, std::vector<exec::TableChunkFn>& inputs) -> Result<Table> {
+    DITTO_ASSIGN_OR_RETURN(Table dates_ok, exec::gather_chunks(inputs.at(1)));
+    return exec::hash_join_stream(inputs.at(0), "date_id", dates_ok, "id",
+                                  JoinKind::kLeftSemi, nullptr);
+  };
 
   job.bindings[map4] = StageBinding{
       [sites, site_bad](int task, int dop, const std::vector<Table>&) -> Result<Table> {
@@ -155,6 +169,12 @@ Q95EngineJob build_q95_engine_job(const Q95EngineSpec& spec) {
                                JoinKind::kLeftAnti);
       },
       "order_id"};
+  job.bindings[join2].stream_fn =
+      [](int, int, std::vector<exec::TableChunkFn>& inputs) -> Result<Table> {
+    DITTO_ASSIGN_OR_RETURN(Table sites_bad, exec::gather_chunks(inputs.at(1)));
+    return exec::hash_join_stream(inputs.at(0), "site_id", sites_bad, "id",
+                                  JoinKind::kLeftAnti, nullptr);
+  };
 
   job.bindings[reduce2] = StageBinding{
       [](int, int, const std::vector<Table>& inputs) -> Result<Table> {

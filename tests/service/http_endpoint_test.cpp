@@ -110,6 +110,40 @@ TEST(HttpEndpointTest, ServesOverRealSocketsOnEphemeralPort) {
   ep.stop();  // idempotent
 }
 
+TEST(HttpEndpointTest, LargeMetricsBodyIsDeliveredCompletely) {
+  // Chunk counters grow the /metrics exposition well past one socket
+  // buffer; the serve loop's partial-write handling must deliver every
+  // byte. Thousands of labeled series make a multi-hundred-KB body.
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  for (int i = 0; i < 4000; ++i) {
+    registry.counter("exchange.chunks_published",
+                     {{"edge", "edge_" + std::to_string(i) + "_with_a_long_label_suffix"}})
+        .add(i);
+  }
+
+  HttpEndpoint::Options opt;
+  opt.port = 0;
+  opt.metrics = &registry;
+  HttpEndpoint ep(opt);
+  ASSERT_TRUE(ep.start().is_ok());
+
+  const std::string response = http_get(ep.port(), "/metrics");
+  const std::string body = body_of(response);
+  // Content-Length must match what actually arrived — a short write
+  // would truncate the body.
+  const std::size_t cl_pos = response.find("Content-Length: ");
+  ASSERT_NE(cl_pos, std::string::npos);
+  const std::size_t declared = std::stoul(response.substr(cl_pos + 16));
+  EXPECT_EQ(body.size(), declared);
+  EXPECT_GT(body.size(), 100u * 1024);
+  // First and last series both present: nothing dropped at either end.
+  EXPECT_NE(body.find("edge_0_with_a_long_label_suffix"), std::string::npos);
+  EXPECT_NE(body.find("edge_3999_with_a_long_label_suffix"), std::string::npos);
+  EXPECT_TRUE(obs::validate_prometheus_text(body).is_ok());
+  ep.stop();
+}
+
 /// Minimal two-stage sleep job (scan tasks sleep so the job stays
 /// visibly RUNNING while scrapes land).
 JobSubmission make_sleep_job(const std::string& name, double sleep_seconds) {

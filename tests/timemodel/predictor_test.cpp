@@ -48,6 +48,31 @@ TEST(PredictorTest, ExternalIoNeverZeroCopied) {
   EXPECT_GT(p.write_time(1, 4, everything_colocated()), 0.0);
 }
 
+TEST(PredictorTest, HonorPipeliningGatesTheOverlapCredit) {
+  // Mark b's read-from-a as pipelined. Honoring the annotation
+  // (default) skips the step — the paper's §4.5 overlap credit. A
+  // caller whose engine materializes every exchange must disable it so
+  // predictions describe the execution that actually happens; the
+  // annotation is then a no-op and the read is charged in full.
+  JobDag dag = make_chain();
+  for (Step& step : dag.stage(1).steps()) {
+    if (step.kind == StepKind::kRead && step.dep == 0) step.pipelined = true;
+  }
+  ExecTimePredictor p(dag);
+  ASSERT_TRUE(p.honor_pipelining());
+  const double overlapped = p.stage_time(1, 2, nothing_colocated());
+  // b without its read step: (8+2)/2 + 0.5.
+  EXPECT_NEAR(overlapped, 5.5, 1e-12);
+  EXPECT_NEAR(p.read_time(1, 2, nothing_colocated()), 0.0, 1e-12);
+
+  p.set_honor_pipelining(false);
+  const double materialized = p.stage_time(1, 2, nothing_colocated());
+  // Full b: (6+8+2)/2 + (0.2+0.4+0.1).
+  EXPECT_NEAR(materialized, 8.7, 1e-12);
+  EXPECT_GT(materialized, overlapped);
+  EXPECT_GT(p.read_time(1, 2, nothing_colocated()), 0.0);
+}
+
 TEST(PredictorTest, KindBreakdownSumsToTotal) {
   const JobDag dag = make_chain();
   const ExecTimePredictor p(dag);
